@@ -1,0 +1,35 @@
+// Ablation: the CDH reserve percentile for direct writes (paper §3.2.2).
+//
+// The paper chooses the 80th percentile as the balance point: higher values
+// avoid more foreground GC (better IOPS) but reserve too much, hurting WAF
+// like an aggressive policy. This bench sweeps the percentile on the two
+// direct-write-heavy benchmarks where it matters most.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/experiment.h"
+#include "workload/specs.h"
+
+int main() {
+  using namespace jitgc;
+
+  const std::vector<double> quantiles = {0.5, 0.65, 0.8, 0.9, 0.99};
+
+  std::printf("Ablation: CDH reserve percentile for direct writes (paper default: 80%%)\n");
+
+  for (const auto& spec : {wl::tiobench_spec(), wl::tpcc_spec(), wl::ycsb_spec()}) {
+    bench::print_section(spec.name.c_str());
+    std::printf("%-12s %10s %8s %8s %10s\n", "percentile", "IOPS", "WAF", "FGC", "BGC");
+    for (const double q : quantiles) {
+      sim::PolicyOverrides ov;
+      ov.direct_quantile = q;
+      const sim::SimReport r =
+          sim::run_cell(sim::default_sim_config(1), spec, sim::PolicyKind::kJit, 1.0, ov);
+      std::printf("%-12.2f %10.0f %8.3f %8llu %10llu\n", q, r.iops, r.waf,
+                  static_cast<unsigned long long>(r.fgc_cycles),
+                  static_cast<unsigned long long>(r.bgc_cycles));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Ablation: Fig. 3(a) ideal vs Fig. 3(b) actual implementation of JIT-GC.
+//
+// The paper could not modify the SM843T FTL enough to embed the JIT-GC
+// manager, so their actual implementation runs it in the host and pays the
+// SG_IO interface for C_free queries and BGC commands (~160 us each) on top
+// of the predictor's demand/SIP transfers. This quantifies what the ideal
+// embedded manager would have saved — the paper implies it is small, since
+// the interval is 5 s and the commands are microseconds.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/experiment.h"
+#include "workload/specs.h"
+
+int main() {
+  using namespace jitgc;
+
+  std::printf("Ablation: JIT-GC manager placement (Fig. 3a embedded vs 3b host-side)\n\n");
+  std::printf("%-12s %-12s %10s %8s %8s %12s\n", "benchmark", "manager", "IOPS", "WAF", "FGC",
+              "p99(ms)");
+
+  for (const auto& spec : {wl::ycsb_spec(), wl::tpcc_spec()}) {
+    for (const bool embedded : {false, true}) {
+      sim::PolicyOverrides ov;
+      ov.embedded_manager = embedded;
+      const sim::SimReport r =
+          sim::run_cell(sim::default_sim_config(1), spec, sim::PolicyKind::kJit, 1.0, ov);
+      std::printf("%-12s %-12s %10.0f %8.3f %8llu %12.2f\n", spec.name.c_str(),
+                  embedded ? "embedded(3a)" : "host(3b)", r.iops, r.waf,
+                  static_cast<unsigned long long>(r.fgc_cycles), r.p99_latency_us / 1000.0);
+    }
+  }
+  std::printf("\nExpected: near-identical — the interface overhead (<1 ms per 5-s\n"
+              "interval) is noise, validating the paper's host-side compromise.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Shared table-printing helpers for the paper-reproduction benches.
+//
+// Every bench prints (a) the raw measured values and (b) the same
+// normalization the paper uses (usually over A-BGC), so EXPERIMENTS.md can
+// record paper-vs-measured side by side.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.h"
+
+namespace jitgc::bench {
+
+/// Prints a header row: first column label then one column per name.
+inline void print_header(const char* label, const std::vector<std::string>& columns) {
+  std::printf("%-22s", label);
+  for (const auto& c : columns) std::printf(" %10s", c.c_str());
+  std::printf("\n");
+}
+
+/// Prints one data row of doubles with the given precision.
+inline void print_row(const std::string& label, const std::vector<double>& values,
+                      int precision = 3) {
+  std::printf("%-22s", label.c_str());
+  for (const double v : values) std::printf(" %10.*f", precision, v);
+  std::printf("\n");
+}
+
+/// Divides each value by `base` (guarding zero).
+inline std::vector<double> normalize(const std::vector<double>& values, double base) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (const double v : values) out.push_back(base > 0.0 ? v / base : 0.0);
+  return out;
+}
+
+inline void print_section(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace jitgc::bench

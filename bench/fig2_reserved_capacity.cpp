@@ -1,0 +1,74 @@
+// Reproduces paper Fig. 2: the impact of a fixed BGC policy's reserved
+// capacity C_resv (0.5x ... 1.5x C_OP) on IOPS (a) and WAF (b), across the
+// six benchmarks. Values are normalized over the 1.5x OP (A-BGC) column, as
+// in the paper.
+//
+// Paper shape to check: IOPS rises monotonically with C_resv (the paper saw
+// up to 5x on real hardware); WAF falls as C_resv shrinks (up to 2x). This
+// is the measurement that motivates JIT-GC: no single C_resv wins both.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/experiment.h"
+#include "workload/specs.h"
+
+int main() {
+  using namespace jitgc;
+
+  const std::vector<double> multiples = {0.5, 0.75, 1.0, 1.25, 1.5};
+  std::vector<std::string> columns;
+  for (const double m : multiples) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%.2fxOP", m);
+    columns.push_back(buf);
+  }
+
+  std::printf("Fig. 2 reproduction: fixed reserved capacity sweep\n");
+  std::printf("(C_resv as a multiple of C_OP; normalized over 1.5xOP = A-BGC)\n");
+
+  struct Cell {
+    double iops = 0.0, waf = 0.0;
+  };
+  const auto specs = wl::paper_benchmark_specs();
+  std::vector<std::vector<Cell>> table;
+
+  for (const auto& spec : specs) {
+    std::vector<Cell> row;
+    for (const double m : multiples) {
+      const sim::SimReport r =
+          sim::run_cell(sim::default_sim_config(1), spec, sim::PolicyKind::kFixedReserve, m);
+      row.push_back(Cell{r.iops, r.waf});
+    }
+    table.push_back(row);
+  }
+
+  bench::print_section("Fig. 2(a): normalized IOPS (1.5xOP = 1.0)");
+  bench::print_header("benchmark", columns);
+  for (std::size_t w = 0; w < specs.size(); ++w) {
+    std::vector<double> vals;
+    for (const auto& c : table[w]) vals.push_back(c.iops);
+    bench::print_row(specs[w].name, bench::normalize(vals, table[w].back().iops));
+  }
+
+  bench::print_section("Fig. 2(b): normalized WAF (1.5xOP = 1.0)");
+  bench::print_header("benchmark", columns);
+  for (std::size_t w = 0; w < specs.size(); ++w) {
+    std::vector<double> vals;
+    for (const auto& c : table[w]) vals.push_back(c.waf);
+    bench::print_row(specs[w].name, bench::normalize(vals, table[w].back().waf));
+  }
+
+  bench::print_section("raw values (IOPS / WAF)");
+  bench::print_header("benchmark", columns);
+  for (std::size_t w = 0; w < specs.size(); ++w) {
+    std::vector<double> vals;
+    for (const auto& c : table[w]) vals.push_back(c.iops);
+    bench::print_row(specs[w].name + " IOPS", vals, 0);
+    vals.clear();
+    for (const auto& c : table[w]) vals.push_back(c.waf);
+    bench::print_row(specs[w].name + " WAF", vals);
+  }
+  return 0;
+}

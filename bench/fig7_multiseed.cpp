@@ -1,0 +1,33 @@
+// Fig. 7 with statistics: the policy comparison over 3 seeds, reporting
+// mean +- stddev of the A-BGC-normalized ratios' inputs. The single-seed
+// fig7_policy_comparison matches the paper's presentation; this bench shows
+// which differences survive seed noise.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/experiment.h"
+#include "workload/specs.h"
+
+int main() {
+  using namespace jitgc;
+  using sim::PolicyKind;
+
+  constexpr std::size_t kSeeds = 3;
+  const std::vector<PolicyKind> policies = {PolicyKind::kLazy, PolicyKind::kAggressive,
+                                            PolicyKind::kAdaptive, PolicyKind::kJit};
+
+  std::printf("Fig. 7 with error bars (%zu seeds per cell)\n\n", kSeeds);
+  std::printf("%-11s %-8s %16s %16s %14s\n", "benchmark", "policy", "IOPS", "WAF", "FGC");
+
+  for (const auto& spec : wl::paper_benchmark_specs()) {
+    for (const auto kind : policies) {
+      const sim::CellSummary s =
+          sim::run_cell_multi(sim::default_sim_config(1), spec, kind, kSeeds);
+      std::printf("%-11s %-8s %9.0f +-%4.0f %11.3f +-%5.3f %8.0f +-%4.0f\n", spec.name.c_str(),
+                  sim::policy_kind_name(kind).c_str(), s.iops.mean, s.iops.stddev, s.waf.mean,
+                  s.waf.stddev, s.fgc_cycles.mean, s.fgc_cycles.stddev);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces paper Fig. 7: normalized IOPS (a) and WAF (b) of L-BGC, A-BGC,
+// ADP-GC and JIT-GC across the six benchmarks, normalized over A-BGC.
+//
+// Paper shape to check: JIT-GC tracks A-BGC's IOPS on buffered-heavy
+// workloads (YCSB/Postmark/Filebench/Bonnie++) while beating L-BGC's WAF
+// there; on direct-heavy workloads (Tiobench, TPC-C) JIT-GC's IOPS falls
+// between L-BGC and A-BGC. ADP-GC sits between L-BGC and JIT-GC.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/experiment.h"
+#include "workload/specs.h"
+
+int main() {
+  using namespace jitgc;
+  using sim::PolicyKind;
+
+  const std::vector<PolicyKind> policies = {PolicyKind::kLazy, PolicyKind::kAggressive,
+                                            PolicyKind::kAdaptive, PolicyKind::kJit};
+
+  std::printf("Fig. 7 reproduction: policy comparison over six benchmarks\n");
+  std::printf("(values normalized over A-BGC, as in the paper)\n");
+
+  std::vector<std::string> columns;
+  for (const auto kind : policies) columns.push_back(sim::policy_kind_name(kind));
+
+  struct Cell {
+    double iops = 0.0, waf = 0.0;
+  };
+  std::vector<std::vector<Cell>> table;  // [workload][policy]
+  const auto specs = wl::paper_benchmark_specs();
+
+  for (const auto& spec : specs) {
+    std::vector<Cell> row;
+    for (const auto kind : policies) {
+      const sim::SimReport r = sim::run_cell(sim::default_sim_config(1), spec, kind);
+      row.push_back(Cell{r.iops, r.waf});
+    }
+    table.push_back(row);
+  }
+
+  bench::print_section("Fig. 7(a): normalized IOPS (A-BGC = 1.0)");
+  bench::print_header("benchmark", columns);
+  for (std::size_t w = 0; w < specs.size(); ++w) {
+    const double base = table[w][1].iops;  // A-BGC column
+    std::vector<double> vals;
+    for (const auto& cell : table[w]) vals.push_back(cell.iops);
+    bench::print_row(specs[w].name, bench::normalize(vals, base));
+  }
+
+  bench::print_section("Fig. 7(b): normalized WAF (A-BGC = 1.0)");
+  bench::print_header("benchmark", columns);
+  for (std::size_t w = 0; w < specs.size(); ++w) {
+    const double base = table[w][1].waf;
+    std::vector<double> vals;
+    for (const auto& cell : table[w]) vals.push_back(cell.waf);
+    bench::print_row(specs[w].name, bench::normalize(vals, base));
+  }
+
+  bench::print_section("raw values (IOPS / WAF)");
+  bench::print_header("benchmark", columns);
+  for (std::size_t w = 0; w < specs.size(); ++w) {
+    std::vector<double> vals;
+    for (const auto& cell : table[w]) vals.push_back(cell.iops);
+    bench::print_row(specs[w].name + " IOPS", vals, 0);
+    vals.clear();
+    for (const auto& cell : table[w]) vals.push_back(cell.waf);
+    bench::print_row(specs[w].name + " WAF", vals);
+  }
+  return 0;
+}

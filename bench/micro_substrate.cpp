@@ -1,0 +1,141 @@
+// Microbenchmarks of the substrate primitives (google-benchmark): mapping
+// writes, GC cycles, page-cache operations, predictor scans and CDH updates.
+// These bound the simulator's own cost, which is what makes the full
+// paper-reproduction sweeps run in seconds.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "core/buffered_predictor.h"
+#include "core/cdh.h"
+#include "ftl/ftl.h"
+#include "host/page_cache.h"
+
+namespace {
+
+using namespace jitgc;
+
+ftl::FtlConfig bench_ftl_config() {
+  ftl::FtlConfig cfg;
+  cfg.geometry = nand::Geometry{.channels = 2,
+                                .dies_per_channel = 2,
+                                .planes_per_die = 1,
+                                .blocks_per_plane = 128,
+                                .pages_per_block = 128,
+                                .page_size = 4 * KiB};
+  cfg.op_ratio = 0.07;
+  return cfg;
+}
+
+void BM_FtlSequentialWrite(benchmark::State& state) {
+  ftl::Ftl ftl(bench_ftl_config());
+  Lba lba = 0;
+  const Lba n = ftl.user_pages();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftl.write(lba));
+    lba = (lba + 1) % n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FtlSequentialWrite);
+
+void BM_FtlRandomOverwriteWithGc(benchmark::State& state) {
+  ftl::Ftl ftl(bench_ftl_config());
+  Rng rng(1);
+  const Lba hot = ftl.user_pages() / 2;
+  for (Lba l = 0; l < ftl.user_pages(); ++l) ftl.write(l);  // age the device
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftl.write(rng.uniform(hot)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["waf"] = ftl.waf();
+}
+BENCHMARK(BM_FtlRandomOverwriteWithGc);
+
+void BM_FtlBackgroundCollectStep(benchmark::State& state) {
+  ftl::Ftl ftl(bench_ftl_config());
+  Rng rng(2);
+  for (Lba l = 0; l < ftl.user_pages(); ++l) ftl.write(l);
+  for (auto _ : state) {
+    // Keep dirtying so there is always something to collect.
+    ftl.write(rng.uniform(ftl.user_pages() / 2));
+    benchmark::DoNotOptimize(ftl.background_collect_step(8));
+  }
+}
+BENCHMARK(BM_FtlBackgroundCollectStep);
+
+void BM_VictimSelectionScan(benchmark::State& state) {
+  // Measures a full BGC cycle dominated by the victim scan over all blocks.
+  ftl::Ftl ftl(bench_ftl_config());
+  Rng rng(3);
+  for (Lba l = 0; l < ftl.user_pages(); ++l) ftl.write(l);
+  for (Lba i = 0; i < ftl.user_pages() / 2; ++i) ftl.write(rng.uniform(ftl.user_pages() / 2));
+  for (auto _ : state) {
+    const ftl::GcResult r = ftl.background_collect_once();
+    benchmark::DoNotOptimize(r);
+    if (!r.collected) {
+      // Re-dirty to keep candidates available.
+      for (int i = 0; i < 1000; ++i) ftl.write(rng.uniform(ftl.user_pages() / 2));
+    }
+  }
+}
+BENCHMARK(BM_VictimSelectionScan);
+
+void BM_PageCacheWrite(benchmark::State& state) {
+  host::PageCacheConfig cfg;
+  cfg.capacity = 256 * MiB;
+  host::PageCache cache(cfg);
+  Rng rng(4);
+  TimeUs now = 0;
+  for (auto _ : state) {
+    cache.write(rng.uniform(1 << 20), now);
+    now += 10;
+    if (cache.dirty_bytes() > cfg.tau_flush_bytes()) {
+      benchmark::DoNotOptimize(cache.flusher_tick(now));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PageCacheWrite);
+
+void BM_BufferedPredictorScan(benchmark::State& state) {
+  host::PageCacheConfig cfg;
+  cfg.capacity = 512 * MiB;
+  cfg.tau_flush_fraction = 1.0;
+  host::PageCache cache(cfg);
+  const auto pages = static_cast<Lba>(state.range(0));
+  for (Lba l = 0; l < pages; ++l) cache.write(l, seconds(1) + static_cast<TimeUs>(l));
+  core::BufferedWritePredictor predictor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.predict(cache, seconds(5)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * pages);
+}
+BENCHMARK(BM_BufferedPredictorScan)->Arg(1024)->Arg(16384)->Arg(65536);
+
+void BM_CdhObserveAndQuery(benchmark::State& state) {
+  core::CdhConfig cfg;
+  cfg.bin_width = 256 * KiB;
+  cfg.num_bins = 2048;
+  cfg.intervals_per_window = 6;
+  core::Cdh cdh(cfg);
+  Rng rng(5);
+  for (auto _ : state) {
+    cdh.observe_interval(rng.uniform(64 * MiB));
+    benchmark::DoNotOptimize(cdh.reserve_for_quantile(0.8));
+  }
+}
+BENCHMARK(BM_CdhObserveAndQuery);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng seed(6);
+  ScatteredZipf zipf(1 << 20, 0.95, seed);
+  Rng rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(zipf(rng));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ZipfSample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

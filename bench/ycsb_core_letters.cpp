@@ -1,0 +1,32 @@
+// Extension study: the six standard YCSB core workloads (A..F) under each
+// policy, with multi-seed error bars.
+//
+// The paper ran one YCSB configuration; this sweep shows how the JIT-GC
+// advantage scales with update share: the GC problem vanishes on read-only
+// C and is largest on update-heavy A / RMW-heavy F.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/experiment.h"
+#include "workload/specs.h"
+
+int main() {
+  using namespace jitgc;
+
+  constexpr std::size_t kSeeds = 3;
+  std::printf("YCSB core workloads A..F (mean over %zu seeds, +- stddev)\n\n", kSeeds);
+  std::printf("%-8s %-8s %16s %16s %14s\n", "letter", "policy", "IOPS", "WAF", "FGC");
+
+  for (const auto& spec : wl::ycsb_core_specs()) {
+    for (const auto kind :
+         {sim::PolicyKind::kLazy, sim::PolicyKind::kAggressive, sim::PolicyKind::kJit}) {
+      const sim::CellSummary s =
+          sim::run_cell_multi(sim::default_sim_config(1), spec, kind, kSeeds);
+      std::printf("%-8s %-8s %9.0f +-%4.0f %11.3f +-%5.3f %8.0f +-%4.0f\n", spec.name.c_str(),
+                  sim::policy_kind_name(kind).c_str(), s.iops.mean, s.iops.stddev, s.waf.mean,
+                  s.waf.stddev, s.fgc_cycles.mean, s.fgc_cycles.stddev);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Scenario: meeting a read-latency SLA.
+//
+// A latency-sensitive service cares about read p99, not IOPS. Background GC
+// competes with reads; this example shows the two QoS levers the simulator
+// models — rate-limiting BGC and switching JIT-GC to measured idle — and
+// what each costs in WAF.
+//
+//   ./build/examples/latency_sla
+#include <cstdio>
+
+#include "sim/experiment.h"
+#include "workload/specs.h"
+
+int main() {
+  using namespace jitgc;
+
+  sim::SimConfig base = sim::default_sim_config(/*seed=*/13);
+  base.duration = seconds(300);
+  const wl::WorkloadSpec spec = wl::ycsb_spec();  // read-heavy KV store
+
+  std::printf("Read-latency SLA tuning (YCSB-like, JIT-GC)\n\n");
+  std::printf("%-26s %12s %14s %8s %8s\n", "configuration", "read p99(us)", "overall p99",
+              "WAF", "FGC");
+
+  struct Variant {
+    const char* name;
+    double rate_limit;
+    bool measured_idle;
+  };
+  const Variant variants[] = {
+      {"default", 0.0, false},
+      {"BGC capped at 4 MiB/s", 4.0 * 1024 * 1024, false},
+      {"BGC capped at 1 MiB/s", 1.0 * 1024 * 1024, false},
+      {"measured-idle T_idle", 0.0, true},
+  };
+
+  for (const Variant& v : variants) {
+    sim::SimConfig config = base;
+    config.bgc_rate_limit_bps = v.rate_limit;
+    sim::PolicyOverrides ov;
+    ov.use_measured_idle = v.measured_idle;
+    const sim::SimReport r = sim::run_cell(config, spec, sim::PolicyKind::kJit, 1.0, ov);
+    std::printf("%-26s %12.0f %14.0f %8.3f %8llu\n", v.name, r.read_p99_latency_us,
+                r.p99_latency_us, r.waf, static_cast<unsigned long long>(r.fgc_cycles));
+  }
+
+  std::printf("\nAt this utilization reads rarely queue (p99 stays at the raw sense\n"
+              "time), so the levers show up in the GC columns instead: tighter BGC\n"
+              "caps trade background collections for foreground ones (FGC 357 -> ~1k)\n"
+              "while lowering WAF; measured-idle does the opposite. On a busier or\n"
+              "multi-queue device (--service-queues=0) the same levers move the\n"
+              "read tail directly.\n");
+  return 0;
+}

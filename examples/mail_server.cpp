@@ -1,0 +1,51 @@
+// Scenario: a mail server (Postmark-like small-file churn) on the simulated
+// SSD, driven through the filesystem model — create/append/delete with
+// journaling direct writes and TRIM on deletion — under each GC policy.
+//
+// TRIM is interesting for GC policy: deletions invalidate pages in bulk, so
+// victims get cheap, and a lazy policy benefits disproportionately.
+//
+//   ./build/examples/mail_server
+#include <cstdio>
+
+#include "sim/experiment.h"
+#include "sim/simulator.h"
+#include "workload/file_workload.h"
+
+int main() {
+  using namespace jitgc;
+
+  sim::SimConfig config = sim::default_sim_config(/*seed=*/21);
+  config.duration = seconds(300);
+
+  std::printf("Mail-server scenario (file-level workload with journaling + TRIM)\n\n");
+  std::printf("%-12s %10s %8s %8s %10s %12s\n", "policy", "IOPS", "WAF", "FGC", "BGC",
+              "p99(ms)");
+
+  for (const auto kind : {sim::PolicyKind::kLazy, sim::PolicyKind::kAggressive,
+                          sim::PolicyKind::kAdaptive, sim::PolicyKind::kJit}) {
+    sim::Simulator simulator(config);
+    wl::FileWorkload gen(wl::mail_server_spec(), simulator.ssd().ftl().user_pages(),
+                         config.seed);
+    const auto policy = sim::make_policy(kind, config);
+    const sim::SimReport r = simulator.run(gen, *policy);
+    std::printf("%-12s %10.0f %8.3f %8llu %10llu %12.2f\n", r.policy.c_str(), r.iops, r.waf,
+                static_cast<unsigned long long>(r.fgc_cycles),
+                static_cast<unsigned long long>(r.bgc_cycles), r.p99_latency_us / 1000.0);
+  }
+
+  // One more run to show what the filesystem did underneath.
+  sim::Simulator simulator(config);
+  wl::FileWorkload gen(wl::mail_server_spec(), simulator.ssd().ftl().user_pages(), config.seed);
+  const auto policy = sim::make_policy(sim::PolicyKind::kJit, config);
+  simulator.run(gen, *policy);
+  const wl::FsStats& fss = gen.file_system().stats();
+  std::printf("\nfilesystem activity: %llu files created, %llu deleted, %llu pages trimmed,\n"
+              "%llu journal commits, %llu fragmented allocations\n",
+              static_cast<unsigned long long>(fss.files_created),
+              static_cast<unsigned long long>(fss.files_deleted),
+              static_cast<unsigned long long>(fss.trimmed_pages),
+              static_cast<unsigned long long>(fss.journal_writes),
+              static_cast<unsigned long long>(fss.fragmented_allocations));
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Quickstart: simulate a YCSB-like workload on a scaled SSD under JIT-GC and
+// the two fixed baselines (3 seeds each), then print the headline metrics.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "sim/experiment.h"
+#include "workload/specs.h"
+
+int main() {
+  using namespace jitgc;
+
+  // A scaled SM843T (1 GiB physical, 7 % OP) with a 256-MiB page cache and
+  // Linux-default flusher behaviour (tau_expire 30 s, p = 5 s).
+  const sim::SimConfig config = sim::default_sim_config(/*seed=*/1);
+
+  const auto& geom = config.ssd.ftl.geometry;
+  const double total_mib = static_cast<double>(geom.capacity_bytes()) / (1 << 20);
+  const double user_mib = total_mib / (1.0 + config.ssd.ftl.op_ratio);
+  std::printf("device: %.0f MiB user, %.0f MiB OP, %u-page blocks\n", user_mib,
+              total_mib - user_mib, geom.pages_per_block);
+
+  constexpr std::size_t kSeeds = 3;
+  std::printf("YCSB-like workload, %zu seeds, 300 s each:\n\n", kSeeds);
+  std::printf("%-8s %16s %16s %14s\n", "policy", "IOPS", "WAF", "FGC stalls");
+  for (const sim::PolicyKind kind :
+       {sim::PolicyKind::kLazy, sim::PolicyKind::kAggressive, sim::PolicyKind::kJit}) {
+    const sim::CellSummary s = sim::run_cell_multi(config, wl::ycsb_spec(), kind, kSeeds);
+    std::printf("%-8s %9.0f +-%4.0f %11.3f +-%4.3f %8.0f +-%4.0f\n",
+                sim::policy_kind_name(kind).c_str(), s.iops.mean, s.iops.stddev, s.waf.mean,
+                s.waf.stddev, s.fgc_cycles.mean, s.fgc_cycles.stddev);
+  }
+  std::printf("\nThe paper's claim to check: JIT-GC takes the fewest foreground-GC\n"
+              "stalls while keeping write amplification near the lazy policy's.\n");
+  return 0;
+}

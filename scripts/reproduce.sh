@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full reproduction pipeline: build, test, run every table/figure bench.
+#
+#   scripts/reproduce.sh [build-dir]
+#
+# Outputs land in <build-dir>/../test_output.txt and bench_output.txt,
+# matching the files EXPERIMENTS.md was written from.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+cmake -B "$BUILD_DIR" -G Ninja
+cmake --build "$BUILD_DIR"
+
+ctest --test-dir "$BUILD_DIR" 2>&1 | tee test_output.txt
+
+{
+  for b in "$BUILD_DIR"/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    case "$b" in
+      *.cmake|*CMakeFiles*|*CTestTestfile*) continue ;;
+    esac
+    echo "===================================================================="
+    echo "== $(basename "$b")"
+    echo "===================================================================="
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "done: test_output.txt, bench_output.txt"

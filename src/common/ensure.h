@@ -1,0 +1,31 @@
+// Precondition / invariant checking helpers.
+//
+// JITGC_ENSURE is always on (simulation correctness beats the tiny cost of a
+// predictable branch); violations throw so tests can assert on them and so a
+// broken simulation never silently produces numbers.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace jitgc::detail {
+
+[[noreturn]] inline void ensure_failed(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  throw std::logic_error(std::string("JITGC_ENSURE failed: (") + expr + ") at " + file + ":" +
+                         std::to_string(line) + (msg.empty() ? "" : ": " + msg));
+}
+
+}  // namespace jitgc::detail
+
+/// Check an invariant; throws std::logic_error with location info on failure.
+#define JITGC_ENSURE(expr)                                                    \
+  do {                                                                        \
+    if (!(expr)) ::jitgc::detail::ensure_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Check an invariant with an explanatory message.
+#define JITGC_ENSURE_MSG(expr, msg)                                             \
+  do {                                                                          \
+    if (!(expr)) ::jitgc::detail::ensure_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,60 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.h"
+
+namespace jitgc {
+
+Histogram::Histogram(double bin_width, std::size_t num_bins)
+    : bin_width_(bin_width), bins_(num_bins, 0) {
+  JITGC_ENSURE_MSG(bin_width > 0.0, "bin width must be positive");
+  JITGC_ENSURE_MSG(num_bins >= 2, "need the zero bin plus at least one range bin");
+}
+
+std::size_t Histogram::bin_index(double value) const {
+  if (value <= 0.0) return 0;  // dedicated zero bin
+  // Right-closed bins: ((i-1)*w, i*w] -> index ceil(v/w).
+  const auto idx = static_cast<std::size_t>(std::ceil(value / bin_width_));
+  return std::min(idx, bins_.size() - 1);
+}
+
+void Histogram::add(double value) {
+  ++bins_[bin_index(value)];
+  ++total_;
+}
+
+void Histogram::remove(double value) {
+  auto& bin = bins_[bin_index(value)];
+  JITGC_ENSURE_MSG(bin > 0 && total_ > 0, "removing a sample that was never added");
+  --bin;
+  --total_;
+}
+
+double Histogram::value_at_quantile(double q) const {
+  JITGC_ENSURE_MSG(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+  if (total_ == 0) return 0.0;
+  const double target = q * static_cast<double>(total_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    cum += bins_[i];
+    if (static_cast<double>(cum) >= target) return static_cast<double>(i) * bin_width_;
+  }
+  return static_cast<double>(bins_.size() - 1) * bin_width_;
+}
+
+double Histogram::cumulative_at(double v) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t cum = 0;
+  const std::size_t upto = bin_index(v);
+  for (std::size_t i = 0; i <= upto; ++i) cum += bins_[i];
+  return static_cast<double>(cum) / static_cast<double>(total_);
+}
+
+void Histogram::clear() {
+  std::fill(bins_.begin(), bins_.end(), 0);
+  total_ = 0;
+}
+
+}  // namespace jitgc

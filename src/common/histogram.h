@@ -1,0 +1,55 @@
+// Fixed-bin histogram with cumulative queries.
+//
+// This is the substrate under the paper's Cumulative Data Histogram (CDH,
+// §3.2.2): the direct-write predictor records per-interval traffic here and
+// asks for the value at a target cumulative probability (80th percentile).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace jitgc {
+
+/// Histogram over [0, +inf) with uniform-width bins; values beyond the last
+/// bin clamp into it. Supports percentile (inverse-CDF) queries.
+///
+/// Bins are right-closed, matching the paper's Fig. 5 convention: bin 0 is a
+/// dedicated zero bin (values <= 0, upper edge 0 — so all-zero history reads
+/// back as zero demand, not one bin width), and bin i >= 1 covers
+/// ((i-1)*w, i*w]. A sample of exactly 20 MB with 10-MB bins therefore lands
+/// in the bin whose upper edge is 20 MB, and the 80th percentile of
+/// {10,20,20,20,80} is 20.
+class Histogram {
+ public:
+  /// bin_width > 0; num_bins >= 2 (the zero bin plus at least one range bin).
+  Histogram(double bin_width, std::size_t num_bins);
+
+  void add(double value);
+
+  /// Removes one previously-added sample (used by sliding-window CDHs).
+  void remove(double value);
+
+  std::uint64_t total_count() const { return total_; }
+  std::uint64_t bin_count(std::size_t i) const { return bins_.at(i); }
+  std::size_t num_bins() const { return bins_.size(); }
+  double bin_width() const { return bin_width_; }
+
+  /// Smallest bin upper edge v such that P(X <= v) >= q, for q in (0, 1].
+  /// Bin i's upper edge is i * bin_width (the zero bin's edge is 0).
+  /// Returns 0 when the histogram is empty (no evidence -> no demand).
+  double value_at_quantile(double q) const;
+
+  /// Fraction of samples <= v (CDF evaluated at bin granularity).
+  double cumulative_at(double v) const;
+
+  void clear();
+
+ private:
+  std::size_t bin_index(double value) const;
+
+  double bin_width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace jitgc

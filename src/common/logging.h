@@ -1,0 +1,36 @@
+// Minimal leveled logging.
+//
+// Simulation libraries must never write to stdout (benches own stdout for
+// table output); diagnostics go to stderr behind a global level gate.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace jitgc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global gate; default kWarn so simulations are quiet unless asked.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+}  // namespace jitgc
+
+#define JITGC_LOG(level, expr)                                   \
+  do {                                                           \
+    if (static_cast<int>(level) >= static_cast<int>(::jitgc::log_level())) { \
+      std::ostringstream jitgc_log_oss;                          \
+      jitgc_log_oss << expr;                                     \
+      ::jitgc::detail::log_line(level, jitgc_log_oss.str());     \
+    }                                                            \
+  } while (0)
+
+#define JITGC_DEBUG(expr) JITGC_LOG(::jitgc::LogLevel::kDebug, expr)
+#define JITGC_INFO(expr) JITGC_LOG(::jitgc::LogLevel::kInfo, expr)
+#define JITGC_WARN(expr) JITGC_LOG(::jitgc::LogLevel::kWarn, expr)
+#define JITGC_ERROR(expr) JITGC_LOG(::jitgc::LogLevel::kError, expr)

@@ -1,0 +1,66 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace jitgc {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // splitmix64 expansion guarantees a non-zero state for any seed.
+  for (auto& w : s_) w = splitmix64(seed);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  if (bound <= 1) return 0;
+  // Lemire's nearly-divisionless method via 128-bit multiply.
+  while (true) {
+    const std::uint64_t x = (*this)();
+    const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    const std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low >= bound || low >= (-bound) % bound) return static_cast<std::uint64_t>(m >> 64);
+  }
+}
+
+std::uint64_t Rng::uniform_range(std::uint64_t lo, std::uint64_t hi) {
+  return lo + uniform(hi - lo + 1);
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) { return uniform01() < p; }
+
+double Rng::exponential(double mean) {
+  // Inverse CDF; 1 - u avoids log(0).
+  return -mean * std::log(1.0 - uniform01());
+}
+
+Rng Rng::fork() { return Rng((*this)()); }
+
+}  // namespace jitgc

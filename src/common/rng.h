@@ -1,0 +1,50 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// Simulations must be exactly reproducible given a seed, so everything random
+// in jitgc flows through this xoshiro256** engine rather than std::mt19937
+// (whose distributions are not guaranteed identical across standard
+// libraries; ours are implemented here and therefore portable).
+#pragma once
+
+#include <cstdint>
+
+namespace jitgc {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+/// Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state from a single seed using splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Next raw 64-bit output.
+  result_type operator()();
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform_range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p);
+
+  /// Exponentially distributed value with the given mean (for inter-arrival times).
+  double exponential(double mean);
+
+  /// Creates an independent stream (jump-free: reseeds from this stream's output).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace jitgc

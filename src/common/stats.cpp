@@ -1,0 +1,49 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/ensure.h"
+
+namespace jitgc {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::clear() { *this = RunningStats{}; }
+
+double PercentileTracker::percentile(double p) const {
+  JITGC_ENSURE_MSG(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * samples_.size()));
+  return samples_[rank == 0 ? 0 : rank - 1];
+}
+
+double PercentileTracker::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) / samples_.size();
+}
+
+}  // namespace jitgc

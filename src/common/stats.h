@@ -1,0 +1,52 @@
+// Streaming statistics helpers for metrics collection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace jitgc {
+
+/// Welford-style running summary: count / mean / min / max / stddev.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+  void clear();
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Reservoir-free latency recorder: keeps every sample (simulations are
+/// bounded) and answers percentile queries by sorting on demand.
+class PercentileTracker {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+
+  std::size_t count() const { return samples_.size(); }
+
+  /// Nearest-rank percentile, p in [0, 100].
+  double percentile(double p) const;
+  double mean() const;
+
+  void clear() { samples_.clear(); sorted_ = false; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace jitgc

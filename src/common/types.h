@@ -1,0 +1,44 @@
+// Fundamental value types shared by every jitgc library.
+//
+// All simulated time is kept in microseconds as a signed 64-bit count
+// (`TimeUs`); all data quantities are byte counts (`Bytes`) or 4-KiB-style
+// page counts (`Pages`, always relative to an explicit page size).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace jitgc {
+
+/// Simulated time in microseconds since simulation start.
+using TimeUs = std::int64_t;
+
+/// A quantity of data in bytes.
+using Bytes = std::uint64_t;
+
+/// A logical block address, in units of FTL pages (not 512-B sectors).
+using Lba = std::uint64_t;
+
+/// Sentinel for "no LBA" (unmapped physical page, trimmed entry, ...).
+inline constexpr Lba kInvalidLba = std::numeric_limits<Lba>::max();
+
+/// Sentinel for "unmapped" physical page addresses.
+inline constexpr std::uint64_t kUnmapped = std::numeric_limits<std::uint64_t>::max();
+
+inline constexpr TimeUs kUsPerSec = 1'000'000;
+inline constexpr TimeUs kUsPerMs = 1'000;
+
+/// Convert seconds to simulated microseconds.
+constexpr TimeUs seconds(double s) { return static_cast<TimeUs>(s * kUsPerSec); }
+
+/// Convert milliseconds to simulated microseconds.
+constexpr TimeUs milliseconds(double ms) { return static_cast<TimeUs>(ms * kUsPerMs); }
+
+/// Convert a simulated time to (floating-point) seconds for reporting.
+constexpr double to_seconds(TimeUs t) { return static_cast<double>(t) / kUsPerSec; }
+
+inline constexpr Bytes KiB = 1024;
+inline constexpr Bytes MiB = 1024 * KiB;
+inline constexpr Bytes GiB = 1024 * MiB;
+
+}  // namespace jitgc

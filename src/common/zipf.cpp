@@ -1,0 +1,66 @@
+#include "common/zipf.h"
+
+#include <cmath>
+
+#include "common/ensure.h"
+
+namespace jitgc {
+
+double ZipfGenerator::zeta(std::uint64_t n, double theta) {
+  // Exact for small n; Euler-Maclaurin style approximation keeps setup O(1)
+  // for the multi-million-item populations the workloads use.
+  if (n <= 10'000) {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+  }
+  constexpr std::uint64_t kHead = 10'000;
+  double sum = zeta(kHead, theta);
+  // Integral of x^-theta from kHead to n plus midpoint correction.
+  const double a = static_cast<double>(kHead);
+  const double b = static_cast<double>(n);
+  sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) / (1.0 - theta);
+  sum += 0.5 * (std::pow(b, -theta) - std::pow(a, -theta));
+  return sum;
+}
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+  JITGC_ENSURE_MSG(n >= 1, "zipf population must be non-empty");
+  JITGC_ENSURE_MSG(theta >= 0.0 && theta < 1.0, "theta must be in [0, 1)");
+  alpha_ = 1.0 / (1.0 - theta_);
+  zetan_ = zeta(n_, theta_);
+  const double zeta2 = zeta(2, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) / (1.0 - zeta2 / zetan_);
+  half_pow_theta_ = 1.0 + std::pow(0.5, theta_);
+}
+
+std::uint64_t ZipfGenerator::operator()(Rng& rng) {
+  const double u = rng.uniform01();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < half_pow_theta_) return 1;
+  const auto idx = static_cast<std::uint64_t>(static_cast<double>(n_) *
+                                              std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return idx >= n_ ? n_ - 1 : idx;
+}
+
+namespace {
+
+// Smallest odd multiplier pattern: any odd constant is a bijection mod 2^64;
+// we fold into [0, n) with a multiply-shift, which is not a strict bijection
+// but scatters ranks well enough for locality purposes.
+std::uint64_t scatter(std::uint64_t x, std::uint64_t mult, std::uint64_t offset, std::uint64_t n) {
+  const std::uint64_t h = (x + offset) * mult;
+  return static_cast<std::uint64_t>((static_cast<__uint128_t>(h) * n) >> 64);
+}
+
+}  // namespace
+
+ScatteredZipf::ScatteredZipf(std::uint64_t n, double theta, Rng& seed_rng)
+    : zipf_(n, theta), mult_(seed_rng() | 1), offset_(seed_rng()) {}
+
+std::uint64_t ScatteredZipf::operator()(Rng& rng) {
+  return scatter(zipf_(rng), mult_, offset_, zipf_.n());
+}
+
+}  // namespace jitgc

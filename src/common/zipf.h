@@ -1,0 +1,59 @@
+// Zipfian item sampling for workload locality.
+//
+// YCSB-style update-intensive workloads concentrate writes on a hot subset of
+// keys; the paper's WAF dynamics (lazy GC finds mostly-invalid victim blocks,
+// aggressive GC migrates soon-dead pages) depend on exactly this skew, so the
+// generators need a faithful, fast zipfian sampler.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace jitgc {
+
+/// Samples i in [0, n) with P(i) proportional to 1 / (i+1)^theta.
+///
+/// Uses the Gray (1994) analytic approximation also used by YCSB's
+/// ZipfianGenerator: O(1) per sample after O(1) setup, no O(n) tables.
+class ZipfGenerator {
+ public:
+  /// theta in [0, 1): 0 = uniform, 0.99 = YCSB-default heavy skew.
+  ZipfGenerator(std::uint64_t n, double theta);
+
+  std::uint64_t operator()(Rng& rng);
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta);
+
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double half_pow_theta_;
+};
+
+/// Shuffles zipf ranks onto item ids so that "hot" items are scattered across
+/// the address space instead of clustered at low LBAs (matters for GC: real
+/// hot data is spread over the whole device).
+class ScatteredZipf {
+ public:
+  ScatteredZipf(std::uint64_t n, double theta, Rng& seed_rng);
+
+  std::uint64_t operator()(Rng& rng);
+
+  std::uint64_t n() const { return zipf_.n(); }
+
+ private:
+  ZipfGenerator zipf_;
+  // Multiplicative hash parameters for a cheap pseudo-permutation of [0, n).
+  std::uint64_t mult_;
+  std::uint64_t offset_;
+};
+
+}  // namespace jitgc

@@ -1,0 +1,22 @@
+#include "core/accuracy.h"
+
+#include <algorithm>
+
+namespace jitgc::core {
+
+void AccuracyTracker::observe_actual(Bytes actual) {
+  if (pending_.size() < lag_) return;  // the due prediction predates tracking
+  const Bytes predicted = pending_.front();
+  pending_.pop_front();
+
+  if (predicted == 0 && actual == 0) {
+    samples_.add(1.0);
+    return;
+  }
+  const double hi = static_cast<double>(std::max(predicted, actual));
+  const double err =
+      static_cast<double>(predicted > actual ? predicted - actual : actual - predicted);
+  samples_.add(1.0 - err / hi);
+}
+
+}  // namespace jitgc::core

@@ -1,0 +1,45 @@
+// Prediction-accuracy bookkeeping (paper Table 2).
+//
+// A prediction made at tick t targets the interval [t + p, t + 2p) — the
+// first slot of the demand vector — so its ground truth is known two ticks
+// later. The tracker keeps a short queue of outstanding predictions
+// (`lag` deep) and scores each against the actual traffic when it falls due.
+// Accuracy of one interval is 1 - |predicted - actual| / max(predicted,
+// actual); a perfect forecast scores 1, predicting 0 against real traffic
+// (or vice versa) scores 0.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace jitgc::core {
+
+class AccuracyTracker {
+ public:
+  /// `lag`: how many ticks after a prediction its target interval ends.
+  /// 2 for the paper's D^1 slot (predict at t, interval [t+p, t+2p)).
+  explicit AccuracyTracker(std::uint32_t lag = 2) : lag_(lag) {}
+
+  /// Call once per tick, before predict_next: the actual device-level write
+  /// traffic of the interval that just ended. Scores the prediction that
+  /// targeted it, if one is due.
+  void observe_actual(Bytes actual);
+
+  /// Call once per tick with the demand predicted for the interval `lag`
+  /// ticks ahead.
+  void predict_next(Bytes predicted) { pending_.push_back(predicted); }
+
+  /// Mean per-interval accuracy in [0, 1]; 1.0 when nothing was scored yet.
+  double accuracy() const { return samples_.count() ? samples_.mean() : 1.0; }
+  std::uint64_t intervals() const { return samples_.count(); }
+
+ private:
+  std::uint32_t lag_;
+  std::deque<Bytes> pending_;
+  RunningStats samples_;
+};
+
+}  // namespace jitgc::core

@@ -1,0 +1,29 @@
+#include "core/adaptive_policy.h"
+
+namespace jitgc::core {
+
+AdaptivePolicy::AdaptivePolicy(const AdaptivePolicyConfig& config)
+    : config_(config),
+      predictor_(config.cdh, config.quantile),
+      manager_(config.horizon) {}
+
+PolicyDecision AdaptivePolicy::on_interval(const PolicyContext& ctx) {
+  // Device-internal view: total arrivals, type-blind.
+  predictor_.observe_interval(ctx.interval_buffered_flush_bytes + ctx.interval_direct_bytes);
+
+  Prediction prediction;
+  prediction.direct = predictor_.predict();
+  prediction.buffered = DemandVector(prediction.direct.nwb());  // cannot see the page cache
+
+  const JitDecision jd =
+      manager_.decide(prediction, ctx.c_free, BandwidthEstimate{ctx.write_bps, ctx.gc_bps},
+                      ctx.reclaimable_capacity);
+
+  PolicyDecision d;
+  d.reclaim_bytes = jd.idle_reclaim_bytes;
+  d.urgent_reclaim_bytes = jd.reclaim_bytes;
+  d.predicted_horizon_bytes = static_cast<double>(prediction.required_capacity());
+  return d;
+}
+
+}  // namespace jitgc::core

@@ -1,0 +1,37 @@
+// ADP-GC: the adaptive, device-internal baseline (paper §4.2).
+//
+// ADP-GC sizes its reserve dynamically like JIT-GC, but it lives entirely
+// inside the SSD: it sees only device-level write arrivals, cannot tell
+// buffered flushes from direct writes (it feeds *all* traffic into the same
+// CDH predictor JIT-GC uses for direct writes), and has no SIP list.
+#pragma once
+
+#include "core/bgc_policy.h"
+#include "core/cdh.h"
+#include "core/jit_manager.h"
+
+namespace jitgc::core {
+
+struct AdaptivePolicyConfig {
+  CdhConfig cdh;
+  double quantile = 0.8;
+  /// tau_expire: the horizon the reserve must cover.
+  TimeUs horizon = seconds(30);
+};
+
+class AdaptivePolicy final : public BgcPolicy {
+ public:
+  explicit AdaptivePolicy(const AdaptivePolicyConfig& config);
+
+  std::string name() const override { return "ADP-GC"; }
+  PolicyDecision on_interval(const PolicyContext& ctx) override;
+
+  const DirectWritePredictor& predictor() const { return predictor_; }
+
+ private:
+  AdaptivePolicyConfig config_;
+  DirectWritePredictor predictor_;
+  JitGcManager manager_;
+};
+
+}  // namespace jitgc::core

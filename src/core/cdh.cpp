@@ -1,0 +1,55 @@
+#include "core/cdh.h"
+
+#include "common/ensure.h"
+
+namespace jitgc::core {
+
+Cdh::Cdh(const CdhConfig& config)
+    : config_(config),
+      histogram_(static_cast<double>(config.bin_width), config.num_bins) {
+  JITGC_ENSURE_MSG(config_.intervals_per_window >= 1, "window needs at least one interval");
+}
+
+void Cdh::observe_interval(Bytes direct_bytes) {
+  window_.push_back(direct_bytes);
+  window_sum_ += direct_bytes;
+  if (window_.size() < config_.intervals_per_window) return;  // window not yet full
+
+  histogram_.add(static_cast<double>(window_sum_));
+  samples_.push_back(window_sum_);
+  if (config_.max_window_samples != 0 && samples_.size() > config_.max_window_samples) {
+    histogram_.remove(static_cast<double>(samples_.front()));
+    samples_.pop_front();
+  }
+
+  // Slide by one interval: windows overlap, matching "the amount written
+  // over past tau_expire-second intervals" observed every tick.
+  window_sum_ -= window_.front();
+  window_.pop_front();
+}
+
+Bytes Cdh::reserve_for_quantile(double quantile) const {
+  if (histogram_.total_count() == 0) return 0;
+  return static_cast<Bytes>(histogram_.value_at_quantile(quantile));
+}
+
+double Cdh::coverage(Bytes bytes) const {
+  return histogram_.cumulative_at(static_cast<double>(bytes));
+}
+
+DirectWritePredictor::DirectWritePredictor(const CdhConfig& cdh_config, double quantile)
+    : config_(cdh_config), cdh_(cdh_config), quantile_(quantile) {
+  JITGC_ENSURE_MSG(quantile > 0.0 && quantile <= 1.0, "quantile must be in (0, 1]");
+}
+
+DemandVector DirectWritePredictor::predict() const {
+  const std::uint32_t nwb = config_.intervals_per_window;
+  DemandVector d(nwb);
+  const Bytes delta = delta_dir();
+  const Bytes share = delta / nwb;
+  for (std::uint32_t i = 1; i <= nwb; ++i) d.set(i, share);
+  d.add(1, delta - share * nwb);  // remainder keeps the total exact
+  return d;
+}
+
+}  // namespace jitgc::core

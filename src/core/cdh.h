@@ -1,0 +1,85 @@
+// Cumulative Data Histogram of direct-write traffic (paper §3.2.2, Fig. 5).
+//
+// Direct writes bypass the page cache, so their future demand cannot be read
+// out of any kernel structure; JIT-GC instead assumes the near future looks
+// like the recent past. The CDH records how much direct data arrived in each
+// trailing tau_expire-second window (sampled every flusher period) and
+// answers "how much space must I reserve to cover X% of such windows?".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/histogram.h"
+#include "common/types.h"
+#include "core/demand_vector.h"
+
+namespace jitgc::core {
+
+struct CdhConfig {
+  /// Histogram bin width. Fig. 5 uses 10-MB bins on an 240-GB device; scale
+  /// with device size when configuring.
+  Bytes bin_width = 1 * MiB;
+  std::size_t num_bins = 256;
+  /// Number of per-interval observations summed into one window sample
+  /// (Nwb = tau_expire / p).
+  std::uint32_t intervals_per_window = 6;
+  /// Sliding history: old window samples age out so the CDH tracks phase
+  /// changes in the workload. 0 = unbounded history.
+  std::size_t max_window_samples = 512;
+};
+
+/// Sliding-window cumulative data histogram.
+class Cdh {
+ public:
+  explicit Cdh(const CdhConfig& config);
+
+  /// Records the direct-write bytes observed during one write-back interval
+  /// (call once per flusher tick). Internally accumulates a rolling
+  /// tau_expire window and feeds its sum into the histogram.
+  void observe_interval(Bytes direct_bytes);
+
+  /// delta_dir(t): the reserve size covering `quantile` of past windows.
+  /// Returns 0 until at least one full window has been observed.
+  Bytes reserve_for_quantile(double quantile) const;
+
+  /// Fraction of past windows whose traffic was <= `bytes`.
+  double coverage(Bytes bytes) const;
+
+  std::uint64_t window_samples() const { return histogram_.total_count(); }
+  const Histogram& histogram() const { return histogram_; }
+
+ private:
+  CdhConfig config_;
+  Histogram histogram_;
+  /// Trailing per-interval amounts making up the current window.
+  std::deque<Bytes> window_;
+  Bytes window_sum_ = 0;
+  /// Window samples in insertion order, for aging out of the histogram.
+  std::deque<Bytes> samples_;
+};
+
+/// The direct-write demand predictor: CDH + the uniform-spread rule
+/// D^i_dir = delta_dir / Nwb.
+class DirectWritePredictor {
+ public:
+  DirectWritePredictor(const CdhConfig& cdh_config, double quantile = 0.8);
+
+  void observe_interval(Bytes direct_bytes) { cdh_.observe_interval(direct_bytes); }
+
+  /// D_dir(t): delta_dir spread uniformly over the horizon.
+  /// (Integer division remainder is charged to the first interval so the
+  /// vector's total is exactly delta_dir.)
+  DemandVector predict() const;
+
+  Bytes delta_dir() const { return cdh_.reserve_for_quantile(quantile_); }
+  double quantile() const { return quantile_; }
+  const Cdh& cdh() const { return cdh_; }
+
+ private:
+  CdhConfig config_;
+  Cdh cdh_;
+  double quantile_;
+};
+
+}  // namespace jitgc::core

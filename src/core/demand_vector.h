@@ -1,0 +1,51 @@
+// Future write-demand sequences (the paper's D_buf(t) / D_dir(t)).
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/ensure.h"
+#include "common/types.h"
+
+namespace jitgc::core {
+
+/// A sequence (D^1, D^2, ..., D^Nwb) of per-write-back-interval write
+/// demands, in bytes. Index i (1-based, as in the paper) is the demand for
+/// the i-th future interval I^i_wb(t) = [t + i*p, t + (i+1)*p).
+class DemandVector {
+ public:
+  DemandVector() = default;
+  explicit DemandVector(std::uint32_t nwb) : d_(nwb, 0) {}
+  explicit DemandVector(std::vector<Bytes> values) : d_(std::move(values)) {}
+
+  std::uint32_t nwb() const { return static_cast<std::uint32_t>(d_.size()); }
+
+  /// Demand for the i-th future interval, i in [1, Nwb].
+  Bytes at(std::uint32_t i) const {
+    JITGC_ENSURE_MSG(i >= 1 && i <= nwb(), "demand index is 1-based and bounded by Nwb");
+    return d_[i - 1];
+  }
+
+  void add(std::uint32_t i, Bytes amount) {
+    JITGC_ENSURE_MSG(i >= 1 && i <= nwb(), "demand index is 1-based and bounded by Nwb");
+    d_[i - 1] += amount;
+  }
+
+  void set(std::uint32_t i, Bytes amount) {
+    JITGC_ENSURE_MSG(i >= 1 && i <= nwb(), "demand index is 1-based and bounded by Nwb");
+    d_[i - 1] = amount;
+  }
+
+  /// Sum over the whole horizon (the C_req contribution).
+  Bytes total() const { return std::accumulate(d_.begin(), d_.end(), Bytes{0}); }
+
+  const std::vector<Bytes>& values() const { return d_; }
+
+  friend bool operator==(const DemandVector&, const DemandVector&) = default;
+
+ private:
+  std::vector<Bytes> d_;
+};
+
+}  // namespace jitgc::core

@@ -1,0 +1,85 @@
+#include "core/direct_predictors.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace jitgc::core {
+
+std::unique_ptr<DirectDemandEstimator> make_direct_estimator(
+    const DirectEstimatorConfig& config) {
+  switch (config.kind) {
+    case DirectEstimatorKind::kCdh: return std::make_unique<CdhEstimator>(config);
+    case DirectEstimatorKind::kEwma: return std::make_unique<EwmaEstimator>(config);
+    case DirectEstimatorKind::kSlidingMax: return std::make_unique<SlidingMaxEstimator>(config);
+    case DirectEstimatorKind::kLastWindow: return std::make_unique<LastWindowEstimator>(config);
+  }
+  JITGC_ENSURE_MSG(false, "unknown direct estimator kind");
+  return nullptr;
+}
+
+CdhEstimator::CdhEstimator(const DirectEstimatorConfig& config)
+    : predictor_(
+          [&] {
+            CdhConfig cdh = config.cdh;
+            cdh.intervals_per_window = config.intervals_per_window;
+            return cdh;
+          }(),
+          config.cdh_quantile) {}
+
+EwmaEstimator::EwmaEstimator(const DirectEstimatorConfig& config)
+    : alpha_(config.ewma_alpha),
+      margin_(config.ewma_margin),
+      intervals_per_window_(config.intervals_per_window) {
+  JITGC_ENSURE_MSG(alpha_ > 0.0 && alpha_ <= 1.0, "EWMA alpha must be in (0, 1]");
+  JITGC_ENSURE_MSG(margin_ >= 1.0, "EWMA margin below 1 would under-reserve by design");
+}
+
+void EwmaEstimator::observe_interval(Bytes bytes) {
+  window_.push_back(bytes);
+  window_sum_ += bytes;
+  if (window_.size() < intervals_per_window_) return;
+  const double sample = static_cast<double>(window_sum_);
+  ewma_ = primed_ ? (1.0 - alpha_) * ewma_ + alpha_ * sample : sample;
+  primed_ = true;
+  window_sum_ -= window_.front();
+  window_.pop_front();
+}
+
+Bytes EwmaEstimator::estimate() const {
+  return primed_ ? static_cast<Bytes>(ewma_ * margin_) : 0;
+}
+
+SlidingMaxEstimator::SlidingMaxEstimator(const DirectEstimatorConfig& config)
+    : intervals_per_window_(config.intervals_per_window), max_windows_(config.max_windows) {
+  JITGC_ENSURE_MSG(max_windows_ >= 1, "need at least one remembered window");
+}
+
+void SlidingMaxEstimator::observe_interval(Bytes bytes) {
+  window_.push_back(bytes);
+  window_sum_ += bytes;
+  if (window_.size() < intervals_per_window_) return;
+  samples_.push_back(window_sum_);
+  if (samples_.size() > max_windows_) samples_.pop_front();
+  window_sum_ -= window_.front();
+  window_.pop_front();
+}
+
+Bytes SlidingMaxEstimator::estimate() const {
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+LastWindowEstimator::LastWindowEstimator(const DirectEstimatorConfig& config)
+    : intervals_per_window_(config.intervals_per_window) {}
+
+void LastWindowEstimator::observe_interval(Bytes bytes) {
+  window_.push_back(bytes);
+  window_sum_ += bytes;
+  if (window_.size() > intervals_per_window_) {
+    window_sum_ -= window_.front();
+    window_.pop_front();
+  }
+}
+
+}  // namespace jitgc::core

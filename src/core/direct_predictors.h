@@ -1,0 +1,114 @@
+// Alternative estimators for future direct-write demand.
+//
+// The paper picks a CDH percentile (§3.2.2) and notes the idea is standard.
+// These alternatives bound that choice: a mean-tracking EWMA (cheap, no
+// histogram), the max of recent windows (most conservative bounded memory),
+// and last-window persistence (cheapest possible). The ablation bench
+// compares them on the direct-write-heavy workloads where the choice
+// actually matters.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "common/types.h"
+#include "core/cdh.h"
+
+namespace jitgc::core {
+
+/// Estimates delta_dir(t): the reserve needed for the next tau_expire of
+/// direct writes, from per-interval traffic observations.
+class DirectDemandEstimator {
+ public:
+  virtual ~DirectDemandEstimator() = default;
+
+  /// One write-back interval's direct-write bytes.
+  virtual void observe_interval(Bytes bytes) = 0;
+
+  /// Current reserve estimate for a full horizon window.
+  virtual Bytes estimate() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+enum class DirectEstimatorKind { kCdh, kEwma, kSlidingMax, kLastWindow };
+
+struct DirectEstimatorConfig {
+  DirectEstimatorKind kind = DirectEstimatorKind::kCdh;
+  CdhConfig cdh;             ///< for kCdh
+  double cdh_quantile = 0.8; ///< for kCdh
+  /// EWMA smoothing factor (kEwma) applied per window observation.
+  double ewma_alpha = 0.2;
+  /// Safety multiplier on the EWMA mean (reserving the bare mean
+  /// underserves half the windows).
+  double ewma_margin = 1.5;
+  /// Number of trailing windows remembered (kSlidingMax).
+  std::uint32_t max_windows = 16;
+  /// Intervals per horizon window (Nwb), shared by all kinds.
+  std::uint32_t intervals_per_window = 6;
+};
+
+std::unique_ptr<DirectDemandEstimator> make_direct_estimator(const DirectEstimatorConfig& config);
+
+/// CDH percentile — the paper's estimator (adapts DirectWritePredictor).
+class CdhEstimator final : public DirectDemandEstimator {
+ public:
+  explicit CdhEstimator(const DirectEstimatorConfig& config);
+  void observe_interval(Bytes bytes) override { predictor_.observe_interval(bytes); }
+  Bytes estimate() const override { return predictor_.delta_dir(); }
+  const char* name() const override { return "cdh"; }
+
+ private:
+  DirectWritePredictor predictor_;
+};
+
+/// EWMA of the horizon-window sums, with a safety margin.
+class EwmaEstimator final : public DirectDemandEstimator {
+ public:
+  explicit EwmaEstimator(const DirectEstimatorConfig& config);
+  void observe_interval(Bytes bytes) override;
+  Bytes estimate() const override;
+  const char* name() const override { return "ewma"; }
+
+ private:
+  double alpha_;
+  double margin_;
+  std::uint32_t intervals_per_window_;
+  std::deque<Bytes> window_;
+  Bytes window_sum_ = 0;
+  double ewma_ = 0.0;
+  bool primed_ = false;
+};
+
+/// Maximum of the last K horizon windows.
+class SlidingMaxEstimator final : public DirectDemandEstimator {
+ public:
+  explicit SlidingMaxEstimator(const DirectEstimatorConfig& config);
+  void observe_interval(Bytes bytes) override;
+  Bytes estimate() const override;
+  const char* name() const override { return "sliding-max"; }
+
+ private:
+  std::uint32_t intervals_per_window_;
+  std::uint32_t max_windows_;
+  std::deque<Bytes> window_;
+  Bytes window_sum_ = 0;
+  std::deque<Bytes> samples_;
+};
+
+/// The previous horizon window, verbatim.
+class LastWindowEstimator final : public DirectDemandEstimator {
+ public:
+  explicit LastWindowEstimator(const DirectEstimatorConfig& config);
+  void observe_interval(Bytes bytes) override;
+  Bytes estimate() const override { return window_sum_; }
+  const char* name() const override { return "last-window"; }
+
+ private:
+  std::uint32_t intervals_per_window_;
+  std::deque<Bytes> window_;
+  Bytes window_sum_ = 0;
+};
+
+}  // namespace jitgc::core

@@ -1,0 +1,33 @@
+#include "core/fixed_reserve_policy.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace jitgc::core {
+
+FixedReservePolicy::FixedReservePolicy(double reserve_op_multiple, std::string name)
+    : multiple_(reserve_op_multiple), name_(std::move(name)) {
+  JITGC_ENSURE_MSG(multiple_ > 0.0, "reserve multiple must be positive");
+}
+
+std::string FixedReservePolicy::name() const {
+  if (!name_.empty()) return name_;
+  return "FIXED-" + std::to_string(multiple_) + "xOP";
+}
+
+PolicyDecision FixedReservePolicy::on_interval(const PolicyContext& ctx) {
+  PolicyDecision d;
+  Bytes reserve = static_cast<Bytes>(multiple_ * static_cast<double>(ctx.op_capacity));
+  // The paper's restriction: C_resv <= C_unused + C_OP, so an aggressive
+  // policy never asks for more than GC could ever free.
+  if (ctx.reclaimable_capacity > 0) reserve = std::min(reserve, ctx.reclaimable_capacity);
+  if (ctx.c_free < reserve) d.reclaim_bytes = reserve - ctx.c_free;
+  return d;
+}
+
+FixedReservePolicy make_lazy_bgc() { return FixedReservePolicy(0.5, "L-BGC"); }
+
+FixedReservePolicy make_aggressive_bgc() { return FixedReservePolicy(1.5, "A-BGC"); }
+
+}  // namespace jitgc::core

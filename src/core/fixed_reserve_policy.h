@@ -1,0 +1,33 @@
+// Fixed-reserve BGC policies: the L-BGC / A-BGC baselines (paper §2).
+//
+// A fixed-reserve policy maintains C_resv bytes of free space: whenever the
+// device reports less, it schedules background GC to restore the reserve.
+// C_resv < C_OP makes it "lazy", C_resv > C_OP "aggressive"; the paper's
+// named baselines are C_resv = 0.5 x C_OP (L-BGC) and 1.5 x C_OP (A-BGC),
+// and Fig. 2 sweeps the whole range.
+#pragma once
+
+#include "core/bgc_policy.h"
+
+namespace jitgc::core {
+
+class FixedReservePolicy final : public BgcPolicy {
+ public:
+  /// `reserve_op_multiple`: C_resv as a multiple of the OP capacity.
+  explicit FixedReservePolicy(double reserve_op_multiple, std::string name = "");
+
+  std::string name() const override;
+  PolicyDecision on_interval(const PolicyContext& ctx) override;
+
+  double reserve_op_multiple() const { return multiple_; }
+
+ private:
+  double multiple_;
+  std::string name_;
+};
+
+/// The two named baselines.
+FixedReservePolicy make_lazy_bgc();        // L-BGC: 0.5 x C_OP
+FixedReservePolicy make_aggressive_bgc();  // A-BGC: 1.5 x C_OP
+
+}  // namespace jitgc::core

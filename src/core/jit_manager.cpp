@@ -1,0 +1,46 @@
+#include "core/jit_manager.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace jitgc::core {
+
+JitGcManager::JitGcManager(TimeUs horizon) : horizon_(horizon) {
+  JITGC_ENSURE_MSG(horizon_ > 0, "prediction horizon must be positive");
+}
+
+JitDecision JitGcManager::decide(const Prediction& prediction, Bytes c_free,
+                                 const BandwidthEstimate& bw, Bytes max_reserve,
+                                 double measured_idle_s) const {
+  JITGC_ENSURE_MSG(bw.write_bps > 0.0 && bw.gc_bps > 0.0, "bandwidth estimates must be positive");
+
+  JitDecision d;
+  d.c_req = prediction.required_capacity();
+  // Reserving beyond what GC can ever free would only grind nearly-valid
+  // blocks (the paper's C_unused + C_OP cap).
+  if (max_reserve > 0) d.c_req = std::min(d.c_req, max_reserve);
+  d.c_free = c_free;
+
+  if (d.c_free >= d.c_req) return d;  // enough space already reserved
+
+  d.idle_reclaim_bytes = d.c_req - d.c_free;
+
+  const double horizon_s = to_seconds(horizon_);
+  d.t_write_s = static_cast<double>(d.c_req) / bw.write_bps;
+  d.t_idle_s = measured_idle_s >= 0.0 ? measured_idle_s
+                                      : std::max(0.0, horizon_s - d.t_write_s);
+  d.t_gc_s = static_cast<double>(d.c_req - d.c_free) / bw.gc_bps;
+
+  if (d.t_idle_s > d.t_gc_s) return d;  // later intervals have enough idle room: stay lazy
+
+  d.invoke_bgc = true;
+  d.reclaim_bytes = static_cast<Bytes>((d.t_gc_s - d.t_idle_s) * bw.gc_bps);
+  // Never reclaim more than the actual shortfall (guards the T_idle = 0 case
+  // where the formula would ask for the whole C_req - C_free at once — which
+  // is also exactly what is needed, so clamp only the rounding overshoot).
+  d.reclaim_bytes = std::min(d.reclaim_bytes, d.c_req - d.c_free);
+  return d;
+}
+
+}  // namespace jitgc::core

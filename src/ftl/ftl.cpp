@@ -1,0 +1,429 @@
+#include "ftl/ftl.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "common/ensure.h"
+#include "common/logging.h"
+
+namespace jitgc::ftl {
+
+Ftl::Ftl(const FtlConfig& config)
+    : config_(config),
+      nand_(config.geometry, config.timing),
+      policy_(make_victim_policy(config.victim_policy)),
+      map_cache_(config.mapping_cache_pages,
+                 static_cast<std::uint32_t>(config.geometry.page_size / 4)) {
+  JITGC_ENSURE_MSG(config_.min_free_blocks >= 1, "GC needs at least one reserved free block");
+  JITGC_ENSURE_MSG(config_.op_ratio > 0.0, "over-provisioning ratio must be positive");
+
+  const std::uint64_t total = config_.geometry.total_pages();
+  user_pages_ = static_cast<std::uint64_t>(static_cast<double>(total) / (1.0 + config_.op_ratio));
+  op_pages_ = total - user_pages_;
+  JITGC_ENSURE_MSG(op_pages_ >= static_cast<std::uint64_t>(config_.min_free_blocks) *
+                                    config_.geometry.pages_per_block,
+                   "OP space smaller than the GC headroom");
+
+  map_.assign(user_pages_, nand::Ppa{kNoBlock, 0});
+  block_last_update_seq_.assign(nand_.num_blocks(), 0);
+  block_fill_seq_.assign(nand_.num_blocks(), 0);
+  block_sip_count_.assign(nand_.num_blocks(), 0);
+  if (config_.enable_hot_cold_separation) {
+    lba_last_write_seq_.assign(user_pages_, 0);
+    hot_window_ = config_.hot_recency_window ? config_.hot_recency_window : user_pages_ / 8;
+  }
+  for (std::uint32_t b = 0; b < nand_.num_blocks(); ++b) free_pool_.emplace(0, b);
+  free_pages_ = total;
+}
+
+std::uint64_t Ftl::free_pages_for_writes() const {
+  const std::uint64_t reserve =
+      static_cast<std::uint64_t>(config_.min_free_blocks) * config_.geometry.pages_per_block;
+  return free_pages_ > reserve ? free_pages_ - reserve : 0;
+}
+
+bool Ftl::is_mapped(Lba lba) const {
+  JITGC_ENSURE_MSG(lba < user_pages_, "LBA beyond user capacity");
+  return map_[lba].block != kNoBlock;
+}
+
+double Ftl::waf() const {
+  if (stats_.host_pages_written == 0) return 1.0;
+  return static_cast<double>(nand_.stats().page_programs) /
+         static_cast<double>(stats_.host_pages_written);
+}
+
+void Ftl::touch_block(std::uint32_t block_id) { block_last_update_seq_[block_id] = write_seq_; }
+
+void Ftl::note_program(std::uint32_t block_id) {
+  touch_block(block_id);
+  if (nand_.block(block_id).is_full()) block_fill_seq_[block_id] = write_seq_;
+}
+
+TimeUs Ftl::map_access_cost(Lba lba, bool dirty) {
+  const MappingCache::AccessResult r = map_cache_.access(lba, dirty);
+  return static_cast<TimeUs>(r.map_reads) * config_.timing.read_cost() +
+         static_cast<TimeUs>(r.map_writes) * config_.timing.program_cost();
+}
+
+bool Ftl::finish_erase(std::uint32_t block_id) {
+  nand_.erase_block(block_id);
+  block_sip_count_[block_id] = 0;
+  const std::uint64_t limit =
+      config_.enforce_endurance ? config_.timing.endurance_pe_cycles : 0;
+  if (limit != 0 && nand_.block(block_id).erase_count() >= limit) {
+    // Bad-block management: the block has consumed its rated P/E cycles.
+    ++stats_.retired_blocks;
+    return false;
+  }
+  release_to_free_pool(block_id);
+  free_pages_ += config_.geometry.pages_per_block;
+  return true;
+}
+
+std::uint32_t Ftl::allocate_free_block() {
+  if (free_pool_.empty() && config_.enforce_endurance) {
+    throw DeviceWornOut("jitgc::ftl: free pool exhausted after block retirements");
+  }
+  JITGC_ENSURE_MSG(!free_pool_.empty(), "free pool exhausted");
+  const auto it = free_pool_.begin();  // least-worn first: dynamic wear leveling
+  const std::uint32_t id = it->second;
+  free_pool_.erase(it);
+  return id;
+}
+
+void Ftl::release_to_free_pool(std::uint32_t block_id) {
+  free_pool_.emplace(nand_.block(block_id).erase_count(), block_id);
+}
+
+void Ftl::ensure_gc_active_block() {
+  if (gc_active_ != kNoBlock && !nand_.block(gc_active_).is_full()) return;
+  // The min_free_blocks watermark guarantees this allocation succeeds.
+  gc_active_ = allocate_free_block();
+}
+
+TimeUs Ftl::write(Lba lba) {
+  JITGC_ENSURE_MSG(lba < user_pages_, "LBA beyond user capacity");
+
+  bool hot = true;
+  if (config_.enable_hot_cold_separation) {
+    const std::uint64_t last = lba_last_write_seq_[lba];
+    hot = last != 0 && write_seq_ - last < hot_window_;
+    lba_last_write_seq_[lba] = write_seq_ + 1;
+    if (hot) ++stats_.hot_stream_writes;
+  }
+  std::uint32_t& active = (config_.enable_hot_cold_separation && !hot)
+                              ? user_active_cold_
+                              : user_active_;
+  TimeUs cost = map_access_cost(lba, /*dirty=*/true);
+  if (active == kNoBlock || nand_.block(active).is_full()) {
+    if (free_pool_.size() <= config_.min_free_blocks) cost += foreground_collect();
+    active = allocate_free_block();
+  }
+
+  ++write_seq_;
+
+  // Out-place update: invalidate the previous version first.
+  nand::Ppa& entry = map_[lba];
+  if (entry.block != kNoBlock) {
+    nand_.invalidate_page(entry);
+    touch_block(entry.block);
+    if (block_sip_count_[entry.block] > 0 && sip_.contains(lba)) {
+      --block_sip_count_[entry.block];
+    }
+    --valid_pages_;
+  }
+
+  entry = nand_.program_page(active, lba, /*is_migration=*/false);
+  note_program(active);
+  ++valid_pages_;
+  JITGC_ENSURE(free_pages_ > 0);
+  --free_pages_;
+
+  ++stats_.host_pages_written;
+  cost += config_.timing.program_cost();
+  cost += maybe_static_wear_level();
+  return cost;
+}
+
+TimeUs Ftl::read(Lba lba) const {
+  JITGC_ENSURE_MSG(lba < user_pages_, "LBA beyond user capacity");
+  const nand::Ppa entry = map_[lba];
+  auto& self = const_cast<Ftl&>(*this);
+  ++self.stats_.host_pages_read;
+  const TimeUs map_cost = self.map_access_cost(lba, /*dirty=*/false);
+  if (entry.block == kNoBlock) return map_cost + config_.timing.page_transfer_us;
+  self.nand_.read_page(entry);
+  return map_cost + config_.timing.read_cost();
+}
+
+void Ftl::trim(Lba lba) {
+  JITGC_ENSURE_MSG(lba < user_pages_, "LBA beyond user capacity");
+  nand::Ppa& entry = map_[lba];
+  if (entry.block == kNoBlock) return;
+  ++write_seq_;
+  nand_.invalidate_page(entry);
+  touch_block(entry.block);
+  if (block_sip_count_[entry.block] > 0 && sip_.contains(lba)) --block_sip_count_[entry.block];
+  --valid_pages_;
+  entry = nand::Ppa{kNoBlock, 0};
+  ++stats_.trims;
+}
+
+void Ftl::set_sip_list(const std::vector<Lba>& lbas) {
+  sip_.assign(lbas);
+  std::fill(block_sip_count_.begin(), block_sip_count_.end(), 0);
+  for (const Lba lba : lbas) {
+    if (lba >= user_pages_) continue;
+    const nand::Ppa entry = map_[lba];
+    if (entry.block != kNoBlock) ++block_sip_count_[entry.block];
+  }
+}
+
+Ftl::VictimChoice Ftl::select_victim() {
+  ++stats_.victim_selections;
+
+  double best_raw = std::numeric_limits<double>::infinity();
+  std::uint32_t best_raw_block = kNoBlock;
+  double best_adj = std::numeric_limits<double>::infinity();
+  std::uint32_t best_adj_block = kNoBlock;
+
+  const std::uint32_t ppb = config_.geometry.pages_per_block;
+  for (std::uint32_t b = 0; b < nand_.num_blocks(); ++b) {
+    if (b == user_active_ || b == user_active_cold_ || b == gc_active_) continue;
+    const nand::Block& blk = nand_.block(b);
+    // Victims are fully-programmed blocks with something to reclaim.
+    if (!blk.is_full() || blk.invalid_count() == 0) continue;
+
+    VictimCandidate cand{.block_id = b,
+                         .valid_pages = blk.valid_count(),
+                         .pages_per_block = ppb,
+                         .last_update_seq = block_last_update_seq_[b],
+                         .fill_seq = block_fill_seq_[b],
+                         .sip_pages = block_sip_count_[b]};
+    const double raw = policy_->score(cand, write_seq_);
+    if (raw < best_raw) {
+      best_raw = raw;
+      best_raw_block = b;
+    }
+
+    double adjusted = raw;
+    if (config_.enable_sip_filter && cand.sip_pages > 0) {
+      // Re-score with SIP pages weighted as extra cost: migrating them is
+      // wasted work, so the candidate looks (sip_penalty x sip) pages worse.
+      VictimCandidate penalized = cand;
+      const double extra = config_.sip_penalty * static_cast<double>(cand.sip_pages);
+      penalized.valid_pages =
+          static_cast<std::uint32_t>(std::min<double>(ppb, cand.valid_pages + extra));
+      adjusted = policy_->score(penalized, write_seq_);
+    }
+    if (adjusted < best_adj) {
+      best_adj = adjusted;
+      best_adj_block = b;
+    }
+  }
+
+  if (!config_.enable_sip_filter) return VictimChoice{best_raw_block, false};
+  const bool filtered = best_adj_block != best_raw_block && best_adj_block != kNoBlock;
+  if (filtered) ++stats_.sip_filtered_selections;
+  return VictimChoice{best_adj_block, filtered};
+}
+
+GcResult Ftl::collect_block(std::uint32_t victim, bool foreground) {
+  // A full-cycle collection of the incremental collector's block supersedes
+  // the in-flight incremental work.
+  if (victim == bgc_victim_) {
+    bgc_victim_ = kNoBlock;
+    bgc_victim_cursor_ = 0;
+  }
+
+  GcResult result;
+  result.collected = true;
+  result.victim_block = victim;
+
+  const nand::Block& blk = nand_.block(victim);
+  const std::uint32_t ppb = config_.geometry.pages_per_block;
+
+  for (std::uint32_t p = 0; p < ppb; ++p) {
+    if (blk.page_state(p) != nand::PageState::kValid) continue;
+    const Lba lba = blk.page_lba(p);
+    JITGC_ENSURE_MSG(map_[lba] == (nand::Ppa{victim, p}), "mapping/OOB disagreement");
+
+    ensure_gc_active_block();
+    ++write_seq_;
+    result.time_us += map_access_cost(lba, /*dirty=*/true);
+    nand_.invalidate_page(nand::Ppa{victim, p});
+    map_[lba] = nand_.program_page(gc_active_, lba, /*is_migration=*/true);
+    note_program(gc_active_);
+    // Migration consumes a free page; the erase below returns ppb of them.
+    JITGC_ENSURE(free_pages_ > 0);
+    --free_pages_;
+    if (sip_.contains(lba)) ++block_sip_count_[gc_active_];
+    ++result.migrated_pages;
+    result.time_us += config_.timing.migrate_cost();
+  }
+
+  const bool usable = finish_erase(victim);
+  result.time_us += config_.timing.block_erase_us;
+  result.freed_pages = usable ? ppb - result.migrated_pages : 0;
+
+  ++stats_.gc_cycles;
+  if (foreground) {
+    ++stats_.foreground_gc_cycles;
+    stats_.foreground_gc_time_us += result.time_us;
+  } else {
+    ++stats_.background_gc_cycles;
+  }
+  return result;
+}
+
+TimeUs Ftl::foreground_collect() {
+  TimeUs total = 0;
+  while (free_pool_.size() <= config_.min_free_blocks) {
+    const VictimChoice choice = select_victim();
+    if (choice.block == kNoBlock) {
+      if (config_.enforce_endurance) {
+        throw DeviceWornOut("jitgc::ftl: no collectible victim left (device worn out)");
+      }
+      throw std::runtime_error("jitgc::ftl: device out of space (no collectible victim)");
+    }
+    JITGC_ENSURE(nand_.block(choice.block).invalid_count() > 0);
+    GcResult r = collect_block(choice.block, /*foreground=*/true);
+    if (choice.sip_filtered) r.sip_filtered = true;
+    total += r.time_us;
+  }
+  return total;
+}
+
+GcResult Ftl::background_collect_once() {
+  const VictimChoice choice = select_victim();
+  if (choice.block == kNoBlock) return GcResult{};  // nothing to collect
+  // Useless-BGC guard (see background_collect_step).
+  const nand::Block& cand = nand_.block(choice.block);
+  const double valid_frac =
+      static_cast<double>(cand.valid_count()) / static_cast<double>(cand.pages_per_block());
+  if (cand.invalid_count() == 0 || valid_frac > config_.bgc_valid_threshold) return GcResult{};
+  GcResult r = collect_block(choice.block, /*foreground=*/false);
+  r.sip_filtered = choice.sip_filtered;
+  return r;
+}
+
+Ftl::GcStep Ftl::background_collect_step(std::uint32_t max_pages) {
+  GcStep step;
+  if (max_pages == 0) return step;
+
+  if (bgc_victim_ == kNoBlock) {
+    const VictimChoice choice = select_victim();
+    if (choice.block == kNoBlock) return step;
+    const nand::Block& cand = nand_.block(choice.block);
+    // Useless-BGC guard: nearly-full-valid victims burn endurance for
+    // almost nothing; leave them until they self-invalidate (or until
+    // foreground GC has no choice).
+    const double valid_frac =
+        static_cast<double>(cand.valid_count()) / static_cast<double>(cand.pages_per_block());
+    if (cand.invalid_count() == 0 || valid_frac > config_.bgc_valid_threshold) return step;
+    bgc_victim_ = choice.block;
+    bgc_victim_cursor_ = 0;
+    step.sip_filtered = choice.sip_filtered;
+  }
+
+  const std::uint32_t ppb = config_.geometry.pages_per_block;
+  const nand::Block& blk = nand_.block(bgc_victim_);
+
+  while (bgc_victim_cursor_ < ppb && step.migrated < max_pages) {
+    const std::uint32_t p = bgc_victim_cursor_++;
+    if (blk.page_state(p) != nand::PageState::kValid) continue;
+    const Lba lba = blk.page_lba(p);
+    JITGC_ENSURE_MSG(map_[lba] == (nand::Ppa{bgc_victim_, p}), "mapping/OOB disagreement");
+
+    ensure_gc_active_block();
+    ++write_seq_;
+    step.time_us += map_access_cost(lba, /*dirty=*/true);
+    nand_.invalidate_page(nand::Ppa{bgc_victim_, p});
+    map_[lba] = nand_.program_page(gc_active_, lba, /*is_migration=*/true);
+    note_program(gc_active_);
+    JITGC_ENSURE(free_pages_ > 0);
+    --free_pages_;
+    if (sip_.contains(lba)) ++block_sip_count_[gc_active_];
+    ++step.migrated;
+    step.time_us += config_.timing.migrate_cost();
+  }
+  step.progressed = true;
+
+  if (blk.valid_count() == 0) {
+    const std::uint32_t victim = bgc_victim_;
+    bgc_victim_ = kNoBlock;
+    bgc_victim_cursor_ = 0;
+    const bool usable = finish_erase(victim);
+    step.time_us += config_.timing.block_erase_us;
+    step.erased = true;
+    step.freed_pages = usable ? ppb : 0;  // gross gain; migrations already paid
+    ++stats_.gc_cycles;
+    ++stats_.background_gc_cycles;
+  }
+  return step;
+}
+
+TimeUs Ftl::background_reclaim(std::uint64_t target_pages) {
+  TimeUs total = 0;
+  const std::uint64_t goal = free_pages_ + target_pages;
+  while (free_pages_ < goal) {
+    const GcResult r = background_collect_once();
+    if (!r.collected || r.freed_pages == 0) break;  // no forward progress possible
+    total += r.time_us;
+  }
+  return total;
+}
+
+TimeUs Ftl::maybe_static_wear_level() {
+  if (!config_.enable_static_wear_leveling) return 0;
+  if (free_pool_.empty()) return 0;
+
+  // Spread check: most-worn free block vs. least-worn fully-valid block.
+  // Only fully-valid blocks qualify as WL sources: they are the cold data
+  // that never self-invalidates, and migrating them leaves the destination
+  // completely full (keeping free-page accounting exact).
+  const std::uint64_t max_free_wear = free_pool_.rbegin()->first;
+  std::uint32_t coldest = kNoBlock;
+  std::uint64_t coldest_wear = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint32_t b = 0; b < nand_.num_blocks(); ++b) {
+    if (b == user_active_ || b == user_active_cold_ || b == gc_active_) continue;
+    const nand::Block& blk = nand_.block(b);
+    if (!blk.is_full() || blk.valid_count() != blk.pages_per_block()) continue;
+    if (blk.erase_count() < coldest_wear) {
+      coldest_wear = blk.erase_count();
+      coldest = b;
+    }
+  }
+  if (coldest == kNoBlock) return 0;
+  if (max_free_wear < coldest_wear + config_.wl_spread_threshold) return 0;
+
+  // Move the cold block's data into the most-worn free block so the cold
+  // block (which rarely self-invalidates) starts absorbing erases.
+  const auto hot_it = std::prev(free_pool_.end());
+  const std::uint32_t dest = hot_it->second;
+  free_pool_.erase(hot_it);
+
+  TimeUs cost = 0;
+  const nand::Block& src = nand_.block(coldest);
+  const std::uint32_t ppb = config_.geometry.pages_per_block;
+  for (std::uint32_t p = 0; p < ppb; ++p) {
+    if (src.page_state(p) != nand::PageState::kValid) continue;
+    const Lba lba = src.page_lba(p);
+    ++write_seq_;
+    nand_.invalidate_page(nand::Ppa{coldest, p});
+    map_[lba] = nand_.program_page(dest, lba, /*is_migration=*/true);
+    JITGC_ENSURE(free_pages_ > 0);
+    --free_pages_;
+    cost += config_.timing.migrate_cost();
+  }
+  note_program(dest);
+  block_sip_count_[dest] += block_sip_count_[coldest];
+  finish_erase(coldest);
+  cost += config_.timing.block_erase_us;
+  ++stats_.wear_level_moves;
+  return cost;
+}
+
+}  // namespace jitgc::ftl

@@ -1,0 +1,277 @@
+// Page-mapped Flash Translation Layer with over-provisioning, foreground and
+// background garbage collection, SIP-aware victim selection and wear leveling.
+//
+// This is the device-side substrate of the reproduction: the SM843T's FTL as
+// the paper depends on it (Fig. 3) — address remapping, a garbage collector
+// extended to honor a SIP list, and the free-capacity query the JIT-GC
+// manager polls.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "ftl/mapping_cache.h"
+#include "ftl/sip_index.h"
+#include "ftl/victim_policy.h"
+#include "nand/nand_device.h"
+
+namespace jitgc::ftl {
+
+/// Thrown when endurance enforcement is on and the device can no longer
+/// serve writes: enough blocks have worn out that no free block (or GC
+/// victim) exists. The harness catches this to measure lifetime (TBW).
+class DeviceWornOut : public std::runtime_error {
+ public:
+  explicit DeviceWornOut(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct FtlConfig {
+  nand::Geometry geometry = nand::small_geometry();
+  nand::TimingParams timing = nand::timing_20nm_mlc();
+  /// Over-provisioning as a fraction of user capacity (SM843T: 7 %).
+  double op_ratio = 0.07;
+  /// Free-block low watermark: a host write that would leave at most this
+  /// many free blocks triggers foreground GC first. Must be >= 1 so GC
+  /// always has a migration destination.
+  std::uint32_t min_free_blocks = 2;
+  VictimPolicyKind victim_policy = VictimPolicyKind::kGreedy;
+  /// Honor the SIP list when selecting victims (JIT-GC's extended collector).
+  bool enable_sip_filter = false;
+  /// Weight of a SIP page in victim scoring. A soon-to-be-invalidated page
+  /// migrated now is pure waste, so each one counts as this many extra valid
+  /// pages against the candidate — steering GC away from SIP-heavy blocks
+  /// without hard-banning them (the paper: "tends to avoid" such blocks).
+  double sip_penalty = 2.0;
+  /// Background GC refuses victims whose valid fraction exceeds this: they
+  /// cost nearly a block of migrations for almost no reclaimed space (the
+  /// paper's "useless BGC operations" that the C_resv cap exists to avoid).
+  /// Foreground GC ignores it — when the device is out of space it must
+  /// take whatever the policy scores best.
+  double bgc_valid_threshold = 0.85;
+  /// Static wear leveling: move cold data when erase-count spread exceeds
+  /// wl_spread_threshold. Off by default so GC experiments attribute every
+  /// migration to the GC policy under test.
+  bool enable_static_wear_leveling = false;
+  std::uint64_t wl_spread_threshold = 64;
+  /// Enforce the NAND's endurance rating (timing.endurance_pe_cycles): a
+  /// block erased past its rating is retired (bad-block management), and
+  /// the device throws DeviceWornOut once it can no longer serve writes.
+  bool enforce_endurance = false;
+  /// Hot/cold data separation: route recently-rewritten LBAs to a separate
+  /// active block so hot pages die together (lower-WAF victims).
+  bool enable_hot_cold_separation = false;
+  /// An LBA rewritten within this many host writes counts as hot
+  /// (0 = auto: user_pages / 8).
+  std::uint64_t hot_recency_window = 0;
+  /// DFTL-style cached mapping: number of translation pages held in RAM
+  /// (0 = whole map in DRAM, the SM843T configuration). When enabled, map
+  /// misses cost a flash read and dirty evictions a program.
+  std::uint32_t mapping_cache_pages = 0;
+};
+
+/// Outcome of one GC cycle (one victim block).
+struct GcResult {
+  bool collected = false;          ///< false: no eligible victim existed
+  std::uint32_t victim_block = 0;
+  std::uint32_t migrated_pages = 0;
+  std::uint32_t freed_pages = 0;   ///< net free-page gain (pages_per_block - migrated)
+  TimeUs time_us = 0;
+  bool sip_filtered = false;       ///< the unfiltered winner was vetoed by the SIP list
+};
+
+struct FtlStats {
+  std::uint64_t host_pages_written = 0;
+  std::uint64_t host_pages_read = 0;
+  std::uint64_t trims = 0;
+  std::uint64_t gc_cycles = 0;
+  std::uint64_t foreground_gc_cycles = 0;
+  std::uint64_t background_gc_cycles = 0;
+  std::uint64_t victim_selections = 0;
+  /// Selections where the SIP veto changed the chosen victim (Table 3).
+  std::uint64_t sip_filtered_selections = 0;
+  std::uint64_t wear_level_moves = 0;
+  /// Blocks retired by bad-block management (endurance enforcement).
+  std::uint64_t retired_blocks = 0;
+  /// Host writes routed to the hot stream (hot/cold separation).
+  std::uint64_t hot_stream_writes = 0;
+  /// Time spent inside foreground GC (stalls user writes).
+  TimeUs foreground_gc_time_us = 0;
+};
+
+/// Page-mapped FTL over a NandDevice.
+///
+/// All host I/O is in whole FTL pages (the sim layers translate byte sizes).
+/// Methods return the NAND time charged so the service model can advance the
+/// simulated clock.
+class Ftl {
+ public:
+  explicit Ftl(const FtlConfig& config);
+
+  // -- Host datapath ---------------------------------------------------------
+
+  /// Writes one page at `lba`. Runs foreground GC first when free blocks are
+  /// at the watermark; that stall time is included in the returned cost.
+  TimeUs write(Lba lba);
+
+  /// Reads one page. Unmapped LBAs cost a transfer only (device returns zeros).
+  TimeUs read(Lba lba) const;
+
+  /// Drops the mapping for `lba` (no NAND time).
+  void trim(Lba lba);
+
+  // -- Extended host interface (the paper's custom SG_IO commands) -----------
+
+  /// Replaces the SIP list used by the extended garbage collector.
+  void set_sip_list(const std::vector<Lba>& lbas);
+
+  /// Enables/disables SIP-aware victim selection (the simulator flips this
+  /// to match the active BGC policy's capabilities).
+  void set_sip_filter_enabled(bool on) { config_.enable_sip_filter = on; }
+
+  /// Runs one background-GC cycle; respects the SIP filter if enabled.
+  GcResult background_collect_once();
+
+  /// Incremental (preemptible) background GC: migrates at most `max_pages`
+  /// valid pages of the current BGC victim (selecting one first if needed)
+  /// and erases the block once it holds no valid data. Real controllers
+  /// interleave exactly such steps between host requests; the simulator uses
+  /// this to fill millisecond-scale idle gaps.
+  struct GcStep {
+    bool progressed = false;       ///< false: nothing collectible
+    std::uint32_t migrated = 0;
+    std::uint32_t freed_pages = 0; ///< > 0 only when the erase completed
+    bool erased = false;
+    TimeUs time_us = 0;
+    bool sip_filtered = false;     ///< set on the step that selected a victim
+  };
+  GcStep background_collect_step(std::uint32_t max_pages);
+
+  /// Background-reclaims until at least `target_pages` of additional free
+  /// space exist (or no victim is eligible). Returns total time spent.
+  TimeUs background_reclaim(std::uint64_t target_pages);
+
+  // -- Capacity queries -------------------------------------------------------
+
+  std::uint64_t user_pages() const { return user_pages_; }
+  Bytes user_capacity() const { return user_pages_ * page_size(); }
+  Bytes op_capacity() const { return op_pages_ * page_size(); }
+  Bytes page_size() const { return config_.geometry.page_size; }
+  std::uint32_t pages_per_block() const { return config_.geometry.pages_per_block; }
+
+  /// Total free (programmable) pages, including GC headroom.
+  std::uint64_t free_pages() const { return free_pages_; }
+
+  /// Free pages available to host writes before foreground GC would trigger
+  /// (the C_free(t) the JIT-GC manager queries).
+  std::uint64_t free_pages_for_writes() const;
+  Bytes free_bytes_for_writes() const { return free_pages_for_writes() * page_size(); }
+
+  /// Pages currently holding valid user data.
+  std::uint64_t valid_pages() const { return valid_pages_; }
+
+  /// Pages holding stale data (reclaimable by GC).
+  std::uint64_t invalid_pages() const {
+    return config_.geometry.total_pages() - free_pages_ - valid_pages_;
+  }
+
+  /// Upper bound on the free space GC could ever establish: current free
+  /// pages plus everything invalid (the paper's C_unused + C_OP bound).
+  Bytes reclaimable_capacity() const {
+    return (free_pages_for_writes() + invalid_pages()) * page_size();
+  }
+
+  bool is_mapped(Lba lba) const;
+
+  // -- Introspection ----------------------------------------------------------
+
+  const FtlConfig& config() const { return config_; }
+  const FtlStats& stats() const { return stats_; }
+  const nand::NandDevice& nand() const { return nand_; }
+  const SipIndex& sip_index() const { return sip_; }
+  const MappingCache& mapping_cache() const { return map_cache_; }
+
+  /// Write amplification factor: NAND page programs / host page writes.
+  double waf() const;
+
+ private:
+  static constexpr std::uint32_t kNoBlock = UINT32_MAX;
+
+  struct VictimChoice {
+    std::uint32_t block = kNoBlock;
+    bool sip_filtered = false;
+  };
+
+  /// Picks a GC victim; returns kNoBlock when nothing is collectible.
+  VictimChoice select_victim();
+
+  /// Erases `block` and either returns it to the free pool or retires it
+  /// (endurance). Returns true if the block stays usable.
+  bool finish_erase(std::uint32_t block);
+
+  /// Migrates all valid pages out of `victim`, erases it, returns result.
+  GcResult collect_block(std::uint32_t victim, bool foreground);
+
+  /// Runs foreground GC until the free pool is above the watermark.
+  TimeUs foreground_collect();
+
+  void ensure_gc_active_block();
+
+  /// Takes the least-worn block from the free pool.
+  std::uint32_t allocate_free_block();
+  void release_to_free_pool(std::uint32_t block_id);
+
+  void touch_block(std::uint32_t block_id);
+  /// Post-program bookkeeping: recency touch + fill-sequence stamp.
+  void note_program(std::uint32_t block_id);
+  /// Charges the mapping-cache cost of touching `lba`'s L2P entry.
+  TimeUs map_access_cost(Lba lba, bool dirty);
+  TimeUs maybe_static_wear_level();
+
+  FtlConfig config_;
+  nand::NandDevice nand_;
+  std::unique_ptr<VictimPolicy> policy_;
+
+  std::uint64_t user_pages_ = 0;
+  std::uint64_t op_pages_ = 0;
+
+  /// L2P mapping; block == kNoBlock means unmapped.
+  std::vector<nand::Ppa> map_;
+
+  /// Free (fully-erased) blocks ordered by (erase_count, id) for dynamic
+  /// wear leveling.
+  std::set<std::pair<std::uint64_t, std::uint32_t>> free_pool_;
+
+  std::uint32_t user_active_ = kNoBlock;
+  /// Second user stream under hot/cold separation (cold data).
+  std::uint32_t user_active_cold_ = kNoBlock;
+  std::uint32_t gc_active_ = kNoBlock;
+  /// Block the incremental background collector is currently cleaning.
+  std::uint32_t bgc_victim_ = kNoBlock;
+  /// Next page index to examine within bgc_victim_.
+  std::uint32_t bgc_victim_cursor_ = 0;
+
+  std::uint64_t free_pages_ = 0;
+  std::uint64_t valid_pages_ = 0;
+  std::uint64_t write_seq_ = 0;
+
+  std::vector<std::uint64_t> block_last_update_seq_;
+  /// Host-write sequence number at which each block became full (FIFO).
+  std::vector<std::uint64_t> block_fill_seq_;
+  /// Per-block count of valid pages on the SIP list (rebuilt per interval).
+  std::vector<std::uint32_t> block_sip_count_;
+  /// Last write sequence per LBA (hot/cold classification); empty unless
+  /// separation is enabled.
+  std::vector<std::uint64_t> lba_last_write_seq_;
+  std::uint64_t hot_window_ = 0;
+
+  SipIndex sip_;
+  MappingCache map_cache_;
+  FtlStats stats_;
+};
+
+}  // namespace jitgc::ftl

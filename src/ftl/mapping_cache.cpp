@@ -1,0 +1,54 @@
+#include "ftl/mapping_cache.h"
+
+#include "common/ensure.h"
+
+namespace jitgc::ftl {
+
+MappingCache::MappingCache(std::uint32_t capacity_pages, std::uint32_t entries_per_page)
+    : capacity_(capacity_pages), entries_per_page_(entries_per_page) {
+  JITGC_ENSURE_MSG(entries_per_page_ > 0, "translation page must hold at least one entry");
+}
+
+MappingCache::AccessResult MappingCache::access(Lba lba, bool dirty) {
+  AccessResult result;
+  if (capacity_ == 0) return result;  // full map in DRAM: free
+
+  ++stats_.lookups;
+  const std::uint64_t tpage = lba / entries_per_page_;
+
+  const auto it = map_.find(tpage);
+  if (it != map_.end()) {
+    ++stats_.hits;
+    // Move to MRU position; accumulate the dirty bit.
+    it->second->dirty |= dirty;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return result;
+  }
+
+  ++stats_.misses;
+  result.hit = false;
+  result.map_reads = 1;  // fetch the translation page from flash
+
+  if (map_.size() >= capacity_) {
+    const Entry& victim = lru_.back();
+    if (victim.dirty) {
+      ++stats_.dirty_writebacks;
+      result.map_writes = 1;
+    }
+    map_.erase(victim.tpage);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{tpage, dirty});
+  map_.emplace(tpage, lru_.begin());
+  return result;
+}
+
+void MappingCache::flush() {
+  for (const Entry& e : lru_) {
+    if (e.dirty) ++stats_.dirty_writebacks;
+  }
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace jitgc::ftl

@@ -1,0 +1,75 @@
+// DFTL-style cached mapping table (CMT).
+//
+// Enterprise SSDs like the paper's SM843T hold the whole page-level map in
+// DRAM (the default here: cache disabled). Resource-constrained FTLs keep
+// the map in flash "translation pages" and cache recently-used ones in RAM:
+// a miss costs a translation-page read, and evicting a dirty cached page
+// costs a program. This model charges those costs and tracks hit rates so
+// experiments can quantify how mapping pressure interacts with GC policy.
+//
+// Granularity is the translation page: one flash page holds
+// page_size / 4 bytes-per-entry consecutive L2P entries.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace jitgc::ftl {
+
+struct MappingCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t dirty_writebacks = 0;
+
+  double hit_rate() const {
+    return lookups ? static_cast<double>(hits) / static_cast<double>(lookups) : 1.0;
+  }
+};
+
+/// LRU cache of translation pages with dirty-bit writeback accounting.
+class MappingCache {
+ public:
+  /// `capacity_pages`: cached translation pages (0 disables the model —
+  /// every access hits). `entries_per_page`: L2P entries per translation
+  /// page (page_size / 4 for 32-bit PPAs).
+  MappingCache(std::uint32_t capacity_pages, std::uint32_t entries_per_page);
+
+  struct AccessResult {
+    bool hit = true;
+    /// Translation-page reads caused by this access (0 or 1).
+    std::uint32_t map_reads = 0;
+    /// Translation-page programs caused by eviction (0 or 1).
+    std::uint32_t map_writes = 0;
+  };
+
+  /// Touches the translation page covering `lba`; `dirty` marks it modified
+  /// (mapping update vs pure lookup).
+  AccessResult access(Lba lba, bool dirty);
+
+  bool enabled() const { return capacity_ > 0; }
+  std::size_t cached_pages() const { return map_.size(); }
+  const MappingCacheStats& stats() const { return stats_; }
+
+  /// Drops everything (e.g. after bulk invalidation); dirty pages are
+  /// written back and counted.
+  void flush();
+
+ private:
+  struct Entry {
+    std::uint64_t tpage;
+    bool dirty;
+  };
+
+  std::uint32_t capacity_;
+  std::uint32_t entries_per_page_;
+  /// LRU list, most recent at front, with an index into it.
+  std::list<Entry> lru_;
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map_;
+  MappingCacheStats stats_;
+};
+
+}  // namespace jitgc::ftl

@@ -1,0 +1,39 @@
+// Soon-to-be-Invalidated Page (SIP) index.
+//
+// The buffered-write predictor scans the page cache and reports the LBAs of
+// dirty data (paper §3.2.1): the on-SSD versions of those LBAs will be
+// overwritten when the cache flushes, so migrating them during GC is wasted
+// work. The extended garbage collector consults this index when picking
+// victims (§3.3, Table 3).
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace jitgc::ftl {
+
+/// A set of LBAs expected to be invalidated shortly.
+class SipIndex {
+ public:
+  SipIndex() = default;
+  explicit SipIndex(const std::vector<Lba>& lbas) : set_(lbas.begin(), lbas.end()) {}
+
+  void insert(Lba lba) { set_.insert(lba); }
+  bool contains(Lba lba) const { return set_.contains(lba); }
+  std::size_t size() const { return set_.size(); }
+  bool empty() const { return set_.empty(); }
+  void clear() { set_.clear(); }
+
+  /// Replaces the whole list (the predictor re-sends it every interval).
+  void assign(const std::vector<Lba>& lbas) {
+    set_.clear();
+    set_.insert(lbas.begin(), lbas.end());
+  }
+
+ private:
+  std::unordered_set<Lba> set_;
+};
+
+}  // namespace jitgc::ftl

@@ -1,0 +1,73 @@
+#include "ftl/victim_policy.h"
+
+#include <limits>
+
+#include "common/ensure.h"
+
+namespace jitgc::ftl {
+
+double GreedyVictimPolicy::score(const VictimCandidate& c, std::uint64_t /*now_seq*/) const {
+  return static_cast<double>(c.valid_pages);
+}
+
+double CostBenefitVictimPolicy::score(const VictimCandidate& c, std::uint64_t now_seq) const {
+  const double u =
+      static_cast<double>(c.valid_pages) / static_cast<double>(c.pages_per_block);
+  const double age =
+      static_cast<double>(now_seq >= c.last_update_seq ? now_seq - c.last_update_seq : 0) + 1.0;
+  if (u <= 0.0) return -std::numeric_limits<double>::infinity();  // free cleaning: best possible
+  const double benefit = age * (1.0 - u) / (2.0 * u);
+  return -benefit;  // collector minimizes
+}
+
+double FifoVictimPolicy::score(const VictimCandidate& c, std::uint64_t /*now_seq*/) const {
+  return static_cast<double>(c.fill_seq);
+}
+
+namespace {
+
+/// splitmix64-style hash of (block, decision epoch): uniform and
+/// reproducible. The epoch is coarse so one GC decision sees one ordering.
+std::uint64_t epoch_hash(std::uint32_t block_id, std::uint64_t now_seq) {
+  std::uint64_t x = (static_cast<std::uint64_t>(block_id) << 32) ^ (now_seq >> 8);
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double RandomVictimPolicy::score(const VictimCandidate& c, std::uint64_t now_seq) const {
+  return static_cast<double>(epoch_hash(c.block_id, now_seq));
+}
+
+SampledGreedyVictimPolicy::SampledGreedyVictimPolicy(double sample_fraction)
+    : sample_fraction_(sample_fraction) {
+  JITGC_ENSURE_MSG(sample_fraction_ > 0.0 && sample_fraction_ <= 1.0,
+                   "sample fraction must be in (0, 1]");
+}
+
+double SampledGreedyVictimPolicy::score(const VictimCandidate& c, std::uint64_t now_seq) const {
+  // Out-of-sample candidates score behind every in-sample one (but remain
+  // ordered, so selection still works if the sample came up empty).
+  const bool sampled =
+      (epoch_hash(c.block_id, now_seq) % 1'000'000) <
+      static_cast<std::uint64_t>(sample_fraction_ * 1e6);
+  const double base = static_cast<double>(c.valid_pages);
+  return sampled ? base : base + 2.0 * static_cast<double>(c.pages_per_block);
+}
+
+std::unique_ptr<VictimPolicy> make_victim_policy(VictimPolicyKind kind) {
+  switch (kind) {
+    case VictimPolicyKind::kGreedy: return std::make_unique<GreedyVictimPolicy>();
+    case VictimPolicyKind::kCostBenefit: return std::make_unique<CostBenefitVictimPolicy>();
+    case VictimPolicyKind::kFifo: return std::make_unique<FifoVictimPolicy>();
+    case VictimPolicyKind::kRandom: return std::make_unique<RandomVictimPolicy>();
+    case VictimPolicyKind::kSampledGreedy: return std::make_unique<SampledGreedyVictimPolicy>();
+  }
+  JITGC_ENSURE_MSG(false, "unknown victim policy kind");
+  return nullptr;
+}
+
+}  // namespace jitgc::ftl

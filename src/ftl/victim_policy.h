@@ -1,0 +1,79 @@
+// GC victim-block selection policies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace jitgc::ftl {
+
+/// Snapshot of a candidate block the policy scores.
+struct VictimCandidate {
+  std::uint32_t block_id = 0;
+  std::uint32_t valid_pages = 0;
+  std::uint32_t pages_per_block = 0;
+  /// Host-write sequence number when this block last changed (programmed or
+  /// invalidated); the scorer derives "age" from it.
+  std::uint64_t last_update_seq = 0;
+  /// Host-write sequence number when this block became fully programmed.
+  std::uint64_t fill_seq = 0;
+  /// Valid pages that appear in the current SIP list.
+  std::uint32_t sip_pages = 0;
+};
+
+enum class VictimPolicyKind { kGreedy, kCostBenefit, kFifo, kRandom, kSampledGreedy };
+
+/// Scores candidates; the collector picks the lowest score.
+class VictimPolicy {
+ public:
+  virtual ~VictimPolicy() = default;
+
+  /// Lower is better. `now_seq` is the current host-write sequence number.
+  virtual double score(const VictimCandidate& c, std::uint64_t now_seq) const = 0;
+};
+
+/// Fewest valid pages wins: minimizes migrations for this cycle.
+class GreedyVictimPolicy final : public VictimPolicy {
+ public:
+  double score(const VictimCandidate& c, std::uint64_t now_seq) const override;
+};
+
+/// Kawaguchi-style cost-benefit: maximize age * (1-u) / 2u; balances cheap
+/// cleaning against letting hot blocks keep self-invalidating.
+class CostBenefitVictimPolicy final : public VictimPolicy {
+ public:
+  double score(const VictimCandidate& c, std::uint64_t now_seq) const override;
+};
+
+/// Oldest-filled block first. Cleaning in fill order gives hot pages a full
+/// rotation to die but ignores how many actually did — a classic baseline.
+class FifoVictimPolicy final : public VictimPolicy {
+ public:
+  double score(const VictimCandidate& c, std::uint64_t now_seq) const override;
+};
+
+/// Uniformly (pseudo-)random victim — the degenerate baseline that bounds
+/// how much victim selection matters at all. Deterministic given
+/// (block, now_seq) so simulations stay reproducible.
+class RandomVictimPolicy final : public VictimPolicy {
+ public:
+  double score(const VictimCandidate& c, std::uint64_t now_seq) const override;
+};
+
+/// Greedy over a pseudo-random sample of the candidates ("d-choices"):
+/// real firmware bounds the victim scan by sampling instead of scoring
+/// every block. Near-greedy WAF at a fraction of the scan cost; also a
+/// robustness check that the results do not hinge on a perfect global scan.
+class SampledGreedyVictimPolicy final : public VictimPolicy {
+ public:
+  /// `sample_fraction` of candidates participate per decision epoch.
+  explicit SampledGreedyVictimPolicy(double sample_fraction = 0.25);
+
+  double score(const VictimCandidate& c, std::uint64_t now_seq) const override;
+
+ private:
+  double sample_fraction_;
+};
+
+std::unique_ptr<VictimPolicy> make_victim_policy(VictimPolicyKind kind);
+
+}  // namespace jitgc::ftl

@@ -1,0 +1,90 @@
+#include "host/page_cache.h"
+
+#include "common/ensure.h"
+
+namespace jitgc::host {
+
+PageCache::PageCache(const PageCacheConfig& config) : config_(config) {
+  JITGC_ENSURE_MSG(config_.flush_period > 0, "flusher period must be positive");
+  JITGC_ENSURE_MSG(config_.tau_expire % config_.flush_period == 0,
+                   "tau_expire must be a multiple of the flusher period (paper assumption)");
+  JITGC_ENSURE_MSG(config_.tau_flush_fraction > 0.0 && config_.tau_flush_fraction <= 1.0,
+                   "tau_flush fraction must be in (0, 1]");
+}
+
+void PageCache::write(Lba lba, TimeUs now) {
+  auto [it, inserted] = by_lba_.try_emplace(lba);
+  if (!inserted) {
+    // Overwrite of dirty data: absorbed in RAM, age resets (Fig. 4's B -> B').
+    by_age_.erase(it->second.order_key);
+    ++absorbed_;
+  }
+  const OrderKey key{now, next_seq_++};
+  it->second = Entry{now, key};
+  by_age_.emplace(key, lba);
+}
+
+Lba PageCache::pop_oldest() {
+  JITGC_ENSURE(!by_age_.empty());
+  const auto it = by_age_.begin();
+  const Lba lba = it->second;
+  by_age_.erase(it);
+  by_lba_.erase(lba);
+  ++pages_flushed_;
+  return lba;
+}
+
+std::vector<Lba> PageCache::flusher_tick(TimeUs now, std::size_t max_pages) {
+  std::vector<Lba> out;
+
+  // Condition 1: evict everything whose age reached tau_expire.
+  while (!by_age_.empty() && out.size() < max_pages) {
+    const TimeUs last_update = by_age_.begin()->first.first;
+    if (now - last_update < config_.tau_expire) break;
+    out.push_back(pop_oldest());
+  }
+
+  // Condition 2: dirty total above the flush threshold -> write back oldest
+  // first until we are under it again.
+  while (dirty_bytes() > config_.tau_flush_bytes() && out.size() < max_pages) {
+    out.push_back(pop_oldest());
+  }
+
+  return out;
+}
+
+std::vector<Lba> PageCache::evict_oldest(std::size_t max_pages) {
+  std::vector<Lba> out;
+  while (!by_age_.empty() && out.size() < max_pages) out.push_back(pop_oldest());
+  return out;
+}
+
+std::vector<Lba> PageCache::flush_all() {
+  std::vector<Lba> out;
+  out.reserve(by_age_.size());
+  while (!by_age_.empty()) out.push_back(pop_oldest());
+  return out;
+}
+
+std::size_t PageCache::discard(Lba lba, std::uint64_t pages) {
+  std::size_t discarded = 0;
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    const auto it = by_lba_.find(lba + i);
+    if (it == by_lba_.end()) continue;
+    by_age_.erase(it->second.order_key);
+    by_lba_.erase(it);
+    ++discarded;
+  }
+  return discarded;
+}
+
+std::vector<DirtyPage> PageCache::scan_dirty() const {
+  std::vector<DirtyPage> out;
+  out.reserve(by_age_.size());
+  for (const auto& [key, lba] : by_age_) {
+    out.push_back(DirtyPage{lba, key.first});
+  }
+  return out;
+}
+
+}  // namespace jitgc::host

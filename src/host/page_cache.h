@@ -1,0 +1,110 @@
+// Write-back page cache with Linux flusher-thread semantics.
+//
+// This models exactly the behaviour the paper's buffered-write predictor
+// exploits (§3.2.1): dirty data ages in the cache; the flusher thread wakes
+// every `p` seconds and evicts data that is (1) older than tau_expire since
+// its last update, and additionally evicts oldest-first while (2) the total
+// dirty size exceeds the tau_flush threshold. An overwrite of a dirty page
+// resets its age (the B -> B' case in Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace jitgc::host {
+
+struct PageCacheConfig {
+  Bytes page_size = 4 * KiB;
+  /// Total cache capacity (the paper's host has 8 GiB RAM).
+  Bytes capacity = 512 * MiB;
+  /// Dirty data older than this is flushed at the next flusher tick.
+  TimeUs tau_expire = seconds(30);
+  /// Second flush condition: dirty total above this fraction of capacity
+  /// triggers oldest-first writeback down to the threshold.
+  double tau_flush_fraction = 0.10;
+  /// Flusher thread period `p`.
+  TimeUs flush_period = seconds(5);
+
+  Bytes tau_flush_bytes() const {
+    return static_cast<Bytes>(tau_flush_fraction * static_cast<double>(capacity));
+  }
+  /// Nwb = tau_expire / p: the prediction horizon in write-back intervals.
+  std::uint32_t intervals_per_horizon() const {
+    return static_cast<std::uint32_t>(tau_expire / flush_period);
+  }
+};
+
+/// One dirty page as seen by the predictor's scan.
+struct DirtyPage {
+  Lba lba = 0;
+  TimeUs last_update = 0;
+};
+
+/// The page cache. Holds dirty pages only (clean caching does not affect
+/// write-demand dynamics); reads of a dirty page hit in RAM.
+class PageCache {
+ public:
+  explicit PageCache(const PageCacheConfig& config);
+
+  const PageCacheConfig& config() const { return config_; }
+
+  /// Buffered write of one page: lands in the cache and (re)starts its age.
+  void write(Lba lba, TimeUs now);
+
+  bool is_dirty(Lba lba) const { return by_lba_.contains(lba); }
+  std::uint64_t dirty_pages() const { return by_lba_.size(); }
+  Bytes dirty_bytes() const { return dirty_pages() * config_.page_size; }
+
+  /// Runs the flusher thread at time `now`: applies both flush conditions and
+  /// returns the evicted LBAs (oldest first) for writing to the device.
+  /// `max_pages` bounds the writeback to what the device can absorb this
+  /// interval; pages beyond it stay dirty with their ages intact (writeback
+  /// is paced by the device, not by the cache).
+  std::vector<Lba> flusher_tick(TimeUs now, std::size_t max_pages = SIZE_MAX);
+
+  /// Synchronous writeback of the oldest dirty pages (Linux
+  /// balance_dirty_pages analog: a throttled writer pushes old dirty data
+  /// out itself). Returns the evicted LBAs, oldest first.
+  std::vector<Lba> evict_oldest(std::size_t max_pages);
+
+  /// Drops dirty pages in [lba, lba + pages) without writing them back
+  /// (file deletion / TRIM: the data is dead). Returns pages discarded.
+  std::size_t discard(Lba lba, std::uint64_t pages);
+
+  /// Forces everything out (unmount / sync / end of run).
+  std::vector<Lba> flush_all();
+
+  /// Snapshot of all dirty pages, oldest first — the predictor's "scan of
+  /// the page cache".
+  std::vector<DirtyPage> scan_dirty() const;
+
+  /// Total data ever flushed to the device (for write-breakdown accounting).
+  std::uint64_t pages_flushed() const { return pages_flushed_; }
+  /// Buffered writes absorbed by overwriting an already-dirty page.
+  std::uint64_t absorbed_overwrites() const { return absorbed_; }
+
+ private:
+  /// Age-order key: (last_update, insertion seq) — unique per entry.
+  using OrderKey = std::pair<TimeUs, std::uint64_t>;
+
+  struct Entry {
+    TimeUs last_update = 0;
+    OrderKey order_key{};
+  };
+
+  Lba pop_oldest();
+
+  PageCacheConfig config_;
+  std::unordered_map<Lba, Entry> by_lba_;
+  /// Dirty pages ordered by last-update time (ties broken by insertion seq).
+  std::map<OrderKey, Lba> by_age_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t pages_flushed_ = 0;
+  std::uint64_t absorbed_ = 0;
+};
+
+}  // namespace jitgc::host

@@ -1,0 +1,77 @@
+// Per-block state: page states, write pointer, endurance counters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ensure.h"
+#include "common/types.h"
+
+namespace jitgc::nand {
+
+enum class PageState : std::uint8_t { kFree, kValid, kInvalid };
+
+/// One erase block. Enforces NAND constraints: pages program strictly
+/// in order within a block; only erase returns pages to free.
+class Block {
+ public:
+  explicit Block(std::uint32_t pages_per_block)
+      : states_(pages_per_block, PageState::kFree), lbas_(pages_per_block, kInvalidLba) {}
+
+  std::uint32_t pages_per_block() const { return static_cast<std::uint32_t>(states_.size()); }
+
+  /// Next page to program; == pages_per_block() when the block is full.
+  std::uint32_t write_pointer() const { return write_ptr_; }
+  bool is_full() const { return write_ptr_ == pages_per_block(); }
+  bool is_erased() const { return write_ptr_ == 0; }
+
+  std::uint32_t valid_count() const { return valid_count_; }
+  std::uint32_t invalid_count() const { return write_ptr_ - valid_count_; }
+  std::uint32_t free_count() const { return pages_per_block() - write_ptr_; }
+  std::uint64_t erase_count() const { return erase_count_; }
+
+  PageState page_state(std::uint32_t page) const { return states_.at(page); }
+
+  /// LBA stored in a page's out-of-band area (valid pages only).
+  Lba page_lba(std::uint32_t page) const { return lbas_.at(page); }
+
+  /// Programs the next page in sequence with user data for `lba`.
+  /// Returns the programmed page index.
+  std::uint32_t program(Lba lba) {
+    JITGC_ENSURE_MSG(!is_full(), "programming a full block");
+    const std::uint32_t page = write_ptr_++;
+    JITGC_ENSURE(states_[page] == PageState::kFree);
+    states_[page] = PageState::kValid;
+    lbas_[page] = lba;
+    ++valid_count_;
+    return page;
+  }
+
+  /// Marks a previously-valid page invalid (its LBA was overwritten/trimmed).
+  void invalidate(std::uint32_t page) {
+    JITGC_ENSURE_MSG(states_.at(page) == PageState::kValid, "invalidating a non-valid page");
+    states_[page] = PageState::kInvalid;
+    lbas_[page] = kInvalidLba;
+    JITGC_ENSURE(valid_count_ > 0);
+    --valid_count_;
+  }
+
+  /// Erases the whole block, freeing every page and bumping the wear counter.
+  /// Valid pages must have been migrated first.
+  void erase() {
+    JITGC_ENSURE_MSG(valid_count_ == 0, "erasing a block that still holds valid data");
+    std::fill(states_.begin(), states_.end(), PageState::kFree);
+    std::fill(lbas_.begin(), lbas_.end(), kInvalidLba);
+    write_ptr_ = 0;
+    ++erase_count_;
+  }
+
+ private:
+  std::vector<PageState> states_;
+  std::vector<Lba> lbas_;
+  std::uint32_t write_ptr_ = 0;
+  std::uint32_t valid_count_ = 0;
+  std::uint64_t erase_count_ = 0;
+};
+
+}  // namespace jitgc::nand

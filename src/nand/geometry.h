@@ -1,0 +1,75 @@
+// Physical organization of a NAND flash device.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ensure.h"
+#include "common/types.h"
+
+namespace jitgc::nand {
+
+/// Physical page address: (block, page-in-block). The FTL's mapping unit.
+struct Ppa {
+  std::uint32_t block = 0;
+  std::uint32_t page = 0;
+
+  friend bool operator==(const Ppa&, const Ppa&) = default;
+};
+
+/// Device shape. Channels/dies/planes determine the parallelism factor the
+/// service model uses for effective bandwidth; blocks/pages determine
+/// capacity and GC granularity.
+struct Geometry {
+  std::uint32_t channels = 4;
+  std::uint32_t dies_per_channel = 2;
+  std::uint32_t planes_per_die = 2;
+  std::uint32_t blocks_per_plane = 256;
+  std::uint32_t pages_per_block = 256;
+  Bytes page_size = 4 * KiB;
+
+  std::uint32_t total_planes() const { return channels * dies_per_channel * planes_per_die; }
+  std::uint32_t total_blocks() const { return total_planes() * blocks_per_plane; }
+  std::uint64_t total_pages() const {
+    return static_cast<std::uint64_t>(total_blocks()) * pages_per_block;
+  }
+  Bytes block_size() const { return static_cast<Bytes>(pages_per_block) * page_size; }
+  Bytes capacity_bytes() const { return total_pages() * page_size; }
+
+  /// Number of operations the device can service concurrently.
+  std::uint32_t parallelism() const { return total_planes(); }
+
+  // -- Physical placement of blocks -------------------------------------------
+  // Blocks are striped round-robin across planes: consecutive block ids land
+  // on different planes, so an FTL allocating blocks in id order naturally
+  // spreads load (and the multi-queue service model overlaps their ops).
+
+  std::uint32_t plane_of_block(std::uint32_t block_id) const {
+    return block_id % total_planes();
+  }
+  std::uint32_t die_of_block(std::uint32_t block_id) const {
+    return plane_of_block(block_id) / planes_per_die;
+  }
+  std::uint32_t channel_of_block(std::uint32_t block_id) const {
+    return die_of_block(block_id) / dies_per_channel;
+  }
+  std::uint32_t total_dies() const { return channels * dies_per_channel; }
+
+  void validate() const {
+    JITGC_ENSURE_MSG(channels && dies_per_channel && planes_per_die, "empty geometry");
+    JITGC_ENSURE_MSG(blocks_per_plane && pages_per_block, "empty geometry");
+    JITGC_ENSURE_MSG(page_size >= 512, "page size below sector size");
+  }
+};
+
+/// Scaled-down default for fast experiments: 1024 blocks x 256 pages x 4 KiB
+/// = 1 GiB physical. Benches scale this up via blocks_per_plane.
+inline Geometry small_geometry() {
+  return Geometry{.channels = 2,
+                  .dies_per_channel = 2,
+                  .planes_per_die = 1,
+                  .blocks_per_plane = 256,
+                  .pages_per_block = 256,
+                  .page_size = 4 * KiB};
+}
+
+}  // namespace jitgc::nand

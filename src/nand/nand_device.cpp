@@ -1,0 +1,60 @@
+#include "nand/nand_device.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace jitgc::nand {
+
+NandDevice::NandDevice(const Geometry& geometry, const TimingParams& timing)
+    : geom_(geometry), timing_(timing) {
+  geom_.validate();
+  blocks_.reserve(geom_.total_blocks());
+  for (std::uint32_t i = 0; i < geom_.total_blocks(); ++i) {
+    blocks_.emplace_back(geom_.pages_per_block);
+  }
+}
+
+Lba NandDevice::read_page(const Ppa& ppa) {
+  const Block& blk = blocks_.at(ppa.block);
+  JITGC_ENSURE_MSG(blk.page_state(ppa.page) == PageState::kValid, "reading a non-valid page");
+  ++stats_.page_reads;
+  stats_.busy_time_us += timing_.read_cost();
+  return blk.page_lba(ppa.page);
+}
+
+Ppa NandDevice::program_page(std::uint32_t block_id, Lba lba, bool is_migration) {
+  Block& blk = blocks_.at(block_id);
+  const std::uint32_t page = blk.program(lba);
+  ++stats_.page_programs;
+  if (is_migration) {
+    ++stats_.page_migrations;
+    stats_.busy_time_us += timing_.migrate_cost();
+  } else {
+    stats_.busy_time_us += timing_.program_cost();
+  }
+  return Ppa{block_id, page};
+}
+
+void NandDevice::invalidate_page(const Ppa& ppa) { blocks_.at(ppa.block).invalidate(ppa.page); }
+
+void NandDevice::erase_block(std::uint32_t block_id) {
+  blocks_.at(block_id).erase();
+  ++stats_.block_erases;
+  stats_.busy_time_us += timing_.block_erase_us;
+}
+
+std::uint64_t NandDevice::max_erase_count() const {
+  std::uint64_t mx = 0;
+  for (const Block& b : blocks_) mx = std::max(mx, b.erase_count());
+  return mx;
+}
+
+double NandDevice::mean_erase_count() const {
+  if (blocks_.empty()) return 0.0;
+  const auto total = std::accumulate(
+      blocks_.begin(), blocks_.end(), std::uint64_t{0},
+      [](std::uint64_t acc, const Block& b) { return acc + b.erase_count(); });
+  return static_cast<double>(total) / static_cast<double>(blocks_.size());
+}
+
+}  // namespace jitgc::nand

@@ -1,0 +1,64 @@
+// Whole-device NAND model: blocks + timing + endurance accounting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nand/block.h"
+#include "nand/geometry.h"
+#include "nand/timing.h"
+
+namespace jitgc::nand {
+
+/// Cumulative operation counters (the raw material for WAF and lifetime).
+struct NandStats {
+  std::uint64_t page_reads = 0;
+  std::uint64_t page_programs = 0;
+  std::uint64_t page_migrations = 0;  // subset of programs issued by GC copyback
+  std::uint64_t block_erases = 0;
+  TimeUs busy_time_us = 0;  // sum of raw op latencies (pre-parallelism)
+};
+
+/// A NAND flash device: an array of erase blocks with op-level timing.
+///
+/// The device enforces flash constraints (erase-before-write, sequential
+/// in-block programming) and charges each operation its latency; it does not
+/// know about LBAs' meaning — that is the FTL's job. Parallelism is exposed
+/// via geometry for the service model; operations here are accounted
+/// sequentially.
+class NandDevice {
+ public:
+  NandDevice(const Geometry& geometry, const TimingParams& timing);
+
+  const Geometry& geometry() const { return geom_; }
+  const TimingParams& timing() const { return timing_; }
+  const NandStats& stats() const { return stats_; }
+
+  const Block& block(std::uint32_t id) const { return blocks_.at(id); }
+  std::uint32_t num_blocks() const { return static_cast<std::uint32_t>(blocks_.size()); }
+
+  /// Reads one page; returns the stored LBA and charges read latency.
+  Lba read_page(const Ppa& ppa);
+
+  /// Programs the next free page of `block_id` with `lba`; returns its PPA
+  /// and charges program latency. `is_migration` tags GC copyback traffic.
+  Ppa program_page(std::uint32_t block_id, Lba lba, bool is_migration = false);
+
+  /// Invalidates a valid page (no latency: it is a metadata update).
+  void invalidate_page(const Ppa& ppa);
+
+  /// Erases a block (all pages must be invalid) and charges erase latency.
+  void erase_block(std::uint32_t block_id);
+
+  /// Max and mean erase counts across blocks (wear-leveling quality).
+  std::uint64_t max_erase_count() const;
+  double mean_erase_count() const;
+
+ private:
+  Geometry geom_;
+  TimingParams timing_;
+  std::vector<Block> blocks_;
+  NandStats stats_;
+};
+
+}  // namespace jitgc::nand

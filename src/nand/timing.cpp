@@ -1,0 +1,29 @@
+#include "nand/timing.h"
+
+namespace jitgc::nand {
+
+TimingParams timing_130nm_slc() {
+  return TimingParams{.page_read_us = 25,
+                      .page_program_us = 200,
+                      .block_erase_us = 1500,
+                      .page_transfer_us = 25,
+                      .endurance_pe_cycles = 100'000};
+}
+
+TimingParams timing_25nm_mlc() {
+  return TimingParams{.page_read_us = 75,
+                      .page_program_us = 2300,
+                      .block_erase_us = 5000,
+                      .page_transfer_us = 50,
+                      .endurance_pe_cycles = 3'000};
+}
+
+TimingParams timing_20nm_mlc() {
+  return TimingParams{.page_read_us = 60,
+                      .page_program_us = 1300,
+                      .block_erase_us = 4000,
+                      .page_transfer_us = 40,
+                      .endurance_pe_cycles = 3'000};
+}
+
+}  // namespace jitgc::nand

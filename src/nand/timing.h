@@ -1,0 +1,46 @@
+// NAND operation timing parameter sets.
+//
+// The paper motivates JIT-GC with the generational trend: 130-nm SLC-era
+// chips programmed a 64-page block's pages in 0.2 ms each, while 25-nm MLC
+// programs take 2.3 ms across 384-page blocks, so a GC-induced stall grows by
+// an order of magnitude. These presets let experiments span that range.
+#pragma once
+
+#include "common/types.h"
+
+namespace jitgc::nand {
+
+/// Per-operation latencies plus channel transfer cost for one page, and the
+/// process node's endurance rating.
+struct TimingParams {
+  TimeUs page_read_us = 50;
+  TimeUs page_program_us = 1300;
+  TimeUs block_erase_us = 3000;
+  /// Bus transfer of one page between controller and die.
+  TimeUs page_transfer_us = 40;
+  /// Rated program/erase cycles per block (0 = not modeled). Scaling from
+  /// ~100k (SLC) to ~3k (20-nm MLC) is the "long lifetimes" pressure the
+  /// paper's title refers to.
+  std::uint64_t endurance_pe_cycles = 0;
+
+  TimeUs read_cost() const { return page_read_us + page_transfer_us; }
+  TimeUs program_cost() const { return page_program_us + page_transfer_us; }
+  /// On-device copyback during GC: read + program (transfer stays internal).
+  TimeUs migrate_cost() const { return page_read_us + page_program_us; }
+};
+
+/// 130-nm SLC generation (paper §1: 0.2 ms program, 64 pages/block).
+TimingParams timing_130nm_slc();
+
+/// 25-nm MLC generation (paper §1: 2.3 ms program, 384 pages/block).
+TimingParams timing_25nm_mlc();
+
+/// 20-nm MLC, the SM843T's process node; used as the experiment default.
+TimingParams timing_20nm_mlc();
+
+/// Matching pages-per-block for each preset (callers combine with Geometry).
+inline constexpr std::uint32_t kPagesPerBlock130nm = 64;
+inline constexpr std::uint32_t kPagesPerBlock25nm = 384;
+inline constexpr std::uint32_t kPagesPerBlock20nm = 256;
+
+}  // namespace jitgc::nand

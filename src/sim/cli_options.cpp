@@ -1,0 +1,321 @@
+#include "sim/cli_options.h"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+#include "workload/file_workload.h"
+#include "workload/specs.h"
+#include "workload/trace.h"
+
+namespace jitgc::sim {
+namespace {
+
+bool parse_double(const std::string& value, double& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stod(value, &pos);
+    return pos == value.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_u64(const std::string& value, std::uint64_t& out) {
+  const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), out);
+  return ec == std::errc{} && ptr == value.data() + value.size();
+}
+
+std::optional<PolicyKind> parse_policy(const std::string& name) {
+  if (name == "lazy" || name == "l-bgc") return PolicyKind::kLazy;
+  if (name == "aggressive" || name == "a-bgc") return PolicyKind::kAggressive;
+  if (name == "adaptive" || name == "adp-gc") return PolicyKind::kAdaptive;
+  if (name == "jit" || name == "jit-gc") return PolicyKind::kJit;
+  if (name == "fixed") return PolicyKind::kFixedReserve;
+  return std::nullopt;
+}
+
+std::optional<ftl::VictimPolicyKind> parse_victim(const std::string& name) {
+  if (name == "greedy") return ftl::VictimPolicyKind::kGreedy;
+  if (name == "cost-benefit") return ftl::VictimPolicyKind::kCostBenefit;
+  if (name == "fifo") return ftl::VictimPolicyKind::kFifo;
+  if (name == "random") return ftl::VictimPolicyKind::kRandom;
+  if (name == "sampled-greedy") return ftl::VictimPolicyKind::kSampledGreedy;
+  return std::nullopt;
+}
+
+std::optional<wl::WorkloadSpec> find_benchmark(const std::string& name) {
+  for (const auto& spec : wl::paper_benchmark_specs()) {
+    std::string lowered = spec.name;
+    for (char& c : lowered) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    // Accept "bonnie" for "bonnie++", "tpcc" for "tpc-c", etc.
+    if (lowered == name) return spec;
+    std::string stripped;
+    for (const char c : lowered) {
+      if (std::isalnum(static_cast<unsigned char>(c))) stripped.push_back(c);
+    }
+    std::string wanted;
+    for (const char c : name) {
+      if (std::isalnum(static_cast<unsigned char>(c))) wanted.push_back(c);
+    }
+    if (stripped == wanted) return spec;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::string& error) {
+  CliOptions opt;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto eq = arg.find('=');
+    const std::string key = eq == std::string::npos ? arg : arg.substr(0, eq);
+    const std::string value = eq == std::string::npos ? "" : arg.substr(eq + 1);
+
+    const auto need_value = [&]() -> bool {
+      if (value.empty()) {
+        error = key + " requires a value (use " + key + "=<value>)";
+        return false;
+      }
+      return true;
+    };
+
+    if (key == "--help" || key == "-h") {
+      opt.show_help = true;
+    } else if (key == "--workload") {
+      if (!need_value()) return std::nullopt;
+      opt.workload = value;
+    } else if (key == "--trace") {
+      if (!need_value()) return std::nullopt;
+      opt.trace_path = value;
+    } else if (key == "--trace-buffered") {
+      if (!need_value() || !parse_double(value, opt.trace_buffered_fraction)) {
+        error = "--trace-buffered needs a fraction in [0,1]";
+        return std::nullopt;
+      }
+    } else if (key == "--policy") {
+      if (!need_value()) return std::nullopt;
+      const auto policy = parse_policy(value);
+      if (!policy) {
+        error = "unknown policy '" + value + "' (lazy|aggressive|adaptive|jit|fixed)";
+        return std::nullopt;
+      }
+      opt.policy = *policy;
+    } else if (key == "--reserve") {
+      if (!need_value() || !parse_double(value, opt.fixed_reserve_multiple) ||
+          opt.fixed_reserve_multiple <= 0.0) {
+        error = "--reserve needs a positive C_resv/C_OP multiple";
+        return std::nullopt;
+      }
+    } else if (key == "--seconds") {
+      if (!need_value() || !parse_double(value, opt.seconds) || opt.seconds <= 0.0) {
+        error = "--seconds needs a positive duration";
+        return std::nullopt;
+      }
+    } else if (key == "--seed") {
+      if (!need_value() || !parse_u64(value, opt.seed)) {
+        error = "--seed needs an unsigned integer";
+        return std::nullopt;
+      }
+    } else if (key == "--blocks-per-plane") {
+      std::uint64_t v = 0;
+      if (!need_value() || !parse_u64(value, v) || v == 0) {
+        error = "--blocks-per-plane needs a positive integer";
+        return std::nullopt;
+      }
+      opt.blocks_per_plane = static_cast<std::uint32_t>(v);
+    } else if (key == "--pages-per-block") {
+      std::uint64_t v = 0;
+      if (!need_value() || !parse_u64(value, v) || v == 0) {
+        error = "--pages-per-block needs a positive integer";
+        return std::nullopt;
+      }
+      opt.pages_per_block = static_cast<std::uint32_t>(v);
+    } else if (key == "--op-ratio") {
+      if (!need_value() || !parse_double(value, opt.op_ratio) || opt.op_ratio <= 0.0) {
+        error = "--op-ratio needs a positive fraction";
+        return std::nullopt;
+      }
+    } else if (key == "--endurance") {
+      if (!need_value() || !parse_u64(value, opt.endurance_pe_cycles)) {
+        error = "--endurance needs a P/E cycle count";
+        return std::nullopt;
+      }
+    } else if (key == "--victim") {
+      if (!need_value()) return std::nullopt;
+      const auto victim = parse_victim(value);
+      if (!victim) {
+        error = "unknown victim policy '" + value +
+                "' (greedy|cost-benefit|fifo|random|sampled-greedy)";
+        return std::nullopt;
+      }
+      opt.victim_policy = *victim;
+    } else if (key == "--hot-cold") {
+      opt.hot_cold_separation = true;
+    } else if (key == "--measured-idle") {
+      opt.use_measured_idle = true;
+    } else if (key == "--service-queues") {
+      std::uint64_t v = 0;
+      if (!need_value() || !parse_u64(value, v)) {
+        error = "--service-queues needs 0 (per-plane) or a queue count";
+        return std::nullopt;
+      }
+      opt.service_queues = static_cast<std::uint32_t>(v);
+    } else if (key == "--bgc-rate-limit") {
+      if (!need_value() || !parse_double(value, opt.bgc_rate_limit_bps) ||
+          opt.bgc_rate_limit_bps < 0.0) {
+        error = "--bgc-rate-limit needs bytes/s (0 = unlimited)";
+        return std::nullopt;
+      }
+    } else if (key == "--no-sip") {
+      opt.use_sip_list = false;
+    } else if (key == "--percentile") {
+      if (!need_value() || !parse_double(value, opt.direct_quantile) ||
+          opt.direct_quantile <= 0.0 || opt.direct_quantile > 1.0) {
+        error = "--percentile needs a value in (0,1]";
+        return std::nullopt;
+      }
+    } else if (key == "--csv") {
+      opt.csv = true;
+    } else if (key == "--csv-header") {
+      opt.csv = true;
+      opt.csv_header = true;
+    } else if (key == "--json") {
+      opt.json = true;
+    } else {
+      error = "unknown option '" + key + "'";
+      return std::nullopt;
+    }
+  }
+  return opt;
+}
+
+std::string cli_usage() {
+  return R"(usage: jitgc_cli [options]
+  --workload=<name>      ycsb|postmark|filebench|bonnie|tiobench|tpcc|
+                         mail-server|file-server        (default ycsb)
+  --trace=<file>         replay an MSR-format block trace instead
+  --trace-buffered=<f>   re-synthesize this fraction of trace writes as buffered
+  --policy=<name>        lazy|aggressive|adaptive|jit|fixed   (default jit)
+  --reserve=<m>          C_resv as a multiple of C_OP for --policy=fixed
+  --seconds=<s>          measured duration                    (default 300)
+  --seed=<n>             RNG seed                             (default 1)
+  --blocks-per-plane=<n> device scale                         (default 256)
+  --pages-per-block=<n>                                       (default 256)
+  --op-ratio=<f>         over-provisioning fraction           (default 0.07)
+  --endurance=<pe>       enforce endurance at this P/E rating (default off)
+  --victim=<name>        greedy|cost-benefit|fifo|random|sampled-greedy
+  --hot-cold             enable hot/cold stream separation
+  --measured-idle        JIT-GC uses measured device idle for T_idle
+  --service-queues=<n>   1 = scaled single queue; 0 = one queue per plane
+  --bgc-rate-limit=<bps> QoS cap on background GC reclaim (0 = unlimited)
+  --no-sip               disable SIP victim filtering (JIT-GC)
+  --percentile=<q>       CDH reserve quantile                 (default 0.8)
+  --csv / --csv-header   machine-readable one-line output
+  --json                 machine-readable JSON object output
+)";
+}
+
+SimReport run_from_cli(const CliOptions& options) {
+  SimConfig config = default_sim_config(options.seed);
+  config.duration = seconds(options.seconds);
+  config.ssd.ftl.geometry.blocks_per_plane = options.blocks_per_plane;
+  config.ssd.ftl.geometry.pages_per_block = options.pages_per_block;
+  config.ssd.ftl.op_ratio = options.op_ratio;
+  config.ssd.ftl.victim_policy = options.victim_policy;
+  config.ssd.ftl.enable_hot_cold_separation = options.hot_cold_separation;
+  config.ssd.service_queues = options.service_queues;
+  config.bgc_rate_limit_bps = options.bgc_rate_limit_bps;
+  if (options.endurance_pe_cycles > 0) {
+    config.ssd.ftl.enforce_endurance = true;
+    config.ssd.ftl.timing.endurance_pe_cycles = options.endurance_pe_cycles;
+  }
+
+  PolicyOverrides overrides;
+  overrides.use_sip_list = options.use_sip_list;
+  overrides.direct_quantile = options.direct_quantile;
+  overrides.use_measured_idle = options.use_measured_idle;
+
+  Simulator simulator(config);
+  const auto policy =
+      make_policy(options.policy, config, options.fixed_reserve_multiple, overrides);
+  const Lba user_pages = simulator.ssd().ftl().user_pages();
+
+  if (!options.trace_path.empty()) {
+    const auto records = wl::read_msr_trace(options.trace_path);
+    wl::TraceReplayOptions trace_opts;
+    trace_opts.user_pages = user_pages;
+    trace_opts.buffered_fraction = options.trace_buffered_fraction;
+    trace_opts.seed = options.seed;
+    wl::TraceWorkload gen(options.trace_path, records, trace_opts);
+    return simulator.run(gen, *policy);
+  }
+  if (options.workload == "mail-server") {
+    wl::FileWorkload gen(wl::mail_server_spec(), user_pages, options.seed);
+    return simulator.run(gen, *policy);
+  }
+  if (options.workload == "file-server") {
+    wl::FileWorkload gen(wl::file_server_spec(), user_pages, options.seed);
+    return simulator.run(gen, *policy);
+  }
+  const auto spec = find_benchmark(options.workload);
+  if (!spec) {
+    throw std::runtime_error("unknown workload: " + options.workload);
+  }
+  wl::SyntheticWorkload gen(*spec, user_pages, options.seed);
+  return simulator.run(gen, *policy);
+}
+
+std::string csv_header_row() {
+  return "workload,policy,duration_s,ops,iops,waf,mean_lat_us,p99_lat_us,read_p99_us,"
+         "direct_write_p99_us,fgc_cycles,"
+         "fgc_time_s,bgc_cycles,nand_programs,nand_erases,pages_migrated,"
+         "prediction_accuracy,sip_filtered_fraction,direct_write_fraction,"
+         "worn_out,elapsed_s,retired_blocks,tbw_bytes";
+}
+
+std::string format_json(const SimReport& r) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"workload\": \"" << r.workload << "\",\n"
+      << "  \"policy\": \"" << r.policy << "\",\n"
+      << "  \"duration_s\": " << r.duration_s << ",\n"
+      << "  \"ops\": " << r.ops_completed << ",\n"
+      << "  \"iops\": " << r.iops << ",\n"
+      << "  \"waf\": " << r.waf << ",\n"
+      << "  \"mean_latency_us\": " << r.mean_latency_us << ",\n"
+      << "  \"p99_latency_us\": " << r.p99_latency_us << ",\n"
+      << "  \"read_p99_latency_us\": " << r.read_p99_latency_us << ",\n"
+      << "  \"direct_write_p99_latency_us\": " << r.direct_write_p99_latency_us << ",\n"
+      << "  \"fgc_cycles\": " << r.fgc_cycles << ",\n"
+      << "  \"fgc_time_s\": " << r.fgc_time_s << ",\n"
+      << "  \"bgc_cycles\": " << r.bgc_cycles << ",\n"
+      << "  \"nand_programs\": " << r.nand_programs << ",\n"
+      << "  \"nand_erases\": " << r.nand_erases << ",\n"
+      << "  \"pages_migrated\": " << r.pages_migrated << ",\n"
+      << "  \"prediction_accuracy\": " << r.prediction_accuracy << ",\n"
+      << "  \"sip_filtered_fraction\": " << r.sip_filtered_fraction << ",\n"
+      << "  \"direct_write_fraction\": " << r.direct_write_fraction() << ",\n"
+      << "  \"worn_out\": " << (r.device_worn_out ? "true" : "false") << ",\n"
+      << "  \"elapsed_s\": " << r.elapsed_s << ",\n"
+      << "  \"retired_blocks\": " << r.retired_blocks << ",\n"
+      << "  \"tbw_bytes\": " << r.tbw_bytes() << "\n"
+      << "}";
+  return out.str();
+}
+
+std::string format_csv_row(const SimReport& r) {
+  std::ostringstream out;
+  out << r.workload << ',' << r.policy << ',' << r.duration_s << ',' << r.ops_completed << ','
+      << r.iops << ',' << r.waf << ',' << r.mean_latency_us << ',' << r.p99_latency_us << ','
+      << r.read_p99_latency_us << ',' << r.direct_write_p99_latency_us << ','
+      << r.fgc_cycles << ',' << r.fgc_time_s << ',' << r.bgc_cycles << ',' << r.nand_programs
+      << ',' << r.nand_erases << ',' << r.pages_migrated << ',' << r.prediction_accuracy << ','
+      << r.sip_filtered_fraction << ',' << r.direct_write_fraction() << ','
+      << (r.device_worn_out ? 1 : 0) << ',' << r.elapsed_s << ',' << r.retired_blocks << ','
+      << r.tbw_bytes();
+  return out.str();
+}
+
+}  // namespace jitgc::sim

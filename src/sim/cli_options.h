@@ -1,0 +1,79 @@
+// Command-line configuration for the jitgc_cli tool.
+//
+// Parsing lives in the library (not the tool's main) so it is unit-testable
+// and reusable by scripts embedding the simulator.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ftl/victim_policy.h"
+#include "sim/experiment.h"
+
+namespace jitgc::sim {
+
+struct CliOptions {
+  // -- What to run --------------------------------------------------------------
+  /// One of the six paper benchmarks, "mail-server"/"file-server" (file-level
+  /// workloads), or empty when --trace is given.
+  std::string workload = "ycsb";
+  /// MSR-format trace file to replay instead of a synthetic workload.
+  std::string trace_path;
+  double trace_buffered_fraction = 0.0;
+
+  PolicyKind policy = PolicyKind::kJit;
+  /// C_resv multiple for --policy=fixed.
+  double fixed_reserve_multiple = 1.0;
+
+  // -- How long / how reproducible ------------------------------------------------
+  double seconds = 300.0;
+  std::uint64_t seed = 1;
+
+  // -- Device shape ----------------------------------------------------------------
+  std::uint32_t blocks_per_plane = 256;
+  std::uint32_t pages_per_block = 256;
+  double op_ratio = 0.07;
+  /// 0 = endurance not enforced.
+  std::uint64_t endurance_pe_cycles = 0;
+
+  // -- FTL / policy knobs -----------------------------------------------------------
+  ftl::VictimPolicyKind victim_policy = ftl::VictimPolicyKind::kGreedy;
+  bool hot_cold_separation = false;
+  bool use_sip_list = true;
+  bool use_measured_idle = false;
+  double direct_quantile = 0.8;
+  /// 1 = single scaled queue (default); 0 = one queue per plane.
+  std::uint32_t service_queues = 1;
+  /// QoS cap on opportunistic BGC, bytes/s (0 = unlimited).
+  double bgc_rate_limit_bps = 0.0;
+
+  // -- Output ------------------------------------------------------------------------
+  bool csv = false;
+  bool csv_header = false;
+  bool json = false;
+  bool show_help = false;
+};
+
+/// Parses argv-style arguments (excluding argv[0]). On failure returns
+/// nullopt and writes a message to `error`.
+std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::string& error);
+
+/// One-line usage text for --help.
+std::string cli_usage();
+
+/// Builds the SimConfig / policy / workload described by the options and
+/// runs the cell. Throws std::runtime_error for unusable combinations
+/// (e.g. a missing trace file).
+SimReport run_from_cli(const CliOptions& options);
+
+/// CSV header matching format_csv_row().
+std::string csv_header_row();
+
+/// The report as one CSV row.
+std::string format_csv_row(const SimReport& report);
+
+/// The report as a JSON object (same fields as the CSV row).
+std::string format_json(const SimReport& report);
+
+}  // namespace jitgc::sim

@@ -1,0 +1,128 @@
+#include "sim/experiment.h"
+
+#include "common/ensure.h"
+#include "common/stats.h"
+#include "core/adaptive_policy.h"
+#include "core/fixed_reserve_policy.h"
+#include "core/jit_policy.h"
+
+namespace jitgc::sim {
+namespace {
+
+core::CdhConfig cdh_config_for(const SimConfig& sim) {
+  core::CdhConfig cdh;
+  cdh.bin_width = 256 * KiB;
+  cdh.num_bins = 2048;  // covers 512 MiB per window
+  cdh.intervals_per_window = sim.cache.intervals_per_horizon();
+  cdh.max_window_samples = 256;
+  return cdh;
+}
+
+}  // namespace
+
+std::string policy_kind_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFixedReserve: return "FIXED";
+    case PolicyKind::kLazy: return "L-BGC";
+    case PolicyKind::kAggressive: return "A-BGC";
+    case PolicyKind::kAdaptive: return "ADP-GC";
+    case PolicyKind::kJit: return "JIT-GC";
+  }
+  return "?";
+}
+
+SimConfig default_sim_config(std::uint64_t seed) {
+  SimConfig sim;
+  sim.ssd.ftl.geometry = nand::small_geometry();
+  sim.ssd.ftl.timing = nand::timing_20nm_mlc();
+  sim.ssd.ftl.op_ratio = 0.07;  // SM843T
+  sim.ssd.ftl.victim_policy = ftl::VictimPolicyKind::kGreedy;
+
+  sim.cache.page_size = sim.ssd.ftl.geometry.page_size;
+  // Scaled with the device like the paper's host (8-GiB RAM vs 240-GB SSD):
+  // tau_flush holds well over one write burst, so flushes are expiry-driven
+  // (predictable from the page cache, as the paper's predictor assumes) and
+  // a GC-slowed device backs dirty data up into writer throttling.
+  sim.cache.capacity = 256 * MiB;
+  sim.cache.tau_expire = seconds(30);
+  sim.cache.tau_flush_fraction = 0.50;
+  sim.cache.flush_period = seconds(5);
+
+  sim.duration = seconds(300);
+  sim.precondition = true;
+  sim.seed = seed;
+  return sim;
+}
+
+std::unique_ptr<core::BgcPolicy> make_policy(PolicyKind kind, const SimConfig& sim,
+                                             double fixed_multiple) {
+  return make_policy(kind, sim, fixed_multiple, PolicyOverrides{});
+}
+
+std::unique_ptr<core::BgcPolicy> make_policy(PolicyKind kind, const SimConfig& sim,
+                                             double fixed_multiple,
+                                             const PolicyOverrides& overrides) {
+  switch (kind) {
+    case PolicyKind::kFixedReserve:
+      return std::make_unique<core::FixedReservePolicy>(fixed_multiple);
+    case PolicyKind::kLazy:
+      return std::make_unique<core::FixedReservePolicy>(core::make_lazy_bgc());
+    case PolicyKind::kAggressive:
+      return std::make_unique<core::FixedReservePolicy>(core::make_aggressive_bgc());
+    case PolicyKind::kAdaptive: {
+      core::AdaptivePolicyConfig cfg;
+      cfg.cdh = cdh_config_for(sim);
+      cfg.quantile = overrides.direct_quantile;
+      cfg.horizon = sim.cache.tau_expire;
+      return std::make_unique<core::AdaptivePolicy>(cfg);
+    }
+    case PolicyKind::kJit: {
+      core::JitPolicyConfig cfg;
+      cfg.predictor.cdh = cdh_config_for(sim);
+      cfg.predictor.direct_quantile = overrides.direct_quantile;
+      cfg.predictor.relax_flush_condition = overrides.relax_flush_condition;
+      cfg.predictor.direct_estimator = overrides.direct_estimator;
+      cfg.horizon = sim.cache.tau_expire;
+      cfg.use_sip_list = overrides.use_sip_list;
+      cfg.use_measured_idle = overrides.use_measured_idle;
+      cfg.embedded_manager = overrides.embedded_manager;
+      return std::make_unique<core::JitPolicy>(cfg);
+    }
+  }
+  JITGC_ENSURE_MSG(false, "unknown policy kind");
+  return nullptr;
+}
+
+SimReport run_cell(const SimConfig& sim, const wl::WorkloadSpec& workload, PolicyKind kind,
+                   double fixed_multiple, const PolicyOverrides& overrides) {
+  Simulator simulator(sim);
+  const Lba user_pages = simulator.ssd().ftl().user_pages();
+  wl::SyntheticWorkload gen(workload, user_pages, sim.seed);
+  const auto policy = make_policy(kind, sim, fixed_multiple, overrides);
+  return simulator.run(gen, *policy);
+}
+
+CellSummary run_cell_multi(const SimConfig& base, const wl::WorkloadSpec& workload,
+                           PolicyKind kind, std::size_t seeds, double fixed_multiple,
+                           const PolicyOverrides& overrides) {
+  JITGC_ENSURE_MSG(seeds >= 1, "need at least one seed");
+  RunningStats iops, waf, fgc, p99;
+  for (std::size_t i = 0; i < seeds; ++i) {
+    SimConfig sim = base;
+    sim.seed = base.seed + i;
+    const SimReport r = run_cell(sim, workload, kind, fixed_multiple, overrides);
+    iops.add(r.iops);
+    waf.add(r.waf);
+    fgc.add(static_cast<double>(r.fgc_cycles));
+    p99.add(r.p99_latency_us);
+  }
+  CellSummary out;
+  out.iops = {iops.mean(), iops.stddev()};
+  out.waf = {waf.mean(), waf.stddev()};
+  out.fgc_cycles = {fgc.mean(), fgc.stddev()};
+  out.p99_latency_us = {p99.mean(), p99.stddev()};
+  out.seeds = seeds;
+  return out;
+}
+
+}  // namespace jitgc::sim

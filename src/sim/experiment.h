@@ -1,0 +1,77 @@
+// Experiment harness shared by the benches, examples and integration tests:
+// canonical scaled-SSD configuration, policy factory, and one-call runners
+// for (workload x policy) cells.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bgc_policy.h"
+#include "core/direct_predictors.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "workload/synthetic.h"
+
+namespace jitgc::sim {
+
+/// The four techniques of Fig. 7 plus the parametric fixed-reserve sweep of
+/// Fig. 2.
+enum class PolicyKind { kFixedReserve, kLazy, kAggressive, kAdaptive, kJit };
+
+std::string policy_kind_name(PolicyKind kind);
+
+/// Canonical experiment configuration (DESIGN.md §5): a scaled SM843T —
+/// 1 GiB physical, 4 KiB pages, 256-page blocks, 7 % OP, 20-nm MLC timing —
+/// with a 512-MiB page cache, tau_expire = 30 s, p = 5 s.
+SimConfig default_sim_config(std::uint64_t seed = 1);
+
+/// Builds a policy compatible with `sim`'s cache/FTL parameters.
+/// `fixed_multiple` is only used by kFixedReserve (C_resv / C_OP).
+std::unique_ptr<core::BgcPolicy> make_policy(PolicyKind kind, const SimConfig& sim,
+                                             double fixed_multiple = 1.0);
+
+/// Variant knobs for ablation studies.
+struct PolicyOverrides {
+  double direct_quantile = 0.8;     ///< CDH percentile (paper default 80 %)
+  bool use_sip_list = true;         ///< JIT-GC victim filtering
+  bool relax_flush_condition = true;
+  /// Direct-demand estimator (JIT-GC only; the paper uses the CDH).
+  core::DirectEstimatorKind direct_estimator = core::DirectEstimatorKind::kCdh;
+  /// Use measured device idle time instead of the analytic T_idle.
+  bool use_measured_idle = false;
+  /// Fig. 3(a) embedded manager instead of the Fig. 3(b) host-side one.
+  bool embedded_manager = false;
+};
+std::unique_ptr<core::BgcPolicy> make_policy(PolicyKind kind, const SimConfig& sim,
+                                             double fixed_multiple,
+                                             const PolicyOverrides& overrides);
+
+/// Runs one (workload, policy) cell from scratch and returns the report.
+SimReport run_cell(const SimConfig& sim, const wl::WorkloadSpec& workload, PolicyKind kind,
+                   double fixed_multiple = 1.0,
+                   const PolicyOverrides& overrides = PolicyOverrides{});
+
+/// Mean and sample standard deviation of a metric across seeds.
+struct MetricSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Aggregate of `seeds` independent runs of one cell (seeds 1..n applied on
+/// top of the base config). Headline metrics only; for anything else run
+/// the cells individually.
+struct CellSummary {
+  MetricSummary iops;
+  MetricSummary waf;
+  MetricSummary fgc_cycles;
+  MetricSummary p99_latency_us;
+  std::size_t seeds = 0;
+};
+
+CellSummary run_cell_multi(const SimConfig& base, const wl::WorkloadSpec& workload,
+                           PolicyKind kind, std::size_t seeds,
+                           double fixed_multiple = 1.0,
+                           const PolicyOverrides& overrides = PolicyOverrides{});
+
+}  // namespace jitgc::sim

@@ -1,0 +1,76 @@
+// Result record of one simulation run — everything the paper's tables and
+// figures report, measured after preconditioning.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace jitgc::sim {
+
+struct SimReport {
+  std::string workload;
+  std::string policy;
+
+  // -- Performance (Fig. 2a / Fig. 7a) ---------------------------------------
+  double duration_s = 0.0;
+  std::uint64_t ops_completed = 0;
+  double iops = 0.0;
+  double mean_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double max_latency_us = 0.0;
+  /// Read-only latency tail: the user-visible pain of a read parked behind
+  /// foreground GC or a flush burst.
+  double read_p99_latency_us = 0.0;
+  /// Synchronous (direct) write latency tail.
+  double direct_write_p99_latency_us = 0.0;
+
+  // -- Lifetime (Fig. 2b / Fig. 7b) -------------------------------------------
+  double waf = 1.0;
+  std::uint64_t nand_programs = 0;
+  std::uint64_t nand_erases = 0;
+  double mean_erase_count = 0.0;
+  std::uint64_t max_erase_count = 0;
+
+  // -- GC behaviour ------------------------------------------------------------
+  std::uint64_t device_pages_written = 0;  ///< flushed + direct, device level
+  std::uint64_t fgc_cycles = 0;
+  double fgc_time_s = 0.0;
+  std::uint64_t bgc_cycles = 0;
+  std::uint64_t pages_migrated = 0;
+  Bytes reclaim_requested_bytes = 0;  ///< total BGC demand the policy issued
+
+  // -- Prediction quality (Table 2) --------------------------------------------
+  double prediction_accuracy = 1.0;
+  std::uint64_t predicted_intervals = 0;
+
+  // -- SIP filtering (Table 3) --------------------------------------------------
+  std::uint64_t victim_selections = 0;
+  std::uint64_t sip_filtered_selections = 0;
+  double sip_filtered_fraction = 0.0;
+
+  // -- Write mix (Table 1), application level -----------------------------------
+  Bytes app_buffered_write_bytes = 0;
+  Bytes app_direct_write_bytes = 0;
+  double direct_write_fraction() const {
+    const Bytes total = app_buffered_write_bytes + app_direct_write_bytes;
+    return total ? static_cast<double>(app_direct_write_bytes) / static_cast<double>(total) : 0.0;
+  }
+
+  std::uint64_t wear_level_moves = 0;
+  /// Host writes routed to the hot stream (hot/cold separation; 0 if off).
+  std::uint64_t hot_stream_writes = 0;
+
+  // -- Lifetime (endurance enforcement) ------------------------------------------
+  /// True when the run ended because the device wore out (DeviceWornOut).
+  bool device_worn_out = false;
+  /// Simulated time actually covered (== duration unless worn out early).
+  double elapsed_s = 0.0;
+  /// Blocks retired by bad-block management during the run.
+  std::uint64_t retired_blocks = 0;
+  /// Total bytes the application wrote (TBW when the device wore out).
+  Bytes tbw_bytes() const { return app_buffered_write_bytes + app_direct_write_bytes; }
+};
+
+}  // namespace jitgc::sim

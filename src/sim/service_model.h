@@ -1,0 +1,58 @@
+// Device service-time model: one or more parallel service queues.
+//
+// The default single-queue model serves parallelism-scaled operation times —
+// it captures throughput exactly and treats the FTL as one serialization
+// point (see docs/model.md). The multi-queue mode instead runs K queues
+// (K = plane-level parallelism) serving *raw* NAND times, dispatching each
+// page operation to the earliest-free queue: throughput is the same, but
+// operations overlap, so one slow operation (a foreground-GC stall) no
+// longer freezes unrelated traffic — sharpening or softening latency tails
+// depending on the workload. The `ablation_service_model` bench compares
+// the two.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/ensure.h"
+#include "common/types.h"
+
+namespace jitgc::sim {
+
+class ServiceModel {
+ public:
+  explicit ServiceModel(std::uint32_t queues) : busy_(queues, 0) {
+    JITGC_ENSURE_MSG(queues >= 1, "need at least one service queue");
+  }
+
+  std::uint32_t queues() const { return static_cast<std::uint32_t>(busy_.size()); }
+
+  /// Serves one operation of `cost` starting no earlier than `earliest` on
+  /// the earliest-free queue; returns its completion time.
+  TimeUs dispatch(TimeUs earliest, TimeUs cost) {
+    auto it = std::min_element(busy_.begin(), busy_.end());
+    const TimeUs start = std::max(*it, earliest);
+    *it = start + cost;
+    return *it;
+  }
+
+  /// Earliest instant any queue can accept work.
+  TimeUs next_free() const { return *std::min_element(busy_.begin(), busy_.end()); }
+
+  /// Instant the whole device goes quiet.
+  TimeUs all_free() const { return *std::max_element(busy_.begin(), busy_.end()); }
+
+  /// Forces every queue to be busy until at least `t` (a device-wide
+  /// serialization point, e.g. a host command exchange).
+  void occupy_all_until(TimeUs t) {
+    for (TimeUs& q : busy_) q = std::max(q, t);
+  }
+
+  void reset() { std::fill(busy_.begin(), busy_.end(), 0); }
+
+ private:
+  std::vector<TimeUs> busy_;
+};
+
+}  // namespace jitgc::sim

@@ -1,0 +1,348 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace jitgc::sim {
+
+Simulator::Simulator(const SimConfig& config)
+    : config_(config),
+      ssd_(config.ssd),
+      cache_(config.cache),
+      service_(config.ssd.resolved_service_queues()),
+      accuracy_(config.cache.intervals_per_horizon() + 1) {
+  JITGC_ENSURE_MSG(config_.cache.page_size == config_.ssd.ftl.geometry.page_size,
+                   "page cache and FTL must agree on the page size");
+}
+
+void Simulator::precondition(wl::WorkloadGenerator& workload) {
+  ftl::Ftl& ftl = ssd_.mutable_ftl();
+  const Lba footprint = std::min<Lba>(workload.footprint_pages(), ftl.user_pages());
+  JITGC_ENSURE_MSG(footprint > 0, "workload footprint is empty");
+
+  // Fill phase: every LBA the workload may touch holds valid data (an aged
+  // device, the enterprise measurement norm).
+  for (Lba lba = 0; lba < footprint; ++lba) ftl.write(lba);
+
+  // Scramble phase: random overwrites of the hot working set mix hot and
+  // cold pages within blocks, so GC victims have realistic valid counts.
+  const Lba ws = std::min<Lba>(workload.working_set_pages(), footprint);
+  if (ws > 0) {
+    Rng rng(config_.seed ^ 0xA6E5C0DE);
+    const auto overwrites =
+        static_cast<std::uint64_t>(config_.precondition_overwrite_factor * static_cast<double>(ws));
+    for (std::uint64_t i = 0; i < overwrites; ++i) ftl.write(rng.uniform(ws));
+  }
+}
+
+TimeUs Simulator::device_write(Lba lba, std::uint32_t pages, TimeUs earliest_start) {
+  TimeUs completion = earliest_start;
+  for (std::uint32_t i = 0; i < pages; ++i) {
+    const TimeUs cost = ssd_.write_page(lba + i);
+    completion = std::max(completion, service_.dispatch(earliest_start, cost));
+    interval_busy_us_ += cost;
+  }
+  return completion;
+}
+
+void Simulator::run_bgc_until(TimeUs horizon) {
+  const TimeUs per_page = ssd_.migrate_step_time();
+
+  // QoS rate limit: replenish the reclaim token bucket up to one interval's
+  // worth of burst credit.
+  if (config_.bgc_rate_limit_bps > 0.0) {
+    const TimeUs now = std::max(bgc_tokens_refilled_at_, service_.next_free());
+    if (now > bgc_tokens_refilled_at_) {
+      bgc_tokens_ += config_.bgc_rate_limit_bps *
+                     (static_cast<double>(now - bgc_tokens_refilled_at_) / 1e6);
+      const double cap = config_.bgc_rate_limit_bps *
+                         (static_cast<double>(cache_.config().flush_period) / 1e6);
+      bgc_tokens_ = std::min(bgc_tokens_, cap);
+      bgc_tokens_refilled_at_ = now;
+    }
+  }
+
+  while (bgc_target_bytes_ > 0 &&
+         ssd_.ftl().free_bytes_for_writes() < bgc_target_bytes_) {
+    if (config_.bgc_rate_limit_bps > 0.0 &&
+        bgc_tokens_ < static_cast<double>(ssd_.ftl().page_size())) {
+      break;  // out of reclaim credit until the bucket refills
+    }
+    TimeUs start = std::max(service_.next_free(), bgc_allowed_from_);
+    // Idle detection: the first step of a GC streak waits for the device to
+    // have been visibly idle; continuing a streak does not.
+    if (service_.next_free() != bgc_last_step_end_) start += config_.bgc_idle_detect;
+    if (start >= horizon) break;
+    // Page-granular preemptible GC: fill the idle gap with as many migration
+    // steps as fit (at least one; a trailing erase may overrun slightly).
+    const auto max_pages = static_cast<std::uint32_t>(
+        std::max<TimeUs>(1, (horizon - start) / per_page));
+    const ftl::Ftl::GcStep step = ssd_.bgc_collect_step(max_pages);
+    if (!step.progressed) {
+      bgc_target_bytes_ = 0;  // nothing collectible; stop asking this interval
+      break;
+    }
+    bgc_last_step_end_ = service_.dispatch(start, step.time_us);
+    interval_busy_us_ += step.time_us;
+    if (config_.bgc_rate_limit_bps > 0.0 && step.freed_pages > 0) {
+      bgc_tokens_ -= static_cast<double>(step.freed_pages) *
+                     static_cast<double>(ssd_.ftl().page_size());
+    }
+  }
+}
+
+void Simulator::process_tick(TimeUs now, core::BgcPolicy& policy) {
+  // 1. Close the books on the interval that just ended and refresh the
+  //    rolling tau_expire window: the accuracy sample for the horizon
+  //    prediction that targeted exactly this window.
+  const Bytes ended_flush = interval_flush_bytes_;
+  const Bytes ended_direct = interval_direct_bytes_;
+  interval_flush_bytes_ = 0;
+  interval_direct_bytes_ = 0;
+
+  horizon_window_.push_back(ended_flush + ended_direct);
+  horizon_window_sum_ += ended_flush + ended_direct;
+  if (horizon_window_.size() > cache_.config().intervals_per_horizon()) {
+    horizon_window_sum_ -= horizon_window_.front();
+    horizon_window_.pop_front();
+  }
+  accuracy_.observe_actual(horizon_window_sum_);
+
+  // 2. Flusher thread: evict expired / over-threshold dirty data, but only
+  //    as much as the device can absorb before the next tick — writeback is
+  //    paced by the device, and the remainder stays dirty (so a GC-slowed
+  //    device backs dirty data up into the cache, where it eventually
+  //    throttles the writer).
+  const TimeUs budget =
+      now + cache_.config().flush_period - std::max(service_.next_free(), now);
+  const TimeUs per_page = std::max<TimeUs>(
+      1, ssd_.scale(config_.ssd.ftl.timing.program_cost()));
+  const std::size_t max_flush =
+      budget > 0 ? static_cast<std::size_t>(budget / per_page) : 0;
+  const std::vector<Lba> evicted = cache_.flusher_tick(now, max_flush);
+  for (const Lba lba : evicted) {
+    device_write(lba, 1, now);
+    interval_flush_bytes_ += cache_.config().page_size;
+  }
+
+  // 3. Consult the policy (the predictor runs right after the flusher).
+  TimeUs overhead = 0;
+  core::PolicyContext ctx;
+  ctx.now = now;
+  ctx.page_cache = &cache_;
+  ctx.c_free = ssd_.ftl().free_bytes_for_writes();
+  ctx.reclaimable_capacity = ssd_.ftl().reclaimable_capacity();
+  ctx.interval_buffered_flush_bytes = ended_flush;
+  ctx.interval_direct_bytes = ended_direct;
+  const TimeUs period = cache_.config().flush_period;
+  ctx.interval_idle_us = interval_busy_us_ >= period ? 0 : period - interval_busy_us_;
+  interval_busy_us_ = 0;
+  ctx.write_bps = ssd_.write_bandwidth_bps();
+  ctx.gc_bps = ssd_.gc_bandwidth_bps();
+  ctx.op_capacity = ssd_.ftl().op_capacity();
+  ctx.user_capacity = ssd_.ftl().user_capacity();
+
+  core::PolicyDecision decision = policy.on_interval(ctx);
+
+  overhead += static_cast<TimeUs>(policy.custom_commands_per_interval()) *
+              config_.ssd.host_command_overhead_us;
+  if (policy.wants_sip_filter()) {
+    // The SIP transfer is its own command whose payload scales with the
+    // dirty-page count.
+    ssd_.send_sip_list(decision.sip_list, overhead);
+  }
+  if (overhead > 0) {
+    // Command exchanges serialize against the whole device.
+    service_.occupy_all_until(std::max(service_.next_free(), now) + overhead);
+    interval_busy_us_ += overhead;
+  }
+
+  const Bytes free_now = ssd_.ftl().free_bytes_for_writes();
+  bgc_target_bytes_ = decision.reclaim_bytes > 0 ? free_now + decision.reclaim_bytes : 0;
+  bgc_allowed_from_ = now;
+  reclaim_requested_ += decision.reclaim_bytes;
+
+  // Urgent reclaim (JIT-GC's D_reclaim): runs right now, ahead of host I/O.
+  if (decision.urgent_reclaim_bytes > 0) {
+    const Bytes urgent_target = free_now + decision.urgent_reclaim_bytes;
+    while (ssd_.ftl().free_bytes_for_writes() < urgent_target) {
+      const ftl::Ftl::GcStep step = ssd_.bgc_collect_step(64);
+      if (!step.progressed) break;
+      service_.dispatch(now, step.time_us);
+      interval_busy_us_ += step.time_us;
+    }
+  }
+
+  if (decision.predicted_horizon_bytes >= 0.0) {
+    accuracy_.predict_next(static_cast<Bytes>(decision.predicted_horizon_bytes));
+  }
+}
+
+TimeUs Simulator::execute_op(const wl::AppOp& op, TimeUs issue) {
+  const Bytes page_size = cache_.config().page_size;
+
+  switch (op.type) {
+    case wl::OpType::kWrite: {
+      if (op.direct) {
+        app_direct_bytes_ += op.bytes(page_size);
+        interval_direct_bytes_ += op.bytes(page_size);
+        return device_write(op.lba, op.pages, issue);
+      }
+      app_buffered_bytes_ += op.bytes(page_size);
+      // Dirty throttling (balance_dirty_pages): at the dirty limit the
+      // writer stalls behind synchronous writeback of the oldest dirty
+      // data, pacing it to the device's effective write speed.
+      TimeUs completion = issue;
+      if (cache_.dirty_bytes() + op.bytes(page_size) > cache_.config().capacity) {
+        const std::vector<Lba> forced = cache_.evict_oldest(op.pages);
+        for (const Lba lba : forced) {
+          completion = device_write(lba, 1, issue);
+          interval_flush_bytes_ += page_size;
+        }
+      }
+      for (std::uint32_t i = 0; i < op.pages; ++i) cache_.write(op.lba + i, issue);
+      return completion;  // RAM-speed unless throttled
+    }
+    case wl::OpType::kRead: {
+      TimeUs completion = issue;
+      bool touched_device = false;
+      for (std::uint32_t i = 0; i < op.pages; ++i) {
+        if (cache_.is_dirty(op.lba + i)) continue;  // RAM hit
+        const TimeUs cost = ssd_.read_page(op.lba + i);
+        completion = std::max(completion, service_.dispatch(issue, cost));
+        interval_busy_us_ += cost;
+        touched_device = true;
+      }
+      if (!touched_device) return issue;
+      return completion;
+    }
+    case wl::OpType::kTrim: {
+      // TRIM is a metadata command: drop the mappings (and any dirty cached
+      // copies, whose flush would resurrect deleted data).
+      for (std::uint32_t i = 0; i < op.pages; ++i) {
+        ssd_.trim(op.lba + i);
+      }
+      cache_.discard(op.lba, op.pages);
+      return issue;
+    }
+  }
+  JITGC_ENSURE_MSG(false, "unreachable op type");
+  return issue;
+}
+
+SimReport Simulator::run(wl::WorkloadGenerator& workload, core::BgcPolicy& policy) {
+  ssd_.set_sip_filter_enabled(policy.wants_sip_filter());
+
+  if (config_.precondition) precondition(workload);
+
+  // Metric baselines: everything before this instant was preconditioning.
+  base_programs_ = ssd_.ftl().nand().stats().page_programs;
+  base_erases_ = ssd_.ftl().nand().stats().block_erases;
+  base_migrations_ = ssd_.ftl().nand().stats().page_migrations;
+  base_host_writes_ = ssd_.ftl().stats().host_pages_written;
+  base_ftl_stats_ = ssd_.ftl().stats();
+  service_.reset();
+
+  const TimeUs p = cache_.config().flush_period;
+  TimeUs next_tick = p;
+  TimeUs elapsed = 0;
+  bool worn_out = false;
+
+  std::optional<wl::AppOp> op = workload.next();
+  TimeUs issue = op ? op->think_us : config_.duration;
+
+  try {
+    while (true) {
+      if (next_tick <= issue || !op) {
+        if (next_tick > config_.duration) break;
+        run_bgc_until(next_tick);
+        process_tick(next_tick, policy);
+        elapsed = next_tick;
+        next_tick += p;
+        continue;
+      }
+      if (issue >= config_.duration) break;
+
+      run_bgc_until(issue);
+      elapsed = issue;
+      const TimeUs completion = execute_op(*op, issue);
+      const auto latency = static_cast<double>(completion - issue);
+      latencies_.add(latency);
+      if (op->type == wl::OpType::kRead) {
+        read_latencies_.add(latency);
+      } else if (op->type == wl::OpType::kWrite && op->direct) {
+        direct_write_latencies_.add(latency);
+      }
+      ++ops_completed_;
+
+      op = workload.next();
+      if (!op) continue;  // finite workload drained; keep ticking to duration
+      issue = completion + op->think_us;
+    }
+    elapsed = std::min(config_.duration, std::max(elapsed, issue));
+  } catch (const ftl::DeviceWornOut&) {
+    // End of device life: report what was achieved up to this point.
+    worn_out = true;
+  }
+
+  // -- Assemble the report ------------------------------------------------------
+  SimReport r;
+  r.workload = workload.name();
+  r.policy = policy.name();
+  r.duration_s = to_seconds(config_.duration);
+  r.ops_completed = ops_completed_;
+  r.iops = static_cast<double>(ops_completed_) / r.duration_s;
+  r.mean_latency_us = latencies_.mean();
+  r.p99_latency_us = latencies_.percentile(99.0);
+  r.max_latency_us = latencies_.percentile(100.0);
+  r.read_p99_latency_us = read_latencies_.percentile(99.0);
+  r.direct_write_p99_latency_us = direct_write_latencies_.percentile(99.0);
+
+  const auto& nand = ssd_.ftl().nand().stats();
+  const auto& fs = ssd_.ftl().stats();
+  const std::uint64_t programs = nand.page_programs - base_programs_;
+  const std::uint64_t host_writes = fs.host_pages_written - base_host_writes_;
+  r.nand_programs = programs;
+  r.nand_erases = nand.block_erases - base_erases_;
+  r.waf = host_writes ? static_cast<double>(programs) / static_cast<double>(host_writes) : 1.0;
+  r.mean_erase_count = ssd_.ftl().nand().mean_erase_count();
+  r.max_erase_count = ssd_.ftl().nand().max_erase_count();
+
+  r.device_pages_written = host_writes;
+  r.fgc_cycles = fs.foreground_gc_cycles - base_ftl_stats_.foreground_gc_cycles;
+  r.fgc_time_s =
+      to_seconds(fs.foreground_gc_time_us - base_ftl_stats_.foreground_gc_time_us);
+  r.bgc_cycles = fs.background_gc_cycles - base_ftl_stats_.background_gc_cycles;
+  r.pages_migrated = nand.page_migrations - base_migrations_;
+  r.reclaim_requested_bytes = reclaim_requested_;
+
+  r.prediction_accuracy = accuracy_.accuracy();
+  r.predicted_intervals = accuracy_.intervals();
+
+  r.victim_selections = fs.victim_selections - base_ftl_stats_.victim_selections;
+  r.sip_filtered_selections =
+      fs.sip_filtered_selections - base_ftl_stats_.sip_filtered_selections;
+  r.sip_filtered_fraction =
+      r.victim_selections
+          ? static_cast<double>(r.sip_filtered_selections) /
+                static_cast<double>(r.victim_selections)
+          : 0.0;
+
+  r.app_buffered_write_bytes = app_buffered_bytes_;
+  r.app_direct_write_bytes = app_direct_bytes_;
+  r.wear_level_moves = fs.wear_level_moves - base_ftl_stats_.wear_level_moves;
+  r.hot_stream_writes = fs.hot_stream_writes - base_ftl_stats_.hot_stream_writes;
+
+  r.device_worn_out = worn_out;
+  r.elapsed_s = to_seconds(elapsed);
+  r.retired_blocks = fs.retired_blocks - base_ftl_stats_.retired_blocks;
+  if (worn_out && r.elapsed_s > 0.0) {
+    r.iops = static_cast<double>(ops_completed_) / r.elapsed_s;  // over actual life
+  }
+  return r;
+}
+
+}  // namespace jitgc::sim

@@ -1,0 +1,131 @@
+// The top-level discrete-event simulation: closed-loop application ->
+// page cache -> SSD, with a BGC policy deciding at every flusher tick.
+//
+// Event model
+//   * The application issues ops one at a time; each op's issue time is the
+//     previous op's completion plus a think time (so foreground-GC stalls
+//     depress achieved IOPS, exactly the effect the paper measures).
+//   * The flusher thread ticks every p seconds; evicted dirty pages become
+//     device writes, then the active BGC policy is consulted.
+//   * The device is a ServiceModel: one queue over parallelism-scaled times
+//     by default, or one queue per plane over raw NAND times
+//     (SsdConfig::service_queues = 0). Background GC runs in the gaps
+//     between device work, up to the target the policy set this interval;
+//     a step that overruns into an arrival delays it (imperfect preemption,
+//     bounded by one block's cleaning time).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "common/stats.h"
+#include "core/accuracy.h"
+#include "core/bgc_policy.h"
+#include "host/page_cache.h"
+#include "sim/metrics.h"
+#include "sim/service_model.h"
+#include "sim/ssd.h"
+#include "workload/workload.h"
+
+namespace jitgc::sim {
+
+struct SimConfig {
+  SsdConfig ssd;
+  host::PageCacheConfig cache;
+  /// Measured run length (after preconditioning).
+  TimeUs duration = seconds(300);
+  /// Idle-detection threshold: opportunistic BGC starts only after the
+  /// device has been quiet this long (controllers defer cleaning rather
+  /// than risk stalling imminent host I/O). Think-time gaps inside a burst
+  /// stay below this, so reserves drain during bursts and replenish in real
+  /// idle periods — the dynamic the paper's reserved-capacity tradeoff
+  /// rests on. Urgent (JIT D_reclaim) GC ignores it.
+  TimeUs bgc_idle_detect = milliseconds(100);
+  /// QoS cap on opportunistic background GC, bytes of net reclaim per
+  /// second (0 = unlimited). Real firmware rate-limits BGC to bound its
+  /// interference with host latency; the cap does not apply to urgent
+  /// (D_reclaim) or foreground GC.
+  double bgc_rate_limit_bps = 0.0;
+  /// Fill the workload's footprint and scramble the working set first, then
+  /// reset all metrics, so runs start from a realistic aged device.
+  bool precondition = true;
+  /// Random overwrites during preconditioning, as a multiple of the WS size.
+  double precondition_overwrite_factor = 1.0;
+  std::uint64_t seed = 1;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const SimConfig& config);
+
+  /// Runs `workload` under `policy` and returns the measured report.
+  /// The simulator owns device and cache; one Simulator = one run.
+  SimReport run(wl::WorkloadGenerator& workload, core::BgcPolicy& policy);
+
+  const Ssd& ssd() const { return ssd_; }
+  const host::PageCache& page_cache() const { return cache_; }
+
+ private:
+  void precondition(wl::WorkloadGenerator& workload);
+  void process_tick(TimeUs now, core::BgcPolicy& policy);
+  void run_bgc_until(TimeUs horizon);
+  /// Executes one app op at `issue`; returns its completion time.
+  TimeUs execute_op(const wl::AppOp& op, TimeUs issue);
+  TimeUs device_write(Lba lba, std::uint32_t pages, TimeUs earliest_start);
+
+  SimConfig config_;
+  Ssd ssd_;
+  host::PageCache cache_;
+
+  // -- Device queue state ------------------------------------------------------
+  /// One or more service queues (see sim/service_model.h). Single-queue by
+  /// default; `next_free()` plays the role of the classic busy_until.
+  ServiceModel service_;
+
+  // -- BGC state ----------------------------------------------------------------
+  /// Absolute free-space goal (bytes of free_bytes_for_writes) the policy
+  /// asked background GC to establish; 0 = idle. Page-granular GC steps run
+  /// in idle gaps until the device reports at least this much free space.
+  Bytes bgc_target_bytes_ = 0;
+  TimeUs bgc_allowed_from_ = 0;
+  /// End of the most recent BGC step; a step that continues a GC streak
+  /// does not pay the idle-detection delay again.
+  TimeUs bgc_last_step_end_ = -1;
+  /// Token bucket for the BGC rate limit (bytes of reclaim credit).
+  double bgc_tokens_ = 0.0;
+  TimeUs bgc_tokens_refilled_at_ = 0;
+
+  // -- Interval accounting --------------------------------------------------------
+  Bytes interval_flush_bytes_ = 0;
+  Bytes interval_direct_bytes_ = 0;
+  /// Device service time consumed this interval (host I/O + GC + commands);
+  /// the complement is the measured idle time fed to policies.
+  TimeUs interval_busy_us_ = 0;
+  /// Device write traffic of the last Nwb intervals (rolling horizon window
+  /// for prediction-accuracy scoring).
+  std::deque<Bytes> horizon_window_;
+  Bytes horizon_window_sum_ = 0;
+
+  // -- Metrics -----------------------------------------------------------------
+  /// Lag initialized in the constructor to Nwb + 1: a prediction made at
+  /// tick t covers [t + p, t + p + tau_expire], whose traffic is fully
+  /// known Nwb + 1 ticks later.
+  core::AccuracyTracker accuracy_;
+  PercentileTracker latencies_;
+  PercentileTracker read_latencies_;
+  PercentileTracker direct_write_latencies_;
+  std::uint64_t ops_completed_ = 0;
+  Bytes app_buffered_bytes_ = 0;
+  Bytes app_direct_bytes_ = 0;
+  Bytes reclaim_requested_ = 0;
+
+  // Baselines captured after preconditioning.
+  std::uint64_t base_programs_ = 0;
+  std::uint64_t base_erases_ = 0;
+  std::uint64_t base_host_writes_ = 0;
+  std::uint64_t base_migrations_ = 0;
+  ftl::FtlStats base_ftl_stats_;
+};
+
+}  // namespace jitgc::sim

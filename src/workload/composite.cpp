@@ -1,0 +1,57 @@
+#include "workload/composite.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace jitgc::wl {
+
+CompositeWorkload::CompositeWorkload(std::string name, std::vector<Tenant> tenants)
+    : name_(std::move(name)) {
+  JITGC_ENSURE_MSG(!tenants.empty(), "composite workload needs at least one tenant");
+  streams_.reserve(tenants.size());
+  for (Tenant& t : tenants) {
+    JITGC_ENSURE_MSG(t.generator != nullptr, "null tenant generator");
+    footprint_ = std::max(footprint_, t.lba_offset + t.generator->footprint_pages());
+    working_set_ += t.generator->working_set_pages();
+    Stream s;
+    s.generator = std::move(t.generator);
+    s.lba_offset = t.lba_offset;
+    streams_.push_back(std::move(s));
+  }
+  ops_per_tenant_.assign(streams_.size(), 0);
+  for (Stream& s : streams_) refill(s);
+}
+
+void CompositeWorkload::refill(Stream& stream) {
+  stream.pending = stream.generator->next();
+  if (stream.pending) stream.virtual_time += stream.pending->think_us;
+}
+
+std::optional<AppOp> CompositeWorkload::next() {
+  // Pick the live stream whose pending op has the earliest virtual time.
+  Stream* chosen = nullptr;
+  std::size_t chosen_idx = 0;
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    Stream& s = streams_[i];
+    if (!s.pending) continue;
+    if (chosen == nullptr || s.virtual_time < chosen->virtual_time) {
+      chosen = &s;
+      chosen_idx = i;
+    }
+  }
+  if (chosen == nullptr) return std::nullopt;  // every tenant is drained
+
+  AppOp op = *chosen->pending;
+  op.lba += chosen->lba_offset;
+  // The global gap is the distance between consecutive emissions on the
+  // merged timeline (clamped: a lagging stream issues immediately).
+  op.think_us = std::max<TimeUs>(0, chosen->virtual_time - global_time_);
+  global_time_ = std::max(global_time_, chosen->virtual_time);
+
+  ++ops_per_tenant_[chosen_idx];
+  refill(*chosen);
+  return op;
+}
+
+}  // namespace jitgc::wl

@@ -1,0 +1,60 @@
+// Multi-tenant workload composition.
+//
+// Data-center SSDs (the SM843T's market) rarely serve one application; this
+// merges several generators into one op stream, each tenant confined to its
+// own LBA partition, interleaved by their think-time clocks. GC policies
+// then face mixed locality and a blended buffered/direct ratio — a harder,
+// more realistic case than any single benchmark.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/workload.h"
+
+namespace jitgc::wl {
+
+class CompositeWorkload final : public WorkloadGenerator {
+ public:
+  struct Tenant {
+    std::unique_ptr<WorkloadGenerator> generator;
+    /// Added to every LBA the tenant's generator emits (its partition base).
+    Lba lba_offset = 0;
+  };
+
+  CompositeWorkload(std::string name, std::vector<Tenant> tenants);
+
+  std::string name() const override { return name_; }
+
+  /// Ops come out in global virtual-time order: each tenant advances its own
+  /// clock by its think times; the emitted op carries the global gap.
+  std::optional<AppOp> next() override;
+
+  Lba footprint_pages() const override { return footprint_; }
+  Lba working_set_pages() const override { return working_set_; }
+
+  std::size_t tenant_count() const { return streams_.size(); }
+  /// Ops emitted per tenant so far.
+  const std::vector<std::uint64_t>& ops_per_tenant() const { return ops_per_tenant_; }
+
+ private:
+  struct Stream {
+    std::unique_ptr<WorkloadGenerator> generator;
+    Lba lba_offset = 0;
+    /// The stream's next op (already pulled) and its virtual issue time.
+    std::optional<AppOp> pending;
+    TimeUs virtual_time = 0;
+  };
+
+  void refill(Stream& stream);
+
+  std::string name_;
+  std::vector<Stream> streams_;
+  std::vector<std::uint64_t> ops_per_tenant_;
+  TimeUs global_time_ = 0;
+  Lba footprint_ = 0;
+  Lba working_set_ = 0;
+};
+
+}  // namespace jitgc::wl

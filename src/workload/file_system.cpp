@@ -1,0 +1,221 @@
+#include "workload/file_system.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace jitgc::wl {
+
+FileSystem::FileSystem(Lba total_pages, Lba journal_pages)
+    : total_pages_(total_pages), journal_pages_(journal_pages) {
+  JITGC_ENSURE_MSG(journal_pages_ < total_pages_, "journal larger than the volume");
+  const Lba data_start = journal_pages_;
+  free_extents_.emplace(data_start, total_pages_ - data_start);
+  free_total_ = total_pages_ - data_start;
+}
+
+bool FileSystem::allocate(Lba pages, std::vector<Extent>& out) {
+  JITGC_ENSURE_MSG(pages > 0, "allocating zero pages");
+  if (pages > free_total_) return false;
+
+  std::size_t pieces = 0;
+  Lba remaining = pages;
+  while (remaining > 0) {
+    JITGC_ENSURE(!free_extents_.empty());
+    // First fit: prefer the first extent that covers the whole remainder,
+    // else take the first extent entirely.
+    auto it = free_extents_.begin();
+    for (auto probe = free_extents_.begin(); probe != free_extents_.end(); ++probe) {
+      if (probe->second >= remaining) {
+        it = probe;
+        break;
+      }
+    }
+    const Lba take = std::min(remaining, it->second);
+    out.push_back(Extent{it->first, take});
+    ++pieces;
+    const Lba left_start = it->first + take;
+    const Lba left_pages = it->second - take;
+    free_extents_.erase(it);
+    if (left_pages > 0) free_extents_.emplace(left_start, left_pages);
+    free_total_ -= take;
+    remaining -= take;
+  }
+  if (pieces > 1) ++stats_.fragmented_allocations;
+  return true;
+}
+
+void FileSystem::release(const Extent& extent) {
+  if (extent.pages == 0) return;
+  auto [it, inserted] = free_extents_.emplace(extent.start, extent.pages);
+  JITGC_ENSURE_MSG(inserted, "double free of an extent");
+  free_total_ += extent.pages;
+
+  // Coalesce with the successor...
+  auto next = std::next(it);
+  if (next != free_extents_.end() && it->first + it->second == next->first) {
+    it->second += next->second;
+    free_extents_.erase(next);
+  }
+  // ...and with the predecessor.
+  if (it != free_extents_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      free_extents_.erase(it);
+    }
+  }
+}
+
+std::optional<FileId> FileSystem::create(Lba pages, std::vector<Extent>& written) {
+  std::vector<Extent> extents;
+  if (!allocate(pages, extents)) return std::nullopt;
+  const FileId id = next_id_++;
+  written.insert(written.end(), extents.begin(), extents.end());
+  files_.emplace(id, std::move(extents));
+  ++stats_.files_created;
+  return id;
+}
+
+bool FileSystem::append(FileId id, Lba pages, std::vector<Extent>& written) {
+  const auto it = files_.find(id);
+  JITGC_ENSURE_MSG(it != files_.end(), "append to a nonexistent file");
+  std::vector<Extent> extents;
+  if (!allocate(pages, extents)) return false;
+  written.insert(written.end(), extents.begin(), extents.end());
+  auto& file = it->second;
+  for (const Extent& e : extents) {
+    // Merge with the file's tail when contiguous (keeps extent lists small).
+    if (!file.empty() && file.back().end() == e.start) {
+      file.back().pages += e.pages;
+    } else {
+      file.push_back(e);
+    }
+  }
+  stats_.append_pages += pages;
+  return true;
+}
+
+namespace {
+
+/// Maps a (offset, pages) range of a file onto its extents.
+void map_range(const std::vector<Extent>& file, Lba offset, Lba pages,
+               std::vector<Extent>& out) {
+  Lba skip = offset;
+  Lba remaining = pages;
+  for (const Extent& e : file) {
+    if (remaining == 0) break;
+    if (skip >= e.pages) {
+      skip -= e.pages;
+      continue;
+    }
+    const Lba take = std::min(remaining, e.pages - skip);
+    out.push_back(Extent{e.start + skip, take});
+    skip = 0;
+    remaining -= take;
+  }
+}
+
+}  // namespace
+
+Lba FileSystem::file_pages(FileId id) const {
+  const auto it = files_.find(id);
+  JITGC_ENSURE_MSG(it != files_.end(), "size of a nonexistent file");
+  Lba total = 0;
+  for (const Extent& e : it->second) total += e.pages;
+  return total;
+}
+
+void FileSystem::overwrite(FileId id, Lba offset, Lba pages, std::vector<Extent>& written) {
+  const auto it = files_.find(id);
+  JITGC_ENSURE_MSG(it != files_.end(), "overwrite of a nonexistent file");
+  const Lba size = file_pages(id);
+  if (size == 0) return;
+  offset = offset % size;
+  pages = std::min(pages, size - offset);
+  map_range(it->second, offset, pages, written);
+  stats_.overwrite_pages += pages;
+}
+
+void FileSystem::read(FileId id, Lba offset, Lba pages, std::vector<Extent>& out) const {
+  const auto it = files_.find(id);
+  JITGC_ENSURE_MSG(it != files_.end(), "read of a nonexistent file");
+  Lba size = 0;
+  for (const Extent& e : it->second) size += e.pages;
+  if (size == 0) return;
+  offset = offset % size;
+  pages = std::min(pages, size - offset);
+  map_range(it->second, offset, pages, out);
+}
+
+void FileSystem::remove(FileId id, std::vector<Extent>& trimmed) {
+  const auto it = files_.find(id);
+  JITGC_ENSURE_MSG(it != files_.end(), "remove of a nonexistent file");
+  for (const Extent& e : it->second) {
+    release(e);
+    stats_.trimmed_pages += e.pages;
+    trimmed.push_back(e);
+  }
+  files_.erase(it);
+  ++stats_.files_deleted;
+}
+
+Lba FileSystem::journal_write() {
+  JITGC_ENSURE_MSG(journal_pages_ > 0, "filesystem has no journal region");
+  const Lba lba = journal_cursor_;
+  journal_cursor_ = (journal_cursor_ + 1) % journal_pages_;
+  ++stats_.journal_writes;
+  return lba;
+}
+
+std::optional<FileId> FileSystem::pick_file(std::uint64_t n) const {
+  if (files_.empty()) return std::nullopt;
+  // Deterministic pseudo-pick: advance a bucket iterator. unordered_map
+  // iteration order is stable between mutations, which is all we need.
+  auto it = files_.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(n % files_.size()));
+  return it->first;
+}
+
+void FileSystem::check_invariants() const {
+  // Free list: sorted (by map), coalesced, within bounds, total consistent.
+  Lba free_sum = 0;
+  Lba prev_end = 0;
+  bool first = true;
+  for (const auto& [start, pages] : free_extents_) {
+    JITGC_ENSURE_MSG(pages > 0, "empty free extent");
+    JITGC_ENSURE_MSG(start >= journal_pages_, "free extent inside the journal");
+    JITGC_ENSURE_MSG(start + pages <= total_pages_, "free extent out of bounds");
+    if (!first) JITGC_ENSURE_MSG(start > prev_end, "free extents overlap or not coalesced");
+    prev_end = start + pages;
+    first = false;
+    free_sum += pages;
+  }
+  JITGC_ENSURE_MSG(free_sum == free_total_, "free-page accounting drifted");
+
+  // Files: within bounds, disjoint from free space, and the grand total of
+  // file pages + free pages covers the data area exactly.
+  Lba file_sum = 0;
+  for (const auto& [id, extents] : files_) {
+    for (const Extent& e : extents) {
+      JITGC_ENSURE_MSG(e.pages > 0, "empty file extent");
+      JITGC_ENSURE_MSG(e.start >= journal_pages_ && e.end() <= total_pages_,
+                       "file extent out of bounds");
+      file_sum += e.pages;
+      // Disjointness from the free list.
+      auto it = free_extents_.upper_bound(e.start);
+      if (it != free_extents_.begin()) {
+        const auto prev = std::prev(it);
+        JITGC_ENSURE_MSG(prev->first + prev->second <= e.start,
+                         "file extent overlaps free space");
+      }
+      if (it != free_extents_.end()) {
+        JITGC_ENSURE_MSG(it->first >= e.end(), "file extent overlaps free space");
+      }
+    }
+  }
+  JITGC_ENSURE_MSG(file_sum + free_total_ == total_pages_ - journal_pages_,
+                   "file + free pages do not cover the data area");
+}
+
+}  // namespace jitgc::wl

@@ -1,0 +1,111 @@
+// A minimal extent-based filesystem model.
+//
+// The paper's benchmarks (Postmark, Filebench, Bonnie++) run over a real
+// filesystem whose behaviour shapes the device-level stream: files occupy
+// extents, deletions free them (TRIM), appends extend them, and metadata
+// journaling issues small *direct* writes (the O_SYNC traffic of Table 1).
+// This model reproduces that structure: it manages the LBA space and tells
+// the caller which page ranges each file operation touches, so workload
+// generators can emit realistic AppOps including trims.
+//
+// It is a model, not a crash-consistent filesystem: no directories, no
+// persistence — exactly the parts that matter to an FTL.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace jitgc::wl {
+
+/// A contiguous run of pages.
+struct Extent {
+  Lba start = 0;
+  Lba pages = 0;
+
+  Lba end() const { return start + pages; }
+  friend bool operator==(const Extent&, const Extent&) = default;
+};
+
+using FileId = std::uint64_t;
+
+struct FsStats {
+  std::uint64_t files_created = 0;
+  std::uint64_t files_deleted = 0;
+  std::uint64_t append_pages = 0;
+  std::uint64_t overwrite_pages = 0;
+  std::uint64_t trimmed_pages = 0;
+  std::uint64_t journal_writes = 0;
+  std::uint64_t fragmented_allocations = 0;  ///< allocations split across extents
+};
+
+/// Extent-based file table + free-space management over a page address
+/// space. First-fit allocation with coalescing on free.
+class FileSystem {
+ public:
+  /// Manages LBAs [journal_pages, total_pages); the first `journal_pages`
+  /// pages are the metadata journal, written round-robin by journal_write().
+  FileSystem(Lba total_pages, Lba journal_pages = 0);
+
+  // -- File operations; each returns the page extents it touched ------------
+
+  /// Creates a file of `pages`; returns nullopt when space is exhausted.
+  std::optional<FileId> create(Lba pages, std::vector<Extent>& written);
+
+  /// Extends a file; returns false when space is exhausted.
+  bool append(FileId id, Lba pages, std::vector<Extent>& written);
+
+  /// Rewrites `pages` pages of the file starting at page `offset` (clamped
+  /// to the file size); returns the touched extents.
+  void overwrite(FileId id, Lba offset, Lba pages, std::vector<Extent>& written);
+
+  /// Reads like overwrite but without dirtying anything.
+  void read(FileId id, Lba offset, Lba pages, std::vector<Extent>& out) const;
+
+  /// Deletes the file; the freed extents should be TRIMmed on the device.
+  void remove(FileId id, std::vector<Extent>& trimmed);
+
+  /// Next journal page to write (a one-page direct write), round-robin.
+  Lba journal_write();
+
+  // -- Introspection ----------------------------------------------------------
+
+  bool exists(FileId id) const { return files_.contains(id); }
+  std::size_t file_count() const { return files_.size(); }
+  Lba file_pages(FileId id) const;
+  Lba free_pages() const { return free_total_; }
+  Lba total_pages() const { return total_pages_; }
+  const FsStats& stats() const { return stats_; }
+
+  /// Picks the id of a random-ish existing file (deterministic given n);
+  /// nullopt if no files exist.
+  std::optional<FileId> pick_file(std::uint64_t n) const;
+
+  /// Validates internal invariants (free list sorted, coalesced, disjoint
+  /// from files; page accounting exact). Throws on violation.
+  void check_invariants() const;
+
+ private:
+  /// Allocates `pages`, first-fit, splitting across free extents as needed.
+  /// Returns false (and allocates nothing) if not enough space.
+  bool allocate(Lba pages, std::vector<Extent>& out);
+  void release(const Extent& extent);
+
+  Lba total_pages_;
+  Lba journal_pages_;
+  Lba journal_cursor_ = 0;
+
+  /// Free extents keyed by start page (ordered, coalesced).
+  std::map<Lba, Lba> free_extents_;  // start -> pages
+  Lba free_total_ = 0;
+
+  std::unordered_map<FileId, std::vector<Extent>> files_;
+  FileId next_id_ = 1;
+  FsStats stats_;
+};
+
+}  // namespace jitgc::wl

@@ -1,0 +1,176 @@
+#include "workload/file_workload.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace jitgc::wl {
+
+FileWorkloadSpec mail_server_spec() {
+  FileWorkloadSpec s;
+  s.name = "mail-server";
+  s.create_fraction = 0.28;
+  s.delete_fraction = 0.27;
+  s.append_fraction = 0.1;
+  s.read_fraction = 0.25;
+  s.min_file_pages = 1;
+  s.max_file_pages = 16;  // small messages
+  s.min_io_pages = 1;
+  s.max_io_pages = 4;
+  s.target_fill = 0.6;
+  s.journal_commit_fraction = 0.6;
+  s.ops_per_sec = 1500.0;
+  return s;
+}
+
+FileWorkloadSpec file_server_spec() {
+  FileWorkloadSpec s;
+  s.name = "file-server";
+  s.create_fraction = 0.12;
+  s.delete_fraction = 0.1;
+  s.append_fraction = 0.25;
+  s.read_fraction = 0.35;
+  s.min_file_pages = 4;
+  s.max_file_pages = 256;  // up to 1 MiB files
+  s.min_io_pages = 2;
+  s.max_io_pages = 32;
+  s.target_fill = 0.65;
+  s.journal_commit_fraction = 0.35;
+  s.ops_per_sec = 700.0;
+  return s;
+}
+
+FileWorkload::FileWorkload(const FileWorkloadSpec& spec, Lba user_pages, std::uint64_t seed)
+    : spec_(spec), fs_(user_pages, spec.journal_pages), rng_(seed) {
+  JITGC_ENSURE_MSG(spec_.max_file_pages >= spec_.min_file_pages && spec_.min_file_pages > 0,
+                   "invalid file size range");
+  JITGC_ENSURE_MSG(spec_.target_fill > 0.0 && spec_.target_fill < 1.0,
+                   "target fill must be in (0, 1)");
+  JITGC_ENSURE_MSG(
+      spec_.create_fraction + spec_.delete_fraction + spec_.append_fraction +
+              spec_.read_fraction <= 1.0,
+      "op-mix fractions exceed 1");
+}
+
+TimeUs FileWorkload::think_time() {
+  const double mean_gap_us = 1e6 / spec_.ops_per_sec;
+  TimeUs think = static_cast<TimeUs>(rng_.exponential(mean_gap_us));
+  if (on_remaining_us_ <= think) {
+    if (spec_.duty_cycle < 1.0) {
+      const double mean_off_s =
+          spec_.mean_on_period_s * (1.0 - spec_.duty_cycle) / spec_.duty_cycle;
+      think += static_cast<TimeUs>(rng_.exponential(mean_off_s * 1e6));
+    }
+    on_remaining_us_ = static_cast<TimeUs>(rng_.exponential(spec_.mean_on_period_s * 1e6));
+  } else {
+    on_remaining_us_ -= think;
+  }
+  return think;
+}
+
+void FileWorkload::queue_extents(const std::vector<Extent>& extents, OpType type, bool direct) {
+  for (const Extent& e : extents) {
+    Lba start = e.start;
+    Lba remaining = e.pages;
+    while (remaining > 0) {
+      // Keep individual ops bounded so device-queue granularity stays sane.
+      const Lba chunk = std::min<Lba>(remaining, 64);
+      AppOp op;
+      op.think_us = 0;  // same file operation: back-to-back
+      op.type = type;
+      op.direct = direct;
+      op.lba = start;
+      op.pages = static_cast<std::uint32_t>(chunk);
+      pending_.push_back(op);
+      start += chunk;
+      remaining -= chunk;
+    }
+  }
+}
+
+void FileWorkload::generate_file_op() {
+  const double fill =
+      1.0 - static_cast<double>(fs_.free_pages()) / static_cast<double>(fs_.total_pages());
+
+  // Steer the mix toward the target fill: below it, deletes become creates;
+  // above it, creates become deletes.
+  double create_p = spec_.create_fraction;
+  double delete_p = spec_.delete_fraction;
+  if (fill < spec_.target_fill * 0.9) {
+    create_p += delete_p * 0.8;
+    delete_p *= 0.2;
+  } else if (fill > spec_.target_fill * 1.1 || fill > 0.9) {
+    delete_p += create_p * 0.8;
+    create_p *= 0.2;
+  }
+
+  const double roll = rng_.uniform01();
+  std::vector<Extent> touched;
+  bool mutating = true;
+
+  if (roll < create_p) {
+    const Lba pages = rng_.uniform_range(spec_.min_file_pages, spec_.max_file_pages);
+    if (!fs_.create(pages, touched)) {
+      // Volume full: delete instead.
+      if (const auto id = fs_.pick_file(rng_())) fs_.remove(*id, touched);
+      queue_extents(touched, OpType::kTrim, false);
+      return;
+    }
+    queue_extents(touched, OpType::kWrite, /*direct=*/false);
+  } else if (roll < create_p + delete_p) {
+    if (const auto id = fs_.pick_file(rng_())) {
+      fs_.remove(*id, touched);
+      queue_extents(touched, OpType::kTrim, false);
+    }
+  } else if (roll < create_p + delete_p + spec_.append_fraction) {
+    if (const auto id = fs_.pick_file(rng_())) {
+      const Lba pages = rng_.uniform_range(spec_.min_io_pages, spec_.max_io_pages);
+      if (fs_.append(*id, pages, touched)) {
+        queue_extents(touched, OpType::kWrite, /*direct=*/false);
+      }
+    }
+  } else if (roll < create_p + delete_p + spec_.append_fraction + spec_.read_fraction) {
+    mutating = false;
+    if (const auto id = fs_.pick_file(rng_())) {
+      const Lba pages = rng_.uniform_range(spec_.min_io_pages, spec_.max_io_pages);
+      fs_.read(*id, rng_(), pages, touched);
+      queue_extents(touched, OpType::kRead, false);
+    }
+  } else {
+    if (const auto id = fs_.pick_file(rng_())) {
+      const Lba pages = rng_.uniform_range(spec_.min_io_pages, spec_.max_io_pages);
+      fs_.overwrite(*id, rng_(), pages, touched);
+      queue_extents(touched, OpType::kWrite, /*direct=*/false);
+    }
+  }
+
+  // Metadata commit: a one-page direct write into the journal region.
+  if (mutating && rng_.chance(spec_.journal_commit_fraction)) {
+    AppOp commit;
+    commit.think_us = 0;
+    commit.type = OpType::kWrite;
+    commit.direct = true;
+    commit.lba = fs_.journal_write();
+    commit.pages = 1;
+    pending_.push_back(commit);
+  }
+}
+
+std::optional<AppOp> FileWorkload::next() {
+  // A file op may expand to nothing (e.g. read of an empty volume): loop
+  // until something is queued. The first page-op of each fresh file
+  // operation carries the think time; the rest run back-to-back.
+  bool fresh = false;
+  int guard = 0;
+  while (pending_.empty()) {
+    generate_file_op();
+    fresh = true;
+    JITGC_ENSURE_MSG(++guard < 1000, "file workload failed to generate operations");
+  }
+  AppOp op = pending_.front();
+  pending_.pop_front();
+  if (fresh) op.think_us = think_time();
+  return op;
+}
+
+}  // namespace jitgc::wl

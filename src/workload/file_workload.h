@@ -1,0 +1,83 @@
+// File-level workload generation over the FileSystem model.
+//
+// Where SyntheticWorkload drives raw LBAs, FileWorkload drives files:
+// create / append / overwrite / read / delete, with metadata journaling
+// issued as direct writes and deletions issued as TRIMs — the op stream a
+// mail server (Postmark) or file server (Filebench) actually produces.
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "common/rng.h"
+#include "workload/file_system.h"
+#include "workload/workload.h"
+
+namespace jitgc::wl {
+
+struct FileWorkloadSpec {
+  std::string name = "fileserver";
+
+  // -- Op mix (fractions of file operations; the remainder is overwrite) ----
+  double create_fraction = 0.2;
+  double delete_fraction = 0.2;
+  double append_fraction = 0.1;
+  double read_fraction = 0.3;
+
+  // -- File shapes -------------------------------------------------------------
+  Lba min_file_pages = 1;
+  Lba max_file_pages = 64;
+  /// Pages per append / overwrite / read burst.
+  Lba min_io_pages = 1;
+  Lba max_io_pages = 16;
+
+  // -- Volume occupancy ---------------------------------------------------------
+  /// The generator steers file churn to keep the volume near this fill
+  /// level (creates when below, deletes when above).
+  double target_fill = 0.6;
+  /// Journal (metadata) pages at the start of the volume.
+  Lba journal_pages = 256;
+  /// Probability a mutating op is followed by a one-page journal commit
+  /// (a direct write — the realistic source of Table 1's O_SYNC traffic).
+  double journal_commit_fraction = 0.5;
+
+  // -- Tempo (same burst model as SyntheticWorkload) ------------------------------
+  double ops_per_sec = 1200.0;
+  double mean_on_period_s = 7.0;
+  double duty_cycle = 0.3;
+};
+
+/// Postmark-like: small-file churn with heavy create/delete.
+FileWorkloadSpec mail_server_spec();
+
+/// Filebench-fileserver-like: bigger files, more appends and reads.
+FileWorkloadSpec file_server_spec();
+
+class FileWorkload final : public WorkloadGenerator {
+ public:
+  FileWorkload(const FileWorkloadSpec& spec, Lba user_pages, std::uint64_t seed);
+
+  std::string name() const override { return spec_.name; }
+  std::optional<AppOp> next() override;
+  Lba footprint_pages() const override { return fs_.total_pages(); }
+  Lba working_set_pages() const override {
+    return static_cast<Lba>(spec_.target_fill * static_cast<double>(fs_.total_pages()));
+  }
+
+  const FileSystem& file_system() const { return fs_; }
+  const FileWorkloadSpec& spec() const { return spec_; }
+
+ private:
+  /// Generates one file-level operation and queues its page-level AppOps.
+  void generate_file_op();
+  TimeUs think_time();
+  void queue_extents(const std::vector<Extent>& extents, OpType type, bool direct);
+
+  FileWorkloadSpec spec_;
+  FileSystem fs_;
+  Rng rng_;
+  std::deque<AppOp> pending_;
+  TimeUs on_remaining_us_ = 0;
+};
+
+}  // namespace jitgc::wl

@@ -1,0 +1,169 @@
+#include "workload/specs.h"
+
+namespace jitgc::wl {
+
+WorkloadSpec ycsb_spec() {
+  WorkloadSpec s;
+  s.name = "YCSB";
+  s.read_fraction = 0.45;
+  s.direct_write_fraction = 0.118;  // Table 1: 11.8 % direct
+  s.zipf_theta = 0.95;              // YCSB zipfian default is heavily skewed
+  s.sequential_fraction = 0.05;
+  s.min_pages = 1;
+  s.max_pages = 4;
+  s.ops_per_sec = 4500.0;
+  s.mean_on_period_s = 7.0;
+  s.duty_cycle = 0.3;
+  return s;
+}
+
+WorkloadSpec postmark_spec() {
+  WorkloadSpec s;
+  s.name = "Postmark";
+  s.read_fraction = 0.35;
+  s.direct_write_fraction = 0.183;  // Table 1: 18.3 %
+  s.zipf_theta = 0.8;
+  s.sequential_fraction = 0.25;     // small files written whole
+  s.min_pages = 1;
+  s.max_pages = 8;
+  s.ops_per_sec = 1800.0;
+  s.mean_on_period_s = 7.0;
+  s.duty_cycle = 0.3;
+  return s;
+}
+
+WorkloadSpec filebench_spec() {
+  WorkloadSpec s;
+  s.name = "Filebench";
+  s.read_fraction = 0.4;
+  s.direct_write_fraction = 0.142;  // Table 1: 14.2 %
+  s.zipf_theta = 0.75;
+  s.sequential_fraction = 0.5;      // file-server appends are long runs
+  s.min_pages = 2;
+  s.max_pages = 16;
+  s.ops_per_sec = 1000.0;
+  s.mean_on_period_s = 7.0;
+  s.duty_cycle = 0.3;
+  return s;
+}
+
+WorkloadSpec bonnie_spec() {
+  WorkloadSpec s;
+  s.name = "Bonnie++";
+  s.read_fraction = 0.3;
+  s.direct_write_fraction = 0.276;  // Table 1: 27.6 %
+  s.zipf_theta = 0.6;               // bulk phases touch data broadly
+  s.sequential_fraction = 0.7;
+  s.min_pages = 4;
+  s.max_pages = 32;
+  s.ops_per_sec = 400.0;
+  s.mean_on_period_s = 7.0;
+  s.duty_cycle = 0.3;
+  return s;
+}
+
+WorkloadSpec tiobench_spec() {
+  WorkloadSpec s;
+  s.name = "Tiobench";
+  s.read_fraction = 0.35;
+  s.direct_write_fraction = 0.537;  // Table 1: 53.7 %
+  s.zipf_theta = 0.7;
+  s.sequential_fraction = 0.4;
+  s.min_pages = 1;
+  s.max_pages = 16;
+  s.ops_per_sec = 950.0;
+  s.mean_on_period_s = 10.0;
+  s.duty_cycle = 0.5;
+  return s;
+}
+
+WorkloadSpec tpcc_spec() {
+  WorkloadSpec s;
+  s.name = "TPC-C";
+  s.read_fraction = 0.5;
+  s.direct_write_fraction = 0.999;  // Table 1: 99.9 %
+  s.zipf_theta = 0.85;              // hot tables/indices
+  s.sequential_fraction = 0.02;
+  s.min_pages = 1;
+  s.max_pages = 2;
+  s.ops_per_sec = 6000.0;
+  s.mean_on_period_s = 10.0;
+  s.duty_cycle = 0.6;
+  return s;
+}
+
+std::vector<WorkloadSpec> paper_benchmark_specs() {
+  return {ycsb_spec(),   postmark_spec(), filebench_spec(),
+          bonnie_spec(), tiobench_spec(), tpcc_spec()};
+}
+
+namespace {
+
+/// Shared base for the YCSB core letters: small records, zipfian keys,
+/// commit-log-style direct share, the default burst structure.
+WorkloadSpec ycsb_core_base() {
+  WorkloadSpec s = ycsb_spec();
+  s.min_pages = 1;
+  s.max_pages = 4;
+  return s;
+}
+
+}  // namespace
+
+WorkloadSpec ycsb_a_spec() {
+  WorkloadSpec s = ycsb_core_base();
+  s.name = "YCSB-A";
+  s.read_fraction = 0.5;  // 50/50 update-heavy
+  return s;
+}
+
+WorkloadSpec ycsb_b_spec() {
+  WorkloadSpec s = ycsb_core_base();
+  s.name = "YCSB-B";
+  s.read_fraction = 0.95;
+  return s;
+}
+
+WorkloadSpec ycsb_c_spec() {
+  WorkloadSpec s = ycsb_core_base();
+  s.name = "YCSB-C";
+  s.read_fraction = 1.0;  // read only: no GC pressure at all
+  return s;
+}
+
+WorkloadSpec ycsb_d_spec() {
+  WorkloadSpec s = ycsb_core_base();
+  s.name = "YCSB-D";
+  s.read_fraction = 0.95;
+  // "Read latest": inserts extend the footprint sequentially and reads chase
+  // them - modeled as strongly sequential writes with heavy read skew.
+  s.sequential_fraction = 0.8;
+  s.zipf_theta = 0.99;
+  return s;
+}
+
+WorkloadSpec ycsb_e_spec() {
+  WorkloadSpec s = ycsb_core_base();
+  s.name = "YCSB-E";
+  s.read_fraction = 0.95;  // scans + 5 % inserts
+  s.min_pages = 8;         // a scan touches a run of records
+  s.max_pages = 32;
+  s.sequential_fraction = 0.7;
+  return s;
+}
+
+WorkloadSpec ycsb_f_spec() {
+  WorkloadSpec s = ycsb_core_base();
+  s.name = "YCSB-F";
+  s.read_fraction = 0.5;  // read-modify-write: every write paired with a read
+  s.zipf_theta = 0.99;    // RMW concentrates on hot records
+  return s;
+}
+
+std::vector<WorkloadSpec> ycsb_core_specs() {
+  return {ycsb_a_spec(), ycsb_b_spec(), ycsb_c_spec(),
+          ycsb_d_spec(), ycsb_e_spec(), ycsb_f_spec()};
+}
+
+}  // namespace jitgc::wl
+

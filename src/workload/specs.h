@@ -1,0 +1,58 @@
+// Specs for the paper's six evaluation benchmarks (§4.1, Table 1).
+//
+// Each spec is a synthetic analog of the real benchmark: the buffered/direct
+// write mix matches Table 1 exactly; locality, request sizes, sequentiality
+// and tempo follow the benchmark's published character. See DESIGN.md §2 for
+// the substitution rationale.
+#pragma once
+
+#include <vector>
+
+#include "workload/synthetic.h"
+
+namespace jitgc::wl {
+
+/// YCSB on Cassandra: update-intensive key-value, heavy zipf skew, small
+/// records, almost entirely buffered (commit log fsyncs are the direct part).
+WorkloadSpec ycsb_spec();
+
+/// Postmark: mail-server small-file churn — create/append/delete of small
+/// files, moderate skew, journaling gives the direct share.
+WorkloadSpec postmark_spec();
+
+/// Filebench (file-server profile): medium files, long sequential runs,
+/// metadata journaling direct writes.
+WorkloadSpec filebench_spec();
+
+/// Bonnie++: file-system bulk testing — large sequential phases with random
+/// seek phases; more sync I/O than the file-server profiles.
+WorkloadSpec bonnie_spec();
+
+/// Tiobench: multi-threaded I/O, roughly half the write volume O_DIRECT.
+WorkloadSpec tiobench_spec();
+
+/// TPC-C on MySQL/InnoDB: OLTP — tiny random direct writes (doublewrite +
+/// redo log), virtually nothing buffered.
+WorkloadSpec tpcc_spec();
+
+/// All six, in the paper's presentation order.
+std::vector<WorkloadSpec> paper_benchmark_specs();
+
+// -- The standard YCSB core workloads ----------------------------------------
+//
+// The paper ran "YCSB" (one Cassandra configuration); these are the six
+// standard YCSB core workload letters, for studying how JIT-GC behaves as
+// the update share moves from 50 % (A) to ~0 % (C). Same synthetic machinery
+// as ycsb_spec(), differing in mix and locality.
+
+WorkloadSpec ycsb_a_spec();  ///< update heavy: 50 % reads / 50 % updates
+WorkloadSpec ycsb_b_spec();  ///< read mostly: 95 % reads
+WorkloadSpec ycsb_c_spec();  ///< read only
+WorkloadSpec ycsb_d_spec();  ///< read latest: 95 % reads over fresh inserts
+WorkloadSpec ycsb_e_spec();  ///< short scans (sequential reads) + inserts
+WorkloadSpec ycsb_f_spec();  ///< read-modify-write
+
+/// The six letters, A..F.
+std::vector<WorkloadSpec> ycsb_core_specs();
+
+}  // namespace jitgc::wl

@@ -1,0 +1,92 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace jitgc::wl {
+
+SyntheticWorkload::SyntheticWorkload(const WorkloadSpec& spec, Lba user_pages, std::uint64_t seed)
+    : spec_(spec),
+      ws_pages_(static_cast<Lba>(spec.working_set_fraction * static_cast<double>(user_pages))),
+      footprint_pages_(
+          static_cast<Lba>(spec.footprint_fraction * static_cast<double>(user_pages))),
+      rng_(seed),
+      hot_zipf_(std::max<Lba>(ws_pages_, 1), spec.zipf_theta, rng_) {
+  JITGC_ENSURE_MSG(spec_.working_set_fraction > 0.0 && spec_.working_set_fraction <= 1.0,
+                   "working set fraction out of range");
+  JITGC_ENSURE_MSG(spec_.footprint_fraction >= spec_.working_set_fraction &&
+                       spec_.footprint_fraction <= 1.0,
+                   "footprint must contain the working set and fit the device");
+  JITGC_ENSURE_MSG(spec_.min_pages >= 1 && spec_.max_pages >= spec_.min_pages,
+                   "invalid request size range");
+  JITGC_ENSURE_MSG(spec_.duty_cycle > 0.0 && spec_.duty_cycle <= 1.0, "duty cycle out of range");
+  JITGC_ENSURE_MSG(footprint_pages_ <= user_pages, "footprint exceeds user capacity");
+}
+
+TimeUs SyntheticWorkload::think_time() {
+  const double mean_gap_us = 1e6 / spec_.ops_per_sec;
+  TimeUs think = static_cast<TimeUs>(rng_.exponential(mean_gap_us));
+
+  // ON/OFF bursts: when the ON credit runs out, insert an OFF (idle) gap.
+  if (on_remaining_us_ <= think) {
+    if (spec_.duty_cycle < 1.0) {
+      const double mean_off_s =
+          spec_.mean_on_period_s * (1.0 - spec_.duty_cycle) / spec_.duty_cycle;
+      think += static_cast<TimeUs>(rng_.exponential(mean_off_s * 1e6));
+    }
+    on_remaining_us_ = static_cast<TimeUs>(rng_.exponential(spec_.mean_on_period_s * 1e6));
+  } else {
+    on_remaining_us_ -= think;
+  }
+  return think;
+}
+
+Lba SyntheticWorkload::pick_write_lba(std::uint32_t pages) {
+  // Sequential continuation keeps file-like runs together.
+  if (seq_cursor_valid_ && rng_.chance(spec_.sequential_fraction)) {
+    if (seq_cursor_ + pages <= footprint_pages_) {
+      const Lba lba = seq_cursor_;
+      seq_cursor_ += pages;
+      return lba;
+    }
+    seq_cursor_valid_ = false;  // run hit the footprint edge; start fresh
+  }
+
+  Lba lba;
+  if (rng_.chance(spec_.hot_write_fraction) || footprint_pages_ == ws_pages_) {
+    lba = hot_zipf_(rng_);
+  } else {
+    // Cold rewrite somewhere in the non-WS part of the footprint.
+    lba = ws_pages_ + rng_.uniform(footprint_pages_ - ws_pages_);
+  }
+  lba = std::min(lba, footprint_pages_ > pages ? footprint_pages_ - pages : Lba{0});
+  seq_cursor_ = lba + pages;
+  seq_cursor_valid_ = seq_cursor_ + spec_.max_pages <= footprint_pages_;
+  return lba;
+}
+
+Lba SyntheticWorkload::pick_read_lba(std::uint32_t pages) {
+  // Reads follow the same locality as writes (hot data is hot for both).
+  Lba lba = rng_.chance(0.8) ? hot_zipf_(rng_) : rng_.uniform(footprint_pages_);
+  return std::min(lba, footprint_pages_ > pages ? footprint_pages_ - pages : Lba{0});
+}
+
+std::optional<AppOp> SyntheticWorkload::next() {
+  AppOp op;
+  op.think_us = think_time();
+  op.pages = static_cast<std::uint32_t>(rng_.uniform_range(spec_.min_pages, spec_.max_pages));
+
+  if (rng_.chance(spec_.read_fraction)) {
+    op.type = OpType::kRead;
+    op.direct = false;
+    op.lba = pick_read_lba(op.pages);
+  } else {
+    op.type = OpType::kWrite;
+    op.direct = rng_.chance(spec_.direct_write_fraction);
+    op.lba = pick_write_lba(op.pages);
+  }
+  return op;
+}
+
+}  // namespace jitgc::wl

@@ -1,0 +1,83 @@
+// Parameterized synthetic workload generator.
+//
+// Each of the paper's six benchmarks is an instance of this generator with a
+// spec capturing its published character: the buffered/direct write mix from
+// Table 1, update locality (zipfian over a hot working set), request sizes,
+// sequentiality, and an ON/OFF burst structure that produces the idle
+// periods background GC schedules into.
+#pragma once
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "workload/workload.h"
+
+namespace jitgc::wl {
+
+struct WorkloadSpec {
+  std::string name = "custom";
+
+  // -- Mix -------------------------------------------------------------------
+  /// Fraction of ops that are reads (the rest are writes).
+  double read_fraction = 0.4;
+  /// Fraction of write ops issued O_SYNC/O_DIRECT (Table 1 column).
+  double direct_write_fraction = 0.15;
+
+  // -- Addressing ------------------------------------------------------------
+  /// Hot working set as a fraction of user capacity (paper §4.1: 0.5).
+  double working_set_fraction = 0.5;
+  /// Total footprint ever touched (cold data beyond the WS), as a fraction
+  /// of user capacity. The gap to 1.0 stays unwritten (C_unused).
+  double footprint_fraction = 0.85;
+  /// Fraction of writes aimed at the hot WS (the rest rewrite cold data).
+  double hot_write_fraction = 0.92;
+  /// Zipf skew inside the hot working set.
+  double zipf_theta = 0.9;
+  /// Probability a write continues the previous write's sequential run.
+  double sequential_fraction = 0.1;
+
+  // -- Sizes -----------------------------------------------------------------
+  std::uint32_t min_pages = 1;
+  std::uint32_t max_pages = 4;
+
+  // -- Tempo -----------------------------------------------------------------
+  /// Mean issue rate during ON bursts (ops per second of think time).
+  double ops_per_sec = 800.0;
+  /// Mean ON-burst length and fraction of time spent ON.
+  double mean_on_period_s = 18.0;
+  double duty_cycle = 0.65;
+};
+
+class SyntheticWorkload final : public WorkloadGenerator {
+ public:
+  /// `user_pages`: device user capacity in pages — the spec's fractions
+  /// resolve against it. The stream is infinite.
+  SyntheticWorkload(const WorkloadSpec& spec, Lba user_pages, std::uint64_t seed);
+
+  std::string name() const override { return spec_.name; }
+  std::optional<AppOp> next() override;
+  Lba footprint_pages() const override { return footprint_pages_; }
+  Lba working_set_pages() const override { return ws_pages_; }
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  Lba pick_write_lba(std::uint32_t pages);
+  Lba pick_read_lba(std::uint32_t pages);
+  TimeUs think_time();
+
+  WorkloadSpec spec_;
+  Lba ws_pages_;
+  Lba footprint_pages_;
+  Rng rng_;
+  ScatteredZipf hot_zipf_;
+
+  /// ON/OFF burst state: time credit remaining in the current ON period.
+  TimeUs on_remaining_us_ = 0;
+  /// Sequential-run cursor.
+  Lba seq_cursor_ = 0;
+  bool seq_cursor_valid_ = false;
+};
+
+}  // namespace jitgc::wl

@@ -1,0 +1,149 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/ensure.h"
+#include "common/rng.h"
+
+namespace jitgc::wl {
+namespace {
+
+/// Windows FILETIME tick = 100 ns; 10 ticks per microsecond.
+constexpr std::int64_t kFiletimeTicksPerUs = 10;
+
+std::uint64_t parse_u64(std::string_view field, const char* what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    throw std::runtime_error(std::string("jitgc::wl: bad trace field (") + what + "): " +
+                             std::string(field));
+  }
+  return value;
+}
+
+/// Splits one CSV line into at most `n` comma-separated fields.
+std::vector<std::string_view> split_csv(std::string_view line, std::size_t n) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (fields.size() + 1 < n) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) break;
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  fields.push_back(line.substr(start));
+  return fields;
+}
+
+}  // namespace
+
+std::vector<TraceRecord> read_msr_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("jitgc::wl: cannot open trace file: " + path);
+
+  std::vector<TraceRecord> records;
+  std::string line;
+  bool first = true;
+  std::int64_t base_ticks = 0;
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = split_csv(line, 7);
+    if (fields.size() < 6) {
+      throw std::runtime_error("jitgc::wl: malformed trace line: " + line);
+    }
+
+    const auto ticks = static_cast<std::int64_t>(parse_u64(fields[0], "timestamp"));
+    if (first) {
+      base_ticks = ticks;
+      first = false;
+    }
+
+    TraceRecord rec;
+    rec.timestamp = (ticks - base_ticks) / kFiletimeTicksPerUs;
+    const std::string_view type = fields[3];
+    if (type == "Read" || type == "read" || type == "R") {
+      rec.type = OpType::kRead;
+    } else if (type == "Write" || type == "write" || type == "W") {
+      rec.type = OpType::kWrite;
+    } else {
+      throw std::runtime_error("jitgc::wl: unknown op type in trace: " + std::string(type));
+    }
+    rec.offset = parse_u64(fields[4], "offset");
+    rec.size = parse_u64(fields[5], "size");
+    records.push_back(rec);
+  }
+  return records;
+}
+
+void write_msr_trace(const std::string& path, const std::vector<TraceRecord>& records) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("jitgc::wl: cannot create trace file: " + path);
+  for (const TraceRecord& rec : records) {
+    out << rec.timestamp * kFiletimeTicksPerUs << ",jitgc,0,"
+        << (rec.type == OpType::kRead ? "Read" : "Write") << ',' << rec.offset << ',' << rec.size
+        << ",0\n";
+  }
+  if (!out) throw std::runtime_error("jitgc::wl: write failed for trace file: " + path);
+}
+
+std::vector<TraceRecord> record_workload(WorkloadGenerator& generator, TimeUs duration,
+                                         Bytes page_size) {
+  std::vector<TraceRecord> records;
+  TimeUs t = 0;
+  while (true) {
+    const auto op = generator.next();
+    if (!op) break;
+    t += op->think_us;
+    if (t >= duration) break;
+    if (op->type == OpType::kTrim) continue;  // no TRIM in the MSR format
+    TraceRecord rec;
+    rec.timestamp = t;
+    rec.type = op->type;
+    rec.offset = op->lba * page_size;
+    rec.size = static_cast<Bytes>(op->pages) * page_size;
+    records.push_back(rec);
+  }
+  return records;
+}
+
+TraceWorkload::TraceWorkload(std::string name, std::vector<TraceRecord> records,
+                             const TraceReplayOptions& options)
+    : name_(std::move(name)), records_(std::move(records)), options_(options),
+      rng_state_(options.seed) {
+  JITGC_ENSURE_MSG(options_.page_size >= 512, "page size below sector size");
+  Bytes max_end = 0;
+  for (const TraceRecord& rec : records_) max_end = std::max(max_end, rec.offset + rec.size);
+  const Lba derived = (max_end + options_.page_size - 1) / options_.page_size;
+  footprint_pages_ = options_.user_pages ? std::min<Lba>(options_.user_pages, derived)
+                                         : std::max<Lba>(derived, 1);
+}
+
+std::optional<AppOp> TraceWorkload::next() {
+  if (index_ >= records_.size()) return std::nullopt;
+  const TraceRecord& rec = records_[index_++];
+
+  AppOp op;
+  op.think_us = std::max<TimeUs>(0, rec.timestamp - prev_timestamp_);
+  prev_timestamp_ = rec.timestamp;
+  op.type = rec.type;
+  op.lba = (rec.offset / options_.page_size) % footprint_pages_;
+  op.pages = static_cast<std::uint32_t>(
+      std::max<Bytes>(1, (rec.size + options_.page_size - 1) / options_.page_size));
+  if (op.lba + op.pages > footprint_pages_) {
+    op.pages = static_cast<std::uint32_t>(footprint_pages_ - op.lba);
+  }
+
+  if (op.type == OpType::kWrite) {
+    // Block traces sit below the page cache: direct unless re-synthesized.
+    Rng rng(rng_state_);
+    rng_state_ = rng();
+    op.direct = !(options_.buffered_fraction > 0.0 && rng.uniform01() < options_.buffered_fraction);
+  }
+  return op;
+}
+
+}  // namespace jitgc::wl

@@ -1,0 +1,59 @@
+#include "workload/trace_stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace jitgc::wl {
+
+TraceStats analyze_trace(const std::vector<TraceRecord>& records, Bytes page_size) {
+  TraceStats s;
+  if (records.empty()) return s;
+
+  std::unordered_set<Lba> touched;
+  Bytes prev_end = 0;
+  bool have_prev = false;
+  std::size_t sequential = 0;
+  double size_sum = 0.0;
+  s.min_request = records.front().size;
+
+  for (const TraceRecord& rec : records) {
+    ++s.records;
+    if (rec.type == OpType::kWrite) {
+      ++s.writes;
+      s.write_bytes += rec.size;
+    } else {
+      ++s.reads;
+      s.read_bytes += rec.size;
+    }
+
+    const Lba first_page = rec.offset / page_size;
+    const Lba end_page = (rec.offset + rec.size + page_size - 1) / page_size;
+    s.footprint_pages = std::max(s.footprint_pages, end_page);
+    for (Lba p = first_page; p < end_page; ++p) touched.insert(p);
+
+    s.min_request = std::min(s.min_request, rec.size);
+    s.max_request = std::max(s.max_request, rec.size);
+    size_sum += static_cast<double>(rec.size);
+
+    if (have_prev && rec.offset == prev_end) ++sequential;
+    prev_end = rec.offset + rec.size;
+    have_prev = true;
+
+    std::size_t bucket = 0;
+    for (Bytes edge = 4 * KiB; bucket + 1 < s.size_histogram.size() && rec.size > edge;
+         edge *= 2) {
+      ++bucket;
+    }
+    ++s.size_histogram[bucket];
+  }
+
+  s.unique_pages = static_cast<Lba>(touched.size());
+  s.duration_s = to_seconds(records.back().timestamp - records.front().timestamp);
+  s.mean_iops = s.duration_s > 0.0 ? static_cast<double>(s.records) / s.duration_s : 0.0;
+  s.mean_request = size_sum / static_cast<double>(s.records);
+  s.sequential_fraction =
+      s.records > 1 ? static_cast<double>(sequential) / static_cast<double>(s.records - 1) : 0.0;
+  return s;
+}
+
+}  // namespace jitgc::wl

@@ -1,0 +1,50 @@
+// Block-trace characterization.
+//
+// Summarizes an MSR-format trace the same way the trace-analysis literature
+// does (write fraction, footprint, request-size mix, sequentiality, rate) so
+// a user can sanity-check a trace before replaying it — and so the trace
+// suite's synthesized families can be validated against their profiles.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.h"
+#include "workload/trace.h"
+
+namespace jitgc::wl {
+
+struct TraceStats {
+  std::size_t records = 0;
+  std::size_t writes = 0;
+  std::size_t reads = 0;
+  Bytes write_bytes = 0;
+  Bytes read_bytes = 0;
+
+  /// Highest touched offset, in pages.
+  Lba footprint_pages = 0;
+  /// Distinct touched pages (exact).
+  Lba unique_pages = 0;
+
+  double duration_s = 0.0;
+  double mean_iops = 0.0;
+
+  Bytes min_request = 0;
+  Bytes max_request = 0;
+  double mean_request = 0.0;
+
+  /// Fraction of requests whose offset continues the previous request.
+  double sequential_fraction = 0.0;
+
+  /// Request-size histogram by power-of-two buckets: [<=4K, 8K, 16K, 32K,
+  /// 64K, 128K, >128K].
+  std::array<std::size_t, 7> size_histogram{};
+
+  double write_fraction() const {
+    return records ? static_cast<double>(writes) / static_cast<double>(records) : 0.0;
+  }
+};
+
+TraceStats analyze_trace(const std::vector<TraceRecord>& records, Bytes page_size = 4 * KiB);
+
+}  // namespace jitgc::wl

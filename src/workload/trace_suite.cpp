@@ -1,0 +1,130 @@
+#include "workload/trace_suite.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace jitgc::wl {
+
+TraceProfile msr_proxy_profile() {
+  TraceProfile p;
+  p.name = "msr-prxy";
+  p.write_fraction = 0.97;  // prxy_0 is ~97 % writes
+  p.footprint_pages = 120'000;
+  p.zipf_theta = 0.9;
+  p.min_io_pages = 1;
+  p.max_io_pages = 2;  // dominated by 4-8 KiB requests
+  p.sequential_fraction = 0.05;
+  p.iops_in_burst = 1200.0;
+  p.mean_on_s = 8.0;
+  p.duty_cycle = 0.4;
+  return p;
+}
+
+TraceProfile msr_exchange_profile() {
+  TraceProfile p;
+  p.name = "msr-exch";
+  p.write_fraction = 0.7;
+  p.footprint_pages = 200'000;
+  p.zipf_theta = 0.85;
+  p.min_io_pages = 1;
+  p.max_io_pages = 8;
+  p.sequential_fraction = 0.15;
+  p.iops_in_burst = 900.0;
+  p.mean_on_s = 6.0;
+  p.duty_cycle = 0.35;
+  return p;
+}
+
+TraceProfile msr_source_control_profile() {
+  TraceProfile p;
+  p.name = "msr-src";
+  p.write_fraction = 0.85;
+  p.footprint_pages = 180'000;
+  p.zipf_theta = 0.7;
+  p.min_io_pages = 4;
+  p.max_io_pages = 32;  // bulk check-ins
+  p.sequential_fraction = 0.6;
+  p.iops_in_burst = 300.0;
+  p.mean_on_s = 12.0;
+  p.duty_cycle = 0.3;
+  return p;
+}
+
+TraceProfile msr_web_profile() {
+  TraceProfile p;
+  p.name = "msr-web";
+  p.write_fraction = 0.25;
+  p.footprint_pages = 200'000;
+  p.zipf_theta = 0.95;  // hot content
+  p.min_io_pages = 1;
+  p.max_io_pages = 16;
+  p.sequential_fraction = 0.2;
+  p.iops_in_burst = 1500.0;
+  p.mean_on_s = 10.0;
+  p.duty_cycle = 0.45;
+  return p;
+}
+
+std::vector<TraceProfile> msr_profiles() {
+  return {msr_proxy_profile(), msr_exchange_profile(), msr_source_control_profile(),
+          msr_web_profile()};
+}
+
+std::vector<TraceRecord> synthesize_trace(const TraceProfile& profile, TimeUs duration,
+                                          std::uint64_t seed) {
+  JITGC_ENSURE_MSG(profile.footprint_pages > profile.max_io_pages, "footprint too small");
+  JITGC_ENSURE_MSG(profile.duty_cycle > 0.0 && profile.duty_cycle <= 1.0,
+                   "duty cycle out of range");
+
+  constexpr Bytes kPage = 4 * KiB;
+  Rng rng(seed);
+  ZipfGenerator zipf(profile.footprint_pages, profile.zipf_theta);
+
+  std::vector<TraceRecord> records;
+  TimeUs t = 0;
+  TimeUs on_remaining = static_cast<TimeUs>(rng.exponential(profile.mean_on_s * 1e6));
+  Lba seq_cursor = 0;
+  bool seq_valid = false;
+
+  while (t < duration) {
+    TraceRecord rec;
+    rec.timestamp = t;
+    rec.type = rng.chance(profile.write_fraction) ? OpType::kWrite : OpType::kRead;
+
+    const auto pages =
+        static_cast<Lba>(rng.uniform_range(profile.min_io_pages, profile.max_io_pages));
+    Lba lba;
+    if (seq_valid && rng.chance(profile.sequential_fraction) &&
+        seq_cursor + pages <= profile.footprint_pages) {
+      lba = seq_cursor;
+    } else {
+      lba = zipf(rng);
+      lba = std::min(lba, profile.footprint_pages - pages);
+    }
+    seq_cursor = lba + pages;
+    seq_valid = seq_cursor + profile.max_io_pages <= profile.footprint_pages;
+
+    rec.offset = lba * kPage;
+    rec.size = pages * kPage;
+    records.push_back(rec);
+
+    // Advance the clock: exponential gaps while ON, OFF period when the
+    // burst credit runs out.
+    TimeUs gap = static_cast<TimeUs>(rng.exponential(1e6 / profile.iops_in_burst));
+    if (on_remaining <= gap) {
+      const double mean_off_s =
+          profile.mean_on_s * (1.0 - profile.duty_cycle) / profile.duty_cycle;
+      gap += static_cast<TimeUs>(rng.exponential(mean_off_s * 1e6));
+      on_remaining = static_cast<TimeUs>(rng.exponential(profile.mean_on_s * 1e6));
+    } else {
+      on_remaining -= gap;
+    }
+    t += gap;
+  }
+  return records;
+}
+
+}  // namespace jitgc::wl

@@ -1,0 +1,60 @@
+// Synthetic MSR-Cambridge-style block trace families.
+//
+// The repro band for this paper calls for "MQSim-style simulator plus MSR
+// traces". The real MSR Cambridge traces (SNIA IOTTA) cannot ship with this
+// repository, so this module synthesizes traces whose headline statistics
+// match the published characterizations of four much-used volumes — write
+// fraction, request sizes, sequentiality, burstiness and footprint — in the
+// exact CSV format the replayer reads, so swapping in the real files is a
+// one-line change.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "workload/trace.h"
+
+namespace jitgc::wl {
+
+/// Statistical profile of one trace family.
+struct TraceProfile {
+  std::string name;
+  /// Fraction of requests that are writes.
+  double write_fraction = 0.5;
+  /// Footprint in 4-KiB pages (scaled to the simulated device).
+  Lba footprint_pages = 200'000;
+  /// Access skew across the footprint.
+  double zipf_theta = 0.9;
+  /// Request size range in 4-KiB pages.
+  std::uint32_t min_io_pages = 1;
+  std::uint32_t max_io_pages = 16;
+  /// Probability a request continues the previous one sequentially.
+  double sequential_fraction = 0.1;
+  /// Mean in-burst request rate and ON/OFF burst structure.
+  double iops_in_burst = 600.0;
+  double mean_on_s = 8.0;
+  double duty_cycle = 0.35;
+};
+
+/// prxy_0 (firewall/web proxy): extremely write-dominant, small random IOs.
+TraceProfile msr_proxy_profile();
+
+/// exch_0 (Exchange server): mixed read/write, bursty, medium IOs.
+TraceProfile msr_exchange_profile();
+
+/// src1_2 (source control): write-heavy with long sequential runs.
+TraceProfile msr_source_control_profile();
+
+/// web_0 (web server): read-dominant with a hot set.
+TraceProfile msr_web_profile();
+
+std::vector<TraceProfile> msr_profiles();
+
+/// Synthesizes `duration` worth of trace records for the profile,
+/// deterministic in `seed`. Offsets/sizes in bytes, ready for
+/// write_msr_trace() / TraceWorkload.
+std::vector<TraceRecord> synthesize_trace(const TraceProfile& profile, TimeUs duration,
+                                          std::uint64_t seed);
+
+}  // namespace jitgc::wl

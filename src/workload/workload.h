@@ -1,0 +1,50 @@
+// Application-level I/O model.
+//
+// The simulator runs a closed loop: the "application" issues one operation,
+// waits for it to complete (buffered writes complete in RAM; direct writes
+// and reads complete at the device), thinks for `think_us`, then issues the
+// next. Idle time — which background GC lives off — comes from think times
+// and the generators' ON/OFF burst structure.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+
+namespace jitgc::wl {
+
+enum class OpType : std::uint8_t { kWrite, kRead, kTrim };
+
+/// One application operation.
+struct AppOp {
+  /// Delay after the previous op's completion before this op is issued.
+  TimeUs think_us = 0;
+  OpType type = OpType::kWrite;
+  /// Direct I/O (O_SYNC / O_DIRECT analog): bypasses the page cache.
+  bool direct = false;
+  Lba lba = 0;
+  std::uint32_t pages = 1;
+
+  Bytes bytes(Bytes page_size) const { return static_cast<Bytes>(pages) * page_size; }
+};
+
+/// Pull-model op stream. Generators own their randomness and are
+/// deterministic given their seed.
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Next operation, or nullopt if the workload is finite and exhausted.
+  virtual std::optional<AppOp> next() = 0;
+
+  /// Pages the generator may touch (the simulator preconditions this range).
+  virtual Lba footprint_pages() const = 0;
+  /// Hot-region size in pages (preconditioning scrambles this range).
+  virtual Lba working_set_pages() const = 0;
+};
+
+}  // namespace jitgc::wl

@@ -1,0 +1,96 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace jitgc {
+namespace {
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  Histogram h(10.0, 8);
+  EXPECT_EQ(h.value_at_quantile(0.8), 0.0);
+  EXPECT_EQ(h.total_count(), 0u);
+}
+
+TEST(Histogram, RightClosedBinning) {
+  Histogram h(10.0, 8);
+  h.add(10.0);  // exactly on an edge -> bin 1, upper edge 10
+  EXPECT_EQ(h.bin_count(1), 1u);
+  h.add(10.1);  // just past the edge -> bin 2
+  EXPECT_EQ(h.bin_count(2), 1u);
+  h.add(20.0);  // edge again -> bin 2
+  EXPECT_EQ(h.bin_count(2), 2u);
+}
+
+TEST(Histogram, ZeroHistoryReadsBackAsZeroDemand) {
+  Histogram h(10.0, 8);
+  for (int i = 0; i < 5; ++i) h.add(0.0);
+  EXPECT_EQ(h.value_at_quantile(0.8), 0.0);
+  EXPECT_EQ(h.value_at_quantile(1.0), 0.0);
+}
+
+TEST(Histogram, ZeroAndNegativeClampToFirstBin) {
+  Histogram h(10.0, 4);
+  h.add(0.0);
+  h.add(-5.0);
+  EXPECT_EQ(h.bin_count(0), 2u);
+}
+
+TEST(Histogram, OverflowClampsToLastBin) {
+  Histogram h(10.0, 4);  // zero bin + range bins up to 30
+  h.add(1e9);
+  EXPECT_EQ(h.bin_count(3), 1u);
+  EXPECT_EQ(h.value_at_quantile(1.0), 30.0);
+}
+
+TEST(Histogram, PaperFig5Example) {
+  // 10, 20, 20, 20, 80 MB over five intervals; 10-MB bins.
+  Histogram h(10.0, 16);
+  for (double v : {10.0, 20.0, 20.0, 20.0, 80.0}) h.add(v);
+  // "for 80% of the intervals, less than 20 MB data were written".
+  EXPECT_EQ(h.value_at_quantile(0.8), 20.0);
+  EXPECT_DOUBLE_EQ(h.cumulative_at(20.0), 0.8);
+  EXPECT_EQ(h.value_at_quantile(1.0), 80.0);
+  EXPECT_DOUBLE_EQ(h.cumulative_at(80.0), 1.0);
+  EXPECT_EQ(h.value_at_quantile(0.2), 10.0);
+}
+
+TEST(Histogram, RemoveUndoesAdd) {
+  Histogram h(10.0, 8);
+  h.add(15.0);
+  h.add(25.0);
+  h.remove(15.0);
+  EXPECT_EQ(h.total_count(), 1u);
+  EXPECT_EQ(h.value_at_quantile(1.0), 30.0);
+}
+
+TEST(Histogram, RemoveFromEmptyBinThrows) {
+  Histogram h(10.0, 8);
+  h.add(15.0);
+  EXPECT_THROW(h.remove(55.0), std::logic_error);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h(10.0, 8);
+  h.add(15.0);
+  h.clear();
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_EQ(h.value_at_quantile(0.5), 0.0);
+}
+
+TEST(Histogram, QuantileBoundsValidated) {
+  Histogram h(10.0, 8);
+  h.add(5.0);
+  EXPECT_THROW(h.value_at_quantile(0.0), std::logic_error);
+  EXPECT_THROW(h.value_at_quantile(1.1), std::logic_error);
+}
+
+TEST(Histogram, ConstructorValidation) {
+  EXPECT_THROW(Histogram(0.0, 8), std::logic_error);
+  EXPECT_THROW(Histogram(10.0, 0), std::logic_error);
+  EXPECT_THROW(Histogram(10.0, 1), std::logic_error);  // zero bin alone
+}
+
+}  // namespace
+}  // namespace jitgc

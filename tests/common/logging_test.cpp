@@ -1,0 +1,49 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace jitgc {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kWarn); }  // restore default
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  for (const LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                               LogLevel::kError, LogLevel::kOff}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST_F(LoggingTest, GatedExpressionsAreNotEvaluatedBelowLevel) {
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  const auto expensive = [&] {
+    ++evaluations;
+    return "payload";
+  };
+  JITGC_DEBUG(expensive());
+  JITGC_INFO(expensive());
+  JITGC_WARN(expensive());
+  EXPECT_EQ(evaluations, 0);
+
+  testing::internal::CaptureStderr();
+  JITGC_ERROR(expensive());
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_NE(err.find("payload"), std::string::npos);
+  EXPECT_NE(err.find("ERROR"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  testing::internal::CaptureStderr();
+  JITGC_ERROR("should not appear");
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+}  // namespace
+}  // namespace jitgc

@@ -1,0 +1,87 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace jitgc {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, ClearResets) {
+  RunningStats s;
+  s.add(1.0);
+  s.clear();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(PercentileTracker, EmptyIsZero) {
+  PercentileTracker t;
+  EXPECT_EQ(t.percentile(50), 0.0);
+  EXPECT_EQ(t.mean(), 0.0);
+}
+
+TEST(PercentileTracker, NearestRank) {
+  PercentileTracker t;
+  for (int i = 1; i <= 100; ++i) t.add(static_cast<double>(i));
+  EXPECT_EQ(t.percentile(50), 50.0);
+  EXPECT_EQ(t.percentile(99), 99.0);
+  EXPECT_EQ(t.percentile(100), 100.0);
+  EXPECT_EQ(t.percentile(1), 1.0);
+  EXPECT_EQ(t.percentile(0), 1.0);  // lowest sample
+  EXPECT_DOUBLE_EQ(t.mean(), 50.5);
+}
+
+TEST(PercentileTracker, UnsortedInput) {
+  PercentileTracker t;
+  for (double v : {9.0, 1.0, 5.0, 3.0, 7.0}) t.add(v);
+  EXPECT_EQ(t.percentile(100), 9.0);
+  EXPECT_EQ(t.percentile(20), 1.0);
+}
+
+TEST(PercentileTracker, AddAfterQueryResorts) {
+  PercentileTracker t;
+  t.add(5.0);
+  EXPECT_EQ(t.percentile(100), 5.0);
+  t.add(10.0);
+  EXPECT_EQ(t.percentile(100), 10.0);
+}
+
+TEST(PercentileTracker, OutOfRangeThrows) {
+  PercentileTracker t;
+  t.add(1.0);
+  EXPECT_THROW(t.percentile(-1.0), std::logic_error);
+  EXPECT_THROW(t.percentile(100.5), std::logic_error);
+}
+
+}  // namespace
+}  // namespace jitgc

@@ -1,0 +1,47 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+#include "common/ensure.h"
+
+namespace jitgc {
+namespace {
+
+TEST(Types, TimeConversions) {
+  EXPECT_EQ(seconds(1), 1'000'000);
+  EXPECT_EQ(seconds(0.5), 500'000);
+  EXPECT_EQ(milliseconds(2), 2'000);
+  EXPECT_DOUBLE_EQ(to_seconds(1'500'000), 1.5);
+  EXPECT_EQ(seconds(30) % seconds(5), 0);
+}
+
+TEST(Types, ByteUnits) {
+  EXPECT_EQ(KiB, 1024u);
+  EXPECT_EQ(MiB, 1024u * 1024u);
+  EXPECT_EQ(GiB, 1024u * 1024u * 1024u);
+}
+
+TEST(Types, Sentinels) {
+  EXPECT_EQ(kInvalidLba, std::numeric_limits<Lba>::max());
+  EXPECT_EQ(kUnmapped, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Ensure, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(JITGC_ENSURE(1 + 1 == 2));
+  EXPECT_NO_THROW(JITGC_ENSURE_MSG(true, "never shown"));
+}
+
+TEST(Ensure, FailureThrowsWithLocation) {
+  try {
+    JITGC_ENSURE_MSG(false, "the message");
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the message"), std::string::npos);
+    EXPECT_NE(what.find("types_test.cpp"), std::string::npos);
+    EXPECT_NE(what.find("false"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace jitgc

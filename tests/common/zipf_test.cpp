@@ -1,0 +1,83 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace jitgc {
+namespace {
+
+TEST(Zipf, SamplesInRange) {
+  Rng rng(1);
+  ZipfGenerator zipf(1000, 0.9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf(rng), 1000u);
+}
+
+TEST(Zipf, RankZeroIsMostPopular) {
+  Rng rng(2);
+  ZipfGenerator zipf(10000, 0.9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = zipf(rng);
+    if (v < 10) ++counts[v];
+  }
+  // Counts over the top ranks should be non-increasing (allow sampling noise
+  // by comparing rank 0 against rank 5).
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[0], 0);
+}
+
+TEST(Zipf, ThetaZeroIsNearlyUniform) {
+  Rng rng(3);
+  ZipfGenerator zipf(100, 0.0);
+  std::vector<int> counts(100, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf(rng)];
+  const auto [mn, mx] = std::minmax_element(counts.begin(), counts.end());
+  // Uniform: every bucket near n/100 = 2000; allow generous tolerance.
+  EXPECT_GT(*mn, 1500);
+  EXPECT_LT(*mx, 2500);
+}
+
+TEST(Zipf, HighThetaConcentratesMass) {
+  Rng rng(4);
+  ZipfGenerator zipf(1'000'000, 0.99);
+  int in_top_1pct = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) in_top_1pct += (zipf(rng) < 10000);
+  // With theta=0.99 far more than 50% of accesses hit the top 1% of items.
+  EXPECT_GT(in_top_1pct, n / 2);
+}
+
+TEST(Zipf, LargePopulationSetupIsFast) {
+  // Exercises the Euler-Maclaurin zeta path (n > 10000).
+  Rng rng(5);
+  ZipfGenerator zipf(100'000'000, 0.9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf(rng), 100'000'000u);
+}
+
+TEST(Zipf, RejectsInvalidParameters) {
+  EXPECT_THROW(ZipfGenerator(0, 0.5), std::logic_error);
+  EXPECT_THROW(ZipfGenerator(10, 1.0), std::logic_error);
+  EXPECT_THROW(ZipfGenerator(10, -0.1), std::logic_error);
+}
+
+TEST(ScatteredZipf, SamplesInRangeAndScattered) {
+  Rng seed(6);
+  ScatteredZipf zipf(100000, 0.95, seed);
+  Rng rng(7);
+  std::vector<std::uint64_t> top;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = zipf(rng);
+    ASSERT_LT(v, 100000u);
+    top.push_back(v);
+  }
+  // The hottest items must not all cluster at the low end of the space.
+  std::sort(top.begin(), top.end());
+  EXPECT_GT(top[top.size() / 2], 10000u);
+}
+
+}  // namespace
+}  // namespace jitgc

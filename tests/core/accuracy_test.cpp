@@ -1,0 +1,77 @@
+#include "core/accuracy.h"
+
+#include <gtest/gtest.h>
+
+namespace jitgc::core {
+namespace {
+
+TEST(AccuracyTracker, StartsPerfect) {
+  AccuracyTracker t;
+  EXPECT_DOUBLE_EQ(t.accuracy(), 1.0);
+  EXPECT_EQ(t.intervals(), 0u);
+}
+
+TEST(AccuracyTracker, Lag1PairsImmediately) {
+  AccuracyTracker t(1);
+  t.predict_next(100);
+  t.observe_actual(100);
+  EXPECT_EQ(t.intervals(), 1u);
+  EXPECT_DOUBLE_EQ(t.accuracy(), 1.0);
+}
+
+TEST(AccuracyTracker, Lag2SkipsWarmup) {
+  AccuracyTracker t(2);
+  // Tick 0: nothing due yet.
+  t.observe_actual(50);
+  t.predict_next(100);
+  EXPECT_EQ(t.intervals(), 0u);
+  // Tick 1: still warming up (queue below lag).
+  t.observe_actual(70);
+  t.predict_next(200);
+  EXPECT_EQ(t.intervals(), 0u);
+  // Tick 2: the tick-0 prediction falls due against this actual.
+  t.observe_actual(100);
+  EXPECT_EQ(t.intervals(), 1u);
+  EXPECT_DOUBLE_EQ(t.accuracy(), 1.0);
+}
+
+TEST(AccuracyTracker, UnderPrediction) {
+  AccuracyTracker t(1);
+  t.predict_next(50);
+  t.observe_actual(100);
+  EXPECT_DOUBLE_EQ(t.accuracy(), 0.5);
+}
+
+TEST(AccuracyTracker, OverPrediction) {
+  AccuracyTracker t(1);
+  t.predict_next(200);
+  t.observe_actual(100);
+  EXPECT_DOUBLE_EQ(t.accuracy(), 0.5);
+}
+
+TEST(AccuracyTracker, BothZeroIsPerfect) {
+  AccuracyTracker t(1);
+  t.predict_next(0);
+  t.observe_actual(0);
+  EXPECT_DOUBLE_EQ(t.accuracy(), 1.0);
+}
+
+TEST(AccuracyTracker, PredictedZeroAgainstTrafficIsZero) {
+  AccuracyTracker t(1);
+  t.predict_next(0);
+  t.observe_actual(1000);
+  EXPECT_DOUBLE_EQ(t.accuracy(), 0.0);
+}
+
+TEST(AccuracyTracker, MeanOverIntervals) {
+  AccuracyTracker t(1);
+  t.predict_next(100);
+  t.observe_actual(100);  // 1.0
+  t.predict_next(50);
+  t.observe_actual(100);  // 0.5
+  EXPECT_DOUBLE_EQ(t.accuracy(), 0.75);
+  EXPECT_EQ(t.intervals(), 2u);
+}
+
+}  // namespace
+}  // namespace jitgc::core

@@ -1,0 +1,100 @@
+// Validates the CDH/direct-write predictor against the paper's Fig. 5
+// example: interval traffic of 10, 20, 20, 20, 80 MB; with 10-MB bins the
+// 80th percentile reserve is 20 MB.
+#include "core/cdh.h"
+
+#include <gtest/gtest.h>
+
+namespace jitgc::core {
+namespace {
+
+constexpr Bytes MB = 1'000'000;  // the figure's decimal megabytes
+
+CdhConfig fig5_config() {
+  CdhConfig cfg;
+  cfg.bin_width = 10 * MB;
+  cfg.num_bins = 16;
+  cfg.intervals_per_window = 1;  // the figure feeds per-interval amounts
+  cfg.max_window_samples = 0;
+  return cfg;
+}
+
+TEST(Cdh, Fig5ReserveAt80thPercentile) {
+  Cdh cdh(fig5_config());
+  for (Bytes v : {10 * MB, 20 * MB, 20 * MB, 20 * MB, 80 * MB}) cdh.observe_interval(v);
+  EXPECT_EQ(cdh.window_samples(), 5u);
+  EXPECT_EQ(cdh.reserve_for_quantile(0.8), 20 * MB);
+  EXPECT_DOUBLE_EQ(cdh.coverage(20 * MB), 0.8);
+  EXPECT_EQ(cdh.reserve_for_quantile(1.0), 80 * MB);
+}
+
+TEST(Cdh, EmptyReturnsZero) {
+  Cdh cdh(fig5_config());
+  EXPECT_EQ(cdh.reserve_for_quantile(0.8), 0u);
+  EXPECT_EQ(cdh.coverage(100), 0.0);
+}
+
+TEST(Cdh, SlidingWindowSumsIntervals) {
+  CdhConfig cfg = fig5_config();
+  cfg.intervals_per_window = 3;
+  Cdh cdh(cfg);
+  cdh.observe_interval(10 * MB);
+  cdh.observe_interval(20 * MB);
+  EXPECT_EQ(cdh.window_samples(), 0u);  // window not yet full
+  cdh.observe_interval(30 * MB);
+  EXPECT_EQ(cdh.window_samples(), 1u);  // 60 MB window
+  cdh.observe_interval(0);
+  EXPECT_EQ(cdh.window_samples(), 2u);  // 50 MB window (slid by one)
+  EXPECT_EQ(cdh.reserve_for_quantile(1.0), 60 * MB);
+  EXPECT_EQ(cdh.reserve_for_quantile(0.5), 50 * MB);
+}
+
+TEST(Cdh, HistoryAgesOut) {
+  CdhConfig cfg = fig5_config();
+  cfg.max_window_samples = 2;
+  Cdh cdh(cfg);
+  cdh.observe_interval(80 * MB);
+  cdh.observe_interval(10 * MB);
+  cdh.observe_interval(10 * MB);  // evicts the 80-MB sample
+  EXPECT_EQ(cdh.window_samples(), 2u);
+  EXPECT_EQ(cdh.reserve_for_quantile(1.0), 10 * MB);
+}
+
+TEST(DirectWritePredictor, SpreadsReserveUniformly) {
+  CdhConfig cfg = fig5_config();
+  cfg.intervals_per_window = 6;
+  DirectWritePredictor pred(cfg, 0.8);
+  // One full window of 60 MB total.
+  for (int i = 0; i < 6; ++i) pred.observe_interval(10 * MB);
+  const DemandVector d = pred.predict();
+  ASSERT_EQ(d.nwb(), 6u);
+  EXPECT_EQ(d.total(), pred.delta_dir());
+  // Uniform split with the remainder in slot 1.
+  for (std::uint32_t i = 2; i <= 6; ++i) EXPECT_EQ(d.at(i), pred.delta_dir() / 6);
+  EXPECT_GE(d.at(1), d.at(2));
+}
+
+TEST(DirectWritePredictor, EmptyHistoryPredictsZero) {
+  DirectWritePredictor pred(fig5_config(), 0.8);
+  EXPECT_EQ(pred.predict().total(), 0u);
+}
+
+TEST(DirectWritePredictor, HigherQuantileReservesMore) {
+  CdhConfig cfg = fig5_config();
+  DirectWritePredictor p80(cfg, 0.8);
+  DirectWritePredictor p99(cfg, 0.99);
+  for (Bytes v : {10 * MB, 20 * MB, 20 * MB, 20 * MB, 80 * MB}) {
+    p80.observe_interval(v);
+    p99.observe_interval(v);
+  }
+  EXPECT_LT(p80.delta_dir(), p99.delta_dir());
+  EXPECT_EQ(p99.delta_dir(), 80 * MB);
+}
+
+TEST(DirectWritePredictor, RejectsBadQuantile) {
+  EXPECT_THROW(DirectWritePredictor(fig5_config(), 0.0), std::logic_error);
+  EXPECT_THROW(DirectWritePredictor(fig5_config(), 1.5), std::logic_error);
+}
+
+}  // namespace
+}  // namespace jitgc::core

@@ -1,0 +1,55 @@
+#include "core/demand_vector.h"
+
+#include <gtest/gtest.h>
+
+namespace jitgc::core {
+namespace {
+
+TEST(DemandVector, DefaultIsEmpty) {
+  DemandVector d;
+  EXPECT_EQ(d.nwb(), 0u);
+  EXPECT_EQ(d.total(), 0u);
+}
+
+TEST(DemandVector, SizedConstructorZeroes) {
+  DemandVector d(6);
+  EXPECT_EQ(d.nwb(), 6u);
+  for (std::uint32_t i = 1; i <= 6; ++i) EXPECT_EQ(d.at(i), 0u);
+}
+
+TEST(DemandVector, OneBasedIndexing) {
+  DemandVector d(3);
+  d.set(1, 10);
+  d.add(3, 5);
+  d.add(3, 7);
+  EXPECT_EQ(d.at(1), 10u);
+  EXPECT_EQ(d.at(2), 0u);
+  EXPECT_EQ(d.at(3), 12u);
+  EXPECT_EQ(d.total(), 22u);
+}
+
+TEST(DemandVector, BoundsChecked) {
+  DemandVector d(3);
+  EXPECT_THROW(d.at(0), std::logic_error);
+  EXPECT_THROW(d.at(4), std::logic_error);
+  EXPECT_THROW(d.add(0, 1), std::logic_error);
+  EXPECT_THROW(d.set(4, 1), std::logic_error);
+}
+
+TEST(DemandVector, FromValues) {
+  DemandVector d(std::vector<Bytes>{1, 2, 3});
+  EXPECT_EQ(d.nwb(), 3u);
+  EXPECT_EQ(d.at(2), 2u);
+  EXPECT_EQ(d.total(), 6u);
+}
+
+TEST(DemandVector, Equality) {
+  DemandVector a(std::vector<Bytes>{1, 2});
+  DemandVector b(std::vector<Bytes>{1, 2});
+  DemandVector c(std::vector<Bytes>{2, 1});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace jitgc::core

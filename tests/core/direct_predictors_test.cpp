@@ -1,0 +1,121 @@
+#include "core/direct_predictors.h"
+
+#include <gtest/gtest.h>
+
+namespace jitgc::core {
+namespace {
+
+constexpr Bytes MB = 1'000'000;
+
+DirectEstimatorConfig config(DirectEstimatorKind kind) {
+  DirectEstimatorConfig cfg;
+  cfg.kind = kind;
+  cfg.cdh.bin_width = 10 * MB;
+  cfg.cdh.num_bins = 64;
+  cfg.intervals_per_window = 3;
+  cfg.max_windows = 4;
+  return cfg;
+}
+
+/// Feeds per-interval values; one full window = 3 intervals.
+void feed(DirectDemandEstimator& est, std::initializer_list<Bytes> intervals) {
+  for (const Bytes v : intervals) est.observe_interval(v);
+}
+
+TEST(DirectEstimators, FactoryProducesAllKinds) {
+  for (const auto kind :
+       {DirectEstimatorKind::kCdh, DirectEstimatorKind::kEwma,
+        DirectEstimatorKind::kSlidingMax, DirectEstimatorKind::kLastWindow}) {
+    const auto est = make_direct_estimator(config(kind));
+    ASSERT_NE(est, nullptr);
+    EXPECT_EQ(est->estimate(), 0u);  // no history yet
+  }
+}
+
+TEST(DirectEstimators, CdhMatchesDirectWritePredictor) {
+  const auto est = make_direct_estimator(config(DirectEstimatorKind::kCdh));
+  feed(*est, {10 * MB, 10 * MB, 10 * MB});  // one 30-MB window
+  EXPECT_EQ(est->estimate(), 30 * MB);
+  EXPECT_STREQ(est->name(), "cdh");
+}
+
+TEST(EwmaEstimator, TracksMeanWithMargin) {
+  auto cfg = config(DirectEstimatorKind::kEwma);
+  cfg.ewma_alpha = 1.0;  // no smoothing: estimate = last window * margin
+  cfg.ewma_margin = 1.5;
+  const auto est = make_direct_estimator(cfg);
+  feed(*est, {10 * MB, 10 * MB, 10 * MB});
+  EXPECT_EQ(est->estimate(), static_cast<Bytes>(45 * MB));
+}
+
+TEST(EwmaEstimator, SmoothsTowardNewLevel) {
+  auto cfg = config(DirectEstimatorKind::kEwma);
+  cfg.ewma_alpha = 0.5;
+  cfg.ewma_margin = 1.0;
+  const auto est = make_direct_estimator(cfg);
+  feed(*est, {30 * MB, 0, 0});  // first window: 30 MB (primes the EWMA)
+  const Bytes first = est->estimate();
+  feed(*est, {0, 0, 0});  // windows decay toward 0
+  feed(*est, {0, 0, 0});
+  EXPECT_LT(est->estimate(), first);
+  EXPECT_GT(est->estimate(), 0u);  // but not instantly
+}
+
+TEST(EwmaEstimator, RejectsBadParameters) {
+  auto cfg = config(DirectEstimatorKind::kEwma);
+  cfg.ewma_alpha = 0.0;
+  EXPECT_THROW(make_direct_estimator(cfg), std::logic_error);
+  cfg = config(DirectEstimatorKind::kEwma);
+  cfg.ewma_margin = 0.5;
+  EXPECT_THROW(make_direct_estimator(cfg), std::logic_error);
+}
+
+TEST(SlidingMaxEstimator, RemembersTheMaximum) {
+  const auto est = make_direct_estimator(config(DirectEstimatorKind::kSlidingMax));
+  feed(*est, {10 * MB, 0, 0});
+  feed(*est, {80 * MB, 0, 0});
+  feed(*est, {5 * MB, 0, 0});
+  // Overlapping windows: the peak window contains the 80-MB interval.
+  EXPECT_GE(est->estimate(), 80 * MB);
+}
+
+TEST(SlidingMaxEstimator, OldPeaksAgeOut) {
+  auto cfg = config(DirectEstimatorKind::kSlidingMax);
+  cfg.max_windows = 2;
+  const auto est = make_direct_estimator(cfg);
+  feed(*est, {90 * MB, 0, 0});
+  // Enough quiet windows to push the peak out of the 2-window memory.
+  feed(*est, {0, 0, 0, 0, 0, 0, 0, 0, 0});
+  EXPECT_EQ(est->estimate(), 0u);
+}
+
+TEST(LastWindowEstimator, TracksExactlyTheLastWindow) {
+  const auto est = make_direct_estimator(config(DirectEstimatorKind::kLastWindow));
+  feed(*est, {10 * MB, 20 * MB, 30 * MB});
+  EXPECT_EQ(est->estimate(), 60 * MB);
+  feed(*est, {0});
+  EXPECT_EQ(est->estimate(), 50 * MB);  // slid by one interval
+  feed(*est, {0, 0});
+  EXPECT_EQ(est->estimate(), 0u);
+}
+
+TEST(DirectEstimators, OrderingUnderBurstyTraffic) {
+  // With bursty history, the conservative-to-cheap ordering must hold:
+  // sliding-max >= cdh(0.8) and ewma-mean-based <= sliding-max.
+  auto cdh = make_direct_estimator(config(DirectEstimatorKind::kCdh));
+  auto mx = make_direct_estimator(config(DirectEstimatorKind::kSlidingMax));
+  auto ewma = make_direct_estimator(config(DirectEstimatorKind::kEwma));
+  for (int round = 0; round < 4; ++round) {
+    for (const Bytes v : {5 * MB, 0 * MB, 60 * MB}) {
+      cdh->observe_interval(v);
+      mx->observe_interval(v);
+      ewma->observe_interval(v);
+    }
+  }
+  // CDH reports bin upper edges, so allow one bin of quantization slack.
+  EXPECT_GE(mx->estimate() + 10 * MB, cdh->estimate());
+  EXPECT_LE(ewma->estimate(), mx->estimate() * 2);  // sane scale
+}
+
+}  // namespace
+}  // namespace jitgc::core

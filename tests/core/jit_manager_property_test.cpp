@@ -1,0 +1,94 @@
+// Property sweeps over the JIT-GC manager's decision rule: the laws any
+// correct implementation of §3.3 must satisfy, checked on a grid of
+// (C_req, C_free, B_w, B_gc) combinations.
+#include <gtest/gtest.h>
+
+#include "core/jit_manager.h"
+
+namespace jitgc::core {
+namespace {
+
+constexpr Bytes MB = 1'000'000;
+
+Prediction uniform_prediction(Bytes total_mb) {
+  // Spread the demand uniformly over six slots (remainder in slot 1).
+  std::vector<Bytes> slots(6, total_mb * MB / 6);
+  slots[0] += total_mb * MB - 6 * (total_mb * MB / 6);
+  Prediction p;
+  p.buffered = DemandVector(std::move(slots));
+  p.direct = DemandVector(6);
+  return p;
+}
+
+class JitManagerGrid : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  static constexpr double kBw = 40.0 * MB;
+  static constexpr double kBgc = 10.0 * MB;
+};
+
+/// Law 1: the urgent portion never exceeds the total shortfall, and both are
+/// zero exactly when free space covers demand.
+TEST_P(JitManagerGrid, UrgentBoundedByShortfall) {
+  const auto [creq_mb, cfree_mb] = GetParam();
+  JitGcManager mgr(seconds(30));
+  const JitDecision d =
+      mgr.decide(uniform_prediction(creq_mb), cfree_mb * MB, BandwidthEstimate{kBw, kBgc});
+
+  if (static_cast<Bytes>(cfree_mb) >= static_cast<Bytes>(creq_mb)) {
+    EXPECT_FALSE(d.invoke_bgc);
+    EXPECT_EQ(d.reclaim_bytes, 0u);
+    EXPECT_EQ(d.idle_reclaim_bytes, 0u);
+  } else {
+    EXPECT_EQ(d.idle_reclaim_bytes, static_cast<Bytes>(creq_mb - cfree_mb) * MB);
+    EXPECT_LE(d.reclaim_bytes, d.idle_reclaim_bytes);
+    EXPECT_EQ(d.invoke_bgc, d.reclaim_bytes > 0);
+  }
+}
+
+/// Law 2: more free space never increases either reclaim quantity.
+TEST_P(JitManagerGrid, MonotoneInFreeSpace) {
+  const auto [creq_mb, cfree_mb] = GetParam();
+  JitGcManager mgr(seconds(30));
+  const Prediction p = uniform_prediction(creq_mb);
+  const JitDecision lo = mgr.decide(p, cfree_mb * MB, BandwidthEstimate{kBw, kBgc});
+  const JitDecision hi = mgr.decide(p, (cfree_mb + 25) * MB, BandwidthEstimate{kBw, kBgc});
+  EXPECT_LE(hi.reclaim_bytes, lo.reclaim_bytes);
+  EXPECT_LE(hi.idle_reclaim_bytes, lo.idle_reclaim_bytes);
+}
+
+/// Law 3: a faster collector (bigger B_gc) never makes the manager more
+/// urgent.
+TEST_P(JitManagerGrid, MonotoneInGcBandwidth) {
+  const auto [creq_mb, cfree_mb] = GetParam();
+  JitGcManager mgr(seconds(30));
+  const Prediction p = uniform_prediction(creq_mb);
+  const JitDecision slow = mgr.decide(p, cfree_mb * MB, BandwidthEstimate{kBw, kBgc});
+  const JitDecision fast = mgr.decide(p, cfree_mb * MB, BandwidthEstimate{kBw, kBgc * 4});
+  EXPECT_LE(fast.invoke_bgc, slow.invoke_bgc);
+  EXPECT_LE(fast.reclaim_bytes, slow.reclaim_bytes);
+}
+
+/// Law 4: the reserve cap clamps effective demand.
+TEST_P(JitManagerGrid, ReserveCapClamps) {
+  const auto [creq_mb, cfree_mb] = GetParam();
+  if (creq_mb <= cfree_mb) return;
+  JitGcManager mgr(seconds(30));
+  const Prediction p = uniform_prediction(creq_mb);
+  const Bytes cap = (cfree_mb + (creq_mb - cfree_mb) / 2) * MB;  // between free and demand
+  const JitDecision d =
+      mgr.decide(p, cfree_mb * MB, BandwidthEstimate{kBw, kBgc}, /*max_reserve=*/cap);
+  EXPECT_EQ(d.c_req, cap);
+  EXPECT_LE(d.idle_reclaim_bytes, cap);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, JitManagerGrid,
+    ::testing::Combine(::testing::Values(0, 30, 90, 290, 600, 1100),   // C_req (MB)
+                       ::testing::Values(0, 10, 50, 200, 600)),        // C_free (MB)
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "creq" + std::to_string(std::get<0>(info.param)) + "_cfree" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace jitgc::core

@@ -1,0 +1,99 @@
+// Validates the JIT-GC manager against the paper's Fig. 6 worked examples:
+// p = 5 s, tau_expire = 30 s, C_free = 50 MB, B_w = 40 MB/s, B_gc = 10 MB/s.
+#include "core/jit_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace jitgc::core {
+namespace {
+
+constexpr Bytes MB = 1'000'000;
+
+Prediction make_prediction(std::vector<Bytes> buffered_mb, std::vector<Bytes> direct_mb) {
+  Prediction p;
+  for (auto& v : buffered_mb) v *= MB;
+  for (auto& v : direct_mb) v *= MB;
+  p.buffered = DemandVector(std::move(buffered_mb));
+  p.direct = DemandVector(std::move(direct_mb));
+  return p;
+}
+
+const BandwidthEstimate kFig6Bw{40.0 * MB, 10.0 * MB};
+
+TEST(JitGcManager, Fig6CaseA_IdleExceedsGcTime) {
+  JitGcManager mgr(seconds(30));
+  const Prediction p = make_prediction({0, 0, 0, 0, 20, 40}, {5, 5, 5, 5, 5, 5});
+  ASSERT_EQ(p.required_capacity(), 90 * MB);
+
+  const JitDecision d = mgr.decide(p, 50 * MB, kFig6Bw);
+  EXPECT_FALSE(d.invoke_bgc);
+  EXPECT_EQ(d.reclaim_bytes, 0u);
+  // The 40-MB shortfall is still scheduled lazily, for idle time.
+  EXPECT_EQ(d.idle_reclaim_bytes, 40 * MB);
+  EXPECT_NEAR(d.t_write_s, 90.0 / 40.0, 1e-9);
+  EXPECT_NEAR(d.t_idle_s, 30.0 - 2.25, 1e-9);
+  EXPECT_NEAR(d.t_gc_s, 4.0, 1e-9);
+}
+
+TEST(JitGcManager, Fig6CaseB_InvokesWithExactReclaim) {
+  JitGcManager mgr(seconds(30));
+  const Prediction p = make_prediction({0, 0, 20, 40, 0, 200}, {5, 5, 5, 5, 5, 5});
+  ASSERT_EQ(p.required_capacity(), 290 * MB);
+
+  const JitDecision d = mgr.decide(p, 50 * MB, kFig6Bw);
+  EXPECT_TRUE(d.invoke_bgc);
+  EXPECT_NEAR(d.t_idle_s, 22.75, 1e-9);
+  EXPECT_NEAR(d.t_gc_s, 24.0, 1e-9);
+  // D_reclaim = (24 - 22.75) * 10 MB/s = 12.5 MB.
+  EXPECT_EQ(d.reclaim_bytes, static_cast<Bytes>(12.5 * MB));
+  EXPECT_EQ(d.idle_reclaim_bytes, 240 * MB);
+}
+
+TEST(JitGcManager, NoBgcWhenFreeCoversDemand) {
+  JitGcManager mgr(seconds(30));
+  const Prediction p = make_prediction({10, 0, 0, 0, 0, 0}, {0, 0, 0, 0, 0, 0});
+  const JitDecision d = mgr.decide(p, 10 * MB, kFig6Bw);
+  EXPECT_FALSE(d.invoke_bgc);
+  EXPECT_EQ(d.idle_reclaim_bytes, 0u);  // nothing to reserve
+  EXPECT_EQ(d.t_gc_s, 0.0);             // never computed
+}
+
+TEST(JitGcManager, ZeroDemandNeverInvokes) {
+  JitGcManager mgr(seconds(30));
+  const Prediction p = make_prediction({0, 0, 0, 0, 0, 0}, {0, 0, 0, 0, 0, 0});
+  EXPECT_FALSE(mgr.decide(p, 0, kFig6Bw).invoke_bgc);
+}
+
+TEST(JitGcManager, SaturatedHorizonReclaimsFullShortfall) {
+  JitGcManager mgr(seconds(30));
+  // Demand so large that writing it consumes the whole horizon: T_idle = 0,
+  // so reclaim clamps to exactly C_req - C_free.
+  const Prediction p = make_prediction({300, 300, 300, 300, 300, 300}, {0, 0, 0, 0, 0, 0});
+  const JitDecision d = mgr.decide(p, 100 * MB, kFig6Bw);
+  EXPECT_TRUE(d.invoke_bgc);
+  EXPECT_EQ(d.t_idle_s, 0.0);
+  EXPECT_EQ(d.reclaim_bytes, p.required_capacity() - 100 * MB);
+}
+
+TEST(JitGcManager, LazierWithMoreFreeSpace) {
+  JitGcManager mgr(seconds(30));
+  const Prediction p = make_prediction({0, 0, 50, 50, 50, 150}, {5, 5, 5, 5, 5, 5});
+  const JitDecision little_free = mgr.decide(p, 10 * MB, kFig6Bw);
+  const JitDecision more_free = mgr.decide(p, 200 * MB, kFig6Bw);
+  ASSERT_TRUE(little_free.invoke_bgc);
+  EXPECT_LE(more_free.reclaim_bytes, little_free.reclaim_bytes);
+}
+
+TEST(JitGcManager, RequiresPositiveBandwidths) {
+  JitGcManager mgr(seconds(30));
+  const Prediction p = make_prediction({10, 0, 0, 0, 0, 0}, {0, 0, 0, 0, 0, 0});
+  EXPECT_THROW(mgr.decide(p, 0, BandwidthEstimate{0.0, 10.0}), std::logic_error);
+  EXPECT_THROW(mgr.decide(p, 0, BandwidthEstimate{10.0, 0.0}), std::logic_error);
+}
+
+TEST(JitGcManager, RejectsNonPositiveHorizon) {
+  EXPECT_THROW(JitGcManager(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace jitgc::core

@@ -1,0 +1,99 @@
+// Hot/cold stream separation in the FTL.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "ftl/ftl.h"
+
+namespace jitgc::ftl {
+namespace {
+
+FtlConfig split_config(bool separation) {
+  FtlConfig cfg;
+  cfg.geometry = nand::Geometry{.channels = 1,
+                                .dies_per_channel = 1,
+                                .planes_per_die = 1,
+                                .blocks_per_plane = 64,
+                                .pages_per_block = 16,
+                                .page_size = 4 * KiB};
+  cfg.op_ratio = 0.15;
+  cfg.enable_hot_cold_separation = separation;
+  cfg.hot_recency_window = 64;
+  return cfg;
+}
+
+TEST(HotCold, RepeatedRewritesCountAsHot) {
+  Ftl ftl(split_config(true));
+  // First touch of an LBA is cold; rapid rewrites are hot.
+  for (int i = 0; i < 50; ++i) {
+    for (Lba lba = 0; lba < 8; ++lba) ftl.write(lba);
+  }
+  EXPECT_GT(ftl.stats().hot_stream_writes, 300u);
+}
+
+TEST(HotCold, OneTimeWritesStayCold) {
+  Ftl ftl(split_config(true));
+  for (Lba lba = 0; lba < 400; ++lba) ftl.write(lba);  // sequential fill, no rewrites
+  EXPECT_EQ(ftl.stats().hot_stream_writes, 0u);
+}
+
+TEST(HotCold, RewritesOutsideWindowAreCold) {
+  FtlConfig cfg = split_config(true);
+  cfg.hot_recency_window = 4;  // very short memory
+  Ftl ftl(cfg);
+  // Rewrite lba 0 every 10 writes: always outside the 4-write window.
+  for (Lba round = 0; round < 20; ++round) {
+    ftl.write(0);
+    for (Lba lba = 100 + round * 9; lba < 109 + round * 9; ++lba) ftl.write(lba);
+  }
+  EXPECT_EQ(ftl.stats().hot_stream_writes, 0u);
+}
+
+TEST(HotCold, DisabledCountsNothing) {
+  Ftl ftl(split_config(false));
+  for (int i = 0; i < 50; ++i) {
+    for (Lba lba = 0; lba < 8; ++lba) ftl.write(lba);
+  }
+  EXPECT_EQ(ftl.stats().hot_stream_writes, 0u);
+}
+
+TEST(HotCold, SeparationLowersWafOnSkewedChurn) {
+  // Mixed hot/cold traffic: zipf-hot overwrites + a cold sequential stream.
+  // With separation, hot pages die together and victims polarize.
+  const auto run = [](bool separation) {
+    Ftl ftl(split_config(separation));
+    Rng rng(99);
+    const Lba user = ftl.user_pages();
+    for (Lba lba = 0; lba < user * 8 / 10; ++lba) ftl.write(lba);  // age
+    ZipfGenerator zipf(user / 4, 0.9);
+    for (int i = 0; i < 30000; ++i) {
+      if (rng.chance(0.9)) {
+        ftl.write(zipf(rng));  // hot overwrite
+      } else {
+        ftl.write(user / 4 + rng.uniform(user / 2));  // cold churn
+      }
+    }
+    return ftl.waf();
+  };
+
+  const double split = run(true);
+  const double single = run(false);
+  EXPECT_LT(split, single * 1.02);  // at minimum not worse; typically clearly better
+}
+
+TEST(HotCold, MappingIntegrityUnderSeparation) {
+  Ftl ftl(split_config(true));
+  Rng rng(7);
+  const Lba user = ftl.user_pages();
+  for (int i = 0; i < 20000; ++i) ftl.write(rng.uniform(user / 2));
+  // Every written LBA maps to a valid page whose OOB agrees (checked by the
+  // internal ENSURE during GC); spot-check the visible invariants.
+  std::uint64_t valid = 0;
+  for (std::uint32_t b = 0; b < ftl.nand().num_blocks(); ++b) {
+    valid += ftl.nand().block(b).valid_count();
+  }
+  EXPECT_EQ(valid, ftl.valid_pages());
+}
+
+}  // namespace
+}  // namespace jitgc::ftl

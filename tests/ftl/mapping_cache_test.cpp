@@ -1,0 +1,121 @@
+#include "ftl/mapping_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "ftl/ftl.h"
+
+namespace jitgc::ftl {
+namespace {
+
+TEST(MappingCache, DisabledIsAlwaysFree) {
+  MappingCache cache(0, 1024);
+  for (Lba lba = 0; lba < 100000; lba += 997) {
+    const auto r = cache.access(lba, true);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.map_reads, 0u);
+    EXPECT_EQ(r.map_writes, 0u);
+  }
+  EXPECT_EQ(cache.stats().lookups, 0u);
+}
+
+TEST(MappingCache, FirstAccessMissesThenHits) {
+  MappingCache cache(4, 1024);
+  auto r = cache.access(100, false);
+  EXPECT_FALSE(r.hit);
+  EXPECT_EQ(r.map_reads, 1u);
+  r = cache.access(100, false);
+  EXPECT_TRUE(r.hit);
+  // Same translation page: lba 100 and 1023 share tpage 0.
+  EXPECT_TRUE(cache.access(1023, false).hit);
+  // Different translation page.
+  EXPECT_FALSE(cache.access(1024, false).hit);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(MappingCache, LruEviction) {
+  MappingCache cache(2, 1);  // 1 entry per page: lba == tpage
+  cache.access(1, false);
+  cache.access(2, false);
+  cache.access(1, false);   // 1 becomes MRU
+  cache.access(3, false);   // evicts 2 (LRU)
+  EXPECT_TRUE(cache.access(1, false).hit);
+  EXPECT_FALSE(cache.access(2, false).hit);
+}
+
+TEST(MappingCache, DirtyEvictionCostsWriteback) {
+  MappingCache cache(1, 1);
+  cache.access(1, /*dirty=*/true);
+  const auto r = cache.access(2, false);  // evicts dirty tpage 1
+  EXPECT_EQ(r.map_writes, 1u);
+  EXPECT_EQ(cache.stats().dirty_writebacks, 1u);
+
+  cache.access(3, false);  // evicts clean tpage 2: no writeback
+  EXPECT_EQ(cache.stats().dirty_writebacks, 1u);
+}
+
+TEST(MappingCache, DirtyBitAccumulates) {
+  MappingCache cache(1, 1);
+  cache.access(1, false);
+  cache.access(1, true);   // hit, marks dirty
+  const auto r = cache.access(2, false);
+  EXPECT_EQ(r.map_writes, 1u);  // the accumulated dirty bit forced writeback
+}
+
+TEST(MappingCache, FlushWritesBackDirtyPages) {
+  MappingCache cache(8, 1);
+  cache.access(1, true);
+  cache.access(2, false);
+  cache.access(3, true);
+  cache.flush();
+  EXPECT_EQ(cache.stats().dirty_writebacks, 2u);
+  EXPECT_EQ(cache.cached_pages(), 0u);
+}
+
+TEST(MappingCache, HitRateReflectsLocality) {
+  MappingCache cache(16, 1024);
+  // Sequential scan within 16 translation pages: everything hits after the
+  // first touch of each page.
+  for (Lba lba = 0; lba < 16 * 1024; ++lba) cache.access(lba, false);
+  EXPECT_GT(cache.stats().hit_rate(), 0.99);
+}
+
+TEST(FtlMappingCache, MissesInflateOperationCost) {
+  FtlConfig cfg;
+  cfg.geometry = nand::Geometry{.channels = 1,
+                                .dies_per_channel = 1,
+                                .planes_per_die = 1,
+                                .blocks_per_plane = 32,
+                                .pages_per_block = 8,
+                                .page_size = 4 * KiB};
+  cfg.op_ratio = 0.25;
+  cfg.mapping_cache_pages = 1;  // thrash on any spread-out access
+  Ftl ftl(cfg);
+
+  // First write to a fresh translation page: miss -> read cost added.
+  const TimeUs cold = ftl.write(0);
+  // Second write to the same translation page: hit.
+  const TimeUs warm = ftl.write(1);
+  EXPECT_GT(cold, warm);
+  EXPECT_EQ(cold - warm, cfg.timing.read_cost());
+  EXPECT_GT(ftl.mapping_cache().stats().misses, 0u);
+}
+
+TEST(FtlMappingCache, DisabledByDefault) {
+  FtlConfig cfg;
+  cfg.geometry = nand::Geometry{.channels = 1,
+                                .dies_per_channel = 1,
+                                .planes_per_die = 1,
+                                .blocks_per_plane = 32,
+                                .pages_per_block = 8,
+                                .page_size = 4 * KiB};
+  cfg.op_ratio = 0.25;
+  Ftl ftl(cfg);
+  ftl.write(0);
+  ftl.read(0);
+  EXPECT_FALSE(ftl.mapping_cache().enabled());
+  EXPECT_EQ(ftl.mapping_cache().stats().lookups, 0u);
+}
+
+}  // namespace
+}  // namespace jitgc::ftl

@@ -1,0 +1,42 @@
+#include "ftl/sip_index.h"
+
+#include <gtest/gtest.h>
+
+namespace jitgc::ftl {
+namespace {
+
+TEST(SipIndex, StartsEmpty) {
+  SipIndex sip;
+  EXPECT_TRUE(sip.empty());
+  EXPECT_EQ(sip.size(), 0u);
+  EXPECT_FALSE(sip.contains(0));
+}
+
+TEST(SipIndex, VectorConstructorDeduplicates) {
+  SipIndex sip(std::vector<Lba>{1, 2, 2, 3, 1});
+  EXPECT_EQ(sip.size(), 3u);
+  EXPECT_TRUE(sip.contains(1));
+  EXPECT_TRUE(sip.contains(3));
+  EXPECT_FALSE(sip.contains(4));
+}
+
+TEST(SipIndex, InsertAndClear) {
+  SipIndex sip;
+  sip.insert(42);
+  EXPECT_TRUE(sip.contains(42));
+  sip.clear();
+  EXPECT_TRUE(sip.empty());
+}
+
+TEST(SipIndex, AssignReplacesWholeList) {
+  SipIndex sip(std::vector<Lba>{1, 2, 3});
+  sip.assign({7, 8});
+  EXPECT_EQ(sip.size(), 2u);
+  EXPECT_FALSE(sip.contains(1));
+  EXPECT_TRUE(sip.contains(8));
+  sip.assign({});
+  EXPECT_TRUE(sip.empty());
+}
+
+}  // namespace
+}  // namespace jitgc::ftl

@@ -1,0 +1,119 @@
+#include "ftl/victim_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace jitgc::ftl {
+namespace {
+
+VictimCandidate cand(std::uint32_t valid, std::uint64_t last_seq, std::uint32_t ppb = 64) {
+  return VictimCandidate{.block_id = 0,
+                         .valid_pages = valid,
+                         .pages_per_block = ppb,
+                         .last_update_seq = last_seq,
+                         .sip_pages = 0};
+}
+
+TEST(GreedyVictimPolicy, PrefersFewerValidPages) {
+  GreedyVictimPolicy p;
+  EXPECT_LT(p.score(cand(3, 0), 100), p.score(cand(10, 0), 100));
+  EXPECT_EQ(p.score(cand(5, 0), 100), p.score(cand(5, 999), 100));  // age-blind
+}
+
+TEST(GreedyVictimPolicy, EmptyBlockIsBestPossible) {
+  GreedyVictimPolicy p;
+  EXPECT_EQ(p.score(cand(0, 0), 100), 0.0);
+}
+
+TEST(CostBenefitVictimPolicy, PrefersOlderAtEqualUtilization) {
+  CostBenefitVictimPolicy p;
+  // Lower score = better; an older block (smaller last_update_seq) wins.
+  EXPECT_LT(p.score(cand(32, 10), 1000), p.score(cand(32, 900), 1000));
+}
+
+TEST(CostBenefitVictimPolicy, PrefersEmptierAtEqualAge) {
+  CostBenefitVictimPolicy p;
+  EXPECT_LT(p.score(cand(8, 500), 1000), p.score(cand(48, 500), 1000));
+}
+
+TEST(CostBenefitVictimPolicy, FullyInvalidBlockBeatsEverything) {
+  CostBenefitVictimPolicy p;
+  EXPECT_LT(p.score(cand(0, 999), 1000), p.score(cand(1, 0), 1000));
+}
+
+TEST(CostBenefitVictimPolicy, HandlesClockWrap) {
+  CostBenefitVictimPolicy p;
+  // last_update_seq newer than now_seq (possible mid-GC): age clamps to 0.
+  const double s = p.score(cand(32, 2000), 1000);
+  EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(FifoVictimPolicy, PrefersOldestFilledBlock) {
+  FifoVictimPolicy p;
+  VictimCandidate old_block = cand(30, 500);
+  old_block.fill_seq = 10;
+  VictimCandidate new_block = cand(5, 500);
+  new_block.fill_seq = 900;
+  // FIFO ignores valid counts entirely: the older fill wins.
+  EXPECT_LT(p.score(old_block, 1000), p.score(new_block, 1000));
+}
+
+TEST(RandomVictimPolicy, DeterministicForSameInputs) {
+  RandomVictimPolicy p;
+  EXPECT_EQ(p.score(cand(5, 0), 1000), p.score(cand(5, 0), 1000));
+}
+
+TEST(RandomVictimPolicy, SpreadsAcrossBlocks) {
+  RandomVictimPolicy p;
+  // Different blocks should get well-spread scores (no systematic bias to
+  // low block ids).
+  int low_wins = 0;
+  for (std::uint64_t epoch = 0; epoch < 1000; ++epoch) {
+    VictimCandidate a = cand(5, 0);
+    a.block_id = 1;
+    VictimCandidate b = cand(5, 0);
+    b.block_id = 2;
+    low_wins += p.score(a, epoch << 9) < p.score(b, epoch << 9);
+  }
+  EXPECT_GT(low_wins, 350);
+  EXPECT_LT(low_wins, 650);
+}
+
+TEST(SampledGreedyVictimPolicy, InSampleCandidatesWinOverOutOfSample) {
+  SampledGreedyVictimPolicy p(0.5);
+  // Over many epochs, a 60-valid in-sample block must sometimes beat a
+  // 5-valid out-of-sample one (the out-of-sample penalty is 2x ppb = 128),
+  // and sampling must actually vary by epoch.
+  int in_sample_5 = 0;
+  for (std::uint64_t epoch = 0; epoch < 2000; ++epoch) {
+    VictimCandidate c = cand(5, 0);
+    c.block_id = 77;
+    in_sample_5 += p.score(c, epoch << 9) < 64.0;  // scored without penalty
+  }
+  EXPECT_GT(in_sample_5, 600);   // ~50 % of epochs
+  EXPECT_LT(in_sample_5, 1400);
+}
+
+TEST(SampledGreedyVictimPolicy, FullFractionEqualsGreedy) {
+  SampledGreedyVictimPolicy p(1.0);
+  GreedyVictimPolicy greedy;
+  for (std::uint32_t v : {0u, 5u, 33u}) {
+    EXPECT_EQ(p.score(cand(v, 0), 123), greedy.score(cand(v, 0), 123));
+  }
+}
+
+TEST(SampledGreedyVictimPolicy, RejectsBadFraction) {
+  EXPECT_THROW(SampledGreedyVictimPolicy(0.0), std::logic_error);
+  EXPECT_THROW(SampledGreedyVictimPolicy(1.5), std::logic_error);
+}
+
+TEST(MakeVictimPolicy, Factory) {
+  EXPECT_NE(make_victim_policy(VictimPolicyKind::kGreedy), nullptr);
+  EXPECT_NE(make_victim_policy(VictimPolicyKind::kCostBenefit), nullptr);
+  EXPECT_NE(make_victim_policy(VictimPolicyKind::kFifo), nullptr);
+  EXPECT_NE(make_victim_policy(VictimPolicyKind::kRandom), nullptr);
+}
+
+}  // namespace
+}  // namespace jitgc::ftl

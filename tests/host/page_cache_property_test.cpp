@@ -1,0 +1,103 @@
+// Reference-model fuzz of the page cache: random writes / ticks / discards
+// are mirrored into a naive map<lba, last_update>, and the cache must agree
+// with the reference's view at every step — including exactly which pages the
+// flusher evicts and in what order.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "host/page_cache.h"
+
+namespace jitgc::host {
+namespace {
+
+struct Reference {
+  // lba -> (last_update, insertion seq), mirroring the cache's age order.
+  std::map<Lba, std::pair<TimeUs, std::uint64_t>> dirty;
+  std::uint64_t seq = 0;
+
+  void write(Lba lba, TimeUs now) { dirty[lba] = {now, seq++}; }
+
+  std::vector<Lba> flusher_tick(const PageCacheConfig& cfg, TimeUs now, std::size_t max_pages) {
+    std::vector<Lba> out;
+    const auto oldest_first = [&] {
+      std::vector<std::pair<std::pair<TimeUs, std::uint64_t>, Lba>> order;
+      for (const auto& [lba, key] : dirty) order.push_back({key, lba});
+      std::sort(order.begin(), order.end());
+      return order;
+    };
+    // Condition 1: expired pages, oldest first.
+    for (const auto& [key, lba] : oldest_first()) {
+      if (out.size() >= max_pages) break;
+      if (now - key.first < cfg.tau_expire) break;
+      out.push_back(lba);
+      dirty.erase(lba);
+    }
+    // Condition 2: over-threshold, oldest first.
+    while (dirty.size() * cfg.page_size > cfg.tau_flush_bytes() && out.size() < max_pages) {
+      const auto order = oldest_first();
+      out.push_back(order.front().second);
+      dirty.erase(order.front().second);
+    }
+    return out;
+  }
+
+  void discard(Lba lba, std::uint64_t pages) {
+    for (std::uint64_t i = 0; i < pages; ++i) dirty.erase(lba + i);
+  }
+};
+
+class PageCacheFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PageCacheFuzz, AgreesWithReferenceModel) {
+  PageCacheConfig cfg;
+  cfg.page_size = 4 * KiB;
+  cfg.capacity = 2 * MiB;  // 512 pages
+  cfg.tau_expire = seconds(30);
+  cfg.tau_flush_fraction = 0.25;  // 128 pages
+  cfg.flush_period = seconds(5);
+
+  PageCache cache(cfg);
+  Reference ref;
+  Rng rng(GetParam());
+  TimeUs now = 0;
+
+  for (int step = 0; step < 4000; ++step) {
+    const double roll = rng.uniform01();
+    if (roll < 0.70) {
+      const Lba lba = rng.uniform(600);
+      now += static_cast<TimeUs>(rng.uniform(50'000));
+      cache.write(lba, now);
+      ref.write(lba, now);
+    } else if (roll < 0.85) {
+      // Advance to the next tick boundary and flush with a random budget.
+      now += static_cast<TimeUs>(rng.uniform(seconds(10)));
+      const std::size_t budget = rng.chance(0.3) ? rng.uniform(64) : SIZE_MAX;
+      const auto got = cache.flusher_tick(now, budget);
+      const auto want = ref.flusher_tick(cfg, now, budget);
+      ASSERT_EQ(got, want) << "step " << step;
+    } else if (roll < 0.95) {
+      const Lba lba = rng.uniform(600);
+      const auto pages = rng.uniform_range(1, 8);
+      const auto dropped = cache.discard(lba, pages);
+      ref.discard(lba, pages);
+      ASSERT_LE(dropped, pages);
+    } else {
+      // Cross-check the scan.
+      const auto scan = cache.scan_dirty();
+      ASSERT_EQ(scan.size(), ref.dirty.size()) << "step " << step;
+      for (const auto& dp : scan) {
+        const auto it = ref.dirty.find(dp.lba);
+        ASSERT_NE(it, ref.dirty.end());
+        ASSERT_EQ(dp.last_update, it->second.first);
+      }
+    }
+    ASSERT_EQ(cache.dirty_pages(), ref.dirty.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageCacheFuzz, ::testing::Values(1u, 17u, 523u, 99991u));
+
+}  // namespace
+}  // namespace jitgc::host

@@ -1,0 +1,157 @@
+#include "host/page_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jitgc::host {
+namespace {
+
+PageCacheConfig small_config() {
+  PageCacheConfig cfg;
+  cfg.page_size = 4 * KiB;
+  cfg.capacity = 4 * MiB;  // 1024 pages
+  cfg.tau_expire = seconds(30);
+  cfg.tau_flush_fraction = 0.10;  // 102 pages
+  cfg.flush_period = seconds(5);
+  return cfg;
+}
+
+TEST(PageCache, ConfigDerivedQuantities) {
+  const PageCacheConfig cfg = small_config();
+  EXPECT_EQ(cfg.intervals_per_horizon(), 6u);
+  EXPECT_EQ(cfg.tau_flush_bytes(), static_cast<Bytes>(0.1 * 4 * MiB));
+}
+
+TEST(PageCache, RejectsMisalignedExpiry) {
+  PageCacheConfig cfg = small_config();
+  cfg.tau_expire = seconds(31);  // not a multiple of p
+  EXPECT_THROW(PageCache{cfg}, std::logic_error);
+}
+
+TEST(PageCache, WriteMakesDirty) {
+  PageCache cache(small_config());
+  EXPECT_FALSE(cache.is_dirty(10));
+  cache.write(10, seconds(1));
+  EXPECT_TRUE(cache.is_dirty(10));
+  EXPECT_EQ(cache.dirty_pages(), 1u);
+  EXPECT_EQ(cache.dirty_bytes(), 4 * KiB);
+}
+
+TEST(PageCache, OverwriteAbsorbsAndResetsAge) {
+  PageCache cache(small_config());
+  cache.write(10, seconds(1));
+  cache.write(10, seconds(20));
+  EXPECT_EQ(cache.dirty_pages(), 1u);
+  EXPECT_EQ(cache.absorbed_overwrites(), 1u);
+
+  // At t=31s the page would have expired under its original age (1+30),
+  // but the overwrite at t=20 reset it: nothing flushes until t=50.
+  EXPECT_TRUE(cache.flusher_tick(seconds(35)).empty());
+  const auto flushed = cache.flusher_tick(seconds(50));
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_EQ(flushed[0], 10u);
+}
+
+TEST(PageCache, ExpiryFlushAtFirstTickAfterThreshold) {
+  PageCache cache(small_config());
+  cache.write(42, seconds(2));  // expires at t=32
+  EXPECT_TRUE(cache.flusher_tick(seconds(30)).empty());
+  const auto flushed = cache.flusher_tick(seconds(35));
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_EQ(flushed[0], 42u);
+  EXPECT_FALSE(cache.is_dirty(42));
+}
+
+TEST(PageCache, ExpiryExactlyAtTickFlushes) {
+  PageCache cache(small_config());
+  cache.write(42, seconds(5));  // age at t=35 is exactly tau_expire
+  const auto flushed = cache.flusher_tick(seconds(35));
+  EXPECT_EQ(flushed.size(), 1u);
+}
+
+TEST(PageCache, ThresholdFlushEvictsOldestFirst) {
+  PageCacheConfig cfg = small_config();
+  PageCache cache(cfg);
+  const auto threshold_pages = cfg.tau_flush_bytes() / cfg.page_size;  // 102
+
+  // 150 young dirty pages: over the threshold but none expired.
+  for (Lba lba = 0; lba < 150; ++lba) {
+    cache.write(lba, seconds(1) + lba);  // staggered ages, oldest = lba 0
+  }
+  const auto flushed = cache.flusher_tick(seconds(5));
+  EXPECT_EQ(flushed.size(), 150 - threshold_pages);
+  // Oldest-first: the very first eviction is the oldest write.
+  EXPECT_EQ(flushed.front(), 0u);
+  EXPECT_EQ(cache.dirty_bytes(), threshold_pages * cfg.page_size);
+}
+
+TEST(PageCache, FlushAllDrainsEverything) {
+  PageCache cache(small_config());
+  for (Lba lba = 0; lba < 20; ++lba) cache.write(lba, seconds(1));
+  const auto flushed = cache.flush_all();
+  EXPECT_EQ(flushed.size(), 20u);
+  EXPECT_EQ(cache.dirty_pages(), 0u);
+  EXPECT_EQ(cache.pages_flushed(), 20u);
+}
+
+TEST(PageCache, ScanDirtyOldestFirst) {
+  PageCache cache(small_config());
+  cache.write(5, seconds(3));
+  cache.write(9, seconds(1));
+  cache.write(7, seconds(2));
+  const auto scan = cache.scan_dirty();
+  ASSERT_EQ(scan.size(), 3u);
+  EXPECT_EQ(scan[0].lba, 9u);
+  EXPECT_EQ(scan[1].lba, 7u);
+  EXPECT_EQ(scan[2].lba, 5u);
+  EXPECT_EQ(scan[0].last_update, seconds(1));
+}
+
+TEST(PageCache, TieBreakOnEqualTimestampsIsFifo) {
+  PageCache cache(small_config());
+  cache.write(1, seconds(1));
+  cache.write(2, seconds(1));
+  cache.write(3, seconds(1));
+  const auto scan = cache.scan_dirty();
+  ASSERT_EQ(scan.size(), 3u);
+  EXPECT_EQ(scan[0].lba, 1u);
+  EXPECT_EQ(scan[2].lba, 3u);
+}
+
+TEST(PageCache, FlusherTickRespectsPageBudget) {
+  PageCache cache(small_config());
+  for (Lba lba = 0; lba < 10; ++lba) cache.write(lba, seconds(1));
+  // All expired, but the device can only absorb 4 pages this interval.
+  const auto first = cache.flusher_tick(seconds(31), 4);
+  EXPECT_EQ(first.size(), 4u);
+  EXPECT_EQ(cache.dirty_pages(), 6u);
+  // The remainder keeps its age and flushes at the next opportunity.
+  const auto second = cache.flusher_tick(seconds(36), 100);
+  EXPECT_EQ(second.size(), 6u);
+}
+
+TEST(PageCache, EvictOldestIsOrderedAndBounded) {
+  PageCache cache(small_config());
+  cache.write(3, seconds(3));
+  cache.write(1, seconds(1));
+  cache.write(2, seconds(2));
+  const auto evicted = cache.evict_oldest(2);
+  ASSERT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(evicted[0], 1u);
+  EXPECT_EQ(evicted[1], 2u);
+  EXPECT_TRUE(cache.is_dirty(3));
+  EXPECT_TRUE(cache.evict_oldest(0).empty());
+}
+
+TEST(PageCache, FlushCounterTracksEvictions) {
+  PageCache cache(small_config());
+  cache.write(1, seconds(1));
+  cache.write(2, seconds(1));
+  cache.flusher_tick(seconds(31));
+  EXPECT_EQ(cache.pages_flushed(), 2u);
+}
+
+}  // namespace
+}  // namespace jitgc::host

@@ -1,0 +1,94 @@
+#include "nand/block.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace jitgc::nand {
+namespace {
+
+TEST(Block, StartsErased) {
+  Block b(64);
+  EXPECT_TRUE(b.is_erased());
+  EXPECT_FALSE(b.is_full());
+  EXPECT_EQ(b.valid_count(), 0u);
+  EXPECT_EQ(b.free_count(), 64u);
+  EXPECT_EQ(b.erase_count(), 0u);
+  for (std::uint32_t p = 0; p < 64; ++p) EXPECT_EQ(b.page_state(p), PageState::kFree);
+}
+
+TEST(Block, SequentialProgramming) {
+  Block b(4);
+  EXPECT_EQ(b.program(100), 0u);
+  EXPECT_EQ(b.program(101), 1u);
+  EXPECT_EQ(b.write_pointer(), 2u);
+  EXPECT_EQ(b.valid_count(), 2u);
+  EXPECT_EQ(b.page_lba(0), 100u);
+  EXPECT_EQ(b.page_lba(1), 101u);
+  EXPECT_EQ(b.page_state(0), PageState::kValid);
+}
+
+TEST(Block, ProgramFullBlockThrows) {
+  Block b(2);
+  b.program(1);
+  b.program(2);
+  EXPECT_TRUE(b.is_full());
+  EXPECT_THROW(b.program(3), std::logic_error);
+}
+
+TEST(Block, InvalidateTracksCounts) {
+  Block b(4);
+  b.program(1);
+  b.program(2);
+  b.invalidate(0);
+  EXPECT_EQ(b.page_state(0), PageState::kInvalid);
+  EXPECT_EQ(b.valid_count(), 1u);
+  EXPECT_EQ(b.invalid_count(), 1u);
+  EXPECT_EQ(b.page_lba(0), kInvalidLba);
+}
+
+TEST(Block, DoubleInvalidateThrows) {
+  Block b(4);
+  b.program(1);
+  b.invalidate(0);
+  EXPECT_THROW(b.invalidate(0), std::logic_error);
+}
+
+TEST(Block, InvalidateFreePageThrows) {
+  Block b(4);
+  EXPECT_THROW(b.invalidate(0), std::logic_error);
+}
+
+TEST(Block, EraseRequiresNoValidData) {
+  Block b(2);
+  b.program(1);
+  EXPECT_THROW(b.erase(), std::logic_error);
+  b.invalidate(0);
+  b.erase();
+  EXPECT_TRUE(b.is_erased());
+  EXPECT_EQ(b.erase_count(), 1u);
+  EXPECT_EQ(b.free_count(), 2u);
+}
+
+TEST(Block, EraseResetsWritePointer) {
+  Block b(2);
+  b.program(1);
+  b.program(2);
+  b.invalidate(0);
+  b.invalidate(1);
+  b.erase();
+  EXPECT_EQ(b.program(9), 0u);  // programming restarts at page 0
+}
+
+TEST(Block, EraseCountAccumulates) {
+  Block b(1);
+  for (int i = 0; i < 5; ++i) {
+    b.program(1);
+    b.invalidate(0);
+    b.erase();
+  }
+  EXPECT_EQ(b.erase_count(), 5u);
+}
+
+}  // namespace
+}  // namespace jitgc::nand

@@ -1,0 +1,89 @@
+#include "sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "core/fixed_reserve_policy.h"
+#include "workload/specs.h"
+
+namespace jitgc::sim {
+namespace {
+
+SimConfig small_config(std::uint64_t seed = 1) {
+  SimConfig sim = default_sim_config(seed);
+  sim.ssd.ftl.geometry.blocks_per_plane = 64;
+  sim.ssd.ftl.geometry.pages_per_block = 128;
+  sim.cache.capacity = 64 * MiB;
+  sim.duration = seconds(40);
+  return sim;
+}
+
+TEST(Experiment, PolicyFactoryProducesAllKinds) {
+  const SimConfig sim = small_config();
+  EXPECT_EQ(make_policy(PolicyKind::kLazy, sim)->name(), "L-BGC");
+  EXPECT_EQ(make_policy(PolicyKind::kAggressive, sim)->name(), "A-BGC");
+  EXPECT_EQ(make_policy(PolicyKind::kAdaptive, sim)->name(), "ADP-GC");
+  EXPECT_EQ(make_policy(PolicyKind::kJit, sim)->name(), "JIT-GC");
+  EXPECT_NE(make_policy(PolicyKind::kFixedReserve, sim, 1.25), nullptr);
+}
+
+TEST(Experiment, FixedReserveMultipleIsHonored) {
+  const SimConfig sim = small_config();
+  const auto policy = make_policy(PolicyKind::kFixedReserve, sim, 1.25);
+  auto* fixed = dynamic_cast<core::FixedReservePolicy*>(policy.get());
+  ASSERT_NE(fixed, nullptr);
+  EXPECT_DOUBLE_EQ(fixed->reserve_op_multiple(), 1.25);
+}
+
+TEST(Experiment, PolicyKindNames) {
+  EXPECT_EQ(policy_kind_name(PolicyKind::kLazy), "L-BGC");
+  EXPECT_EQ(policy_kind_name(PolicyKind::kAggressive), "A-BGC");
+  EXPECT_EQ(policy_kind_name(PolicyKind::kAdaptive), "ADP-GC");
+  EXPECT_EQ(policy_kind_name(PolicyKind::kJit), "JIT-GC");
+  EXPECT_EQ(policy_kind_name(PolicyKind::kFixedReserve), "FIXED");
+}
+
+TEST(Experiment, DefaultConfigIsTheDocumentedScaledSm843t) {
+  const SimConfig sim = default_sim_config(7);
+  EXPECT_EQ(sim.seed, 7u);
+  EXPECT_DOUBLE_EQ(sim.ssd.ftl.op_ratio, 0.07);
+  EXPECT_EQ(sim.cache.tau_expire, seconds(30));
+  EXPECT_EQ(sim.cache.flush_period, seconds(5));
+  EXPECT_EQ(sim.cache.intervals_per_horizon(), 6u);
+  EXPECT_EQ(sim.ssd.ftl.geometry.capacity_bytes(), 1 * GiB);
+}
+
+TEST(Experiment, RunCellMultiAggregatesSeeds) {
+  wl::WorkloadSpec spec = wl::ycsb_spec();
+  spec.ops_per_sec = 300.0;
+  const CellSummary s = run_cell_multi(small_config(), spec, PolicyKind::kLazy, 3);
+  EXPECT_EQ(s.seeds, 3u);
+  EXPECT_GT(s.iops.mean, 0.0);
+  EXPECT_GE(s.waf.mean, 1.0);
+  // Different seeds genuinely differ, so spread is nonzero.
+  EXPECT_GT(s.iops.stddev, 0.0);
+}
+
+TEST(Experiment, RunCellMultiSingleSeedHasZeroSpread) {
+  wl::WorkloadSpec spec = wl::ycsb_spec();
+  spec.ops_per_sec = 300.0;
+  const CellSummary s = run_cell_multi(small_config(), spec, PolicyKind::kLazy, 1);
+  EXPECT_EQ(s.seeds, 1u);
+  EXPECT_EQ(s.iops.stddev, 0.0);
+}
+
+TEST(Experiment, YcsbCoreSpecsAreSane) {
+  const auto letters = wl::ycsb_core_specs();
+  ASSERT_EQ(letters.size(), 6u);
+  EXPECT_EQ(letters[0].name, "YCSB-A");
+  EXPECT_DOUBLE_EQ(letters[0].read_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(letters[2].read_fraction, 1.0);  // C: read-only
+  for (const auto& spec : letters) {
+    EXPECT_GE(spec.read_fraction, 0.5);
+    EXPECT_LE(spec.footprint_fraction, 1.0);
+    // Each letter must construct a valid generator.
+    EXPECT_NO_THROW(wl::SyntheticWorkload(spec, 10'000, 1));
+  }
+}
+
+}  // namespace
+}  // namespace jitgc::sim

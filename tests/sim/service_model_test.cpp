@@ -1,0 +1,56 @@
+#include "sim/service_model.h"
+
+#include <gtest/gtest.h>
+
+namespace jitgc::sim {
+namespace {
+
+TEST(ServiceModel, SingleQueueSerializes) {
+  ServiceModel m(1);
+  EXPECT_EQ(m.dispatch(0, 100), 100);
+  EXPECT_EQ(m.dispatch(0, 100), 200);   // queues behind the first
+  EXPECT_EQ(m.dispatch(500, 100), 600); // idle gap honored
+  EXPECT_EQ(m.next_free(), 600);
+  EXPECT_EQ(m.all_free(), 600);
+}
+
+TEST(ServiceModel, MultiQueueOverlaps) {
+  ServiceModel m(4);
+  // Four ops issued at t=0 run in parallel.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(m.dispatch(0, 100), 100);
+  // The fifth waits for the earliest queue.
+  EXPECT_EQ(m.dispatch(0, 100), 200);
+  EXPECT_EQ(m.next_free(), 100);
+  EXPECT_EQ(m.all_free(), 200);
+}
+
+TEST(ServiceModel, DispatchPicksEarliestQueue) {
+  ServiceModel m(2);
+  m.dispatch(0, 1000);  // queue A busy until 1000
+  m.dispatch(0, 10);    // queue B busy until 10
+  // Next op lands on B, not behind A.
+  EXPECT_EQ(m.dispatch(0, 10), 20);
+}
+
+TEST(ServiceModel, OccupyAllSerializesEverything) {
+  ServiceModel m(4);
+  m.dispatch(0, 50);
+  m.occupy_all_until(500);
+  for (int i = 0; i < 4; ++i) EXPECT_GE(m.dispatch(0, 10), 510 - 10 * 3);
+  EXPECT_GE(m.next_free(), 510);
+}
+
+TEST(ServiceModel, ResetClearsState) {
+  ServiceModel m(2);
+  m.dispatch(0, 100);
+  m.reset();
+  EXPECT_EQ(m.next_free(), 0);
+  EXPECT_EQ(m.all_free(), 0);
+}
+
+TEST(ServiceModel, RejectsZeroQueues) {
+  EXPECT_THROW(ServiceModel(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace jitgc::sim

@@ -1,0 +1,135 @@
+// Cross-cutting simulator properties, swept over (workload x policy).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/experiment.h"
+#include "workload/specs.h"
+
+namespace jitgc::sim {
+namespace {
+
+struct CellParam {
+  wl::WorkloadSpec spec;
+  PolicyKind policy;
+
+  std::string label() const {
+    std::string n = spec.name + "_" + policy_kind_name(policy);
+    for (char& c : n) {
+      if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+    }
+    return n;
+  }
+};
+
+std::vector<CellParam> all_cells() {
+  std::vector<CellParam> cells;
+  for (const auto& spec : wl::paper_benchmark_specs()) {
+    for (const PolicyKind kind : {PolicyKind::kLazy, PolicyKind::kAggressive,
+                                  PolicyKind::kAdaptive, PolicyKind::kJit}) {
+      cells.push_back(CellParam{spec, kind});
+    }
+  }
+  return cells;
+}
+
+class SimPropertyTest : public ::testing::TestWithParam<CellParam> {
+ protected:
+  static SimConfig config() {
+    SimConfig sim = default_sim_config(3);
+    sim.ssd.ftl.geometry.blocks_per_plane = 64;   // small device for speed
+    sim.ssd.ftl.geometry.pages_per_block = 128;
+    sim.cache.capacity = 64 * MiB;
+    sim.duration = seconds(90);
+    return sim;
+  }
+};
+
+TEST_P(SimPropertyTest, ConservationAndSanity) {
+  const CellParam& cell = GetParam();
+  wl::WorkloadSpec spec = cell.spec;
+  spec.ops_per_sec = std::min(spec.ops_per_sec, 600.0);  // scale to the small device
+
+  SimConfig sim = config();
+  Simulator simulator(sim);
+  wl::SyntheticWorkload gen(spec, simulator.ssd().ftl().user_pages(), sim.seed);
+  const auto policy = make_policy(cell.policy, sim);
+  const SimReport r = simulator.run(gen, *policy);
+
+  // Work happened.
+  ASSERT_GT(r.ops_completed, 100u);
+  ASSERT_GT(r.device_pages_written, 0u);
+
+  // Amplification bounds: WAF >= 1 and consistent with the raw counters.
+  EXPECT_GE(r.waf, 1.0);
+  EXPECT_LE(r.waf, 20.0);
+  EXPECT_GE(r.nand_programs, r.device_pages_written);
+  EXPECT_EQ(r.nand_programs, r.device_pages_written + r.pages_migrated);
+
+  // Erase conservation: erased pages = programmed pages - pages still held.
+  const auto& ftl = simulator.ssd().ftl();
+  const std::uint64_t total_pages = sim.ssd.ftl.geometry.total_pages();
+  const std::uint64_t erased_pages =
+      ftl.nand().stats().block_erases * sim.ssd.ftl.geometry.pages_per_block;
+  const std::uint64_t programmed = ftl.nand().stats().page_programs;
+  EXPECT_EQ(programmed + ftl.free_pages(), erased_pages + total_pages);
+
+  // Latency sanity.
+  EXPECT_GE(r.mean_latency_us, 0.0);
+  EXPECT_LE(r.mean_latency_us, r.max_latency_us);
+  EXPECT_LE(r.p99_latency_us, r.max_latency_us);
+
+  // Prediction metrics stay in range.
+  EXPECT_GE(r.prediction_accuracy, 0.0);
+  EXPECT_LE(r.prediction_accuracy, 1.0);
+  EXPECT_GE(r.sip_filtered_fraction, 0.0);
+  EXPECT_LE(r.sip_filtered_fraction, 1.0);
+
+  // Device never wore out (endurance off).
+  EXPECT_FALSE(r.device_worn_out);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, SimPropertyTest, ::testing::ValuesIn(all_cells()),
+                         [](const ::testing::TestParamInfo<CellParam>& info) {
+                           return info.param.label();
+                         });
+
+/// The simulator must run on every NAND generation the timing presets model
+/// (different pages-per-block geometries included).
+class GenerationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GenerationTest, RunsOnEveryNandGeneration) {
+  struct Gen {
+    nand::TimingParams timing;
+    std::uint32_t ppb;
+  };
+  const Gen gens[] = {{nand::timing_130nm_slc(), nand::kPagesPerBlock130nm},
+                      {nand::timing_25nm_mlc(), nand::kPagesPerBlock25nm},
+                      {nand::timing_20nm_mlc(), nand::kPagesPerBlock20nm}};
+  const Gen& gen = gens[GetParam()];
+
+  SimConfig sim = default_sim_config(2);
+  sim.ssd.ftl.timing = gen.timing;
+  sim.ssd.ftl.geometry.pages_per_block = gen.ppb;
+  sim.ssd.ftl.geometry.blocks_per_plane = 16384 / gen.ppb;  // ~constant capacity
+  sim.duration = seconds(60);
+
+  wl::WorkloadSpec spec = wl::ycsb_spec();
+  spec.ops_per_sec = 400.0;
+  const SimReport r = run_cell(sim, spec, PolicyKind::kJit);
+  EXPECT_GT(r.ops_completed, 100u);
+  EXPECT_GE(r.waf, 1.0);
+}
+
+std::string generation_name(const ::testing::TestParamInfo<int>& info) {
+  switch (info.param) {
+    case 0: return "slc130nm";
+    case 1: return "mlc25nm";
+    default: return "mlc20nm";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, GenerationTest, ::testing::Values(0, 1, 2), generation_name);
+
+}  // namespace
+}  // namespace jitgc::sim

@@ -1,0 +1,97 @@
+#include "sim/ssd.h"
+
+#include <gtest/gtest.h>
+
+namespace jitgc::sim {
+namespace {
+
+SsdConfig test_config() {
+  SsdConfig cfg;
+  cfg.ftl.geometry = nand::Geometry{.channels = 2,
+                                    .dies_per_channel = 2,
+                                    .planes_per_die = 1,
+                                    .blocks_per_plane = 16,
+                                    .pages_per_block = 8,
+                                    .page_size = 4 * KiB};
+  cfg.ftl.op_ratio = 0.25;
+  cfg.ftl.timing = nand::timing_20nm_mlc();
+  return cfg;
+}
+
+TEST(Ssd, ScaleDividesByParallelism) {
+  Ssd ssd(test_config());
+  EXPECT_EQ(ssd.parallelism(), 4u);
+  EXPECT_EQ(ssd.scale(4000), 1000);
+  EXPECT_EQ(ssd.scale(0), 0);
+  EXPECT_EQ(ssd.scale(2), 1);  // never rounds a nonzero latency to zero
+}
+
+TEST(Ssd, WriteTimeIsScaled) {
+  Ssd ssd(test_config());
+  const TimeUs t = ssd.write_page(0);
+  EXPECT_EQ(t, test_config().ftl.timing.program_cost() / 4);
+}
+
+TEST(Ssd, WriteBandwidthMatchesTiming) {
+  Ssd ssd(test_config());
+  const auto& timing = test_config().ftl.timing;
+  const double expected = 4096.0 / (static_cast<double>(timing.program_cost()) / 4.0 / 1e6);
+  EXPECT_NEAR(ssd.write_bandwidth_bps(), expected, 1.0);
+}
+
+TEST(Ssd, GcBandwidthStartsFromAnalyticPrior) {
+  Ssd ssd(test_config());
+  EXPECT_GT(ssd.gc_bandwidth_bps(), 0.0);
+  EXPECT_GT(ssd.estimated_bgc_cycle_time(), 0);
+}
+
+TEST(Ssd, GcEstimatesTrackRealCycles) {
+  Ssd ssd(test_config());
+  const double prior = ssd.gc_bandwidth_bps();
+  // Build easy victims: hot overwrites leave nearly-invalid blocks, so real
+  // GC is much faster than the 50 %-valid prior assumes.
+  for (int round = 0; round < 30; ++round) {
+    for (Lba lba = 0; lba < 8; ++lba) ssd.write_page(lba);
+  }
+  for (int i = 0; i < 10; ++i) ssd.bgc_collect_once();
+  EXPECT_NE(ssd.gc_bandwidth_bps(), prior);
+}
+
+TEST(Ssd, ExtendedInterfaceChargesOverhead) {
+  Ssd ssd(test_config());
+  TimeUs overhead = 0;
+  const Bytes free1 = ssd.query_free_capacity(overhead);
+  EXPECT_EQ(overhead, 160);
+  EXPECT_GT(free1, 0u);
+
+  ssd.send_sip_list({1, 2, 3}, overhead);
+  EXPECT_EQ(overhead, 320);  // tiny payload: rounds to the flat cost
+  EXPECT_TRUE(ssd.ftl().sip_index().contains(2));
+}
+
+TEST(Ssd, SipPayloadTransferScalesWithListSize) {
+  Ssd ssd(test_config());
+  // 50k entries x 4 B at 500 MB/s = 400 us of payload transfer.
+  std::vector<Lba> big(50'000);
+  for (Lba i = 0; i < big.size(); ++i) big[i] = i;
+  TimeUs overhead = 0;
+  ssd.send_sip_list(big, overhead);
+  EXPECT_EQ(overhead, 160 + 400);
+}
+
+TEST(Ssd, MigrateStepTimeIsPositive) {
+  Ssd ssd(test_config());
+  EXPECT_GT(ssd.migrate_step_time(), 0);
+  EXPECT_EQ(ssd.migrate_step_time(),
+            test_config().ftl.timing.migrate_cost() / 4);
+}
+
+TEST(Ssd, TrimForwards) {
+  Ssd ssd(test_config());
+  ssd.write_page(5);
+  ssd.trim(5);
+  EXPECT_FALSE(ssd.ftl().is_mapped(5));
+}
+
+}  // namespace
+}  // namespace jitgc::sim

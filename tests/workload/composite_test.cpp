@@ -1,0 +1,102 @@
+#include "workload/composite.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "workload/specs.h"
+#include "workload/synthetic.h"
+#include "workload/trace.h"
+
+namespace jitgc::wl {
+namespace {
+
+std::vector<TraceRecord> fixed_records(std::initializer_list<TimeUs> times, Bytes offset) {
+  std::vector<TraceRecord> out;
+  for (const TimeUs t : times) out.push_back({t, OpType::kWrite, offset, 4096});
+  return out;
+}
+
+TEST(CompositeWorkload, MergesByVirtualTime) {
+  // Tenant A issues at t = 0, 100, 200; tenant B at t = 50, 150.
+  std::vector<CompositeWorkload::Tenant> tenants;
+  tenants.push_back({std::make_unique<TraceWorkload>(
+                         "A", fixed_records({0, 100, 200}, 0), TraceReplayOptions{}),
+                     0});
+  tenants.push_back({std::make_unique<TraceWorkload>(
+                         "B", fixed_records({50, 150}, 0), TraceReplayOptions{}),
+                     1000});
+  CompositeWorkload merged("mix", std::move(tenants));
+
+  std::vector<Lba> lbas;
+  std::vector<TimeUs> thinks;
+  while (auto op = merged.next()) {
+    lbas.push_back(op->lba);
+    thinks.push_back(op->think_us);
+  }
+  // Emission order: A(0), B(50), A(100), B(150), A(200).
+  ASSERT_EQ(lbas.size(), 5u);
+  EXPECT_EQ(lbas, (std::vector<Lba>{0, 1000, 0, 1000, 0}));
+  // Global gaps between consecutive emissions.
+  EXPECT_EQ(thinks, (std::vector<TimeUs>{0, 50, 50, 50, 50}));
+}
+
+TEST(CompositeWorkload, OffsetsPartitionTheLbaSpace) {
+  std::vector<CompositeWorkload::Tenant> tenants;
+  tenants.push_back(
+      {std::make_unique<SyntheticWorkload>(wl::ycsb_spec(), 10'000, 1), 0});
+  tenants.push_back(
+      {std::make_unique<SyntheticWorkload>(wl::tpcc_spec(), 10'000, 2), 10'000});
+  CompositeWorkload merged("mix", std::move(tenants));
+
+  EXPECT_EQ(merged.footprint_pages(),
+            10'000 + static_cast<Lba>(wl::tpcc_spec().footprint_fraction * 10'000));
+  for (int i = 0; i < 20000; ++i) {
+    const auto op = merged.next();
+    ASSERT_TRUE(op);
+    EXPECT_LT(op->lba + op->pages, 20'001u);
+  }
+  // Both tenants actually contributed.
+  EXPECT_GT(merged.ops_per_tenant()[0], 1000u);
+  EXPECT_GT(merged.ops_per_tenant()[1], 1000u);
+}
+
+TEST(CompositeWorkload, FasterTenantDominates) {
+  wl::WorkloadSpec fast = wl::ycsb_spec();
+  fast.ops_per_sec = 4000.0;
+  fast.duty_cycle = 1.0;
+  wl::WorkloadSpec slow = wl::ycsb_spec();
+  slow.ops_per_sec = 400.0;
+  slow.duty_cycle = 1.0;
+
+  std::vector<CompositeWorkload::Tenant> tenants;
+  tenants.push_back({std::make_unique<SyntheticWorkload>(fast, 1000, 1), 0});
+  tenants.push_back({std::make_unique<SyntheticWorkload>(slow, 1000, 2), 1000});
+  CompositeWorkload merged("mix", std::move(tenants));
+
+  for (int i = 0; i < 20000; ++i) merged.next();
+  const auto& ops = merged.ops_per_tenant();
+  EXPECT_NEAR(static_cast<double>(ops[0]) / static_cast<double>(ops[1]), 10.0, 2.5);
+}
+
+TEST(CompositeWorkload, DrainsWhenAllTenantsFinish) {
+  std::vector<CompositeWorkload::Tenant> tenants;
+  tenants.push_back({std::make_unique<TraceWorkload>("A", fixed_records({0, 10}, 0),
+                                                     TraceReplayOptions{}),
+                     0});
+  CompositeWorkload merged("mix", std::move(tenants));
+  EXPECT_TRUE(merged.next());
+  EXPECT_TRUE(merged.next());
+  EXPECT_FALSE(merged.next());
+  EXPECT_FALSE(merged.next());
+}
+
+TEST(CompositeWorkload, RejectsEmptyAndNull) {
+  EXPECT_THROW(CompositeWorkload("x", {}), std::logic_error);
+  std::vector<CompositeWorkload::Tenant> tenants;
+  tenants.push_back({nullptr, 0});
+  EXPECT_THROW(CompositeWorkload("x", std::move(tenants)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace jitgc::wl

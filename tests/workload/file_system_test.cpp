@@ -1,0 +1,171 @@
+#include "workload/file_system.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace jitgc::wl {
+namespace {
+
+TEST(FileSystem, CreateAllocatesExtents) {
+  FileSystem fs(1000);
+  std::vector<Extent> written;
+  const auto id = fs.create(10, written);
+  ASSERT_TRUE(id);
+  ASSERT_EQ(written.size(), 1u);  // fresh volume: one contiguous extent
+  EXPECT_EQ(written[0].pages, 10u);
+  EXPECT_EQ(fs.file_pages(*id), 10u);
+  EXPECT_EQ(fs.free_pages(), 990u);
+  fs.check_invariants();
+}
+
+TEST(FileSystem, CreateFailsWhenFull) {
+  FileSystem fs(100);
+  std::vector<Extent> written;
+  ASSERT_TRUE(fs.create(90, written));
+  EXPECT_FALSE(fs.create(20, written));
+  EXPECT_EQ(fs.file_count(), 1u);
+  fs.check_invariants();
+}
+
+TEST(FileSystem, RemoveFreesAndCoalesces) {
+  FileSystem fs(100);
+  std::vector<Extent> w1, w2, w3, trimmed;
+  const auto a = fs.create(10, w1);
+  const auto b = fs.create(10, w2);
+  const auto c = fs.create(10, w3);
+  ASSERT_TRUE(a && b && c);
+
+  fs.remove(*b, trimmed);
+  EXPECT_EQ(trimmed.size(), 1u);
+  EXPECT_EQ(fs.free_pages(), 80u);
+  fs.check_invariants();
+
+  // Freeing the neighbors must coalesce into one big extent; a subsequent
+  // 90-page allocation succeeds contiguously... after removing a and c.
+  fs.remove(*a, trimmed);
+  fs.remove(*c, trimmed);
+  fs.check_invariants();
+  std::vector<Extent> big;
+  ASSERT_TRUE(fs.create(100, big));
+  EXPECT_EQ(big.size(), 1u);  // fully coalesced
+}
+
+TEST(FileSystem, FragmentedAllocationSplits) {
+  FileSystem fs(100);
+  std::vector<Extent> w, trimmed;
+  std::vector<FileId> ids;
+  for (int i = 0; i < 10; ++i) {
+    const auto id = fs.create(10, w);
+    ASSERT_TRUE(id);
+    ids.push_back(*id);
+  }
+  // Free every other file: five 10-page holes.
+  for (int i = 0; i < 10; i += 2) fs.remove(ids[i], trimmed);
+  fs.check_invariants();
+
+  // A 25-page file must span multiple holes.
+  w.clear();
+  const auto id = fs.create(25, w);
+  ASSERT_TRUE(id);
+  EXPECT_GT(w.size(), 1u);
+  EXPECT_GT(fs.stats().fragmented_allocations, 0u);
+  fs.check_invariants();
+}
+
+TEST(FileSystem, AppendExtendsAndMergesTail) {
+  FileSystem fs(100);
+  std::vector<Extent> w;
+  const auto id = fs.create(10, w);
+  ASSERT_TRUE(id);
+  w.clear();
+  ASSERT_TRUE(fs.append(*id, 5, w));
+  EXPECT_EQ(fs.file_pages(*id), 15u);
+  // Contiguous extension: the file still has a single extent, so a
+  // full-file read returns one extent.
+  std::vector<Extent> read;
+  fs.read(*id, 0, 15, read);
+  EXPECT_EQ(read.size(), 1u);
+  EXPECT_EQ(read[0].pages, 15u);
+  fs.check_invariants();
+}
+
+TEST(FileSystem, OverwriteMapsOntoFileExtents) {
+  FileSystem fs(25);  // small volume so the allocation MUST fragment
+  std::vector<Extent> w, trimmed;
+  const auto a = fs.create(10, w);
+  const auto b = fs.create(10, w);
+  ASSERT_TRUE(a && b);
+  fs.remove(*a, trimmed);
+  // c's 15 pages span the freed hole (10) + the 5-page tail: two extents.
+  w.clear();
+  const auto c = fs.create(15, w);
+  ASSERT_TRUE(c);
+  ASSERT_EQ(w.size(), 2u);
+
+  std::vector<Extent> touched;
+  fs.overwrite(*c, 8, 4, touched);  // crosses the extent boundary
+  ASSERT_EQ(touched.size(), 2u);
+  EXPECT_EQ(touched[0].pages + touched[1].pages, 4u);
+  EXPECT_EQ(fs.stats().overwrite_pages, 4u);
+}
+
+TEST(FileSystem, OverwriteWrapsOffset) {
+  FileSystem fs(100);
+  std::vector<Extent> w, touched;
+  const auto id = fs.create(10, w);
+  ASSERT_TRUE(id);
+  fs.overwrite(*id, 25, 4, touched);  // offset 25 % 10 = 5
+  ASSERT_EQ(touched.size(), 1u);
+  EXPECT_EQ(touched[0].start, w[0].start + 5);
+}
+
+TEST(FileSystem, JournalRoundRobin) {
+  FileSystem fs(100, /*journal_pages=*/4);
+  EXPECT_EQ(fs.journal_write(), 0u);
+  EXPECT_EQ(fs.journal_write(), 1u);
+  EXPECT_EQ(fs.journal_write(), 2u);
+  EXPECT_EQ(fs.journal_write(), 3u);
+  EXPECT_EQ(fs.journal_write(), 0u);  // wraps
+  EXPECT_EQ(fs.stats().journal_writes, 5u);
+  // Data allocations never land in the journal region.
+  std::vector<Extent> w;
+  ASSERT_TRUE(fs.create(96, w));
+  for (const Extent& e : w) EXPECT_GE(e.start, 4u);
+  fs.check_invariants();
+}
+
+TEST(FileSystem, PickFileRoundtrip) {
+  FileSystem fs(100);
+  EXPECT_FALSE(fs.pick_file(0));
+  std::vector<Extent> w;
+  const auto id = fs.create(5, w);
+  ASSERT_TRUE(id);
+  EXPECT_EQ(fs.pick_file(12345), id);
+}
+
+TEST(FileSystem, RandomChurnKeepsInvariants) {
+  FileSystem fs(5000, 16);
+  Rng rng(42);
+  std::vector<FileId> ids;
+  for (int step = 0; step < 5000; ++step) {
+    std::vector<Extent> touched;
+    const double roll = rng.uniform01();
+    if (roll < 0.4 || ids.empty()) {
+      if (const auto id = fs.create(rng.uniform_range(1, 40), touched)) ids.push_back(*id);
+    } else if (roll < 0.6) {
+      const std::size_t pick = rng.uniform(ids.size());
+      fs.remove(ids[pick], touched);
+      ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else if (roll < 0.8) {
+      fs.append(ids[rng.uniform(ids.size())], rng.uniform_range(1, 10), touched);
+    } else {
+      fs.overwrite(ids[rng.uniform(ids.size())], rng(), rng.uniform_range(1, 8), touched);
+    }
+    if (step % 100 == 0) fs.check_invariants();
+  }
+  fs.check_invariants();
+}
+
+}  // namespace
+}  // namespace jitgc::wl

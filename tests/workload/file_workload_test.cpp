@@ -1,0 +1,87 @@
+#include "workload/file_workload.h"
+
+#include <gtest/gtest.h>
+
+namespace jitgc::wl {
+namespace {
+
+constexpr Lba kUserPages = 50'000;
+
+TEST(FileWorkload, ProducesAllOpTypes) {
+  FileWorkload gen(mail_server_spec(), kUserPages, 3);
+  int writes = 0, reads = 0, trims = 0, direct = 0;
+  for (int i = 0; i < 30000; ++i) {
+    const auto op = gen.next();
+    ASSERT_TRUE(op);
+    switch (op->type) {
+      case OpType::kWrite: ++writes; direct += op->direct; break;
+      case OpType::kRead: ++reads; break;
+      case OpType::kTrim: ++trims; break;
+    }
+  }
+  EXPECT_GT(writes, 1000);
+  EXPECT_GT(reads, 100);
+  EXPECT_GT(trims, 100);   // deletions produce TRIMs
+  EXPECT_GT(direct, 100);  // journal commits are direct writes
+}
+
+TEST(FileWorkload, OpsStayInBounds) {
+  FileWorkload gen(file_server_spec(), kUserPages, 5);
+  for (int i = 0; i < 20000; ++i) {
+    const auto op = gen.next();
+    ASSERT_TRUE(op);
+    EXPECT_LE(op->lba + op->pages, kUserPages);
+  }
+}
+
+TEST(FileWorkload, SteersTowardTargetFill) {
+  FileWorkloadSpec spec = mail_server_spec();
+  spec.target_fill = 0.5;
+  FileWorkload gen(spec, kUserPages, 7);
+  for (int i = 0; i < 200000; ++i) gen.next();
+  const double fill = 1.0 - static_cast<double>(gen.file_system().free_pages()) /
+                                static_cast<double>(gen.file_system().total_pages());
+  EXPECT_NEAR(fill, 0.5, 0.15);
+  gen.file_system().check_invariants();
+}
+
+TEST(FileWorkload, DeterministicForSameSeed) {
+  FileWorkload a(mail_server_spec(), kUserPages, 11);
+  FileWorkload b(mail_server_spec(), kUserPages, 11);
+  for (int i = 0; i < 5000; ++i) {
+    const auto oa = a.next();
+    const auto ob = b.next();
+    ASSERT_TRUE(oa && ob);
+    EXPECT_EQ(oa->lba, ob->lba);
+    EXPECT_EQ(static_cast<int>(oa->type), static_cast<int>(ob->type));
+    EXPECT_EQ(oa->think_us, ob->think_us);
+  }
+}
+
+TEST(FileWorkload, JournalCommitsHitJournalRegion) {
+  FileWorkloadSpec spec = mail_server_spec();
+  spec.journal_commit_fraction = 1.0;
+  FileWorkload gen(spec, kUserPages, 13);
+  int journal_writes = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const auto op = gen.next();
+    ASSERT_TRUE(op);
+    if (op->type == OpType::kWrite && op->direct) {
+      EXPECT_LT(op->lba, spec.journal_pages);
+      ++journal_writes;
+    }
+  }
+  EXPECT_GT(journal_writes, 500);
+}
+
+TEST(FileWorkload, MailServerChurnsFiles) {
+  FileWorkload gen(mail_server_spec(), kUserPages, 17);
+  for (int i = 0; i < 100000; ++i) gen.next();
+  const FsStats& s = gen.file_system().stats();
+  EXPECT_GT(s.files_created, 1000u);
+  EXPECT_GT(s.files_deleted, 500u);
+  EXPECT_GT(s.trimmed_pages, 1000u);
+}
+
+}  // namespace
+}  // namespace jitgc::wl

@@ -1,0 +1,150 @@
+#include "workload/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "workload/specs.h"
+
+namespace jitgc::wl {
+namespace {
+
+constexpr Lba kUserPages = 100'000;
+
+TEST(SyntheticWorkload, DeterministicForSameSeed) {
+  SyntheticWorkload a(ycsb_spec(), kUserPages, 7);
+  SyntheticWorkload b(ycsb_spec(), kUserPages, 7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto oa = a.next();
+    const auto ob = b.next();
+    ASSERT_TRUE(oa && ob);
+    EXPECT_EQ(oa->lba, ob->lba);
+    EXPECT_EQ(oa->think_us, ob->think_us);
+    EXPECT_EQ(oa->pages, ob->pages);
+    EXPECT_EQ(oa->direct, ob->direct);
+  }
+}
+
+TEST(SyntheticWorkload, OpsStayInsideFootprint) {
+  SyntheticWorkload gen(postmark_spec(), kUserPages, 3);
+  for (int i = 0; i < 20000; ++i) {
+    const auto op = gen.next();
+    ASSERT_TRUE(op);
+    EXPECT_LE(op->lba + op->pages, gen.footprint_pages());
+    EXPECT_GE(op->pages, postmark_spec().min_pages);
+    EXPECT_LE(op->pages, postmark_spec().max_pages);
+  }
+}
+
+TEST(SyntheticWorkload, FootprintAndWorkingSetScale) {
+  const WorkloadSpec spec = filebench_spec();
+  SyntheticWorkload gen(spec, kUserPages, 3);
+  EXPECT_EQ(gen.working_set_pages(),
+            static_cast<Lba>(spec.working_set_fraction * kUserPages));
+  EXPECT_EQ(gen.footprint_pages(),
+            static_cast<Lba>(spec.footprint_fraction * kUserPages));
+  EXPECT_LE(gen.working_set_pages(), gen.footprint_pages());
+}
+
+class WriteMixTest : public ::testing::TestWithParam<WorkloadSpec> {};
+
+/// Table 1 property: each generator's realized direct-write byte fraction
+/// matches its spec within sampling tolerance.
+TEST_P(WriteMixTest, DirectFractionMatchesTable1) {
+  const WorkloadSpec spec = GetParam();
+  SyntheticWorkload gen(spec, kUserPages, 11);
+  Bytes direct = 0, buffered = 0;
+  for (int i = 0; i < 60000; ++i) {
+    const auto op = gen.next();
+    ASSERT_TRUE(op);
+    if (op->type != OpType::kWrite) continue;
+    (op->direct ? direct : buffered) += op->bytes(4 * KiB);
+  }
+  const double frac = static_cast<double>(direct) / static_cast<double>(direct + buffered);
+  EXPECT_NEAR(frac, spec.direct_write_fraction, 0.03) << spec.name;
+}
+
+/// Read/write split matches the spec.
+TEST_P(WriteMixTest, ReadFractionMatchesSpec) {
+  const WorkloadSpec spec = GetParam();
+  SyntheticWorkload gen(spec, kUserPages, 13);
+  int reads = 0, total = 0;
+  for (int i = 0; i < 40000; ++i) {
+    const auto op = gen.next();
+    ASSERT_TRUE(op);
+    ++total;
+    reads += (op->type == OpType::kRead);
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / total, spec.read_fraction, 0.02) << spec.name;
+}
+
+/// Long-run mean think time approximates ops_per_sec / duty_cycle structure:
+/// the ON/OFF process stretches the mean gap by 1/duty. Uses short ON
+/// periods so the run contains thousands of OFF gaps (the paper specs' long
+/// bursts would leave too few samples for a stable mean).
+TEST_P(WriteMixTest, MeanThinkTimeReflectsTempo) {
+  WorkloadSpec spec = GetParam();
+  spec.mean_on_period_s = 0.25;
+  SyntheticWorkload gen(spec, kUserPages, 17);
+  double total_think = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) total_think += static_cast<double>(gen.next()->think_us);
+  const double mean_gap_s = total_think / n / 1e6;
+  const double expected = 1.0 / spec.ops_per_sec / spec.duty_cycle;
+  EXPECT_NEAR(mean_gap_s, expected, expected * 0.2) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WriteMixTest,
+                         ::testing::ValuesIn(paper_benchmark_specs()),
+                         [](const ::testing::TestParamInfo<WorkloadSpec>& info) {
+                           std::string n = info.param.name;
+                           for (char& c : n) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Specs, TableOneOrderAndValues) {
+  const auto specs = paper_benchmark_specs();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].name, "YCSB");
+  EXPECT_DOUBLE_EQ(specs[0].direct_write_fraction, 0.118);
+  EXPECT_EQ(specs[5].name, "TPC-C");
+  // Table 1's exact direct-write shares.
+  const double expected[] = {0.118, 0.183, 0.142, 0.276, 0.537, 0.999};
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(specs[i].direct_write_fraction, expected[i]) << specs[i].name;
+  }
+}
+
+TEST(SyntheticWorkload, ValidationRejectsBadSpecs) {
+  WorkloadSpec bad = ycsb_spec();
+  bad.footprint_fraction = 0.3;  // below working-set fraction
+  EXPECT_THROW(SyntheticWorkload(bad, kUserPages, 1), std::logic_error);
+
+  bad = ycsb_spec();
+  bad.min_pages = 0;
+  EXPECT_THROW(SyntheticWorkload(bad, kUserPages, 1), std::logic_error);
+
+  bad = ycsb_spec();
+  bad.duty_cycle = 0.0;
+  EXPECT_THROW(SyntheticWorkload(bad, kUserPages, 1), std::logic_error);
+}
+
+TEST(SyntheticWorkload, SequentialRunsOccur) {
+  WorkloadSpec spec = bonnie_spec();
+  spec.read_fraction = 0.0;
+  SyntheticWorkload gen(spec, kUserPages, 19);
+  int sequential = 0;
+  Lba prev_end = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto op = gen.next();
+    sequential += (op->lba == prev_end);
+    prev_end = op->lba + op->pages;
+  }
+  // Bonnie++ is 70% sequential; require a healthy share despite edge resets.
+  EXPECT_GT(sequential, 20000 / 2);
+}
+
+}  // namespace
+}  // namespace jitgc::wl

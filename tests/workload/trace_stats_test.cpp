@@ -1,0 +1,80 @@
+#include "workload/trace_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/trace_suite.h"
+
+namespace jitgc::wl {
+namespace {
+
+TEST(TraceStats, EmptyTrace) {
+  const TraceStats s = analyze_trace({});
+  EXPECT_EQ(s.records, 0u);
+  EXPECT_EQ(s.write_fraction(), 0.0);
+  EXPECT_EQ(s.mean_iops, 0.0);
+}
+
+TEST(TraceStats, BasicCounts) {
+  std::vector<TraceRecord> records{
+      {0, OpType::kWrite, 0, 4096},
+      {seconds(1), OpType::kRead, 4096, 8192},
+      {seconds(2), OpType::kWrite, 4096, 4096},  // rewrites page 1
+  };
+  const TraceStats s = analyze_trace(records);
+  EXPECT_EQ(s.records, 3u);
+  EXPECT_EQ(s.writes, 2u);
+  EXPECT_EQ(s.reads, 1u);
+  EXPECT_EQ(s.write_bytes, 8192u);
+  EXPECT_EQ(s.read_bytes, 8192u);
+  EXPECT_EQ(s.footprint_pages, 3u);  // pages 0..2 spanned
+  EXPECT_EQ(s.unique_pages, 3u);
+  EXPECT_DOUBLE_EQ(s.duration_s, 2.0);
+  EXPECT_DOUBLE_EQ(s.mean_iops, 1.5);
+  EXPECT_EQ(s.min_request, 4096u);
+  EXPECT_EQ(s.max_request, 8192u);
+}
+
+TEST(TraceStats, SequentialityDetected) {
+  std::vector<TraceRecord> records{
+      {0, OpType::kWrite, 0, 4096},
+      {1, OpType::kWrite, 4096, 4096},   // continues
+      {2, OpType::kWrite, 8192, 4096},   // continues
+      {3, OpType::kWrite, 40960, 4096},  // seek
+  };
+  const TraceStats s = analyze_trace(records);
+  EXPECT_NEAR(s.sequential_fraction, 2.0 / 3.0, 1e-9);
+}
+
+TEST(TraceStats, SizeHistogramBuckets) {
+  std::vector<TraceRecord> records{
+      {0, OpType::kWrite, 0, 4096},            // <=4K
+      {1, OpType::kWrite, 0, 8192},            // 8K
+      {2, OpType::kWrite, 0, 64 * 1024},       // 64K
+      {3, OpType::kWrite, 0, 1 * 1024 * 1024}, // >128K
+  };
+  const TraceStats s = analyze_trace(records);
+  EXPECT_EQ(s.size_histogram[0], 1u);
+  EXPECT_EQ(s.size_histogram[1], 1u);
+  EXPECT_EQ(s.size_histogram[4], 1u);
+  EXPECT_EQ(s.size_histogram[6], 1u);
+}
+
+TEST(TraceStats, ValidatesSuiteProfiles) {
+  // The analyzer must confirm each synthesized family's headline stats.
+  for (const auto& profile : msr_profiles()) {
+    const auto records = synthesize_trace(profile, seconds(120), 3);
+    const TraceStats s = analyze_trace(records);
+    EXPECT_NEAR(s.write_fraction(), profile.write_fraction, 0.04) << profile.name;
+    EXPECT_LE(s.footprint_pages, profile.footprint_pages) << profile.name;
+    EXPECT_GT(s.sequential_fraction, profile.sequential_fraction * 0.5) << profile.name;
+  }
+  // Cross-family ordering: src is the most sequential, prxy the least.
+  const TraceStats src =
+      analyze_trace(synthesize_trace(msr_source_control_profile(), seconds(60), 1));
+  const TraceStats prxy = analyze_trace(synthesize_trace(msr_proxy_profile(), seconds(60), 1));
+  EXPECT_GT(src.sequential_fraction, prxy.sequential_fraction);
+  EXPECT_GT(src.mean_request, prxy.mean_request);
+}
+
+}  // namespace
+}  // namespace jitgc::wl

@@ -1,0 +1,90 @@
+// Edge cases across the workload generators that the per-module tests do
+// not cover: extreme specs, tiny address spaces, and AppOp helpers.
+#include <gtest/gtest.h>
+
+#include "workload/file_workload.h"
+#include "workload/specs.h"
+#include "workload/synthetic.h"
+
+namespace jitgc::wl {
+namespace {
+
+TEST(AppOp, ByteSizeHelper) {
+  AppOp op;
+  op.pages = 3;
+  EXPECT_EQ(op.bytes(4 * KiB), 12 * KiB);
+  EXPECT_EQ(op.bytes(8 * KiB), 24 * KiB);
+}
+
+TEST(SyntheticWorkload, TinyAddressSpaceStaysInBounds) {
+  WorkloadSpec spec = ycsb_spec();
+  spec.max_pages = 4;
+  SyntheticWorkload gen(spec, /*user_pages=*/64, 1);
+  for (int i = 0; i < 5000; ++i) {
+    const auto op = gen.next();
+    ASSERT_TRUE(op);
+    EXPECT_LE(op->lba + op->pages, 64u);
+  }
+}
+
+TEST(SyntheticWorkload, AlwaysOnDutyCycleNeverIdles) {
+  WorkloadSpec spec = ycsb_spec();
+  spec.duty_cycle = 1.0;
+  spec.ops_per_sec = 1000.0;
+  SyntheticWorkload gen(spec, 10'000, 2);
+  // With duty 1.0 no OFF gaps are inserted: the largest think time over many
+  // ops stays within a few exponential means (no multi-second gaps).
+  TimeUs max_think = 0;
+  for (int i = 0; i < 50'000; ++i) max_think = std::max(max_think, gen.next()->think_us);
+  EXPECT_LT(max_think, seconds(1));
+}
+
+TEST(SyntheticWorkload, FullFootprintSpecWorks) {
+  WorkloadSpec spec = ycsb_spec();
+  spec.working_set_fraction = 1.0;
+  spec.footprint_fraction = 1.0;
+  SyntheticWorkload gen(spec, 5000, 3);
+  EXPECT_EQ(gen.footprint_pages(), 5000u);
+  EXPECT_EQ(gen.working_set_pages(), 5000u);
+  for (int i = 0; i < 2000; ++i) {
+    const auto op = gen.next();
+    ASSERT_TRUE(op);
+    EXPECT_LE(op->lba + op->pages, 5000u);
+  }
+}
+
+TEST(SyntheticWorkload, WriteOnlySpec) {
+  WorkloadSpec spec = tpcc_spec();
+  spec.read_fraction = 0.0;
+  SyntheticWorkload gen(spec, 10'000, 5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(gen.next()->type, OpType::kWrite);
+  }
+}
+
+TEST(FileWorkload, SurvivesTinyVolume) {
+  FileWorkloadSpec spec = mail_server_spec();
+  spec.max_file_pages = 4;
+  spec.journal_pages = 8;
+  FileWorkload gen(spec, /*user_pages=*/256, 7);
+  for (int i = 0; i < 20'000; ++i) {
+    const auto op = gen.next();
+    ASSERT_TRUE(op);
+    ASSERT_LE(op->lba + op->pages, 256u);
+  }
+  gen.file_system().check_invariants();
+}
+
+TEST(FileWorkload, RejectsBadSpecs) {
+  FileWorkloadSpec spec = mail_server_spec();
+  spec.target_fill = 1.5;
+  EXPECT_THROW(FileWorkload(spec, 1000, 1), std::logic_error);
+
+  spec = mail_server_spec();
+  spec.create_fraction = 0.9;
+  spec.read_fraction = 0.5;  // fractions exceed 1
+  EXPECT_THROW(FileWorkload(spec, 1000, 1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace jitgc::wl

@@ -1,0 +1,50 @@
+// jitgc_sweep — run the full (workload x policy) matrix and emit CSV.
+//
+//   jitgc_sweep > results.csv
+//   jitgc_sweep --seconds=120 --seeds=3 > results.csv
+//
+// One row per (workload, policy, seed). Designed for feeding plots/notebooks;
+// the paper-shaped tables come from the bench binaries instead.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/cli_options.h"
+#include "sim/experiment.h"
+#include "workload/specs.h"
+
+int main(int argc, char** argv) {
+  using namespace jitgc;
+
+  double seconds_arg = 300.0;
+  std::uint64_t seeds = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seconds=", 0) == 0) {
+      seconds_arg = std::stod(arg.substr(10));
+    } else if (arg.rfind("--seeds=", 0) == 0) {
+      seeds = std::stoull(arg.substr(8));
+    } else {
+      std::fprintf(stderr,
+                   "usage: jitgc_sweep [--seconds=<s>] [--seeds=<n>]\n"
+                   "runs all six benchmarks x four policies and prints CSV\n");
+      return 2;
+    }
+  }
+
+  std::printf("%s,seed\n", sim::csv_header_row().c_str());
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    for (const auto& spec : wl::paper_benchmark_specs()) {
+      for (const auto kind : {sim::PolicyKind::kLazy, sim::PolicyKind::kAggressive,
+                              sim::PolicyKind::kAdaptive, sim::PolicyKind::kJit}) {
+        sim::SimConfig config = sim::default_sim_config(seed);
+        config.duration = seconds(seconds_arg);
+        const sim::SimReport r = sim::run_cell(config, spec, kind);
+        std::printf("%s,%llu\n", sim::format_csv_row(r).c_str(),
+                    static_cast<unsigned long long>(seed));
+        std::fflush(stdout);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// jitgc_trace_info — characterize an MSR-format block trace.
+//
+//   jitgc_trace_info trace.csv
+//   jitgc_trace_info --synthesize=msr-prxy       (inspect a suite profile)
+#include <cstdio>
+#include <string>
+
+#include "workload/trace_stats.h"
+#include "workload/trace_suite.h"
+
+int main(int argc, char** argv) {
+  using namespace jitgc;
+
+  if (argc != 2) {
+    std::fprintf(stderr,
+                 "usage: jitgc_trace_info <trace.csv>\n"
+                 "       jitgc_trace_info --synthesize=<msr-prxy|msr-exch|msr-src|msr-web>\n");
+    return 2;
+  }
+
+  std::vector<wl::TraceRecord> records;
+  const std::string arg = argv[1];
+  try {
+    if (arg.rfind("--synthesize=", 0) == 0) {
+      const std::string name = arg.substr(13);
+      bool found = false;
+      for (const auto& profile : wl::msr_profiles()) {
+        if (profile.name == name) {
+          records = wl::synthesize_trace(profile, seconds(300), 1);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "jitgc_trace_info: unknown profile '%s'\n", name.c_str());
+        return 2;
+      }
+    } else {
+      records = wl::read_msr_trace(arg);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "jitgc_trace_info: %s\n", e.what());
+    return 1;
+  }
+
+  const wl::TraceStats s = wl::analyze_trace(records);
+  std::printf("records             %zu (%zu writes / %zu reads, %.1f%% writes)\n", s.records,
+              s.writes, s.reads, 100.0 * s.write_fraction());
+  std::printf("volume              %.1f MiB written, %.1f MiB read\n",
+              static_cast<double>(s.write_bytes) / (1 << 20),
+              static_cast<double>(s.read_bytes) / (1 << 20));
+  std::printf("footprint           %.1f MiB spanned, %.1f MiB unique pages\n",
+              static_cast<double>(s.footprint_pages) * 4096 / (1 << 20),
+              static_cast<double>(s.unique_pages) * 4096 / (1 << 20));
+  std::printf("duration            %.1f s (%.0f IOPS mean)\n", s.duration_s, s.mean_iops);
+  std::printf("request size        min %llu / mean %.0f / max %llu bytes\n",
+              static_cast<unsigned long long>(s.min_request), s.mean_request,
+              static_cast<unsigned long long>(s.max_request));
+  std::printf("sequentiality       %.1f%% of requests continue the previous one\n",
+              100.0 * s.sequential_fraction);
+
+  static const char* kBuckets[] = {"<=4K", "8K", "16K", "32K", "64K", "128K", ">128K"};
+  std::printf("size histogram      ");
+  for (std::size_t i = 0; i < s.size_histogram.size(); ++i) {
+    if (s.size_histogram[i] == 0) continue;
+    std::printf("%s:%zu  ", kBuckets[i], s.size_histogram[i]);
+  }
+  std::printf("\n");
+  return 0;
+}

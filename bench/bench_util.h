@@ -1,17 +1,49 @@
-// Shared table-printing helpers for the paper-reproduction benches.
+// Shared helpers for the paper-reproduction benches: table printing plus a
+// parallel cell runner.
 //
 // Every bench prints (a) the raw measured values and (b) the same
 // normalization the paper uses (usually over A-BGC), so EXPERIMENTS.md can
 // record paper-vs-measured side by side.
+//
+// Benches declare their full (workload x policy) run list up front and
+// execute it with run_cells_parallel(); reports come back indexed by run, so
+// the table-building code stays serial and deterministic while the runs
+// themselves use every core.
 #pragma once
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
+#include "sim/experiment.h"
 #include "sim/metrics.h"
 
 namespace jitgc::bench {
+
+/// One independent simulation a bench wants executed.
+struct CellRun {
+  sim::SimConfig config;
+  wl::WorkloadSpec workload;
+  sim::PolicyKind policy = sim::PolicyKind::kJit;
+  double fixed_multiple = 1.0;
+  sim::PolicyOverrides overrides;
+};
+
+/// Runs every cell on a work-stealing pool (`threads` = 0: all hardware
+/// threads) and returns the reports in the input order. Each run is seeded
+/// by its own config, so results are identical to running the list serially.
+inline std::vector<sim::SimReport> run_cells_parallel(const std::vector<CellRun>& runs,
+                                                      std::size_t threads = 0) {
+  std::vector<sim::SimReport> reports(runs.size());
+  ThreadPool pool(threads > 0 ? threads : ThreadPool::hardware_threads());
+  pool.parallel_for(runs.size(), [&](std::size_t i) {
+    const CellRun& run = runs[i];
+    reports[i] = sim::run_cell(run.config, run.workload, run.policy, run.fixed_multiple,
+                               run.overrides);
+  });
+  return reports;
+}
 
 /// Prints a header row: first column label then one column per name.
 inline void print_header(const char* label, const std::vector<std::string>& columns) {

@@ -32,13 +32,25 @@ int main() {
     double iops = 0.0, waf = 0.0;
   };
   const auto specs = wl::paper_benchmark_specs();
-  std::vector<std::vector<Cell>> table;
 
+  std::vector<bench::CellRun> runs;
   for (const auto& spec : specs) {
-    std::vector<Cell> row;
     for (const double m : multiples) {
-      const sim::SimReport r =
-          sim::run_cell(sim::default_sim_config(1), spec, sim::PolicyKind::kFixedReserve, m);
+      bench::CellRun run;
+      run.config = sim::default_sim_config(1);
+      run.workload = spec;
+      run.policy = sim::PolicyKind::kFixedReserve;
+      run.fixed_multiple = m;
+      runs.push_back(run);
+    }
+  }
+  const auto reports = bench::run_cells_parallel(runs);
+
+  std::vector<std::vector<Cell>> table;
+  for (std::size_t w = 0; w < specs.size(); ++w) {
+    std::vector<Cell> row;
+    for (std::size_t m = 0; m < multiples.size(); ++m) {
+      const auto& r = reports[w * multiples.size() + m];
       row.push_back(Cell{r.iops, r.waf});
     }
     table.push_back(row);

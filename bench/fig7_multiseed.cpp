@@ -2,9 +2,13 @@
 // mean +- stddev of the A-BGC-normalized ratios' inputs. The single-seed
 // fig7_policy_comparison matches the paper's presentation; this bench shows
 // which differences survive seed noise.
+//
+// All seeds x cells runs are flattened into one list and executed in
+// parallel; aggregation happens afterwards, in declaration order.
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/stats.h"
 #include "sim/experiment.h"
 #include "workload/specs.h"
 
@@ -15,17 +19,38 @@ int main() {
   constexpr std::size_t kSeeds = 3;
   const std::vector<PolicyKind> policies = {PolicyKind::kLazy, PolicyKind::kAggressive,
                                             PolicyKind::kAdaptive, PolicyKind::kJit};
+  const auto specs = wl::paper_benchmark_specs();
+
+  std::vector<bench::CellRun> runs;
+  for (const auto& spec : specs) {
+    for (const auto kind : policies) {
+      for (std::size_t s = 0; s < kSeeds; ++s) {
+        bench::CellRun run;
+        run.config = sim::default_sim_config(1 + s);  // seeds 1..kSeeds, as run_cell_multi
+        run.workload = spec;
+        run.policy = kind;
+        runs.push_back(run);
+      }
+    }
+  }
+  const auto reports = bench::run_cells_parallel(runs);
 
   std::printf("Fig. 7 with error bars (%zu seeds per cell)\n\n", kSeeds);
   std::printf("%-11s %-8s %16s %16s %14s\n", "benchmark", "policy", "IOPS", "WAF", "FGC");
 
-  for (const auto& spec : wl::paper_benchmark_specs()) {
+  std::size_t next = 0;
+  for (const auto& spec : specs) {
     for (const auto kind : policies) {
-      const sim::CellSummary s =
-          sim::run_cell_multi(sim::default_sim_config(1), spec, kind, kSeeds);
+      RunningStats iops, waf, fgc;
+      for (std::size_t s = 0; s < kSeeds; ++s) {
+        const auto& r = reports[next++];
+        iops.add(r.iops);
+        waf.add(r.waf);
+        fgc.add(static_cast<double>(r.fgc_cycles));
+      }
       std::printf("%-11s %-8s %9.0f +-%4.0f %11.3f +-%5.3f %8.0f +-%4.0f\n", spec.name.c_str(),
-                  sim::policy_kind_name(kind).c_str(), s.iops.mean, s.iops.stddev, s.waf.mean,
-                  s.waf.stddev, s.fgc_cycles.mean, s.fgc_cycles.stddev);
+                  sim::policy_kind_name(kind).c_str(), iops.mean(), iops.stddev(), waf.mean(),
+                  waf.stddev(), fgc.mean(), fgc.stddev());
     }
     std::printf("\n");
   }

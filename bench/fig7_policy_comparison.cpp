@@ -28,13 +28,25 @@ int main() {
   struct Cell {
     double iops = 0.0, waf = 0.0;
   };
-  std::vector<std::vector<Cell>> table;  // [workload][policy]
   const auto specs = wl::paper_benchmark_specs();
 
+  std::vector<bench::CellRun> runs;
   for (const auto& spec : specs) {
-    std::vector<Cell> row;
     for (const auto kind : policies) {
-      const sim::SimReport r = sim::run_cell(sim::default_sim_config(1), spec, kind);
+      bench::CellRun run;
+      run.config = sim::default_sim_config(1);
+      run.workload = spec;
+      run.policy = kind;
+      runs.push_back(run);
+    }
+  }
+  const auto reports = bench::run_cells_parallel(runs);
+
+  std::vector<std::vector<Cell>> table;  // [workload][policy]
+  for (std::size_t w = 0; w < specs.size(); ++w) {
+    std::vector<Cell> row;
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const auto& r = reports[w * policies.size() + p];
       row.push_back(Cell{r.iops, r.waf});
     }
     table.push_back(row);

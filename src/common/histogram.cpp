@@ -38,8 +38,19 @@ double Histogram::value_at_quantile(double q) const {
   const double target = q * static_cast<double>(total_);
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const std::uint64_t before = cum;
     cum += bins_[i];
-    if (static_cast<double>(cum) >= target) return static_cast<double>(i) * bin_width_;
+    if (static_cast<double>(cum) >= target) {
+      // The zero bin has no width to interpolate over.
+      if (i == 0) return 0.0;
+      // Interpolate within ((i-1)*w, i*w]: returning the right edge would
+      // over-reserve by up to one bin width, which a JIT reserve pays for in
+      // extra GC migrations. Assume mass is uniform across the bin.
+      const double left_edge = static_cast<double>(i - 1) * bin_width_;
+      const double fraction =
+          (target - static_cast<double>(before)) / static_cast<double>(bins_[i]);
+      return left_edge + fraction * bin_width_;
+    }
   }
   return static_cast<double>(bins_.size() - 1) * bin_width_;
 }

@@ -34,9 +34,13 @@ class Histogram {
   std::size_t num_bins() const { return bins_.size(); }
   double bin_width() const { return bin_width_; }
 
-  /// Smallest bin upper edge v such that P(X <= v) >= q, for q in (0, 1].
-  /// Bin i's upper edge is i * bin_width (the zero bin's edge is 0).
-  /// Returns 0 when the histogram is empty (no evidence -> no demand).
+  /// Inverse CDF at q in (0, 1]: finds the bin where the cumulative count
+  /// crosses q * total and interpolates linearly inside it (mass assumed
+  /// uniform across the bin), so the result moves continuously from the
+  /// bin's left edge toward its right edge as q grows. When the crossing
+  /// lands exactly on a bin's full count the right edge comes back, matching
+  /// the paper's Fig. 5 readings. Returns 0 when the histogram is empty or
+  /// the crossing is in the zero bin (no evidence -> no demand).
   double value_at_quantile(double q) const;
 
   /// Fraction of samples <= v (CDF evaluated at bin granularity).

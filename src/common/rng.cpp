@@ -63,4 +63,11 @@ double Rng::exponential(double mean) {
 
 Rng Rng::fork() { return Rng((*this)()); }
 
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t run_index) {
+  // splitmix64's state after run_index steps is base + run_index * golden;
+  // one more call advances and mixes, yielding the run_index-th output.
+  std::uint64_t state = base_seed + run_index * 0x9E3779B97F4A7C15ULL;
+  return splitmix64(state);
+}
+
 }  // namespace jitgc

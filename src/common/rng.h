@@ -47,4 +47,10 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+/// The run_index-th output of a splitmix64 stream seeded with `base_seed`,
+/// in O(1). Parallel sweeps derive each run's seed this way so results are
+/// a pure function of (base_seed, run_index) — bit-identical regardless of
+/// thread count or scheduling order.
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t run_index);
+
 }  // namespace jitgc

@@ -1,0 +1,116 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace jitgc {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = std::max<std::size_t>(1, threads);
+  queues_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) queues_.push_back(std::make_unique<WorkerQueue>());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    target = next_queue_++ % queues_.size();
+    ++queued_;
+    ++pending_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::run_one(std::size_t preferred) {
+  std::function<void()> task;
+  const std::size_t n = queues_.size();
+  for (std::size_t probe = 0; probe < n; ++probe) {
+    const std::size_t q = (preferred + probe) % n;
+    std::lock_guard<std::mutex> lock(queues_[q]->mu);
+    if (queues_[q]->tasks.empty()) continue;
+    if (probe == 0) {  // own queue: LIFO for locality
+      task = std::move(queues_[q]->tasks.back());
+      queues_[q]->tasks.pop_back();
+    } else {  // steal: FIFO, taking the oldest (largest) work first
+      task = std::move(queues_[q]->tasks.front());
+      queues_[q]->tasks.pop_front();
+    }
+    break;
+  }
+  if (!task) return false;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --queued_;
+  }
+  try {
+    task();
+  } catch (...) {
+    record_error(std::current_exception());
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--pending_ == 0) idle_cv_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::record_error(std::exception_ptr error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!first_error_) first_error_ = std::move(error);
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  while (true) {
+    if (run_one(index)) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    work_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+    if (stop_ && queued_ == 0) return;
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([&fn, i] { fn(i); });
+  }
+  // The calling thread drains queues alongside the workers (steals from
+  // queue 0 outward) instead of blocking idle.
+  while (run_one(0)) {
+  }
+  wait_idle();
+}
+
+}  // namespace jitgc

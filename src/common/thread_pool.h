@@ -1,0 +1,75 @@
+// Work-stealing thread pool for embarrassingly parallel experiment runs.
+//
+// No external dependencies: std::thread workers, one double-ended task
+// queue per worker. A worker pops its own queue LIFO (cache-warm) and
+// steals FIFO from its siblings when empty — the classic Cilk discipline.
+// Determinism is the caller's job: tasks must not share mutable state, so
+// results depend only on each task's own inputs (see sim/sweep.h, which
+// derives an independent RNG seed per run and collects results by index).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jitgc {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues one task. Tasks may be submitted from any thread, including
+  /// from inside other tasks.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. If any task threw, the
+  /// first exception is rethrown here (the remaining tasks still ran).
+  void wait_idle();
+
+  /// Runs fn(0) ... fn(n-1) across the pool and waits for completion; the
+  /// calling thread helps drain the queues. Exceptions propagate as in
+  /// wait_idle().
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// std::thread::hardware_concurrency with a >= 1 guarantee.
+  static std::size_t hardware_threads();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t index);
+  /// Pops one task (own queue back, then steal siblings' front) and runs
+  /// it; returns false when every queue was empty.
+  bool run_one(std::size_t preferred);
+  void record_error(std::exception_ptr error);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers sleep here
+  std::condition_variable idle_cv_;   // wait_idle sleeps here
+  std::size_t queued_ = 0;            // tasks sitting in queues
+  std::size_t pending_ = 0;           // submitted but not yet finished
+  std::size_t next_queue_ = 0;        // round-robin submit target
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace jitgc

@@ -14,15 +14,23 @@ PolicyDecision JitPolicy::on_interval(const PolicyContext& ctx) {
 
   double measured_idle_s = -1.0;
   if (config_.use_measured_idle) {
-    const auto idle = static_cast<double>(ctx.interval_idle_us);
-    idle_ewma_us_ = idle_ewma_us_ < 0.0
-                        ? idle
-                        : (1.0 - config_.idle_ewma_alpha) * idle_ewma_us_ +
-                              config_.idle_ewma_alpha * idle;
-    // Scale the per-interval estimate up to the horizon.
-    const double intervals = static_cast<double>(config_.horizon) /
-                             static_cast<double>(ctx.page_cache->config().flush_period);
-    measured_idle_s = idle_ewma_us_ * intervals / 1e6;
+    if (idle_intervals_seen_ < config_.idle_warmup_intervals) {
+      // Warm-up: the earliest intervals carry post-preconditioning
+      // turbulence; seeding the EWMA from them would bias T_idle for the
+      // whole run. Leave it unseeded (measured_idle_s stays < 0) so the
+      // manager uses the analytic formula this interval.
+      ++idle_intervals_seen_;
+    } else {
+      const auto idle = static_cast<double>(ctx.interval_idle_us);
+      idle_ewma_us_ = idle_ewma_us_ < 0.0
+                          ? idle
+                          : (1.0 - config_.idle_ewma_alpha) * idle_ewma_us_ +
+                                config_.idle_ewma_alpha * idle;
+      // Scale the per-interval estimate up to the horizon.
+      const double intervals = static_cast<double>(config_.horizon) /
+                               static_cast<double>(ctx.page_cache->config().flush_period);
+      measured_idle_s = idle_ewma_us_ * intervals / 1e6;
+    }
   }
 
   Prediction prediction = predictor_.predict(*ctx.page_cache, ctx.now);

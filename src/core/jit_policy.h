@@ -18,6 +18,12 @@ struct JitPolicyConfig {
   /// actually-observed idle time (extension; see JitGcManager::decide).
   bool use_measured_idle = false;
   double idle_ewma_alpha = 0.2;
+  /// Intervals to discard before the idle EWMA starts learning. The first
+  /// measured interval reflects post-preconditioning turbulence (cold cache,
+  /// GC backlog), and seeding the EWMA from it biases T_idle for the whole
+  /// run; until the warm-up passes, decide() falls back to the analytic
+  /// T_idle formula.
+  std::uint32_t idle_warmup_intervals = 1;
   /// Fig. 3(a) vs 3(b): the paper's *ideal* implementation embeds the
   /// JIT-GC manager in the SSD controller, so only the predictor's outputs
   /// cross the host interface (1 command per interval); the *actual*
@@ -53,6 +59,8 @@ class JitPolicy final : public BgcPolicy {
   JitDecision last_decision_;
   /// EWMA of per-interval device idle time (measured-idle extension).
   double idle_ewma_us_ = -1.0;
+  /// Intervals observed so far, for the warm-up skip.
+  std::uint32_t idle_intervals_seen_ = 0;
 };
 
 }  // namespace jitgc::core

@@ -1,9 +1,12 @@
 #include "sim/cli_options.h"
 
 #include <charconv>
+#include <fstream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/metrics_sink.h"
 #include "workload/file_workload.h"
 #include "workload/specs.h"
 #include "workload/trace.h"
@@ -176,6 +179,9 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::s
         error = "--percentile needs a value in (0,1]";
         return std::nullopt;
       }
+    } else if (key == "--metrics") {
+      if (!need_value()) return std::nullopt;
+      opt.metrics_path = value;
     } else if (key == "--csv") {
       opt.csv = true;
     } else if (key == "--csv-header") {
@@ -212,6 +218,7 @@ std::string cli_usage() {
   --bgc-rate-limit=<bps> QoS cap on background GC reclaim (0 = unlimited)
   --no-sip               disable SIP victim filtering (JIT-GC)
   --percentile=<q>       CDH reserve quantile                 (default 0.8)
+  --metrics=<file>       write per-interval + run JSONL records (docs/model.md)
   --csv / --csv-header   machine-readable one-line output
   --json                 machine-readable JSON object output
 )";
@@ -241,6 +248,18 @@ SimReport run_from_cli(const CliOptions& options) {
   const auto policy =
       make_policy(options.policy, config, options.fixed_reserve_multiple, overrides);
   const Lba user_pages = simulator.ssd().ftl().user_pages();
+
+  std::ofstream metrics_out;
+  std::unique_ptr<JsonlMetricsSink> metrics_sink;
+  if (!options.metrics_path.empty()) {
+    metrics_out.open(options.metrics_path);
+    if (!metrics_out) {
+      throw std::runtime_error("cannot open metrics file: " + options.metrics_path);
+    }
+    metrics_sink = std::make_unique<JsonlMetricsSink>(metrics_out, /*run_index=*/0,
+                                                      options.seed, /*emit_intervals=*/true);
+    simulator.set_metrics_sink(metrics_sink.get());
+  }
 
   if (!options.trace_path.empty()) {
     const auto records = wl::read_msr_trace(options.trace_path);

@@ -52,6 +52,8 @@ struct CliOptions {
   bool csv = false;
   bool csv_header = false;
   bool json = false;
+  /// Write structured JSONL metrics (per-interval + run records) here.
+  std::string metrics_path;
   bool show_help = false;
 };
 

@@ -1,0 +1,174 @@
+#include "sim/metrics_sink.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace jitgc::sim {
+namespace {
+
+// Numbers are formatted with %.10g: enough digits that distinct simulated
+// values stay distinct, and — being a pure function of the bits — identical
+// across thread counts, which the sweep determinism guarantee rests on.
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "0";  // JSON has no NaN/Inf; simulations never produce them
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  out += buf;
+}
+
+void append_field(std::string& out, const char* key, double v) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  append_number(out, v);
+}
+
+void append_field(std::string& out, const char* key, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out += buf;
+}
+
+void append_field(std::string& out, const char* key, const std::string& v) {
+  out += ",\"";
+  out += key;
+  out += "\":\"";
+  for (const char c : v) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+void append_field(std::string& out, const char* key, bool v) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out += v ? "true" : "false";
+}
+
+}  // namespace
+
+std::string format_interval_jsonl(std::uint64_t run_index, std::uint64_t seed,
+                                  const IntervalRecord& r) {
+  std::string out = "{\"type\":\"interval\"";
+  append_field(out, "run", run_index);
+  append_field(out, "seed", seed);
+  append_field(out, "interval", r.interval);
+  append_field(out, "time_s", r.time_s);
+  append_field(out, "free_bytes", static_cast<std::uint64_t>(r.free_bytes));
+  append_field(out, "reclaimable_bytes", static_cast<std::uint64_t>(r.reclaimable_bytes));
+  append_field(out, "c_req_bytes", r.c_req_bytes);
+  append_field(out, "reclaim_target_bytes", static_cast<std::uint64_t>(r.reclaim_target_bytes));
+  append_field(out, "urgent_reclaim_bytes", static_cast<std::uint64_t>(r.urgent_reclaim_bytes));
+  append_field(out, "bgc_reclaimed_bytes", static_cast<std::uint64_t>(r.bgc_reclaimed_bytes));
+  append_field(out, "flush_bytes", static_cast<std::uint64_t>(r.flush_bytes));
+  append_field(out, "direct_bytes", static_cast<std::uint64_t>(r.direct_bytes));
+  append_field(out, "fgc_cycles", r.fgc_cycles);
+  append_field(out, "idle_us", static_cast<std::uint64_t>(r.idle_us < 0 ? 0 : r.idle_us));
+  append_field(out, "interval_waf", r.interval_waf);
+  append_field(out, "ops", r.ops);
+  append_field(out, "p50_latency_us", r.p50_latency_us);
+  append_field(out, "p99_latency_us", r.p99_latency_us);
+  append_field(out, "max_latency_us", r.max_latency_us);
+  out += '}';
+  return out;
+}
+
+std::string format_run_jsonl(std::uint64_t run_index, std::uint64_t seed,
+                             const SimReport& r) {
+  std::string out = "{\"type\":\"run\"";
+  append_field(out, "run", run_index);
+  append_field(out, "seed", seed);
+  append_field(out, "workload", r.workload);
+  append_field(out, "policy", r.policy);
+  append_field(out, "duration_s", r.duration_s);
+  append_field(out, "elapsed_s", r.elapsed_s);
+  append_field(out, "ops", r.ops_completed);
+  append_field(out, "iops", r.iops);
+  append_field(out, "waf", r.waf);
+  append_field(out, "mean_latency_us", r.mean_latency_us);
+  append_field(out, "p99_latency_us", r.p99_latency_us);
+  append_field(out, "max_latency_us", r.max_latency_us);
+  append_field(out, "read_p99_latency_us", r.read_p99_latency_us);
+  append_field(out, "direct_write_p99_latency_us", r.direct_write_p99_latency_us);
+  append_field(out, "fgc_cycles", r.fgc_cycles);
+  append_field(out, "fgc_time_s", r.fgc_time_s);
+  append_field(out, "bgc_cycles", r.bgc_cycles);
+  append_field(out, "nand_programs", r.nand_programs);
+  append_field(out, "nand_erases", r.nand_erases);
+  append_field(out, "pages_migrated", r.pages_migrated);
+  append_field(out, "reclaim_requested_bytes", static_cast<std::uint64_t>(r.reclaim_requested_bytes));
+  append_field(out, "prediction_accuracy", r.prediction_accuracy);
+  append_field(out, "sip_filtered_fraction", r.sip_filtered_fraction);
+  append_field(out, "direct_write_fraction", r.direct_write_fraction());
+  append_field(out, "worn_out", r.device_worn_out);
+  append_field(out, "retired_blocks", r.retired_blocks);
+  append_field(out, "tbw_bytes", static_cast<std::uint64_t>(r.tbw_bytes()));
+  out += '}';
+  return out;
+}
+
+std::string interval_csv_header() {
+  return "run,seed,interval,time_s,free_bytes,reclaimable_bytes,c_req_bytes,"
+         "reclaim_target_bytes,urgent_reclaim_bytes,bgc_reclaimed_bytes,flush_bytes,"
+         "direct_bytes,fgc_cycles,idle_us,interval_waf,ops,p50_latency_us,"
+         "p99_latency_us,max_latency_us";
+}
+
+std::string format_interval_csv(std::uint64_t run_index, std::uint64_t seed,
+                                const IntervalRecord& r) {
+  std::string out;
+  char buf[64];
+  const auto u64 = [&](std::uint64_t v, bool comma = true) {
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+    if (comma) out += ',';
+    out += buf;
+  };
+  const auto num = [&](double v) {
+    out += ',';
+    append_number(out, v);
+  };
+  u64(run_index, /*comma=*/false);
+  u64(seed);
+  u64(r.interval);
+  num(r.time_s);
+  u64(r.free_bytes);
+  u64(r.reclaimable_bytes);
+  num(r.c_req_bytes);
+  u64(r.reclaim_target_bytes);
+  u64(r.urgent_reclaim_bytes);
+  u64(r.bgc_reclaimed_bytes);
+  u64(r.flush_bytes);
+  u64(r.direct_bytes);
+  u64(r.fgc_cycles);
+  u64(static_cast<std::uint64_t>(r.idle_us < 0 ? 0 : r.idle_us));
+  num(r.interval_waf);
+  u64(r.ops);
+  num(r.p50_latency_us);
+  num(r.p99_latency_us);
+  num(r.max_latency_us);
+  return out;
+}
+
+JsonlMetricsSink::JsonlMetricsSink(std::ostream& out, std::uint64_t run_index,
+                                   std::uint64_t seed, bool emit_intervals)
+    : out_(out), run_index_(run_index), seed_(seed), emit_intervals_(emit_intervals) {}
+
+void JsonlMetricsSink::on_interval(const IntervalRecord& record) {
+  if (!emit_intervals_) return;
+  out_ << format_interval_jsonl(run_index_, seed_, record) << '\n';
+}
+
+void JsonlMetricsSink::on_run_end(const SimReport& report) {
+  out_ << format_run_jsonl(run_index_, seed_, report) << '\n';
+}
+
+}  // namespace jitgc::sim

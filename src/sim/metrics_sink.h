@@ -1,0 +1,110 @@
+// Structured per-interval metrics: the machine-readable layer under every
+// sweep, bench and CLI run.
+//
+// The simulator feeds one IntervalRecord per flusher tick to an attached
+// MetricsSink, then the final SimReport at the end of the run. Sinks
+// serialize to JSONL ({"type":"interval",...} / {"type":"run",...} — one
+// JSON object per line) or CSV, or just record in memory for tests and the
+// parallel sweep engine (which buffers per run and writes buffers in run
+// order so output is bit-identical at any thread count).
+//
+// The field-by-field schema (names, units, an example record) is documented
+// in docs/model.md §"Structured metrics".
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/metrics.h"
+
+namespace jitgc::sim {
+
+/// One flusher interval's worth of measurements, emitted at the tick that
+/// closes the interval. "The interval" below means the span
+/// (time_s - p, time_s]; decision fields describe the policy's verdict
+/// taken at this tick for the coming interval.
+struct IntervalRecord {
+  std::uint64_t interval = 0;        ///< 1-based tick index
+  double time_s = 0.0;               ///< simulation clock at the tick
+  Bytes free_bytes = 0;              ///< C_free after this tick's flush work
+  Bytes reclaimable_bytes = 0;       ///< free + invalid (max reserve GC can build)
+  double c_req_bytes = -1.0;         ///< policy's predicted horizon demand (< 0: none)
+  Bytes reclaim_target_bytes = 0;    ///< opportunistic BGC demand issued at this tick
+  Bytes urgent_reclaim_bytes = 0;    ///< D_reclaim issued at this tick
+  Bytes bgc_reclaimed_bytes = 0;     ///< bytes BGC actually freed during the interval
+  Bytes flush_bytes = 0;             ///< writeback traffic of the interval
+  Bytes direct_bytes = 0;            ///< direct-write traffic of the interval
+  std::uint64_t fgc_cycles = 0;      ///< foreground-GC stalls during the interval
+  TimeUs idle_us = 0;                ///< device idle time within the interval
+  double interval_waf = 0.0;         ///< NAND programs / host pages (0 if no host writes)
+  std::uint64_t ops = 0;             ///< app ops completed during the interval
+  double p50_latency_us = 0.0;       ///< latency percentiles of those ops
+  double p99_latency_us = 0.0;
+  double max_latency_us = 0.0;
+};
+
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+  /// Called once per flusher tick, after the policy decided.
+  virtual void on_interval(const IntervalRecord& record) = 0;
+  /// Called once, with the assembled run-level report.
+  virtual void on_run_end(const SimReport& report) = 0;
+};
+
+/// Buffers everything in memory (tests; the sweep engine's per-run buffer).
+class RecordingMetricsSink final : public MetricsSink {
+ public:
+  void on_interval(const IntervalRecord& record) override { intervals_.push_back(record); }
+  void on_run_end(const SimReport& report) override { report_ = report; has_report_ = true; }
+
+  const std::vector<IntervalRecord>& intervals() const { return intervals_; }
+  bool has_report() const { return has_report_; }
+  const SimReport& report() const { return report_; }
+
+ private:
+  std::vector<IntervalRecord> intervals_;
+  SimReport report_;
+  bool has_report_ = false;
+};
+
+/// Streams JSONL records to an ostream as the run progresses (CLI --metrics).
+class JsonlMetricsSink final : public MetricsSink {
+ public:
+  /// `run_index` and `seed` tag every record so concatenated outputs of many
+  /// runs stay self-describing. `emit_intervals = false` writes only the
+  /// final run record.
+  JsonlMetricsSink(std::ostream& out, std::uint64_t run_index, std::uint64_t seed,
+                   bool emit_intervals = true);
+
+  void on_interval(const IntervalRecord& record) override;
+  void on_run_end(const SimReport& report) override;
+
+ private:
+  std::ostream& out_;
+  std::uint64_t run_index_;
+  std::uint64_t seed_;
+  bool emit_intervals_;
+};
+
+// -- JSONL / CSV formatting (shared by sinks, sweep engine and tools) ----------
+
+/// One {"type":"interval",...} line (no trailing newline).
+std::string format_interval_jsonl(std::uint64_t run_index, std::uint64_t seed,
+                                  const IntervalRecord& record);
+
+/// One {"type":"run",...} line (no trailing newline).
+std::string format_run_jsonl(std::uint64_t run_index, std::uint64_t seed,
+                             const SimReport& report);
+
+/// CSV header matching format_interval_csv().
+std::string interval_csv_header();
+
+/// One interval as a CSV row (no trailing newline).
+std::string format_interval_csv(std::uint64_t run_index, std::uint64_t seed,
+                                const IntervalRecord& record);
+
+}  // namespace jitgc::sim

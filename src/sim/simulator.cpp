@@ -5,6 +5,7 @@
 #include "common/ensure.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "sim/metrics_sink.h"
 
 namespace jitgc::sim {
 
@@ -48,14 +49,20 @@ TimeUs Simulator::device_write(Lba lba, std::uint32_t pages, TimeUs earliest_sta
   return completion;
 }
 
-void Simulator::run_bgc_until(TimeUs horizon) {
+void Simulator::run_bgc_until(TimeUs now) {
   const TimeUs per_page = ssd_.migrate_step_time();
 
-  // QoS rate limit: replenish the reclaim token bucket up to one interval's
-  // worth of burst credit.
+  // QoS rate limit: replenish the reclaim token bucket from the simulation
+  // clock, clamped to one interval's worth of burst credit. The first call
+  // only starts the clock — the bucket begins empty, so no run opens with a
+  // full burst of free reclaim credit — and because the clock is `now` (not
+  // the device's next_free), a long-idle device keeps earning credit even
+  // while no host I/O advances its queues.
   if (config_.bgc_rate_limit_bps > 0.0) {
-    const TimeUs now = std::max(bgc_tokens_refilled_at_, service_.next_free());
-    if (now > bgc_tokens_refilled_at_) {
+    if (!bgc_tokens_clock_started_) {
+      bgc_tokens_refilled_at_ = now;
+      bgc_tokens_clock_started_ = true;
+    } else if (now > bgc_tokens_refilled_at_) {
       bgc_tokens_ += config_.bgc_rate_limit_bps *
                      (static_cast<double>(now - bgc_tokens_refilled_at_) / 1e6);
       const double cap = config_.bgc_rate_limit_bps *
@@ -75,11 +82,11 @@ void Simulator::run_bgc_until(TimeUs horizon) {
     // Idle detection: the first step of a GC streak waits for the device to
     // have been visibly idle; continuing a streak does not.
     if (service_.next_free() != bgc_last_step_end_) start += config_.bgc_idle_detect;
-    if (start >= horizon) break;
+    if (start >= now) break;
     // Page-granular preemptible GC: fill the idle gap with as many migration
     // steps as fit (at least one; a trailing erase may overrun slightly).
     const auto max_pages = static_cast<std::uint32_t>(
-        std::max<TimeUs>(1, (horizon - start) / per_page));
+        std::max<TimeUs>(1, (now - start) / per_page));
     const ftl::Ftl::GcStep step = ssd_.bgc_collect_step(max_pages);
     if (!step.progressed) {
       bgc_target_bytes_ = 0;  // nothing collectible; stop asking this interval
@@ -87,9 +94,11 @@ void Simulator::run_bgc_until(TimeUs horizon) {
     }
     bgc_last_step_end_ = service_.dispatch(start, step.time_us);
     interval_busy_us_ += step.time_us;
-    if (config_.bgc_rate_limit_bps > 0.0 && step.freed_pages > 0) {
-      bgc_tokens_ -= static_cast<double>(step.freed_pages) *
-                     static_cast<double>(ssd_.ftl().page_size());
+    if (step.freed_pages > 0) {
+      const double freed = static_cast<double>(step.freed_pages) *
+                           static_cast<double>(ssd_.ftl().page_size());
+      interval_bgc_reclaimed_ += static_cast<Bytes>(freed);
+      if (config_.bgc_rate_limit_bps > 0.0) bgc_tokens_ -= freed;
     }
   }
 }
@@ -100,8 +109,10 @@ void Simulator::process_tick(TimeUs now, core::BgcPolicy& policy) {
   //    prediction that targeted exactly this window.
   const Bytes ended_flush = interval_flush_bytes_;
   const Bytes ended_direct = interval_direct_bytes_;
+  const Bytes ended_bgc_reclaimed = interval_bgc_reclaimed_;
   interval_flush_bytes_ = 0;
   interval_direct_bytes_ = 0;
+  interval_bgc_reclaimed_ = 0;  // urgent reclaim below counts to the next interval
 
   horizon_window_.push_back(ended_flush + ended_direct);
   horizon_window_sum_ += ended_flush + ended_direct;
@@ -173,11 +184,48 @@ void Simulator::process_tick(TimeUs now, core::BgcPolicy& policy) {
       if (!step.progressed) break;
       service_.dispatch(now, step.time_us);
       interval_busy_us_ += step.time_us;
+      interval_bgc_reclaimed_ += static_cast<Bytes>(step.freed_pages) * ssd_.ftl().page_size();
     }
   }
 
   if (decision.predicted_horizon_bytes >= 0.0) {
     accuracy_.predict_next(static_cast<Bytes>(decision.predicted_horizon_bytes));
+  }
+
+  // 4. Structured metrics: one record per tick, covering the interval that
+  //    just ended plus the decision taken for the coming one.
+  if (metrics_sink_ != nullptr) {
+    const auto& fs = ssd_.ftl().stats();
+    const auto& nand = ssd_.ftl().nand().stats();
+
+    IntervalRecord rec;
+    rec.interval = ++interval_index_;
+    rec.time_s = to_seconds(now);
+    rec.free_bytes = ssd_.ftl().free_bytes_for_writes();
+    rec.reclaimable_bytes = ssd_.ftl().reclaimable_capacity();
+    rec.c_req_bytes = decision.predicted_horizon_bytes;
+    rec.reclaim_target_bytes = decision.reclaim_bytes;
+    rec.urgent_reclaim_bytes = decision.urgent_reclaim_bytes;
+    rec.bgc_reclaimed_bytes = ended_bgc_reclaimed;
+    rec.flush_bytes = ended_flush;
+    rec.direct_bytes = ended_direct;
+    rec.fgc_cycles = fs.foreground_gc_cycles - interval_fgc_base_;
+    rec.idle_us = ctx.interval_idle_us;
+    const std::uint64_t programs = nand.page_programs - interval_programs_base_;
+    const std::uint64_t host_pages = fs.host_pages_written - interval_host_writes_base_;
+    rec.interval_waf =
+        host_pages ? static_cast<double>(programs) / static_cast<double>(host_pages) : 0.0;
+    rec.ops = interval_ops_;
+    rec.p50_latency_us = interval_latencies_.percentile(50.0);
+    rec.p99_latency_us = interval_latencies_.percentile(99.0);
+    rec.max_latency_us = interval_latencies_.percentile(100.0);
+    metrics_sink_->on_interval(rec);
+
+    interval_fgc_base_ = fs.foreground_gc_cycles;
+    interval_programs_base_ = nand.page_programs;
+    interval_host_writes_base_ = fs.host_pages_written;
+    interval_ops_ = 0;
+    interval_latencies_.clear();
   }
 }
 
@@ -245,6 +293,9 @@ SimReport Simulator::run(wl::WorkloadGenerator& workload, core::BgcPolicy& polic
   base_host_writes_ = ssd_.ftl().stats().host_pages_written;
   base_ftl_stats_ = ssd_.ftl().stats();
   service_.reset();
+  interval_fgc_base_ = base_ftl_stats_.foreground_gc_cycles;
+  interval_programs_base_ = base_programs_;
+  interval_host_writes_base_ = base_host_writes_;
 
   const TimeUs p = cache_.config().flush_period;
   TimeUs next_tick = p;
@@ -271,6 +322,8 @@ SimReport Simulator::run(wl::WorkloadGenerator& workload, core::BgcPolicy& polic
       const TimeUs completion = execute_op(*op, issue);
       const auto latency = static_cast<double>(completion - issue);
       latencies_.add(latency);
+      interval_latencies_.add(latency);
+      ++interval_ops_;
       if (op->type == wl::OpType::kRead) {
         read_latencies_.add(latency);
       } else if (op->type == wl::OpType::kWrite && op->direct) {
@@ -342,6 +395,7 @@ SimReport Simulator::run(wl::WorkloadGenerator& workload, core::BgcPolicy& polic
   if (worn_out && r.elapsed_s > 0.0) {
     r.iops = static_cast<double>(ops_completed_) / r.elapsed_s;  // over actual life
   }
+  if (metrics_sink_ != nullptr) metrics_sink_->on_run_end(r);
   return r;
 }
 

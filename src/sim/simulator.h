@@ -30,6 +30,8 @@
 
 namespace jitgc::sim {
 
+class MetricsSink;
+
 struct SimConfig {
   SsdConfig ssd;
   host::PageCacheConfig cache;
@@ -63,13 +65,18 @@ class Simulator {
   /// The simulator owns device and cache; one Simulator = one run.
   SimReport run(wl::WorkloadGenerator& workload, core::BgcPolicy& policy);
 
+  /// Attaches a per-interval metrics sink (not owned; may be null). The
+  /// simulator emits one IntervalRecord per flusher tick and the final
+  /// SimReport through it. Set before run().
+  void set_metrics_sink(MetricsSink* sink) { metrics_sink_ = sink; }
+
   const Ssd& ssd() const { return ssd_; }
   const host::PageCache& page_cache() const { return cache_; }
 
  private:
   void precondition(wl::WorkloadGenerator& workload);
   void process_tick(TimeUs now, core::BgcPolicy& policy);
-  void run_bgc_until(TimeUs horizon);
+  void run_bgc_until(TimeUs now);
   /// Executes one app op at `issue`; returns its completion time.
   TimeUs execute_op(const wl::AppOp& op, TimeUs issue);
   TimeUs device_write(Lba lba, std::uint32_t pages, TimeUs earliest_start);
@@ -92,9 +99,13 @@ class Simulator {
   /// End of the most recent BGC step; a step that continues a GC streak
   /// does not pay the idle-detection delay again.
   TimeUs bgc_last_step_end_ = -1;
-  /// Token bucket for the BGC rate limit (bytes of reclaim credit).
+  /// Token bucket for the BGC rate limit (bytes of reclaim credit). The
+  /// bucket starts empty and earns credit with elapsed *simulation* time
+  /// from the first BGC opportunity of the measured run — never a free
+  /// first burst, and refills keep flowing while the device idles.
   double bgc_tokens_ = 0.0;
   TimeUs bgc_tokens_refilled_at_ = 0;
+  bool bgc_tokens_clock_started_ = false;
 
   // -- Interval accounting --------------------------------------------------------
   Bytes interval_flush_bytes_ = 0;
@@ -119,6 +130,18 @@ class Simulator {
   Bytes app_buffered_bytes_ = 0;
   Bytes app_direct_bytes_ = 0;
   Bytes reclaim_requested_ = 0;
+
+  // -- Per-interval structured metrics -------------------------------------------
+  MetricsSink* metrics_sink_ = nullptr;
+  std::uint64_t interval_index_ = 0;
+  /// Bytes freed by BGC (opportunistic + urgent) since the last tick.
+  Bytes interval_bgc_reclaimed_ = 0;
+  PercentileTracker interval_latencies_;
+  std::uint64_t interval_ops_ = 0;
+  // Last-tick snapshots for per-interval deltas.
+  std::uint64_t interval_fgc_base_ = 0;
+  std::uint64_t interval_programs_base_ = 0;
+  std::uint64_t interval_host_writes_base_ = 0;
 
   // Baselines captured after preconditioning.
   std::uint64_t base_programs_ = 0;

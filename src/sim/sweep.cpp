@@ -1,0 +1,116 @@
+#include "sim/sweep.h"
+
+#include <ostream>
+
+#include "common/ensure.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "sim/cli_options.h"
+#include "sim/metrics_sink.h"
+#include "workload/specs.h"
+
+namespace jitgc::sim {
+namespace {
+
+SweepRunResult execute_run(const SweepOptions& options, const SweepCell& cell,
+                           std::uint64_t run_index) {
+  SweepRunResult result;
+  result.run_index = run_index;
+  result.seed = sweep_run_seed(options.base_seed, run_index);
+
+  SimConfig config = options.base;
+  config.seed = result.seed;
+  Simulator simulator(config);
+  const Lba user_pages = simulator.ssd().ftl().user_pages();
+  wl::SyntheticWorkload workload(cell.workload, user_pages, result.seed);
+  const auto policy = make_policy(cell.policy, config, cell.fixed_multiple, cell.overrides);
+
+  RecordingMetricsSink sink;
+  simulator.set_metrics_sink(&sink);
+  result.report = simulator.run(workload, *policy);
+
+  switch (options.format) {
+    case SweepFormat::kJsonl:
+      if (options.emit_intervals) {
+        for (const auto& record : sink.intervals()) {
+          result.serialized += format_interval_jsonl(run_index, result.seed, record);
+          result.serialized += '\n';
+        }
+      }
+      result.serialized += format_run_jsonl(run_index, result.seed, result.report);
+      result.serialized += '\n';
+      break;
+    case SweepFormat::kCsv:
+      // Legacy run-level rows; per-interval output needs JSONL.
+      result.serialized = format_csv_row(result.report);
+      result.serialized += ',';
+      result.serialized += std::to_string(result.seed);
+      result.serialized += '\n';
+      break;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::uint64_t sweep_run_seed(std::uint64_t base_seed, std::uint64_t run_index) {
+  return derive_seed(base_seed, run_index);
+}
+
+std::vector<SweepCell> paper_matrix_cells() {
+  std::vector<SweepCell> cells;
+  for (const auto& spec : wl::paper_benchmark_specs()) {
+    for (const auto kind : {PolicyKind::kLazy, PolicyKind::kAggressive, PolicyKind::kAdaptive,
+                            PolicyKind::kJit}) {
+      SweepCell cell;
+      cell.workload = spec;
+      cell.policy = kind;
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
+std::vector<SweepCell> fixed_reserve_cells(const std::vector<double>& multiples) {
+  std::vector<SweepCell> cells;
+  for (const auto& spec : wl::paper_benchmark_specs()) {
+    for (const double m : multiples) {
+      SweepCell cell;
+      cell.workload = spec;
+      cell.policy = PolicyKind::kFixedReserve;
+      cell.fixed_multiple = m;
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
+std::vector<SweepRunResult> run_sweep(const SweepOptions& options,
+                                      const std::vector<SweepCell>& cells) {
+  JITGC_ENSURE_MSG(!cells.empty(), "sweep needs at least one cell");
+  JITGC_ENSURE_MSG(options.seeds >= 1, "sweep needs at least one seed");
+  const std::size_t total = options.seeds * cells.size();
+  std::vector<SweepRunResult> results(total);
+
+  ThreadPool pool(options.threads > 0 ? options.threads : ThreadPool::hardware_threads());
+  pool.parallel_for(total, [&](std::size_t i) {
+    // run_index = seed_idx * cells.size() + cell_idx: a run's identity (and
+    // therefore its derived seed and output) depends only on its position in
+    // the matrix, never on scheduling.
+    results[i] = execute_run(options, cells[i % cells.size()], i);
+  });
+  return results;
+}
+
+void run_sweep_to(std::ostream& out, const SweepOptions& options,
+                  const std::vector<SweepCell>& cells) {
+  const auto results = run_sweep(options, cells);
+  if (options.format == SweepFormat::kCsv) {
+    out << csv_header_row() << ",seed\n";
+  }
+  for (const auto& result : results) {
+    out << result.serialized;
+  }
+}
+
+}  // namespace jitgc::sim

@@ -1,0 +1,78 @@
+// Deterministic parallel sweep engine.
+//
+// A sweep is a flat list of runs: (seed index x cell index) in seed-major
+// order, each run fully independent. Runs execute on a work-stealing thread
+// pool; every run derives its own RNG seed from (base_seed, run_index) and
+// buffers its serialized output privately, and the engine concatenates the
+// buffers in run-index order. The result is bit-identical for any thread
+// count — `jitgc_sweep --threads=1` and `--threads=8` produce the same
+// bytes.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "workload/synthetic.h"
+
+namespace jitgc::sim {
+
+/// One (workload, policy) combination of a sweep matrix.
+struct SweepCell {
+  wl::WorkloadSpec workload;
+  PolicyKind policy = PolicyKind::kJit;
+  /// C_resv / C_OP; used by kFixedReserve only.
+  double fixed_multiple = 1.0;
+  PolicyOverrides overrides;
+};
+
+enum class SweepFormat {
+  kJsonl,  ///< {"type":"interval"|"run",...} lines (sim/metrics_sink.h schema)
+  kCsv,    ///< legacy run-level CSV rows (csv_header_row() + ",seed")
+};
+
+struct SweepOptions {
+  /// Device/cache/duration shared by every run. The seed field is ignored:
+  /// each run uses sweep_run_seed(base_seed, run_index) instead.
+  SimConfig base;
+  std::uint64_t base_seed = 1;
+  /// Independent repetitions of every cell.
+  std::size_t seeds = 1;
+  /// Worker threads; 0 = ThreadPool::hardware_threads().
+  std::size_t threads = 0;
+  /// Emit per-interval records, not just the run summary (JSONL only).
+  bool emit_intervals = false;
+  SweepFormat format = SweepFormat::kJsonl;
+};
+
+struct SweepRunResult {
+  std::uint64_t run_index = 0;
+  std::uint64_t seed = 0;
+  SimReport report;
+  /// The run's serialized records, newline-terminated, ready to concatenate.
+  std::string serialized;
+};
+
+/// The RNG seed of run `run_index`: derive_seed(base_seed, run_index).
+/// Exposed so tests and notebooks can reproduce any single run of a sweep
+/// without executing the runs before it.
+std::uint64_t sweep_run_seed(std::uint64_t base_seed, std::uint64_t run_index);
+
+/// The Fig. 7 matrix: six paper benchmarks x {L-BGC, A-BGC, ADP-GC, JIT-GC}.
+std::vector<SweepCell> paper_matrix_cells();
+
+/// The Fig. 2 matrix: six paper benchmarks x fixed-reserve multiples.
+std::vector<SweepCell> fixed_reserve_cells(const std::vector<double>& multiples);
+
+/// Executes seeds x cells runs in parallel and returns them in run order
+/// (run_index = seed_idx * cells.size() + cell_idx).
+std::vector<SweepRunResult> run_sweep(const SweepOptions& options,
+                                      const std::vector<SweepCell>& cells);
+
+/// run_sweep + write the concatenated output (CSV gets its header first).
+void run_sweep_to(std::ostream& out, const SweepOptions& options,
+                  const std::vector<SweepCell>& cells);
+
+}  // namespace jitgc::sim

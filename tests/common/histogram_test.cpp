@@ -56,6 +56,24 @@ TEST(Histogram, PaperFig5Example) {
   EXPECT_EQ(h.value_at_quantile(0.2), 10.0);
 }
 
+TEST(Histogram, QuantileInterpolatesWithinBin) {
+  Histogram h(10.0, 16);
+  for (double v : {10.0, 20.0, 20.0, 20.0, 80.0}) h.add(v);
+  // Target rank 2.5 of 5; the (10, 20] bin holds ranks 2..4, so the
+  // crossing is half way through its mass: 10 + 0.5 * 10 = 15.
+  EXPECT_DOUBLE_EQ(h.value_at_quantile(0.5), 15.0);
+}
+
+TEST(Histogram, QuantileConsumingWholeBinReturnsRightEdge) {
+  Histogram h(10.0, 8);
+  h.add(5.0);
+  h.add(5.0);
+  // q = 1.0 consumes the (0, 10] bin exactly -> its right edge.
+  EXPECT_DOUBLE_EQ(h.value_at_quantile(1.0), 10.0);
+  // q = 0.5 is half the bin's mass -> the midpoint, not the edge.
+  EXPECT_DOUBLE_EQ(h.value_at_quantile(0.5), 5.0);
+}
+
 TEST(Histogram, RemoveUndoesAdd) {
   Histogram h(10.0, 8);
   h.add(15.0);

@@ -1,0 +1,88 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace jitgc {
+namespace {
+
+TEST(ThreadPool, ClampsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h = 0;
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ResultsIndexedByTaskNotBySchedule) {
+  ThreadPool pool(8);
+  std::vector<std::size_t> out(100, 0);
+  pool.parallel_for(out.size(), [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  ThreadPool pool(3);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 10; ++i) {
+    pool.submit([&sum, i] { sum += i; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), 55);
+}
+
+TEST(ThreadPool, TasksMaySubmitMoreTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&] {
+    ++count;
+    for (int i = 0; i < 5; ++i) {
+      pool.submit([&count] { ++count; });
+    }
+  });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 6);
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesAndOthersStillRun) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(20,
+                        [&](std::size_t i) {
+                          if (i == 3) throw std::runtime_error("task 3 failed");
+                          ++ran;
+                        }),
+      std::runtime_error);
+  EXPECT_EQ(ran.load(), 19);  // the failure does not cancel the rest
+}
+
+TEST(ThreadPool, ReusableAcrossParallelForCalls) {
+  ThreadPool pool(2);
+  std::vector<int> a(50, 0), b(50, 0);
+  pool.parallel_for(a.size(), [&](std::size_t i) { a[i] = 1; });
+  pool.parallel_for(b.size(), [&](std::size_t i) { b[i] = 2; });
+  EXPECT_EQ(std::accumulate(a.begin(), a.end(), 0), 50);
+  EXPECT_EQ(std::accumulate(b.begin(), b.end(), 0), 100);
+}
+
+TEST(ThreadPool, ZeroTasksIsANoOp) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+  pool.wait_idle();
+}
+
+}  // namespace
+}  // namespace jitgc

@@ -35,7 +35,10 @@ TEST(DirectEstimators, FactoryProducesAllKinds) {
 TEST(DirectEstimators, CdhMatchesDirectWritePredictor) {
   const auto est = make_direct_estimator(config(DirectEstimatorKind::kCdh));
   feed(*est, {10 * MB, 10 * MB, 10 * MB});  // one 30-MB window
-  EXPECT_EQ(est->estimate(), 30 * MB);
+  // Quantile interpolation inside the (20, 30]-MB bin: the single sample's
+  // 80th percentile sits 80 % through the bin, 20 + 0.8 * 10 = 28 MB —
+  // the same interpolated inverse CDF DirectWritePredictor::delta_dir uses.
+  EXPECT_EQ(est->estimate(), 28 * MB);
   EXPECT_STREQ(est->name(), "cdh");
 }
 

@@ -193,6 +193,8 @@ TEST(JitPolicy, EmbeddedManagerExchangesFewerCommands) {
 TEST(JitPolicy, MeasuredIdleMakesUrgentPathFireEarlier) {
   // Same demand/free situation; the analytic T_idle (nearly the whole
   // horizon) defers, while a measured idle estimate of ~zero must invoke.
+  // The default one-interval warm-up discards the first observation, so the
+  // lambda feeds two intervals and returns the second decision.
   const auto decide = [](bool measured, TimeUs observed_idle_us) {
     JitPolicyConfig cfg;
     cfg.predictor.cdh = small_cdh();
@@ -208,6 +210,7 @@ TEST(JitPolicy, MeasuredIdleMakesUrgentPathFireEarlier) {
     ctx.page_cache = &cache;
     ctx.c_free = 4 * MiB;
     ctx.interval_idle_us = observed_idle_us;
+    jit.on_interval(ctx);  // warm-up interval: observation discarded
     const PolicyDecision d = jit.on_interval(ctx);
     return d.urgent_reclaim_bytes;
   };
@@ -218,6 +221,31 @@ TEST(JitPolicy, MeasuredIdleMakesUrgentPathFireEarlier) {
   EXPECT_GT(decide(true, 0), 0u);
   // Measured ample idle: behaves like the analytic case.
   EXPECT_EQ(decide(true, seconds(5)), 0u);
+}
+
+TEST(JitPolicy, MeasuredIdleWarmupUsesAnalyticFallback) {
+  // idle_warmup_intervals observations are discarded before the EWMA seeds;
+  // until then decisions must match the analytic path even when the device
+  // reports zero idle (the signal that later fires the urgent path).
+  JitPolicyConfig cfg;
+  cfg.predictor.cdh = small_cdh();
+  cfg.horizon = seconds(30);
+  cfg.use_measured_idle = true;
+  cfg.idle_ewma_alpha = 1.0;
+  cfg.idle_warmup_intervals = 2;
+  JitPolicy jit(cfg);
+
+  host::PageCache cache(cache_config());
+  for (Lba lba = 0; lba < 24 * 256; ++lba) cache.write(lba, seconds(4));
+
+  PolicyContext ctx = base_ctx();
+  ctx.page_cache = &cache;
+  ctx.c_free = 4 * MiB;
+  ctx.interval_idle_us = 0;  // "no idle at all" — would fire if believed
+
+  EXPECT_EQ(jit.on_interval(ctx).urgent_reclaim_bytes, 0u);  // warm-up 1
+  EXPECT_EQ(jit.on_interval(ctx).urgent_reclaim_bytes, 0u);  // warm-up 2
+  EXPECT_GT(jit.on_interval(ctx).urgent_reclaim_bytes, 0u);  // EWMA live
 }
 
 }  // namespace

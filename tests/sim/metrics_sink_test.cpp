@@ -1,0 +1,128 @@
+#include "sim/metrics_sink.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace jitgc::sim {
+namespace {
+
+IntervalRecord sample_record() {
+  IntervalRecord r;
+  r.interval = 3;
+  r.time_s = 15.0;
+  r.free_bytes = 12 * MiB;
+  r.reclaimable_bytes = 30 * MiB;
+  r.c_req_bytes = 5.5e6;
+  r.reclaim_target_bytes = 2 * MiB;
+  r.urgent_reclaim_bytes = 0;
+  r.bgc_reclaimed_bytes = 1 * MiB;
+  r.flush_bytes = 4 * MiB;
+  r.direct_bytes = 1 * MiB;
+  r.fgc_cycles = 2;
+  r.idle_us = 1'250'000;
+  r.interval_waf = 1.75;
+  r.ops = 1500;
+  r.p50_latency_us = 120.0;
+  r.p99_latency_us = 900.5;
+  r.max_latency_us = 2000.0;
+  return r;
+}
+
+TEST(MetricsSink, IntervalJsonlCarriesEveryField) {
+  const std::string line = format_interval_jsonl(7, 99, sample_record());
+  EXPECT_EQ(line.rfind("{\"type\":\"interval\"", 0), 0u);
+  EXPECT_EQ(line.back(), '}');
+  for (const char* token :
+       {"\"run\":7", "\"seed\":99", "\"interval\":3", "\"time_s\":15", "\"free_bytes\":",
+        "\"reclaimable_bytes\":", "\"c_req_bytes\":5500000", "\"reclaim_target_bytes\":",
+        "\"urgent_reclaim_bytes\":0", "\"bgc_reclaimed_bytes\":", "\"flush_bytes\":",
+        "\"direct_bytes\":", "\"fgc_cycles\":2", "\"idle_us\":1250000",
+        "\"interval_waf\":1.75", "\"ops\":1500", "\"p50_latency_us\":120",
+        "\"p99_latency_us\":900.5", "\"max_latency_us\":2000"}) {
+    EXPECT_NE(line.find(token), std::string::npos) << token << " missing in " << line;
+  }
+}
+
+TEST(MetricsSink, RunJsonlIsTaggedAndTyped) {
+  SimReport r;
+  r.workload = "YCSB";
+  r.policy = "JIT-GC";
+  r.duration_s = 60.0;
+  r.ops_completed = 12345;
+  r.waf = 1.5;
+  const std::string line = format_run_jsonl(2, 11, r);
+  EXPECT_EQ(line.rfind("{\"type\":\"run\"", 0), 0u);
+  EXPECT_NE(line.find("\"run\":2"), std::string::npos);
+  EXPECT_NE(line.find("\"seed\":11"), std::string::npos);
+  EXPECT_NE(line.find("\"workload\":\"YCSB\""), std::string::npos);
+  EXPECT_NE(line.find("\"policy\":\"JIT-GC\""), std::string::npos);
+  EXPECT_NE(line.find("\"ops\":12345"), std::string::npos);
+  EXPECT_NE(line.find("\"worn_out\":false"), std::string::npos);
+}
+
+TEST(MetricsSink, StringsAreEscaped) {
+  SimReport r;
+  r.workload = "we\"ird\\name";
+  const std::string line = format_run_jsonl(0, 0, r);
+  EXPECT_NE(line.find("we\\\"ird\\\\name"), std::string::npos);
+}
+
+TEST(MetricsSink, CsvRowMatchesHeaderArity) {
+  const std::string header = interval_csv_header();
+  const std::string row = format_interval_csv(1, 2, sample_record());
+  const auto commas = [](const std::string& s) {
+    std::size_t n = 0;
+    for (const char c : s) n += c == ',';
+    return n;
+  };
+  EXPECT_EQ(commas(header), commas(row));
+  EXPECT_EQ(row.rfind("1,2,3,", 0), 0u);  // run, seed, interval
+}
+
+TEST(MetricsSink, JsonlSinkStreamsIntervalsAndRun) {
+  std::ostringstream out;
+  JsonlMetricsSink sink(out, 4, 77, /*emit_intervals=*/true);
+  sink.on_interval(sample_record());
+  SimReport report;
+  report.workload = "YCSB";
+  sink.on_run_end(report);
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"type\":\"interval\""), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"run\""), std::string::npos);
+  std::size_t lines = 0;
+  for (const char c : text) lines += c == '\n';
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(MetricsSink, JsonlSinkCanSuppressIntervals) {
+  std::ostringstream out;
+  JsonlMetricsSink sink(out, 0, 1, /*emit_intervals=*/false);
+  sink.on_interval(sample_record());
+  sink.on_run_end(SimReport{});
+  EXPECT_EQ(out.str().find("\"type\":\"interval\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"type\":\"run\""), std::string::npos);
+}
+
+TEST(MetricsSink, RecordingSinkBuffersInOrder) {
+  RecordingMetricsSink sink;
+  EXPECT_FALSE(sink.has_report());
+  IntervalRecord a = sample_record();
+  a.interval = 1;
+  IntervalRecord b = sample_record();
+  b.interval = 2;
+  sink.on_interval(a);
+  sink.on_interval(b);
+  SimReport r;
+  r.ops_completed = 9;
+  sink.on_run_end(r);
+  ASSERT_EQ(sink.intervals().size(), 2u);
+  EXPECT_EQ(sink.intervals()[0].interval, 1u);
+  EXPECT_EQ(sink.intervals()[1].interval, 2u);
+  ASSERT_TRUE(sink.has_report());
+  EXPECT_EQ(sink.report().ops_completed, 9u);
+}
+
+}  // namespace
+}  // namespace jitgc::sim

@@ -32,6 +32,17 @@ TEST(ServiceModel, DispatchPicksEarliestQueue) {
   EXPECT_EQ(m.dispatch(0, 10), 20);
 }
 
+TEST(ServiceModel, DispatchAfterAllQueuesIdleStartsAtEarliest) {
+  ServiceModel m(3);
+  m.dispatch(0, 100);
+  m.dispatch(0, 200);
+  m.dispatch(0, 300);
+  // An arrival after every queue has drained starts at its own issue time,
+  // not at any stale busy-until value.
+  EXPECT_EQ(m.dispatch(1000, 50), 1050);
+  EXPECT_EQ(m.all_free(), 1050);
+}
+
 TEST(ServiceModel, OccupyAllSerializesEverything) {
   ServiceModel m(4);
   m.dispatch(0, 50);

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/experiment.h"
+#include "sim/metrics_sink.h"
 #include "workload/file_workload.h"
 #include "workload/specs.h"
 #include "workload/trace.h"
@@ -160,6 +161,79 @@ TEST(Simulator, BgcRateLimitBoundsBackgroundWork) {
   const SimReport b = run_cell(capped, test_workload(), PolicyKind::kAggressive);
   EXPECT_LT(b.bgc_cycles, a.bgc_cycles);
   EXPECT_GT(a.bgc_cycles, 0u);
+}
+
+TEST(Simulator, BgcTokenBucketGrantsNoFreeFirstBurst) {
+  // Regression: the bucket used to refill against the device's next_free
+  // time starting from zero, which handed the first BGC opportunity a full
+  // burst of unearned credit (and starved long-idle devices, whose next_free
+  // stops advancing). Credit must now accrue from the simulation clock and
+  // start at zero, so no interval can reclaim more than one bucket of
+  // earned credit plus a single GC step's overshoot.
+  SimConfig sim = test_config(7);
+  sim.bgc_rate_limit_bps = 256 * 1024;  // 256 KiB/s
+  Simulator simulator(sim);
+  wl::SyntheticWorkload gen(test_workload(), simulator.ssd().ftl().user_pages(), 7);
+  auto policy = make_policy(PolicyKind::kAggressive, sim);
+  RecordingMetricsSink sink;
+  simulator.set_metrics_sink(&sink);
+  simulator.run(gen, *policy);
+
+  const auto& intervals = sink.intervals();
+  ASSERT_GE(intervals.size(), 4u);
+  const double rate = sim.bgc_rate_limit_bps;
+  const double period_s = to_seconds(sim.cache.flush_period);
+  const auto& geo = sim.ssd.ftl.geometry;
+  const Bytes block_bytes = static_cast<Bytes>(geo.pages_per_block) * geo.page_size;
+  // Bucket cap = one interval of credit; a GC step checks the bucket before
+  // collecting a block, so it can overshoot by at most one block.
+  const auto per_interval_bound = static_cast<Bytes>(rate * period_s) + block_bytes;
+
+  Bytes total = 0;
+  Bytes second_half = 0;
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    EXPECT_LE(intervals[i].bgc_reclaimed_bytes, per_interval_bound)
+        << "interval " << intervals[i].interval;
+    total += intervals[i].bgc_reclaimed_bytes;
+    if (i >= intervals.size() / 2) second_half += intervals[i].bgc_reclaimed_bytes;
+  }
+  // Cumulative reclaim is bounded by credit earned over the whole run.
+  EXPECT_LE(total, static_cast<Bytes>(rate * to_seconds(sim.duration)) +
+                       per_interval_bound);
+  // The limiter throttles; it must not starve an ongoing run.
+  EXPECT_GT(second_half, 0u);
+}
+
+TEST(Simulator, MetricsSinkSeesEveryIntervalAndTheFinalReport) {
+  SimConfig sim = test_config(3);
+  Simulator simulator(sim);
+  wl::SyntheticWorkload gen(test_workload(), simulator.ssd().ftl().user_pages(), 3);
+  auto policy = make_policy(PolicyKind::kJit, sim);
+  RecordingMetricsSink sink;
+  simulator.set_metrics_sink(&sink);
+  const SimReport r = simulator.run(gen, *policy);
+
+  // 60 s at p = 5 s: 12 flusher ticks, one record each.
+  ASSERT_EQ(sink.intervals().size(), 12u);
+  ASSERT_TRUE(sink.has_report());
+  EXPECT_EQ(sink.report().ops_completed, r.ops_completed);
+
+  Bytes flush_total = 0;
+  std::uint64_t ops_total = 0;
+  for (std::size_t i = 0; i < sink.intervals().size(); ++i) {
+    const auto& rec = sink.intervals()[i];
+    EXPECT_EQ(rec.interval, i + 1);
+    EXPECT_DOUBLE_EQ(rec.time_s, 5.0 * static_cast<double>(i + 1));
+    EXPECT_LE(rec.p50_latency_us, rec.p99_latency_us);
+    EXPECT_LE(rec.p99_latency_us, rec.max_latency_us);
+    EXPECT_LE(rec.idle_us, sim.cache.flush_period);
+    flush_total += rec.flush_bytes;
+    ops_total += rec.ops;
+  }
+  EXPECT_GT(flush_total, 0u);
+  // Ops attributed to intervals can miss only the tail after the last tick.
+  EXPECT_LE(ops_total, r.ops_completed);
+  EXPECT_GT(ops_total, 0u);
 }
 
 TEST(Simulator, MultiQueueModeRunsAndPreservesThroughputScale) {

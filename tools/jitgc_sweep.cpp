@@ -1,50 +1,135 @@
-// jitgc_sweep — run the full (workload x policy) matrix and emit CSV.
+// jitgc_sweep — run a (workload x policy) matrix on the parallel sweep
+// engine and emit structured results.
 //
-//   jitgc_sweep > results.csv
-//   jitgc_sweep --seconds=120 --seeds=3 > results.csv
+//   jitgc_sweep > results.jsonl
+//   jitgc_sweep --seconds=120 --seeds=3 --threads=8 > results.jsonl
+//   jitgc_sweep --matrix=fig2 --intervals --workload=ycsb > fig2.jsonl
+//   jitgc_sweep --format=csv > results.csv            # legacy run-level CSV
 //
-// One row per (workload, policy, seed). Designed for feeding plots/notebooks;
-// the paper-shaped tables come from the bench binaries instead.
+// Output is bit-identical for any --threads value: each run derives its seed
+// from (base seed, run index) and runs buffer their records independently,
+// written back in run order. JSONL schema: docs/model.md §"Structured
+// metrics".
+#include <cctype>
 #include <cstdio>
+#include <iostream>
 #include <string>
 #include <vector>
 
-#include "sim/cli_options.h"
-#include "sim/experiment.h"
-#include "workload/specs.h"
+#include "common/thread_pool.h"
+#include "sim/sweep.h"
+
+namespace {
+
+// "Bonnie++" / "bonnie" / "TPC-C" / "tpcc" all compare equal.
+std::string normalized(const std::string& name) {
+  std::string out;
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  return out;
+}
+
+int usage(int code) {
+  std::fprintf(stderr,
+               "usage: jitgc_sweep [options]\n"
+               "  --matrix=<name>    fig7 (6 benchmarks x 4 policies, default) |\n"
+               "                     fig2 (6 benchmarks x fixed reserves 0.5/1.0/1.5)\n"
+               "  --workload=<name>  keep only this benchmark's cells (e.g. ycsb)\n"
+               "  --seconds=<s>      measured duration per run        (default 300)\n"
+               "  --seeds=<n>        independent repetitions per cell (default 1)\n"
+               "  --base-seed=<n>    seed-derivation base             (default 1)\n"
+               "  --threads=<n>      worker threads; 0 = all hardware (default 0)\n"
+               "  --format=<f>      jsonl (default) | csv (legacy run-level rows)\n"
+               "  --intervals        also emit per-interval records (jsonl only)\n");
+  return code;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace jitgc;
 
   double seconds_arg = 300.0;
-  std::uint64_t seeds = 1;
+  std::string matrix = "fig7";
+  std::string workload_filter;
+  sim::SweepOptions options;
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--seconds=", 0) == 0) {
-      seconds_arg = std::stod(arg.substr(10));
-    } else if (arg.rfind("--seeds=", 0) == 0) {
-      seeds = std::stoull(arg.substr(8));
-    } else {
-      std::fprintf(stderr,
-                   "usage: jitgc_sweep [--seconds=<s>] [--seeds=<n>]\n"
-                   "runs all six benchmarks x four policies and prints CSV\n");
-      return 2;
+    try {
+      if (arg.rfind("--seconds=", 0) == 0) {
+        seconds_arg = std::stod(arg.substr(10));
+      } else if (arg.rfind("--seeds=", 0) == 0) {
+        options.seeds = std::stoull(arg.substr(8));
+      } else if (arg.rfind("--base-seed=", 0) == 0) {
+        options.base_seed = std::stoull(arg.substr(12));
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        options.threads = std::stoull(arg.substr(10));
+      } else if (arg.rfind("--matrix=", 0) == 0) {
+        matrix = arg.substr(9);
+      } else if (arg.rfind("--workload=", 0) == 0) {
+        workload_filter = arg.substr(11);
+      } else if (arg.rfind("--format=", 0) == 0) {
+        const std::string format = arg.substr(9);
+        if (format == "jsonl") {
+          options.format = sim::SweepFormat::kJsonl;
+        } else if (format == "csv") {
+          options.format = sim::SweepFormat::kCsv;
+        } else {
+          std::fprintf(stderr, "unknown format '%s'\n", format.c_str());
+          return usage(2);
+        }
+      } else if (arg == "--intervals") {
+        options.emit_intervals = true;
+      } else if (arg == "--help" || arg == "-h") {
+        return usage(0);
+      } else {
+        std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+        return usage(2);
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "bad value in '%s'\n", arg.c_str());
+      return usage(2);
     }
+  }
+  if (seconds_arg <= 0.0 || options.seeds == 0) {
+    std::fprintf(stderr, "--seconds and --seeds must be positive\n");
+    return usage(2);
   }
 
-  std::printf("%s,seed\n", sim::csv_header_row().c_str());
-  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-    for (const auto& spec : wl::paper_benchmark_specs()) {
-      for (const auto kind : {sim::PolicyKind::kLazy, sim::PolicyKind::kAggressive,
-                              sim::PolicyKind::kAdaptive, sim::PolicyKind::kJit}) {
-        sim::SimConfig config = sim::default_sim_config(seed);
-        config.duration = seconds(seconds_arg);
-        const sim::SimReport r = sim::run_cell(config, spec, kind);
-        std::printf("%s,%llu\n", sim::format_csv_row(r).c_str(),
-                    static_cast<unsigned long long>(seed));
-        std::fflush(stdout);
-      }
-    }
+  std::vector<sim::SweepCell> cells;
+  if (matrix == "fig7") {
+    cells = sim::paper_matrix_cells();
+  } else if (matrix == "fig2") {
+    cells = sim::fixed_reserve_cells({0.5, 1.0, 1.5});
+  } else {
+    std::fprintf(stderr, "unknown matrix '%s'\n", matrix.c_str());
+    return usage(2);
   }
+  if (!workload_filter.empty()) {
+    std::vector<sim::SweepCell> kept;
+    const std::string wanted = normalized(workload_filter);
+    for (const auto& cell : cells) {
+      if (normalized(cell.workload.name) == wanted) kept.push_back(cell);
+    }
+    if (kept.empty()) {
+      std::fprintf(stderr, "no cell matches workload '%s'\n", workload_filter.c_str());
+      return 2;
+    }
+    cells = std::move(kept);
+  }
+
+  options.base = sim::default_sim_config();
+  options.base.duration = seconds(seconds_arg);
+
+  const std::size_t threads =
+      options.threads > 0 ? options.threads : ThreadPool::hardware_threads();
+  std::fprintf(stderr, "jitgc_sweep: %zu runs (%zu cells x %zu seeds) on %zu threads\n",
+               cells.size() * options.seeds, cells.size(), options.seeds, threads);
+
+  sim::run_sweep_to(std::cout, options, cells);
   return 0;
 }

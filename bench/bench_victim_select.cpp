@@ -1,0 +1,89 @@
+// Victim-selection timing harness (the PR's acceptance benchmark): times the
+// O(log N) indexed selection against the reference O(num_blocks) scan on the
+// same aged device at 1x/4x/16x block counts, emitting one JSONL record per
+// (path, scale) plus a speedup summary per scale. scripts/bench_smoke.sh
+// runs it as a smoke target; the ops/sec figures feed the metrics sink.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "ftl/ftl.h"
+
+namespace {
+
+using namespace jitgc;
+
+ftl::FtlConfig scaled_config(std::uint32_t block_mult) {
+  ftl::FtlConfig cfg;
+  cfg.geometry = nand::Geometry{.channels = 2,
+                                .dies_per_channel = 2,
+                                .planes_per_die = 1,
+                                .blocks_per_plane = 128 * block_mult,
+                                .pages_per_block = 128,
+                                .page_size = 4 * KiB};
+  cfg.op_ratio = 0.07;
+  cfg.enable_sip_filter = true;
+  cfg.verify_victim_selection = false;  // measure the release-build hot path
+  return cfg;
+}
+
+void age(ftl::Ftl& ftl) {
+  Rng rng(42);
+  for (Lba l = 0; l < ftl.user_pages(); ++l) ftl.write(l);
+  for (Lba i = 0; i < ftl.user_pages() / 2; ++i) ftl.write(rng.uniform(ftl.user_pages() / 2));
+  std::vector<Lba> sip;
+  for (Lba l = 0; l < ftl.user_pages() / 16; ++l) sip.push_back(rng.uniform(ftl.user_pages()));
+  ftl.set_sip_list(sip);
+}
+
+/// Runs `probe` until it has consumed ~100 ms (at least 64 calls) and
+/// returns ops/sec. The selection is a const query, so repetition is safe.
+template <typename Probe>
+double measure_ops_per_sec(Probe&& probe) {
+  using Clock = std::chrono::steady_clock;
+  constexpr auto kBudget = std::chrono::milliseconds(100);
+  std::uint64_t iters = 0;
+  std::uint32_t sink = 0;
+  const auto start = Clock::now();
+  Clock::duration elapsed{};
+  do {
+    for (int i = 0; i < 64; ++i) sink += probe();
+    iters += 64;
+    elapsed = Clock::now() - start;
+  } while (elapsed < kBudget);
+  // Keep the accumulated result observable so the loop cannot be elided.
+  if (sink == 0xFFFFFFFFu) std::fprintf(stderr, "unreachable\n");
+  const double secs = std::chrono::duration<double>(elapsed).count();
+  return static_cast<double>(iters) / secs;
+}
+
+}  // namespace
+
+int main() {
+  for (const std::uint32_t mult : {1u, 4u, 16u}) {
+    ftl::Ftl ftl(scaled_config(mult));
+    age(ftl);
+    const std::uint32_t blocks = ftl.nand().num_blocks();
+
+    const double indexed =
+        measure_ops_per_sec([&] { return ftl.select_victim_indexed().block; });
+    const double reference =
+        measure_ops_per_sec([&] { return ftl.select_victim_reference().block; });
+
+    std::printf(
+        "{\"type\":\"bench\",\"name\":\"victim_select_indexed\",\"block_mult\":%u,"
+        "\"blocks\":%u,\"ops_per_sec\":%.1f}\n",
+        mult, blocks, indexed);
+    std::printf(
+        "{\"type\":\"bench\",\"name\":\"victim_select_reference\",\"block_mult\":%u,"
+        "\"blocks\":%u,\"ops_per_sec\":%.1f}\n",
+        mult, blocks, reference);
+    std::printf(
+        "{\"type\":\"bench_summary\",\"name\":\"victim_select_speedup\",\"block_mult\":%u,"
+        "\"blocks\":%u,\"speedup\":%.2f}\n",
+        mult, blocks, indexed / reference);
+  }
+  return 0;
+}

@@ -15,16 +15,29 @@ namespace {
 
 using namespace jitgc;
 
-ftl::FtlConfig bench_ftl_config() {
+ftl::FtlConfig bench_ftl_config(std::uint32_t block_mult = 1) {
   ftl::FtlConfig cfg;
   cfg.geometry = nand::Geometry{.channels = 2,
                                 .dies_per_channel = 2,
                                 .planes_per_die = 1,
-                                .blocks_per_plane = 128,
+                                .blocks_per_plane = 128 * block_mult,
                                 .pages_per_block = 128,
                                 .page_size = 4 * KiB};
   cfg.op_ratio = 0.07;
   return cfg;
+}
+
+/// Ages an FTL into GC steady state (device full, half the LBAs re-dirtied)
+/// so victim selection sees a realistic candidate population.
+void age_ftl(ftl::Ftl& ftl, bool sip_list) {
+  Rng rng(42);
+  for (Lba l = 0; l < ftl.user_pages(); ++l) ftl.write(l);
+  for (Lba i = 0; i < ftl.user_pages() / 2; ++i) ftl.write(rng.uniform(ftl.user_pages() / 2));
+  if (sip_list) {
+    std::vector<Lba> sip;
+    for (Lba l = 0; l < ftl.user_pages() / 16; ++l) sip.push_back(rng.uniform(ftl.user_pages()));
+    ftl.set_sip_list(sip);
+  }
 }
 
 void BM_FtlSequentialWrite(benchmark::State& state) {
@@ -80,6 +93,36 @@ void BM_VictimSelectionScan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VictimSelectionScan);
+
+// Pure victim-selection probes at 1x/4x/16x block counts: the indexed path
+// must stay flat while the reference scan grows linearly with num_blocks.
+void BM_VictimSelectIndexed(benchmark::State& state) {
+  ftl::FtlConfig cfg = bench_ftl_config(static_cast<std::uint32_t>(state.range(0)));
+  cfg.enable_sip_filter = true;
+  cfg.verify_victim_selection = false;
+  ftl::Ftl ftl(cfg);
+  age_ftl(ftl, /*sip_list=*/true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftl.select_victim_indexed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["blocks"] = static_cast<double>(ftl.nand().num_blocks());
+}
+BENCHMARK(BM_VictimSelectIndexed)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_VictimSelectReference(benchmark::State& state) {
+  ftl::FtlConfig cfg = bench_ftl_config(static_cast<std::uint32_t>(state.range(0)));
+  cfg.enable_sip_filter = true;
+  cfg.verify_victim_selection = false;
+  ftl::Ftl ftl(cfg);
+  age_ftl(ftl, /*sip_list=*/true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftl.select_victim_reference());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["blocks"] = static_cast<double>(ftl.nand().num_blocks());
+}
+BENCHMARK(BM_VictimSelectReference)->Arg(1)->Arg(4)->Arg(16);
 
 void BM_PageCacheWrite(benchmark::State& state) {
   host::PageCacheConfig cfg;

@@ -6,10 +6,16 @@
 # docs/model.md. Also re-runs on 1 thread and asserts the output is
 # byte-identical — the engine's core determinism guarantee.
 #
-# Usage: bench_smoke.sh <path-to-jitgc_sweep>
+# When a bench_victim_select binary is passed as the second argument, its
+# timing records are schema-validated too and the indexed-vs-scan speedups
+# are reported (the metrics go to stdout as JSONL for the sink; no hard
+# ratio gate here — machine load would make that flaky in CI).
+#
+# Usage: bench_smoke.sh <path-to-jitgc_sweep> [path-to-bench_victim_select]
 set -euo pipefail
 
-SWEEP_BIN=${1:?usage: bench_smoke.sh <path-to-jitgc_sweep>}
+SWEEP_BIN=${1:?usage: bench_smoke.sh <path-to-jitgc_sweep> [path-to-bench_victim_select]}
+VICTIM_BENCH_BIN=${2:-}
 WORKDIR=$(mktemp -d)
 trap 'rm -rf "$WORKDIR"' EXIT
 
@@ -77,4 +83,44 @@ else
   [ "$(grep -c '"type":"interval"' "$WORKDIR/t2.jsonl")" -eq 6 ]
   grep -q '"p99_latency_us"' "$WORKDIR/t2.jsonl"
   echo "bench_smoke: OK (grep fallback)"
+fi
+
+if [ -n "$VICTIM_BENCH_BIN" ]; then
+  "$VICTIM_BENCH_BIN" > "$WORKDIR/victim.jsonl"
+  cat "$WORKDIR/victim.jsonl"
+  if command -v python3 > /dev/null 2>&1; then
+    python3 - "$WORKDIR/victim.jsonl" << 'EOF'
+import json
+import sys
+
+BENCH_FIELDS = {"type", "name", "block_mult", "blocks", "ops_per_sec"}
+SUMMARY_FIELDS = {"type", "name", "block_mult", "blocks", "speedup"}
+
+benches = summaries = 0
+with open(sys.argv[1]) as f:
+    for lineno, line in enumerate(f, 1):
+        rec = json.loads(line)
+        kind = rec.get("type")
+        expected = {"bench": BENCH_FIELDS, "bench_summary": SUMMARY_FIELDS}.get(kind)
+        if expected is None:
+            sys.exit(f"line {lineno}: unknown record type {kind!r}")
+        if set(rec) != expected:
+            sys.exit(f"line {lineno}: schema mismatch (got {sorted(rec)})")
+        if kind == "bench":
+            if rec["ops_per_sec"] <= 0:
+                sys.exit(f"line {lineno}: non-positive ops_per_sec")
+            benches += 1
+        else:
+            print(f"bench_smoke: victim-select speedup at {rec['blocks']} blocks: "
+                  f"{rec['speedup']:.1f}x")
+            summaries += 1
+if benches != 6 or summaries != 3:
+    sys.exit(f"expected 6 bench + 3 summary records, got {benches} + {summaries}")
+print("bench_smoke: victim-select timing records OK")
+EOF
+  else
+    [ "$(grep -c '"type":"bench"' "$WORKDIR/victim.jsonl")" -eq 6 ]
+    [ "$(grep -c '"type":"bench_summary"' "$WORKDIR/victim.jsonl")" -eq 3 ]
+    echo "bench_smoke: victim-select timing records OK (grep fallback)"
+  fi
 fi

@@ -49,8 +49,14 @@ struct PolicyDecision {
   /// Bytes BGC must reclaim immediately, even if host I/O has to wait
   /// (JIT-GC's D_reclaim when T_idle < T_gc; zero for lazy policies).
   Bytes urgent_reclaim_bytes = 0;
-  /// SIP list to install in the extended garbage collector (empty = clear).
-  std::vector<Lba> sip_list;
+  /// SIP update for the extended garbage collector: a delta against the
+  /// last-delivered state when `sip_is_delta`, else a full replacement list
+  /// in `sip_update.added` (empty = clear). `sip_size` is |L_SIP| — the
+  /// full list's length, which is what the wire transfer is charged for
+  /// either way.
+  host::SipDelta sip_update;
+  std::uint64_t sip_size = 0;
+  bool sip_is_delta = false;
   /// Device-write traffic expected over the coming prediction horizon
   /// [t + p, t + p + tau_expire] — the policy's C_req (Table 2 accuracy is
   /// measured against the actual traffic of that window); negative = this

@@ -1,40 +1,27 @@
 #include "core/buffered_predictor.h"
 
+#include <algorithm>
+
 #include "common/ensure.h"
 
 namespace jitgc::core {
+namespace {
 
-BufferedPrediction BufferedWritePredictor::predict(const host::PageCache& cache,
-                                                   TimeUs now) const {
+// Per-page demand bucketing — the reference path, used when `now` is not a
+// flusher-tick instant (the histogram identity below needs tick alignment).
+void bucket_by_scan(const host::PageCache& cache, TimeUs now, std::uint64_t early_flush_pages,
+                    bool want_full_list, BufferedPrediction& out) {
   const auto& cfg = cache.config();
   const std::uint32_t nwb = cfg.intervals_per_horizon();
   const TimeUs p = cfg.flush_period;
   const Bytes page = cfg.page_size;
 
-  BufferedPrediction out;
-  out.demand = DemandVector(nwb);
-
   const std::vector<host::DirtyPage> dirty = cache.scan_dirty();
-  out.sip_list.reserve(dirty.size());
-
-  // Strict mode takes the two-condition flush rule literally. At or below
-  // tau_flush, condition 2 fails: nothing is predicted to flush (the SIP
-  // list is still emitted — dirty data still shadows stale on-SSD pages).
-  // Above it, the oldest `excess` bytes flush at the very next tick.
-  std::uint64_t early_flush_pages = 0;
-  if (!relax_) {
-    const Bytes dirty_bytes = cache.dirty_bytes();
-    const Bytes threshold = cfg.tau_flush_bytes();
-    if (dirty_bytes <= threshold) {
-      for (const host::DirtyPage& dp : dirty) out.sip_list.push_back(dp.lba);
-      return out;
-    }
-    early_flush_pages = (dirty_bytes - threshold + page - 1) / page;
-  }
+  if (want_full_list) out.sip.added.reserve(dirty.size());
 
   std::uint64_t scanned = 0;
   for (const host::DirtyPage& dp : dirty) {
-    out.sip_list.push_back(dp.lba);
+    if (want_full_list) out.sip.added.push_back(dp.lba);
 
     std::uint32_t j;
     if (scanned < early_flush_pages) {
@@ -61,6 +48,84 @@ BufferedPrediction BufferedWritePredictor::predict(const host::PageCache& cache,
     }
     out.demand.add(j, page);
     ++scanned;
+  }
+}
+
+// Demand from the cache's dirty-interval histogram, no per-page scan. At a
+// tick instant now = m * p, every page in bucket c = ceil(last_update / p)
+// shares one slot: expiry - now = last_update + (nwb - m) * p, so
+// ceil((expiry - now) / p) = c + nwb - m and the page is already expired
+// iff c + nwb <= m — the per-page arithmetic collapses to per-bucket.
+// Strict mode's early flush takes the oldest `early_flush_pages` pages;
+// buckets ascend by age, so a prefix of the walk (splitting at most one
+// bucket, where the two halves differ only in slot) covers it exactly.
+void bucket_by_histogram(const host::PageCache& cache, TimeUs now,
+                         std::uint64_t early_flush_pages, BufferedPrediction& out) {
+  const auto& cfg = cache.config();
+  const std::uint32_t nwb = cfg.intervals_per_horizon();
+  const Bytes page = cfg.page_size;
+  const std::uint64_t m = static_cast<std::uint64_t>(now / cfg.flush_period);
+
+  std::uint64_t remaining_early = early_flush_pages;
+  for (const auto& [c, count] : cache.dirty_interval_histogram()) {
+    std::uint64_t rest = count;
+    if (remaining_early > 0) {
+      const std::uint64_t take = std::min(remaining_early, rest);
+      out.demand.add(1, take * page);
+      remaining_early -= take;
+      rest -= take;
+      if (rest == 0) continue;
+    }
+    std::uint32_t j;
+    if (c + nwb <= m) {
+      j = 1;
+    } else {
+      j = static_cast<std::uint32_t>(std::min<std::uint64_t>(c + nwb - m, nwb));
+    }
+    out.demand.add(j, rest * page);
+  }
+}
+
+}  // namespace
+
+BufferedPrediction BufferedWritePredictor::predict(const host::PageCache& cache,
+                                                   TimeUs now) const {
+  const auto& cfg = cache.config();
+  const std::uint32_t nwb = cfg.intervals_per_horizon();
+  const TimeUs p = cfg.flush_period;
+  const Bytes page = cfg.page_size;
+
+  BufferedPrediction out;
+  out.demand = DemandVector(nwb);
+  out.sip_size = cache.dirty_pages();
+  out.sip_is_delta = cache.sip_tracking_enabled();
+  if (out.sip_is_delta) out.sip = cache.pending_sip_delta();
+  const bool want_full_list = !out.sip_is_delta;
+
+  // Strict mode takes the two-condition flush rule literally. At or below
+  // tau_flush, condition 2 fails: nothing is predicted to flush (the SIP
+  // list is still emitted — dirty data still shadows stale on-SSD pages).
+  // Above it, the oldest `excess` bytes flush at the very next tick.
+  std::uint64_t early_flush_pages = 0;
+  if (!relax_) {
+    const Bytes dirty_bytes = cache.dirty_bytes();
+    const Bytes threshold = cfg.tau_flush_bytes();
+    if (dirty_bytes <= threshold) {
+      if (want_full_list) {
+        for (const host::DirtyPage& dp : cache.scan_dirty()) out.sip.added.push_back(dp.lba);
+      }
+      return out;
+    }
+    early_flush_pages = (dirty_bytes - threshold + page - 1) / page;
+  }
+
+  const bool tick_aligned = now >= 0 && now % p == 0;
+  if (tick_aligned && !want_full_list) {
+    bucket_by_histogram(cache, now, early_flush_pages, out);
+  } else {
+    // Needing the full LBA list forces a scan anyway; off-tick calls need
+    // the per-page arithmetic.
+    bucket_by_scan(cache, now, early_flush_pages, want_full_list, out);
   }
   return out;
 }

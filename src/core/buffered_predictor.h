@@ -17,8 +17,16 @@
 namespace jitgc::core {
 
 struct BufferedPrediction {
-  DemandVector demand;        ///< D_buf(t), one slot per future interval
-  std::vector<Lba> sip_list;  ///< L_SIP: dirty LBAs (oldest first)
+  DemandVector demand;  ///< D_buf(t), one slot per future interval
+  /// L_SIP. When the cache has SIP tracking on (`sip_is_delta == true`),
+  /// this is the net change since the last checkpoint; otherwise
+  /// `sip.added` carries the full dirty-LBA list (oldest first) and
+  /// `sip.removed` is empty.
+  host::SipDelta sip;
+  /// |L_SIP| == the cache's dirty-page count — the wire cost of a full
+  /// resync, charged regardless of how the update is encoded.
+  std::uint64_t sip_size = 0;
+  bool sip_is_delta = false;
 };
 
 class BufferedWritePredictor {

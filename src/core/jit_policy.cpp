@@ -42,7 +42,11 @@ PolicyDecision JitPolicy::on_interval(const PolicyContext& ctx) {
   d.reclaim_bytes = last_decision_.idle_reclaim_bytes;
   d.urgent_reclaim_bytes = last_decision_.reclaim_bytes;
   d.predicted_horizon_bytes = static_cast<double>(prediction.required_capacity());
-  if (config_.use_sip_list) d.sip_list = std::move(prediction.sip_list);
+  if (config_.use_sip_list) {
+    d.sip_update = std::move(prediction.sip);
+    d.sip_size = prediction.sip_size;
+    d.sip_is_delta = prediction.sip_is_delta;
+  }
   return d;
 }
 

@@ -26,7 +26,9 @@ Prediction FutureWriteDemandPredictor::predict(const host::PageCache& cache, Tim
   Prediction out;
   BufferedPrediction buf = buffered_.predict(cache, now);
   out.buffered = std::move(buf.demand);
-  out.sip_list = std::move(buf.sip_list);
+  out.sip = std::move(buf.sip);
+  out.sip_size = buf.sip_size;
+  out.sip_is_delta = buf.sip_is_delta;
 
   // D^i_dir = delta_dir / Nwb, remainder in slot 1 (total stays exact).
   const std::uint32_t nwb = config_.cdh.intervals_per_window;

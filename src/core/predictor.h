@@ -18,9 +18,13 @@ namespace jitgc::core {
 
 /// Everything the predictor forwards to the JIT-GC manager at time t.
 struct Prediction {
-  DemandVector buffered;      ///< D_buf(t)
-  DemandVector direct;        ///< D_dir(t)
-  std::vector<Lba> sip_list;  ///< L_SIP
+  DemandVector buffered;  ///< D_buf(t)
+  DemandVector direct;    ///< D_dir(t)
+  /// L_SIP: a delta against the last checkpoint when `sip_is_delta`, else
+  /// the full dirty-LBA list in `sip.added` (see BufferedPrediction).
+  host::SipDelta sip;
+  std::uint64_t sip_size = 0;  ///< |L_SIP| (the full list's wire size)
+  bool sip_is_delta = false;
 
   /// C_req(t) = sum_i (D^i_buf + D^i_dir).
   Bytes required_capacity() const { return buffered.total() + direct.total(); }

@@ -14,7 +14,8 @@ Ftl::Ftl(const FtlConfig& config)
       nand_(config.geometry, config.timing),
       policy_(make_victim_policy(config.victim_policy)),
       map_cache_(config.mapping_cache_pages,
-                 static_cast<std::uint32_t>(config.geometry.page_size / 4)) {
+                 static_cast<std::uint32_t>(config.geometry.page_size / 4)),
+      index_(nand_.num_blocks(), config.geometry.pages_per_block) {
   JITGC_ENSURE_MSG(config_.min_free_blocks >= 1, "GC needs at least one reserved free block");
   JITGC_ENSURE_MSG(config_.op_ratio > 0.0, "over-provisioning ratio must be positive");
 
@@ -29,6 +30,8 @@ Ftl::Ftl(const FtlConfig& config)
   block_last_update_seq_.assign(nand_.num_blocks(), 0);
   block_fill_seq_.assign(nand_.num_blocks(), 0);
   block_sip_count_.assign(nand_.num_blocks(), 0);
+  block_sip_exact_.assign(nand_.num_blocks(), 0);
+  sip_diverged_.assign(nand_.num_blocks(), 0);
   if (config_.enable_hot_cold_separation) {
     lba_last_write_seq_.assign(user_pages_, 0);
     hot_window_ = config_.hot_recency_window ? config_.hot_recency_window : user_pages_ / 8;
@@ -56,6 +59,46 @@ double Ftl::waf() const {
 
 void Ftl::touch_block(std::uint32_t block_id) { block_last_update_seq_[block_id] = write_seq_; }
 
+std::uint32_t Ftl::adjusted_valid(std::uint32_t valid, std::uint32_t sip) const {
+  if (sip == 0) return valid;
+  const double extra = config_.sip_penalty * static_cast<double>(sip);
+  return static_cast<std::uint32_t>(
+      std::min<double>(config_.geometry.pages_per_block, valid + extra));
+}
+
+void Ftl::refresh_block_index(std::uint32_t block_id) {
+  const nand::Block& blk = nand_.block(block_id);
+  const bool full = blk.is_full();
+  VictimIndex::BlockState s;
+  s.valid = blk.valid_count();
+  s.candidate = full && blk.invalid_count() > 0;
+  s.wl_candidate = full && s.valid == config_.geometry.pages_per_block;
+  s.adjusted_valid = adjusted_valid(s.valid, block_sip_count_[block_id]);
+  s.last_update_seq = block_last_update_seq_[block_id];
+  s.fill_seq = block_fill_seq_[block_id];
+  s.erase_count = blk.erase_count();
+  index_.update(block_id, s);
+}
+
+void Ftl::note_sip_counts(std::uint32_t b) {
+  if (block_sip_count_[b] == block_sip_exact_[b]) return;
+  if (!sip_diverged_[b]) {
+    sip_diverged_[b] = 1;
+    sip_diverged_list_.push_back(b);
+  }
+}
+
+void Ftl::heal_sip_counts() {
+  for (const std::uint32_t b : sip_diverged_list_) {
+    sip_diverged_[b] = 0;
+    if (block_sip_count_[b] != block_sip_exact_[b]) {
+      block_sip_count_[b] = block_sip_exact_[b];
+      refresh_block_index(b);
+    }
+  }
+  sip_diverged_list_.clear();
+}
+
 void Ftl::note_program(std::uint32_t block_id) {
   touch_block(block_id);
   if (nand_.block(block_id).is_full()) block_fill_seq_[block_id] = write_seq_;
@@ -70,16 +113,22 @@ TimeUs Ftl::map_access_cost(Lba lba, bool dirty) {
 bool Ftl::finish_erase(std::uint32_t block_id) {
   nand_.erase_block(block_id);
   block_sip_count_[block_id] = 0;
+  // Every valid page was migrated away first, so no SIP LBA can still map
+  // here; the exact shadow must already be zero.
+  JITGC_ENSURE(block_sip_exact_[block_id] == 0);
+  bool usable = true;
   const std::uint64_t limit =
       config_.enforce_endurance ? config_.timing.endurance_pe_cycles : 0;
   if (limit != 0 && nand_.block(block_id).erase_count() >= limit) {
     // Bad-block management: the block has consumed its rated P/E cycles.
     ++stats_.retired_blocks;
-    return false;
+    usable = false;
+  } else {
+    release_to_free_pool(block_id);
+    free_pages_ += config_.geometry.pages_per_block;
   }
-  release_to_free_pool(block_id);
-  free_pages_ += config_.geometry.pages_per_block;
-  return true;
+  refresh_block_index(block_id);
+  return usable;
 }
 
 std::uint32_t Ftl::allocate_free_block() {
@@ -99,6 +148,9 @@ void Ftl::release_to_free_pool(std::uint32_t block_id) {
 
 void Ftl::ensure_gc_active_block() {
   if (gc_active_ != kNoBlock && !nand_.block(gc_active_).is_full()) return;
+  // The outgoing (filled) GC block may have pending migrations the batched
+  // refresh at the end of the collection loop would miss.
+  if (gc_active_ != kNoBlock) refresh_block_index(gc_active_);
   // The min_free_blocks watermark guarantees this allocation succeeds.
   gc_active_ = allocate_free_block();
 }
@@ -124,22 +176,41 @@ TimeUs Ftl::write(Lba lba) {
 
   ++write_seq_;
 
+  const bool lba_on_sip = !sip_.empty() && sip_.contains(lba);
+
   // Out-place update: invalidate the previous version first.
   nand::Ppa& entry = map_[lba];
   if (entry.block != kNoBlock) {
+    const std::uint32_t prev = entry.block;
     nand_.invalidate_page(entry);
-    touch_block(entry.block);
-    if (block_sip_count_[entry.block] > 0 && sip_.contains(lba)) {
-      --block_sip_count_[entry.block];
+    touch_block(prev);
+    if (block_sip_count_[prev] > 0 && lba_on_sip) {
+      --block_sip_count_[prev];
+    }
+    if (lba_on_sip) {
+      // The exact shadow always follows the mapping; the observable count
+      // above may have skipped its decrement (legacy zero guard).
+      JITGC_ENSURE(block_sip_exact_[prev] > 0);
+      --block_sip_exact_[prev];
+      note_sip_counts(prev);
     }
     --valid_pages_;
+    refresh_block_index(prev);
   }
 
   entry = nand_.program_page(active, lba, /*is_migration=*/false);
   note_program(active);
+  if (lba_on_sip) {
+    // Legacy behavior: the observable count is NOT bumped at the new
+    // location until the next SIP update re-sends the list; only the exact
+    // shadow tracks the move.
+    ++block_sip_exact_[active];
+    note_sip_counts(active);
+  }
   ++valid_pages_;
   JITGC_ENSURE(free_pages_ > 0);
   --free_pages_;
+  refresh_block_index(active);
 
   ++stats_.host_pages_written;
   cost += config_.timing.program_cost();
@@ -162,28 +233,72 @@ void Ftl::trim(Lba lba) {
   JITGC_ENSURE_MSG(lba < user_pages_, "LBA beyond user capacity");
   nand::Ppa& entry = map_[lba];
   if (entry.block == kNoBlock) return;
+  const std::uint32_t prev = entry.block;
   ++write_seq_;
   nand_.invalidate_page(entry);
-  touch_block(entry.block);
-  if (block_sip_count_[entry.block] > 0 && sip_.contains(lba)) --block_sip_count_[entry.block];
+  touch_block(prev);
+  if (block_sip_count_[prev] > 0 && sip_.contains(lba)) --block_sip_count_[prev];
+  if (sip_.contains(lba)) {
+    JITGC_ENSURE(block_sip_exact_[prev] > 0);
+    --block_sip_exact_[prev];
+    note_sip_counts(prev);
+  }
   --valid_pages_;
   entry = nand::Ppa{kNoBlock, 0};
   ++stats_.trims;
+  refresh_block_index(prev);
 }
 
 void Ftl::set_sip_list(const std::vector<Lba>& lbas) {
   sip_.assign(lbas);
   std::fill(block_sip_count_.begin(), block_sip_count_.end(), 0);
+  std::fill(block_sip_exact_.begin(), block_sip_exact_.end(), 0);
+  std::fill(sip_diverged_.begin(), sip_diverged_.end(), 0);
+  sip_diverged_list_.clear();
   for (const Lba lba : lbas) {
     if (lba >= user_pages_) continue;
     const nand::Ppa entry = map_[lba];
     if (entry.block != kNoBlock) ++block_sip_count_[entry.block];
   }
+  // The exact shadow counts set membership (a duplicated input LBA counts
+  // once), so it is rebuilt from the deduplicated index.
+  for (const Lba lba : sip_) {
+    if (lba >= user_pages_) continue;
+    const nand::Ppa entry = map_[lba];
+    if (entry.block != kNoBlock) ++block_sip_exact_[entry.block];
+  }
+  // Full resync can change any block's SIP count (and thus its adjusted
+  // bucket) — re-declare everything. O(num_blocks); the hot path uses
+  // apply_sip_delta instead.
+  for (std::uint32_t b = 0; b < nand_.num_blocks(); ++b) refresh_block_index(b);
 }
 
-Ftl::VictimChoice Ftl::select_victim() {
-  ++stats_.victim_selections;
+void Ftl::apply_sip_delta(const std::vector<Lba>& added, const std::vector<Lba>& removed) {
+  // Healing first reproduces the legacy full rebuild: after it, observable
+  // and exact counts agree everywhere, and the delta below keeps them equal.
+  heal_sip_counts();
+  for (const Lba lba : removed) {
+    if (!sip_.erase(lba)) continue;
+    if (lba >= user_pages_) continue;
+    const nand::Ppa entry = map_[lba];
+    if (entry.block == kNoBlock) continue;
+    JITGC_ENSURE(block_sip_count_[entry.block] > 0 && block_sip_exact_[entry.block] > 0);
+    --block_sip_count_[entry.block];
+    --block_sip_exact_[entry.block];
+    refresh_block_index(entry.block);
+  }
+  for (const Lba lba : added) {
+    if (!sip_.insert(lba)) continue;
+    if (lba >= user_pages_) continue;
+    const nand::Ppa entry = map_[lba];
+    if (entry.block == kNoBlock) continue;
+    ++block_sip_count_[entry.block];
+    ++block_sip_exact_[entry.block];
+    refresh_block_index(entry.block);
+  }
+}
 
+Ftl::VictimChoice Ftl::select_victim_reference() const {
   double best_raw = std::numeric_limits<double>::infinity();
   std::uint32_t best_raw_block = kNoBlock;
   double best_adj = std::numeric_limits<double>::infinity();
@@ -226,8 +341,43 @@ Ftl::VictimChoice Ftl::select_victim() {
 
   if (!config_.enable_sip_filter) return VictimChoice{best_raw_block, false};
   const bool filtered = best_adj_block != best_raw_block && best_adj_block != kNoBlock;
-  if (filtered) ++stats_.sip_filtered_selections;
   return VictimChoice{best_adj_block, filtered};
+}
+
+Ftl::VictimChoice Ftl::select_victim_indexed(std::uint64_t* visited) const {
+  const VictimIndex::Excluded excl{user_active_, user_active_cold_, gc_active_};
+  const VictimPolicyKind kind = config_.victim_policy;
+  std::uint64_t visits = 0;
+
+  const VictimIndex::Selection raw =
+      index_.select(*policy_, kind, write_seq_, /*adjusted=*/false, excl);
+  visits += raw.visited;
+
+  VictimChoice choice{raw.block, false};
+  if (config_.enable_sip_filter && kind != VictimPolicyKind::kFifo &&
+      kind != VictimPolicyKind::kRandom) {
+    // FIFO and random scores ignore valid_pages, so the SIP penalty cannot
+    // move their winner; for the rest, re-select over the adjusted buckets.
+    const VictimIndex::Selection adj =
+        index_.select(*policy_, kind, write_seq_, /*adjusted=*/true, excl);
+    visits += adj.visited;
+    const bool filtered = adj.block != raw.block && adj.block != kNoBlock;
+    choice = VictimChoice{adj.block, filtered};
+  }
+  if (visited != nullptr) *visited += visits;
+  return choice;
+}
+
+Ftl::VictimChoice Ftl::select_victim() {
+  ++stats_.victim_selections;
+  const VictimChoice choice = select_victim_indexed(&stats_.victim_candidates_visited);
+  if (choice.sip_filtered) ++stats_.sip_filtered_selections;
+  if (config_.verify_victim_selection) {
+    const VictimChoice ref = select_victim_reference();
+    JITGC_ENSURE_MSG(choice.block == ref.block && choice.sip_filtered == ref.sip_filtered,
+                     "victim index diverged from the reference scan");
+  }
+  return choice;
 }
 
 GcResult Ftl::collect_block(std::uint32_t victim, bool foreground) {
@@ -259,10 +409,20 @@ GcResult Ftl::collect_block(std::uint32_t victim, bool foreground) {
     // Migration consumes a free page; the erase below returns ppb of them.
     JITGC_ENSURE(free_pages_ > 0);
     --free_pages_;
-    if (sip_.contains(lba)) ++block_sip_count_[gc_active_];
+    if (sip_.contains(lba)) {
+      // Legacy quirk: the observable count follows the page to the GC block
+      // but is never taken off the victim (it goes stale until the erase).
+      ++block_sip_count_[gc_active_];
+      ++block_sip_exact_[gc_active_];
+      note_sip_counts(gc_active_);
+      JITGC_ENSURE(block_sip_exact_[victim] > 0);
+      --block_sip_exact_[victim];
+      note_sip_counts(victim);
+    }
     ++result.migrated_pages;
     result.time_us += config_.timing.migrate_cost();
   }
+  if (gc_active_ != kNoBlock) refresh_block_index(gc_active_);
 
   const bool usable = finish_erase(victim);
   result.time_us += config_.timing.block_erase_us;
@@ -345,11 +505,23 @@ Ftl::GcStep Ftl::background_collect_step(std::uint32_t max_pages) {
     note_program(gc_active_);
     JITGC_ENSURE(free_pages_ > 0);
     --free_pages_;
-    if (sip_.contains(lba)) ++block_sip_count_[gc_active_];
+    if (sip_.contains(lba)) {
+      // Same stale-until-erase quirk as collect_block.
+      ++block_sip_count_[gc_active_];
+      ++block_sip_exact_[gc_active_];
+      note_sip_counts(gc_active_);
+      JITGC_ENSURE(block_sip_exact_[bgc_victim_] > 0);
+      --block_sip_exact_[bgc_victim_];
+      note_sip_counts(bgc_victim_);
+    }
     ++step.migrated;
     step.time_us += config_.timing.migrate_cost();
   }
   step.progressed = true;
+  if (gc_active_ != kNoBlock) refresh_block_index(gc_active_);
+  // The partially-collected victim stays an eligible candidate between
+  // steps (the reference scan sees it too); keep its indexed state fresh.
+  refresh_block_index(bgc_victim_);
 
   if (blk.valid_count() == 0) {
     const std::uint32_t victim = bgc_victim_;
@@ -385,18 +557,24 @@ TimeUs Ftl::maybe_static_wear_level() {
   // that never self-invalidates, and migrating them leaves the destination
   // completely full (keeping free-page accounting exact).
   const std::uint64_t max_free_wear = free_pool_.rbegin()->first;
-  std::uint32_t coldest = kNoBlock;
-  std::uint64_t coldest_wear = std::numeric_limits<std::uint64_t>::max();
-  for (std::uint32_t b = 0; b < nand_.num_blocks(); ++b) {
-    if (b == user_active_ || b == user_active_cold_ || b == gc_active_) continue;
-    const nand::Block& blk = nand_.block(b);
-    if (!blk.is_full() || blk.valid_count() != blk.pages_per_block()) continue;
-    if (blk.erase_count() < coldest_wear) {
-      coldest_wear = blk.erase_count();
-      coldest = b;
+  const VictimIndex::Excluded excl{user_active_, user_active_cold_, gc_active_};
+  const std::uint32_t coldest = index_.select_coldest_full(excl).block;
+  if (config_.verify_victim_selection) {
+    std::uint32_t ref = kNoBlock;
+    std::uint64_t ref_wear = std::numeric_limits<std::uint64_t>::max();
+    for (std::uint32_t b = 0; b < nand_.num_blocks(); ++b) {
+      if (b == user_active_ || b == user_active_cold_ || b == gc_active_) continue;
+      const nand::Block& blk = nand_.block(b);
+      if (!blk.is_full() || blk.valid_count() != blk.pages_per_block()) continue;
+      if (blk.erase_count() < ref_wear) {
+        ref_wear = blk.erase_count();
+        ref = b;
+      }
     }
+    JITGC_ENSURE_MSG(coldest == ref, "wear-level tracker diverged from the reference scan");
   }
   if (coldest == kNoBlock) return 0;
+  const std::uint64_t coldest_wear = nand_.block(coldest).erase_count();
   if (max_free_wear < coldest_wear + config_.wl_spread_threshold) return 0;
 
   // Move the cold block's data into the most-worn free block so the cold
@@ -416,11 +594,21 @@ TimeUs Ftl::maybe_static_wear_level() {
     map_[lba] = nand_.program_page(dest, lba, /*is_migration=*/true);
     JITGC_ENSURE(free_pages_ > 0);
     --free_pages_;
+    if (sip_.contains(lba)) {
+      JITGC_ENSURE(block_sip_exact_[coldest] > 0);
+      --block_sip_exact_[coldest];
+      ++block_sip_exact_[dest];
+    }
     cost += config_.timing.migrate_cost();
   }
   note_program(dest);
+  // Legacy quirk: the whole observable count is transferred wholesale, even
+  // the part belonging to SIP LBAs that were overwritten since the last
+  // rebuild (the exact shadow above moves only live mappings).
   block_sip_count_[dest] += block_sip_count_[coldest];
+  note_sip_counts(dest);
   finish_erase(coldest);
+  refresh_block_index(dest);
   cost += config_.timing.block_erase_us;
   ++stats_.wear_level_moves;
   return cost;

@@ -17,6 +17,7 @@
 #include "common/types.h"
 #include "ftl/mapping_cache.h"
 #include "ftl/sip_index.h"
+#include "ftl/victim_index.h"
 #include "ftl/victim_policy.h"
 #include "nand/nand_device.h"
 
@@ -72,6 +73,17 @@ struct FtlConfig {
   /// (0 = whole map in DRAM, the SM843T configuration). When enabled, map
   /// misses cost a flash read and dirty evictions a program.
   std::uint32_t mapping_cache_pages = 0;
+  /// Cross-check every indexed victim selection (and wear-level source
+  /// pick) against the reference linear scan, aborting on divergence. The
+  /// determinism guard for the O(log N) index: on by default in debug
+  /// builds, off in release builds (where it would reintroduce the
+  /// O(num_blocks) scan the index removes).
+  bool verify_victim_selection =
+#ifdef NDEBUG
+      false;
+#else
+      true;
+#endif
 };
 
 /// Outcome of one GC cycle (one victim block).
@@ -92,6 +104,11 @@ struct FtlStats {
   std::uint64_t foreground_gc_cycles = 0;
   std::uint64_t background_gc_cycles = 0;
   std::uint64_t victim_selections = 0;
+  /// Candidates the index examined across all selections. The no-full-scan
+  /// guarantee: this grows by O(1)–O(pages_per_block) per selection, never
+  /// by O(num_blocks) (random victim policy excepted — its score is a
+  /// per-candidate hash, so every candidate must be visited).
+  std::uint64_t victim_candidates_visited = 0;
   /// Selections where the SIP veto changed the chosen victim (Table 3).
   std::uint64_t sip_filtered_selections = 0;
   std::uint64_t wear_level_moves = 0;
@@ -126,8 +143,18 @@ class Ftl {
 
   // -- Extended host interface (the paper's custom SG_IO commands) -----------
 
-  /// Replaces the SIP list used by the extended garbage collector.
+  /// Replaces the SIP list used by the extended garbage collector (the
+  /// legacy full-resync command; rebuilds all per-block counters).
   void set_sip_list(const std::vector<Lba>& lbas);
+
+  /// Incremental SIP update: `added` joins the list, `removed` leaves it.
+  /// Equivalent to set_sip_list(previous - removed + added) — including the
+  /// per-block counters, which are healed to the exact shadow counts first
+  /// — at O(|delta|) instead of O(num_blocks + |list|). `added` and
+  /// `removed` must be disjoint (the cache's delta tracker nets out an LBA
+  /// that toggles within one interval); redundant entries — re-adding a
+  /// member, removing a non-member — are ignored.
+  void apply_sip_delta(const std::vector<Lba>& added, const std::vector<Lba>& removed);
 
   /// Enables/disables SIP-aware victim selection (the simulator flips this
   /// to match the active BGC policy's capabilities).
@@ -194,11 +221,15 @@ class Ftl {
   const nand::NandDevice& nand() const { return nand_; }
   const SipIndex& sip_index() const { return sip_; }
   const MappingCache& mapping_cache() const { return map_cache_; }
+  const VictimIndex& victim_index() const { return index_; }
+
+  /// Valid pages of `block` currently on the SIP list, as the collector
+  /// sees them (tests compare this against a from-scratch rebuild).
+  std::uint32_t block_sip_count(std::uint32_t block) const { return block_sip_count_[block]; }
 
   /// Write amplification factor: NAND page programs / host page writes.
   double waf() const;
 
- private:
   static constexpr std::uint32_t kNoBlock = UINT32_MAX;
 
   struct VictimChoice {
@@ -206,7 +237,19 @@ class Ftl {
     bool sip_filtered = false;
   };
 
+  /// Index-backed victim selection, side-effect free (no stats, no state
+  /// change). When `visited` is non-null, the candidates examined are added
+  /// to it. Exposed for tests and the selection microbenchmark.
+  VictimChoice select_victim_indexed(std::uint64_t* visited = nullptr) const;
+
+  /// Reference full-scan selection — the determinism oracle the index is
+  /// cross-checked against (and the before-side of the microbenchmark).
+  VictimChoice select_victim_reference() const;
+
+ private:
   /// Picks a GC victim; returns kNoBlock when nothing is collectible.
+  /// Index-backed; cross-checks against the reference scan when
+  /// config_.verify_victim_selection is set.
   VictimChoice select_victim();
 
   /// Erases `block` and either returns it to the free pool or retires it
@@ -231,6 +274,19 @@ class Ftl {
   /// Charges the mapping-cache cost of touching `lba`'s L2P entry.
   TimeUs map_access_cost(Lba lba, bool dirty);
   TimeUs maybe_static_wear_level();
+
+  /// Valid count after the SIP penalty — the exact expression the reference
+  /// scan applies before re-scoring a candidate.
+  std::uint32_t adjusted_valid(std::uint32_t valid, std::uint32_t sip) const;
+  /// Re-declares `block_id`'s current state to the victim index; call after
+  /// any mutation of its pages, recency, fill stamp, or SIP count.
+  void refresh_block_index(std::uint32_t block_id);
+  /// Flags `b` for healing when its observable SIP count drifted from the
+  /// exact shadow count (legacy between-tick quirks; see apply_sip_delta).
+  void note_sip_counts(std::uint32_t b);
+  /// Re-synchronizes flagged observable SIP counts with the exact shadow —
+  /// what the legacy full rebuild did implicitly at every tick.
+  void heal_sip_counts();
 
   FtlConfig config_;
   nand::NandDevice nand_;
@@ -262,8 +318,18 @@ class Ftl {
   std::vector<std::uint64_t> block_last_update_seq_;
   /// Host-write sequence number at which each block became full (FIFO).
   std::vector<std::uint64_t> block_fill_seq_;
-  /// Per-block count of valid pages on the SIP list (rebuilt per interval).
+  /// Per-block count of valid pages on the SIP list as the collector
+  /// observes it. Between ticks it evolves by the legacy rules (which skip
+  /// some updates — see the call sites); at each SIP update it is healed to
+  /// the exact shadow below, reproducing the legacy full rebuild.
   std::vector<std::uint32_t> block_sip_count_;
+  /// Exact |{lba in SIP list : mapped to this block}|, maintained at every
+  /// mapping/SIP mutation. The healing source for block_sip_count_.
+  std::vector<std::uint32_t> block_sip_exact_;
+  /// Blocks whose observable count drifted from the exact shadow since the
+  /// last SIP update (flag byte + dedup list for O(drifted) healing).
+  std::vector<std::uint8_t> sip_diverged_;
+  std::vector<std::uint32_t> sip_diverged_list_;
   /// Last write sequence per LBA (hot/cold classification); empty unless
   /// separation is enabled.
   std::vector<std::uint64_t> lba_last_write_seq_;
@@ -271,6 +337,7 @@ class Ftl {
 
   SipIndex sip_;
   MappingCache map_cache_;
+  VictimIndex index_;
   FtlStats stats_;
 };
 

@@ -14,23 +14,31 @@
 
 namespace jitgc::ftl {
 
-/// A set of LBAs expected to be invalidated shortly.
+/// A set of LBAs expected to be invalidated shortly. Updated either by a
+/// full replacement (`assign`, the legacy re-send-everything command) or
+/// incrementally (`insert`/`erase`, the delta protocol).
 class SipIndex {
  public:
   SipIndex() = default;
   explicit SipIndex(const std::vector<Lba>& lbas) : set_(lbas.begin(), lbas.end()) {}
 
-  void insert(Lba lba) { set_.insert(lba); }
+  /// Returns whether the LBA was newly inserted.
+  bool insert(Lba lba) { return set_.insert(lba).second; }
+  /// Returns whether the LBA was present.
+  bool erase(Lba lba) { return set_.erase(lba) > 0; }
   bool contains(Lba lba) const { return set_.contains(lba); }
   std::size_t size() const { return set_.size(); }
   bool empty() const { return set_.empty(); }
   void clear() { set_.clear(); }
 
-  /// Replaces the whole list (the predictor re-sends it every interval).
+  /// Replaces the whole list (the legacy full-resync command).
   void assign(const std::vector<Lba>& lbas) {
     set_.clear();
     set_.insert(lbas.begin(), lbas.end());
   }
+
+  auto begin() const { return set_.begin(); }
+  auto end() const { return set_.end(); }
 
  private:
   std::unordered_set<Lba> set_;

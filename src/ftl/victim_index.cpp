@@ -1,0 +1,203 @@
+#include "ftl/victim_index.h"
+
+#include <limits>
+
+#include "common/ensure.h"
+
+namespace jitgc::ftl {
+
+VictimIndex::VictimIndex(std::uint32_t num_blocks, std::uint32_t pages_per_block)
+    : ppb_(pages_per_block),
+      state_(num_blocks),
+      raw_buckets_(pages_per_block + 1),
+      adj_buckets_(pages_per_block + 1) {}
+
+void VictimIndex::update(std::uint32_t b, const BlockState& s) {
+  BlockState& old = state_[b];
+  if (old == s) return;
+
+  if (old.candidate) {
+    Bucket& raw = raw_buckets_[old.valid];
+    raw.by_id.erase(b);
+    raw.by_recency.erase({old.last_update_seq, b});
+    Bucket& adj = adj_buckets_[old.adjusted_valid];
+    adj.by_id.erase(b);
+    adj.by_recency.erase({old.last_update_seq, b});
+    by_fill_.erase({old.fill_seq, b});
+  }
+  if (old.wl_candidate) wl_.erase({old.erase_count, b});
+
+  old = s;
+
+  if (s.candidate) {
+    JITGC_ENSURE(s.valid <= ppb_ && s.adjusted_valid <= ppb_);
+    Bucket& raw = raw_buckets_[s.valid];
+    raw.by_id.insert(b);
+    raw.by_recency.insert({s.last_update_seq, b});
+    Bucket& adj = adj_buckets_[s.adjusted_valid];
+    adj.by_id.insert(b);
+    adj.by_recency.insert({s.last_update_seq, b});
+    by_fill_.insert({s.fill_seq, b});
+  }
+  if (s.wl_candidate) wl_.insert({s.erase_count, b});
+}
+
+VictimIndex::Selection VictimIndex::select(const VictimPolicy& policy, VictimPolicyKind kind,
+                                           std::uint64_t now_seq, bool adjusted,
+                                           const Excluded& excluded) const {
+  switch (kind) {
+    case VictimPolicyKind::kGreedy:
+      return select_bucket_min(buckets(adjusted), excluded);
+    case VictimPolicyKind::kCostBenefit:
+      return select_cost_benefit(policy, buckets(adjusted), now_seq, excluded);
+    case VictimPolicyKind::kFifo:
+      // The score ignores valid_pages: adjusted == raw by construction.
+      return select_fifo(excluded);
+    case VictimPolicyKind::kRandom:
+      // Ditto; and the hash is per-candidate, so all candidates are scored.
+      return select_scored_all(policy, now_seq, excluded);
+    case VictimPolicyKind::kSampledGreedy:
+      return select_sampled(static_cast<const SampledGreedyVictimPolicy&>(policy),
+                            buckets(adjusted), now_seq, excluded);
+  }
+  JITGC_ENSURE_MSG(false, "unknown victim policy kind");
+  return Selection{};
+}
+
+VictimIndex::Selection VictimIndex::select_bucket_min(const std::vector<Bucket>& buckets,
+                                                      const Excluded& excluded) const {
+  // Greedy's score IS the bucket index, so the winner is the first
+  // non-excluded id in the lowest non-empty bucket.
+  Selection sel;
+  for (const Bucket& bucket : buckets) {
+    for (const std::uint32_t id : bucket.by_id) {
+      ++sel.visited;
+      if (is_excluded(id, excluded)) continue;
+      sel.block = id;
+      return sel;
+    }
+  }
+  return sel;
+}
+
+VictimIndex::Selection VictimIndex::select_cost_benefit(const VictimPolicy& policy,
+                                                        const std::vector<Bucket>& buckets,
+                                                        std::uint64_t now_seq,
+                                                        const Excluded& excluded) const {
+  // One representative per bucket: at fixed valid count the score is
+  // strictly increasing in last_update_seq, so the by_recency head is the
+  // bucket's (score, id) minimum — except in the constant-score buckets
+  // (valid == 0: all -inf; valid == ppb: zero benefit) where ties must fall
+  // back to the scan's id order.
+  Selection sel;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::uint32_t v = 0; v < buckets.size(); ++v) {
+    const Bucket& bucket = buckets[v];
+    std::uint32_t rep = kNoBlock;
+    if (v == 0 || v == ppb_) {
+      for (const std::uint32_t id : bucket.by_id) {
+        ++sel.visited;
+        if (is_excluded(id, excluded)) continue;
+        rep = id;
+        break;
+      }
+    } else {
+      for (const auto& [seq, id] : bucket.by_recency) {
+        ++sel.visited;
+        if (is_excluded(id, excluded)) continue;
+        rep = id;
+        break;
+      }
+    }
+    if (rep == kNoBlock) continue;
+    const BlockState& s = state_[rep];
+    const VictimCandidate cand{.block_id = rep,
+                               .valid_pages = v,
+                               .pages_per_block = ppb_,
+                               .last_update_seq = s.last_update_seq,
+                               .fill_seq = s.fill_seq,
+                               .sip_pages = 0};
+    const double score = policy.score(cand, now_seq);
+    if (score < best || (score == best && rep < sel.block)) {
+      best = score;
+      sel.block = rep;
+    }
+  }
+  return sel;
+}
+
+VictimIndex::Selection VictimIndex::select_fifo(const Excluded& excluded) const {
+  Selection sel;
+  for (const auto& [fill_seq, id] : by_fill_) {
+    ++sel.visited;
+    if (is_excluded(id, excluded)) continue;
+    sel.block = id;
+    return sel;
+  }
+  return sel;
+}
+
+VictimIndex::Selection VictimIndex::select_scored_all(const VictimPolicy& policy,
+                                                      std::uint64_t now_seq,
+                                                      const Excluded& excluded) const {
+  Selection sel;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::uint32_t v = 0; v < raw_buckets_.size(); ++v) {
+    for (const std::uint32_t id : raw_buckets_[v].by_id) {
+      ++sel.visited;
+      if (is_excluded(id, excluded)) continue;
+      const BlockState& s = state_[id];
+      const VictimCandidate cand{.block_id = id,
+                                 .valid_pages = v,
+                                 .pages_per_block = ppb_,
+                                 .last_update_seq = s.last_update_seq,
+                                 .fill_seq = s.fill_seq,
+                                 .sip_pages = 0};
+      const double score = policy.score(cand, now_seq);
+      if (score < best || (score == best && id < sel.block)) {
+        best = score;
+        sel.block = id;
+      }
+    }
+  }
+  return sel;
+}
+
+VictimIndex::Selection VictimIndex::select_sampled(const SampledGreedyVictimPolicy& policy,
+                                                   const std::vector<Bucket>& buckets,
+                                                   std::uint64_t now_seq,
+                                                   const Excluded& excluded) const {
+  // Walk candidates in (valid, id) == (score-within-sample, id) order; the
+  // first in-sample hit is the winner (the out-of-sample offset guarantees
+  // no out-of-sample block can beat it). If the sample is empty, every score
+  // carries the same offset, so the overall (valid, id) minimum — the first
+  // candidate seen — wins.
+  Selection sel;
+  std::uint32_t fallback = kNoBlock;
+  for (const Bucket& bucket : buckets) {
+    for (const std::uint32_t id : bucket.by_id) {
+      ++sel.visited;
+      if (is_excluded(id, excluded)) continue;
+      if (fallback == kNoBlock) fallback = id;
+      if (policy.is_sampled(id, now_seq)) {
+        sel.block = id;
+        return sel;
+      }
+    }
+  }
+  sel.block = fallback;
+  return sel;
+}
+
+VictimIndex::Selection VictimIndex::select_coldest_full(const Excluded& excluded) const {
+  Selection sel;
+  for (const auto& [erase_count, id] : wl_) {
+    ++sel.visited;
+    if (is_excluded(id, excluded)) continue;
+    sel.block = id;
+    return sel;
+  }
+  return sel;
+}
+
+}  // namespace jitgc::ftl

@@ -1,0 +1,130 @@
+// Incrementally maintained victim-selection index.
+//
+// The reference collector scans every block per GC decision; at production
+// device sizes that O(num_blocks) inner loop dominates simulation cost. This
+// index keeps the candidate set (fully-programmed blocks with something to
+// reclaim) bucketed by valid-page count — once under the raw count and once
+// under the SIP-penalty-adjusted count — so every policy's argmin is
+// answerable without touching non-candidates:
+//
+//   greedy         first id in the lowest non-empty bucket           O(log N)
+//   sampled greedy first in-sample candidate in (valid, id) order    O(1/f) exp.
+//   cost-benefit   one representative per bucket, <= ppb+1 scored    O(ppb)
+//   FIFO           head of a (fill_seq, id) set                      O(log N)
+//   random         scores every candidate (hash is per-candidate by
+//                  construction; excluded from scan-free guarantees) O(C)
+//
+// Exactness contract: select() returns the lexicographic (score, block_id)
+// minimum over eligible candidates — precisely the block the reference
+// linear scan's strict `<` argmin picks, so simulation output stays
+// byte-identical. The cost-benefit representative per bucket exploits that,
+// at fixed valid count, the score is strictly increasing in last_update_seq
+// — except in the constant-score buckets valid == 0 (all -inf) and
+// valid == pages_per_block (zero benefit), where the representative must be
+// the minimum id instead. Candidates handed to the policy carry
+// sip_pages = 0: no policy reads it (the SIP penalty is already folded into
+// the adjusted bucket's valid count), and the debug cross-check in
+// Ftl::select_victim would catch a policy that starts to.
+//
+// Blocks under an active write stream stay in the index; queries skip the
+// (at most three) excluded ids so activation/deactivation costs nothing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "ftl/victim_policy.h"
+
+namespace jitgc::ftl {
+
+class VictimIndex {
+ public:
+  static constexpr std::uint32_t kNoBlock = UINT32_MAX;
+
+  VictimIndex(std::uint32_t num_blocks, std::uint32_t pages_per_block);
+
+  /// The indexed facts about one block. `candidate` mirrors the collector's
+  /// eligibility rule (fully programmed, something invalid); `wl_candidate`
+  /// the static wear-leveler's source rule (fully programmed, fully valid).
+  struct BlockState {
+    bool candidate = false;
+    bool wl_candidate = false;
+    std::uint32_t valid = 0;
+    /// Valid count after the SIP penalty (== valid when no SIP pages).
+    std::uint32_t adjusted_valid = 0;
+    std::uint64_t last_update_seq = 0;
+    std::uint64_t fill_seq = 0;
+    std::uint64_t erase_count = 0;
+
+    friend bool operator==(const BlockState&, const BlockState&) = default;
+  };
+
+  /// Re-declares block `b`'s state, replacing whatever was indexed for it.
+  /// O(log N); no-op when nothing changed.
+  void update(std::uint32_t b, const BlockState& s);
+
+  /// Blocks queries must skip (the active write streams); kNoBlock entries
+  /// are harmless.
+  using Excluded = std::array<std::uint32_t, 3>;
+
+  struct Selection {
+    std::uint32_t block = kNoBlock;
+    /// Candidates examined answering the query (the boundedness metric the
+    /// no-full-scan unit test asserts on).
+    std::uint64_t visited = 0;
+  };
+
+  /// Scan-free equivalent of the reference linear scan for `kind`:
+  /// the lexicographic (score, block_id) minimum over eligible candidates.
+  /// `adjusted` selects the SIP-penalty-adjusted buckets.
+  Selection select(const VictimPolicy& policy, VictimPolicyKind kind, std::uint64_t now_seq,
+                   bool adjusted, const Excluded& excluded) const;
+
+  /// Least-worn fully-valid block (the static wear-leveler's coldest
+  /// source), ties broken by lowest id — the reference scan's strict `<`.
+  Selection select_coldest_full(const Excluded& excluded) const;
+
+  std::uint32_t pages_per_block() const { return ppb_; }
+  const BlockState& state(std::uint32_t b) const { return state_[b]; }
+
+ private:
+  struct Bucket {
+    std::set<std::uint32_t> by_id;
+    /// (last_update_seq, id): cost-benefit's within-bucket score order.
+    std::set<std::pair<std::uint64_t, std::uint32_t>> by_recency;
+  };
+
+  static bool is_excluded(std::uint32_t b, const Excluded& e) {
+    return b == e[0] || b == e[1] || b == e[2];
+  }
+
+  const std::vector<Bucket>& buckets(bool adjusted) const {
+    return adjusted ? adj_buckets_ : raw_buckets_;
+  }
+
+  Selection select_bucket_min(const std::vector<Bucket>& buckets, const Excluded& excluded) const;
+  Selection select_cost_benefit(const VictimPolicy& policy, const std::vector<Bucket>& buckets,
+                                std::uint64_t now_seq, const Excluded& excluded) const;
+  Selection select_fifo(const Excluded& excluded) const;
+  Selection select_scored_all(const VictimPolicy& policy, std::uint64_t now_seq,
+                              const Excluded& excluded) const;
+  Selection select_sampled(const SampledGreedyVictimPolicy& policy,
+                           const std::vector<Bucket>& buckets, std::uint64_t now_seq,
+                           const Excluded& excluded) const;
+
+  std::uint32_t ppb_;
+  std::vector<BlockState> state_;
+  /// Candidates bucketed by raw / SIP-adjusted valid count (size ppb + 1:
+  /// the adjusted count saturates at pages_per_block).
+  std::vector<Bucket> raw_buckets_;
+  std::vector<Bucket> adj_buckets_;
+  /// All candidates by (fill_seq, id): FIFO's global order.
+  std::set<std::pair<std::uint64_t, std::uint32_t>> by_fill_;
+  /// Fully-valid full blocks by (erase_count, id): the wear-level tracker.
+  std::set<std::pair<std::uint64_t, std::uint32_t>> wl_;
+};
+
+}  // namespace jitgc::ftl

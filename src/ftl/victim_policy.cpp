@@ -48,14 +48,17 @@ SampledGreedyVictimPolicy::SampledGreedyVictimPolicy(double sample_fraction)
                    "sample fraction must be in (0, 1]");
 }
 
+bool SampledGreedyVictimPolicy::is_sampled(std::uint32_t block_id, std::uint64_t now_seq) const {
+  return (epoch_hash(block_id, now_seq) % 1'000'000) <
+         static_cast<std::uint64_t>(sample_fraction_ * 1e6);
+}
+
 double SampledGreedyVictimPolicy::score(const VictimCandidate& c, std::uint64_t now_seq) const {
   // Out-of-sample candidates score behind every in-sample one (but remain
-  // ordered, so selection still works if the sample came up empty).
-  const bool sampled =
-      (epoch_hash(c.block_id, now_seq) % 1'000'000) <
-      static_cast<std::uint64_t>(sample_fraction_ * 1e6);
+  // ordered, so selection still works if the sample came up empty). See the
+  // ordering invariant documented on the class.
   const double base = static_cast<double>(c.valid_pages);
-  return sampled ? base : base + 2.0 * static_cast<double>(c.pages_per_block);
+  return is_sampled(c.block_id, now_seq) ? base : base + kOutOfSampleOffset;
 }
 
 std::unique_ptr<VictimPolicy> make_victim_policy(VictimPolicyKind kind) {

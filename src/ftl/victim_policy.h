@@ -63,12 +63,31 @@ class RandomVictimPolicy final : public VictimPolicy {
 /// real firmware bounds the victim scan by sampling instead of scoring
 /// every block. Near-greedy WAF at a fraction of the scan cost; also a
 /// robustness check that the results do not hinge on a perfect global scan.
+///
+/// Ordering invariant: every in-sample candidate scores strictly below
+/// every out-of-sample candidate — including after the collector's SIP
+/// penalty inflates `valid_pages`. The out-of-sample offset is therefore
+/// 2^32, strictly larger than any value a (penalized) 32-bit valid-page
+/// count can reach, so no penalty or clamping configuration can make an
+/// out-of-sample block tie or beat an in-sample one. The victim index
+/// relies on this invariant: it stops at the first sampled candidate in
+/// (valid_pages, block_id) order without scoring the rest.
 class SampledGreedyVictimPolicy final : public VictimPolicy {
  public:
+  /// Added to out-of-sample scores. 2^32 keeps out-of-sample candidates
+  /// ordered among themselves (fallback when the sample is empty) while
+  /// guaranteeing the invariant above.
+  static constexpr double kOutOfSampleOffset = 4294967296.0;
+
   /// `sample_fraction` of candidates participate per decision epoch.
   explicit SampledGreedyVictimPolicy(double sample_fraction = 0.25);
 
   double score(const VictimCandidate& c, std::uint64_t now_seq) const override;
+
+  /// Whether `block_id` participates in the sample for the decision epoch
+  /// containing `now_seq` (deterministic; used by the victim index to walk
+  /// candidates in score order without hashing all of them).
+  bool is_sampled(std::uint32_t block_id, std::uint64_t now_seq) const;
 
  private:
   double sample_fraction_;

@@ -1,5 +1,7 @@
 #include "host/page_cache.h"
 
+#include <algorithm>
+
 #include "common/ensure.h"
 
 namespace jitgc::host {
@@ -10,6 +12,57 @@ PageCache::PageCache(const PageCacheConfig& config) : config_(config) {
                    "tau_expire must be a multiple of the flusher period (paper assumption)");
   JITGC_ENSURE_MSG(config_.tau_flush_fraction > 0.0 && config_.tau_flush_fraction <= 1.0,
                    "tau_flush fraction must be in (0, 1]");
+  // Size the hash table for the working set up front; growing it page by
+  // page rehashes repeatedly in the write hot path.
+  const std::uint64_t max_resident = config_.capacity / config_.page_size;
+  by_lba_.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(max_resident, 1u << 20)));
+}
+
+std::uint64_t PageCache::interval_key(TimeUs last_update) const {
+  // ceil(last_update / p): the flusher interval whose tick first sees this
+  // page at its current age.
+  return static_cast<std::uint64_t>((last_update + config_.flush_period - 1) /
+                                    config_.flush_period);
+}
+
+void PageCache::histogram_add(TimeUs last_update) {
+  ++dirty_by_interval_[interval_key(last_update)];
+}
+
+void PageCache::histogram_remove(TimeUs last_update) {
+  const auto it = dirty_by_interval_.find(interval_key(last_update));
+  JITGC_ENSURE(it != dirty_by_interval_.end() && it->second > 0);
+  if (--it->second == 0) dirty_by_interval_.erase(it);
+}
+
+void PageCache::note_insert(Lba lba) {
+  if (!sip_tracking_) return;
+  const auto it = pending_.find(lba);
+  if (it == pending_.end()) {
+    pending_.emplace(lba, true);
+  } else if (!it->second) {
+    // Removed then re-inserted within one interval: net no change.
+    pending_.erase(it);
+  }
+}
+
+void PageCache::note_remove(Lba lba) {
+  if (!sip_tracking_) return;
+  const auto it = pending_.find(lba);
+  if (it == pending_.end()) {
+    pending_.emplace(lba, false);
+  } else if (it->second) {
+    // Inserted then removed within one interval: net no change.
+    pending_.erase(it);
+  }
+}
+
+SipDelta PageCache::pending_sip_delta() const {
+  SipDelta delta;
+  for (const auto& [lba, added] : pending_) {
+    (added ? delta.added : delta.removed).push_back(lba);
+  }
+  return delta;
 }
 
 void PageCache::write(Lba lba, TimeUs now) {
@@ -17,25 +70,50 @@ void PageCache::write(Lba lba, TimeUs now) {
   if (!inserted) {
     // Overwrite of dirty data: absorbed in RAM, age resets (Fig. 4's B -> B').
     by_age_.erase(it->second.order_key);
+    histogram_remove(it->second.last_update);
     ++absorbed_;
+  } else {
+    note_insert(lba);
   }
   const OrderKey key{now, next_seq_++};
   it->second = Entry{now, key};
   by_age_.emplace(key, lba);
+  histogram_add(now);
 }
 
 Lba PageCache::pop_oldest() {
   JITGC_ENSURE(!by_age_.empty());
   const auto it = by_age_.begin();
   const Lba lba = it->second;
+  histogram_remove(it->first.first);
   by_age_.erase(it);
   by_lba_.erase(lba);
+  note_remove(lba);
   ++pages_flushed_;
   return lba;
 }
 
 std::vector<Lba> PageCache::flusher_tick(TimeUs now, std::size_t max_pages) {
   std::vector<Lba> out;
+
+  // Size the output once: fully-expired histogram buckets cover condition 1,
+  // the bytes over the flush threshold cover condition 2 (take the larger —
+  // condition 2 re-checks the total after condition 1's evictions).
+  std::size_t expected = 0;
+  if (now >= config_.tau_expire) {
+    const std::uint64_t cutoff =
+        static_cast<std::uint64_t>((now - config_.tau_expire) / config_.flush_period);
+    for (const auto& [key, count] : dirty_by_interval_) {
+      if (key > cutoff) break;
+      expected += count;
+    }
+  }
+  const Bytes threshold = config_.tau_flush_bytes();
+  if (dirty_bytes() > threshold) {
+    expected = std::max<std::size_t>(
+        expected, (dirty_bytes() - threshold + config_.page_size - 1) / config_.page_size);
+  }
+  out.reserve(std::min(expected, std::min(max_pages, by_age_.size())));
 
   // Condition 1: evict everything whose age reached tau_expire.
   while (!by_age_.empty() && out.size() < max_pages) {
@@ -55,6 +133,7 @@ std::vector<Lba> PageCache::flusher_tick(TimeUs now, std::size_t max_pages) {
 
 std::vector<Lba> PageCache::evict_oldest(std::size_t max_pages) {
   std::vector<Lba> out;
+  out.reserve(std::min(max_pages, by_age_.size()));
   while (!by_age_.empty() && out.size() < max_pages) out.push_back(pop_oldest());
   return out;
 }
@@ -72,7 +151,9 @@ std::size_t PageCache::discard(Lba lba, std::uint64_t pages) {
     const auto it = by_lba_.find(lba + i);
     if (it == by_lba_.end()) continue;
     by_age_.erase(it->second.order_key);
+    histogram_remove(it->second.last_update);
     by_lba_.erase(it);
+    note_remove(lba + i);
     ++discarded;
   }
   return discarded;

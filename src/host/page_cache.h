@@ -44,6 +44,15 @@ struct DirtyPage {
   TimeUs last_update = 0;
 };
 
+/// Net change to the cache's dirty-LBA set since the last checkpoint:
+/// `added` holds LBAs that became dirty, `removed` LBAs that were written
+/// back or discarded (both ascending, disjoint). An LBA that came and went
+/// within one checkpoint interval appears in neither.
+struct SipDelta {
+  std::vector<Lba> added;
+  std::vector<Lba> removed;
+};
+
 /// The page cache. Holds dirty pages only (clean caching does not affect
 /// write-demand dynamics); reads of a dirty page hit in RAM.
 class PageCache {
@@ -87,6 +96,27 @@ class PageCache {
   /// Buffered writes absorbed by overwriting an already-dirty page.
   std::uint64_t absorbed_overwrites() const { return absorbed_; }
 
+  /// Starts recording dirty-set membership changes for the SIP delta
+  /// protocol. Off by default: workloads that never send SIP updates should
+  /// not pay for the bookkeeping.
+  void enable_sip_tracking() { sip_tracking_ = true; }
+  bool sip_tracking_enabled() const { return sip_tracking_; }
+
+  /// The net dirty-set change since the last checkpoint (ascending LBAs).
+  SipDelta pending_sip_delta() const;
+
+  /// Marks the current dirty set as delivered: the next delta is relative
+  /// to this point.
+  void commit_sip_checkpoint() { pending_.clear(); }
+
+  /// Dirty-page counts keyed by flusher interval c = ceil(last_update / p),
+  /// maintained incrementally on every write/writeback/discard. The
+  /// predictor derives its per-interval write-back demand from this instead
+  /// of re-bucketing a full scan.
+  const std::map<std::uint64_t, std::uint64_t>& dirty_interval_histogram() const {
+    return dirty_by_interval_;
+  }
+
  private:
   /// Age-order key: (last_update, insertion seq) — unique per entry.
   using OrderKey = std::pair<TimeUs, std::uint64_t>;
@@ -98,6 +128,12 @@ class PageCache {
 
   Lba pop_oldest();
 
+  std::uint64_t interval_key(TimeUs last_update) const;
+  void histogram_add(TimeUs last_update);
+  void histogram_remove(TimeUs last_update);
+  void note_insert(Lba lba);
+  void note_remove(Lba lba);
+
   PageCacheConfig config_;
   std::unordered_map<Lba, Entry> by_lba_;
   /// Dirty pages ordered by last-update time (ties broken by insertion seq).
@@ -105,6 +141,11 @@ class PageCache {
   std::uint64_t next_seq_ = 0;
   std::uint64_t pages_flushed_ = 0;
   std::uint64_t absorbed_ = 0;
+  bool sip_tracking_ = false;
+  /// Net membership change per LBA since the last checkpoint: true = became
+  /// dirty, false = left the cache. Cancelling transitions erase the entry.
+  std::map<Lba, bool> pending_;
+  std::map<std::uint64_t, std::uint64_t> dirty_by_interval_;
 };
 
 }  // namespace jitgc::host

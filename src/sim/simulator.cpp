@@ -162,8 +162,14 @@ void Simulator::process_tick(TimeUs now, core::BgcPolicy& policy) {
               config_.ssd.host_command_overhead_us;
   if (policy.wants_sip_filter()) {
     // The SIP transfer is its own command whose payload scales with the
-    // dirty-page count.
-    ssd_.send_sip_list(decision.sip_list, overhead);
+    // dirty-page count (the full list is shipped even when the device-side
+    // update is applied as a delta).
+    if (decision.sip_is_delta) {
+      ssd_.send_sip_update(decision.sip_update, decision.sip_size, overhead);
+      cache_.commit_sip_checkpoint();
+    } else {
+      ssd_.send_sip_list(decision.sip_update.added, overhead);
+    }
   }
   if (overhead > 0) {
     // Command exchanges serialize against the whole device.
@@ -283,6 +289,9 @@ TimeUs Simulator::execute_op(const wl::AppOp& op, TimeUs issue) {
 
 SimReport Simulator::run(wl::WorkloadGenerator& workload, core::BgcPolicy& policy) {
   ssd_.set_sip_filter_enabled(policy.wants_sip_filter());
+  // SIP-aware policies get the cache's delta bookkeeping so each tick sends
+  // the net change instead of rebuilding the whole list device-side.
+  if (policy.wants_sip_filter()) cache_.enable_sip_tracking();
 
   if (config_.precondition) precondition(workload);
 

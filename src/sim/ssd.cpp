@@ -35,6 +35,15 @@ void Ssd::send_sip_list(const std::vector<Lba>& lbas, TimeUs& overhead) {
   ftl_.set_sip_list(lbas);
 }
 
+void Ssd::send_sip_update(const host::SipDelta& delta, std::uint64_t sip_size, TimeUs& overhead) {
+  overhead += config_.host_command_overhead_us;
+  // Same wire cost as a full resync: the command ships the whole list, the
+  // delta encoding only changes what the device does with it.
+  const double payload_bytes = 4.0 * static_cast<double>(sip_size);
+  overhead += static_cast<TimeUs>(payload_bytes / config_.command_payload_bps * 1e6);
+  ftl_.apply_sip_delta(delta.added, delta.removed);
+}
+
 void Ssd::update_gc_estimates(std::uint64_t net_freed_pages, TimeUs scaled_time) {
   if (scaled_time <= 0) return;
   // In multi-queue mode, per-queue (raw) cycle time understates the

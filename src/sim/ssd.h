@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ftl/ftl.h"
+#include "host/page_cache.h"
 
 namespace jitgc::sim {
 
@@ -48,8 +49,13 @@ class Ssd {
   /// C_free(t) in bytes; charges one command overhead.
   Bytes query_free_capacity(TimeUs& overhead) const;
 
-  /// Installs a SIP list; charges one command overhead.
+  /// Installs a SIP list (full resync); charges one command overhead.
   void send_sip_list(const std::vector<Lba>& lbas, TimeUs& overhead);
+
+  /// Applies an incremental SIP update. `sip_size` is the full list's length
+  /// |L_SIP|: the wire protocol still ships the whole list (4 bytes per
+  /// entry), the delta only spares the device the O(|L_SIP|) rebuild.
+  void send_sip_update(const host::SipDelta& delta, std::uint64_t sip_size, TimeUs& overhead);
 
   /// Runs one background-GC cycle; GcResult::time_us is service-scaled.
   ftl::GcResult bgc_collect_once();

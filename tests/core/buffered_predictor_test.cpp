@@ -72,15 +72,15 @@ TEST_F(Fig4Test, SipListContainsAllDirtyLbas) {
   write_group(cache_, 0, 20, seconds(2));
   write_group(cache_, 100, 20, seconds(4));
   const BufferedPrediction p = predictor_.predict(cache_, seconds(5));
-  EXPECT_EQ(p.sip_list.size(), 40u);
-  EXPECT_NE(std::find(p.sip_list.begin(), p.sip_list.end(), Lba{0}), p.sip_list.end());
-  EXPECT_NE(std::find(p.sip_list.begin(), p.sip_list.end(), Lba{119}), p.sip_list.end());
+  EXPECT_EQ(p.sip.added.size(), 40u);
+  EXPECT_NE(std::find(p.sip.added.begin(), p.sip.added.end(), Lba{0}), p.sip.added.end());
+  EXPECT_NE(std::find(p.sip.added.begin(), p.sip.added.end(), Lba{119}), p.sip.added.end());
 }
 
 TEST_F(Fig4Test, EmptyCachePredictsZero) {
   const BufferedPrediction p = predictor_.predict(cache_, seconds(5));
   EXPECT_EQ(p.demand.total(), 0u);
-  EXPECT_TRUE(p.sip_list.empty());
+  EXPECT_TRUE(p.sip.added.empty());
 }
 
 TEST_F(Fig4Test, DemandTotalMatchesDirtyBytes) {
@@ -102,7 +102,7 @@ TEST(BufferedPredictorStrict, BelowThresholdPredictsNothing) {
   const BufferedWritePredictor strict(false);
   const auto p = strict.predict(cache, seconds(15));
   EXPECT_EQ(p.demand.total(), 0u);
-  EXPECT_EQ(p.sip_list.size(), 30u);
+  EXPECT_EQ(p.sip.added.size(), 30u);
 
   const BufferedWritePredictor relaxed(true);
   EXPECT_EQ(relaxed.predict(cache, seconds(15)).demand.total(), cache.dirty_bytes());
@@ -128,6 +128,58 @@ TEST(BufferedPredictorStrict, OverThresholdMovesOldestForward) {
   const auto pr = relaxed.predict(cache, seconds(15));
   EXPECT_EQ(pr.demand.at(1), 0u);  // relaxed mode ignores the threshold
   EXPECT_EQ(pr.demand.total(), p.demand.total());  // same total, shifted
+}
+
+/// With SIP tracking on, demand comes from the incremental interval
+/// histogram instead of a per-page scan; at flusher-tick instants the two
+/// paths must produce identical demand vectors (the histogram identity the
+/// fast path relies on), in both flush models.
+TEST(BufferedPredictorHistogram, MatchesScanPathAtTickInstants) {
+  for (const bool relax : {true, false}) {
+    host::PageCacheConfig cfg = fig4_config();
+    cfg.tau_flush_fraction = 0.02;  // ~82 pages: strict's threshold engages
+    host::PageCache scanned(cfg);
+    host::PageCache tracked(cfg);
+    tracked.enable_sip_tracking();
+
+    auto write_both = [&](Lba lba, TimeUs t) {
+      scanned.write(lba, t);
+      tracked.write(lba, t);
+    };
+    // Writes straddling several intervals, with overwrites and a backlog of
+    // already-expired pages (no tick ever drains them here).
+    for (Lba lba = 0; lba < 60; ++lba) write_both(lba, seconds(1) + lba * 250000);
+    for (Lba lba = 20; lba < 30; ++lba) write_both(lba, seconds(22));
+    for (Lba lba = 200; lba < 260; ++lba) write_both(lba, seconds(33));
+
+    const BufferedWritePredictor predictor(relax);
+    for (const TimeUs now : {seconds(35), seconds(40), seconds(60), seconds(90)}) {
+      const BufferedPrediction via_scan = predictor.predict(scanned, now);
+      const BufferedPrediction via_histogram = predictor.predict(tracked, now);
+      ASSERT_FALSE(via_scan.sip_is_delta);
+      ASSERT_TRUE(via_histogram.sip_is_delta);
+      ASSERT_EQ(via_scan.demand.values(), via_histogram.demand.values())
+          << "relax=" << relax << " now=" << now;
+      EXPECT_EQ(via_scan.sip_size, via_histogram.sip_size);
+    }
+  }
+}
+
+TEST(BufferedPredictorDelta, EmitsCacheDeltaAndFullSize) {
+  host::PageCache cache(fig4_config());
+  cache.enable_sip_tracking();
+  cache.write(7, seconds(1));
+  cache.write(9, seconds(2));
+  cache.commit_sip_checkpoint();  // 7 and 9 already delivered
+  cache.write(11, seconds(3));
+  cache.evict_oldest(1);  // writes back 7
+
+  const BufferedWritePredictor predictor;
+  const BufferedPrediction p = predictor.predict(cache, seconds(5));
+  EXPECT_TRUE(p.sip_is_delta);
+  EXPECT_EQ(p.sip.added, (std::vector<Lba>{11}));
+  EXPECT_EQ(p.sip.removed, (std::vector<Lba>{7}));
+  EXPECT_EQ(p.sip_size, cache.dirty_pages());  // wire cost: the full list
 }
 
 }  // namespace

@@ -70,7 +70,7 @@ TEST(FixedReservePolicy, DoesNotPredictOrFilter) {
   PolicyContext ctx = base_ctx();
   const PolicyDecision d = lazy.on_interval(ctx);
   EXPECT_LT(d.predicted_horizon_bytes, 0.0);
-  EXPECT_TRUE(d.sip_list.empty());
+  EXPECT_TRUE(d.sip_update.added.empty() && d.sip_update.removed.empty());
   EXPECT_FALSE(lazy.wants_sip_filter());
   EXPECT_EQ(lazy.custom_commands_per_interval(), 0u);
 }
@@ -133,7 +133,8 @@ TEST(JitPolicy, EmitsSipListFromDirtyPages) {
   ctx.c_free = 1 * GiB;  // plenty free: no BGC, but SIP still flows
 
   const PolicyDecision d = jit.on_interval(ctx);
-  EXPECT_EQ(d.sip_list.size(), 2u);
+  EXPECT_EQ(d.sip_update.added.size(), 2u);
+  EXPECT_EQ(d.sip_size, 2u);
   EXPECT_EQ(d.reclaim_bytes, 0u);
   EXPECT_TRUE(jit.wants_sip_filter());
   EXPECT_GT(jit.custom_commands_per_interval(), 0u);
@@ -152,7 +153,7 @@ TEST(JitPolicy, SipListCanBeDisabled) {
   PolicyContext ctx = base_ctx();
   ctx.page_cache = &cache;
   const PolicyDecision d = jit.on_interval(ctx);
-  EXPECT_TRUE(d.sip_list.empty());
+  EXPECT_TRUE(d.sip_update.added.empty() && d.sip_update.removed.empty());
   EXPECT_FALSE(jit.wants_sip_filter());
 }
 

@@ -44,7 +44,7 @@ TEST_P(PredictorPropertyTest, DemandTotalEqualsDirtyBytes) {
 
     const BufferedPrediction p = predictor.predict(cache, now);
     ASSERT_EQ(p.demand.total(), cache.dirty_bytes());
-    ASSERT_EQ(p.sip_list.size(), cache.dirty_pages());
+    ASSERT_EQ(p.sip.added.size(), cache.dirty_pages());
   }
 }
 
@@ -58,8 +58,8 @@ TEST_P(PredictorPropertyTest, SipListIsTheDirtySet) {
   const BufferedWritePredictor predictor;
   const BufferedPrediction p = predictor.predict(cache, seconds(5));
 
-  std::unordered_set<Lba> unique(p.sip_list.begin(), p.sip_list.end());
-  EXPECT_EQ(unique.size(), p.sip_list.size());  // no duplicates
+  std::unordered_set<Lba> unique(p.sip.added.begin(), p.sip.added.end());
+  EXPECT_EQ(unique.size(), p.sip.added.size());  // no duplicates
   for (const Lba lba : unique) EXPECT_TRUE(cache.is_dirty(lba));
   EXPECT_EQ(unique.size(), cache.dirty_pages());
 }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
 
 namespace jitgc::host {
@@ -151,6 +152,63 @@ TEST(PageCache, FlushCounterTracksEvictions) {
   cache.write(2, seconds(1));
   cache.flusher_tick(seconds(31));
   EXPECT_EQ(cache.pages_flushed(), 2u);
+}
+
+/// The incrementally-maintained interval histogram must equal what
+/// re-bucketing a full scan would produce, through writes, overwrites,
+/// writebacks and discards.
+TEST(PageCache, IntervalHistogramMatchesScan) {
+  PageCache cache(small_config());
+  const TimeUs p = cache.config().flush_period;
+
+  auto check = [&] {
+    std::map<std::uint64_t, std::uint64_t> expected;
+    for (const DirtyPage& dp : cache.scan_dirty()) {
+      ++expected[static_cast<std::uint64_t>((dp.last_update + p - 1) / p)];
+    }
+    ASSERT_EQ(cache.dirty_interval_histogram(), expected);
+  };
+
+  for (Lba lba = 0; lba < 40; ++lba) cache.write(lba, seconds(1) + lba * 100000);
+  check();
+  for (Lba lba = 10; lba < 20; ++lba) cache.write(lba, seconds(8));  // age resets
+  check();
+  cache.discard(30, 5);
+  check();
+  cache.flusher_tick(seconds(35), 12);  // partial writeback
+  check();
+  cache.evict_oldest(7);
+  check();
+  cache.flush_all();
+  check();
+  EXPECT_TRUE(cache.dirty_interval_histogram().empty());
+}
+
+TEST(PageCache, SipDeltaTracksNetMembershipChange) {
+  PageCache cache(small_config());
+  cache.write(1, seconds(1));  // dirty before tracking: not part of any delta
+  cache.enable_sip_tracking();
+  cache.commit_sip_checkpoint();
+
+  cache.write(2, seconds(2));           // insert
+  cache.write(2, seconds(3));           // overwrite: still dirty, no change
+  cache.write(3, seconds(2));           // insert...
+  cache.discard(3, 1);                  // ...then gone: cancels to nothing
+  cache.evict_oldest(1);                // writes back LBA 1: a removal
+  auto delta = cache.pending_sip_delta();
+  EXPECT_EQ(delta.added, (std::vector<Lba>{2}));
+  EXPECT_EQ(delta.removed, (std::vector<Lba>{1}));
+
+  cache.commit_sip_checkpoint();
+  EXPECT_TRUE(cache.pending_sip_delta().added.empty());
+  EXPECT_TRUE(cache.pending_sip_delta().removed.empty());
+
+  // Removed then re-dirtied within one interval: net no change.
+  cache.flush_all();                    // removes 2
+  cache.write(2, seconds(9));           // re-inserts 2
+  delta = cache.pending_sip_delta();
+  EXPECT_TRUE(delta.added.empty());
+  EXPECT_TRUE(delta.removed.empty());
 }
 
 }  // namespace

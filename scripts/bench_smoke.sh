@@ -51,18 +51,34 @@ RUN_FIELDS = {
     "sip_filtered_fraction", "direct_write_fraction", "worn_out",
     "retired_blocks", "tbw_bytes",
 }
+# Degradation fields only appear when they carry information (fault-free
+# output stays byte-identical to the legacy schema).
+RUN_OPTIONAL_FIELDS = {
+    "run_end_reason", "program_failures", "erase_failures",
+    "grown_bad_blocks", "spares_promoted",
+}
+FAULT_FIELDS = {"type", "run", "seed", "kind", "block", "erase_count", "seq", "time_s"}
+FAULT_KINDS = {"program_fail", "erase_fail", "block_retired", "spare_promoted", "read_only"}
 
-intervals = runs = 0
+intervals = runs = faults = 0
 with open(sys.argv[1]) as f:
     for lineno, line in enumerate(f, 1):
         rec = json.loads(line)
         kind = rec.get("type")
+        if kind == "fault":
+            if set(rec) != FAULT_FIELDS:
+                sys.exit(f"line {lineno}: fault schema mismatch (got {sorted(rec)})")
+            if rec["kind"] not in FAULT_KINDS:
+                sys.exit(f"line {lineno}: unknown fault kind {rec['kind']!r}")
+            faults += 1
+            continue
         expected = {"interval": INTERVAL_FIELDS, "run": RUN_FIELDS}.get(kind)
         if expected is None:
             sys.exit(f"line {lineno}: unknown record type {kind!r}")
-        if set(rec) != expected:
+        optional = RUN_OPTIONAL_FIELDS if kind == "run" else set()
+        if not (expected <= set(rec) <= expected | optional):
             missing = expected - set(rec)
-            extra = set(rec) - expected
+            extra = set(rec) - expected - optional
             sys.exit(f"line {lineno}: schema mismatch "
                      f"(missing {sorted(missing)}, extra {sorted(extra)})")
         if kind == "interval":
@@ -75,6 +91,8 @@ if runs != 3:
     sys.exit(f"expected 3 run records, got {runs}")
 if intervals != 6:
     sys.exit(f"expected 6 interval records, got {intervals}")
+if faults != 0:
+    sys.exit(f"fault records in a fault-free sweep: {faults}")
 print(f"bench_smoke: OK ({runs} runs, {intervals} interval records)")
 EOF
 else
@@ -84,6 +102,30 @@ else
   grep -q '"p99_latency_us"' "$WORKDIR/t2.jsonl"
   echo "bench_smoke: OK (grep fallback)"
 fi
+
+# -- Fault injection: deterministic across thread counts ------------------------
+FAULT_ARGS=("${ARGS[@]}" --fault-program=0.0001 --fault-erase=0.001 --spare-blocks=8)
+"$SWEEP_BIN" "${FAULT_ARGS[@]}" --threads=2 > "$WORKDIR/f2.jsonl"
+"$SWEEP_BIN" "${FAULT_ARGS[@]}" --threads=1 > "$WORKDIR/f1.jsonl"
+if ! cmp -s "$WORKDIR/f1.jsonl" "$WORKDIR/f2.jsonl"; then
+  echo "FAIL: fault-injected sweep differs between --threads=1 and --threads=2" >&2
+  diff "$WORKDIR/f1.jsonl" "$WORKDIR/f2.jsonl" >&2 || true
+  exit 1
+fi
+echo "bench_smoke: fault-injected sweep deterministic across thread counts"
+
+# -- Checkpoint / resume: interrupted sweep reproduces the same bytes ----------
+"$SWEEP_BIN" "${ARGS[@]}" --threads=2 --checkpoint="$WORKDIR/ckpt" > "$WORKDIR/full.jsonl"
+cmp "$WORKDIR/full.jsonl" "$WORKDIR/t2.jsonl"   # checkpointing changes nothing
+rm "$WORKDIR/ckpt/run_000001"                    # simulate a kill mid-sweep
+"$SWEEP_BIN" "${ARGS[@]}" --threads=2 --checkpoint="$WORKDIR/ckpt" --resume \
+  > "$WORKDIR/resumed.jsonl"
+if ! cmp -s "$WORKDIR/resumed.jsonl" "$WORKDIR/full.jsonl"; then
+  echo "FAIL: resumed sweep output differs from the uninterrupted run" >&2
+  diff "$WORKDIR/full.jsonl" "$WORKDIR/resumed.jsonl" >&2 || true
+  exit 1
+fi
+echo "bench_smoke: killed-then-resumed sweep is byte-identical"
 
 if [ -n "$VICTIM_BENCH_BIN" ]; then
   "$VICTIM_BENCH_BIN" > "$WORKDIR/victim.jsonl"

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Build and run the whole test suite under AddressSanitizer + UBSan.
+#
+# A Debug build keeps line numbers in sanitizer reports; -fno-sanitize-recover
+# (set by JITGC_SANITIZE) turns every UBSan finding into a hard failure, so a
+# green run means zero findings, not zero crashes.
+#
+# Usage: ci_sanitize.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+BUILD_DIR=${1:-build-asan}
+SOURCE_DIR=$(cd "$(dirname "$0")/.." && pwd)
+
+cmake -B "$BUILD_DIR" -S "$SOURCE_DIR" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DJITGC_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error: fail the test, not just the log. detect_leaks stays on by
+# default where supported; strict_string_checks widens the net a little.
+export ASAN_OPTIONS="halt_on_error=1:strict_string_checks=1:detect_stack_use_after_return=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+echo "ci_sanitize: all tests clean under ASan/UBSan"

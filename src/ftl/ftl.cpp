@@ -11,7 +11,7 @@ namespace jitgc::ftl {
 
 Ftl::Ftl(const FtlConfig& config)
     : config_(config),
-      nand_(config.geometry, config.timing),
+      nand_(config.geometry, config.timing, config.fault),
       policy_(make_victim_policy(config.victim_policy)),
       map_cache_(config.mapping_cache_pages,
                  static_cast<std::uint32_t>(config.geometry.page_size / 4)),
@@ -22,9 +22,11 @@ Ftl::Ftl(const FtlConfig& config)
   const std::uint64_t total = config_.geometry.total_pages();
   user_pages_ = static_cast<std::uint64_t>(static_cast<double>(total) / (1.0 + config_.op_ratio));
   op_pages_ = total - user_pages_;
-  JITGC_ENSURE_MSG(op_pages_ >= static_cast<std::uint64_t>(config_.min_free_blocks) *
-                                    config_.geometry.pages_per_block,
-                   "OP space smaller than the GC headroom");
+  const std::uint64_t spare_pages =
+      static_cast<std::uint64_t>(config_.spare_blocks) * config_.geometry.pages_per_block;
+  JITGC_ENSURE_MSG(op_pages_ >= spare_pages + static_cast<std::uint64_t>(config_.min_free_blocks) *
+                                                  config_.geometry.pages_per_block,
+                   "OP space smaller than the GC headroom plus the spare pool");
 
   map_.assign(user_pages_, nand::Ppa{kNoBlock, 0});
   block_last_update_seq_.assign(nand_.num_blocks(), 0);
@@ -32,12 +34,23 @@ Ftl::Ftl(const FtlConfig& config)
   block_sip_count_.assign(nand_.num_blocks(), 0);
   block_sip_exact_.assign(nand_.num_blocks(), 0);
   sip_diverged_.assign(nand_.num_blocks(), 0);
+  block_health_.assign(nand_.num_blocks(), BlockHealth::kGood);
   if (config_.enable_hot_cold_separation) {
     lba_last_write_seq_.assign(user_pages_, 0);
     hot_window_ = config_.hot_recency_window ? config_.hot_recency_window : user_pages_ / 8;
   }
-  for (std::uint32_t b = 0; b < nand_.num_blocks(); ++b) free_pool_.emplace(0, b);
-  free_pages_ = total;
+  // Spares come off the top of the block range and stay out of the free
+  // pool (and out of free_pages_) until a retirement promotes them.
+  const std::uint32_t first_spare = nand_.num_blocks() - config_.spare_blocks;
+  for (std::uint32_t b = 0; b < nand_.num_blocks(); ++b) {
+    if (b >= first_spare) {
+      spare_pool_.push_back(b);
+    } else {
+      free_pool_.emplace(0, b);
+    }
+  }
+  free_pages_ = total - spare_pages;
+  offline_pages_ = spare_pages;
 }
 
 std::uint64_t Ftl::free_pages_for_writes() const {
@@ -69,10 +82,13 @@ std::uint32_t Ftl::adjusted_valid(std::uint32_t valid, std::uint32_t sip) const 
 void Ftl::refresh_block_index(std::uint32_t block_id) {
   const nand::Block& blk = nand_.block(block_id);
   const bool full = blk.is_full();
+  // Non-good blocks are out of the GC/WL economy: never victims, never
+  // wear-leveling sources.
+  const bool good = block_health_[block_id] == BlockHealth::kGood;
   VictimIndex::BlockState s;
   s.valid = blk.valid_count();
-  s.candidate = full && blk.invalid_count() > 0;
-  s.wl_candidate = full && s.valid == config_.geometry.pages_per_block;
+  s.candidate = good && full && blk.invalid_count() > 0;
+  s.wl_candidate = good && full && s.valid == config_.geometry.pages_per_block;
   s.adjusted_valid = adjusted_valid(s.valid, block_sip_count_[block_id]);
   s.last_update_seq = block_last_update_seq_[block_id];
   s.fill_seq = block_fill_seq_[block_id];
@@ -111,28 +127,159 @@ TimeUs Ftl::map_access_cost(Lba lba, bool dirty) {
 }
 
 bool Ftl::finish_erase(std::uint32_t block_id) {
-  nand_.erase_block(block_id);
+  const nand::NandStatus st = nand_.erase_block(block_id);
   block_sip_count_[block_id] = 0;
   // Every valid page was migrated away first, so no SIP LBA can still map
   // here; the exact shadow must already be zero.
   JITGC_ENSURE(block_sip_exact_[block_id] == 0);
   bool usable = true;
-  const std::uint64_t limit =
-      config_.enforce_endurance ? config_.timing.endurance_pe_cycles : 0;
-  if (limit != 0 && nand_.block(block_id).erase_count() >= limit) {
-    // Bad-block management: the block has consumed its rated P/E cycles.
-    ++stats_.retired_blocks;
+  const std::uint32_t ppb = config_.geometry.pages_per_block;
+  if (st == nand::NandStatus::kEraseFail) {
+    // Bad-block management: an erase failure retires the block on the spot.
+    // Its stale pages are stuck forever — off the reclaimable books.
+    degrade_events_.push_back({DegradeEvent::Kind::kEraseFail, block_id,
+                               nand_.block(block_id).erase_count(), write_seq_});
+    offline_pages_ += ppb;
+    retire_block(block_id);
     usable = false;
   } else {
-    release_to_free_pool(block_id);
-    free_pages_ += config_.geometry.pages_per_block;
+    const std::uint64_t limit =
+        config_.enforce_endurance ? config_.timing.endurance_pe_cycles : 0;
+    if (limit != 0 && nand_.block(block_id).erase_count() >= limit) {
+      // The block has consumed its rated P/E cycles: it still erased fine,
+      // but is no longer trusted with data.
+      offline_pages_ += ppb;
+      retire_block(block_id);
+      usable = false;
+    } else {
+      release_to_free_pool(block_id);
+      free_pages_ += ppb;
+    }
   }
   refresh_block_index(block_id);
   return usable;
 }
 
+void Ftl::enter_read_only() {
+  if (read_only_) return;
+  read_only_ = true;
+  degrade_events_.push_back({DegradeEvent::Kind::kReadOnly, 0, 0, write_seq_});
+}
+
+void Ftl::invalidate_page_at(const nand::Ppa& ppa) {
+  nand_.invalidate_page(ppa);
+  // A page invalidated on a dying block will never be erased back to free.
+  if (block_health_[ppa.block] != BlockHealth::kGood) ++offline_pages_;
+}
+
+void Ftl::mark_grown_bad(std::uint32_t block) {
+  JITGC_ENSURE(block_health_[block] == BlockHealth::kGood);
+  block_health_[block] = BlockHealth::kGrownBad;
+  ++stats_.grown_bad_blocks;
+  const nand::Block& blk = nand_.block(block);
+  // Unprogrammed pages will never be used: write them off now. Valid pages
+  // stay on the books until retirement migrates them out.
+  const std::uint64_t dead_free = blk.free_count();
+  JITGC_ENSURE(free_pages_ >= dead_free);
+  free_pages_ -= dead_free;
+  offline_pages_ += dead_free + blk.invalid_count();
+  pending_retire_.push_back(block);
+  refresh_block_index(block);
+}
+
+void Ftl::retire_block(std::uint32_t block) {
+  block_health_[block] = BlockHealth::kRetired;
+  ++stats_.retired_blocks;
+  degrade_events_.push_back({DegradeEvent::Kind::kBlockRetired, block,
+                             nand_.block(block).erase_count(), write_seq_});
+  if (!spare_pool_.empty()) {
+    const std::uint32_t spare = spare_pool_.back();
+    spare_pool_.pop_back();
+    ++stats_.spares_promoted;
+    release_to_free_pool(spare);
+    const std::uint32_t ppb = config_.geometry.pages_per_block;
+    free_pages_ += ppb;
+    JITGC_ENSURE(offline_pages_ >= ppb);
+    offline_pages_ -= ppb;
+    degrade_events_.push_back({DegradeEvent::Kind::kSparePromoted, spare,
+                               nand_.block(spare).erase_count(), write_seq_});
+    refresh_block_index(spare);
+  }
+}
+
+nand::Ppa Ftl::program_with_retry(std::uint32_t& active, Lba lba, bool is_migration,
+                                  TimeUs& cost) {
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    const nand::ProgramResult r = nand_.program_page(active, lba, is_migration);
+    if (r.ok()) return r.ppa;
+    // The failed pulse burned a page and condemned the block: a program
+    // failure is how grown-bad blocks announce themselves. Charge the
+    // wasted pulse and retry on a fresh block.
+    cost += is_migration ? config_.timing.migrate_cost() : config_.timing.program_cost();
+    JITGC_ENSURE(free_pages_ > 0);
+    --free_pages_;
+    degrade_events_.push_back({DegradeEvent::Kind::kProgramFail, active,
+                               nand_.block(active).erase_count(), write_seq_});
+    mark_grown_bad(active);
+    if (attempt >= config_.program_retry_limit) {
+      enter_read_only();
+      throw DeviceWornOut("jitgc::ftl: program retries exhausted across fresh blocks");
+    }
+    active = allocate_free_block();
+  }
+}
+
+TimeUs Ftl::retire_grown_bad(std::uint32_t block) {
+  TimeUs cost = 0;
+  const nand::Block& blk = nand_.block(block);
+  const std::uint32_t ppb = config_.geometry.pages_per_block;
+  for (std::uint32_t p = 0; p < ppb; ++p) {
+    if (blk.page_state(p) != nand::PageState::kValid) continue;
+    const Lba lba = blk.page_lba(p);
+    JITGC_ENSURE_MSG(map_[lba] == (nand::Ppa{block, p}), "mapping/OOB disagreement");
+
+    ensure_gc_active_block();
+    ++write_seq_;
+    cost += map_access_cost(lba, /*dirty=*/true);
+    const nand::Ppa dst = program_with_retry(gc_active_, lba, /*is_migration=*/true, cost);
+    note_program(dst.block);
+    invalidate_page_at(nand::Ppa{block, p});
+    map_[lba] = dst;
+    JITGC_ENSURE(free_pages_ > 0);
+    --free_pages_;
+    if (sip_.contains(lba)) {
+      ++block_sip_count_[dst.block];
+      ++block_sip_exact_[dst.block];
+      note_sip_counts(dst.block);
+      JITGC_ENSURE(block_sip_exact_[block] > 0);
+      --block_sip_exact_[block];
+      note_sip_counts(block);
+    }
+    cost += config_.timing.migrate_cost();
+  }
+  if (gc_active_ != kNoBlock) refresh_block_index(gc_active_);
+  // This block will never be erased; clear its stale observable SIP count
+  // the way finish_erase would have.
+  block_sip_count_[block] = 0;
+  JITGC_ENSURE(block_sip_exact_[block] == 0);
+  retire_block(block);
+  refresh_block_index(block);
+  return cost;
+}
+
+TimeUs Ftl::process_pending_retirements() {
+  TimeUs cost = 0;
+  while (!pending_retire_.empty()) {
+    const std::uint32_t block = pending_retire_.front();
+    pending_retire_.erase(pending_retire_.begin());
+    cost += retire_grown_bad(block);
+  }
+  return cost;
+}
+
 std::uint32_t Ftl::allocate_free_block() {
-  if (free_pool_.empty() && config_.enforce_endurance) {
+  if (free_pool_.empty() && degraded_mode_possible()) {
+    enter_read_only();
     throw DeviceWornOut("jitgc::ftl: free pool exhausted after block retirements");
   }
   JITGC_ENSURE_MSG(!free_pool_.empty(), "free pool exhausted");
@@ -157,6 +304,9 @@ void Ftl::ensure_gc_active_block() {
 
 TimeUs Ftl::write(Lba lba) {
   JITGC_ENSURE_MSG(lba < user_pages_, "LBA beyond user capacity");
+  if (read_only_) {
+    throw DeviceWornOut("jitgc::ftl: device is read-only (spares exhausted)");
+  }
 
   bool hot = true;
   if (config_.enable_hot_cold_separation) {
@@ -178,11 +328,18 @@ TimeUs Ftl::write(Lba lba) {
 
   const bool lba_on_sip = !sip_.empty() && sip_.contains(lba);
 
-  // Out-place update: invalidate the previous version first.
+  // Out-place update, new copy first: until the program sticks, the old
+  // mapping stays valid, so an injected program failure cannot lose the LBA.
+  // (With faults off this is state-equivalent to invalidate-first.)
+  const nand::Ppa new_ppa = program_with_retry(active, lba, /*is_migration=*/false, cost);
+  note_program(active);
+  JITGC_ENSURE(free_pages_ > 0);
+  --free_pages_;
+
   nand::Ppa& entry = map_[lba];
   if (entry.block != kNoBlock) {
     const std::uint32_t prev = entry.block;
-    nand_.invalidate_page(entry);
+    invalidate_page_at(entry);
     touch_block(prev);
     if (block_sip_count_[prev] > 0 && lba_on_sip) {
       --block_sip_count_[prev];
@@ -198,23 +355,21 @@ TimeUs Ftl::write(Lba lba) {
     refresh_block_index(prev);
   }
 
-  entry = nand_.program_page(active, lba, /*is_migration=*/false);
-  note_program(active);
+  entry = new_ppa;
   if (lba_on_sip) {
     // Legacy behavior: the observable count is NOT bumped at the new
     // location until the next SIP update re-sends the list; only the exact
     // shadow tracks the move.
-    ++block_sip_exact_[active];
-    note_sip_counts(active);
+    ++block_sip_exact_[new_ppa.block];
+    note_sip_counts(new_ppa.block);
   }
   ++valid_pages_;
-  JITGC_ENSURE(free_pages_ > 0);
-  --free_pages_;
-  refresh_block_index(active);
+  refresh_block_index(new_ppa.block);
 
   ++stats_.host_pages_written;
   cost += config_.timing.program_cost();
   cost += maybe_static_wear_level();
+  cost += process_pending_retirements();
   return cost;
 }
 
@@ -235,7 +390,7 @@ void Ftl::trim(Lba lba) {
   if (entry.block == kNoBlock) return;
   const std::uint32_t prev = entry.block;
   ++write_seq_;
-  nand_.invalidate_page(entry);
+  invalidate_page_at(entry);
   touch_block(prev);
   if (block_sip_count_[prev] > 0 && sip_.contains(lba)) --block_sip_count_[prev];
   if (sip_.contains(lba)) {
@@ -307,6 +462,7 @@ Ftl::VictimChoice Ftl::select_victim_reference() const {
   const std::uint32_t ppb = config_.geometry.pages_per_block;
   for (std::uint32_t b = 0; b < nand_.num_blocks(); ++b) {
     if (b == user_active_ || b == user_active_cold_ || b == gc_active_) continue;
+    if (block_health_[b] != BlockHealth::kGood) continue;
     const nand::Block& blk = nand_.block(b);
     // Victims are fully-programmed blocks with something to reclaim.
     if (!blk.is_full() || blk.invalid_count() == 0) continue;
@@ -403,18 +559,21 @@ GcResult Ftl::collect_block(std::uint32_t victim, bool foreground) {
     ensure_gc_active_block();
     ++write_seq_;
     result.time_us += map_access_cost(lba, /*dirty=*/true);
-    nand_.invalidate_page(nand::Ppa{victim, p});
-    map_[lba] = nand_.program_page(gc_active_, lba, /*is_migration=*/true);
-    note_program(gc_active_);
+    // Program-first so a failed copy cannot lose the page (see write()).
+    const nand::Ppa dst =
+        program_with_retry(gc_active_, lba, /*is_migration=*/true, result.time_us);
+    note_program(dst.block);
+    invalidate_page_at(nand::Ppa{victim, p});
+    map_[lba] = dst;
     // Migration consumes a free page; the erase below returns ppb of them.
     JITGC_ENSURE(free_pages_ > 0);
     --free_pages_;
     if (sip_.contains(lba)) {
       // Legacy quirk: the observable count follows the page to the GC block
       // but is never taken off the victim (it goes stale until the erase).
-      ++block_sip_count_[gc_active_];
-      ++block_sip_exact_[gc_active_];
-      note_sip_counts(gc_active_);
+      ++block_sip_count_[dst.block];
+      ++block_sip_exact_[dst.block];
+      note_sip_counts(dst.block);
       JITGC_ENSURE(block_sip_exact_[victim] > 0);
       --block_sip_exact_[victim];
       note_sip_counts(victim);
@@ -443,7 +602,8 @@ TimeUs Ftl::foreground_collect() {
   while (free_pool_.size() <= config_.min_free_blocks) {
     const VictimChoice choice = select_victim();
     if (choice.block == kNoBlock) {
-      if (config_.enforce_endurance) {
+      if (degraded_mode_possible()) {
+        enter_read_only();
         throw DeviceWornOut("jitgc::ftl: no collectible victim left (device worn out)");
       }
       throw std::runtime_error("jitgc::ftl: device out of space (no collectible victim)");
@@ -452,6 +612,10 @@ TimeUs Ftl::foreground_collect() {
     GcResult r = collect_block(choice.block, /*foreground=*/true);
     if (choice.sip_filtered) r.sip_filtered = true;
     total += r.time_us;
+    // A program retry during the collection may have condemned a block;
+    // retire it before re-checking the watermark so the free accounting the
+    // loop condition reads is settled.
+    total += process_pending_retirements();
   }
   return total;
 }
@@ -466,6 +630,7 @@ GcResult Ftl::background_collect_once() {
   if (cand.invalid_count() == 0 || valid_frac > config_.bgc_valid_threshold) return GcResult{};
   GcResult r = collect_block(choice.block, /*foreground=*/false);
   r.sip_filtered = choice.sip_filtered;
+  r.time_us += process_pending_retirements();
   return r;
 }
 
@@ -500,16 +665,18 @@ Ftl::GcStep Ftl::background_collect_step(std::uint32_t max_pages) {
     ensure_gc_active_block();
     ++write_seq_;
     step.time_us += map_access_cost(lba, /*dirty=*/true);
-    nand_.invalidate_page(nand::Ppa{bgc_victim_, p});
-    map_[lba] = nand_.program_page(gc_active_, lba, /*is_migration=*/true);
-    note_program(gc_active_);
+    // Program-first so a failed copy cannot lose the page (see write()).
+    const nand::Ppa dst = program_with_retry(gc_active_, lba, /*is_migration=*/true, step.time_us);
+    note_program(dst.block);
+    invalidate_page_at(nand::Ppa{bgc_victim_, p});
+    map_[lba] = dst;
     JITGC_ENSURE(free_pages_ > 0);
     --free_pages_;
     if (sip_.contains(lba)) {
       // Same stale-until-erase quirk as collect_block.
-      ++block_sip_count_[gc_active_];
-      ++block_sip_exact_[gc_active_];
-      note_sip_counts(gc_active_);
+      ++block_sip_count_[dst.block];
+      ++block_sip_exact_[dst.block];
+      note_sip_counts(dst.block);
       JITGC_ENSURE(block_sip_exact_[bgc_victim_] > 0);
       --block_sip_exact_[bgc_victim_];
       note_sip_counts(bgc_victim_);
@@ -534,6 +701,7 @@ Ftl::GcStep Ftl::background_collect_step(std::uint32_t max_pages) {
     ++stats_.gc_cycles;
     ++stats_.background_gc_cycles;
   }
+  step.time_us += process_pending_retirements();
   return step;
 }
 
@@ -564,6 +732,7 @@ TimeUs Ftl::maybe_static_wear_level() {
     std::uint64_t ref_wear = std::numeric_limits<std::uint64_t>::max();
     for (std::uint32_t b = 0; b < nand_.num_blocks(); ++b) {
       if (b == user_active_ || b == user_active_cold_ || b == gc_active_) continue;
+      if (block_health_[b] != BlockHealth::kGood) continue;
       const nand::Block& blk = nand_.block(b);
       if (!blk.is_full() || blk.valid_count() != blk.pages_per_block()) continue;
       if (blk.erase_count() < ref_wear) {
@@ -580,7 +749,7 @@ TimeUs Ftl::maybe_static_wear_level() {
   // Move the cold block's data into the most-worn free block so the cold
   // block (which rarely self-invalidates) starts absorbing erases.
   const auto hot_it = std::prev(free_pool_.end());
-  const std::uint32_t dest = hot_it->second;
+  std::uint32_t dest = hot_it->second;
   free_pool_.erase(hot_it);
 
   TimeUs cost = 0;
@@ -590,14 +759,16 @@ TimeUs Ftl::maybe_static_wear_level() {
     if (src.page_state(p) != nand::PageState::kValid) continue;
     const Lba lba = src.page_lba(p);
     ++write_seq_;
-    nand_.invalidate_page(nand::Ppa{coldest, p});
-    map_[lba] = nand_.program_page(dest, lba, /*is_migration=*/true);
+    // Program-first (see write()); a retry may swap `dest` for a fresh block.
+    const nand::Ppa dst = program_with_retry(dest, lba, /*is_migration=*/true, cost);
+    invalidate_page_at(nand::Ppa{coldest, p});
+    map_[lba] = dst;
     JITGC_ENSURE(free_pages_ > 0);
     --free_pages_;
     if (sip_.contains(lba)) {
       JITGC_ENSURE(block_sip_exact_[coldest] > 0);
       --block_sip_exact_[coldest];
-      ++block_sip_exact_[dest];
+      ++block_sip_exact_[dst.block];
     }
     cost += config_.timing.migrate_cost();
   }

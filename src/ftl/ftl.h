@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/ensure.h"
 #include "common/types.h"
 #include "ftl/mapping_cache.h"
 #include "ftl/sip_index.h"
@@ -31,9 +32,44 @@ class DeviceWornOut : public std::runtime_error {
   explicit DeviceWornOut(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Lifecycle of a physical block under bad-block management.
+enum class BlockHealth : std::uint8_t {
+  kGood,      ///< in service (or waiting in the spare pool)
+  kGrownBad,  ///< failed a program; queued for retirement, may still hold data
+  kRetired,   ///< permanently out of service
+};
+
+/// One bad-block-management / degradation event, in simulation order. The
+/// harness drains these into the JSONL metrics stream.
+struct DegradeEvent {
+  enum class Kind : std::uint8_t {
+    kProgramFail,   ///< a program pulse failed; the page is burned
+    kEraseFail,     ///< an erase pulse failed; the block is retired
+    kBlockRetired,  ///< a block left service (grown-bad, erase-fail, or endurance)
+    kSparePromoted, ///< a spare block entered the free pool as a replacement
+    kReadOnly,      ///< the device can no longer serve writes
+  };
+  Kind kind;
+  std::uint32_t block = 0;
+  std::uint64_t erase_count = 0;
+  /// Host/GC write sequence number when the event fired (a logical clock:
+  /// identical across thread counts for the same seed and fault config).
+  std::uint64_t seq = 0;
+};
+
 struct FtlConfig {
   nand::Geometry geometry = nand::small_geometry();
   nand::TimingParams timing = nand::timing_20nm_mlc();
+  /// NAND fault injection (off by default — see nand::FaultConfig).
+  nand::FaultConfig fault;
+  /// Blocks withheld from the initial free pool as replacements for retired
+  /// blocks (real FTLs ship with a factory spare area). Each retirement
+  /// promotes one spare; when none remain the device shrinks and eventually
+  /// degrades to read-only.
+  std::uint32_t spare_blocks = 0;
+  /// A failed program is retried on a fresh block at most this many times
+  /// before the device gives up (DeviceWornOut).
+  std::uint32_t program_retry_limit = 3;
   /// Over-provisioning as a fraction of user capacity (SM843T: 7 %).
   double op_ratio = 0.07;
   /// Free-block low watermark: a host write that would leave at most this
@@ -112,8 +148,13 @@ struct FtlStats {
   /// Selections where the SIP veto changed the chosen victim (Table 3).
   std::uint64_t sip_filtered_selections = 0;
   std::uint64_t wear_level_moves = 0;
-  /// Blocks retired by bad-block management (endurance enforcement).
+  /// Blocks retired by bad-block management (endurance, erase failure, or
+  /// grown-bad after a program failure).
   std::uint64_t retired_blocks = 0;
+  /// Blocks that failed a program and were queued for retirement.
+  std::uint64_t grown_bad_blocks = 0;
+  /// Spare blocks promoted into service as retirement replacements.
+  std::uint64_t spares_promoted = 0;
   /// Host writes routed to the hot stream (hot/cold separation).
   std::uint64_t hot_stream_writes = 0;
   /// Time spent inside foreground GC (stalls user writes).
@@ -201,10 +242,15 @@ class Ftl {
   /// Pages currently holding valid user data.
   std::uint64_t valid_pages() const { return valid_pages_; }
 
-  /// Pages holding stale data (reclaimable by GC).
+  /// Pages holding stale data (reclaimable by GC). Pages locked away in
+  /// spare or retired blocks are off the books (offline), not reclaimable.
   std::uint64_t invalid_pages() const {
-    return config_.geometry.total_pages() - free_pages_ - valid_pages_;
+    return config_.geometry.total_pages() - free_pages_ - valid_pages_ - offline_pages_;
   }
+
+  /// Pages outside the free/valid/invalid economy: unpromoted spares plus
+  /// everything inside grown-bad and retired blocks.
+  std::uint64_t offline_pages() const { return offline_pages_; }
 
   /// Upper bound on the free space GC could ever establish: current free
   /// pages plus everything invalid (the paper's C_unused + C_OP bound).
@@ -213,6 +259,34 @@ class Ftl {
   }
 
   bool is_mapped(Lba lba) const;
+
+  /// Current physical location of `lba` (block == kNoBlock when unmapped).
+  /// Exposed for mapping-integrity property tests.
+  nand::Ppa mapping(Lba lba) const {
+    JITGC_ENSURE_MSG(lba < user_pages_, "LBA beyond user capacity");
+    return map_[lba];
+  }
+
+  // -- Degradation state ------------------------------------------------------
+
+  /// True once the device can no longer serve writes (spares exhausted and
+  /// no usable free block / victim left). Reads still work.
+  bool read_only() const { return read_only_; }
+
+  /// Spare blocks not yet promoted into service.
+  std::uint32_t spare_blocks_left() const {
+    return static_cast<std::uint32_t>(spare_pool_.size());
+  }
+
+  BlockHealth block_health(std::uint32_t block) const { return block_health_.at(block); }
+
+  /// Degradation events accumulated since the last drain (simulation order).
+  const std::vector<DegradeEvent>& degrade_events() const { return degrade_events_; }
+  std::vector<DegradeEvent> take_degrade_events() {
+    std::vector<DegradeEvent> out;
+    out.swap(degrade_events_);
+    return out;
+  }
 
   // -- Introspection ----------------------------------------------------------
 
@@ -253,8 +327,45 @@ class Ftl {
   VictimChoice select_victim();
 
   /// Erases `block` and either returns it to the free pool or retires it
-  /// (endurance). Returns true if the block stays usable.
+  /// (endurance limit reached, or the erase itself failed). Returns true if
+  /// the block stays usable.
   bool finish_erase(std::uint32_t block);
+
+  /// Programs `lba` into the active block `active` (a reference to one of
+  /// the stream pointers), retrying on a fresh block when the fault model
+  /// fails the program. A failing block is marked grown-bad and queued for
+  /// retirement; burned pages and retry latencies are accounted into `cost`.
+  /// Throws DeviceWornOut when retries are exhausted or no fresh block
+  /// exists. Returns the PPA that finally stuck.
+  nand::Ppa program_with_retry(std::uint32_t& active, Lba lba, bool is_migration, TimeUs& cost);
+
+  /// Invalidates a page; pages on non-good blocks fall out of the
+  /// reclaimable economy (they will never be erased back to free).
+  void invalidate_page_at(const nand::Ppa& ppa);
+
+  /// Flags `block` grown-bad: drops it from victim/WL candidacy, writes off
+  /// its unprogrammed pages, and queues it for retirement.
+  void mark_grown_bad(std::uint32_t block);
+
+  /// Migrates all valid pages off the grown-bad `block`, then retires it.
+  TimeUs retire_grown_bad(std::uint32_t block);
+
+  /// Final bookkeeping for a block leaving service: health, stats, event
+  /// log, and promotion of a spare replacement when one remains.
+  void retire_block(std::uint32_t block);
+
+  /// Drains the grown-bad retirement queue (runs at the end of the host and
+  /// GC entry points, where no migration loop is in flight).
+  TimeUs process_pending_retirements();
+
+  /// Latches read-only mode (logged once) before DeviceWornOut is thrown.
+  void enter_read_only();
+
+  /// True when running in a mode where the device is allowed to die
+  /// (endurance enforcement or fault injection) rather than abort.
+  bool degraded_mode_possible() const {
+    return config_.enforce_endurance || config_.fault.enabled();
+  }
 
   /// Migrates all valid pages out of `victim`, erases it, returns result.
   GcResult collect_block(std::uint32_t victim, bool foreground);
@@ -313,7 +424,18 @@ class Ftl {
 
   std::uint64_t free_pages_ = 0;
   std::uint64_t valid_pages_ = 0;
+  /// Pages outside the free/valid/invalid economy (see offline_pages()).
+  std::uint64_t offline_pages_ = 0;
   std::uint64_t write_seq_ = 0;
+
+  /// Per-block bad-block-management state (all kGood with faults off).
+  std::vector<BlockHealth> block_health_;
+  /// Factory spares awaiting promotion, most-preferred last.
+  std::vector<std::uint32_t> spare_pool_;
+  /// Grown-bad blocks awaiting retirement migration (FIFO).
+  std::vector<std::uint32_t> pending_retire_;
+  std::vector<DegradeEvent> degrade_events_;
+  bool read_only_ = false;
 
   std::vector<std::uint64_t> block_last_update_seq_;
   /// Host-write sequence number at which each block became full (FIFO).

@@ -47,6 +47,17 @@ class Block {
     return page;
   }
 
+  /// Records a failed program: the page is consumed (the program pulse ran
+  /// and wore the cells) but holds no data, so it goes straight to kInvalid
+  /// and is reclaimed by the next erase. Returns the burned page index.
+  std::uint32_t program_fail() {
+    JITGC_ENSURE_MSG(!is_full(), "programming a full block");
+    const std::uint32_t page = write_ptr_++;
+    JITGC_ENSURE(states_[page] == PageState::kFree);
+    states_[page] = PageState::kInvalid;
+    return page;
+  }
+
   /// Marks a previously-valid page invalid (its LBA was overwritten/trimmed).
   void invalidate(std::uint32_t page) {
     JITGC_ENSURE_MSG(states_.at(page) == PageState::kValid, "invalidating a non-valid page");
@@ -54,6 +65,13 @@ class Block {
     lbas_[page] = kInvalidLba;
     JITGC_ENSURE(valid_count_ > 0);
     --valid_count_;
+  }
+
+  /// Records a failed erase: wear still accrues (the erase pulse ran) but the
+  /// pages are left as they were — unusable until the block is retired.
+  void erase_fail() {
+    JITGC_ENSURE_MSG(valid_count_ == 0, "erasing a block that still holds valid data");
+    ++erase_count_;
   }
 
   /// Erases the whole block, freeing every page and bumping the wear counter.

@@ -1,0 +1,52 @@
+#include "nand/fault_model.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace jitgc::nand {
+namespace {
+
+/// Domain separator: the fault stream must not replay the workload stream
+/// even though both derive from the same run seed.
+constexpr std::uint64_t kFaultStreamSalt = 0xFA17C0DEB10C5BADULL;
+
+}  // namespace
+
+FaultModel::FaultModel(const FaultConfig& config, std::uint64_t endurance_pe_cycles)
+    : config_(config), endurance_(endurance_pe_cycles), rng_(config.seed ^ kFaultStreamSalt) {
+  JITGC_ENSURE_MSG(config.program_fail_prob >= 0.0 && config.program_fail_prob <= 1.0,
+                   "program_fail_prob must be in [0,1]");
+  JITGC_ENSURE_MSG(config.erase_fail_prob >= 0.0 && config.erase_fail_prob <= 1.0,
+                   "erase_fail_prob must be in [0,1]");
+  JITGC_ENSURE_MSG(config.wear_fail_prob_at_limit >= 0.0 && config.wear_fail_prob_at_limit <= 1.0,
+                   "wear_fail_prob_at_limit must be in [0,1]");
+  JITGC_ENSURE_MSG(config.wear_ramp_start >= 0.0 && config.wear_ramp_start < 1.0,
+                   "wear_ramp_start must be in [0,1)");
+}
+
+double FaultModel::wear_extra(std::uint64_t erase_count) const {
+  if (endurance_ == 0 || config_.wear_fail_prob_at_limit <= 0.0) return 0.0;
+  const double start = config_.wear_ramp_start * static_cast<double>(endurance_);
+  const double span = static_cast<double>(endurance_) - start;
+  if (span <= 0.0) {
+    return erase_count >= endurance_ ? config_.wear_fail_prob_at_limit : 0.0;
+  }
+  const double frac =
+      std::clamp((static_cast<double>(erase_count) - start) / span, 0.0, 1.0);
+  return frac * config_.wear_fail_prob_at_limit;
+}
+
+bool FaultModel::program_fails(std::uint64_t erase_count) {
+  const double p = config_.program_fail_prob + wear_extra(erase_count);
+  if (p <= 0.0) return false;
+  return rng_.chance(std::min(p, 1.0));
+}
+
+bool FaultModel::erase_fails(std::uint64_t erase_count) {
+  const double p = config_.erase_fail_prob + wear_extra(erase_count);
+  if (p <= 0.0) return false;
+  return rng_.chance(std::min(p, 1.0));
+}
+
+}  // namespace jitgc::nand

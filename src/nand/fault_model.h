@@ -1,0 +1,72 @@
+// Deterministic NAND fault injection: program failures, erase failures, and
+// endurance wear-out.
+//
+// The paper's premise is "long lifetimes" on 20-nm MLC rated for ~3k P/E
+// cycles, but an immortal-flash simulator can only extrapolate lifetime
+// claims. The fault model makes failures injectable and reproducible: every
+// decision is drawn from a private seeded RNG stream (one per device, seeded
+// from the run seed), so a run's fault sequence is a pure function of
+// (seed, fault config) — identical across thread counts and re-runs.
+//
+// Failure probabilities are per operation:
+//
+//   P(program fails) = program_fail_prob + wear(erase_count)
+//   P(erase fails)   = erase_fail_prob   + wear(erase_count)
+//
+// where wear() ramps linearly from 0 at `wear_ramp_start x endurance` erases
+// to `wear_fail_prob_at_limit` at the endurance rating (and stays saturated
+// beyond it) — young blocks fail at the baseline rate, worn blocks
+// increasingly often. With the default (all-zero) config the model is
+// disabled: no RNG is drawn and every operation succeeds, byte-identically
+// to a build without the subsystem.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace jitgc::nand {
+
+struct FaultConfig {
+  /// Baseline per-operation failure probabilities (age-independent defects).
+  double program_fail_prob = 0.0;
+  double erase_fail_prob = 0.0;
+  /// Extra failure probability added at (and beyond) the endurance rating.
+  /// 0 disables the wear-out ramp.
+  double wear_fail_prob_at_limit = 0.0;
+  /// Fraction of the endurance rating at which the wear ramp starts.
+  double wear_ramp_start = 0.9;
+  /// Seed of the fault RNG stream. The harness sets this from the run seed;
+  /// the model mixes it so the stream is independent of the workload's.
+  std::uint64_t seed = 1;
+
+  bool enabled() const {
+    return program_fail_prob > 0.0 || erase_fail_prob > 0.0 || wear_fail_prob_at_limit > 0.0;
+  }
+};
+
+/// Per-device fault decision stream. Stateful (owns the RNG), so decisions
+/// must be drawn in simulation order — which they are: the simulator is
+/// single-threaded per run.
+class FaultModel {
+ public:
+  /// `endurance_pe_cycles` anchors the wear ramp (0 = ramp disabled).
+  FaultModel(const FaultConfig& config, std::uint64_t endurance_pe_cycles);
+
+  /// Decides the fate of one program into a block with `erase_count` erases.
+  bool program_fails(std::uint64_t erase_count);
+
+  /// Decides the fate of one erase of a block with `erase_count` prior erases.
+  bool erase_fails(std::uint64_t erase_count);
+
+  const FaultConfig& config() const { return config_; }
+
+ private:
+  double wear_extra(std::uint64_t erase_count) const;
+
+  FaultConfig config_;
+  std::uint64_t endurance_;
+  Rng rng_;
+};
+
+}  // namespace jitgc::nand

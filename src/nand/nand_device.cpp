@@ -5,13 +5,15 @@
 
 namespace jitgc::nand {
 
-NandDevice::NandDevice(const Geometry& geometry, const TimingParams& timing)
+NandDevice::NandDevice(const Geometry& geometry, const TimingParams& timing,
+                       const FaultConfig& faults)
     : geom_(geometry), timing_(timing) {
   geom_.validate();
   blocks_.reserve(geom_.total_blocks());
   for (std::uint32_t i = 0; i < geom_.total_blocks(); ++i) {
     blocks_.emplace_back(geom_.pages_per_block);
   }
+  if (faults.enabled()) faults_.emplace(faults, timing.endurance_pe_cycles);
 }
 
 Lba NandDevice::read_page(const Ppa& ppa) {
@@ -22,9 +24,9 @@ Lba NandDevice::read_page(const Ppa& ppa) {
   return blk.page_lba(ppa.page);
 }
 
-Ppa NandDevice::program_page(std::uint32_t block_id, Lba lba, bool is_migration) {
+ProgramResult NandDevice::program_page(std::uint32_t block_id, Lba lba, bool is_migration) {
   Block& blk = blocks_.at(block_id);
-  const std::uint32_t page = blk.program(lba);
+  // The pulse runs and charges latency/wear whether or not it sticks.
   ++stats_.page_programs;
   if (is_migration) {
     ++stats_.page_migrations;
@@ -32,15 +34,28 @@ Ppa NandDevice::program_page(std::uint32_t block_id, Lba lba, bool is_migration)
   } else {
     stats_.busy_time_us += timing_.program_cost();
   }
-  return Ppa{block_id, page};
+  if (faults_ && faults_->program_fails(blk.erase_count())) {
+    const std::uint32_t page = blk.program_fail();
+    ++stats_.program_failures;
+    return ProgramResult{NandStatus::kProgramFail, Ppa{block_id, page}};
+  }
+  const std::uint32_t page = blk.program(lba);
+  return ProgramResult{NandStatus::kOk, Ppa{block_id, page}};
 }
 
 void NandDevice::invalidate_page(const Ppa& ppa) { blocks_.at(ppa.block).invalidate(ppa.page); }
 
-void NandDevice::erase_block(std::uint32_t block_id) {
-  blocks_.at(block_id).erase();
+NandStatus NandDevice::erase_block(std::uint32_t block_id) {
+  Block& blk = blocks_.at(block_id);
   ++stats_.block_erases;
   stats_.busy_time_us += timing_.block_erase_us;
+  if (faults_ && faults_->erase_fails(blk.erase_count())) {
+    blk.erase_fail();
+    ++stats_.erase_failures;
+    return NandStatus::kEraseFail;
+  }
+  blk.erase();
+  return NandStatus::kOk;
 }
 
 std::uint64_t NandDevice::max_erase_count() const {

@@ -2,9 +2,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "nand/block.h"
+#include "nand/fault_model.h"
 #include "nand/geometry.h"
 #include "nand/timing.h"
 
@@ -16,7 +18,22 @@ struct NandStats {
   std::uint64_t page_programs = 0;
   std::uint64_t page_migrations = 0;  // subset of programs issued by GC copyback
   std::uint64_t block_erases = 0;
+  std::uint64_t program_failures = 0;  // subset of programs that burned the page
+  std::uint64_t erase_failures = 0;    // subset of erases that left the block dirty
   TimeUs busy_time_us = 0;  // sum of raw op latencies (pre-parallelism)
+};
+
+/// Outcome of a single NAND operation. Failures are injected by the
+/// FaultModel; with faults disabled every operation returns kOk.
+enum class NandStatus : std::uint8_t { kOk, kProgramFail, kEraseFail };
+
+/// Result of a program operation. On kProgramFail the page was still
+/// consumed (it wore the cells and is now invalid); `ppa` identifies the
+/// burned page so callers can account for it.
+struct ProgramResult {
+  NandStatus status = NandStatus::kOk;
+  Ppa ppa{};
+  bool ok() const { return status == NandStatus::kOk; }
 };
 
 /// A NAND flash device: an array of erase blocks with op-level timing.
@@ -28,7 +45,8 @@ struct NandStats {
 /// sequentially.
 class NandDevice {
  public:
-  NandDevice(const Geometry& geometry, const TimingParams& timing);
+  NandDevice(const Geometry& geometry, const TimingParams& timing,
+             const FaultConfig& faults = {});
 
   const Geometry& geometry() const { return geom_; }
   const TimingParams& timing() const { return timing_; }
@@ -40,15 +58,20 @@ class NandDevice {
   /// Reads one page; returns the stored LBA and charges read latency.
   Lba read_page(const Ppa& ppa);
 
-  /// Programs the next free page of `block_id` with `lba`; returns its PPA
-  /// and charges program latency. `is_migration` tags GC copyback traffic.
-  Ppa program_page(std::uint32_t block_id, Lba lba, bool is_migration = false);
+  /// Programs the next free page of `block_id` with `lba` and charges program
+  /// latency. `is_migration` tags GC copyback traffic. The fault model may
+  /// fail the operation: the page is then burned (invalid, no data) and the
+  /// result carries kProgramFail — callers must check.
+  [[nodiscard]] ProgramResult program_page(std::uint32_t block_id, Lba lba,
+                                           bool is_migration = false);
 
   /// Invalidates a valid page (no latency: it is a metadata update).
   void invalidate_page(const Ppa& ppa);
 
   /// Erases a block (all pages must be invalid) and charges erase latency.
-  void erase_block(std::uint32_t block_id);
+  /// On injected failure the block keeps its stale pages (wear still
+  /// accrues) and kEraseFail is returned — callers must check.
+  [[nodiscard]] NandStatus erase_block(std::uint32_t block_id);
 
   /// Max and mean erase counts across blocks (wear-leveling quality).
   std::uint64_t max_erase_count() const;
@@ -59,6 +82,9 @@ class NandDevice {
   TimingParams timing_;
   std::vector<Block> blocks_;
   NandStats stats_;
+  // Engaged only when fault injection is configured; absent = the historical
+  // always-succeeds device, bit-for-bit.
+  std::optional<FaultModel> faults_;
 };
 
 }  // namespace jitgc::nand

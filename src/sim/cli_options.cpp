@@ -93,7 +93,8 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::s
       if (!need_value()) return std::nullopt;
       opt.trace_path = value;
     } else if (key == "--trace-buffered") {
-      if (!need_value() || !parse_double(value, opt.trace_buffered_fraction)) {
+      if (!need_value() || !parse_double(value, opt.trace_buffered_fraction) ||
+          !(opt.trace_buffered_fraction >= 0.0 && opt.trace_buffered_fraction <= 1.0)) {
         error = "--trace-buffered needs a fraction in [0,1]";
         return std::nullopt;
       }
@@ -136,8 +137,8 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::s
       }
       opt.pages_per_block = static_cast<std::uint32_t>(v);
     } else if (key == "--op-ratio") {
-      if (!need_value() || !parse_double(value, opt.op_ratio) || opt.op_ratio <= 0.0) {
-        error = "--op-ratio needs a positive fraction";
+      if (!need_value() || !parse_double(value, opt.op_ratio) || !(opt.op_ratio > 0.0 && opt.op_ratio < 1.0)) {
+        error = "--op-ratio needs a fraction in (0,1)";
         return std::nullopt;
       }
     } else if (key == "--endurance") {
@@ -145,6 +146,31 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::s
         error = "--endurance needs a P/E cycle count";
         return std::nullopt;
       }
+    } else if (key == "--fault-program") {
+      if (!need_value() || !parse_double(value, opt.fault_program_fail_prob) ||
+          !(opt.fault_program_fail_prob >= 0.0 && opt.fault_program_fail_prob <= 1.0)) {
+        error = "--fault-program needs a probability in [0,1]";
+        return std::nullopt;
+      }
+    } else if (key == "--fault-erase") {
+      if (!need_value() || !parse_double(value, opt.fault_erase_fail_prob) ||
+          !(opt.fault_erase_fail_prob >= 0.0 && opt.fault_erase_fail_prob <= 1.0)) {
+        error = "--fault-erase needs a probability in [0,1]";
+        return std::nullopt;
+      }
+    } else if (key == "--fault-wear") {
+      if (!need_value() || !parse_double(value, opt.fault_wear_fail_prob) ||
+          !(opt.fault_wear_fail_prob >= 0.0 && opt.fault_wear_fail_prob <= 1.0)) {
+        error = "--fault-wear needs a probability in [0,1]";
+        return std::nullopt;
+      }
+    } else if (key == "--spare-blocks") {
+      std::uint64_t v = 0;
+      if (!need_value() || !parse_u64(value, v)) {
+        error = "--spare-blocks needs a block count";
+        return std::nullopt;
+      }
+      opt.spare_blocks = static_cast<std::uint32_t>(v);
     } else if (key == "--victim") {
       if (!need_value()) return std::nullopt;
       const auto victim = parse_victim(value);
@@ -211,6 +237,10 @@ std::string cli_usage() {
   --pages-per-block=<n>                                       (default 256)
   --op-ratio=<f>         over-provisioning fraction           (default 0.07)
   --endurance=<pe>       enforce endurance at this P/E rating (default off)
+  --fault-program=<p>    NAND program-failure probability     (default 0)
+  --fault-erase=<p>      NAND erase-failure probability       (default 0)
+  --fault-wear=<p>       extra failure probability at the endurance limit
+  --spare-blocks=<n>     factory spares for bad-block management (default 0)
   --victim=<name>        greedy|cost-benefit|fifo|random|sampled-greedy
   --hot-cold             enable hot/cold stream separation
   --measured-idle        JIT-GC uses measured device idle for T_idle
@@ -238,6 +268,10 @@ SimReport run_from_cli(const CliOptions& options) {
     config.ssd.ftl.enforce_endurance = true;
     config.ssd.ftl.timing.endurance_pe_cycles = options.endurance_pe_cycles;
   }
+  config.ssd.ftl.fault.program_fail_prob = options.fault_program_fail_prob;
+  config.ssd.ftl.fault.erase_fail_prob = options.fault_erase_fail_prob;
+  config.ssd.ftl.fault.wear_fail_prob_at_limit = options.fault_wear_fail_prob;
+  config.ssd.ftl.spare_blocks = options.spare_blocks;
 
   PolicyOverrides overrides;
   overrides.use_sip_list = options.use_sip_list;

@@ -37,6 +37,15 @@ struct CliOptions {
   /// 0 = endurance not enforced.
   std::uint64_t endurance_pe_cycles = 0;
 
+  // -- Fault injection / bad-block management (docs/model.md) ---------------------
+  /// Per-operation NAND failure probabilities; all 0 = fault model off.
+  double fault_program_fail_prob = 0.0;
+  double fault_erase_fail_prob = 0.0;
+  /// Extra failure probability at the endurance limit (ramps from 90 %).
+  double fault_wear_fail_prob = 0.0;
+  /// Factory spare blocks replacing grown-bad retirements.
+  std::uint32_t spare_blocks = 0;
+
   // -- FTL / policy knobs -----------------------------------------------------------
   ftl::VictimPolicyKind victim_policy = ftl::VictimPolicyKind::kGreedy;
   bool hot_cold_separation = false;

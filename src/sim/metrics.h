@@ -65,10 +65,19 @@ struct SimReport {
   // -- Lifetime (endurance enforcement) ------------------------------------------
   /// True when the run ended because the device wore out (DeviceWornOut).
   bool device_worn_out = false;
+  /// Why the run ended: "completed" for a full-duration run, or a structured
+  /// degradation reason ("device_worn_out") when the device died first.
+  std::string run_end_reason = "completed";
   /// Simulated time actually covered (== duration unless worn out early).
   double elapsed_s = 0.0;
   /// Blocks retired by bad-block management during the run.
   std::uint64_t retired_blocks = 0;
+
+  // -- Fault injection (whole device life, preconditioning included) -------------
+  std::uint64_t program_failures = 0;
+  std::uint64_t erase_failures = 0;
+  std::uint64_t grown_bad_blocks = 0;
+  std::uint64_t spares_promoted = 0;
   /// Total bytes the application wrote (TBW when the device wore out).
   Bytes tbw_bytes() const { return app_buffered_write_bytes + app_direct_write_bytes; }
 };

@@ -82,6 +82,20 @@ std::string format_interval_jsonl(std::uint64_t run_index, std::uint64_t seed,
   return out;
 }
 
+std::string format_fault_jsonl(std::uint64_t run_index, std::uint64_t seed,
+                               const FaultRecord& r) {
+  std::string out = "{\"type\":\"fault\"";
+  append_field(out, "run", run_index);
+  append_field(out, "seed", seed);
+  append_field(out, "kind", r.kind);
+  append_field(out, "block", static_cast<std::uint64_t>(r.block));
+  append_field(out, "erase_count", r.erase_count);
+  append_field(out, "seq", r.seq);
+  append_field(out, "time_s", r.time_s);
+  out += '}';
+  return out;
+}
+
 std::string format_run_jsonl(std::uint64_t run_index, std::uint64_t seed,
                              const SimReport& r) {
   std::string out = "{\"type\":\"run\"";
@@ -112,6 +126,13 @@ std::string format_run_jsonl(std::uint64_t run_index, std::uint64_t seed,
   append_field(out, "worn_out", r.device_worn_out);
   append_field(out, "retired_blocks", r.retired_blocks);
   append_field(out, "tbw_bytes", static_cast<std::uint64_t>(r.tbw_bytes()));
+  // Degradation fields only when they carry information: fault-free output
+  // must stay byte-identical to the legacy schema.
+  if (r.run_end_reason != "completed") append_field(out, "run_end_reason", r.run_end_reason);
+  if (r.program_failures != 0) append_field(out, "program_failures", r.program_failures);
+  if (r.erase_failures != 0) append_field(out, "erase_failures", r.erase_failures);
+  if (r.grown_bad_blocks != 0) append_field(out, "grown_bad_blocks", r.grown_bad_blocks);
+  if (r.spares_promoted != 0) append_field(out, "spares_promoted", r.spares_promoted);
   out += '}';
   return out;
 }
@@ -165,6 +186,10 @@ JsonlMetricsSink::JsonlMetricsSink(std::ostream& out, std::uint64_t run_index,
 void JsonlMetricsSink::on_interval(const IntervalRecord& record) {
   if (!emit_intervals_) return;
   out_ << format_interval_jsonl(run_index_, seed_, record) << '\n';
+}
+
+void JsonlMetricsSink::on_fault(const FaultRecord& record) {
+  out_ << format_fault_jsonl(run_index_, seed_, record) << '\n';
 }
 
 void JsonlMetricsSink::on_run_end(const SimReport& report) {

@@ -46,11 +46,30 @@ struct IntervalRecord {
   double max_latency_us = 0.0;
 };
 
+/// One fault-injection / bad-block-management event, as drained from the FTL
+/// by the simulator. Only ever emitted when the fault model is active, so
+/// fault-free output carries no trace of the subsystem.
+struct FaultRecord {
+  /// "program_fail" | "erase_fail" | "block_retired" | "spare_promoted" |
+  /// "read_only".
+  std::string kind;
+  std::uint32_t block = 0;
+  std::uint64_t erase_count = 0;
+  /// FTL write-sequence logical clock at the event — a pure function of
+  /// (seed, fault config), identical across thread counts.
+  std::uint64_t seq = 0;
+  /// Simulation clock at the tick that drained the event.
+  double time_s = 0.0;
+};
+
 class MetricsSink {
  public:
   virtual ~MetricsSink() = default;
   /// Called once per flusher tick, after the policy decided.
   virtual void on_interval(const IntervalRecord& record) = 0;
+  /// Called for each fault/degradation event (default: ignore — only
+  /// fault-aware sinks care).
+  virtual void on_fault(const FaultRecord& /*record*/) {}
   /// Called once, with the assembled run-level report.
   virtual void on_run_end(const SimReport& report) = 0;
 };
@@ -59,14 +78,17 @@ class MetricsSink {
 class RecordingMetricsSink final : public MetricsSink {
  public:
   void on_interval(const IntervalRecord& record) override { intervals_.push_back(record); }
+  void on_fault(const FaultRecord& record) override { faults_.push_back(record); }
   void on_run_end(const SimReport& report) override { report_ = report; has_report_ = true; }
 
   const std::vector<IntervalRecord>& intervals() const { return intervals_; }
+  const std::vector<FaultRecord>& faults() const { return faults_; }
   bool has_report() const { return has_report_; }
   const SimReport& report() const { return report_; }
 
  private:
   std::vector<IntervalRecord> intervals_;
+  std::vector<FaultRecord> faults_;
   SimReport report_;
   bool has_report_ = false;
 };
@@ -81,6 +103,7 @@ class JsonlMetricsSink final : public MetricsSink {
                    bool emit_intervals = true);
 
   void on_interval(const IntervalRecord& record) override;
+  void on_fault(const FaultRecord& record) override;
   void on_run_end(const SimReport& report) override;
 
  private:
@@ -96,7 +119,13 @@ class JsonlMetricsSink final : public MetricsSink {
 std::string format_interval_jsonl(std::uint64_t run_index, std::uint64_t seed,
                                   const IntervalRecord& record);
 
-/// One {"type":"run",...} line (no trailing newline).
+/// One {"type":"fault",...} line (no trailing newline).
+std::string format_fault_jsonl(std::uint64_t run_index, std::uint64_t seed,
+                               const FaultRecord& record);
+
+/// One {"type":"run",...} line (no trailing newline). Degradation fields
+/// (run_end_reason, failure counters) are emitted only when they carry
+/// information, so fault-free output is byte-identical to the legacy schema.
 std::string format_run_jsonl(std::uint64_t run_index, std::uint64_t seed,
                              const SimReport& report);
 

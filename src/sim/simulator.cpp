@@ -8,15 +8,54 @@
 #include "sim/metrics_sink.h"
 
 namespace jitgc::sim {
+namespace {
+
+/// Fault decisions must be a pure function of the run seed (the sweep's
+/// determinism contract), so the per-device fault stream is keyed by it; the
+/// FaultModel salts the seed internally to decorrelate it from the workload.
+SsdConfig with_fault_seed(SsdConfig ssd, std::uint64_t run_seed) {
+  if (ssd.ftl.fault.enabled()) ssd.ftl.fault.seed = run_seed;
+  return ssd;
+}
+
+const char* fault_kind_name(ftl::DegradeEvent::Kind kind) {
+  switch (kind) {
+    case ftl::DegradeEvent::Kind::kProgramFail: return "program_fail";
+    case ftl::DegradeEvent::Kind::kEraseFail: return "erase_fail";
+    case ftl::DegradeEvent::Kind::kBlockRetired: return "block_retired";
+    case ftl::DegradeEvent::Kind::kSparePromoted: return "spare_promoted";
+    case ftl::DegradeEvent::Kind::kReadOnly: return "read_only";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 Simulator::Simulator(const SimConfig& config)
     : config_(config),
-      ssd_(config.ssd),
+      ssd_(with_fault_seed(config.ssd, config.seed)),
       cache_(config.cache),
       service_(config.ssd.resolved_service_queues()),
       accuracy_(config.cache.intervals_per_horizon() + 1) {
   JITGC_ENSURE_MSG(config_.cache.page_size == config_.ssd.ftl.geometry.page_size,
                    "page cache and FTL must agree on the page size");
+  config_.ssd.ftl.fault.seed = ssd_.config().ftl.fault.seed;
+}
+
+void Simulator::drain_fault_events(double time_s) {
+  // Always drain (bounds the FTL-side buffer); forward only when someone
+  // listens.
+  const std::vector<ftl::DegradeEvent> events = ssd_.mutable_ftl().take_degrade_events();
+  if (metrics_sink_ == nullptr) return;
+  for (const ftl::DegradeEvent& e : events) {
+    FaultRecord rec;
+    rec.kind = fault_kind_name(e.kind);
+    rec.block = e.block;
+    rec.erase_count = e.erase_count;
+    rec.seq = e.seq;
+    rec.time_s = time_s;
+    metrics_sink_->on_fault(rec);
+  }
 }
 
 void Simulator::precondition(wl::WorkloadGenerator& workload) {
@@ -198,8 +237,10 @@ void Simulator::process_tick(TimeUs now, core::BgcPolicy& policy) {
     accuracy_.predict_next(static_cast<Bytes>(decision.predicted_horizon_bytes));
   }
 
-  // 4. Structured metrics: one record per tick, covering the interval that
-  //    just ended plus the decision taken for the coming one.
+  // 4. Structured metrics: fault/degradation events accumulated during the
+  //    interval, then one interval record per tick, covering the interval
+  //    that just ended plus the decision taken for the coming one.
+  drain_fault_events(to_seconds(now));
   if (metrics_sink_ != nullptr) {
     const auto& fs = ssd_.ftl().stats();
     const auto& nand = ssd_.ftl().nand().stats();
@@ -293,7 +334,14 @@ SimReport Simulator::run(wl::WorkloadGenerator& workload, core::BgcPolicy& polic
   // the net change instead of rebuilding the whole list device-side.
   if (policy.wants_sip_filter()) cache_.enable_sip_tracking();
 
-  if (config_.precondition) precondition(workload);
+  bool worn_out = false;
+  try {
+    if (config_.precondition) precondition(workload);
+  } catch (const ftl::DeviceWornOut&) {
+    // The device died before the measured run even began (heavy fault
+    // injection); report a zero-length run rather than throwing.
+    worn_out = true;
+  }
 
   // Metric baselines: everything before this instant was preconditioning.
   base_programs_ = ssd_.ftl().nand().stats().page_programs;
@@ -309,12 +357,14 @@ SimReport Simulator::run(wl::WorkloadGenerator& workload, core::BgcPolicy& polic
   const TimeUs p = cache_.config().flush_period;
   TimeUs next_tick = p;
   TimeUs elapsed = 0;
-  bool worn_out = false;
 
   std::optional<wl::AppOp> op = workload.next();
   TimeUs issue = op ? op->think_us : config_.duration;
 
   try {
+    // A device that died during preconditioning takes the same exit path as
+    // one dying mid-run: zero measured progress, structured end reason.
+    if (worn_out) throw ftl::DeviceWornOut("worn out during preconditioning");
     while (true) {
       if (next_tick <= issue || !op) {
         if (next_tick > config_.duration) break;
@@ -399,11 +449,19 @@ SimReport Simulator::run(wl::WorkloadGenerator& workload, core::BgcPolicy& polic
   r.hot_stream_writes = fs.hot_stream_writes - base_ftl_stats_.hot_stream_writes;
 
   r.device_worn_out = worn_out;
+  r.run_end_reason = worn_out ? "device_worn_out" : "completed";
   r.elapsed_s = to_seconds(elapsed);
   r.retired_blocks = fs.retired_blocks - base_ftl_stats_.retired_blocks;
+  // Fault counters are device-lifetime totals (preconditioning included):
+  // grown-bad blocks are a property of the device, not of the interval.
+  r.program_failures = nand.program_failures;
+  r.erase_failures = nand.erase_failures;
+  r.grown_bad_blocks = fs.grown_bad_blocks;
+  r.spares_promoted = fs.spares_promoted;
   if (worn_out && r.elapsed_s > 0.0) {
     r.iops = static_cast<double>(ops_completed_) / r.elapsed_s;  // over actual life
   }
+  drain_fault_events(to_seconds(elapsed));
   if (metrics_sink_ != nullptr) metrics_sink_->on_run_end(r);
   return r;
 }

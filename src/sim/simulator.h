@@ -76,6 +76,9 @@ class Simulator {
  private:
   void precondition(wl::WorkloadGenerator& workload);
   void process_tick(TimeUs now, core::BgcPolicy& policy);
+  /// Forwards (and clears) the FTL's accumulated fault/degradation events
+  /// to the metrics sink, stamped with the draining tick's time.
+  void drain_fault_events(double time_s);
   void run_bgc_until(TimeUs now);
   /// Executes one app op at `issue`; returns its completion time.
   TimeUs execute_op(const wl::AppOp& op, TimeUs issue);

@@ -1,6 +1,12 @@
 #include "sim/sweep.h"
 
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <ostream>
+#include <sstream>
+#include <stdexcept>
 
 #include "common/ensure.h"
 #include "common/rng.h"
@@ -12,11 +18,24 @@
 namespace jitgc::sim {
 namespace {
 
-SweepRunResult execute_run(const SweepOptions& options, const SweepCell& cell,
-                           std::uint64_t run_index) {
+namespace fs = std::filesystem;
+
+std::string cell_label(const SweepCell& cell) {
+  std::string label = "workload " + cell.workload.name + ", policy " +
+                      policy_kind_name(cell.policy);
+  if (cell.policy == PolicyKind::kFixedReserve) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, " (reserve %.6gxOP)", cell.fixed_multiple);
+    label += buf;
+  }
+  return label;
+}
+
+SweepRunResult execute_attempt(const SweepOptions& options, const SweepCell& cell,
+                               std::uint64_t run_index, std::size_t attempt) {
   SweepRunResult result;
   result.run_index = run_index;
-  result.seed = sweep_run_seed(options.base_seed, run_index);
+  result.seed = sweep_attempt_seed(options.base_seed, run_index, attempt);
 
   SimConfig config = options.base;
   config.seed = result.seed;
@@ -37,6 +56,12 @@ SweepRunResult execute_run(const SweepOptions& options, const SweepCell& cell,
           result.serialized += '\n';
         }
       }
+      // Fault/degradation events (rare, only under fault injection) are
+      // emitted even without --intervals: a retired block is run-defining.
+      for (const auto& record : sink.faults()) {
+        result.serialized += format_fault_jsonl(run_index, result.seed, record);
+        result.serialized += '\n';
+      }
       result.serialized += format_run_jsonl(run_index, result.seed, result.report);
       result.serialized += '\n';
       break;
@@ -51,10 +76,103 @@ SweepRunResult execute_run(const SweepOptions& options, const SweepCell& cell,
   return result;
 }
 
+SweepRunResult execute_run(const SweepOptions& options, const SweepCell& cell,
+                           std::uint64_t run_index) {
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      return execute_attempt(options, cell, run_index, attempt);
+    } catch (const std::exception& e) {
+      if (attempt < options.run_retries) continue;  // fresh derived seed next time
+      // Surface the run's full identity: a sweep of hundreds of runs is
+      // undebuggable from a bare what() alone.
+      throw std::runtime_error(
+          "sweep run " + std::to_string(run_index) + " (seed " +
+          std::to_string(sweep_run_seed(options.base_seed, run_index)) + ", " +
+          cell_label(cell) + ") failed after " + std::to_string(attempt + 1) +
+          " attempt(s): " + e.what());
+    }
+  }
+}
+
+// -- Checkpointing ---------------------------------------------------------------
+//
+// Layout of checkpoint_dir:
+//   manifest.txt   sweep_fingerprint() of the sweep that owns the directory
+//   run_NNNNNN     the exact serialized bytes of completed run NNNNNN
+// Every file is written to a ".tmp" sibling first and renamed into place, so
+// a kill at any instant leaves either no file or a complete one — never a
+// torn run that a resume would splice into the output.
+
+fs::path run_checkpoint_path(const std::string& dir, std::uint64_t run_index) {
+  char name[32];
+  std::snprintf(name, sizeof name, "run_%06" PRIu64, run_index);
+  return fs::path(dir) / name;
+}
+
+void write_file_atomic(const fs::path& path, const std::string& contents) {
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("jitgc::sim: cannot create " + tmp.string());
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) throw std::runtime_error("jitgc::sim: write failed for " + tmp.string());
+  }
+  fs::rename(tmp, path);  // atomic on POSIX: the final name is all-or-nothing
+}
+
+bool read_file(const fs::path& path, std::string& contents) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  contents = buffer.str();
+  return true;
+}
+
 }  // namespace
 
 std::uint64_t sweep_run_seed(std::uint64_t base_seed, std::uint64_t run_index) {
   return derive_seed(base_seed, run_index);
+}
+
+std::uint64_t sweep_attempt_seed(std::uint64_t base_seed, std::uint64_t run_index,
+                                 std::size_t attempt) {
+  const std::uint64_t run_seed = sweep_run_seed(base_seed, run_index);
+  return attempt == 0 ? run_seed : derive_seed(run_seed, attempt);
+}
+
+std::string sweep_fingerprint(const SweepOptions& options, const std::vector<SweepCell>& cells) {
+  std::ostringstream out;
+  const auto& ftl = options.base.ssd.ftl;
+  const auto& g = ftl.geometry;
+  out << "jitgc sweep checkpoint v1\n"
+      << "base_seed=" << options.base_seed << " seeds=" << options.seeds
+      << " format=" << (options.format == SweepFormat::kJsonl ? "jsonl" : "csv")
+      << " intervals=" << (options.emit_intervals ? 1 : 0) << '\n'
+      << "duration_us=" << options.base.duration
+      << " precondition=" << (options.base.precondition ? 1 : 0)
+      << " overwrite_factor=" << options.base.precondition_overwrite_factor
+      << " bgc_idle_detect_us=" << options.base.bgc_idle_detect
+      << " bgc_rate_limit_bps=" << options.base.bgc_rate_limit_bps << '\n'
+      << "geometry=" << g.channels << 'x' << g.dies_per_channel << 'x' << g.planes_per_die
+      << 'x' << g.blocks_per_plane << 'x' << g.pages_per_block << 'x' << g.page_size
+      << " op_ratio=" << ftl.op_ratio << " victim=" << static_cast<int>(ftl.victim_policy)
+      << " hot_cold=" << (ftl.enable_hot_cold_separation ? 1 : 0)
+      << " endurance=" << (ftl.enforce_endurance ? ftl.timing.endurance_pe_cycles : 0) << '\n'
+      << "fault: program=" << ftl.fault.program_fail_prob
+      << " erase=" << ftl.fault.erase_fail_prob
+      << " wear=" << ftl.fault.wear_fail_prob_at_limit
+      << " ramp_start=" << ftl.fault.wear_ramp_start
+      << " spares=" << ftl.spare_blocks << " retry_limit=" << ftl.program_retry_limit << '\n'
+      << "cells=" << cells.size() << '\n';
+  for (const SweepCell& cell : cells) {
+    out << "cell: " << cell_label(cell)
+        << " sip=" << (cell.overrides.use_sip_list ? 1 : 0)
+        << " quantile=" << cell.overrides.direct_quantile
+        << " measured_idle=" << (cell.overrides.use_measured_idle ? 1 : 0) << '\n';
+  }
+  return out.str();
 }
 
 std::vector<SweepCell> paper_matrix_cells() {
@@ -89,15 +207,65 @@ std::vector<SweepRunResult> run_sweep(const SweepOptions& options,
                                       const std::vector<SweepCell>& cells) {
   JITGC_ENSURE_MSG(!cells.empty(), "sweep needs at least one cell");
   JITGC_ENSURE_MSG(options.seeds >= 1, "sweep needs at least one seed");
+  JITGC_ENSURE_MSG(!options.resume || !options.checkpoint_dir.empty(),
+                   "sweep resume needs a checkpoint directory");
   const std::size_t total = options.seeds * cells.size();
   std::vector<SweepRunResult> results(total);
+
+  const bool checkpointing = !options.checkpoint_dir.empty();
+  if (checkpointing) {
+    const std::string manifest = sweep_fingerprint(options, cells);
+    fs::create_directories(options.checkpoint_dir);
+    const fs::path manifest_path = fs::path(options.checkpoint_dir) / "manifest.txt";
+    std::string existing;
+    if (read_file(manifest_path, existing)) {
+      if (existing != manifest) {
+        if (options.resume) {
+          throw std::runtime_error(
+              "jitgc::sim: checkpoint manifest in '" + options.checkpoint_dir +
+              "' describes a different sweep; refusing to resume (delete the "
+              "directory to start over)");
+        }
+        // Fresh sweep over a stale directory: drop the old run files so a
+        // later --resume of *this* sweep cannot splice in foreign output.
+        for (const auto& entry : fs::directory_iterator(options.checkpoint_dir)) {
+          if (entry.path().filename().string().rfind("run_", 0) == 0) {
+            fs::remove(entry.path());
+          }
+        }
+        write_file_atomic(manifest_path, manifest);
+      }
+      // Identical manifest without --resume: re-run everything but keep the
+      // directory valid — completed files are simply overwritten.
+    } else {
+      if (options.resume) {
+        throw std::runtime_error("jitgc::sim: no checkpoint manifest in '" +
+                                 options.checkpoint_dir + "'; nothing to resume");
+      }
+      write_file_atomic(manifest_path, manifest);
+    }
+  }
 
   ThreadPool pool(options.threads > 0 ? options.threads : ThreadPool::hardware_threads());
   pool.parallel_for(total, [&](std::size_t i) {
     // run_index = seed_idx * cells.size() + cell_idx: a run's identity (and
     // therefore its derived seed and output) depends only on its position in
     // the matrix, never on scheduling.
+    if (checkpointing && options.resume) {
+      std::string saved;
+      if (read_file(run_checkpoint_path(options.checkpoint_dir, i), saved)) {
+        results[i].run_index = i;
+        results[i].seed = sweep_run_seed(options.base_seed, i);
+        results[i].serialized = std::move(saved);
+        results[i].resumed = true;
+        return;
+      }
+    }
     results[i] = execute_run(options, cells[i % cells.size()], i);
+    if (checkpointing) {
+      write_file_atomic(run_checkpoint_path(options.checkpoint_dir, i),
+                        results[i].serialized);
+    }
   });
   return results;
 }

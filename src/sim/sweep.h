@@ -45,6 +45,21 @@ struct SweepOptions {
   /// Emit per-interval records, not just the run summary (JSONL only).
   bool emit_intervals = false;
   SweepFormat format = SweepFormat::kJsonl;
+  /// Extra attempts granted to a run whose simulation throws. Attempt 0
+  /// always uses sweep_run_seed() (the documented contract); retries use
+  /// sweep_attempt_seed() so each attempt is independent yet reproducible.
+  /// A run that fails every attempt aborts the sweep with an error naming
+  /// the run's identity (run index, seed, cell).
+  std::size_t run_retries = 2;
+  /// Directory for crash-safe progress: a manifest describing the sweep plus
+  /// one file per completed run, each written atomically (tmp + rename).
+  /// Empty = no checkpointing.
+  std::string checkpoint_dir;
+  /// Reuse completed runs found in checkpoint_dir instead of re-executing
+  /// them. Requires a manifest written by a sweep with identical options and
+  /// cells — a mismatch aborts rather than silently mixing configurations.
+  /// The concatenated output is byte-identical to an uninterrupted sweep.
+  bool resume = false;
 };
 
 struct SweepRunResult {
@@ -53,12 +68,26 @@ struct SweepRunResult {
   SimReport report;
   /// The run's serialized records, newline-terminated, ready to concatenate.
   std::string serialized;
+  /// True when `serialized` was loaded from a checkpoint file; `report` is
+  /// then default-constructed (only the serialized bytes are persisted).
+  bool resumed = false;
 };
 
 /// The RNG seed of run `run_index`: derive_seed(base_seed, run_index).
 /// Exposed so tests and notebooks can reproduce any single run of a sweep
 /// without executing the runs before it.
 std::uint64_t sweep_run_seed(std::uint64_t base_seed, std::uint64_t run_index);
+
+/// The seed of attempt `attempt` of run `run_index`. Attempt 0 is
+/// sweep_run_seed(base_seed, run_index) — unchanged by the retry feature —
+/// and attempt k > 0 derives a fresh stream from the run's own seed.
+std::uint64_t sweep_attempt_seed(std::uint64_t base_seed, std::uint64_t run_index,
+                                 std::size_t attempt);
+
+/// Human-readable description of the sweep's configuration, written to the
+/// checkpoint manifest and compared verbatim on --resume. Covers everything
+/// that shapes the output bytes: options, device shape, fault model, cells.
+std::string sweep_fingerprint(const SweepOptions& options, const std::vector<SweepCell>& cells);
 
 /// The Fig. 7 matrix: six paper benchmarks x {L-BGC, A-BGC, ADP-GC, JIT-GC}.
 std::vector<SweepCell> paper_matrix_cells();

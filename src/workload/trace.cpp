@@ -18,8 +18,8 @@ std::uint64_t parse_u64(std::string_view field, const char* what) {
   std::uint64_t value = 0;
   const auto [ptr, ec] = std::from_chars(field.data(), field.data() + field.size(), value);
   if (ec != std::errc{} || ptr != field.data() + field.size()) {
-    throw std::runtime_error(std::string("jitgc::wl: bad trace field (") + what + "): " +
-                             std::string(field));
+    throw std::runtime_error(std::string("bad trace field (") + what + "): '" +
+                             std::string(field) + "'");
   }
   return value;
 }
@@ -48,33 +48,41 @@ std::vector<TraceRecord> read_msr_trace(const std::string& path) {
   std::string line;
   bool first = true;
   std::int64_t base_ticks = 0;
+  std::uint64_t lineno = 0;  // 1-based, like every editor and compiler
 
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty()) continue;
-    const auto fields = split_csv(line, 7);
-    if (fields.size() < 6) {
-      throw std::runtime_error("jitgc::wl: malformed trace line: " + line);
-    }
+    try {
+      const auto fields = split_csv(line, 7);
+      if (fields.size() < 6) {
+        throw std::runtime_error("malformed trace line (expected >= 6 comma-separated fields): " +
+                                 line);
+      }
 
-    const auto ticks = static_cast<std::int64_t>(parse_u64(fields[0], "timestamp"));
-    if (first) {
-      base_ticks = ticks;
-      first = false;
-    }
+      const auto ticks = static_cast<std::int64_t>(parse_u64(fields[0], "timestamp"));
+      if (first) {
+        base_ticks = ticks;
+        first = false;
+      }
 
-    TraceRecord rec;
-    rec.timestamp = (ticks - base_ticks) / kFiletimeTicksPerUs;
-    const std::string_view type = fields[3];
-    if (type == "Read" || type == "read" || type == "R") {
-      rec.type = OpType::kRead;
-    } else if (type == "Write" || type == "write" || type == "W") {
-      rec.type = OpType::kWrite;
-    } else {
-      throw std::runtime_error("jitgc::wl: unknown op type in trace: " + std::string(type));
+      TraceRecord rec;
+      rec.timestamp = (ticks - base_ticks) / kFiletimeTicksPerUs;
+      const std::string_view type = fields[3];
+      if (type == "Read" || type == "read" || type == "R") {
+        rec.type = OpType::kRead;
+      } else if (type == "Write" || type == "write" || type == "W") {
+        rec.type = OpType::kWrite;
+      } else {
+        throw std::runtime_error("unknown op type: '" + std::string(type) + "'");
+      }
+      rec.offset = parse_u64(fields[4], "offset");
+      rec.size = parse_u64(fields[5], "size");
+      records.push_back(rec);
+    } catch (const std::runtime_error& e) {
+      throw std::runtime_error("jitgc::wl: " + path + " line " + std::to_string(lineno) + ": " +
+                               e.what());
     }
-    rec.offset = parse_u64(fields[4], "offset");
-    rec.size = parse_u64(fields[5], "size");
-    records.push_back(rec);
   }
   return records;
 }

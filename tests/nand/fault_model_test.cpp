@@ -1,0 +1,123 @@
+// The seeded fault-decision stream: deterministic per seed, independent of
+// the workload RNG, off by default, and wear-ramped near the endurance limit.
+#include "nand/fault_model.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "nand/nand_device.h"
+
+namespace jitgc::nand {
+namespace {
+
+TEST(FaultModel, DisabledConfigDrawsNothingAndNeverFails) {
+  FaultConfig config;  // all probabilities zero
+  EXPECT_FALSE(config.enabled());
+  FaultModel model(config, /*endurance_pe_cycles=*/100);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(model.program_fails(/*erase_count=*/50));
+    EXPECT_FALSE(model.erase_fails(/*erase_count=*/50));
+  }
+}
+
+TEST(FaultModel, SameSeedSameDecisionSequence) {
+  FaultConfig config;
+  config.program_fail_prob = 0.05;
+  config.erase_fail_prob = 0.02;
+  config.seed = 1234;
+  const auto draw = [&config] {
+    FaultModel model(config, 100);
+    std::vector<bool> decisions;
+    for (int i = 0; i < 5000; ++i) {
+      decisions.push_back(model.program_fails(10));
+      decisions.push_back(model.erase_fails(10));
+    }
+    return decisions;
+  };
+  EXPECT_EQ(draw(), draw());
+
+  const auto first = draw();
+  config.seed = 1235;
+  EXPECT_NE(first, draw());
+}
+
+TEST(FaultModel, BaselineRateIsRoughlyHonored) {
+  FaultConfig config;
+  config.program_fail_prob = 0.1;
+  config.seed = 42;
+  FaultModel model(config, 0);  // no endurance -> no wear ramp
+  int failures = 0;
+  const int trials = 20'000;
+  for (int i = 0; i < trials; ++i) failures += model.program_fails(0);
+  EXPECT_NEAR(failures / static_cast<double>(trials), 0.1, 0.01);
+}
+
+TEST(FaultModel, WearRampRaisesFailureRateNearEndurance) {
+  FaultConfig config;
+  config.program_fail_prob = 0.01;
+  config.wear_fail_prob_at_limit = 0.5;
+  config.seed = 9;
+  const std::uint64_t endurance = 1000;
+  const auto rate_at = [&](std::uint64_t erase_count) {
+    FaultModel model(config, endurance);
+    int failures = 0;
+    const int trials = 20'000;
+    for (int i = 0; i < trials; ++i) failures += model.program_fails(erase_count);
+    return failures / static_cast<double>(trials);
+  };
+  const double young = rate_at(100);    // far below the 90 % ramp start
+  const double ramping = rate_at(950);  // halfway up the ramp
+  const double at_limit = rate_at(1000);
+  const double beyond = rate_at(2000);  // ramp clamps at the limit value
+  EXPECT_NEAR(young, 0.01, 0.005);
+  EXPECT_GT(ramping, young + 0.1);
+  EXPECT_NEAR(at_limit, 0.51, 0.02);
+  EXPECT_NEAR(beyond, at_limit, 0.02);
+}
+
+TEST(FaultModel, RejectsNonsenseProbabilities) {
+  FaultConfig config;
+  config.program_fail_prob = 1.5;
+  EXPECT_THROW(FaultModel(config, 100), std::logic_error);
+  config.program_fail_prob = -0.1;
+  EXPECT_THROW(FaultModel(config, 100), std::logic_error);
+}
+
+TEST(NandDeviceFault, ProgramFailureLeavesPageInvalidAndCharged) {
+  FaultConfig faults;
+  faults.program_fail_prob = 1.0;  // every program fails
+  faults.seed = 3;
+  NandDevice dev(small_geometry(), timing_20nm_mlc(), faults);
+  const auto r = dev.program_page(/*block_id=*/0, /*lba=*/7);
+  EXPECT_EQ(r.status, NandStatus::kProgramFail);
+  EXPECT_FALSE(r.ok());
+  // The attempt consumed a real page and real time: the page is burned
+  // (invalid), and the stats show both the program and the failure.
+  EXPECT_EQ(dev.block(0).invalid_count(), 1u);
+  EXPECT_EQ(dev.stats().program_failures, 1u);
+  EXPECT_EQ(dev.stats().page_programs, 1u);
+}
+
+TEST(NandDeviceFault, EraseFailureCountsTheCycle) {
+  FaultConfig faults;
+  faults.erase_fail_prob = 1.0;
+  faults.seed = 3;
+  NandDevice dev(small_geometry(), timing_20nm_mlc(), faults);
+  EXPECT_EQ(dev.erase_block(0), NandStatus::kEraseFail);
+  EXPECT_EQ(dev.stats().erase_failures, 1u);
+  // The failed erase still stressed the cells: wear is counted.
+  EXPECT_EQ(dev.block(0).erase_count(), 1u);
+}
+
+TEST(NandDeviceFault, NoFaultConfigMeansNoFailuresEver) {
+  NandDevice dev(small_geometry(), timing_20nm_mlc());
+  for (std::uint32_t p = 0; p < 32; ++p) {
+    EXPECT_TRUE(dev.program_page(0, p).ok());
+  }
+  EXPECT_EQ(dev.stats().program_failures, 0u);
+}
+
+}  // namespace
+}  // namespace jitgc::nand

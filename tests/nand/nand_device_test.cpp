@@ -36,28 +36,29 @@ TEST(Geometry, ValidationRejectsDegenerate) {
 
 TEST(NandDevice, ProgramReadRoundTrip) {
   NandDevice dev(tiny_geometry(), timing_20nm_mlc());
-  const Ppa ppa = dev.program_page(3, 77);
-  EXPECT_EQ(ppa.block, 3u);
-  EXPECT_EQ(ppa.page, 0u);
-  EXPECT_EQ(dev.read_page(ppa), 77u);
+  const ProgramResult r = dev.program_page(3, 77);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ppa.block, 3u);
+  EXPECT_EQ(r.ppa.page, 0u);
+  EXPECT_EQ(dev.read_page(r.ppa), 77u);
 }
 
 TEST(NandDevice, ReadOfNonValidPageThrows) {
   NandDevice dev(tiny_geometry(), timing_20nm_mlc());
   EXPECT_THROW(dev.read_page(Ppa{0, 0}), std::logic_error);
-  const Ppa ppa = dev.program_page(0, 1);
+  const Ppa ppa = dev.program_page(0, 1).ppa;
   dev.invalidate_page(ppa);
   EXPECT_THROW(dev.read_page(ppa), std::logic_error);
 }
 
 TEST(NandDevice, StatsAccumulate) {
   NandDevice dev(tiny_geometry(), timing_20nm_mlc());
-  const Ppa a = dev.program_page(0, 1);
-  dev.program_page(0, 2, /*is_migration=*/true);
+  const Ppa a = dev.program_page(0, 1).ppa;
+  (void)dev.program_page(0, 2, /*is_migration=*/true);
   dev.read_page(a);
   dev.invalidate_page(a);
   dev.invalidate_page(Ppa{0, 1});
-  dev.erase_block(0);
+  ASSERT_EQ(dev.erase_block(0), NandStatus::kOk);
 
   const NandStats& s = dev.stats();
   EXPECT_EQ(s.page_programs, 2u);
@@ -69,16 +70,16 @@ TEST(NandDevice, StatsAccumulate) {
 
 TEST(NandDevice, EraseOfBlockWithValidDataThrows) {
   NandDevice dev(tiny_geometry(), timing_20nm_mlc());
-  dev.program_page(1, 5);
-  EXPECT_THROW(dev.erase_block(1), std::logic_error);
+  (void)dev.program_page(1, 5);
+  EXPECT_THROW((void)dev.erase_block(1), std::logic_error);
 }
 
 TEST(NandDevice, WearAccounting) {
   NandDevice dev(tiny_geometry(), timing_20nm_mlc());
   for (int i = 0; i < 3; ++i) {
-    const Ppa p = dev.program_page(2, 1);
+    const Ppa p = dev.program_page(2, 1).ppa;
     dev.invalidate_page(p);
-    dev.erase_block(2);
+    ASSERT_EQ(dev.erase_block(2), NandStatus::kOk);
   }
   EXPECT_EQ(dev.max_erase_count(), 3u);
   EXPECT_DOUBLE_EQ(dev.mean_erase_count(), 3.0 / 8.0);

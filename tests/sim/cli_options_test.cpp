@@ -78,6 +78,39 @@ TEST(CliOptions, RejectsBadNumbers) {
   EXPECT_FALSE(parse({"--blocks-per-plane=0"}));
 }
 
+TEST(CliOptions, ParsesFaultInjectionFlags) {
+  const auto opt = parse({"--fault-program=0.01", "--fault-erase=0.005", "--fault-wear=0.5",
+                          "--spare-blocks=12"});
+  ASSERT_TRUE(opt);
+  EXPECT_DOUBLE_EQ(opt->fault_program_fail_prob, 0.01);
+  EXPECT_DOUBLE_EQ(opt->fault_erase_fail_prob, 0.005);
+  EXPECT_DOUBLE_EQ(opt->fault_wear_fail_prob, 0.5);
+  EXPECT_EQ(opt->spare_blocks, 12u);
+}
+
+TEST(CliOptions, RejectsOutOfRangeProbabilities) {
+  // Every rejection is a one-line error naming the offending flag.
+  const auto rejects = [](std::initializer_list<const char*> args, const char* flag) {
+    std::string err;
+    EXPECT_FALSE(parse(args, &err)) << flag;
+    EXPECT_NE(err.find(flag), std::string::npos) << err;
+    EXPECT_EQ(err.find('\n'), std::string::npos) << err;  // one line
+  };
+  rejects({"--fault-program=1.5"}, "--fault-program");
+  rejects({"--fault-program=-0.1"}, "--fault-program");
+  rejects({"--fault-erase=2"}, "--fault-erase");
+  rejects({"--fault-wear=nan"}, "--fault-wear");
+  rejects({"--trace-buffered=1.5"}, "--trace-buffered");
+  rejects({"--trace-buffered=-1"}, "--trace-buffered");
+  rejects({"--op-ratio=1"}, "--op-ratio");
+  rejects({"--op-ratio=0"}, "--op-ratio");
+  rejects({"--spare-blocks=many"}, "--spare-blocks");
+  rejects({"--seconds=0"}, "--seconds");
+  rejects({"--pages-per-block=0"}, "--pages-per-block");
+  rejects({"--bgc-rate-limit=-1"}, "--bgc-rate-limit");
+  rejects({"--service-queues=x"}, "--service-queues");
+}
+
 TEST(CliOptions, RequiresValues) {
   std::string err;
   EXPECT_FALSE(parse({"--workload"}, &err));

@@ -58,6 +58,42 @@ TEST_F(TraceFileTest, RejectsUnknownOpType) {
   EXPECT_THROW(read_msr_trace(path_), std::runtime_error);
 }
 
+// Corrupt traces must be diagnosable: every parse error names the file and
+// the 1-based line the corruption sits on, like a compiler would.
+TEST_F(TraceFileTest, ErrorsCarryFileAndOneBasedLineNumber) {
+  const auto error_for = [&](const std::string& content) -> std::string {
+    write_file(content);
+    try {
+      read_msr_trace(path_);
+    } catch (const std::runtime_error& e) {
+      return e.what();
+    }
+    return "";
+  };
+
+  // Corruption on the very first line reports line 1, not 0.
+  const std::string first = error_for("garbage,without,enough,fields\n");
+  EXPECT_NE(first.find(path_), std::string::npos) << first;
+  EXPECT_NE(first.find("line 1"), std::string::npos) << first;
+
+  // A good line followed by a bad one reports line 2.
+  const std::string second =
+      error_for("100,h,0,Write,0,512,0\n100,h,0,Write,xyz,512,0\n");
+  EXPECT_NE(second.find("line 2"), std::string::npos) << second;
+  EXPECT_NE(second.find("offset"), std::string::npos) << second;  // names the field
+  EXPECT_NE(second.find("xyz"), std::string::npos) << second;     // and the value
+
+  // Blank lines still count toward the line number editors show.
+  const std::string after_blank =
+      error_for("100,h,0,Write,0,512,0\n\n\n100,h,0,Flush,0,512,0\n");
+  EXPECT_NE(after_blank.find("line 4"), std::string::npos) << after_blank;
+  EXPECT_NE(after_blank.find("Flush"), std::string::npos) << after_blank;
+
+  // Bad timestamp and bad size name their fields too.
+  EXPECT_NE(error_for("t1me,h,0,Write,0,512,0\n").find("timestamp"), std::string::npos);
+  EXPECT_NE(error_for("100,h,0,Write,0,-512,0\n").find("size"), std::string::npos);
+}
+
 TEST_F(TraceFileTest, MissingFileThrows) {
   EXPECT_THROW(read_msr_trace("/nonexistent/trace.csv"), std::runtime_error);
 }

@@ -43,8 +43,27 @@ int usage(int code) {
                "  --base-seed=<n>    seed-derivation base             (default 1)\n"
                "  --threads=<n>      worker threads; 0 = all hardware (default 0)\n"
                "  --format=<f>      jsonl (default) | csv (legacy run-level rows)\n"
-               "  --intervals        also emit per-interval records (jsonl only)\n");
+               "  --intervals        also emit per-interval records (jsonl only)\n"
+               "  --retries=<n>      extra attempts per failed run    (default 2)\n"
+               "  --checkpoint=<dir> write crash-safe per-run progress here\n"
+               "  --resume           reuse completed runs from --checkpoint dir\n"
+               "  --fault-program=<p> NAND program-failure probability  (default 0)\n"
+               "  --fault-erase=<p>  NAND erase-failure probability    (default 0)\n"
+               "  --fault-wear=<p>   extra failure probability at the endurance\n"
+               "                     limit (ramps up from 90%% of the limit)\n"
+               "  --spare-blocks=<n> factory spare blocks for bad-block management\n"
+               "  --endurance=<pe>   enforce endurance at this P/E rating\n");
   return code;
+}
+
+bool parse_probability(const std::string& arg, std::size_t prefix, const char* flag,
+                       double& out) {
+  out = std::stod(arg.substr(prefix));
+  if (!(out >= 0.0 && out <= 1.0)) {  // negated form also rejects NaN
+    std::fprintf(stderr, "%s needs a probability in [0,1]\n", flag);
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -55,6 +74,11 @@ int main(int argc, char** argv) {
   double seconds_arg = 300.0;
   std::string matrix = "fig7";
   std::string workload_filter;
+  double fault_program = 0.0;
+  double fault_erase = 0.0;
+  double fault_wear = 0.0;
+  std::uint64_t spare_blocks = 0;
+  std::uint64_t endurance = 0;
   sim::SweepOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -72,6 +96,22 @@ int main(int argc, char** argv) {
         matrix = arg.substr(9);
       } else if (arg.rfind("--workload=", 0) == 0) {
         workload_filter = arg.substr(11);
+      } else if (arg.rfind("--retries=", 0) == 0) {
+        options.run_retries = std::stoull(arg.substr(10));
+      } else if (arg.rfind("--checkpoint=", 0) == 0) {
+        options.checkpoint_dir = arg.substr(13);
+      } else if (arg == "--resume") {
+        options.resume = true;
+      } else if (arg.rfind("--fault-program=", 0) == 0) {
+        if (!parse_probability(arg, 16, "--fault-program", fault_program)) return usage(2);
+      } else if (arg.rfind("--fault-erase=", 0) == 0) {
+        if (!parse_probability(arg, 14, "--fault-erase", fault_erase)) return usage(2);
+      } else if (arg.rfind("--fault-wear=", 0) == 0) {
+        if (!parse_probability(arg, 13, "--fault-wear", fault_wear)) return usage(2);
+      } else if (arg.rfind("--spare-blocks=", 0) == 0) {
+        spare_blocks = std::stoull(arg.substr(15));
+      } else if (arg.rfind("--endurance=", 0) == 0) {
+        endurance = std::stoull(arg.substr(12));
       } else if (arg.rfind("--format=", 0) == 0) {
         const std::string format = arg.substr(9);
         if (format == "jsonl") {
@@ -99,6 +139,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--seconds and --seeds must be positive\n");
     return usage(2);
   }
+  if (options.resume && options.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume needs --checkpoint=<dir>\n");
+    return usage(2);
+  }
+  if (fault_wear > 0.0 && endurance == 0) {
+    std::fprintf(stderr, "--fault-wear needs --endurance=<pe> (the ramp anchor)\n");
+    return usage(2);
+  }
 
   std::vector<sim::SweepCell> cells;
   if (matrix == "fig7") {
@@ -124,12 +172,26 @@ int main(int argc, char** argv) {
 
   options.base = sim::default_sim_config();
   options.base.duration = seconds(seconds_arg);
+  auto& ftl_config = options.base.ssd.ftl;
+  ftl_config.fault.program_fail_prob = fault_program;
+  ftl_config.fault.erase_fail_prob = fault_erase;
+  ftl_config.fault.wear_fail_prob_at_limit = fault_wear;
+  ftl_config.spare_blocks = static_cast<std::uint32_t>(spare_blocks);
+  if (endurance > 0) {
+    ftl_config.enforce_endurance = true;
+    ftl_config.timing.endurance_pe_cycles = endurance;
+  }
 
   const std::size_t threads =
       options.threads > 0 ? options.threads : ThreadPool::hardware_threads();
   std::fprintf(stderr, "jitgc_sweep: %zu runs (%zu cells x %zu seeds) on %zu threads\n",
                cells.size() * options.seeds, cells.size(), options.seeds, threads);
 
-  sim::run_sweep_to(std::cout, options, cells);
+  try {
+    sim::run_sweep_to(std::cout, options, cells);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "jitgc_sweep: %s\n", e.what());
+    return 2;
+  }
   return 0;
 }

@@ -11,11 +11,17 @@
 # are reported (the metrics go to stdout as JSONL for the sink; no hard
 # ratio gate here — machine load would make that flaky in CI).
 #
-# Usage: bench_smoke.sh <path-to-jitgc_sweep> [path-to-bench_victim_select]
+# When a jitgc_cli binary is passed as the third argument, a 4-device array
+# run exercises both GC modes, asserts byte-identical output across --jobs 1
+# and --jobs 4 and across re-runs, and schema-validates the array_interval /
+# device_interval records (see docs/metrics_schema.md).
+#
+# Usage: bench_smoke.sh <path-to-jitgc_sweep> [bench_victim_select] [jitgc_cli]
 set -euo pipefail
 
-SWEEP_BIN=${1:?usage: bench_smoke.sh <path-to-jitgc_sweep> [path-to-bench_victim_select]}
+SWEEP_BIN=${1:?usage: bench_smoke.sh <path-to-jitgc_sweep> [bench_victim_select] [jitgc_cli]}
 VICTIM_BENCH_BIN=${2:-}
+CLI_BIN=${3:-}
 WORKDIR=$(mktemp -d)
 trap 'rm -rf "$WORKDIR"' EXIT
 
@@ -164,5 +170,82 @@ EOF
     [ "$(grep -c '"type":"bench"' "$WORKDIR/victim.jsonl")" -eq 6 ]
     [ "$(grep -c '"type":"bench_summary"' "$WORKDIR/victim.jsonl")" -eq 3 ]
     echo "bench_smoke: victim-select timing records OK (grep fallback)"
+  fi
+fi
+
+# -- Multi-SSD array: deterministic across thread counts, schema-valid ---------
+if [ -n "$CLI_BIN" ]; then
+  ARRAY_ARGS=(--workload=ycsb --seconds=30 --array-devices=4 --stripe-chunk=8)
+  for mode in naive staggered; do
+    "$CLI_BIN" "${ARRAY_ARGS[@]}" --array-gc-mode="$mode" --jobs=1 \
+      --metrics="$WORKDIR/arr_${mode}_j1.jsonl" > "$WORKDIR/arr_${mode}_j1.txt"
+    "$CLI_BIN" "${ARRAY_ARGS[@]}" --array-gc-mode="$mode" --jobs=4 \
+      --metrics="$WORKDIR/arr_${mode}_j4.jsonl" > "$WORKDIR/arr_${mode}_j4.txt"
+    if ! cmp -s "$WORKDIR/arr_${mode}_j1.jsonl" "$WORKDIR/arr_${mode}_j4.jsonl" ||
+       ! cmp -s "$WORKDIR/arr_${mode}_j1.txt" "$WORKDIR/arr_${mode}_j4.txt"; then
+      echo "FAIL: array ($mode) output differs between --jobs=1 and --jobs=4" >&2
+      diff "$WORKDIR/arr_${mode}_j1.jsonl" "$WORKDIR/arr_${mode}_j4.jsonl" >&2 || true
+      exit 1
+    fi
+  done
+  # Re-run determinism: same seed, same bytes.
+  "$CLI_BIN" "${ARRAY_ARGS[@]}" --array-gc-mode=staggered --jobs=4 \
+    --metrics="$WORKDIR/arr_rerun.jsonl" > /dev/null
+  if ! cmp -s "$WORKDIR/arr_staggered_j4.jsonl" "$WORKDIR/arr_rerun.jsonl"; then
+    echo "FAIL: array re-run with the same seed is not byte-identical" >&2
+    exit 1
+  fi
+  echo "bench_smoke: array runs deterministic across thread counts and re-runs"
+
+  if command -v python3 > /dev/null 2>&1; then
+    python3 - "$WORKDIR/arr_staggered_j1.jsonl" << 'EOF'
+import json
+import sys
+
+ARRAY_FIELDS = {
+    "type", "run", "seed", "interval", "time_s", "devices", "gc_devices",
+    "free_bytes_min", "free_bytes_total", "write_bytes", "read_bytes",
+    "bgc_reclaimed_bytes", "ops", "gc_stalled_ops", "p50_latency_us",
+    "p99_latency_us", "p999_latency_us", "max_latency_us",
+    "write_p99_latency_us", "write_p999_latency_us",
+}
+DEVICE_FIELDS = {
+    "type", "run", "seed", "device", "interval", "time_s", "free_bytes",
+    "gc_granted", "gc_urgent", "gc_window_us", "bgc_reclaimed_bytes",
+    "write_bytes", "busy_us", "fgc_cycles",
+}
+
+arrays = devices = runs = 0
+n_devices = 0
+with open(sys.argv[1]) as f:
+    for lineno, line in enumerate(f, 1):
+        rec = json.loads(line)
+        kind = rec.get("type")
+        if kind == "array_interval":
+            if set(rec) != ARRAY_FIELDS:
+                sys.exit(f"line {lineno}: array_interval schema mismatch "
+                         f"(got {sorted(rec)})")
+            n_devices = rec["devices"]
+            arrays += 1
+        elif kind == "device_interval":
+            if set(rec) != DEVICE_FIELDS:
+                sys.exit(f"line {lineno}: device_interval schema mismatch "
+                         f"(got {sorted(rec)})")
+            devices += 1
+        elif kind == "run":
+            runs += 1
+        else:
+            sys.exit(f"line {lineno}: unexpected record type {kind!r} in array run")
+
+# 30 s at p=5 s = 6 ticks; one device record per device per tick.
+if arrays != 6 or n_devices != 4 or devices != 6 * 4 or runs != 1:
+    sys.exit(f"unexpected record counts: {arrays} array intervals, "
+             f"{devices} device intervals ({n_devices} devices), {runs} runs")
+print(f"bench_smoke: array records OK ({arrays} array + {devices} device intervals)")
+EOF
+  else
+    [ "$(grep -c '"type":"array_interval"' "$WORKDIR/arr_staggered_j1.jsonl")" -eq 6 ]
+    [ "$(grep -c '"type":"device_interval"' "$WORKDIR/arr_staggered_j1.jsonl")" -eq 24 ]
+    echo "bench_smoke: array records OK (grep fallback)"
   fi
 fi

@@ -1,0 +1,73 @@
+#include "array/array_cli.h"
+
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+
+#include "array/array_simulator.h"
+#include "common/ensure.h"
+#include "sim/experiment.h"
+#include "sim/metrics_sink.h"
+
+namespace jitgc::array {
+
+sim::SimReport run_array_from_cli(const sim::CliOptions& options) {
+  JITGC_ENSURE_MSG(options.array_devices >= 1, "array mode needs --array-devices");
+
+  // Device shape: the same defaults and knobs as a single-SSD run; each of
+  // the N devices gets this configuration. Single-SSD-only options (--policy,
+  // --bgc-rate-limit, the page-cache knobs) don't apply — the array models
+  // the post-cache device stream and schedules GC with its own coordinator.
+  const sim::SimConfig base = sim::default_sim_config(options.seed);
+  ArraySimConfig config;
+  config.ssd = base.ssd;
+  config.ssd.ftl.geometry.blocks_per_plane = options.blocks_per_plane;
+  config.ssd.ftl.geometry.pages_per_block = options.pages_per_block;
+  config.ssd.ftl.op_ratio = options.op_ratio;
+  config.ssd.ftl.victim_policy = options.victim_policy;
+  config.ssd.ftl.enable_hot_cold_separation = options.hot_cold_separation;
+  config.ssd.service_queues = options.service_queues;
+  if (options.endurance_pe_cycles > 0) {
+    config.ssd.ftl.enforce_endurance = true;
+    config.ssd.ftl.timing.endurance_pe_cycles = options.endurance_pe_cycles;
+  }
+  config.ssd.ftl.fault.program_fail_prob = options.fault_program_fail_prob;
+  config.ssd.ftl.fault.erase_fail_prob = options.fault_erase_fail_prob;
+  config.ssd.ftl.fault.wear_fail_prob_at_limit = options.fault_wear_fail_prob;
+  config.ssd.ftl.spare_blocks = options.spare_blocks;
+
+  config.duration = seconds(options.seconds);
+  config.flush_period = base.cache.flush_period;
+  config.seed = options.seed;
+  config.step_threads = static_cast<std::size_t>(options.jobs);
+
+  config.array.devices = options.array_devices;
+  config.array.stripe_chunk_pages = options.stripe_chunk_pages;
+  const auto mode = parse_array_gc_mode(options.array_gc_mode);
+  if (!mode) {
+    throw std::runtime_error("unknown array GC mode: " + options.array_gc_mode);
+  }
+  config.array.gc_mode = *mode;
+  config.array.max_concurrent_gc = options.array_max_concurrent_gc;
+
+  ArraySimulator simulator(config);
+  const Lba user_pages = simulator.ssd_array().user_pages();
+  const std::unique_ptr<wl::WorkloadGenerator> gen =
+      sim::make_workload_from_cli(options, user_pages);
+
+  std::ofstream metrics_out;
+  std::unique_ptr<sim::JsonlMetricsSink> metrics_sink;
+  if (!options.metrics_path.empty()) {
+    metrics_out.open(options.metrics_path);
+    if (!metrics_out) {
+      throw std::runtime_error("cannot open metrics file: " + options.metrics_path);
+    }
+    metrics_sink = std::make_unique<sim::JsonlMetricsSink>(metrics_out, /*run_index=*/0,
+                                                           options.seed, /*emit_intervals=*/true);
+    simulator.set_metrics_sink(metrics_sink.get());
+  }
+
+  return simulator.run(*gen);
+}
+
+}  // namespace jitgc::array

@@ -1,0 +1,17 @@
+// Runs the array simulator from parsed CLI options (jitgc_cli
+// --array-devices=N ...). Lives in jitgc_array rather than jitgc_sim so the
+// dependency stays one-way: sim knows nothing about the array layer.
+#pragma once
+
+#include "sim/cli_options.h"
+#include "sim/metrics.h"
+
+namespace jitgc::array {
+
+/// Builds an ArraySimConfig from `options` (which must have
+/// array_devices >= 1), runs the configured workload over the array, and
+/// returns the report. Opens options.metrics_path for JSONL records when
+/// set. Throws std::runtime_error for unusable combinations.
+sim::SimReport run_array_from_cli(const sim::CliOptions& options);
+
+}  // namespace jitgc::array

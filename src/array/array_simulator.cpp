@@ -1,0 +1,434 @@
+#include "array/array_simulator.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/ensure.h"
+#include "common/rng.h"
+#include "sim/metrics_sink.h"
+#include "sim/simulator.h"
+
+namespace jitgc::array {
+namespace {
+
+/// Pages of the logical prefix [0, prefix) that land on device `d` of `n`
+/// under chunked striping — the per-device share of a striped fill.
+Lba prefix_pages_on_device(Lba prefix, std::uint32_t d, std::uint32_t n, Lba chunk) {
+  const Lba full_chunks = prefix / chunk;
+  const Lba tail = prefix % chunk;
+  Lba pages = (full_chunks / n) * chunk;
+  const std::uint32_t extra = static_cast<std::uint32_t>(full_chunks % n);
+  if (d < extra) pages += chunk;
+  if (d == extra) pages += tail;
+  return pages;
+}
+
+}  // namespace
+
+ArraySimulator::ArraySimulator(const ArraySimConfig& config)
+    : config_(config),
+      array_(config.ssd, config.array, config.seed),
+      coordinator_(config.array),
+      pool_(config.step_threads ? config.step_threads : ThreadPool::hardware_threads()),
+      states_(config.array.devices),
+      bases_(config.array.devices) {
+  JITGC_ENSURE_MSG(config_.flush_period > 0, "flush period must be positive");
+}
+
+void ArraySimulator::precondition(wl::WorkloadGenerator& workload) {
+  const Lba footprint = std::min<Lba>(workload.footprint_pages(), array_.user_pages());
+  JITGC_ENSURE_MSG(footprint > 0, "workload footprint is empty");
+  const Lba ws = std::min<Lba>(workload.working_set_pages(), footprint);
+  const Lba chunk = config_.array.stripe_chunk_pages;
+  const std::uint32_t n = array_.device_count();
+
+  // Each device ages independently: its share of the striped footprint is a
+  // contiguous device-local prefix, and the scramble draws from its share of
+  // the working set with a per-device derived seed. Tasks touch only their
+  // own device, so the fan-out is deterministic regardless of thread count.
+  pool_.parallel_for(n, [&](std::size_t d) {
+    ftl::Ftl& ftl = array_.device(static_cast<std::uint32_t>(d)).mutable_ftl();
+    const Lba fill = prefix_pages_on_device(footprint, static_cast<std::uint32_t>(d), n, chunk);
+    for (Lba lba = 0; lba < fill; ++lba) ftl.write(lba);
+
+    const Lba ws_d = prefix_pages_on_device(ws, static_cast<std::uint32_t>(d), n, chunk);
+    if (ws_d > 0) {
+      Rng rng(derive_seed(config_.seed ^ 0xA6E5C0DE, d));
+      const auto overwrites = static_cast<std::uint64_t>(config_.precondition_overwrite_factor *
+                                                         static_cast<double>(ws_d));
+      for (std::uint64_t i = 0; i < overwrites; ++i) ftl.write(rng.uniform(ws_d));
+    }
+
+    // Rest the device: aging leaves free space at rock bottom, and the array
+    // coordinator only acts at flush ticks — without a restored OP reserve the
+    // first interval degenerates into an urgent-GC storm on every device.
+    const Bytes free_now = ftl.free_bytes_for_writes();
+    if (free_now < ftl.op_capacity()) {
+      ftl.background_reclaim((ftl.op_capacity() - free_now) / ftl.page_size());
+    }
+  });
+}
+
+TimeUs ArraySimulator::dispatch(std::uint32_t dev, TimeUs earliest, TimeUs cost, bool& stalled) {
+  DeviceState& st = states_[dev];
+  TimeUs start = std::max(st.busy_until, earliest);
+  // Wait out every GC window the start lands in. Starts are monotone per
+  // device (arrivals and busy_until both only grow), so the cursor never
+  // needs to rewind.
+  while (true) {
+    while (st.window_cursor < st.windows.size() &&
+           st.windows[st.window_cursor].end <= start) {
+      ++st.window_cursor;
+    }
+    if (st.window_cursor < st.windows.size() && st.windows[st.window_cursor].start <= start) {
+      start = st.windows[st.window_cursor].end;
+      stalled = true;
+      continue;
+    }
+    break;
+  }
+  st.busy_until = start + cost;
+  st.interval_busy_us += cost;
+  return st.busy_until;
+}
+
+TimeUs ArraySimulator::execute_op(const wl::AppOp& op, TimeUs issue, bool& stalled) {
+  const Bytes page_size = array_.page_size();
+  TimeUs completion = issue;
+  for (std::uint32_t i = 0; i < op.pages; ++i) {
+    const StripeTarget t = array_.map(op.lba + i);
+    sim::Ssd& dev = array_.device(t.device);
+    TimeUs cost = 0;
+    switch (op.type) {
+      case wl::OpType::kWrite:
+        cost = dev.write_page(t.lba);
+        states_[t.device].interval_write_bytes += page_size;
+        interval_write_bytes_ += page_size;
+        app_write_bytes_ += page_size;
+        break;
+      case wl::OpType::kRead:
+        cost = dev.read_page(t.lba);
+        interval_read_bytes_ += page_size;
+        break;
+      case wl::OpType::kTrim:
+        cost = dev.trim(t.lba);
+        break;
+    }
+    completion = std::max(completion, dispatch(t.device, issue, cost, stalled));
+  }
+  return completion;
+}
+
+ArraySimulator::GcPhaseResult ArraySimulator::collect_device(std::uint32_t d,
+                                                             const GcGrant& grant) {
+  GcPhaseResult r;
+  if (!grant.granted) return r;
+  sim::Ssd& dev = array_.device(d);
+  const double duty =
+      grant.urgent ? config_.array.gc_urgent_duty_cap : config_.array.gc_duty_cap;
+  const auto budget = static_cast<TimeUs>(duty * static_cast<double>(config_.flush_period));
+  const Bytes page_size = array_.page_size();
+
+  while (dev.ftl().free_bytes_for_writes() < grant.target_bytes && r.gc_time_us < budget) {
+    const TimeUs per_page = dev.migrate_step_time();
+    const auto max_pages = static_cast<std::uint32_t>(
+        std::max<TimeUs>(1, config_.array.gc_slice_us / per_page));
+    const ftl::Ftl::GcStep step = dev.bgc_collect_step(max_pages);
+    if (!step.progressed) break;
+    r.bursts.push_back(step.time_us);
+    r.gc_time_us += step.time_us;
+    r.reclaimed_bytes += static_cast<Bytes>(step.freed_pages) * page_size;
+  }
+  return r;
+}
+
+void ArraySimulator::drain_fault_events(double time_s) {
+  for (std::uint32_t d = 0; d < array_.device_count(); ++d) {
+    // Always drain (bounds the FTL-side buffer); forward only when someone
+    // listens.
+    const std::vector<ftl::DegradeEvent> events =
+        array_.device(d).mutable_ftl().take_degrade_events();
+    if (metrics_sink_ == nullptr) continue;
+    for (const ftl::DegradeEvent& e : events) {
+      sim::FaultRecord rec;
+      rec.kind = sim::fault_kind_name(e.kind);
+      rec.device = static_cast<std::int32_t>(d);
+      rec.block = e.block;
+      rec.erase_count = e.erase_count;
+      rec.seq = e.seq;
+      rec.time_s = time_s;
+      metrics_sink_->on_fault(rec);
+    }
+  }
+}
+
+void ArraySimulator::process_tick(TimeUs now) {
+  const std::uint64_t tick = interval_index_++;  // 0-based for the rotation
+  const TimeUs p = config_.flush_period;
+  const std::uint32_t n = array_.device_count();
+
+  // 1. Poll every device through the extended interface. The poll is a real
+  // host command: its overhead occupies the device's queue, exactly as the
+  // single-SSD manager is charged.
+  std::vector<DeviceDemand> demands(n);
+  for (std::uint32_t d = 0; d < n; ++d) {
+    DeviceState& st = states_[d];
+    const double sample = static_cast<double>(st.interval_write_bytes);
+    st.demand_ewma_bytes =
+        st.demand_ewma_bytes == 0.0 ? sample : 0.3 * sample + 0.7 * st.demand_ewma_bytes;
+
+    TimeUs overhead = 0;
+    demands[d].free_bytes = array_.device(d).query_free_capacity(overhead);
+    st.busy_until = std::max(st.busy_until, now) + overhead;
+    st.interval_busy_us += overhead;
+    demands[d].reclaimable_bytes = array_.device(d).ftl().reclaimable_capacity();
+    demands[d].demand_bytes_per_interval = static_cast<Bytes>(st.demand_ewma_bytes);
+  }
+
+  // 2. Coordinate.
+  const std::vector<GcGrant> grants = coordinator_.decide(tick, demands);
+
+  // 3. Parallel GC phase: granted devices collect concurrently. Device
+  // states are disjoint; results are merged below in device-index order, so
+  // the run is byte-identical at any thread count.
+  std::vector<GcPhaseResult> results(n);
+  pool_.parallel_for(n, [&](std::size_t d) {
+    results[d] = collect_device(static_cast<std::uint32_t>(d),
+                                grants[d]);
+  });
+
+  // 4. Merge: turn each device's bursts into busy windows inside the coming
+  // interval and emit its record. Coordinated grants spread their bursts
+  // evenly — the array scheduler paces everything it grants, and urgency
+  // only raises the budget. Naive grants run one contiguous session from
+  // the tick: a local policy has no pacing contract.
+  drain_fault_events(to_seconds(now));
+  std::uint32_t gc_devices = 0;
+  Bytes reclaimed_total = 0;
+  Bytes free_min = 0;
+  Bytes free_total = 0;
+  for (std::uint32_t d = 0; d < n; ++d) {
+    DeviceState& st = states_[d];
+    const GcPhaseResult& res = results[d];
+    const bool spread = config_.array.gc_mode != ArrayGcMode::kNaive;
+
+    st.windows.clear();
+    st.window_cursor = 0;
+    const auto bursts = static_cast<TimeUs>(res.bursts.size());
+    TimeUs cursor = now;
+    for (std::size_t i = 0; i < res.bursts.size(); ++i) {
+      TimeUs start = cursor;
+      if (spread) {
+        start = std::max<TimeUs>(now + static_cast<TimeUs>(i) * (p / bursts), cursor);
+      }
+      st.windows.push_back(GcWindow{start, start + res.bursts[i]});
+      cursor = start + res.bursts[i];
+    }
+
+    if (grants[d].granted) {
+      ++gc_devices;
+      reclaim_requested_ +=
+          grants[d].target_bytes > demands[d].free_bytes
+              ? grants[d].target_bytes - demands[d].free_bytes
+              : 0;
+    }
+    reclaimed_total += res.reclaimed_bytes;
+    const Bytes free_now = array_.device(d).ftl().free_bytes_for_writes();
+    free_total += free_now;
+    free_min = d == 0 ? free_now : std::min(free_min, free_now);
+
+    if (metrics_sink_ != nullptr) {
+      const auto& fs = array_.device(d).ftl().stats();
+      sim::DeviceIntervalRecord rec;
+      rec.device = d;
+      rec.interval = tick + 1;
+      rec.time_s = to_seconds(now);
+      rec.free_bytes = free_now;
+      rec.gc_granted = grants[d].granted;
+      rec.gc_urgent = grants[d].urgent;
+      rec.gc_window_us = res.gc_time_us;
+      rec.bgc_reclaimed_bytes = res.reclaimed_bytes;
+      rec.write_bytes = st.interval_write_bytes;
+      rec.busy_us = st.interval_busy_us;
+      rec.fgc_cycles = fs.foreground_gc_cycles - st.interval_fgc_base;
+      metrics_sink_->on_device_interval(rec);
+      st.interval_fgc_base = fs.foreground_gc_cycles;
+    }
+    st.interval_write_bytes = 0;
+    st.interval_busy_us = 0;
+  }
+
+  // 5. The array-level record.
+  if (metrics_sink_ != nullptr) {
+    sim::ArrayIntervalRecord rec;
+    rec.interval = tick + 1;
+    rec.time_s = to_seconds(now);
+    rec.devices = n;
+    rec.gc_devices = gc_devices;
+    rec.free_bytes_min = free_min;
+    rec.free_bytes_total = free_total;
+    rec.write_bytes = interval_write_bytes_;
+    rec.read_bytes = interval_read_bytes_;
+    rec.bgc_reclaimed_bytes = reclaimed_total;
+    rec.ops = interval_ops_;
+    rec.gc_stalled_ops = interval_stalled_ops_;
+    rec.p50_latency_us = interval_latencies_.percentile(50.0);
+    rec.p99_latency_us = interval_latencies_.percentile(99.0);
+    rec.p999_latency_us = interval_latencies_.percentile(99.9);
+    rec.max_latency_us = interval_latencies_.percentile(100.0);
+    rec.write_p99_latency_us = interval_write_latencies_.percentile(99.0);
+    rec.write_p999_latency_us = interval_write_latencies_.percentile(99.9);
+    metrics_sink_->on_array_interval(rec);
+  }
+  interval_write_bytes_ = 0;
+  interval_read_bytes_ = 0;
+  interval_ops_ = 0;
+  interval_stalled_ops_ = 0;
+  interval_latencies_.clear();
+  interval_write_latencies_.clear();
+}
+
+sim::SimReport ArraySimulator::run(wl::WorkloadGenerator& workload) {
+  bool worn_out = false;
+  try {
+    if (config_.precondition) precondition(workload);
+  } catch (const ftl::DeviceWornOut&) {
+    worn_out = true;
+  }
+
+  // Metric baselines: everything before this instant was preconditioning.
+  for (std::uint32_t d = 0; d < array_.device_count(); ++d) {
+    const auto& nand = array_.device(d).ftl().nand().stats();
+    const auto& fs = array_.device(d).ftl().stats();
+    bases_[d].programs = nand.page_programs;
+    bases_[d].erases = nand.block_erases;
+    bases_[d].migrations = nand.page_migrations;
+    bases_[d].host_writes = fs.host_pages_written;
+    bases_[d].ftl_stats = fs;
+    states_[d].interval_fgc_base = fs.foreground_gc_cycles;
+  }
+
+  const TimeUs p = config_.flush_period;
+  TimeUs next_tick = p;
+  TimeUs elapsed = 0;
+
+  std::optional<wl::AppOp> op = workload.next();
+  TimeUs issue = op ? op->think_us : config_.duration;
+
+  try {
+    if (worn_out) throw ftl::DeviceWornOut("worn out during preconditioning");
+    while (true) {
+      if (next_tick <= issue || !op) {
+        if (next_tick > config_.duration) break;
+        process_tick(next_tick);
+        elapsed = next_tick;
+        next_tick += p;
+        continue;
+      }
+      if (issue >= config_.duration) break;
+
+      elapsed = issue;
+      bool stalled = false;
+      const TimeUs completion = execute_op(*op, issue, stalled);
+      const auto latency = static_cast<double>(completion - issue);
+      latencies_.add(latency);
+      interval_latencies_.add(latency);
+      ++interval_ops_;
+      if (stalled) ++interval_stalled_ops_;
+      if (op->type == wl::OpType::kRead) {
+        read_latencies_.add(latency);
+      } else if (op->type == wl::OpType::kWrite) {
+        write_latencies_.add(latency);
+        interval_write_latencies_.add(latency);
+      }
+      ++ops_completed_;
+
+      op = workload.next();
+      if (!op) continue;  // finite workload drained; keep ticking to duration
+      // Open loop: the next arrival follows the previous *arrival*, not its
+      // completion — see the header comment.
+      issue = issue + op->think_us;
+    }
+    elapsed = std::min(config_.duration, std::max(elapsed, issue));
+  } catch (const ftl::DeviceWornOut&) {
+    // RAID-0 has no redundancy: the first worn-out device ends the array's
+    // life. Report what was achieved up to this point.
+    worn_out = true;
+  }
+
+  return assemble_report(workload, worn_out, elapsed);
+}
+
+sim::SimReport ArraySimulator::assemble_report(wl::WorkloadGenerator& workload, bool worn_out,
+                                               TimeUs elapsed) {
+  sim::SimReport r;
+  r.workload = workload.name();
+  std::string policy = "ARRAY-";
+  for (const char* c = array_gc_mode_name(config_.array.gc_mode); *c != '\0'; ++c) {
+    policy += static_cast<char>(std::toupper(static_cast<unsigned char>(*c)));
+  }
+  r.policy = policy;
+  r.duration_s = to_seconds(config_.duration);
+  r.ops_completed = ops_completed_;
+  r.iops = static_cast<double>(ops_completed_) / r.duration_s;
+  r.mean_latency_us = latencies_.mean();
+  r.p99_latency_us = latencies_.percentile(99.0);
+  r.max_latency_us = latencies_.percentile(100.0);
+  r.read_p99_latency_us = read_latencies_.percentile(99.0);
+  // All array writes are device writes (the stream is post-cache), so the
+  // direct-write tail IS the write tail.
+  r.direct_write_p99_latency_us = write_latencies_.percentile(99.0);
+
+  std::uint64_t programs = 0;
+  std::uint64_t host_writes = 0;
+  double mean_erase_sum = 0.0;
+  for (std::uint32_t d = 0; d < array_.device_count(); ++d) {
+    const auto& nand = array_.device(d).ftl().nand().stats();
+    const auto& fs = array_.device(d).ftl().stats();
+    const DeviceBase& base = bases_[d];
+    programs += nand.page_programs - base.programs;
+    host_writes += fs.host_pages_written - base.host_writes;
+    r.nand_erases += nand.block_erases - base.erases;
+    r.pages_migrated += nand.page_migrations - base.migrations;
+    r.fgc_cycles += fs.foreground_gc_cycles - base.ftl_stats.foreground_gc_cycles;
+    r.fgc_time_s +=
+        to_seconds(fs.foreground_gc_time_us - base.ftl_stats.foreground_gc_time_us);
+    r.bgc_cycles += fs.background_gc_cycles - base.ftl_stats.background_gc_cycles;
+    r.victim_selections += fs.victim_selections - base.ftl_stats.victim_selections;
+    r.sip_filtered_selections +=
+        fs.sip_filtered_selections - base.ftl_stats.sip_filtered_selections;
+    r.wear_level_moves += fs.wear_level_moves - base.ftl_stats.wear_level_moves;
+    r.hot_stream_writes += fs.hot_stream_writes - base.ftl_stats.hot_stream_writes;
+    r.retired_blocks += fs.retired_blocks - base.ftl_stats.retired_blocks;
+    mean_erase_sum += array_.device(d).ftl().nand().mean_erase_count();
+    r.max_erase_count =
+        std::max<std::uint64_t>(r.max_erase_count, array_.device(d).ftl().nand().max_erase_count());
+    // Fault counters are device-lifetime totals (preconditioning included).
+    r.program_failures += nand.program_failures;
+    r.erase_failures += nand.erase_failures;
+    r.grown_bad_blocks += fs.grown_bad_blocks;
+    r.spares_promoted += fs.spares_promoted;
+  }
+  r.nand_programs = programs;
+  r.waf = host_writes ? static_cast<double>(programs) / static_cast<double>(host_writes) : 1.0;
+  r.mean_erase_count = mean_erase_sum / static_cast<double>(array_.device_count());
+  r.device_pages_written = host_writes;
+  r.reclaim_requested_bytes = reclaim_requested_;
+  r.sip_filtered_fraction =
+      r.victim_selections ? static_cast<double>(r.sip_filtered_selections) /
+                                static_cast<double>(r.victim_selections)
+                          : 0.0;
+
+  r.app_direct_write_bytes = app_write_bytes_;
+  r.device_worn_out = worn_out;
+  r.run_end_reason = worn_out ? "device_worn_out" : "completed";
+  r.elapsed_s = to_seconds(elapsed);
+
+  if (metrics_sink_ != nullptr) {
+    drain_fault_events(to_seconds(elapsed));
+    metrics_sink_->on_run_end(r);
+  }
+  return r;
+}
+
+}  // namespace jitgc::array

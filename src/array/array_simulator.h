@@ -1,0 +1,162 @@
+// Discrete-event simulation of a striped SSD array under coordinated JIT-GC.
+//
+// Event model (deliberately different from sim/Simulator in two ways):
+//
+//  * Arrivals are OPEN-LOOP. The array front-end serves many concurrent
+//    clients, so the next request does not wait for the previous one: each
+//    op's think time is an inter-arrival gap, arrivals queue on their
+//    devices, and latency = completion - arrival. This is what makes GC
+//    coordination visible — a synchronized GC window builds a real backlog
+//    that takes time to drain, while a well-paced one does not. (The
+//    closed-loop single-SSD model with one outstanding op can never show
+//    that difference: at most one op waits per window.)
+//  * The array sits below the host page cache: every write is a device
+//    write (the workload stream is the post-cache, device-level stream).
+//
+// Per tick (every flush_period):
+//  1. Poll each device's C_free through the extended interface, charging the
+//     per-command overhead to that device's queue; update its demand EWMA
+//     from the interval's host writes.
+//  2. GcCoordinator::decide() picks grants (naive / staggered / max-k).
+//  3. Granted devices collect in parallel on a common::ThreadPool — FTL
+//     states are disjoint, each task touches only its own device, and
+//     results merge in device-index order after the barrier, so output is
+//     byte-identical at any thread count (the sweep engine's discipline).
+//  4. Each device's GC bursts become busy windows inside the coming
+//     interval: coordinated grants are spread evenly (the array scheduler
+//     paces everything it grants; urgency only raises the time budget),
+//     naive grants run as one contiguous session from the tick (a local
+//     policy has no pacing contract). An op arriving inside a window waits
+//     for the window's end.
+//
+// A stripe op completes at the max of its per-device completions; one
+// collecting device therefore stalls every request that touches it, which
+// is the array-level tail the metrics records capture.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "array/gc_coordinator.h"
+#include "array/ssd_array.h"
+#include "common/stats.h"
+#include "common/thread_pool.h"
+#include "sim/metrics.h"
+#include "sim/ssd.h"
+#include "workload/workload.h"
+
+namespace jitgc::sim {
+class MetricsSink;
+}
+
+namespace jitgc::array {
+
+struct ArraySimConfig {
+  sim::SsdConfig ssd;  ///< per-device configuration (every device identical)
+  ArrayConfig array;
+  /// Measured run length (after preconditioning).
+  TimeUs duration = seconds(300);
+  /// Coordinator tick period (the flusher cadence of the single-SSD model).
+  TimeUs flush_period = seconds(5);
+  /// Age every device before measuring (fill footprint, scramble working
+  /// set), exactly like the single-SSD simulator but per device, in parallel.
+  bool precondition = true;
+  double precondition_overwrite_factor = 1.0;
+  std::uint64_t seed = 1;
+  /// Threads for the per-tick GC fan-out and preconditioning (0 = hardware).
+  std::size_t step_threads = 0;
+};
+
+class ArraySimulator {
+ public:
+  explicit ArraySimulator(const ArraySimConfig& config);
+
+  /// Runs `workload` over the array; one ArraySimulator = one run.
+  sim::SimReport run(wl::WorkloadGenerator& workload);
+
+  /// Attaches a metrics sink (not owned; may be null). Emits one
+  /// DeviceIntervalRecord per device plus one ArrayIntervalRecord per tick,
+  /// fault records tagged with their device, and the final report.
+  void set_metrics_sink(sim::MetricsSink* sink) { metrics_sink_ = sink; }
+
+  const SsdArray& ssd_array() const { return array_; }
+
+ private:
+  /// A scheduled GC busy window [start, end) on one device's timeline.
+  struct GcWindow {
+    TimeUs start = 0;
+    TimeUs end = 0;
+  };
+
+  /// Host-visible queue state of one device (the array's per-device
+  /// ServiceModel: a single busy_until plus the GC window calendar).
+  struct DeviceState {
+    TimeUs busy_until = 0;
+    std::vector<GcWindow> windows;
+    std::size_t window_cursor = 0;
+    /// EWMA of host-write consumption per interval (the coordinator's
+    /// demand estimate for this device).
+    double demand_ewma_bytes = 0.0;
+    // Interval accumulators (reset each tick).
+    Bytes interval_write_bytes = 0;
+    TimeUs interval_busy_us = 0;
+    std::uint64_t interval_fgc_base = 0;
+  };
+
+  /// What one device's parallel GC task produced.
+  struct GcPhaseResult {
+    std::vector<TimeUs> bursts;  ///< individual GC step service times
+    Bytes reclaimed_bytes = 0;
+    TimeUs gc_time_us = 0;
+  };
+
+  void precondition(wl::WorkloadGenerator& workload);
+  /// Serves `cost` on device `dev` no earlier than `earliest`, waiting out
+  /// any GC window the start falls into; returns the completion time and
+  /// sets `stalled` if a window delayed the op.
+  TimeUs dispatch(std::uint32_t dev, TimeUs earliest, TimeUs cost, bool& stalled);
+  /// One device's GC work for a tick (runs on the pool; touches only its
+  /// own device).
+  GcPhaseResult collect_device(std::uint32_t d, const GcGrant& grant);
+  void process_tick(TimeUs now);
+  void drain_fault_events(double time_s);
+  TimeUs execute_op(const wl::AppOp& op, TimeUs issue, bool& stalled);
+  sim::SimReport assemble_report(wl::WorkloadGenerator& workload, bool worn_out, TimeUs elapsed);
+
+  ArraySimConfig config_;
+  SsdArray array_;
+  GcCoordinator coordinator_;
+  ThreadPool pool_;
+  std::vector<DeviceState> states_;
+
+  // -- Run-level metrics -------------------------------------------------------
+  PercentileTracker latencies_;
+  PercentileTracker read_latencies_;
+  PercentileTracker write_latencies_;
+  std::uint64_t ops_completed_ = 0;
+  Bytes app_write_bytes_ = 0;
+  Bytes reclaim_requested_ = 0;
+
+  // -- Interval metrics --------------------------------------------------------
+  sim::MetricsSink* metrics_sink_ = nullptr;
+  std::uint64_t interval_index_ = 0;
+  PercentileTracker interval_latencies_;
+  PercentileTracker interval_write_latencies_;
+  std::uint64_t interval_ops_ = 0;
+  std::uint64_t interval_stalled_ops_ = 0;
+  Bytes interval_write_bytes_ = 0;
+  Bytes interval_read_bytes_ = 0;
+
+  // -- Baselines captured after preconditioning (per device) -------------------
+  struct DeviceBase {
+    std::uint64_t programs = 0;
+    std::uint64_t erases = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t host_writes = 0;
+    ftl::FtlStats ftl_stats;
+  };
+  std::vector<DeviceBase> bases_;
+};
+
+}  // namespace jitgc::array

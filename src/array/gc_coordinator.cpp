@@ -1,0 +1,90 @@
+#include "array/gc_coordinator.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace jitgc::array {
+namespace {
+
+/// Headroom rule shared by all modes: a device wants to collect when its
+/// free capacity cannot cover `horizon` intervals of its demand EWMA, and
+/// the window should refill it to that level (clamped to what is physically
+/// reclaimable).
+GcGrant want_gc(const DeviceDemand& d, std::uint64_t horizon) {
+  GcGrant g;
+  const Bytes demand = d.demand_bytes_per_interval;
+  if (demand == 0) return g;  // EWMA not warmed up / idle device: nothing to do
+  const Bytes headroom = horizon * demand;
+  if (d.free_bytes >= headroom) return g;
+  g.granted = true;
+  g.urgent = d.free_bytes < demand;
+  const Bytes ceiling = std::min(headroom, d.reclaimable_bytes);
+  g.target_bytes = std::max(ceiling, d.free_bytes);
+  return g;
+}
+
+}  // namespace
+
+GcCoordinator::GcCoordinator(const ArrayConfig& config) : config_(config) {
+  JITGC_ENSURE(config_.devices >= 1);
+  JITGC_ENSURE(config_.max_concurrent_gc >= 1);
+  // ceil(N / k): with at most k devices per turn, a full rotation visits
+  // every device in this many ticks.
+  rotation_ = (config_.devices + config_.max_concurrent_gc - 1) / config_.max_concurrent_gc;
+  if (rotation_ == 0) rotation_ = 1;
+}
+
+std::vector<GcGrant> GcCoordinator::decide(std::uint64_t tick,
+                                           const std::vector<DeviceDemand>& devices) const {
+  JITGC_ENSURE_MSG(devices.size() == config_.devices, "demand vector must cover every device");
+  std::vector<GcGrant> grants(devices.size());
+
+  switch (config_.gc_mode) {
+    case ArrayGcMode::kNaive: {
+      // Local JIT rule, no array awareness: keep enough free capacity for
+      // the coming interval plus one of slack (the single-SSD manager's
+      // "collect just in time" margin).
+      for (std::size_t d = 0; d < devices.size(); ++d) {
+        grants[d] = want_gc(devices[d], 2);
+      }
+      return grants;
+    }
+    case ArrayGcMode::kStaggered: {
+      // A device's next turn is a rotation away, so an eligible device must
+      // bank a whole rotation of headroom (plus one interval of slack).
+      const std::uint64_t horizon = static_cast<std::uint64_t>(rotation_) + 1;
+      for (std::size_t d = 0; d < devices.size(); ++d) {
+        const bool eligible = (tick % rotation_) == (d % rotation_);
+        GcGrant g = want_gc(devices[d], horizon);
+        if (!eligible && !g.urgent) g = GcGrant{};
+        grants[d] = g;
+      }
+      return grants;
+    }
+    case ArrayGcMode::kMaxK: {
+      const std::uint64_t horizon = static_cast<std::uint64_t>(rotation_) + 1;
+      std::vector<std::size_t> wanting;
+      for (std::size_t d = 0; d < devices.size(); ++d) {
+        grants[d] = want_gc(devices[d], horizon);
+        if (grants[d].granted && !grants[d].urgent) wanting.push_back(d);
+      }
+      // Urgent devices bypass the cap; the k slots go to the neediest of the
+      // rest (least free capacity, ties by index for determinism).
+      std::sort(wanting.begin(), wanting.end(), [&](std::size_t a, std::size_t b) {
+        if (devices[a].free_bytes != devices[b].free_bytes) {
+          return devices[a].free_bytes < devices[b].free_bytes;
+        }
+        return a < b;
+      });
+      for (std::size_t i = config_.max_concurrent_gc; i < wanting.size(); ++i) {
+        grants[wanting[i]] = GcGrant{};
+      }
+      return grants;
+    }
+  }
+  JITGC_ENSURE_MSG(false, "unreachable gc mode");
+  return grants;
+}
+
+}  // namespace jitgc::array

@@ -1,0 +1,70 @@
+// Array-level JIT-GC coordination: who may collect, when, and how much.
+//
+// Each flusher tick the array simulator polls every device's C_free through
+// the extended interface (charging the per-command overhead, as the paper's
+// host manager does) and hands the coordinator one DeviceDemand per device.
+// The coordinator answers with one GcGrant per device. Three modes:
+//
+//  - naive:     no coordination. Every device applies the single-SSD JIT rule
+//               locally: collect when free capacity falls below the demand it
+//               expects before the next chance to collect. Under symmetric
+//               striped load all devices cross that threshold on the same
+//               tick and collect together — the pathology this subsystem
+//               demonstrates.
+//  - staggered: desynchronized rotation (after Zheng & Burns): the tick index
+//               selects which residue class of devices is eligible, so each
+//               device gets a turn every ceil(N/k) ticks and at most k
+//               collect concurrently. Eligible devices look further ahead
+//               (their next turn is a full rotation away).
+//  - maxk:      demand-ordered: of the devices that want to collect, grant
+//               the k with the least free capacity (ties by index).
+//
+// All coordinated modes keep an urgency escape: a device whose free capacity
+// cannot cover even one interval of demand is granted regardless of turn or
+// cap — the array never trades a bounded background window for an unbounded
+// foreground-GC stall.
+//
+// The decision is a pure function of (tick, demands), so it is deterministic
+// by construction and unit-testable without a simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "array/ssd_array.h"
+#include "common/types.h"
+
+namespace jitgc::array {
+
+/// One device's state as sampled at a tick.
+struct DeviceDemand {
+  Bytes free_bytes = 0;         ///< C_free from query_free_capacity
+  Bytes reclaimable_bytes = 0;  ///< free + invalid (ceiling on what GC can build)
+  /// EWMA of the device's host-write consumption per flusher interval.
+  Bytes demand_bytes_per_interval = 0;
+};
+
+/// The coordinator's verdict for one device at one tick.
+struct GcGrant {
+  bool granted = false;
+  bool urgent = false;         ///< urgency escape (free < one interval's demand)
+  Bytes target_bytes = 0;      ///< free-capacity level the window should reach
+};
+
+class GcCoordinator {
+ public:
+  explicit GcCoordinator(const ArrayConfig& config);
+
+  /// Rotation length of the staggered mode: every device is eligible once
+  /// per `rotation_ticks()` ticks.
+  std::uint32_t rotation_ticks() const { return rotation_; }
+
+  /// Grants for tick `tick` (0-based), one per entry of `devices`.
+  std::vector<GcGrant> decide(std::uint64_t tick, const std::vector<DeviceDemand>& devices) const;
+
+ private:
+  ArrayConfig config_;
+  std::uint32_t rotation_ = 1;
+};
+
+}  // namespace jitgc::array

@@ -1,0 +1,67 @@
+#include "array/ssd_array.h"
+
+#include "common/ensure.h"
+#include "common/rng.h"
+
+namespace jitgc::array {
+
+const char* array_gc_mode_name(ArrayGcMode mode) {
+  switch (mode) {
+    case ArrayGcMode::kNaive: return "naive";
+    case ArrayGcMode::kStaggered: return "staggered";
+    case ArrayGcMode::kMaxK: return "maxk";
+  }
+  JITGC_ENSURE_MSG(false, "unreachable gc mode");
+  return "?";
+}
+
+std::optional<ArrayGcMode> parse_array_gc_mode(const std::string& name) {
+  if (name == "naive") return ArrayGcMode::kNaive;
+  if (name == "staggered") return ArrayGcMode::kStaggered;
+  if (name == "maxk") return ArrayGcMode::kMaxK;
+  return std::nullopt;
+}
+
+SsdArray::SsdArray(const sim::SsdConfig& device_config, const ArrayConfig& config,
+                   std::uint64_t seed)
+    : config_(config) {
+  JITGC_ENSURE_MSG(config_.devices >= 1, "array needs at least one device");
+  JITGC_ENSURE_MSG(config_.stripe_chunk_pages >= 1, "stripe chunk must be at least one page");
+  JITGC_ENSURE_MSG(config_.max_concurrent_gc >= 1, "GC concurrency cap must be at least 1");
+
+  devices_.reserve(config_.devices);
+  for (std::uint32_t d = 0; d < config_.devices; ++d) {
+    sim::SsdConfig per_device = device_config;
+    // Independent, deterministic per-device fault streams: same derivation
+    // the sweep engine uses for per-run seeds.
+    if (per_device.ftl.fault.enabled()) per_device.ftl.fault.seed = derive_seed(seed, d);
+    devices_.push_back(std::make_unique<sim::Ssd>(per_device));
+  }
+
+  const Lba per_device = devices_.front()->ftl().user_pages();
+  const Lba chunk = config_.stripe_chunk_pages;
+  device_user_pages_ = (per_device / chunk) * chunk;
+  JITGC_ENSURE_MSG(device_user_pages_ > 0, "stripe chunk larger than device user capacity");
+  user_pages_ = device_user_pages_ * config_.devices;
+}
+
+Bytes SsdArray::page_size() const { return devices_.front()->ftl().page_size(); }
+
+StripeTarget SsdArray::map(Lba lba) const {
+  JITGC_ENSURE_MSG(lba < user_pages_, "LBA beyond array capacity");
+  const Lba chunk = config_.stripe_chunk_pages;
+  const Lba chunk_index = lba / chunk;
+  const Lba offset = lba % chunk;
+  StripeTarget t;
+  t.device = static_cast<std::uint32_t>(chunk_index % config_.devices);
+  t.lba = (chunk_index / config_.devices) * chunk + offset;
+  return t;
+}
+
+Bytes SsdArray::free_bytes_total() const {
+  Bytes total = 0;
+  for (const auto& dev : devices_) total += dev->ftl().free_bytes_for_writes();
+  return total;
+}
+
+}  // namespace jitgc::array

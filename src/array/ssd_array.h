@@ -1,0 +1,101 @@
+// A striped volume over N independent simulated SSDs.
+//
+// The array is the paper's host-side manager scaled out: one logical LBA
+// space striped chunk-by-chunk over N devices (RAID-0 layout, no parity),
+// each device an independently-seeded sim::Ssd with its own FTL, fault
+// stream and GC state. The interesting coupling is temporal, not spatial:
+// a stripe request completes at the max of its per-device completions, so
+// one device busy with background GC stalls every request that touches it —
+// which is exactly what the array-level GC coordinator (gc_coordinator.h)
+// exists to manage.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/ssd.h"
+
+namespace jitgc::array {
+
+/// How the array schedules per-device background GC (see gc_coordinator.h).
+enum class ArrayGcMode : std::uint8_t {
+  kNaive,      ///< every device runs its local JIT policy independently
+  kStaggered,  ///< desynchronized rotation: devices take turns (Zheng & Burns)
+  kMaxK,       ///< at most k neediest devices collect concurrently
+};
+
+/// "naive" | "staggered" | "maxk".
+const char* array_gc_mode_name(ArrayGcMode mode);
+
+/// Inverse of array_gc_mode_name(); nullopt for unknown names.
+std::optional<ArrayGcMode> parse_array_gc_mode(const std::string& name);
+
+struct ArrayConfig {
+  /// Devices in the stripe set.
+  std::uint32_t devices = 4;
+  /// Stripe chunk size in pages: consecutive runs of this many LBAs land on
+  /// the same device before the stripe advances to the next one.
+  std::uint32_t stripe_chunk_pages = 8;
+  ArrayGcMode gc_mode = ArrayGcMode::kStaggered;
+  /// Concurrency cap `k` for the coordinated modes (ignored by naive).
+  std::uint32_t max_concurrent_gc = 1;
+
+  // -- GC window shaping (coordinator knobs, defaults match the single-SSD
+  //    JIT manager's spirit: bounded interference, urgency escape) ----------
+  /// Max fraction of a flush interval an opportunistic GC window may occupy.
+  double gc_duty_cap = 0.5;
+  /// Duty cap when the grant is an urgency escape (free < one interval's
+  /// demand) — near-total, like foreground GC.
+  double gc_urgent_duty_cap = 0.9;
+  /// Target length of one GC burst. Coordinated modes spread bursts of this
+  /// size evenly across the interval; naive devices run one contiguous
+  /// session (a local policy has no array-wide pacing contract).
+  TimeUs gc_slice_us = 4000;
+};
+
+/// Stripe mapping result: which device, and which LBA on it.
+struct StripeTarget {
+  std::uint32_t device = 0;
+  Lba lba = 0;
+};
+
+/// N independently-seeded Ssd instances behind a striping address map.
+class SsdArray {
+ public:
+  /// Every device gets `device_config`, except that fault-enabled configs are
+  /// re-seeded per device with derive_seed(seed, device) so fault streams are
+  /// independent and deterministic (the sweep engine's seed discipline).
+  SsdArray(const sim::SsdConfig& device_config, const ArrayConfig& config, std::uint64_t seed);
+
+  std::uint32_t device_count() const { return static_cast<std::uint32_t>(devices_.size()); }
+  sim::Ssd& device(std::uint32_t d) { return *devices_[d]; }
+  const sim::Ssd& device(std::uint32_t d) const { return *devices_[d]; }
+  const ArrayConfig& config() const { return config_; }
+
+  /// Logical capacity of the volume in pages: per-device user capacity is
+  /// floored to whole chunks so every logical LBA maps to a real device page.
+  Lba user_pages() const { return user_pages_; }
+  /// Per-device share of user_pages().
+  Lba device_user_pages() const { return device_user_pages_; }
+  Bytes page_size() const;
+
+  /// LBA → (device, device-LBA): chunk c goes to device c % N, at chunk
+  /// c / N on that device.
+  StripeTarget map(Lba lba) const;
+
+  /// Sum of per-device C_free (no command overhead — host-side aggregate of
+  /// already-polled values; the coordinator charges the real polls).
+  Bytes free_bytes_total() const;
+
+ private:
+  ArrayConfig config_;
+  std::vector<std::unique_ptr<sim::Ssd>> devices_;
+  Lba device_user_pages_ = 0;
+  Lba user_pages_ = 0;
+};
+
+}  // namespace jitgc::array

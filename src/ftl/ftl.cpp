@@ -384,10 +384,14 @@ TimeUs Ftl::read(Lba lba) const {
   return map_cost + config_.timing.read_cost();
 }
 
-void Ftl::trim(Lba lba) {
+TimeUs Ftl::trim(Lba lba) {
   JITGC_ENSURE_MSG(lba < user_pages_, "LBA beyond user capacity");
+  // A trim is a mapping-table update: it pays the same map access a write
+  // pays (a lookup, plus a dirtied entry when a mapping is dropped), just
+  // never any NAND page program.
   nand::Ppa& entry = map_[lba];
-  if (entry.block == kNoBlock) return;
+  if (entry.block == kNoBlock) return map_access_cost(lba, /*dirty=*/false);
+  const TimeUs map_cost = map_access_cost(lba, /*dirty=*/true);
   const std::uint32_t prev = entry.block;
   ++write_seq_;
   invalidate_page_at(entry);
@@ -402,6 +406,7 @@ void Ftl::trim(Lba lba) {
   entry = nand::Ppa{kNoBlock, 0};
   ++stats_.trims;
   refresh_block_index(prev);
+  return map_cost;
 }
 
 void Ftl::set_sip_list(const std::vector<Lba>& lbas) {

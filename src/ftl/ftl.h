@@ -179,8 +179,10 @@ class Ftl {
   /// Reads one page. Unmapped LBAs cost a transfer only (device returns zeros).
   TimeUs read(Lba lba) const;
 
-  /// Drops the mapping for `lba` (no NAND time).
-  void trim(Lba lba);
+  /// Drops the mapping for `lba`. Returns the command's service time: the
+  /// mapping-table access cost (nonzero only with a partial mapping cache),
+  /// never a NAND page program.
+  TimeUs trim(Lba lba);
 
   // -- Extended host interface (the paper's custom SG_IO commands) -----------
 

@@ -197,6 +197,39 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::s
         error = "--bgc-rate-limit needs bytes/s (0 = unlimited)";
         return std::nullopt;
       }
+    } else if (key == "--array-devices") {
+      std::uint64_t v = 0;
+      if (!need_value() || !parse_u64(value, v) || v == 0) {
+        error = "--array-devices needs a positive device count";
+        return std::nullopt;
+      }
+      opt.array_devices = static_cast<std::uint32_t>(v);
+    } else if (key == "--stripe-chunk") {
+      std::uint64_t v = 0;
+      if (!need_value() || !parse_u64(value, v) || v == 0) {
+        error = "--stripe-chunk needs a positive page count";
+        return std::nullopt;
+      }
+      opt.stripe_chunk_pages = static_cast<std::uint32_t>(v);
+    } else if (key == "--array-gc-mode") {
+      if (!need_value()) return std::nullopt;
+      if (value != "naive" && value != "staggered" && value != "maxk") {
+        error = "unknown array GC mode '" + value + "' (naive|staggered|maxk)";
+        return std::nullopt;
+      }
+      opt.array_gc_mode = value;
+    } else if (key == "--array-max-concurrent-gc") {
+      std::uint64_t v = 0;
+      if (!need_value() || !parse_u64(value, v) || v == 0) {
+        error = "--array-max-concurrent-gc needs a positive device count";
+        return std::nullopt;
+      }
+      opt.array_max_concurrent_gc = static_cast<std::uint32_t>(v);
+    } else if (key == "--jobs") {
+      if (!need_value() || !parse_u64(value, opt.jobs)) {
+        error = "--jobs needs a thread count (0 = hardware)";
+        return std::nullopt;
+      }
     } else if (key == "--no-sip") {
       opt.use_sip_list = false;
     } else if (key == "--percentile") {
@@ -246,12 +279,40 @@ std::string cli_usage() {
   --measured-idle        JIT-GC uses measured device idle for T_idle
   --service-queues=<n>   1 = scaled single queue; 0 = one queue per plane
   --bgc-rate-limit=<bps> QoS cap on background GC reclaim (0 = unlimited)
+  --array-devices=<n>    stripe the volume over N SSDs (array mode; default off)
+  --stripe-chunk=<pages> stripe chunk size                    (default 8)
+  --array-gc-mode=<m>    naive|staggered|maxk                 (default staggered)
+  --array-max-concurrent-gc=<k>  GC concurrency cap           (default 1)
+  --jobs=<n>             array GC fan-out threads, 0 = hardware (default 0)
   --no-sip               disable SIP victim filtering (JIT-GC)
   --percentile=<q>       CDH reserve quantile                 (default 0.8)
   --metrics=<file>       write per-interval + run JSONL records (docs/model.md)
   --csv / --csv-header   machine-readable one-line output
   --json                 machine-readable JSON object output
 )";
+}
+
+std::unique_ptr<wl::WorkloadGenerator> make_workload_from_cli(const CliOptions& options,
+                                                              Lba user_pages) {
+  if (!options.trace_path.empty()) {
+    const auto records = wl::read_msr_trace(options.trace_path);
+    wl::TraceReplayOptions trace_opts;
+    trace_opts.user_pages = user_pages;
+    trace_opts.buffered_fraction = options.trace_buffered_fraction;
+    trace_opts.seed = options.seed;
+    return std::make_unique<wl::TraceWorkload>(options.trace_path, records, trace_opts);
+  }
+  if (options.workload == "mail-server") {
+    return std::make_unique<wl::FileWorkload>(wl::mail_server_spec(), user_pages, options.seed);
+  }
+  if (options.workload == "file-server") {
+    return std::make_unique<wl::FileWorkload>(wl::file_server_spec(), user_pages, options.seed);
+  }
+  const auto spec = find_benchmark(options.workload);
+  if (!spec) {
+    throw std::runtime_error("unknown workload: " + options.workload);
+  }
+  return std::make_unique<wl::SyntheticWorkload>(*spec, user_pages, options.seed);
 }
 
 SimReport run_from_cli(const CliOptions& options) {
@@ -295,29 +356,8 @@ SimReport run_from_cli(const CliOptions& options) {
     simulator.set_metrics_sink(metrics_sink.get());
   }
 
-  if (!options.trace_path.empty()) {
-    const auto records = wl::read_msr_trace(options.trace_path);
-    wl::TraceReplayOptions trace_opts;
-    trace_opts.user_pages = user_pages;
-    trace_opts.buffered_fraction = options.trace_buffered_fraction;
-    trace_opts.seed = options.seed;
-    wl::TraceWorkload gen(options.trace_path, records, trace_opts);
-    return simulator.run(gen, *policy);
-  }
-  if (options.workload == "mail-server") {
-    wl::FileWorkload gen(wl::mail_server_spec(), user_pages, options.seed);
-    return simulator.run(gen, *policy);
-  }
-  if (options.workload == "file-server") {
-    wl::FileWorkload gen(wl::file_server_spec(), user_pages, options.seed);
-    return simulator.run(gen, *policy);
-  }
-  const auto spec = find_benchmark(options.workload);
-  if (!spec) {
-    throw std::runtime_error("unknown workload: " + options.workload);
-  }
-  wl::SyntheticWorkload gen(*spec, user_pages, options.seed);
-  return simulator.run(gen, *policy);
+  const std::unique_ptr<wl::WorkloadGenerator> gen = make_workload_from_cli(options, user_pages);
+  return simulator.run(*gen, *policy);
 }
 
 std::string csv_header_row() {

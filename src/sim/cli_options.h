@@ -4,12 +4,14 @@
 // and reusable by scripts embedding the simulator.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "ftl/victim_policy.h"
 #include "sim/experiment.h"
+#include "workload/workload.h"
 
 namespace jitgc::sim {
 
@@ -57,6 +59,21 @@ struct CliOptions {
   /// QoS cap on opportunistic BGC, bytes/s (0 = unlimited).
   double bgc_rate_limit_bps = 0.0;
 
+  // -- Multi-SSD array mode (src/array) ----------------------------------------
+  /// 0 = single-SSD mode (the default); N >= 1 stripes the volume over N
+  /// devices and runs the array simulator instead.
+  std::uint32_t array_devices = 0;
+  /// Stripe chunk size in pages.
+  std::uint32_t stripe_chunk_pages = 8;
+  /// "naive" | "staggered" | "maxk" (validated at parse time).
+  std::string array_gc_mode = "staggered";
+  /// Concurrency cap k for the coordinated GC modes.
+  std::uint32_t array_max_concurrent_gc = 1;
+  /// Worker threads for the array's per-tick GC fan-out (0 = hardware).
+  /// Results are byte-identical at any value — that is the determinism
+  /// contract bench_smoke.sh asserts.
+  std::uint64_t jobs = 0;
+
   // -- Output ------------------------------------------------------------------------
   bool csv = false;
   bool csv_header = false;
@@ -73,9 +90,18 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::s
 /// One-line usage text for --help.
 std::string cli_usage();
 
+/// Builds the workload generator the options describe (trace replay, a
+/// file-level workload, or a paper benchmark), sized against `user_pages`
+/// (one device's capacity, or the whole array's). Throws std::runtime_error
+/// for an unknown workload or missing trace file. Shared by the single-SSD
+/// and array runners.
+std::unique_ptr<wl::WorkloadGenerator> make_workload_from_cli(const CliOptions& options,
+                                                              Lba user_pages);
+
 /// Builds the SimConfig / policy / workload described by the options and
-/// runs the cell. Throws std::runtime_error for unusable combinations
-/// (e.g. a missing trace file).
+/// runs the cell (single-SSD mode; the array runner lives in
+/// array/array_cli.h to keep the dependency one-way). Throws
+/// std::runtime_error for unusable combinations (e.g. a missing trace file).
 SimReport run_from_cli(const CliOptions& options);
 
 /// CSV header matching format_csv_row().

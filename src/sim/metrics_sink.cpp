@@ -88,10 +88,57 @@ std::string format_fault_jsonl(std::uint64_t run_index, std::uint64_t seed,
   append_field(out, "run", run_index);
   append_field(out, "seed", seed);
   append_field(out, "kind", r.kind);
+  if (r.device >= 0) append_field(out, "device", static_cast<std::uint64_t>(r.device));
   append_field(out, "block", static_cast<std::uint64_t>(r.block));
   append_field(out, "erase_count", r.erase_count);
   append_field(out, "seq", r.seq);
   append_field(out, "time_s", r.time_s);
+  out += '}';
+  return out;
+}
+
+std::string format_array_interval_jsonl(std::uint64_t run_index, std::uint64_t seed,
+                                        const ArrayIntervalRecord& r) {
+  std::string out = "{\"type\":\"array_interval\"";
+  append_field(out, "run", run_index);
+  append_field(out, "seed", seed);
+  append_field(out, "interval", r.interval);
+  append_field(out, "time_s", r.time_s);
+  append_field(out, "devices", static_cast<std::uint64_t>(r.devices));
+  append_field(out, "gc_devices", static_cast<std::uint64_t>(r.gc_devices));
+  append_field(out, "free_bytes_min", static_cast<std::uint64_t>(r.free_bytes_min));
+  append_field(out, "free_bytes_total", static_cast<std::uint64_t>(r.free_bytes_total));
+  append_field(out, "write_bytes", static_cast<std::uint64_t>(r.write_bytes));
+  append_field(out, "read_bytes", static_cast<std::uint64_t>(r.read_bytes));
+  append_field(out, "bgc_reclaimed_bytes", static_cast<std::uint64_t>(r.bgc_reclaimed_bytes));
+  append_field(out, "ops", r.ops);
+  append_field(out, "gc_stalled_ops", r.gc_stalled_ops);
+  append_field(out, "p50_latency_us", r.p50_latency_us);
+  append_field(out, "p99_latency_us", r.p99_latency_us);
+  append_field(out, "p999_latency_us", r.p999_latency_us);
+  append_field(out, "max_latency_us", r.max_latency_us);
+  append_field(out, "write_p99_latency_us", r.write_p99_latency_us);
+  append_field(out, "write_p999_latency_us", r.write_p999_latency_us);
+  out += '}';
+  return out;
+}
+
+std::string format_device_interval_jsonl(std::uint64_t run_index, std::uint64_t seed,
+                                         const DeviceIntervalRecord& r) {
+  std::string out = "{\"type\":\"device_interval\"";
+  append_field(out, "run", run_index);
+  append_field(out, "seed", seed);
+  append_field(out, "device", static_cast<std::uint64_t>(r.device));
+  append_field(out, "interval", r.interval);
+  append_field(out, "time_s", r.time_s);
+  append_field(out, "free_bytes", static_cast<std::uint64_t>(r.free_bytes));
+  append_field(out, "gc_granted", r.gc_granted);
+  append_field(out, "gc_urgent", r.gc_urgent);
+  append_field(out, "gc_window_us", static_cast<std::uint64_t>(r.gc_window_us < 0 ? 0 : r.gc_window_us));
+  append_field(out, "bgc_reclaimed_bytes", static_cast<std::uint64_t>(r.bgc_reclaimed_bytes));
+  append_field(out, "write_bytes", static_cast<std::uint64_t>(r.write_bytes));
+  append_field(out, "busy_us", static_cast<std::uint64_t>(r.busy_us < 0 ? 0 : r.busy_us));
+  append_field(out, "fgc_cycles", r.fgc_cycles);
   out += '}';
   return out;
 }
@@ -190,6 +237,16 @@ void JsonlMetricsSink::on_interval(const IntervalRecord& record) {
 
 void JsonlMetricsSink::on_fault(const FaultRecord& record) {
   out_ << format_fault_jsonl(run_index_, seed_, record) << '\n';
+}
+
+void JsonlMetricsSink::on_array_interval(const ArrayIntervalRecord& record) {
+  if (!emit_intervals_) return;
+  out_ << format_array_interval_jsonl(run_index_, seed_, record) << '\n';
+}
+
+void JsonlMetricsSink::on_device_interval(const DeviceIntervalRecord& record) {
+  if (!emit_intervals_) return;
+  out_ << format_device_interval_jsonl(run_index_, seed_, record) << '\n';
 }
 
 void JsonlMetricsSink::on_run_end(const SimReport& report) {

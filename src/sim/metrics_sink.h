@@ -9,7 +9,7 @@
 // order so output is bit-identical at any thread count).
 //
 // The field-by-field schema (names, units, an example record) is documented
-// in docs/model.md §"Structured metrics".
+// in docs/metrics_schema.md.
 #pragma once
 
 #include <cstdint>
@@ -53,6 +53,9 @@ struct FaultRecord {
   /// "program_fail" | "erase_fail" | "block_retired" | "spare_promoted" |
   /// "read_only".
   std::string kind;
+  /// Array device index, or -1 for a single-SSD run (the field is then left
+  /// out of the JSONL record entirely, keeping legacy output byte-identical).
+  std::int32_t device = -1;
   std::uint32_t block = 0;
   std::uint64_t erase_count = 0;
   /// FTL write-sequence logical clock at the event — a pure function of
@@ -60,6 +63,45 @@ struct FaultRecord {
   std::uint64_t seq = 0;
   /// Simulation clock at the tick that drained the event.
   double time_s = 0.0;
+};
+
+/// One tick's view of the whole SSD array (array::ArraySimulator). Traffic
+/// and latency fields cover the interval that just ended; GC fields describe
+/// the windows the coordinator scheduled at this tick for the coming one.
+struct ArrayIntervalRecord {
+  std::uint64_t interval = 0;         ///< 1-based tick index
+  double time_s = 0.0;                ///< simulation clock at the tick
+  std::uint32_t devices = 0;          ///< array width
+  std::uint32_t gc_devices = 0;       ///< devices granted a GC window at this tick
+  Bytes free_bytes_min = 0;           ///< min per-device C_free after the GC phase
+  Bytes free_bytes_total = 0;         ///< sum of per-device C_free
+  Bytes write_bytes = 0;              ///< host write traffic of the interval
+  Bytes read_bytes = 0;               ///< host read traffic of the interval
+  Bytes bgc_reclaimed_bytes = 0;      ///< bytes reclaimed by this tick's GC windows
+  std::uint64_t ops = 0;              ///< ops completed during the interval
+  std::uint64_t gc_stalled_ops = 0;   ///< ops that waited behind a GC window
+  double p50_latency_us = 0.0;        ///< latency percentiles of those ops
+  double p99_latency_us = 0.0;
+  double p999_latency_us = 0.0;
+  double max_latency_us = 0.0;
+  double write_p99_latency_us = 0.0;  ///< write-only tail (the stripe-stall metric)
+  double write_p999_latency_us = 0.0;
+};
+
+/// One device's share of an array tick (same interval/decision split as
+/// ArrayIntervalRecord).
+struct DeviceIntervalRecord {
+  std::uint32_t device = 0;           ///< device index within the array
+  std::uint64_t interval = 0;
+  double time_s = 0.0;
+  Bytes free_bytes = 0;               ///< C_free after this tick's GC phase
+  bool gc_granted = false;            ///< the coordinator granted a window at this tick
+  bool gc_urgent = false;             ///< the grant was an urgency escape
+  TimeUs gc_window_us = 0;            ///< scheduled GC busy time for the coming interval
+  Bytes bgc_reclaimed_bytes = 0;      ///< bytes those windows reclaimed
+  Bytes write_bytes = 0;              ///< host writes to this device, ended interval
+  TimeUs busy_us = 0;                 ///< host service time on this device, ended interval
+  std::uint64_t fgc_cycles = 0;       ///< foreground-GC stalls, ended interval
 };
 
 class MetricsSink {
@@ -70,6 +112,11 @@ class MetricsSink {
   /// Called for each fault/degradation event (default: ignore — only
   /// fault-aware sinks care).
   virtual void on_fault(const FaultRecord& /*record*/) {}
+  /// Called once per array tick, after the per-device records (default:
+  /// ignore — only array-aware sinks care).
+  virtual void on_array_interval(const ArrayIntervalRecord& /*record*/) {}
+  /// Called once per device per array tick, in device order.
+  virtual void on_device_interval(const DeviceIntervalRecord& /*record*/) {}
   /// Called once, with the assembled run-level report.
   virtual void on_run_end(const SimReport& report) = 0;
 };
@@ -79,16 +126,26 @@ class RecordingMetricsSink final : public MetricsSink {
  public:
   void on_interval(const IntervalRecord& record) override { intervals_.push_back(record); }
   void on_fault(const FaultRecord& record) override { faults_.push_back(record); }
+  void on_array_interval(const ArrayIntervalRecord& record) override {
+    array_intervals_.push_back(record);
+  }
+  void on_device_interval(const DeviceIntervalRecord& record) override {
+    device_intervals_.push_back(record);
+  }
   void on_run_end(const SimReport& report) override { report_ = report; has_report_ = true; }
 
   const std::vector<IntervalRecord>& intervals() const { return intervals_; }
   const std::vector<FaultRecord>& faults() const { return faults_; }
+  const std::vector<ArrayIntervalRecord>& array_intervals() const { return array_intervals_; }
+  const std::vector<DeviceIntervalRecord>& device_intervals() const { return device_intervals_; }
   bool has_report() const { return has_report_; }
   const SimReport& report() const { return report_; }
 
  private:
   std::vector<IntervalRecord> intervals_;
   std::vector<FaultRecord> faults_;
+  std::vector<ArrayIntervalRecord> array_intervals_;
+  std::vector<DeviceIntervalRecord> device_intervals_;
   SimReport report_;
   bool has_report_ = false;
 };
@@ -104,6 +161,8 @@ class JsonlMetricsSink final : public MetricsSink {
 
   void on_interval(const IntervalRecord& record) override;
   void on_fault(const FaultRecord& record) override;
+  void on_array_interval(const ArrayIntervalRecord& record) override;
+  void on_device_interval(const DeviceIntervalRecord& record) override;
   void on_run_end(const SimReport& report) override;
 
  private:
@@ -122,6 +181,14 @@ std::string format_interval_jsonl(std::uint64_t run_index, std::uint64_t seed,
 /// One {"type":"fault",...} line (no trailing newline).
 std::string format_fault_jsonl(std::uint64_t run_index, std::uint64_t seed,
                                const FaultRecord& record);
+
+/// One {"type":"array_interval",...} line (no trailing newline).
+std::string format_array_interval_jsonl(std::uint64_t run_index, std::uint64_t seed,
+                                        const ArrayIntervalRecord& record);
+
+/// One {"type":"device_interval",...} line (no trailing newline).
+std::string format_device_interval_jsonl(std::uint64_t run_index, std::uint64_t seed,
+                                         const DeviceIntervalRecord& record);
 
 /// One {"type":"run",...} line (no trailing newline). Degradation fields
 /// (run_end_reason, failure counters) are emitted only when they carry

@@ -18,6 +18,8 @@ SsdConfig with_fault_seed(SsdConfig ssd, std::uint64_t run_seed) {
   return ssd;
 }
 
+}  // namespace
+
 const char* fault_kind_name(ftl::DegradeEvent::Kind kind) {
   switch (kind) {
     case ftl::DegradeEvent::Kind::kProgramFail: return "program_fail";
@@ -28,8 +30,6 @@ const char* fault_kind_name(ftl::DegradeEvent::Kind kind) {
   }
   return "unknown";
 }
-
-}  // namespace
 
 Simulator::Simulator(const SimConfig& config)
     : config_(config),
@@ -316,12 +316,17 @@ TimeUs Simulator::execute_op(const wl::AppOp& op, TimeUs issue) {
     }
     case wl::OpType::kTrim: {
       // TRIM is a metadata command: drop the mappings (and any dirty cached
-      // copies, whose flush would resurrect deleted data).
+      // copies, whose flush would resurrect deleted data). It still queues on
+      // the device and pays its mapping-table access like reads and writes —
+      // zero NAND time, but never a free pass past a busy queue.
+      TimeUs completion = issue;
       for (std::uint32_t i = 0; i < op.pages; ++i) {
-        ssd_.trim(op.lba + i);
+        const TimeUs cost = ssd_.trim(op.lba + i);
+        completion = std::max(completion, service_.dispatch(issue, cost));
+        interval_busy_us_ += cost;
       }
       cache_.discard(op.lba, op.pages);
-      return issue;
+      return completion;
     }
   }
   JITGC_ENSURE_MSG(false, "unreachable op type");

@@ -32,6 +32,10 @@ namespace jitgc::sim {
 
 class MetricsSink;
 
+/// JSONL name of a degradation event kind ("program_fail", ...). Shared with
+/// the array simulator, which drains per-device fault streams the same way.
+const char* fault_kind_name(ftl::DegradeEvent::Kind kind);
+
 struct SimConfig {
   SsdConfig ssd;
   host::PageCacheConfig cache;

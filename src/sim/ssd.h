@@ -42,7 +42,9 @@ class Ssd {
   /// Writes one page; returned time includes any foreground-GC stall.
   TimeUs write_page(Lba lba);
   TimeUs read_page(Lba lba);
-  void trim(Lba lba);
+  /// Drops one page's mapping; returns the (scaled) command service time so
+  /// trims queue on the device like every other command.
+  TimeUs trim(Lba lba);
 
   // -- Extended interface -----------------------------------------------------
 

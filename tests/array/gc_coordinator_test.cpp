@@ -1,0 +1,183 @@
+#include "array/gc_coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace jitgc::array {
+namespace {
+
+ArrayConfig config_for(ArrayGcMode mode, std::uint32_t devices, std::uint32_t k) {
+  ArrayConfig cfg;
+  cfg.devices = devices;
+  cfg.gc_mode = mode;
+  cfg.max_concurrent_gc = k;
+  return cfg;
+}
+
+DeviceDemand demand(Bytes free, Bytes reclaimable, Bytes per_interval) {
+  return DeviceDemand{free, reclaimable, per_interval};
+}
+
+TEST(GcCoordinator, RotationIsCeilOfDevicesOverK) {
+  EXPECT_EQ(GcCoordinator(config_for(ArrayGcMode::kStaggered, 4, 1)).rotation_ticks(), 4u);
+  EXPECT_EQ(GcCoordinator(config_for(ArrayGcMode::kStaggered, 4, 2)).rotation_ticks(), 2u);
+  EXPECT_EQ(GcCoordinator(config_for(ArrayGcMode::kStaggered, 5, 2)).rotation_ticks(), 3u);
+  EXPECT_EQ(GcCoordinator(config_for(ArrayGcMode::kStaggered, 4, 8)).rotation_ticks(), 1u);
+}
+
+TEST(GcCoordinator, IdleDeviceIsNeverGranted) {
+  const GcCoordinator coord(config_for(ArrayGcMode::kNaive, 2, 1));
+  // Demand EWMA of zero (cold start / idle): nothing to plan for.
+  const auto grants = coord.decide(0, {demand(0, 1000, 0), demand(0, 1000, 0)});
+  EXPECT_FALSE(grants[0].granted);
+  EXPECT_FALSE(grants[1].granted);
+}
+
+TEST(GcCoordinator, NaiveGrantsEveryDeviceBelowTwoIntervalsOfHeadroom) {
+  const GcCoordinator coord(config_for(ArrayGcMode::kNaive, 3, 1));
+  const auto grants = coord.decide(0, {
+                                          demand(100, 10000, 100),   // free < 2x demand
+                                          demand(250, 10000, 100),   // free >= 2x demand
+                                          demand(150, 10000, 100),   // free < 2x demand
+                                      });
+  EXPECT_TRUE(grants[0].granted);
+  EXPECT_FALSE(grants[1].granted);
+  EXPECT_TRUE(grants[2].granted);
+  // Naive has no concurrency cap: symmetric devices under symmetric load all
+  // collect on the same tick (the pathology the coordinated modes avoid).
+}
+
+TEST(GcCoordinator, UrgencyIsFreeBelowOneInterval) {
+  const GcCoordinator coord(config_for(ArrayGcMode::kNaive, 2, 1));
+  const auto grants = coord.decide(0, {demand(99, 10000, 100), demand(101, 10000, 100)});
+  EXPECT_TRUE(grants[0].urgent);
+  EXPECT_TRUE(grants[1].granted);
+  EXPECT_FALSE(grants[1].urgent);
+}
+
+TEST(GcCoordinator, TargetIsHeadroomClampedToReclaimable) {
+  const GcCoordinator coord(config_for(ArrayGcMode::kNaive, 2, 1));
+  const auto grants = coord.decide(0, {
+                                          demand(50, 10000, 100),  // plenty reclaimable
+                                          demand(50, 120, 100),    // reclaim ceiling binds
+                                      });
+  EXPECT_EQ(grants[0].target_bytes, 200u);  // 2 intervals x 100
+  EXPECT_EQ(grants[1].target_bytes, 120u);  // can't build more than reclaimable
+}
+
+TEST(GcCoordinator, TargetNeverBelowCurrentFree) {
+  const GcCoordinator coord(config_for(ArrayGcMode::kNaive, 1, 1));
+  // Reclaimable below current free (most invalid pages already collected):
+  // the window must not aim below where the device already is.
+  const auto grants = coord.decide(0, {demand(150, 40, 100)});
+  ASSERT_TRUE(grants[0].granted);
+  EXPECT_EQ(grants[0].target_bytes, 150u);
+}
+
+TEST(GcCoordinator, StaggeredGrantsOnlyTheEligibleResidueClass) {
+  const GcCoordinator coord(config_for(ArrayGcMode::kStaggered, 4, 1));
+  // Every device wants to collect (free far below rotation+1 intervals).
+  const std::vector<DeviceDemand> all_wanting(4, demand(200, 10000, 100));
+  for (std::uint64_t tick = 0; tick < 8; ++tick) {
+    const auto grants = coord.decide(tick, all_wanting);
+    for (std::uint32_t d = 0; d < 4; ++d) {
+      EXPECT_EQ(grants[d].granted, tick % 4 == d % 4)
+          << "tick " << tick << " device " << d;
+    }
+  }
+}
+
+TEST(GcCoordinator, StaggeredUrgentDeviceBypassesItsTurn) {
+  const GcCoordinator coord(config_for(ArrayGcMode::kStaggered, 4, 1));
+  std::vector<DeviceDemand> demands(4, demand(200, 10000, 100));
+  demands[2] = demand(50, 10000, 100);  // below one interval: urgent
+  const auto grants = coord.decide(0, demands);  // tick 0: device 0's turn
+  EXPECT_TRUE(grants[0].granted);
+  EXPECT_FALSE(grants[1].granted);
+  EXPECT_TRUE(grants[2].granted);
+  EXPECT_TRUE(grants[2].urgent);
+  EXPECT_FALSE(grants[3].granted);
+}
+
+TEST(GcCoordinator, StaggeredHorizonIsAFullRotationPlusSlack) {
+  const GcCoordinator coord(config_for(ArrayGcMode::kStaggered, 4, 1));
+  // rotation 4 -> horizon 5 intervals. A device with 5 intervals of free
+  // capacity banked is left alone; one just below is granted on its turn.
+  const auto grants = coord.decide(0, {
+                                          demand(500, 10000, 100),
+                                          demand(499, 10000, 100),
+                                          demand(499, 10000, 100),
+                                          demand(499, 10000, 100),
+                                      });
+  EXPECT_FALSE(grants[0].granted);  // its turn, but enough headroom
+  EXPECT_FALSE(grants[1].granted);  // wants, not its turn
+  const auto next = coord.decide(1, {
+                                        demand(500, 10000, 100),
+                                        demand(499, 10000, 100),
+                                        demand(499, 10000, 100),
+                                        demand(499, 10000, 100),
+                                    });
+  EXPECT_TRUE(next[1].granted);  // tick 1: device 1's turn
+}
+
+TEST(GcCoordinator, MaxKGrantsTheNeediestK) {
+  const GcCoordinator coord(config_for(ArrayGcMode::kMaxK, 4, 2));
+  // All four want; the two with least free capacity win the slots.
+  const auto grants = coord.decide(0, {
+                                          demand(260, 10000, 100),
+                                          demand(240, 10000, 100),
+                                          demand(250, 10000, 100),
+                                          demand(270, 10000, 100),
+                                      });
+  EXPECT_FALSE(grants[0].granted);
+  EXPECT_TRUE(grants[1].granted);
+  EXPECT_TRUE(grants[2].granted);
+  EXPECT_FALSE(grants[3].granted);
+}
+
+TEST(GcCoordinator, MaxKBreaksFreeCapacityTiesByIndex) {
+  const GcCoordinator coord(config_for(ArrayGcMode::kMaxK, 3, 1));
+  const auto grants = coord.decide(0, {
+                                          demand(250, 10000, 100),
+                                          demand(250, 10000, 100),
+                                          demand(250, 10000, 100),
+                                      });
+  EXPECT_TRUE(grants[0].granted);
+  EXPECT_FALSE(grants[1].granted);
+  EXPECT_FALSE(grants[2].granted);
+}
+
+TEST(GcCoordinator, MaxKUrgentDevicesDoNotConsumeSlots) {
+  const GcCoordinator coord(config_for(ArrayGcMode::kMaxK, 3, 1));
+  const auto grants = coord.decide(0, {
+                                          demand(50, 10000, 100),   // urgent
+                                          demand(240, 10000, 100),  // wants
+                                          demand(250, 10000, 100),  // wants
+                                      });
+  EXPECT_TRUE(grants[0].granted);
+  EXPECT_TRUE(grants[0].urgent);
+  EXPECT_TRUE(grants[1].granted);  // still gets the one opportunistic slot
+  EXPECT_FALSE(grants[2].granted);
+}
+
+TEST(GcCoordinator, DecisionIsAPureFunctionOfInputs) {
+  const GcCoordinator coord(config_for(ArrayGcMode::kMaxK, 4, 2));
+  const std::vector<DeviceDemand> demands = {
+      demand(260, 10000, 100),
+      demand(240, 9000, 90),
+      demand(250, 8000, 110),
+      demand(70, 7000, 100),
+  };
+  const auto a = coord.decide(7, demands);
+  const auto b = coord.decide(7, demands);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    EXPECT_EQ(a[d].granted, b[d].granted);
+    EXPECT_EQ(a[d].urgent, b[d].urgent);
+    EXPECT_EQ(a[d].target_bytes, b[d].target_bytes);
+  }
+}
+
+}  // namespace
+}  // namespace jitgc::array

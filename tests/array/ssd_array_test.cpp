@@ -1,0 +1,109 @@
+#include "array/ssd_array.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace jitgc::array {
+namespace {
+
+sim::SsdConfig small_device() {
+  sim::SsdConfig cfg;
+  cfg.ftl.geometry = nand::Geometry{.channels = 2,
+                                    .dies_per_channel = 2,
+                                    .planes_per_die = 1,
+                                    .blocks_per_plane = 16,
+                                    .pages_per_block = 8,
+                                    .page_size = 4 * KiB};
+  cfg.ftl.op_ratio = 0.25;
+  cfg.ftl.timing = nand::timing_20nm_mlc();
+  return cfg;
+}
+
+ArrayConfig array_of(std::uint32_t n, std::uint32_t chunk) {
+  ArrayConfig cfg;
+  cfg.devices = n;
+  cfg.stripe_chunk_pages = chunk;
+  return cfg;
+}
+
+TEST(SsdArray, ModeNamesRoundTrip) {
+  for (const auto mode :
+       {ArrayGcMode::kNaive, ArrayGcMode::kStaggered, ArrayGcMode::kMaxK}) {
+    const auto parsed = parse_array_gc_mode(array_gc_mode_name(mode));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_FALSE(parse_array_gc_mode("raid5").has_value());
+  EXPECT_FALSE(parse_array_gc_mode("").has_value());
+}
+
+TEST(SsdArray, CapacityIsPerDeviceShareFlooredToChunks) {
+  SsdArray arr(small_device(), array_of(3, 8), /*seed=*/1);
+  const Lba per_device = arr.device(0).ftl().user_pages();
+  EXPECT_EQ(arr.device_user_pages(), (per_device / 8) * 8);
+  EXPECT_EQ(arr.user_pages(), arr.device_user_pages() * 3);
+  EXPECT_EQ(arr.page_size(), 4 * KiB);
+}
+
+TEST(SsdArray, MapStripesChunksRoundRobin) {
+  SsdArray arr(small_device(), array_of(4, 8), /*seed=*/1);
+  // Chunk c lands on device c % N at chunk c / N.
+  for (Lba lba = 0; lba < arr.user_pages(); ++lba) {
+    const StripeTarget t = arr.map(lba);
+    const Lba chunk = lba / 8;
+    EXPECT_EQ(t.device, chunk % 4);
+    EXPECT_EQ(t.lba, (chunk / 4) * 8 + lba % 8);
+  }
+}
+
+TEST(SsdArray, MapIsABijectionOntoDevicePages) {
+  SsdArray arr(small_device(), array_of(4, 8), /*seed=*/1);
+  std::set<std::pair<std::uint32_t, Lba>> seen;
+  for (Lba lba = 0; lba < arr.user_pages(); ++lba) {
+    const StripeTarget t = arr.map(lba);
+    ASSERT_LT(t.device, arr.device_count());
+    ASSERT_LT(t.lba, arr.device_user_pages());
+    EXPECT_TRUE(seen.insert({t.device, t.lba}).second) << "duplicate target for LBA " << lba;
+  }
+  EXPECT_EQ(seen.size(), arr.user_pages());
+}
+
+TEST(SsdArray, ConsecutiveLbasWithinAChunkStayOnOneDevice) {
+  SsdArray arr(small_device(), array_of(4, 8), /*seed=*/1);
+  for (Lba base = 0; base + 8 <= arr.user_pages(); base += 8) {
+    const std::uint32_t dev = arr.map(base).device;
+    for (Lba i = 1; i < 8; ++i) EXPECT_EQ(arr.map(base + i).device, dev);
+  }
+}
+
+TEST(SsdArray, SingleDeviceArrayIsIdentityMapping) {
+  SsdArray arr(small_device(), array_of(1, 8), /*seed=*/1);
+  for (Lba lba = 0; lba < arr.user_pages(); ++lba) {
+    const StripeTarget t = arr.map(lba);
+    EXPECT_EQ(t.device, 0u);
+    EXPECT_EQ(t.lba, lba);
+  }
+}
+
+TEST(SsdArray, FreeBytesTotalSumsDevices) {
+  SsdArray arr(small_device(), array_of(2, 8), /*seed=*/1);
+  Bytes expected = 0;
+  for (std::uint32_t d = 0; d < arr.device_count(); ++d) {
+    expected += arr.device(d).ftl().free_bytes_for_writes();
+  }
+  EXPECT_EQ(arr.free_bytes_total(), expected);
+}
+
+TEST(SsdArray, DevicesAreIndependent) {
+  SsdArray arr(small_device(), array_of(2, 8), /*seed=*/1);
+  const Bytes free_before_1 = arr.device(1).ftl().free_bytes_for_writes();
+  for (Lba lba = 0; lba < 16; ++lba) arr.device(0).write_page(lba);
+  EXPECT_EQ(arr.device(1).ftl().free_bytes_for_writes(), free_before_1);
+  EXPECT_LT(arr.device(0).ftl().free_bytes_for_writes(),
+            arr.device(1).ftl().free_bytes_for_writes());
+}
+
+}  // namespace
+}  // namespace jitgc::array

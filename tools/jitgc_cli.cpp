@@ -4,6 +4,7 @@
 //   jitgc_cli --workload=tpcc --policy=fixed --reserve=1.25 --csv
 //   jitgc_cli --trace=msr_prxy_0.csv --trace-buffered=0.6 --policy=adaptive
 //   jitgc_cli --workload=ycsb --policy=lazy --endurance=20   # lifetime run
+//   jitgc_cli --workload=tpcc --array-devices=4 --array-gc-mode=staggered
 //
 // See --help for the full flag list.
 #include <cstdio>
@@ -11,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "array/array_cli.h"
 #include "sim/cli_options.h"
 
 int main(int argc, char** argv) {
@@ -29,7 +31,9 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const sim::SimReport r = sim::run_from_cli(*options);
+    const sim::SimReport r = options->array_devices > 0
+                                 ? array::run_array_from_cli(*options)
+                                 : sim::run_from_cli(*options);
     if (options->json) {
       std::printf("%s\n", sim::format_json(r).c_str());
       return 0;

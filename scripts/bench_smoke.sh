@@ -14,7 +14,12 @@
 # When a jitgc_cli binary is passed as the third argument, a 4-device array
 # run exercises both GC modes, asserts byte-identical output across --jobs 1
 # and --jobs 4 and across re-runs, and schema-validates the array_interval /
-# device_interval records (see docs/metrics_schema.md).
+# device_interval records (see docs/metrics_schema.md). A second, fault-
+# injected parity cell kills one device mid-run and validates the full
+# degraded -> rebuilding -> restored lifecycle: array_state / rebuild_progress
+# records, per-device rebuild traffic, and the redundancy block on the run
+# record — again byte-identical across thread counts. Malformed array flags
+# must be rejected with enumerated messages.
 #
 # Usage: bench_smoke.sh <path-to-jitgc_sweep> [bench_victim_select] [jitgc_cli]
 set -euo pipefail
@@ -248,4 +253,152 @@ EOF
     [ "$(grep -c '"type":"device_interval"' "$WORKDIR/arr_staggered_j1.jsonl")" -eq 24 ]
     echo "bench_smoke: array records OK (grep fallback)"
   fi
+
+  # -- Redundant array: scripted kill, spare rebuild, lifecycle records --------
+  # Small devices so the rebuild completes well inside the 30 s run; the kill
+  # lands at t=10 s and the spare-driven reconstruction must reach "restored".
+  REBUILD_ARGS=(--workload=ycsb --seconds=30 --blocks-per-plane=64
+    --pages-per-block=64 --array-devices=4 --stripe-chunk=8
+    --array-gc-mode=staggered --array-redundancy=parity --array-spares=1
+    --array-kill-device=1 --array-kill-at=10)
+  "$CLI_BIN" "${REBUILD_ARGS[@]}" --jobs=1 \
+    --metrics="$WORKDIR/reb_j1.jsonl" > "$WORKDIR/reb_j1.txt"
+  "$CLI_BIN" "${REBUILD_ARGS[@]}" --jobs=4 \
+    --metrics="$WORKDIR/reb_j4.jsonl" > "$WORKDIR/reb_j4.txt"
+  if ! cmp -s "$WORKDIR/reb_j1.jsonl" "$WORKDIR/reb_j4.jsonl" ||
+     ! cmp -s "$WORKDIR/reb_j1.txt" "$WORKDIR/reb_j4.txt"; then
+    echo "FAIL: rebuild run differs between --jobs=1 and --jobs=4" >&2
+    diff "$WORKDIR/reb_j1.jsonl" "$WORKDIR/reb_j4.jsonl" >&2 || true
+    exit 1
+  fi
+  echo "bench_smoke: parity rebuild deterministic across thread counts"
+
+  if command -v python3 > /dev/null 2>&1; then
+    python3 - "$WORKDIR/reb_j1.jsonl" << 'EOF'
+import json
+import sys
+
+ARRAY_FIELDS = {
+    "type", "run", "seed", "interval", "time_s", "devices", "gc_devices",
+    "free_bytes_min", "free_bytes_total", "write_bytes", "read_bytes",
+    "bgc_reclaimed_bytes", "ops", "gc_stalled_ops", "p50_latency_us",
+    "p99_latency_us", "p999_latency_us", "max_latency_us",
+    "write_p99_latency_us", "write_p999_latency_us",
+}
+# Redundant runs annotate every array interval with the volume state.
+ARRAY_OPTIONAL_FIELDS = {"state"}
+DEVICE_FIELDS = {
+    "type", "run", "seed", "device", "interval", "time_s", "free_bytes",
+    "gc_granted", "gc_urgent", "gc_window_us", "bgc_reclaimed_bytes",
+    "write_bytes", "busy_us", "fgc_cycles",
+}
+# Rebuild traffic counters appear (as a pair) only on intervals that moved
+# reconstruction bytes through the device.
+DEVICE_OPTIONAL_FIELDS = {"rebuild_read_bytes", "rebuild_write_bytes"}
+STATE_FIELDS = {
+    "type", "run", "seed", "interval", "time_s", "state", "slot", "device",
+    "reason",
+}
+PROGRESS_FIELDS = {
+    "type", "run", "seed", "interval", "time_s", "slot",
+    "replacement_device", "rows_done", "rows_total", "progress",
+    "read_bytes", "write_bytes", "budget_us", "used_us",
+}
+# The redundancy block on the run record (emitted once device_failures != 0).
+RUN_REDUNDANCY_FIELDS = {
+    "device_failures", "rebuilds_completed", "rebuild_read_bytes",
+    "rebuild_write_bytes", "rebuild_time_s", "degraded_time_s",
+    "degraded_write_p99_latency_us",
+}
+
+arrays = devices = states = progress = runs = 0
+state_seq = []
+last_progress = None
+run_rec = None
+with open(sys.argv[1]) as f:
+    for lineno, line in enumerate(f, 1):
+        rec = json.loads(line)
+        kind = rec.get("type")
+        if kind == "array_interval":
+            if not (ARRAY_FIELDS <= set(rec) <= ARRAY_FIELDS | ARRAY_OPTIONAL_FIELDS):
+                sys.exit(f"line {lineno}: array_interval schema mismatch "
+                         f"(got {sorted(rec)})")
+            if "state" not in rec:
+                sys.exit(f"line {lineno}: redundant array interval lacks state")
+            arrays += 1
+        elif kind == "device_interval":
+            if not (DEVICE_FIELDS <= set(rec) <= DEVICE_FIELDS | DEVICE_OPTIONAL_FIELDS):
+                sys.exit(f"line {lineno}: device_interval schema mismatch "
+                         f"(got {sorted(rec)})")
+            extra = set(rec) & DEVICE_OPTIONAL_FIELDS
+            if extra and extra != DEVICE_OPTIONAL_FIELDS:
+                sys.exit(f"line {lineno}: rebuild byte counters must appear as a pair")
+            devices += 1
+        elif kind == "array_state":
+            if set(rec) != STATE_FIELDS:
+                sys.exit(f"line {lineno}: array_state schema mismatch "
+                         f"(got {sorted(rec)})")
+            state_seq.append(rec["state"])
+            states += 1
+        elif kind == "rebuild_progress":
+            if set(rec) != PROGRESS_FIELDS:
+                sys.exit(f"line {lineno}: rebuild_progress schema mismatch "
+                         f"(got {sorted(rec)})")
+            if not 0.0 <= rec["progress"] <= 1.0:
+                sys.exit(f"line {lineno}: progress {rec['progress']} outside [0,1]")
+            if last_progress is not None and rec["progress"] < last_progress:
+                sys.exit(f"line {lineno}: rebuild progress went backwards")
+            last_progress = rec["progress"]
+            progress += 1
+        elif kind == "run":
+            run_rec = rec
+            runs += 1
+        else:
+            sys.exit(f"line {lineno}: unexpected record type {kind!r} in rebuild run")
+
+if arrays != 6 or devices != 24 or runs != 1:
+    sys.exit(f"unexpected record counts: {arrays} array intervals, "
+             f"{devices} device intervals, {runs} runs")
+if state_seq != ["degraded", "rebuilding", "restored"]:
+    sys.exit(f"unexpected lifecycle {state_seq} "
+             f"(want degraded -> rebuilding -> restored)")
+if progress == 0 or last_progress != 1.0:
+    sys.exit(f"rebuild progress incomplete ({progress} records, last {last_progress})")
+if "run_end_reason" in run_rec:
+    sys.exit(f"rebuild run should complete, got {run_rec['run_end_reason']!r}")
+if not RUN_REDUNDANCY_FIELDS <= set(run_rec):
+    sys.exit(f"run record lacks redundancy block "
+             f"(missing {sorted(RUN_REDUNDANCY_FIELDS - set(run_rec))})")
+if run_rec["device_failures"] != 1 or run_rec["rebuilds_completed"] != 1:
+    sys.exit(f"expected 1 failure / 1 rebuild, got "
+             f"{run_rec['device_failures']} / {run_rec['rebuilds_completed']}")
+print(f"bench_smoke: rebuild lifecycle OK ({states} state changes, "
+      f"{progress} progress records)")
+EOF
+  else
+    [ "$(grep -c '"type":"array_state"' "$WORKDIR/reb_j1.jsonl")" -eq 3 ]
+    [ "$(grep -c '"type":"rebuild_progress"' "$WORKDIR/reb_j1.jsonl")" -ge 1 ]
+    grep -q '"state":"restored"' "$WORKDIR/reb_j1.jsonl"
+    grep -q '"rebuilds_completed":1' "$WORKDIR/reb_j1.jsonl"
+    echo "bench_smoke: rebuild lifecycle OK (grep fallback)"
+  fi
+
+  # -- Malformed array flags are rejected with enumerated messages -------------
+  expect_rejection() {
+    local flag=$1 needle=$2
+    if "$CLI_BIN" --workload=ycsb --seconds=5 --array-devices=4 "$flag" \
+        > /dev/null 2> "$WORKDIR/err.txt"; then
+      echo "FAIL: jitgc_cli accepted $flag" >&2
+      exit 1
+    fi
+    if ! grep -q "$needle" "$WORKDIR/err.txt"; then
+      echo "FAIL: rejection for $flag lacks enumerated message:" >&2
+      cat "$WORKDIR/err.txt" >&2
+      exit 1
+    fi
+  }
+  expect_rejection --array-redundancy=raid6 "none|mirror|parity"
+  expect_rejection --array-gc-mode=psychic "naive|staggered|maxk"
+  expect_rejection --rebuild-rate-floor=1.5 "rebuild-rate-floor"
+  echo "bench_smoke: malformed array flags rejected with enumerated messages"
 fi

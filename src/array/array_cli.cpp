@@ -45,10 +45,21 @@ sim::SimReport run_array_from_cli(const sim::CliOptions& options) {
   config.array.stripe_chunk_pages = options.stripe_chunk_pages;
   const auto mode = parse_array_gc_mode(options.array_gc_mode);
   if (!mode) {
-    throw std::runtime_error("unknown array GC mode: " + options.array_gc_mode);
+    throw std::runtime_error("unknown array GC mode '" + options.array_gc_mode + "' (" +
+                             array_gc_mode_names() + ")");
   }
   config.array.gc_mode = *mode;
   config.array.max_concurrent_gc = options.array_max_concurrent_gc;
+  const auto scheme = parse_redundancy_scheme(options.array_redundancy);
+  if (!scheme) {
+    throw std::runtime_error("unknown array redundancy scheme '" + options.array_redundancy +
+                             "' (" + redundancy_scheme_names() + ")");
+  }
+  config.array.redundancy = *scheme;
+  config.array.spare_devices = options.array_spares;
+  config.array.rebuild_rate_floor = options.rebuild_rate_floor;
+  config.kill_slot = options.array_kill_slot;
+  config.kill_at = seconds(options.array_kill_at_s);
 
   ArraySimulator simulator(config);
   const Lba user_pages = simulator.ssd_array().user_pages();

@@ -23,6 +23,12 @@ Lba prefix_pages_on_device(Lba prefix, std::uint32_t d, std::uint32_t n, Lba chu
   return pages;
 }
 
+std::string upper(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) out += static_cast<char>(std::toupper(static_cast<unsigned char>(*s)));
+  return out;
+}
+
 }  // namespace
 
 ArraySimulator::ArraySimulator(const ArraySimConfig& config)
@@ -30,9 +36,16 @@ ArraySimulator::ArraySimulator(const ArraySimConfig& config)
       array_(config.ssd, config.array, config.seed),
       coordinator_(config.array),
       pool_(config.step_threads ? config.step_threads : ThreadPool::hardware_threads()),
-      states_(config.array.devices),
-      bases_(config.array.devices) {
+      redundant_(config.array.redundancy != RedundancyScheme::kNone),
+      states_(array_.total_device_count()),
+      slot_demand_ewma_(config.array.devices, 0.0),
+      bases_(array_.total_device_count()) {
   JITGC_ENSURE_MSG(config_.flush_period > 0, "flush period must be positive");
+  if (redundant_) rebuild_mgr_.emplace(array_);
+  if (config_.kill_slot >= 0) {
+    JITGC_ENSURE_MSG(static_cast<std::uint32_t>(config_.kill_slot) < config_.array.devices,
+                     "kill slot out of range");
+  }
 }
 
 void ArraySimulator::precondition(wl::WorkloadGenerator& workload) {
@@ -42,16 +55,23 @@ void ArraySimulator::precondition(wl::WorkloadGenerator& workload) {
   const Lba chunk = config_.array.stripe_chunk_pages;
   const std::uint32_t n = array_.device_count();
 
-  // Each device ages independently: its share of the striped footprint is a
-  // contiguous device-local prefix, and the scramble draws from its share of
-  // the working set with a per-device derived seed. Tasks touch only their
+  // Each slot device ages independently: its share of the striped footprint
+  // (including mirror copies and parity chunks under a redundant layout) is
+  // a contiguous device-local prefix, and the scramble draws from its share
+  // of the working set with a per-slot derived seed. Tasks touch only their
   // own device, so the fan-out is deterministic regardless of thread count.
+  // Hot spares stay factory-fresh — they idle outside the volume.
   pool_.parallel_for(n, [&](std::size_t d) {
-    ftl::Ftl& ftl = array_.device(static_cast<std::uint32_t>(d)).mutable_ftl();
-    const Lba fill = prefix_pages_on_device(footprint, static_cast<std::uint32_t>(d), n, chunk);
+    ftl::Ftl& ftl = array_.device_at_slot(static_cast<std::uint32_t>(d)).mutable_ftl();
+    const Lba fill =
+        redundant_
+            ? array_.layout().fill_pages_on_slot(footprint, static_cast<std::uint32_t>(d))
+            : prefix_pages_on_device(footprint, static_cast<std::uint32_t>(d), n, chunk);
     for (Lba lba = 0; lba < fill; ++lba) ftl.write(lba);
 
-    const Lba ws_d = prefix_pages_on_device(ws, static_cast<std::uint32_t>(d), n, chunk);
+    const Lba ws_d =
+        redundant_ ? array_.layout().fill_pages_on_slot(ws, static_cast<std::uint32_t>(d))
+                   : prefix_pages_on_device(ws, static_cast<std::uint32_t>(d), n, chunk);
     if (ws_d > 0) {
       Rng rng(derive_seed(config_.seed ^ 0xA6E5C0DE, d));
       const auto overwrites = static_cast<std::uint64_t>(config_.precondition_overwrite_factor *
@@ -93,57 +113,216 @@ TimeUs ArraySimulator::dispatch(std::uint32_t dev, TimeUs earliest, TimeUs cost,
 }
 
 TimeUs ArraySimulator::execute_op(const wl::AppOp& op, TimeUs issue, bool& stalled) {
+  if (!redundant_) {
+    // RAID-0 datapath, unchanged: one physical page per logical page.
+    const Bytes page_size = array_.page_size();
+    TimeUs completion = issue;
+    for (std::uint32_t i = 0; i < op.pages; ++i) {
+      const StripeTarget t = array_.map(op.lba + i);
+      sim::Ssd& dev = array_.device(t.device);
+      TimeUs cost = 0;
+      switch (op.type) {
+        case wl::OpType::kWrite:
+          cost = dev.write_page(t.lba);
+          states_[t.device].interval_write_bytes += page_size;
+          interval_write_bytes_ += page_size;
+          app_write_bytes_ += page_size;
+          break;
+        case wl::OpType::kRead:
+          cost = dev.read_page(t.lba);
+          interval_read_bytes_ += page_size;
+          break;
+        case wl::OpType::kTrim:
+          cost = dev.trim(t.lba);
+          break;
+      }
+      completion = std::max(completion, dispatch(t.device, issue, cost, stalled));
+    }
+    return completion;
+  }
+
+  // Redundant datapath: a device can retire mid-op. Retire it (possibly
+  // promoting a spare) and retry the op against the post-failure topology.
+  // Work already dispatched is sunk cost — it was genuinely attempted.
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    try {
+      return execute_redundant_op(op, issue, stalled);
+    } catch (const SlotFailureSignal& s) {
+      JITGC_ENSURE_MSG(attempt < array_.total_device_count(), "op retry limit exceeded");
+      handle_slot_failure(s.slot, issue, "device_worn_out");
+    }
+  }
+}
+
+TimeUs ArraySimulator::execute_redundant_op(const wl::AppOp& op, TimeUs issue, bool& stalled) {
+  const RedundancyLayout& layout = array_.layout();
   const Bytes page_size = array_.page_size();
+  const auto healthy = [&](std::uint32_t slot) {
+    return rebuild_mgr_->slot_state(slot) == SlotState::kHealthy;
+  };
+  // A rebuilding slot takes writes (the replacement is being filled); only a
+  // slot with no device at all is skipped.
+  const auto writable = [&](std::uint32_t slot) {
+    return rebuild_mgr_->slot_state(slot) != SlotState::kDegraded;
+  };
+  const auto write_slot = [&](std::uint32_t slot, Lba lba) -> TimeUs {
+    try {
+      const TimeUs cost = array_.device_at_slot(slot).write_page(lba);
+      states_[array_.slot_device(slot)].interval_write_bytes += page_size;
+      return cost;
+    } catch (const ftl::DeviceWornOut&) {
+      throw SlotFailureSignal{slot};
+    }
+  };
+  const auto read_slot = [&](std::uint32_t slot, Lba lba) {
+    return array_.device_at_slot(slot).read_page(lba);  // reads work in read-only mode too
+  };
+  const auto dispatch_slot = [&](std::uint32_t slot, TimeUs earliest, TimeUs cost) {
+    return dispatch(array_.slot_device(slot), earliest, cost, stalled);
+  };
+
   TimeUs completion = issue;
   for (std::uint32_t i = 0; i < op.pages; ++i) {
-    const StripeTarget t = array_.map(op.lba + i);
-    sim::Ssd& dev = array_.device(t.device);
-    TimeUs cost = 0;
+    const ChunkLoc loc = layout.map_data(op.lba + i);
+    const Lba row = layout.row_of_device_lba(loc.lba);
     switch (op.type) {
-      case wl::OpType::kWrite:
-        cost = dev.write_page(t.lba);
-        states_[t.device].interval_write_bytes += page_size;
+      case wl::OpType::kRead: {
+        interval_read_bytes_ += page_size;
+        if (healthy(loc.slot)) {
+          completion =
+              std::max(completion, dispatch_slot(loc.slot, issue, read_slot(loc.slot, loc.lba)));
+          break;
+        }
+        // Degraded read: reconstruct from every survivor (mirror: the pair
+        // partner; parity: the rest of the row). Completion waits for the
+        // slowest survivor. A still-rebuilding slot is served this way too —
+        // its replacement holds only a prefix of the contents.
+        for (const std::uint32_t s : layout.reconstruction_sources(loc.slot, row)) {
+          completion = std::max(completion, dispatch_slot(s, issue, read_slot(s, loc.lba)));
+        }
+        break;
+      }
+      case wl::OpType::kWrite: {
         interval_write_bytes_ += page_size;
         app_write_bytes_ += page_size;
+        if (layout.scheme() == RedundancyScheme::kMirror) {
+          for (const std::uint32_t s : {loc.slot, layout.mirror_partner(loc.slot)}) {
+            if (!writable(s)) continue;  // lost copy: the survivor carries it
+            completion = std::max(completion, dispatch_slot(s, issue, write_slot(s, loc.lba)));
+          }
+          break;
+        }
+        const std::uint32_t pslot = layout.parity_slot(row);
+        const bool data_ok = writable(loc.slot);
+        const bool parity_ok = writable(pslot);
+        if (data_ok && parity_ok) {
+          // RAID-5 small write: read old data and old parity in parallel,
+          // then rewrite both — each write depends on both reads.
+          const TimeUs r1 = dispatch_slot(loc.slot, issue, read_slot(loc.slot, loc.lba));
+          const TimeUs r2 = dispatch_slot(pslot, issue, read_slot(pslot, loc.lba));
+          const TimeUs ready = std::max(r1, r2);
+          const TimeUs w1 = dispatch_slot(loc.slot, ready, write_slot(loc.slot, loc.lba));
+          const TimeUs w2 = dispatch_slot(pslot, ready, write_slot(pslot, loc.lba));
+          completion = std::max(completion, std::max(w1, w2));
+        } else if (!data_ok) {
+          // Lost data chunk: fold the write into parity — read the row's
+          // surviving data chunks, then rewrite the parity chunk.
+          TimeUs ready = issue;
+          for (std::uint32_t s = 0; s < layout.slots(); ++s) {
+            if (s == loc.slot || s == pslot) continue;
+            ready = std::max(ready, dispatch_slot(s, issue, read_slot(s, loc.lba)));
+          }
+          completion = std::max(completion, dispatch_slot(pslot, ready, write_slot(pslot, loc.lba)));
+        } else {
+          // The row's parity chunk is on the lost slot: the data write
+          // stands alone (parity for this row returns with the rebuild).
+          completion =
+              std::max(completion, dispatch_slot(loc.slot, issue, write_slot(loc.slot, loc.lba)));
+        }
         break;
-      case wl::OpType::kRead:
-        cost = dev.read_page(t.lba);
-        interval_read_bytes_ += page_size;
+      }
+      case wl::OpType::kTrim: {
+        // Trims drop data mappings only; parity is left stale (documented
+        // simplification — reconstruction treats unmapped pages as absent).
+        if (layout.scheme() == RedundancyScheme::kMirror) {
+          for (const std::uint32_t s : {loc.slot, layout.mirror_partner(loc.slot)}) {
+            if (!writable(s)) continue;
+            completion = std::max(
+                completion, dispatch_slot(s, issue, array_.device_at_slot(s).trim(loc.lba)));
+          }
+        } else if (writable(loc.slot)) {
+          completion = std::max(completion, dispatch_slot(loc.slot, issue,
+                                                          array_.device_at_slot(loc.slot).trim(loc.lba)));
+        }
         break;
-      case wl::OpType::kTrim:
-        cost = dev.trim(t.lba);
-        break;
+      }
     }
-    completion = std::max(completion, dispatch(t.device, issue, cost, stalled));
   }
   return completion;
 }
 
-ArraySimulator::GcPhaseResult ArraySimulator::collect_device(std::uint32_t d,
-                                                             const GcGrant& grant) {
+void ArraySimulator::emit_state_record(TimeUs at, const char* state, std::uint32_t slot,
+                                       std::uint32_t device, const char* reason) {
+  if (metrics_sink_ == nullptr) return;
+  sim::ArrayStateRecord rec;
+  rec.interval = current_interval_;
+  rec.time_s = to_seconds(at);
+  rec.state = state;
+  rec.slot = slot;
+  rec.device = device;
+  rec.reason = reason;
+  metrics_sink_->on_array_state(rec);
+}
+
+void ArraySimulator::handle_slot_failure(std::uint32_t slot, TimeUs at, const char* reason) {
+  if (!redundant_) {
+    // RAID-0 keeps its legacy contract: the first retirement ends the array.
+    throw ftl::DeviceWornOut("array device worn out");
+  }
+  RebuildManager::FailureOutcome out;
+  try {
+    out = rebuild_mgr_->on_slot_failure(slot);
+  } catch (const ArrayDataLoss&) {
+    emit_state_record(at, "data_loss", slot, array_.slot_device(slot), "redundancy_exhausted");
+    throw;
+  }
+  emit_state_record(at, "degraded", slot, out.failed_device, reason);
+  if (out.rebuild_started) {
+    emit_state_record(at, "rebuilding", slot, out.replacement_device, "spare_promoted");
+  }
+}
+
+ArraySimulator::GcPhaseResult ArraySimulator::collect_slot(std::uint32_t slot,
+                                                           const GcGrant& grant) {
   GcPhaseResult r;
   if (!grant.granted) return r;
-  sim::Ssd& dev = array_.device(d);
+  sim::Ssd& dev = array_.device_at_slot(slot);
   const double duty =
       grant.urgent ? config_.array.gc_urgent_duty_cap : config_.array.gc_duty_cap;
   const auto budget = static_cast<TimeUs>(duty * static_cast<double>(config_.flush_period));
   const Bytes page_size = array_.page_size();
 
-  while (dev.ftl().free_bytes_for_writes() < grant.target_bytes && r.gc_time_us < budget) {
-    const TimeUs per_page = dev.migrate_step_time();
-    const auto max_pages = static_cast<std::uint32_t>(
-        std::max<TimeUs>(1, config_.array.gc_slice_us / per_page));
-    const ftl::Ftl::GcStep step = dev.bgc_collect_step(max_pages);
-    if (!step.progressed) break;
-    r.bursts.push_back(step.time_us);
-    r.gc_time_us += step.time_us;
-    r.reclaimed_bytes += static_cast<Bytes>(step.freed_pages) * page_size;
+  try {
+    while (dev.ftl().free_bytes_for_writes() < grant.target_bytes && r.gc_time_us < budget) {
+      const TimeUs per_page = dev.migrate_step_time();
+      const auto max_pages = static_cast<std::uint32_t>(
+          std::max<TimeUs>(1, config_.array.gc_slice_us / per_page));
+      const ftl::Ftl::GcStep step = dev.bgc_collect_step(max_pages);
+      if (!step.progressed) break;
+      r.bursts.push_back(step.time_us);
+      r.gc_time_us += step.time_us;
+      r.reclaimed_bytes += static_cast<Bytes>(step.freed_pages) * page_size;
+    }
+  } catch (const ftl::DeviceWornOut&) {
+    // Died collecting. Flag it; the main thread retires the slot after the
+    // barrier, in slot order, so the outcome is thread-count independent.
+    r.worn_out = true;
   }
   return r;
 }
 
 void ArraySimulator::drain_fault_events(double time_s) {
-  for (std::uint32_t d = 0; d < array_.device_count(); ++d) {
+  for (std::uint32_t d = 0; d < array_.total_device_count(); ++d) {
     // Always drain (bounds the FTL-side buffer); forward only when someone
     // listens.
     const std::vector<ftl::DegradeEvent> events =
@@ -164,65 +343,131 @@ void ArraySimulator::drain_fault_events(double time_s) {
 
 void ArraySimulator::process_tick(TimeUs now) {
   const std::uint64_t tick = interval_index_++;  // 0-based for the rotation
+  current_interval_ = tick + 1;
   const TimeUs p = config_.flush_period;
   const std::uint32_t n = array_.device_count();
 
-  // 1. Poll every device through the extended interface. The poll is a real
-  // host command: its overhead occupies the device's queue, exactly as the
-  // single-SSD manager is charged.
+  // 0. Scripted retirement: a deterministic fault-driven kill, independent
+  // of the stochastic fault model (RAID-0: ends the run as device_worn_out).
+  if (config_.kill_slot >= 0 && !kill_done_ && now >= config_.kill_at) {
+    kill_done_ = true;
+    handle_slot_failure(static_cast<std::uint32_t>(config_.kill_slot), now, "injected_kill");
+  }
+
+  // 1. Poll every slot device through the extended interface. The poll is a
+  // real host command: its overhead occupies the device's queue, exactly as
+  // the single-SSD manager is charged. A degraded slot has no device to
+  // poll — it gets no GC until a spare takes over.
   std::vector<DeviceDemand> demands(n);
   for (std::uint32_t d = 0; d < n; ++d) {
-    DeviceState& st = states_[d];
+    if (redundant_ && rebuild_mgr_->slot_state(d) == SlotState::kDegraded) {
+      slot_demand_ewma_[d] = 0.0;
+      continue;  // demands[d] stays zero: want_gc() never grants it
+    }
+    DeviceState& st = states_[redundant_ ? array_.slot_device(d) : d];
     const double sample = static_cast<double>(st.interval_write_bytes);
-    st.demand_ewma_bytes =
-        st.demand_ewma_bytes == 0.0 ? sample : 0.3 * sample + 0.7 * st.demand_ewma_bytes;
+    slot_demand_ewma_[d] =
+        slot_demand_ewma_[d] == 0.0 ? sample : 0.3 * sample + 0.7 * slot_demand_ewma_[d];
 
     TimeUs overhead = 0;
-    demands[d].free_bytes = array_.device(d).query_free_capacity(overhead);
+    demands[d].free_bytes = array_.device_at_slot(d).query_free_capacity(overhead);
     st.busy_until = std::max(st.busy_until, now) + overhead;
     st.interval_busy_us += overhead;
-    demands[d].reclaimable_bytes = array_.device(d).ftl().reclaimable_capacity();
-    demands[d].demand_bytes_per_interval = static_cast<Bytes>(st.demand_ewma_bytes);
+    demands[d].reclaimable_bytes = array_.device_at_slot(d).ftl().reclaimable_capacity();
+    demands[d].demand_bytes_per_interval = static_cast<Bytes>(slot_demand_ewma_[d]);
   }
 
   // 2. Coordinate.
   const std::vector<GcGrant> grants = coordinator_.decide(tick, demands);
 
   // 3. Parallel GC phase: granted devices collect concurrently. Device
-  // states are disjoint; results are merged below in device-index order, so
+  // states are disjoint; results are merged below in slot-index order, so
   // the run is byte-identical at any thread count.
   std::vector<GcPhaseResult> results(n);
   pool_.parallel_for(n, [&](std::size_t d) {
-    results[d] = collect_device(static_cast<std::uint32_t>(d),
-                                grants[d]);
+    results[d] = collect_slot(static_cast<std::uint32_t>(d),
+                              grants[d]);
   });
+  // Retire devices that died collecting — after the barrier, in slot order.
+  for (std::uint32_t d = 0; d < n; ++d) {
+    if (results[d].worn_out) handle_slot_failure(d, now, "device_worn_out");
+  }
 
-  // 4. Merge: turn each device's bursts into busy windows inside the coming
-  // interval and emit its record. Coordinated grants spread their bursts
-  // evenly — the array scheduler paces everything it grants, and urgency
-  // only raises the budget. Naive grants run one contiguous session from
-  // the tick: a local policy has no pacing contract.
   drain_fault_events(to_seconds(now));
+
+  // 4. Rebuild phase (serial, post-barrier, so progress is deterministic):
+  // the coordinator's rebuild grant competes with the GC grants just issued
+  // but never drops below the configured floor.
+  RebuildManager::RebuildTick rtick;
+  if (redundant_ && rebuild_mgr_->rebuild_active()) {
+    RebuildDemand rdemand;
+    rdemand.active = true;
+    rdemand.slot = rebuild_mgr_->active_slot();
+    const RebuildGrant rgrant = coordinator_.decide_rebuild(tick, grants, rdemand);
+    const auto budget = static_cast<TimeUs>(rgrant.duty * static_cast<double>(p));
+    try {
+      rtick = rebuild_mgr_->advance(budget);
+    } catch (const SlotFailureSignal& s) {
+      // The replacement died under reconstruction load; this window's work
+      // is lost with it.
+      handle_slot_failure(s.slot, now, "device_worn_out");
+    }
+    if (rtick.active && metrics_sink_ != nullptr) {
+      sim::RebuildProgressRecord rec;
+      rec.interval = tick + 1;
+      rec.time_s = to_seconds(now);
+      rec.slot = rtick.slot;
+      rec.replacement_device = rtick.replacement_device;
+      rec.rows_done = rtick.rows_done;
+      rec.rows_total = rtick.rows_total;
+      rec.progress = rtick.rows_total != 0
+                         ? static_cast<double>(rtick.rows_done) /
+                               static_cast<double>(rtick.rows_total)
+                         : 1.0;
+      rec.read_bytes = rtick.read_bytes;
+      rec.write_bytes = rtick.write_bytes;
+      rec.budget_us = budget;
+      rec.used_us = rtick.used_us;
+      metrics_sink_->on_rebuild_progress(rec);
+    }
+    if (rtick.completed) {
+      emit_state_record(now, "restored", rtick.slot, rtick.replacement_device, "rebuild_complete");
+    }
+  }
+
+  // 5. Merge: turn each device's GC and rebuild bursts into busy windows
+  // inside the coming interval and emit its record. Coordinated grants
+  // spread their bursts evenly — the array scheduler paces everything it
+  // grants, and urgency only raises the budget. Naive grants run one
+  // contiguous session from the tick: a local policy has no pacing contract.
   std::uint32_t gc_devices = 0;
   Bytes reclaimed_total = 0;
   Bytes free_min = 0;
   Bytes free_total = 0;
   for (std::uint32_t d = 0; d < n; ++d) {
-    DeviceState& st = states_[d];
+    const std::uint32_t dev_id = redundant_ ? array_.slot_device(d) : d;
+    DeviceState& st = states_[dev_id];
     const GcPhaseResult& res = results[d];
     const bool spread = config_.array.gc_mode != ArrayGcMode::kNaive;
+    const bool lost = redundant_ && rebuild_mgr_->slot_state(d) == SlotState::kDegraded;
+
+    std::vector<TimeUs> all_bursts = res.bursts;
+    if (rtick.active && dev_id < rtick.bursts.size()) {
+      all_bursts.insert(all_bursts.end(), rtick.bursts[dev_id].begin(),
+                        rtick.bursts[dev_id].end());
+    }
 
     st.windows.clear();
     st.window_cursor = 0;
-    const auto bursts = static_cast<TimeUs>(res.bursts.size());
+    const auto bursts = static_cast<TimeUs>(all_bursts.size());
     TimeUs cursor = now;
-    for (std::size_t i = 0; i < res.bursts.size(); ++i) {
+    for (std::size_t i = 0; i < all_bursts.size(); ++i) {
       TimeUs start = cursor;
       if (spread) {
         start = std::max<TimeUs>(now + static_cast<TimeUs>(i) * (p / bursts), cursor);
       }
-      st.windows.push_back(GcWindow{start, start + res.bursts[i]});
-      cursor = start + res.bursts[i];
+      st.windows.push_back(GcWindow{start, start + all_bursts[i]});
+      cursor = start + all_bursts[i];
     }
 
     if (grants[d].granted) {
@@ -233,14 +478,14 @@ void ArraySimulator::process_tick(TimeUs now) {
               : 0;
     }
     reclaimed_total += res.reclaimed_bytes;
-    const Bytes free_now = array_.device(d).ftl().free_bytes_for_writes();
+    const Bytes free_now = lost ? 0 : array_.device_at_slot(d).ftl().free_bytes_for_writes();
     free_total += free_now;
     free_min = d == 0 ? free_now : std::min(free_min, free_now);
 
     if (metrics_sink_ != nullptr) {
-      const auto& fs = array_.device(d).ftl().stats();
+      const auto& fs = array_.device_at_slot(d).ftl().stats();
       sim::DeviceIntervalRecord rec;
-      rec.device = d;
+      rec.device = dev_id;
       rec.interval = tick + 1;
       rec.time_s = to_seconds(now);
       rec.free_bytes = free_now;
@@ -251,6 +496,10 @@ void ArraySimulator::process_tick(TimeUs now) {
       rec.write_bytes = st.interval_write_bytes;
       rec.busy_us = st.interval_busy_us;
       rec.fgc_cycles = fs.foreground_gc_cycles - st.interval_fgc_base;
+      if (rtick.active && dev_id < rtick.device_read_bytes.size()) {
+        rec.rebuild_read_bytes = rtick.device_read_bytes[dev_id];
+        rec.rebuild_write_bytes = rtick.device_write_bytes[dev_id];
+      }
       metrics_sink_->on_device_interval(rec);
       st.interval_fgc_base = fs.foreground_gc_cycles;
     }
@@ -258,7 +507,7 @@ void ArraySimulator::process_tick(TimeUs now) {
     st.interval_busy_us = 0;
   }
 
-  // 5. The array-level record.
+  // 6. The array-level record.
   if (metrics_sink_ != nullptr) {
     sim::ArrayIntervalRecord rec;
     rec.interval = tick + 1;
@@ -278,6 +527,11 @@ void ArraySimulator::process_tick(TimeUs now) {
     rec.max_latency_us = interval_latencies_.percentile(100.0);
     rec.write_p99_latency_us = interval_write_latencies_.percentile(99.0);
     rec.write_p999_latency_us = interval_write_latencies_.percentile(99.9);
+    if (redundant_) {
+      rec.state = rebuild_mgr_->rebuild_active()
+                      ? "rebuilding"
+                      : (rebuild_mgr_->any_exposed() ? "degraded" : "healthy");
+    }
     metrics_sink_->on_array_interval(rec);
   }
   interval_write_bytes_ = 0;
@@ -286,18 +540,28 @@ void ArraySimulator::process_tick(TimeUs now) {
   interval_stalled_ops_ = 0;
   interval_latencies_.clear();
   interval_write_latencies_.clear();
+
+  // 7. Exposure accounting, at flush-period granularity: the state after
+  // this tick's transitions covers the coming interval.
+  if (redundant_) {
+    if (rebuild_mgr_->any_exposed()) degraded_time_s_ += to_seconds(p);
+    if (rebuild_mgr_->rebuild_active()) rebuild_time_s_ += to_seconds(p);
+  }
+  current_interval_ = tick + 2;
 }
 
 sim::SimReport ArraySimulator::run(wl::WorkloadGenerator& workload) {
-  bool worn_out = false;
+  bool worn_out_preconditioning = false;
   try {
     if (config_.precondition) precondition(workload);
   } catch (const ftl::DeviceWornOut&) {
-    worn_out = true;
+    // Dying while aging means the endurance budget cannot even cover the
+    // fill: redundancy or not, report it as the legacy worn-out ending.
+    worn_out_preconditioning = true;
   }
 
   // Metric baselines: everything before this instant was preconditioning.
-  for (std::uint32_t d = 0; d < array_.device_count(); ++d) {
+  for (std::uint32_t d = 0; d < array_.total_device_count(); ++d) {
     const auto& nand = array_.device(d).ftl().nand().stats();
     const auto& fs = array_.device(d).ftl().stats();
     bases_[d].programs = nand.page_programs;
@@ -311,12 +575,13 @@ sim::SimReport ArraySimulator::run(wl::WorkloadGenerator& workload) {
   const TimeUs p = config_.flush_period;
   TimeUs next_tick = p;
   TimeUs elapsed = 0;
+  std::string end_reason = "completed";
 
   std::optional<wl::AppOp> op = workload.next();
   TimeUs issue = op ? op->think_us : config_.duration;
 
   try {
-    if (worn_out) throw ftl::DeviceWornOut("worn out during preconditioning");
+    if (worn_out_preconditioning) throw ftl::DeviceWornOut("worn out during preconditioning");
     while (true) {
       if (next_tick <= issue || !op) {
         if (next_tick > config_.duration) break;
@@ -340,6 +605,7 @@ sim::SimReport ArraySimulator::run(wl::WorkloadGenerator& workload) {
       } else if (op->type == wl::OpType::kWrite) {
         write_latencies_.add(latency);
         interval_write_latencies_.add(latency);
+        if (redundant_ && rebuild_mgr_->any_exposed()) degraded_write_latencies_.add(latency);
       }
       ++ops_completed_;
 
@@ -353,20 +619,25 @@ sim::SimReport ArraySimulator::run(wl::WorkloadGenerator& workload) {
   } catch (const ftl::DeviceWornOut&) {
     // RAID-0 has no redundancy: the first worn-out device ends the array's
     // life. Report what was achieved up to this point.
-    worn_out = true;
+    end_reason = "device_worn_out";
+  } catch (const ArrayDataLoss&) {
+    // A failure landed on an already-exposed stripe: redundancy exhausted.
+    end_reason = "array_data_loss";
   }
 
-  return assemble_report(workload, worn_out, elapsed);
+  return assemble_report(workload, end_reason, elapsed);
 }
 
-sim::SimReport ArraySimulator::assemble_report(wl::WorkloadGenerator& workload, bool worn_out,
-                                               TimeUs elapsed) {
+sim::SimReport ArraySimulator::assemble_report(wl::WorkloadGenerator& workload,
+                                               const std::string& end_reason, TimeUs elapsed) {
   sim::SimReport r;
   r.workload = workload.name();
   std::string policy = "ARRAY-";
-  for (const char* c = array_gc_mode_name(config_.array.gc_mode); *c != '\0'; ++c) {
-    policy += static_cast<char>(std::toupper(static_cast<unsigned char>(*c)));
+  if (redundant_) {
+    policy += upper(redundancy_scheme_name(config_.array.redundancy));
+    policy += '-';
   }
+  policy += upper(array_gc_mode_name(config_.array.gc_mode));
   r.policy = policy;
   r.duration_s = to_seconds(config_.duration);
   r.ops_completed = ops_completed_;
@@ -382,7 +653,7 @@ sim::SimReport ArraySimulator::assemble_report(wl::WorkloadGenerator& workload, 
   std::uint64_t programs = 0;
   std::uint64_t host_writes = 0;
   double mean_erase_sum = 0.0;
-  for (std::uint32_t d = 0; d < array_.device_count(); ++d) {
+  for (std::uint32_t d = 0; d < array_.total_device_count(); ++d) {
     const auto& nand = array_.device(d).ftl().nand().stats();
     const auto& fs = array_.device(d).ftl().stats();
     const DeviceBase& base = bases_[d];
@@ -411,7 +682,7 @@ sim::SimReport ArraySimulator::assemble_report(wl::WorkloadGenerator& workload, 
   }
   r.nand_programs = programs;
   r.waf = host_writes ? static_cast<double>(programs) / static_cast<double>(host_writes) : 1.0;
-  r.mean_erase_count = mean_erase_sum / static_cast<double>(array_.device_count());
+  r.mean_erase_count = mean_erase_sum / static_cast<double>(array_.total_device_count());
   r.device_pages_written = host_writes;
   r.reclaim_requested_bytes = reclaim_requested_;
   r.sip_filtered_fraction =
@@ -420,9 +691,21 @@ sim::SimReport ArraySimulator::assemble_report(wl::WorkloadGenerator& workload, 
                           : 0.0;
 
   r.app_direct_write_bytes = app_write_bytes_;
-  r.device_worn_out = worn_out;
-  r.run_end_reason = worn_out ? "device_worn_out" : "completed";
+  r.device_worn_out = end_reason == "device_worn_out";
+  r.run_end_reason = end_reason;
   r.elapsed_s = to_seconds(elapsed);
+
+  if (redundant_) {
+    r.device_failures = rebuild_mgr_->device_failures();
+    r.rebuilds_completed = rebuild_mgr_->rebuilds_completed();
+    r.rebuild_read_bytes = rebuild_mgr_->total_read_bytes();
+    r.rebuild_write_bytes = rebuild_mgr_->total_write_bytes();
+    r.rebuild_time_s = rebuild_time_s_;
+    r.degraded_time_s = degraded_time_s_;
+    r.degraded_write_p99_latency_us = degraded_write_latencies_.count() != 0
+                                          ? degraded_write_latencies_.percentile(99.0)
+                                          : 0.0;
+  }
 
   if (metrics_sink_ != nullptr) {
     drain_fault_events(to_seconds(elapsed));

@@ -14,24 +14,38 @@
 //    write (the workload stream is the post-cache, device-level stream).
 //
 // Per tick (every flush_period):
-//  1. Poll each device's C_free through the extended interface, charging the
-//     per-command overhead to that device's queue; update its demand EWMA
-//     from the interval's host writes.
+//  1. Poll each slot device's C_free through the extended interface,
+//     charging the per-command overhead to that device's queue; update the
+//     slot's demand EWMA from the interval's host writes.
 //  2. GcCoordinator::decide() picks grants (naive / staggered / max-k).
 //  3. Granted devices collect in parallel on a common::ThreadPool — FTL
 //     states are disjoint, each task touches only its own device, and
-//     results merge in device-index order after the barrier, so output is
+//     results merge in slot-index order after the barrier, so output is
 //     byte-identical at any thread count (the sweep engine's discipline).
-//  4. Each device's GC bursts become busy windows inside the coming
-//     interval: coordinated grants are spread evenly (the array scheduler
-//     paces everything it grants; urgency only raises the time budget),
-//     naive grants run as one contiguous session from the tick (a local
-//     policy has no pacing contract). An op arriving inside a window waits
-//     for the window's end.
+//  4. If a rebuild is active (redundancy.h / rebuild_manager.h), the
+//     coordinator issues its `rebuild` grant (decide_rebuild) and the
+//     manager reconstructs rows within that budget — serially, on the main
+//     thread, after the GC barrier, so rebuild progress is deterministic.
+//  5. Each device's GC and rebuild bursts become busy windows inside the
+//     coming interval: coordinated grants are spread evenly (the array
+//     scheduler paces everything it grants; urgency only raises the time
+//     budget), naive grants run as one contiguous session from the tick (a
+//     local policy has no pacing contract). An op arriving inside a window
+//     waits for the window's end.
 //
 // A stripe op completes at the max of its per-device completions; one
 // collecting device therefore stalls every request that touches it, which
 // is the array-level tail the metrics records capture.
+//
+// Redundant layouts (mirror/parity) route every op through the layout:
+// mirror writes land on both pair members, parity writes pay the RAID-5
+// read-modify-write (read old data + old parity in parallel, then write
+// both), and reads of a lost or still-rebuilding chunk reconstruct from
+// survivors. Device retirement (ftl::DeviceWornOut, or the scripted
+// kill_slot injection) flows through RebuildManager::on_slot_failure:
+// RAID-0 keeps its legacy device_worn_out ending, redundant arrays go
+// degraded, promote a spare and rebuild, and end with "array_data_loss"
+// only when a failure lands on an already-exposed stripe.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +53,7 @@
 #include <vector>
 
 #include "array/gc_coordinator.h"
+#include "array/rebuild_manager.h"
 #include "array/ssd_array.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
@@ -66,6 +81,12 @@ struct ArraySimConfig {
   std::uint64_t seed = 1;
   /// Threads for the per-tick GC fan-out and preconditioning (0 = hardware).
   std::size_t step_threads = 0;
+  /// Scripted fault injection: retire the device occupying this slot at the
+  /// first tick at or after `kill_at` (-1: disabled). Deterministic by
+  /// construction — tests and the rebuild bench use it to place a failure
+  /// exactly, independent of the stochastic fault model.
+  std::int32_t kill_slot = -1;
+  TimeUs kill_at = 0;
 };
 
 class ArraySimulator {
@@ -76,28 +97,26 @@ class ArraySimulator {
   sim::SimReport run(wl::WorkloadGenerator& workload);
 
   /// Attaches a metrics sink (not owned; may be null). Emits one
-  /// DeviceIntervalRecord per device plus one ArrayIntervalRecord per tick,
-  /// fault records tagged with their device, and the final report.
+  /// DeviceIntervalRecord per slot plus one ArrayIntervalRecord per tick,
+  /// fault records tagged with their device, rebuild_progress / array_state
+  /// records when redundancy is active, and the final report.
   void set_metrics_sink(sim::MetricsSink* sink) { metrics_sink_ = sink; }
 
   const SsdArray& ssd_array() const { return array_; }
 
  private:
-  /// A scheduled GC busy window [start, end) on one device's timeline.
+  /// A scheduled GC/rebuild busy window [start, end) on one device's timeline.
   struct GcWindow {
     TimeUs start = 0;
     TimeUs end = 0;
   };
 
-  /// Host-visible queue state of one device (the array's per-device
-  /// ServiceModel: a single busy_until plus the GC window calendar).
+  /// Host-visible queue state of one *physical* device (the array's
+  /// per-device ServiceModel: a single busy_until plus the window calendar).
   struct DeviceState {
     TimeUs busy_until = 0;
     std::vector<GcWindow> windows;
     std::size_t window_cursor = 0;
-    /// EWMA of host-write consumption per interval (the coordinator's
-    /// demand estimate for this device).
-    double demand_ewma_bytes = 0.0;
     // Interval accumulators (reset each tick).
     Bytes interval_write_bytes = 0;
     TimeUs interval_busy_us = 0;
@@ -109,46 +128,71 @@ class ArraySimulator {
     std::vector<TimeUs> bursts;  ///< individual GC step service times
     Bytes reclaimed_bytes = 0;
     TimeUs gc_time_us = 0;
+    bool worn_out = false;  ///< the device died collecting (handled post-barrier)
   };
 
   void precondition(wl::WorkloadGenerator& workload);
-  /// Serves `cost` on device `dev` no earlier than `earliest`, waiting out
-  /// any GC window the start falls into; returns the completion time and
-  /// sets `stalled` if a window delayed the op.
+  /// Serves `cost` on physical device `dev` no earlier than `earliest`,
+  /// waiting out any GC window the start falls into; returns the completion
+  /// time and sets `stalled` if a window delayed the op.
   TimeUs dispatch(std::uint32_t dev, TimeUs earliest, TimeUs cost, bool& stalled);
-  /// One device's GC work for a tick (runs on the pool; touches only its
-  /// own device).
-  GcPhaseResult collect_device(std::uint32_t d, const GcGrant& grant);
+  /// One slot's GC work for a tick (runs on the pool; touches only its own
+  /// device).
+  GcPhaseResult collect_slot(std::uint32_t slot, const GcGrant& grant);
   void process_tick(TimeUs now);
   void drain_fault_events(double time_s);
   TimeUs execute_op(const wl::AppOp& op, TimeUs issue, bool& stalled);
-  sim::SimReport assemble_report(wl::WorkloadGenerator& workload, bool worn_out, TimeUs elapsed);
+  /// Redundant datapath (mirror/parity), one attempt; throws
+  /// SlotFailureSignal when a device dies mid-op.
+  TimeUs execute_redundant_op(const wl::AppOp& op, TimeUs issue, bool& stalled);
+  /// Routes a retirement through the rebuild manager (RAID-0: rethrows the
+  /// legacy DeviceWornOut) and emits the state records.
+  void handle_slot_failure(std::uint32_t slot, TimeUs at, const char* reason);
+  void emit_state_record(TimeUs at, const char* state, std::uint32_t slot,
+                         std::uint32_t device, const char* reason);
+  sim::SimReport assemble_report(wl::WorkloadGenerator& workload, const std::string& end_reason,
+                                 TimeUs elapsed);
 
   ArraySimConfig config_;
   SsdArray array_;
   GcCoordinator coordinator_;
   ThreadPool pool_;
-  std::vector<DeviceState> states_;
+  bool redundant_ = false;
+  std::optional<RebuildManager> rebuild_mgr_;  ///< engaged when redundant_
+  std::vector<DeviceState> states_;       ///< per physical device
+  std::vector<double> slot_demand_ewma_;  ///< per slot: EWMA of host-write bytes/interval
+  bool kill_done_ = false;
 
   // -- Run-level metrics -------------------------------------------------------
   PercentileTracker latencies_;
   PercentileTracker read_latencies_;
   PercentileTracker write_latencies_;
+  /// Write tail over exposed (degraded/rebuilding) intervals only.
+  PercentileTracker degraded_write_latencies_;
   std::uint64_t ops_completed_ = 0;
   Bytes app_write_bytes_ = 0;
   Bytes reclaim_requested_ = 0;
+  double degraded_time_s_ = 0.0;  ///< accumulated at flush_period granularity
+  double rebuild_time_s_ = 0.0;
 
   // -- Interval metrics --------------------------------------------------------
   sim::MetricsSink* metrics_sink_ = nullptr;
   std::uint64_t interval_index_ = 0;
-  PercentileTracker interval_latencies_;
-  PercentileTracker interval_write_latencies_;
+  /// 1-based interval currently in progress (state records are stamped with
+  /// it: ticks close interval `tick+1`, ops between ticks belong to the next).
+  std::uint64_t current_interval_ = 1;
+  /// Interval tails are TailTrackers (bounded memory): exact below the
+  /// sample cap — bit-identical to the PercentileTrackers they replaced —
+  /// then histogram-backed with documented interpolation error, so open-loop
+  /// high-rate intervals cannot grow O(ops) sample buffers.
+  TailTracker interval_latencies_;
+  TailTracker interval_write_latencies_;
   std::uint64_t interval_ops_ = 0;
   std::uint64_t interval_stalled_ops_ = 0;
   Bytes interval_write_bytes_ = 0;
   Bytes interval_read_bytes_ = 0;
 
-  // -- Baselines captured after preconditioning (per device) -------------------
+  // -- Baselines captured after preconditioning (per physical device) ----------
   struct DeviceBase {
     std::uint64_t programs = 0;
     std::uint64_t erases = 0;

@@ -18,7 +18,10 @@ GcGrant want_gc(const DeviceDemand& d, std::uint64_t horizon) {
   const Bytes headroom = horizon * demand;
   if (d.free_bytes >= headroom) return g;
   g.granted = true;
-  g.urgent = d.free_bytes < demand;
+  // Urgency boundary is inclusive: at exactly one interval of predicted
+  // demand the next interval is expected to drain free capacity to zero, so
+  // waiting for a turn already risks a foreground stall.
+  g.urgent = d.free_bytes <= demand;
   const Bytes ceiling = std::min(headroom, d.reclaimable_bytes);
   g.target_bytes = std::max(ceiling, d.free_bytes);
   return g;
@@ -85,6 +88,39 @@ std::vector<GcGrant> GcCoordinator::decide(std::uint64_t tick,
   }
   JITGC_ENSURE_MSG(false, "unreachable gc mode");
   return grants;
+}
+
+RebuildGrant GcCoordinator::decide_rebuild(std::uint64_t tick,
+                                           const std::vector<GcGrant>& gc_grants,
+                                           const RebuildDemand& demand) const {
+  RebuildGrant g;
+  if (!demand.active) return g;
+  const double floor = std::clamp(config_.rebuild_rate_floor, 0.0, 1.0);
+  const double full = std::max(floor, config_.gc_duty_cap);
+  double duty = floor;
+  switch (config_.gc_mode) {
+    case ArrayGcMode::kNaive:
+      duty = full;
+      break;
+    case ArrayGcMode::kStaggered: {
+      // The rebuilding slot keeps its place in the rotation; reconstruction
+      // is that slot's "GC" for as long as the rebuild lasts.
+      const bool eligible = (tick % rotation_) == (demand.slot % rotation_);
+      duty = eligible ? full : floor;
+      break;
+    }
+    case ArrayGcMode::kMaxK: {
+      std::uint32_t concurrent = 0;
+      for (const GcGrant& grant : gc_grants) {
+        if (grant.granted && !grant.urgent) ++concurrent;
+      }
+      duty = concurrent < config_.max_concurrent_gc ? full : floor;
+      break;
+    }
+  }
+  g.granted = duty > 0.0;
+  g.duty = duty;
+  return g;
 }
 
 }  // namespace jitgc::array

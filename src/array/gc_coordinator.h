@@ -47,8 +47,25 @@ struct DeviceDemand {
 /// The coordinator's verdict for one device at one tick.
 struct GcGrant {
   bool granted = false;
-  bool urgent = false;         ///< urgency escape (free < one interval's demand)
+  bool urgent = false;         ///< urgency escape (free <= one interval's demand)
   Bytes target_bytes = 0;      ///< free-capacity level the window should reach
+};
+
+/// An active rebuild asking for interval time (rebuild_manager.h).
+struct RebuildDemand {
+  bool active = false;
+  /// Stripe slot under reconstruction — its index is the rebuild's identity
+  /// in the staggered rotation, so rebuild takes the failed slot's turn.
+  std::uint32_t slot = 0;
+};
+
+/// The coordinator's verdict for the rebuild: what fraction of the interval
+/// reconstruction may occupy. The `rebuild` grant kind competes with BGC
+/// grants under the same mode rules, but never drops below the configured
+/// rebuild-rate floor — a starved rebuild is an unbounded degraded window.
+struct RebuildGrant {
+  bool granted = false;
+  double duty = 0.0;  ///< fraction of the flush interval granted to rebuild I/O
 };
 
 class GcCoordinator {
@@ -61,6 +78,17 @@ class GcCoordinator {
 
   /// Grants for tick `tick` (0-based), one per entry of `devices`.
   std::vector<GcGrant> decide(std::uint64_t tick, const std::vector<DeviceDemand>& devices) const;
+
+  /// Rebuild's share of tick `tick`, decided after (and from) the same
+  /// tick's GC grants. Pure like decide():
+  ///  - naive:     no coordination — rebuild runs at the opportunistic duty
+  ///               cap every tick, exactly as an uncoordinated migrator would.
+  ///  - staggered: rebuild occupies the failed slot's rotation turn at full
+  ///               duty; off-turn ticks get only the floor.
+  ///  - maxk:      rebuild takes a concurrency slot when fewer than k
+  ///               non-urgent GC windows were granted; otherwise the floor.
+  RebuildGrant decide_rebuild(std::uint64_t tick, const std::vector<GcGrant>& gc_grants,
+                              const RebuildDemand& demand) const;
 
  private:
   ArrayConfig config_;

@@ -1,0 +1,170 @@
+#include "array/rebuild_manager.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace jitgc::array {
+
+RebuildManager::RebuildManager(SsdArray& array)
+    : array_(array), states_(array.device_count(), SlotState::kHealthy) {}
+
+SlotState RebuildManager::slot_state(std::uint32_t slot) const {
+  JITGC_ENSURE_MSG(slot < states_.size(), "slot out of range");
+  return states_[slot];
+}
+
+bool RebuildManager::any_exposed() const {
+  for (const SlotState s : states_) {
+    if (s != SlotState::kHealthy) return true;
+  }
+  return false;
+}
+
+std::uint32_t RebuildManager::active_slot() const {
+  JITGC_ENSURE_MSG(!rebuilds_.empty(), "no active rebuild");
+  return rebuilds_.front().slot;
+}
+
+std::uint32_t RebuildManager::active_replacement() const {
+  JITGC_ENSURE_MSG(!rebuilds_.empty(), "no active rebuild");
+  return rebuilds_.front().device;
+}
+
+bool RebuildManager::loss_if_slot_lost(std::uint32_t slot) const {
+  const RedundancyLayout& layout = array_.layout();
+  switch (layout.scheme()) {
+    case RedundancyScheme::kNone:
+      return true;  // RAID-0: nothing can reconstruct a lost device
+    case RedundancyScheme::kMirror:
+      // The pair partner must hold a complete copy; a partner that is itself
+      // degraded or mid-rebuild does not.
+      return states_[layout.mirror_partner(slot)] != SlotState::kHealthy;
+    case RedundancyScheme::kParity:
+      // Single-parity: every other slot must be complete.
+      for (std::uint32_t s = 0; s < states_.size(); ++s) {
+        if (s != slot && states_[s] != SlotState::kHealthy) return true;
+      }
+      return false;
+  }
+  JITGC_ENSURE_MSG(false, "unreachable redundancy scheme");
+  return true;
+}
+
+RebuildManager::FailureOutcome RebuildManager::on_slot_failure(std::uint32_t slot) {
+  JITGC_ENSURE_MSG(slot < states_.size(), "slot out of range");
+  JITGC_ENSURE_MSG(states_[slot] != SlotState::kDegraded,
+                   "a degraded slot has no device left to fail");
+  FailureOutcome out;
+  out.failed_device = array_.slot_device(slot);
+  out.was_rebuilding = states_[slot] == SlotState::kRebuilding;
+  ++device_failures_;
+
+  if (loss_if_slot_lost(slot)) {
+    throw ArrayDataLoss(std::string("slot ") + std::to_string(slot) +
+                        " lost with redundancy exhausted");
+  }
+
+  // A replacement that died mid-rebuild: drop its reconstruction; the slot
+  // restarts from row zero on the next spare (partial contents are gone).
+  rebuilds_.erase(std::remove_if(rebuilds_.begin(), rebuilds_.end(),
+                                 [slot](const PendingRebuild& r) { return r.slot == slot; }),
+                  rebuilds_.end());
+  states_[slot] = SlotState::kDegraded;
+
+  if (const auto spare = array_.take_spare()) {
+    array_.remap_slot(slot, *spare);
+    states_[slot] = SlotState::kRebuilding;
+    rebuilds_.push_back(PendingRebuild{slot, *spare, 0});
+    out.rebuild_started = true;
+    out.replacement_device = *spare;
+  }
+  return out;
+}
+
+RebuildManager::RebuildTick RebuildManager::advance(TimeUs budget_us) {
+  RebuildTick tick;
+  if (rebuilds_.empty()) return tick;
+  PendingRebuild& job = rebuilds_.front();
+  const RedundancyLayout& layout = array_.layout();
+  const Lba chunk = layout.chunk_pages();
+  const Bytes page_size = array_.page_size();
+  const std::uint32_t total_devices = array_.total_device_count();
+
+  tick.active = true;
+  tick.slot = job.slot;
+  tick.replacement_device = job.device;
+  tick.rows_total = layout.rows();
+  tick.bursts.assign(total_devices, {});
+  tick.device_read_bytes.assign(total_devices, 0);
+  tick.device_write_bytes.assign(total_devices, 0);
+
+  sim::Ssd& replacement = array_.device(job.device);
+
+  while (job.cursor < layout.rows() && tick.used_us < budget_us) {
+    const Lba row = job.cursor;
+    const Lba base = row * chunk;
+    const std::vector<std::uint32_t> sources = layout.reconstruction_sources(job.slot, row);
+    JITGC_ENSURE_MSG(!sources.empty(), "rebuild on a layout with no redundancy");
+
+    // Which offsets of this row's chunk actually hold data: an offset needs
+    // reconstruction when any source chunk has it mapped (mirror: the
+    // partner's copy; parity: any data/parity chunk of the row).
+    TimeUs max_read = 0;
+    TimeUs write_cost = 0;
+    std::vector<bool> needed(chunk, false);
+    for (const std::uint32_t s : sources) {
+      sim::Ssd& src = array_.device_at_slot(s);
+      TimeUs read_cost = 0;
+      Lba pages = 0;
+      for (Lba off = 0; off < chunk; ++off) {
+        if (!src.ftl().is_mapped(base + off)) continue;
+        needed[static_cast<std::size_t>(off)] = true;
+        read_cost += src.read_page(base + off);
+        ++pages;
+      }
+      if (read_cost > 0) {
+        tick.bursts[array_.slot_device(s)].push_back(read_cost);
+        tick.device_read_bytes[array_.slot_device(s)] += pages * page_size;
+        tick.read_bytes += pages * page_size;
+        max_read = std::max(max_read, read_cost);
+      }
+    }
+    Lba written = 0;
+    for (Lba off = 0; off < chunk; ++off) {
+      if (!needed[static_cast<std::size_t>(off)]) continue;
+      try {
+        write_cost += replacement.write_page(base + off);
+      } catch (const ftl::DeviceWornOut&) {
+        // The replacement itself died under reconstruction load. Surface the
+        // slot so the simulator retires it (restart on the next spare).
+        throw SlotFailureSignal{job.slot};
+      }
+      ++written;
+    }
+    if (write_cost > 0) {
+      tick.bursts[job.device].push_back(write_cost);
+      tick.device_write_bytes[job.device] += written * page_size;
+      tick.write_bytes += written * page_size;
+    }
+
+    // Reads fan out in parallel across survivors; the rewrite depends on all
+    // of them, so the row costs the slowest read plus the write.
+    tick.used_us += max_read + write_cost;
+    ++job.cursor;
+  }
+
+  tick.rows_done = job.cursor;
+  total_read_bytes_ += tick.read_bytes;
+  total_write_bytes_ += tick.write_bytes;
+
+  if (job.cursor >= layout.rows()) {
+    states_[job.slot] = SlotState::kHealthy;
+    tick.completed = true;
+    ++rebuilds_completed_;
+    rebuilds_.erase(rebuilds_.begin());
+  }
+  return tick;
+}
+
+}  // namespace jitgc::array

@@ -1,0 +1,174 @@
+#include "array/redundancy.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace jitgc::array {
+namespace {
+
+// Pages of a chunk-striped prefix that land on column `col` of `ncols`
+// columns: whole stripe rows contribute a full chunk each, the trailing
+// partial row fills columns left to right.
+Lba prefix_pages_on_column(Lba prefix, std::uint32_t col, std::uint32_t ncols, Lba chunk) {
+  const Lba row_pages = chunk * ncols;
+  Lba pages = (prefix / row_pages) * chunk;
+  const Lba rem = prefix % row_pages;
+  const Lba start = static_cast<Lba>(col) * chunk;
+  if (rem > start) pages += std::min(chunk, rem - start);
+  return pages;
+}
+
+}  // namespace
+
+const char* redundancy_scheme_name(RedundancyScheme scheme) {
+  switch (scheme) {
+    case RedundancyScheme::kNone:
+      return "none";
+    case RedundancyScheme::kMirror:
+      return "mirror";
+    case RedundancyScheme::kParity:
+      return "parity";
+  }
+  JITGC_ENSURE_MSG(false, "unreachable redundancy scheme");
+  return "";
+}
+
+std::optional<RedundancyScheme> parse_redundancy_scheme(const std::string& name) {
+  if (name == "none") return RedundancyScheme::kNone;
+  if (name == "mirror") return RedundancyScheme::kMirror;
+  if (name == "parity") return RedundancyScheme::kParity;
+  return std::nullopt;
+}
+
+const char* redundancy_scheme_names() { return "none|mirror|parity"; }
+
+RedundancyLayout::RedundancyLayout(RedundancyScheme scheme, std::uint32_t slots,
+                                   Lba chunk_pages, Lba device_pages)
+    : scheme_(scheme), slots_(slots), chunk_(chunk_pages) {
+  JITGC_ENSURE_MSG(slots_ >= 1, "array layout needs at least one slot");
+  JITGC_ENSURE_MSG(chunk_ >= 1, "stripe chunk must be at least one page");
+  if (scheme_ == RedundancyScheme::kMirror) {
+    JITGC_ENSURE_MSG(slots_ >= 2 && slots_ % 2 == 0,
+                     "mirror redundancy needs an even device count >= 2");
+  }
+  if (scheme_ == RedundancyScheme::kParity) {
+    JITGC_ENSURE_MSG(slots_ >= 3, "parity redundancy needs at least 3 devices");
+  }
+  device_pages_ = (device_pages / chunk_) * chunk_;
+  rows_ = device_pages_ / chunk_;
+  JITGC_ENSURE_MSG(rows_ >= 1, "device too small for one stripe chunk");
+  switch (scheme_) {
+    case RedundancyScheme::kNone:
+      user_pages_ = device_pages_ * slots_;
+      break;
+    case RedundancyScheme::kMirror:
+      user_pages_ = device_pages_ * (slots_ / 2);
+      break;
+    case RedundancyScheme::kParity:
+      user_pages_ = device_pages_ * (slots_ - 1);
+      break;
+  }
+}
+
+ChunkLoc RedundancyLayout::map_data(Lba lba) const {
+  JITGC_ENSURE_MSG(lba < user_pages_, "LBA beyond array capacity");
+  const Lba chunk_index = lba / chunk_;
+  const Lba offset = lba % chunk_;
+  ChunkLoc loc;
+  switch (scheme_) {
+    case RedundancyScheme::kNone: {
+      loc.slot = static_cast<std::uint32_t>(chunk_index % slots_);
+      loc.lba = (chunk_index / slots_) * chunk_ + offset;
+      break;
+    }
+    case RedundancyScheme::kMirror: {
+      const std::uint32_t columns = slots_ / 2;
+      loc.slot = 2 * static_cast<std::uint32_t>(chunk_index % columns);
+      loc.lba = (chunk_index / columns) * chunk_ + offset;
+      break;
+    }
+    case RedundancyScheme::kParity: {
+      const std::uint32_t data_columns = slots_ - 1;
+      const Lba row = chunk_index / data_columns;
+      const auto pos = static_cast<std::uint32_t>(chunk_index % data_columns);
+      const std::uint32_t parity = parity_slot(row);
+      loc.slot = pos < parity ? pos : pos + 1;
+      loc.lba = row * chunk_ + offset;
+      break;
+    }
+  }
+  return loc;
+}
+
+std::uint32_t RedundancyLayout::parity_slot(Lba row) const {
+  JITGC_ENSURE_MSG(scheme_ == RedundancyScheme::kParity,
+                   "parity_slot only defined for the parity layout");
+  return static_cast<std::uint32_t>(row % slots_);
+}
+
+std::uint32_t RedundancyLayout::mirror_partner(std::uint32_t slot) const {
+  JITGC_ENSURE_MSG(scheme_ == RedundancyScheme::kMirror,
+                   "mirror_partner only defined for the mirror layout");
+  JITGC_ENSURE_MSG(slot < slots_, "slot out of range");
+  return slot ^ 1U;
+}
+
+std::vector<std::uint32_t> RedundancyLayout::reconstruction_sources(std::uint32_t slot,
+                                                                    Lba row) const {
+  JITGC_ENSURE_MSG(slot < slots_, "slot out of range");
+  std::vector<std::uint32_t> sources;
+  switch (scheme_) {
+    case RedundancyScheme::kNone:
+      break;  // no redundancy: nothing can reconstruct a lost chunk
+    case RedundancyScheme::kMirror:
+      sources.push_back(mirror_partner(slot));
+      break;
+    case RedundancyScheme::kParity:
+      sources.reserve(slots_ - 1);
+      for (std::uint32_t s = 0; s < slots_; ++s) {
+        if (s != slot) sources.push_back(s);
+      }
+      break;
+  }
+  (void)row;  // rotation already encoded in which slot holds data vs parity
+  return sources;
+}
+
+Lba RedundancyLayout::fill_pages_on_slot(Lba prefix, std::uint32_t slot) const {
+  JITGC_ENSURE_MSG(slot < slots_, "slot out of range");
+  JITGC_ENSURE_MSG(prefix <= user_pages_, "prefix beyond array capacity");
+  switch (scheme_) {
+    case RedundancyScheme::kNone:
+      return prefix_pages_on_column(prefix, slot, slots_, chunk_);
+    case RedundancyScheme::kMirror:
+      // Both pair members hold the column's pages.
+      return prefix_pages_on_column(prefix, slot / 2, slots_ / 2, chunk_);
+    case RedundancyScheme::kParity: {
+      const std::uint32_t data_columns = slots_ - 1;
+      const Lba row_pages = chunk_ * data_columns;
+      const Lba full_rows = prefix / row_pages;
+      const Lba rem = prefix % row_pages;
+      // A full row puts one chunk on every slot (data or parity).
+      Lba pages = full_rows * chunk_;
+      if (rem > 0) {
+        const Lba row = full_rows;
+        const std::uint32_t parity = parity_slot(row);
+        if (slot == parity) {
+          // A parity page exists at an offset once any data chunk of the
+          // row wrote that offset; the first data chunk covers the union.
+          pages += std::min(rem, chunk_);
+        } else {
+          const std::uint32_t pos = slot < parity ? slot : slot - 1;
+          const Lba start = static_cast<Lba>(pos) * chunk_;
+          if (rem > start) pages += std::min(chunk_, rem - start);
+        }
+      }
+      return pages;
+    }
+  }
+  JITGC_ENSURE_MSG(false, "unreachable redundancy scheme");
+  return 0;
+}
+
+}  // namespace jitgc::array

@@ -1,0 +1,108 @@
+// Redundancy layouts for the SSD array: mirror (RAID-1 pairs) and parity
+// (RAID-5 rotating parity) alongside the original RAID-0 chunk map.
+//
+// The layout is pure address arithmetic — which array *slot* holds a logical
+// chunk, where its mirror copy or parity chunk lives, and which surviving
+// slots must be read to reconstruct a lost one. Slots are logical positions
+// in the stripe; the SsdArray maps slots to physical devices so a hot spare
+// can take over a slot after a failure without disturbing the layout.
+//
+// Geometry, per scheme (N slots, chunk-sized units, one "row" = one chunk
+// depth across every slot):
+//
+//  - none   (RAID-0): chunk c -> slot c % N. Full capacity, no redundancy:
+//             the first device_worn_out kills the volume.
+//  - mirror (RAID-1 pairs): slots pair up as (0,1), (2,3), ...; chunks
+//             stripe RAID-0 over the N/2 pairs and every write lands on both
+//             members. Capacity N/2; survives one failure per pair.
+//  - parity (RAID-5): each row holds N-1 data chunks plus one parity chunk;
+//             the parity slot rotates by row (row r -> slot r % N) so parity
+//             update traffic spreads over all devices. Capacity N-1;
+//             survives one failure array-wide.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace jitgc::array {
+
+enum class RedundancyScheme : std::uint8_t {
+  kNone,    ///< RAID-0 striping (the original array layout)
+  kMirror,  ///< RAID-1 pairs striped RAID-0 over the pair set (RAID-10)
+  kParity,  ///< RAID-5 rotating parity
+};
+
+/// "none" | "mirror" | "parity".
+const char* redundancy_scheme_name(RedundancyScheme scheme);
+
+/// Inverse of redundancy_scheme_name(); nullopt for unknown names.
+std::optional<RedundancyScheme> parse_redundancy_scheme(const std::string& name);
+
+/// The valid --array-redundancy values, "none|mirror|parity" — the single
+/// source for CLI rejection messages and usage text.
+const char* redundancy_scheme_names();
+
+/// Chunk address within the array: which slot, and which LBA on the device
+/// occupying it.
+struct ChunkLoc {
+  std::uint32_t slot = 0;
+  Lba lba = 0;
+};
+
+/// Pure layout arithmetic for one (scheme, slots, chunk) configuration.
+class RedundancyLayout {
+ public:
+  /// `device_pages` is one device's user capacity; it is floored to whole
+  /// chunks. mirror needs an even slot count >= 2, parity needs >= 3.
+  RedundancyLayout(RedundancyScheme scheme, std::uint32_t slots, Lba chunk_pages,
+                   Lba device_pages);
+
+  RedundancyScheme scheme() const { return scheme_; }
+  std::uint32_t slots() const { return slots_; }
+  Lba chunk_pages() const { return chunk_; }
+  /// Per-device pages the layout actually uses (floored to whole chunks).
+  Lba device_user_pages() const { return device_pages_; }
+  /// Logical volume capacity in pages (after redundancy overhead).
+  Lba user_pages() const { return user_pages_; }
+  /// Stripe rows: one chunk of depth on every slot.
+  Lba rows() const { return rows_; }
+
+  /// Logical LBA -> primary data location. (Mirror: the even pair member;
+  /// the copy is at the same LBA on mirror_partner().)
+  ChunkLoc map_data(Lba lba) const;
+
+  /// Stripe row holding a data location (its device-LBA's chunk index).
+  Lba row_of_device_lba(Lba device_lba) const { return device_lba / chunk_; }
+
+  /// Parity slot of `row` (parity scheme only).
+  std::uint32_t parity_slot(Lba row) const;
+
+  /// The other member of `slot`'s mirror pair (mirror scheme only).
+  std::uint32_t mirror_partner(std::uint32_t slot) const;
+
+  /// Slots whose chunk at `row` must be read to reconstruct `slot`'s chunk:
+  /// the pair partner (mirror) or every other slot (parity). Empty for the
+  /// unprotected RAID-0 layout.
+  std::vector<std::uint32_t> reconstruction_sources(std::uint32_t slot, Lba row) const;
+
+  /// Pages of the logical prefix [0, prefix) that land on `slot`, counting
+  /// redundant copies: mirror copies on both pair members, parity chunks on
+  /// the row's parity slot (a parity page exists at an offset as soon as any
+  /// data chunk of the row wrote that offset). This is the per-device fill
+  /// the preconditioner replays.
+  Lba fill_pages_on_slot(Lba prefix, std::uint32_t slot) const;
+
+ private:
+  RedundancyScheme scheme_;
+  std::uint32_t slots_;
+  Lba chunk_;
+  Lba device_pages_ = 0;
+  Lba user_pages_ = 0;
+  Lba rows_ = 0;
+};
+
+}  // namespace jitgc::array

@@ -1,5 +1,7 @@
 #include "array/ssd_array.h"
 
+#include <algorithm>
+
 #include "common/ensure.h"
 #include "common/rng.h"
 
@@ -22,6 +24,8 @@ std::optional<ArrayGcMode> parse_array_gc_mode(const std::string& name) {
   return std::nullopt;
 }
 
+const char* array_gc_mode_names() { return "naive|staggered|maxk"; }
+
 SsdArray::SsdArray(const sim::SsdConfig& device_config, const ArrayConfig& config,
                    std::uint64_t seed)
     : config_(config) {
@@ -29,8 +33,9 @@ SsdArray::SsdArray(const sim::SsdConfig& device_config, const ArrayConfig& confi
   JITGC_ENSURE_MSG(config_.stripe_chunk_pages >= 1, "stripe chunk must be at least one page");
   JITGC_ENSURE_MSG(config_.max_concurrent_gc >= 1, "GC concurrency cap must be at least 1");
 
-  devices_.reserve(config_.devices);
-  for (std::uint32_t d = 0; d < config_.devices; ++d) {
+  const std::uint32_t total = config_.devices + config_.spare_devices;
+  devices_.reserve(total);
+  for (std::uint32_t d = 0; d < total; ++d) {
     sim::SsdConfig per_device = device_config;
     // Independent, deterministic per-device fault streams: same derivation
     // the sweep engine uses for per-run seeds.
@@ -38,29 +43,49 @@ SsdArray::SsdArray(const sim::SsdConfig& device_config, const ArrayConfig& confi
     devices_.push_back(std::make_unique<sim::Ssd>(per_device));
   }
 
+  slot_device_.resize(config_.devices);
+  for (std::uint32_t s = 0; s < config_.devices; ++s) slot_device_[s] = s;
+  for (std::uint32_t d = config_.devices; d < total; ++d) free_spares_.push_back(d);
+
   const Lba per_device = devices_.front()->ftl().user_pages();
-  const Lba chunk = config_.stripe_chunk_pages;
-  device_user_pages_ = (per_device / chunk) * chunk;
-  JITGC_ENSURE_MSG(device_user_pages_ > 0, "stripe chunk larger than device user capacity");
-  user_pages_ = device_user_pages_ * config_.devices;
+  JITGC_ENSURE_MSG(per_device >= config_.stripe_chunk_pages,
+                   "stripe chunk larger than device user capacity");
+  layout_.emplace(config_.redundancy, config_.devices, config_.stripe_chunk_pages, per_device);
+  device_user_pages_ = layout_->device_user_pages();
+  user_pages_ = layout_->user_pages();
 }
 
 Bytes SsdArray::page_size() const { return devices_.front()->ftl().page_size(); }
 
+std::uint32_t SsdArray::slot_device(std::uint32_t slot) const {
+  JITGC_ENSURE_MSG(slot < slot_device_.size(), "slot out of range");
+  return slot_device_[slot];
+}
+
+void SsdArray::remap_slot(std::uint32_t slot, std::uint32_t device) {
+  JITGC_ENSURE_MSG(slot < slot_device_.size(), "slot out of range");
+  JITGC_ENSURE_MSG(device < devices_.size(), "device out of range");
+  slot_device_[slot] = device;
+}
+
+std::optional<std::uint32_t> SsdArray::take_spare() {
+  if (free_spares_.empty()) return std::nullopt;
+  const std::uint32_t d = free_spares_.front();
+  free_spares_.erase(free_spares_.begin());
+  return d;
+}
+
 StripeTarget SsdArray::map(Lba lba) const {
-  JITGC_ENSURE_MSG(lba < user_pages_, "LBA beyond array capacity");
-  const Lba chunk = config_.stripe_chunk_pages;
-  const Lba chunk_index = lba / chunk;
-  const Lba offset = lba % chunk;
+  const ChunkLoc loc = layout_->map_data(lba);
   StripeTarget t;
-  t.device = static_cast<std::uint32_t>(chunk_index % config_.devices);
-  t.lba = (chunk_index / config_.devices) * chunk + offset;
+  t.device = slot_device_[loc.slot];
+  t.lba = loc.lba;
   return t;
 }
 
 Bytes SsdArray::free_bytes_total() const {
   Bytes total = 0;
-  for (const auto& dev : devices_) total += dev->ftl().free_bytes_for_writes();
+  for (const std::uint32_t d : slot_device_) total += devices_[d]->ftl().free_bytes_for_writes();
   return total;
 }
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "array/redundancy.h"
 #include "common/types.h"
 #include "sim/ssd.h"
 
@@ -33,6 +34,10 @@ const char* array_gc_mode_name(ArrayGcMode mode);
 
 /// Inverse of array_gc_mode_name(); nullopt for unknown names.
 std::optional<ArrayGcMode> parse_array_gc_mode(const std::string& name);
+
+/// The valid --array-gc-mode values, "naive|staggered|maxk" — the single
+/// source for CLI rejection messages and usage text.
+const char* array_gc_mode_names();
 
 struct ArrayConfig {
   /// Devices in the stripe set.
@@ -55,6 +60,17 @@ struct ArrayConfig {
   /// size evenly across the interval; naive devices run one contiguous
   /// session (a local policy has no array-wide pacing contract).
   TimeUs gc_slice_us = 4000;
+
+  // -- Redundancy & rebuild (redundancy.h, rebuild_manager.h) ---------------
+  /// Stripe layout. mirror needs an even device count, parity needs >= 3.
+  RedundancyScheme redundancy = RedundancyScheme::kNone;
+  /// Hot spares provisioned beyond the stripe set. A spare is a full idle
+  /// device the rebuild manager promotes into a failed slot.
+  std::uint32_t spare_devices = 0;
+  /// Minimum fraction of each flush interval the coordinator must grant to
+  /// an active rebuild even when the GC rotation says "not your turn" — the
+  /// floor that keeps rebuild from being starved by tail-latency shaping.
+  double rebuild_rate_floor = 0.1;
 };
 
 /// Stripe mapping result: which device, and which LBA on it.
@@ -63,37 +79,65 @@ struct StripeTarget {
   Lba lba = 0;
 };
 
-/// N independently-seeded Ssd instances behind a striping address map.
+/// N independently-seeded Ssd instances behind a striping address map, plus
+/// optional hot spares. Logical position in the stripe is a *slot*; the
+/// slot→device table starts as the identity and is rewired by the rebuild
+/// manager when a spare takes over a failed slot.
 class SsdArray {
  public:
-  /// Every device gets `device_config`, except that fault-enabled configs are
-  /// re-seeded per device with derive_seed(seed, device) so fault streams are
-  /// independent and deterministic (the sweep engine's seed discipline).
+  /// Every device (stripe members and spares alike) gets `device_config`,
+  /// except that fault-enabled configs are re-seeded per device with
+  /// derive_seed(seed, device) so fault streams are independent and
+  /// deterministic (the sweep engine's seed discipline).
   SsdArray(const sim::SsdConfig& device_config, const ArrayConfig& config, std::uint64_t seed);
 
-  std::uint32_t device_count() const { return static_cast<std::uint32_t>(devices_.size()); }
+  /// Stripe slots (devices actively backing the volume).
+  std::uint32_t device_count() const { return config_.devices; }
+  /// Physical devices including unpromoted hot spares.
+  std::uint32_t total_device_count() const { return static_cast<std::uint32_t>(devices_.size()); }
   sim::Ssd& device(std::uint32_t d) { return *devices_[d]; }
   const sim::Ssd& device(std::uint32_t d) const { return *devices_[d]; }
   const ArrayConfig& config() const { return config_; }
 
+  /// The address-math layer: scheme, chunk map, parity rotation.
+  const RedundancyLayout& layout() const { return *layout_; }
+
+  /// Physical device currently occupying stripe slot `slot`.
+  std::uint32_t slot_device(std::uint32_t slot) const;
+  sim::Ssd& device_at_slot(std::uint32_t slot) { return *devices_[slot_device(slot)]; }
+
+  /// Point `slot` at physical device `device` (spare promotion).
+  void remap_slot(std::uint32_t slot, std::uint32_t device);
+
+  /// Claim the next unpromoted spare (lowest device index first, so spare
+  /// consumption order is deterministic); nullopt when the pool is empty.
+  std::optional<std::uint32_t> take_spare();
+  std::uint32_t spares_available() const { return static_cast<std::uint32_t>(free_spares_.size()); }
+
   /// Logical capacity of the volume in pages: per-device user capacity is
-  /// floored to whole chunks so every logical LBA maps to a real device page.
+  /// floored to whole chunks (and reduced by the redundancy overhead) so
+  /// every logical LBA maps to a real device page.
   Lba user_pages() const { return user_pages_; }
-  /// Per-device share of user_pages().
+  /// Per-device share of the stripe (pages the layout uses on each device).
   Lba device_user_pages() const { return device_user_pages_; }
   Bytes page_size() const;
 
-  /// LBA → (device, device-LBA): chunk c goes to device c % N, at chunk
-  /// c / N on that device.
+  /// LBA → primary data copy as (physical device, device-LBA). RAID-0: chunk
+  /// c goes to slot c % N at chunk c / N. Mirror/parity: the layout's
+  /// map_data() translated through the slot table.
   StripeTarget map(Lba lba) const;
 
-  /// Sum of per-device C_free (no command overhead — host-side aggregate of
-  /// already-polled values; the coordinator charges the real polls).
+  /// Sum of C_free over the devices occupying stripe slots (no command
+  /// overhead — host-side aggregate of already-polled values; the
+  /// coordinator charges the real polls). Spares idle outside the volume.
   Bytes free_bytes_total() const;
 
  private:
   ArrayConfig config_;
   std::vector<std::unique_ptr<sim::Ssd>> devices_;
+  std::optional<RedundancyLayout> layout_;
+  std::vector<std::uint32_t> slot_device_;  ///< slot -> physical device
+  std::vector<std::uint32_t> free_spares_;  ///< unpromoted spare device indices
   Lba device_user_pages_ = 0;
   Lba user_pages_ = 0;
 };

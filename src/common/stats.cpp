@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/ensure.h"
+#include "common/histogram.h"
 
 namespace jitgc {
 
@@ -44,6 +45,70 @@ double PercentileTracker::percentile(double p) const {
 double PercentileTracker::mean() const {
   if (samples_.empty()) return 0.0;
   return std::accumulate(samples_.begin(), samples_.end(), 0.0) / samples_.size();
+}
+
+TailTracker::TailTracker(std::size_t exact_cap, double bin_width, std::size_t num_bins)
+    : exact_cap_(exact_cap), bin_width_(bin_width), num_bins_(num_bins) {
+  JITGC_ENSURE_MSG(exact_cap_ >= 1, "exact cap must be at least one sample");
+}
+
+TailTracker::~TailTracker() = default;
+TailTracker::TailTracker(TailTracker&&) noexcept = default;
+TailTracker& TailTracker::operator=(TailTracker&&) noexcept = default;
+
+void TailTracker::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+
+  if (hist_ != nullptr) {
+    hist_->add(x);
+    return;
+  }
+  samples_.push_back(x);
+  sorted_ = false;
+  if (samples_.size() >= exact_cap_) {
+    // Fold: every stored sample moves into the histogram; from here on
+    // quantiles are bounded-error instead of exact.
+    hist_ = std::make_unique<Histogram>(bin_width_, num_bins_);
+    for (const double s : samples_) hist_->add(s);
+    samples_.clear();
+    samples_.shrink_to_fit();
+  }
+}
+
+double TailTracker::percentile(double p) const {
+  JITGC_ENSURE_MSG(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+  if (n_ == 0) return 0.0;
+  if (p >= 100.0) return max_;  // the maximum is tracked exactly in both modes
+  if (hist_ == nullptr) {
+    // Exact regime: nearest rank, bit-identical to PercentileTracker.
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    const auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * samples_.size()));
+    return samples_[rank == 0 ? 0 : rank - 1];
+  }
+  if (p <= 0.0) return min_;
+  // Interpolation can overshoot the true extremes inside the crossing bin;
+  // clamp to the exact observed range.
+  return std::min(std::max(hist_->value_at_quantile(p / 100.0), min_), max_);
+}
+
+void TailTracker::clear() {
+  samples_.clear();
+  sorted_ = false;
+  hist_.reset();
+  n_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
 }
 
 }  // namespace jitgc

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace jitgc {
@@ -47,6 +48,57 @@ class PercentileTracker {
  private:
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;
+};
+
+class Histogram;
+
+/// Bounded-memory tail tracker: the scale-pass replacement for the
+/// per-interval PercentileTrackers in the simulators (open-loop array runs
+/// at high rates would otherwise store every latency sample).
+///
+/// Below `exact_cap` samples it stores every sample and answers nearest-rank
+/// percentiles exactly like PercentileTracker (bit-identical, so existing
+/// smoke/golden output is unchanged at smoke scale). At the cap the samples
+/// fold into a fixed-bin common::Histogram and later queries interpolate
+/// inside the crossing bin, so reported quantiles are within one bin width
+/// (`bin_width`, default 100 us) of the exact value; values beyond the last
+/// bin edge clamp into it, and percentile(100), mean() and count() stay
+/// exact in both regimes. Memory is O(exact_cap + num_bins) regardless of
+/// how many samples arrive.
+class TailTracker {
+ public:
+  explicit TailTracker(std::size_t exact_cap = 1 << 16, double bin_width = 100.0,
+                       std::size_t num_bins = 1 << 13);
+  ~TailTracker();
+  TailTracker(TailTracker&&) noexcept;
+  TailTracker& operator=(TailTracker&&) noexcept;
+
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+
+  /// Nearest-rank percentile while exact, histogram-interpolated after the
+  /// fold; p in [0, 100]. percentile(100) is always the exact maximum.
+  double percentile(double p) const;
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+
+  /// True once the tracker folded into histogram (bounded-error) mode.
+  bool histogram_mode() const { return hist_ != nullptr; }
+
+  /// Drops all samples and returns to exact mode.
+  void clear();
+
+ private:
+  std::size_t exact_cap_;
+  double bin_width_;
+  std::size_t num_bins_;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  std::unique_ptr<Histogram> hist_;  ///< allocated lazily at the fold
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
 };
 
 }  // namespace jitgc

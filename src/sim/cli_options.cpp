@@ -225,6 +225,42 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::s
         return std::nullopt;
       }
       opt.array_max_concurrent_gc = static_cast<std::uint32_t>(v);
+    } else if (key == "--array-redundancy") {
+      if (!need_value()) return std::nullopt;
+      // Enumerates the valid schemes inline: the sim layer cannot call
+      // array::redundancy_scheme_names() (the dependency is one-way), and
+      // array_cli.cpp re-validates with the authoritative list.
+      if (value != "none" && value != "mirror" && value != "parity") {
+        error = "unknown array redundancy scheme '" + value + "' (none|mirror|parity)";
+        return std::nullopt;
+      }
+      opt.array_redundancy = value;
+    } else if (key == "--array-spares") {
+      std::uint64_t v = 0;
+      if (!need_value() || !parse_u64(value, v)) {
+        error = "--array-spares needs a spare device count";
+        return std::nullopt;
+      }
+      opt.array_spares = static_cast<std::uint32_t>(v);
+    } else if (key == "--rebuild-rate-floor") {
+      if (!need_value() || !parse_double(value, opt.rebuild_rate_floor) ||
+          opt.rebuild_rate_floor < 0.0 || opt.rebuild_rate_floor > 1.0) {
+        error = "--rebuild-rate-floor needs a duty fraction in [0, 1]";
+        return std::nullopt;
+      }
+    } else if (key == "--array-kill-device") {
+      std::uint64_t v = 0;
+      if (!need_value() || !parse_u64(value, v)) {
+        error = "--array-kill-device needs a slot index";
+        return std::nullopt;
+      }
+      opt.array_kill_slot = static_cast<std::int32_t>(v);
+    } else if (key == "--array-kill-at") {
+      if (!need_value() || !parse_double(value, opt.array_kill_at_s) ||
+          opt.array_kill_at_s < 0.0) {
+        error = "--array-kill-at needs a time in seconds";
+        return std::nullopt;
+      }
     } else if (key == "--jobs") {
       if (!need_value() || !parse_u64(value, opt.jobs)) {
         error = "--jobs needs a thread count (0 = hardware)";
@@ -283,6 +319,11 @@ std::string cli_usage() {
   --stripe-chunk=<pages> stripe chunk size                    (default 8)
   --array-gc-mode=<m>    naive|staggered|maxk                 (default staggered)
   --array-max-concurrent-gc=<k>  GC concurrency cap           (default 1)
+  --array-redundancy=<s> none|mirror|parity                   (default none)
+  --array-spares=<n>     hot spares for rebuilds              (default 0)
+  --rebuild-rate-floor=<f>  min rebuild duty fraction [0,1]   (default 0.1)
+  --array-kill-device=<slot>  scripted kill: retire this slot's device
+  --array-kill-at=<s>    kill time in seconds                 (default 0)
   --jobs=<n>             array GC fan-out threads, 0 = hardware (default 0)
   --no-sip               disable SIP victim filtering (JIT-GC)
   --percentile=<q>       CDH reserve quantile                 (default 0.8)

@@ -69,6 +69,18 @@ struct CliOptions {
   std::string array_gc_mode = "staggered";
   /// Concurrency cap k for the coordinated GC modes.
   std::uint32_t array_max_concurrent_gc = 1;
+  /// "none" | "mirror" | "parity" (validated at parse time): the redundancy
+  /// scheme layered on the stripe (array/redundancy.h).
+  std::string array_redundancy = "none";
+  /// Hot spares standing by for rebuilds (redundant schemes only).
+  std::uint32_t array_spares = 0;
+  /// Minimum rebuild duty per tick granted even when GC has priority, as a
+  /// fraction of the flush period (clamped to [0, 1]).
+  double rebuild_rate_floor = 0.1;
+  /// Scripted fault injection: retire the device in this slot (-1 = off) at
+  /// the first coordinator tick at or after --array-kill-at seconds.
+  std::int32_t array_kill_slot = -1;
+  double array_kill_at_s = 0.0;
   /// Worker threads for the array's per-tick GC fan-out (0 = hardware).
   /// Results are byte-identical at any value — that is the determinism
   /// contract bench_smoke.sh asserts.

@@ -78,6 +78,22 @@ struct SimReport {
   std::uint64_t erase_failures = 0;
   std::uint64_t grown_bad_blocks = 0;
   std::uint64_t spares_promoted = 0;
+
+  // -- Array redundancy & rebuild (src/array; emitted only after a failure) ------
+  /// Whole-device retirements observed by the array (worn out / faulted out).
+  std::uint64_t device_failures = 0;
+  /// Rebuilds driven to completion (spare fully reconstructed).
+  std::uint64_t rebuilds_completed = 0;
+  /// Reconstruction traffic: survivor reads and replacement writes.
+  Bytes rebuild_read_bytes = 0;
+  Bytes rebuild_write_bytes = 0;
+  /// Simulated time some rebuild was actively running.
+  double rebuild_time_s = 0.0;
+  /// Simulated time the volume was exposed (degraded or rebuilding).
+  double degraded_time_s = 0.0;
+  /// Write-op p99 over the exposed window only (0 when never exposed) — the
+  /// tail the rebuild-rate floor trades against rebuild time.
+  double degraded_write_p99_latency_us = 0.0;
   /// Total bytes the application wrote (TBW when the device wore out).
   Bytes tbw_bytes() const { return app_buffered_write_bytes + app_direct_write_bytes; }
 };

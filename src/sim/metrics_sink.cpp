@@ -119,6 +119,8 @@ std::string format_array_interval_jsonl(std::uint64_t run_index, std::uint64_t s
   append_field(out, "max_latency_us", r.max_latency_us);
   append_field(out, "write_p99_latency_us", r.write_p99_latency_us);
   append_field(out, "write_p999_latency_us", r.write_p999_latency_us);
+  // Only redundant arrays report a state; RAID-0 output stays byte-identical.
+  if (!r.state.empty()) append_field(out, "state", r.state);
   out += '}';
   return out;
 }
@@ -139,6 +141,47 @@ std::string format_device_interval_jsonl(std::uint64_t run_index, std::uint64_t 
   append_field(out, "write_bytes", static_cast<std::uint64_t>(r.write_bytes));
   append_field(out, "busy_us", static_cast<std::uint64_t>(r.busy_us < 0 ? 0 : r.busy_us));
   append_field(out, "fgc_cycles", r.fgc_cycles);
+  // Rebuild counters only while the device carries rebuild traffic (both
+  // together, so a record either has the pair or neither).
+  if (r.rebuild_read_bytes != 0 || r.rebuild_write_bytes != 0) {
+    append_field(out, "rebuild_read_bytes", static_cast<std::uint64_t>(r.rebuild_read_bytes));
+    append_field(out, "rebuild_write_bytes", static_cast<std::uint64_t>(r.rebuild_write_bytes));
+  }
+  out += '}';
+  return out;
+}
+
+std::string format_rebuild_progress_jsonl(std::uint64_t run_index, std::uint64_t seed,
+                                          const RebuildProgressRecord& r) {
+  std::string out = "{\"type\":\"rebuild_progress\"";
+  append_field(out, "run", run_index);
+  append_field(out, "seed", seed);
+  append_field(out, "interval", r.interval);
+  append_field(out, "time_s", r.time_s);
+  append_field(out, "slot", static_cast<std::uint64_t>(r.slot));
+  append_field(out, "replacement_device", static_cast<std::uint64_t>(r.replacement_device));
+  append_field(out, "rows_done", static_cast<std::uint64_t>(r.rows_done));
+  append_field(out, "rows_total", static_cast<std::uint64_t>(r.rows_total));
+  append_field(out, "progress", r.progress);
+  append_field(out, "read_bytes", static_cast<std::uint64_t>(r.read_bytes));
+  append_field(out, "write_bytes", static_cast<std::uint64_t>(r.write_bytes));
+  append_field(out, "budget_us", static_cast<std::uint64_t>(r.budget_us < 0 ? 0 : r.budget_us));
+  append_field(out, "used_us", static_cast<std::uint64_t>(r.used_us < 0 ? 0 : r.used_us));
+  out += '}';
+  return out;
+}
+
+std::string format_array_state_jsonl(std::uint64_t run_index, std::uint64_t seed,
+                                     const ArrayStateRecord& r) {
+  std::string out = "{\"type\":\"array_state\"";
+  append_field(out, "run", run_index);
+  append_field(out, "seed", seed);
+  append_field(out, "interval", r.interval);
+  append_field(out, "time_s", r.time_s);
+  append_field(out, "state", r.state);
+  append_field(out, "slot", static_cast<std::uint64_t>(r.slot));
+  append_field(out, "device", static_cast<std::uint64_t>(r.device));
+  append_field(out, "reason", r.reason);
   out += '}';
   return out;
 }
@@ -180,6 +223,17 @@ std::string format_run_jsonl(std::uint64_t run_index, std::uint64_t seed,
   if (r.erase_failures != 0) append_field(out, "erase_failures", r.erase_failures);
   if (r.grown_bad_blocks != 0) append_field(out, "grown_bad_blocks", r.grown_bad_blocks);
   if (r.spares_promoted != 0) append_field(out, "spares_promoted", r.spares_promoted);
+  // Array redundancy fields only when a device actually failed: RAID-0 and
+  // failure-free redundant runs keep the legacy field set.
+  if (r.device_failures != 0) {
+    append_field(out, "device_failures", r.device_failures);
+    append_field(out, "rebuilds_completed", r.rebuilds_completed);
+    append_field(out, "rebuild_read_bytes", static_cast<std::uint64_t>(r.rebuild_read_bytes));
+    append_field(out, "rebuild_write_bytes", static_cast<std::uint64_t>(r.rebuild_write_bytes));
+    append_field(out, "rebuild_time_s", r.rebuild_time_s);
+    append_field(out, "degraded_time_s", r.degraded_time_s);
+    append_field(out, "degraded_write_p99_latency_us", r.degraded_write_p99_latency_us);
+  }
   out += '}';
   return out;
 }
@@ -247,6 +301,15 @@ void JsonlMetricsSink::on_array_interval(const ArrayIntervalRecord& record) {
 void JsonlMetricsSink::on_device_interval(const DeviceIntervalRecord& record) {
   if (!emit_intervals_) return;
   out_ << format_device_interval_jsonl(run_index_, seed_, record) << '\n';
+}
+
+void JsonlMetricsSink::on_rebuild_progress(const RebuildProgressRecord& record) {
+  if (!emit_intervals_) return;
+  out_ << format_rebuild_progress_jsonl(run_index_, seed_, record) << '\n';
+}
+
+void JsonlMetricsSink::on_array_state(const ArrayStateRecord& record) {
+  out_ << format_array_state_jsonl(run_index_, seed_, record) << '\n';
 }
 
 void JsonlMetricsSink::on_run_end(const SimReport& report) {

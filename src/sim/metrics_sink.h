@@ -86,6 +86,10 @@ struct ArrayIntervalRecord {
   double max_latency_us = 0.0;
   double write_p99_latency_us = 0.0;  ///< write-only tail (the stripe-stall metric)
   double write_p999_latency_us = 0.0;
+  /// Redundancy state over the interval: "healthy" | "degraded" |
+  /// "rebuilding". Empty (and omitted from JSONL) for RAID-0 arrays, so
+  /// legacy output is byte-identical.
+  std::string state;
 };
 
 /// One device's share of an array tick (same interval/decision split as
@@ -102,6 +106,46 @@ struct DeviceIntervalRecord {
   Bytes write_bytes = 0;              ///< host writes to this device, ended interval
   TimeUs busy_us = 0;                 ///< host service time on this device, ended interval
   std::uint64_t fgc_cycles = 0;       ///< foreground-GC stalls, ended interval
+  /// Rebuild traffic this device carried during the interval: source reads
+  /// it served for reconstruction, or writes it absorbed as the rebuild
+  /// target. Both omitted from JSONL when zero, so non-rebuild (and all
+  /// legacy) device records are byte-identical.
+  Bytes rebuild_read_bytes = 0;
+  Bytes rebuild_write_bytes = 0;
+};
+
+/// One tick of an active rebuild (array::RebuildManager): how far
+/// reconstruction got and what the granted window cost. Emitted only while a
+/// rebuild is running.
+struct RebuildProgressRecord {
+  std::uint64_t interval = 0;             ///< 1-based tick index
+  double time_s = 0.0;                    ///< simulation clock at the tick
+  std::uint32_t slot = 0;                 ///< stripe slot under reconstruction
+  std::uint32_t replacement_device = 0;   ///< spare promoted into the slot
+  Lba rows_done = 0;                      ///< stripe rows reconstructed so far
+  Lba rows_total = 0;                     ///< rows the rebuild must cover
+  double progress = 0.0;                  ///< rows_done / rows_total
+  Bytes read_bytes = 0;                   ///< survivor reads this interval
+  Bytes write_bytes = 0;                  ///< replacement writes this interval
+  TimeUs budget_us = 0;                   ///< window the coordinator granted
+  TimeUs used_us = 0;                     ///< window time actually consumed
+};
+
+/// One redundancy state-machine transition (degraded / rebuilding / restored
+/// / data_loss). Emitted only by redundant arrays, at the tick the
+/// transition is observed.
+struct ArrayStateRecord {
+  std::uint64_t interval = 0;   ///< 1-based tick index (0: before first tick)
+  double time_s = 0.0;          ///< simulation clock at the transition
+  /// "degraded" | "rebuilding" | "restored" | "data_loss".
+  std::string state;
+  std::uint32_t slot = 0;       ///< stripe slot the transition concerns
+  /// Physical device entering (rebuilding/restored) or leaving (degraded /
+  /// data_loss) the slot.
+  std::uint32_t device = 0;
+  /// What caused it: "device_worn_out" for wear-driven retirement,
+  /// "rebuild_complete", "no_spare", "redundancy_exhausted", ...
+  std::string reason;
 };
 
 class MetricsSink {
@@ -117,6 +161,10 @@ class MetricsSink {
   virtual void on_array_interval(const ArrayIntervalRecord& /*record*/) {}
   /// Called once per device per array tick, in device order.
   virtual void on_device_interval(const DeviceIntervalRecord& /*record*/) {}
+  /// Called once per array tick while a rebuild is active (default: ignore).
+  virtual void on_rebuild_progress(const RebuildProgressRecord& /*record*/) {}
+  /// Called at each redundancy state transition (default: ignore).
+  virtual void on_array_state(const ArrayStateRecord& /*record*/) {}
   /// Called once, with the assembled run-level report.
   virtual void on_run_end(const SimReport& report) = 0;
 };
@@ -132,12 +180,20 @@ class RecordingMetricsSink final : public MetricsSink {
   void on_device_interval(const DeviceIntervalRecord& record) override {
     device_intervals_.push_back(record);
   }
+  void on_rebuild_progress(const RebuildProgressRecord& record) override {
+    rebuild_progress_.push_back(record);
+  }
+  void on_array_state(const ArrayStateRecord& record) override {
+    array_states_.push_back(record);
+  }
   void on_run_end(const SimReport& report) override { report_ = report; has_report_ = true; }
 
   const std::vector<IntervalRecord>& intervals() const { return intervals_; }
   const std::vector<FaultRecord>& faults() const { return faults_; }
   const std::vector<ArrayIntervalRecord>& array_intervals() const { return array_intervals_; }
   const std::vector<DeviceIntervalRecord>& device_intervals() const { return device_intervals_; }
+  const std::vector<RebuildProgressRecord>& rebuild_progress() const { return rebuild_progress_; }
+  const std::vector<ArrayStateRecord>& array_states() const { return array_states_; }
   bool has_report() const { return has_report_; }
   const SimReport& report() const { return report_; }
 
@@ -146,6 +202,8 @@ class RecordingMetricsSink final : public MetricsSink {
   std::vector<FaultRecord> faults_;
   std::vector<ArrayIntervalRecord> array_intervals_;
   std::vector<DeviceIntervalRecord> device_intervals_;
+  std::vector<RebuildProgressRecord> rebuild_progress_;
+  std::vector<ArrayStateRecord> array_states_;
   SimReport report_;
   bool has_report_ = false;
 };
@@ -163,6 +221,8 @@ class JsonlMetricsSink final : public MetricsSink {
   void on_fault(const FaultRecord& record) override;
   void on_array_interval(const ArrayIntervalRecord& record) override;
   void on_device_interval(const DeviceIntervalRecord& record) override;
+  void on_rebuild_progress(const RebuildProgressRecord& record) override;
+  void on_array_state(const ArrayStateRecord& record) override;
   void on_run_end(const SimReport& report) override;
 
  private:
@@ -186,9 +246,18 @@ std::string format_fault_jsonl(std::uint64_t run_index, std::uint64_t seed,
 std::string format_array_interval_jsonl(std::uint64_t run_index, std::uint64_t seed,
                                         const ArrayIntervalRecord& record);
 
-/// One {"type":"device_interval",...} line (no trailing newline).
+/// One {"type":"device_interval",...} line (no trailing newline). The
+/// rebuild counters appear only when nonzero.
 std::string format_device_interval_jsonl(std::uint64_t run_index, std::uint64_t seed,
                                          const DeviceIntervalRecord& record);
+
+/// One {"type":"rebuild_progress",...} line (no trailing newline).
+std::string format_rebuild_progress_jsonl(std::uint64_t run_index, std::uint64_t seed,
+                                          const RebuildProgressRecord& record);
+
+/// One {"type":"array_state",...} line (no trailing newline).
+std::string format_array_state_jsonl(std::uint64_t run_index, std::uint64_t seed,
+                                     const ArrayStateRecord& record);
 
 /// One {"type":"run",...} line (no trailing newline). Degradation fields
 /// (run_end_reason, failure counters) are emitted only when they carry

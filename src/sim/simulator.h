@@ -143,7 +143,11 @@ class Simulator {
   std::uint64_t interval_index_ = 0;
   /// Bytes freed by BGC (opportunistic + urgent) since the last tick.
   Bytes interval_bgc_reclaimed_ = 0;
-  PercentileTracker interval_latencies_;
+  /// Bounded-memory interval tail: exact (bit-identical to the
+  /// PercentileTracker it replaced) below the sample cap, histogram-backed
+  /// with documented interpolation error beyond, so a high-rate interval
+  /// cannot grow an O(ops) sample buffer.
+  TailTracker interval_latencies_;
   std::uint64_t interval_ops_ = 0;
   // Last-tick snapshots for per-interval deltas.
   std::uint64_t interval_fgc_base_ = 0;

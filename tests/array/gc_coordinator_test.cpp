@@ -161,6 +161,99 @@ TEST(GcCoordinator, MaxKUrgentDevicesDoNotConsumeSlots) {
   EXPECT_FALSE(grants[2].granted);
 }
 
+TEST(GcCoordinator, UrgencyBoundaryIsInclusive) {
+  // Regression: free capacity exactly equal to one interval's demand is
+  // already unsafe — the interval's writes consume the last free byte before
+  // the next tick can grant a window, so the boundary must escape as urgent.
+  // (The original comparison was strict `<`, letting the == case wait a full
+  // rotation and eat a foreground-GC stall.)
+  const GcCoordinator coord(config_for(ArrayGcMode::kStaggered, 4, 1));
+  std::vector<DeviceDemand> demands(4, demand(500, 10000, 100));
+  demands[2] = demand(100, 10000, 100);  // free == one interval of demand
+  const auto grants = coord.decide(0, demands);  // tick 0: not device 2's turn
+  EXPECT_TRUE(grants[2].granted);
+  EXPECT_TRUE(grants[2].urgent);
+}
+
+TEST(GcCoordinator, NaiveRebuildRunsAtTheDutyCapEveryTick) {
+  ArrayConfig cfg = config_for(ArrayGcMode::kNaive, 4, 1);
+  cfg.rebuild_rate_floor = 0.05;
+  const GcCoordinator coord(cfg);
+  RebuildDemand rd;
+  rd.active = true;
+  rd.slot = 2;
+  for (std::uint64_t tick = 0; tick < 4; ++tick) {
+    const RebuildGrant g = coord.decide_rebuild(tick, std::vector<GcGrant>(4), rd);
+    EXPECT_TRUE(g.granted);
+    EXPECT_DOUBLE_EQ(g.duty, cfg.gc_duty_cap) << "tick " << tick;
+  }
+}
+
+TEST(GcCoordinator, StaggeredRebuildTakesTheFailedSlotsTurn) {
+  ArrayConfig cfg = config_for(ArrayGcMode::kStaggered, 4, 1);
+  cfg.rebuild_rate_floor = 0.05;
+  const GcCoordinator coord(cfg);  // rotation 4
+  RebuildDemand rd;
+  rd.active = true;
+  rd.slot = 2;
+  for (std::uint64_t tick = 0; tick < 8; ++tick) {
+    const RebuildGrant g = coord.decide_rebuild(tick, std::vector<GcGrant>(4), rd);
+    EXPECT_TRUE(g.granted);
+    if (tick % 4 == 2) {
+      EXPECT_DOUBLE_EQ(g.duty, cfg.gc_duty_cap) << "tick " << tick;
+    } else {
+      EXPECT_DOUBLE_EQ(g.duty, 0.05) << "tick " << tick;
+    }
+  }
+}
+
+TEST(GcCoordinator, MaxKRebuildYieldsWhenTheConcurrencyBudgetIsFull) {
+  ArrayConfig cfg = config_for(ArrayGcMode::kMaxK, 4, 1);
+  cfg.rebuild_rate_floor = 0.05;
+  const GcCoordinator coord(cfg);
+  RebuildDemand rd;
+  rd.active = true;
+  rd.slot = 1;
+
+  // No GC granted: rebuild takes the slot at full duty.
+  const RebuildGrant free_tick = coord.decide_rebuild(0, std::vector<GcGrant>(4), rd);
+  EXPECT_DOUBLE_EQ(free_tick.duty, cfg.gc_duty_cap);
+
+  // One opportunistic GC window granted (k = 1): rebuild drops to the floor.
+  std::vector<GcGrant> busy(4);
+  busy[3].granted = true;
+  const RebuildGrant busy_tick = coord.decide_rebuild(0, busy, rd);
+  EXPECT_DOUBLE_EQ(busy_tick.duty, 0.05);
+
+  // Urgent windows are outside the budget (the urgency escape is not a
+  // slot): rebuild keeps full duty alongside an urgent collection.
+  std::vector<GcGrant> urgent(4);
+  urgent[3].granted = true;
+  urgent[3].urgent = true;
+  const RebuildGrant urgent_tick = coord.decide_rebuild(0, urgent, rd);
+  EXPECT_DOUBLE_EQ(urgent_tick.duty, cfg.gc_duty_cap);
+}
+
+TEST(GcCoordinator, RebuildFloorNeverExceedsTheGrantedDuty) {
+  // A floor above the duty cap still grants the floor: the floor is the
+  // operator's lower bound, the cap only shapes opportunistic windows.
+  ArrayConfig cfg = config_for(ArrayGcMode::kStaggered, 4, 1);
+  cfg.rebuild_rate_floor = 0.9;
+  const GcCoordinator coord(cfg);
+  RebuildDemand rd;
+  rd.active = true;
+  rd.slot = 0;
+  const RebuildGrant g = coord.decide_rebuild(1, std::vector<GcGrant>(4), rd);  // off-turn
+  EXPECT_DOUBLE_EQ(g.duty, 0.9);
+}
+
+TEST(GcCoordinator, InactiveRebuildGetsNothing) {
+  const GcCoordinator coord(config_for(ArrayGcMode::kNaive, 4, 1));
+  const RebuildGrant g = coord.decide_rebuild(0, std::vector<GcGrant>(4), RebuildDemand{});
+  EXPECT_FALSE(g.granted);
+  EXPECT_DOUBLE_EQ(g.duty, 0.0);
+}
+
 TEST(GcCoordinator, DecisionIsAPureFunctionOfInputs) {
   const GcCoordinator coord(config_for(ArrayGcMode::kMaxK, 4, 2));
   const std::vector<DeviceDemand> demands = {

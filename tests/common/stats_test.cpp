@@ -83,5 +83,55 @@ TEST(PercentileTracker, OutOfRangeThrows) {
   EXPECT_THROW(t.percentile(100.5), std::logic_error);
 }
 
+TEST(TailTracker, ExactModeIsBitIdenticalToPercentileTracker) {
+  // Below the sample cap the TailTracker IS a PercentileTracker: same
+  // nearest-rank answers, so swapping one in changes no metrics output
+  // until an interval actually overflows the cap.
+  TailTracker t(/*exact_cap=*/1024);
+  PercentileTracker reference;
+  for (int i = 0; i < 500; ++i) {
+    const double v = static_cast<double>((i * 7919) % 1000) + 0.25;
+    t.add(v);
+    reference.add(v);
+  }
+  EXPECT_FALSE(t.histogram_mode());
+  for (const double p : {0.0, 20.0, 50.0, 99.0, 99.9, 100.0}) {
+    EXPECT_EQ(t.percentile(p), reference.percentile(p)) << "p" << p;
+  }
+  EXPECT_DOUBLE_EQ(t.mean(), reference.mean());
+  EXPECT_EQ(t.count(), reference.count());
+}
+
+TEST(TailTracker, FoldsAtTheCapWithBoundedQuantileError) {
+  TailTracker t(/*exact_cap=*/64, /*bin_width=*/100.0);
+  PercentileTracker reference;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = static_cast<double>((i * 104729) % 100000);
+    t.add(v);
+    reference.add(v);
+  }
+  EXPECT_TRUE(t.histogram_mode());
+  EXPECT_EQ(t.count(), 5000u);
+  // Extremes and the mean stay exact through the fold.
+  EXPECT_EQ(t.percentile(100.0), reference.percentile(100.0));
+  EXPECT_DOUBLE_EQ(t.mean(), reference.mean());
+  // Interior quantiles are bin-resolution approximations: within one bin.
+  for (const double p : {50.0, 90.0, 99.0, 99.9}) {
+    EXPECT_NEAR(t.percentile(p), reference.percentile(p), 100.0) << "p" << p;
+  }
+}
+
+TEST(TailTracker, ClearReturnsToExactMode) {
+  TailTracker t(/*exact_cap=*/4);
+  for (const double v : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0}) t.add(v);
+  EXPECT_TRUE(t.histogram_mode());
+  t.clear();
+  EXPECT_FALSE(t.histogram_mode());
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_EQ(t.percentile(99.0), 0.0);
+  t.add(7.0);
+  EXPECT_EQ(t.percentile(50.0), 7.0);
+}
+
 }  // namespace
 }  // namespace jitgc

@@ -63,7 +63,11 @@ std::string sweep_bytes(const SweepOptions& options) {
 class SweepResumeTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::path(::testing::TempDir()) / "jitgc_sweep_ckpt";
+    // Unique per test: ctest -j runs these cases as separate processes that
+    // would otherwise race on one shared checkpoint directory.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("jitgc_sweep_ckpt_") + info->name());
     fs::remove_all(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }

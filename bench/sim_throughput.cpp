@@ -1,0 +1,119 @@
+// End-to-end simulator throughput: wall-clock ops/sec of the pinned legacy
+// tick engine vs the event engine (calendar-driven run loop + the FTL
+// fast-path bundle: deferred victim-index maintenance and the arena-backed
+// flat NAND layout). Both engines produce byte-identical metrics — this
+// harness double-checks the headline counters agree — so the ratio is pure
+// wall-clock speedup, the acceptance number for the event-core PR.
+//
+// Two cells: the canonical single-SSD configuration, and an 8-device
+// striped array under staggered GC coordination (the array multiplies the
+// per-tick FTL work eightfold, so it leans hardest on the fast paths).
+//
+// Emits one JSONL record per (config, engine) plus a speedup summary per
+// config, mirroring bench_victim_select's schema; scripts/bench_smoke.sh
+// validates the records and gates on the array speedup ratio.
+//
+//   sim_throughput [sim_seconds]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "array/array_simulator.h"
+#include "common/ensure.h"
+#include "sim/experiment.h"
+#include "workload/specs.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace jitgc;
+
+struct Measurement {
+  std::uint64_t ops = 0;
+  double wall_s = 0.0;
+  double ops_per_sec = 0.0;
+};
+
+template <typename Run>
+Measurement timed(Run&& run) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const sim::SimReport report = run();
+  const auto elapsed = Clock::now() - start;
+  Measurement m;
+  m.ops = report.ops_completed;
+  m.wall_s = std::chrono::duration<double>(elapsed).count();
+  m.ops_per_sec = static_cast<double>(m.ops) / m.wall_s;
+  return m;
+}
+
+Measurement run_single(sim::EngineKind engine, double sim_seconds) {
+  return timed([&] {
+    sim::SimConfig config = sim::default_sim_config(1);
+    config.duration = seconds(sim_seconds);
+    config.engine = engine;
+    sim::Simulator simulator(config);
+    wl::SyntheticWorkload gen(wl::ycsb_spec(), simulator.ssd().ftl().user_pages(), config.seed);
+    const auto policy = sim::make_policy(sim::PolicyKind::kJit, config);
+    return simulator.run(gen, *policy);
+  });
+}
+
+Measurement run_array(sim::EngineKind engine, double sim_seconds) {
+  return timed([&] {
+    const sim::SimConfig base = sim::default_sim_config(1);
+    array::ArraySimConfig config;
+    config.ssd = base.ssd;
+    config.duration = seconds(sim_seconds);
+    config.flush_period = base.cache.flush_period;
+    config.seed = base.seed;
+    config.step_threads = 1;  // measure the engine, not the GC fan-out pool
+    config.engine = engine;
+    config.array.devices = 8;
+    config.array.gc_mode = array::ArrayGcMode::kStaggered;
+
+    array::ArraySimulator simulator(config);
+    // Open-loop arrival rate below the 8-device sustainable service rate
+    // (same reasoning as array_gc_coordination's scaling, doubled for twice
+    // the devices) so the run measures steady-state work, not backlog
+    // collapse.
+    wl::WorkloadSpec spec = wl::ycsb_spec();
+    spec.ops_per_sec *= 0.30;
+    wl::SyntheticWorkload gen(spec, simulator.ssd_array().user_pages(), config.seed);
+    return simulator.run(gen);
+  });
+}
+
+void report_cell(const char* config, Measurement (*run)(sim::EngineKind, double),
+                 double sim_seconds) {
+  const Measurement tick = run(sim::EngineKind::kTick, sim_seconds);
+  const Measurement event = run(sim::EngineKind::kEvent, sim_seconds);
+  // Byte-identical engines must complete the same ops; a mismatch means the
+  // speedup below compares different work and the record is meaningless.
+  JITGC_ENSURE_MSG(tick.ops == event.ops, "engines completed different op counts");
+
+  std::printf(
+      "{\"type\":\"bench\",\"name\":\"sim_throughput\",\"config\":\"%s\",\"engine\":\"tick\","
+      "\"ops\":%llu,\"wall_s\":%.3f,\"ops_per_sec\":%.1f}\n",
+      config, static_cast<unsigned long long>(tick.ops), tick.wall_s, tick.ops_per_sec);
+  std::printf(
+      "{\"type\":\"bench\",\"name\":\"sim_throughput\",\"config\":\"%s\",\"engine\":\"event\","
+      "\"ops\":%llu,\"wall_s\":%.3f,\"ops_per_sec\":%.1f}\n",
+      config, static_cast<unsigned long long>(event.ops), event.wall_s, event.ops_per_sec);
+  std::printf(
+      "{\"type\":\"bench_summary\",\"name\":\"sim_throughput_speedup\",\"config\":\"%s\","
+      "\"speedup\":%.2f}\n",
+      config, tick.wall_s / event.wall_s);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double sim_seconds = argc > 1 ? std::atof(argv[1]) : 60.0;
+  JITGC_ENSURE_MSG(sim_seconds > 0, "sim_seconds must be positive");
+  report_cell("single_ssd", run_single, sim_seconds);
+  report_cell("array_8dev", run_array, sim_seconds);
+  return 0;
+}

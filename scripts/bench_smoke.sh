@@ -21,12 +21,19 @@
 # record — again byte-identical across thread counts. Malformed array flags
 # must be rejected with enumerated messages.
 #
-# Usage: bench_smoke.sh <path-to-jitgc_sweep> [bench_victim_select] [jitgc_cli]
+# When a sim_throughput binary is passed as the fourth argument, the
+# tick-vs-event engine throughput cells run too: records are schema-
+# validated, both engines must complete identical op counts, and the
+# 8-device array speedup is gated against a budget floor
+# (JITGC_MIN_SIM_SPEEDUP, default 2.0).
+#
+# Usage: bench_smoke.sh <jitgc_sweep> [bench_victim_select] [jitgc_cli] [sim_throughput]
 set -euo pipefail
 
-SWEEP_BIN=${1:?usage: bench_smoke.sh <path-to-jitgc_sweep> [bench_victim_select] [jitgc_cli]}
+SWEEP_BIN=${1:?usage: bench_smoke.sh <jitgc_sweep> [bench_victim_select] [jitgc_cli] [sim_throughput]}
 VICTIM_BENCH_BIN=${2:-}
 CLI_BIN=${3:-}
+SIM_THROUGHPUT_BIN=${4:-}
 WORKDIR=$(mktemp -d)
 trap 'rm -rf "$WORKDIR"' EXIT
 
@@ -401,4 +408,63 @@ EOF
   expect_rejection --array-gc-mode=psychic "naive|staggered|maxk"
   expect_rejection --rebuild-rate-floor=1.5 "rebuild-rate-floor"
   echo "bench_smoke: malformed array flags rejected with enumerated messages"
+fi
+
+# -- End-to-end engine throughput: tick vs event ------------------------------
+# When a sim_throughput binary is passed as the fourth argument, run the
+# tick-vs-event wall-clock cells (single SSD + 8-device array), validate the
+# bench/bench_summary JSONL, and gate the array speedup against a budget.
+# The dev-box measurement is ~3.5-4x; the default floor of 2.0 leaves room
+# for slower or loaded CI machines (override with JITGC_MIN_SIM_SPEEDUP).
+if [ -n "${SIM_THROUGHPUT_BIN:-}" ]; then
+  MIN_SPEEDUP=${JITGC_MIN_SIM_SPEEDUP:-2.0}
+  "$SIM_THROUGHPUT_BIN" 10 > "$WORKDIR/throughput.jsonl"
+  cat "$WORKDIR/throughput.jsonl"
+
+  if command -v python3 > /dev/null 2>&1; then
+    python3 - "$WORKDIR/throughput.jsonl" "$MIN_SPEEDUP" << 'EOF'
+import json
+import sys
+
+BENCH_FIELDS = {"type", "name", "config", "engine", "ops", "wall_s", "ops_per_sec"}
+SUMMARY_FIELDS = {"type", "name", "config", "speedup"}
+
+ops = {}       # (config, engine) -> ops
+speedups = {}  # config -> speedup
+with open(sys.argv[1]) as f:
+    for lineno, line in enumerate(f, 1):
+        rec = json.loads(line)
+        if rec["type"] == "bench":
+            if set(rec) != BENCH_FIELDS:
+                sys.exit(f"line {lineno}: bench schema mismatch (got {sorted(rec)})")
+            if rec["name"] != "sim_throughput":
+                sys.exit(f"line {lineno}: unexpected bench name {rec['name']!r}")
+            ops[(rec["config"], rec["engine"])] = rec["ops"]
+        elif rec["type"] == "bench_summary":
+            if set(rec) != SUMMARY_FIELDS:
+                sys.exit(f"line {lineno}: bench_summary schema mismatch (got {sorted(rec)})")
+            speedups[rec["config"]] = rec["speedup"]
+        else:
+            sys.exit(f"line {lineno}: unexpected record type {rec['type']!r}")
+
+for config in ("single_ssd", "array_8dev"):
+    if (config, "tick") not in ops or (config, "event") not in ops:
+        sys.exit(f"missing bench records for {config}")
+    if ops[(config, "tick")] != ops[(config, "event")]:
+        sys.exit(f"{config}: engines completed different op counts "
+                 f"({ops[(config, 'tick')]} vs {ops[(config, 'event')]})")
+    if config not in speedups:
+        sys.exit(f"missing bench_summary for {config}")
+
+floor = float(sys.argv[2])
+if speedups["array_8dev"] < floor:
+    sys.exit(f"array_8dev speedup {speedups['array_8dev']} below budget {floor} "
+             f"(override with JITGC_MIN_SIM_SPEEDUP)")
+print(f"bench_smoke: sim throughput OK (array speedup {speedups['array_8dev']}x, "
+      f"budget {floor}x)")
+EOF
+  else
+    grep -q '"type":"bench_summary"' "$WORKDIR/throughput.jsonl"
+    echo "bench_smoke: sim throughput OK (grep fallback, no budget gate)"
+  fi
 fi

@@ -60,6 +60,10 @@ sim::SimReport run_array_from_cli(const sim::CliOptions& options) {
   config.array.rebuild_rate_floor = options.rebuild_rate_floor;
   config.kill_slot = options.array_kill_slot;
   config.kill_at = seconds(options.array_kill_at_s);
+  config.outage_slot = options.array_outage_slot;
+  config.outage_at = seconds(options.array_outage_at_s);
+  config.outage_restore_at = seconds(options.array_outage_restore_at_s);
+  config.engine = options.engine;
 
   ArraySimulator simulator(config);
   const Lba user_pages = simulator.ssd_array().user_pages();

@@ -29,11 +29,22 @@ std::string upper(const char* s) {
   return out;
 }
 
+/// The event engine's FTL fast-path bundle (output-invariant, see ftl.h);
+/// applied to every array device. The tick engine keeps the legacy
+/// structures as the bench baseline.
+ArraySimConfig with_engine_tuning(ArraySimConfig config) {
+  if (config.engine == sim::EngineKind::kEvent) {
+    config.ssd.ftl.deferred_index_maintenance = true;
+    config.ssd.ftl.flat_nand_layout = true;
+  }
+  return config;
+}
+
 }  // namespace
 
 ArraySimulator::ArraySimulator(const ArraySimConfig& config)
-    : config_(config),
-      array_(config.ssd, config.array, config.seed),
+    : config_(with_engine_tuning(config)),
+      array_(config_.ssd, config_.array, config_.seed),
       coordinator_(config.array),
       pool_(config.step_threads ? config.step_threads : ThreadPool::hardware_threads()),
       redundant_(config.array.redundancy != RedundancyScheme::kNone),
@@ -45,6 +56,13 @@ ArraySimulator::ArraySimulator(const ArraySimConfig& config)
   if (config_.kill_slot >= 0) {
     JITGC_ENSURE_MSG(static_cast<std::uint32_t>(config_.kill_slot) < config_.array.devices,
                      "kill slot out of range");
+  }
+  if (config_.outage_slot >= 0) {
+    JITGC_ENSURE_MSG(redundant_, "scripted outage requires a redundant layout");
+    JITGC_ENSURE_MSG(static_cast<std::uint32_t>(config_.outage_slot) < config_.array.devices,
+                     "outage slot out of range");
+    JITGC_ENSURE_MSG(config_.outage_restore_at > config_.outage_at,
+                     "outage restore must come after the outage");
   }
 }
 
@@ -160,10 +178,14 @@ TimeUs ArraySimulator::execute_redundant_op(const wl::AppOp& op, TimeUs issue, b
   const auto healthy = [&](std::uint32_t slot) {
     return rebuild_mgr_->slot_state(slot) == SlotState::kHealthy;
   };
-  // A rebuilding slot takes writes (the replacement is being filled); only a
-  // slot with no device at all is skipped.
+  // A rebuilding slot takes writes (the replacement is being filled); a
+  // degraded slot has no device, a suspended one is temporarily offline.
   const auto writable = [&](std::uint32_t slot) {
-    return rebuild_mgr_->slot_state(slot) != SlotState::kDegraded;
+    const SlotState st = rebuild_mgr_->slot_state(slot);
+    return st == SlotState::kHealthy || st == SlotState::kRebuilding;
+  };
+  const auto suspended = [&](std::uint32_t slot) {
+    return rebuild_mgr_->slot_state(slot) == SlotState::kSuspended;
   };
   const auto write_slot = [&](std::uint32_t slot, Lba lba) -> TimeUs {
     try {
@@ -198,6 +220,7 @@ TimeUs ArraySimulator::execute_redundant_op(const wl::AppOp& op, TimeUs issue, b
         // slowest survivor. A still-rebuilding slot is served this way too —
         // its replacement holds only a prefix of the contents.
         for (const std::uint32_t s : layout.reconstruction_sources(loc.slot, row)) {
+          if (suspended(s)) continue;  // offline source: the others carry the read
           completion = std::max(completion, dispatch_slot(s, issue, read_slot(s, loc.lba)));
         }
         break;
@@ -207,7 +230,12 @@ TimeUs ArraySimulator::execute_redundant_op(const wl::AppOp& op, TimeUs issue, b
         app_write_bytes_ += page_size;
         if (layout.scheme() == RedundancyScheme::kMirror) {
           for (const std::uint32_t s : {loc.slot, layout.mirror_partner(loc.slot)}) {
-            if (!writable(s)) continue;  // lost copy: the survivor carries it
+            if (!writable(s)) {
+              // Lost copy: the survivor carries it. An offline (suspended)
+              // copy additionally stains the row for resync at restore.
+              if (suspended(s)) rebuild_mgr_->note_missed_write(s, row);
+              continue;
+            }
             completion = std::max(completion, dispatch_slot(s, issue, write_slot(s, loc.lba)));
           }
           break;
@@ -215,6 +243,14 @@ TimeUs ArraySimulator::execute_redundant_op(const wl::AppOp& op, TimeUs issue, b
         const std::uint32_t pslot = layout.parity_slot(row);
         const bool data_ok = writable(loc.slot);
         const bool parity_ok = writable(pslot);
+        if (suspended(loc.slot)) rebuild_mgr_->note_missed_write(loc.slot, row);
+        if (!data_ok && !parity_ok) {
+          // Degraded + suspended overlap: neither the data nor the parity
+          // chunk is reachable this instant. The stain queues the row for
+          // resync when the suspended device returns.
+          if (suspended(pslot)) rebuild_mgr_->note_missed_write(pslot, row);
+          break;
+        }
         if (data_ok && parity_ok) {
           // RAID-5 small write: read old data and old parity in parallel,
           // then rewrite both — each write depends on both reads.
@@ -234,8 +270,10 @@ TimeUs ArraySimulator::execute_redundant_op(const wl::AppOp& op, TimeUs issue, b
           }
           completion = std::max(completion, dispatch_slot(pslot, ready, write_slot(pslot, loc.lba)));
         } else {
-          // The row's parity chunk is on the lost slot: the data write
-          // stands alone (parity for this row returns with the rebuild).
+          // The row's parity chunk is on the lost (or offline) slot: the
+          // data write stands alone — parity returns with the rebuild, or
+          // via the resync stain when the suspended device comes back.
+          if (suspended(pslot)) rebuild_mgr_->note_missed_write(pslot, row);
           completion =
               std::max(completion, dispatch_slot(loc.slot, issue, write_slot(loc.slot, loc.lba)));
         }
@@ -341,6 +379,23 @@ void ArraySimulator::drain_fault_events(double time_s) {
   }
 }
 
+void ArraySimulator::apply_scripted_outage(TimeUs now) {
+  if (config_.outage_slot < 0) return;
+  const auto slot = static_cast<std::uint32_t>(config_.outage_slot);
+  if (!outage_done_ && now >= config_.outage_at) {
+    outage_done_ = true;
+    rebuild_mgr_->suspend_slot(slot);
+    emit_state_record(now, "suspended", slot, array_.slot_device(slot), "injected_outage");
+  } else if (outage_done_ && !outage_restored_ && now >= config_.outage_restore_at) {
+    outage_restored_ = true;
+    const RebuildManager::ResumeOutcome out = rebuild_mgr_->resume_slot(slot);
+    const char* reason = out.rebuild_resumed    ? "rebuild_resumed"
+                         : out.resync_started   ? "resync_started"
+                                                : "no_resync_needed";
+    emit_state_record(now, "resumed", slot, array_.slot_device(slot), reason);
+  }
+}
+
 void ArraySimulator::process_tick(TimeUs now) {
   const std::uint64_t tick = interval_index_++;  // 0-based for the rotation
   current_interval_ = tick + 1;
@@ -353,6 +408,7 @@ void ArraySimulator::process_tick(TimeUs now) {
     kill_done_ = true;
     handle_slot_failure(static_cast<std::uint32_t>(config_.kill_slot), now, "injected_kill");
   }
+  apply_scripted_outage(now);
 
   // 1. Poll every slot device through the extended interface. The poll is a
   // real host command: its overhead occupies the device's queue, exactly as
@@ -360,7 +416,9 @@ void ArraySimulator::process_tick(TimeUs now) {
   // poll — it gets no GC until a spare takes over.
   std::vector<DeviceDemand> demands(n);
   for (std::uint32_t d = 0; d < n; ++d) {
-    if (redundant_ && rebuild_mgr_->slot_state(d) == SlotState::kDegraded) {
+    // A degraded slot has no device to poll; a suspended one is offline.
+    if (redundant_ && (rebuild_mgr_->slot_state(d) == SlotState::kDegraded ||
+                       rebuild_mgr_->slot_state(d) == SlotState::kSuspended)) {
       slot_demand_ewma_[d] = 0.0;
       continue;  // demands[d] stays zero: want_gc() never grants it
     }
@@ -449,7 +507,10 @@ void ArraySimulator::process_tick(TimeUs now) {
     DeviceState& st = states_[dev_id];
     const GcPhaseResult& res = results[d];
     const bool spread = config_.array.gc_mode != ArrayGcMode::kNaive;
-    const bool lost = redundant_ && rebuild_mgr_->slot_state(d) == SlotState::kDegraded;
+    // No reachable capacity: the slot's contents are gone (degraded) or its
+    // device is offline (suspended).
+    const bool lost = redundant_ && (rebuild_mgr_->slot_state(d) == SlotState::kDegraded ||
+                                     rebuild_mgr_->slot_state(d) == SlotState::kSuspended);
 
     std::vector<TimeUs> all_bursts = res.bursts;
     if (rtick.active && dev_id < rtick.bursts.size()) {
@@ -550,6 +611,89 @@ void ArraySimulator::process_tick(TimeUs now) {
   current_interval_ = tick + 2;
 }
 
+void ArraySimulator::record_op_latency(const wl::AppOp& op, TimeUs issue, TimeUs completion,
+                                       bool stalled) {
+  const auto latency = static_cast<double>(completion - issue);
+  latencies_.add(latency);
+  interval_latencies_.add(latency);
+  ++interval_ops_;
+  if (stalled) ++interval_stalled_ops_;
+  if (op.type == wl::OpType::kRead) {
+    read_latencies_.add(latency);
+  } else if (op.type == wl::OpType::kWrite) {
+    write_latencies_.add(latency);
+    interval_write_latencies_.add(latency);
+    if (redundant_ && rebuild_mgr_->any_exposed()) degraded_write_latencies_.add(latency);
+  }
+  ++ops_completed_;
+}
+
+void ArraySimulator::run_tick_loop(wl::WorkloadGenerator& workload, TimeUs& elapsed) {
+  const TimeUs p = config_.flush_period;
+  TimeUs next_tick = p;
+
+  std::optional<wl::AppOp> op = workload.next();
+  TimeUs issue = op ? op->think_us : config_.duration;
+
+  while (true) {
+    if (next_tick <= issue || !op) {
+      if (next_tick > config_.duration) break;
+      process_tick(next_tick);
+      elapsed = next_tick;
+      next_tick += p;
+      continue;
+    }
+    if (issue >= config_.duration) break;
+
+    elapsed = issue;
+    bool stalled = false;
+    const TimeUs completion = execute_op(*op, issue, stalled);
+    record_op_latency(*op, issue, completion, stalled);
+
+    op = workload.next();
+    if (!op) continue;  // finite workload drained; keep ticking to duration
+    // Open loop: the next arrival follows the previous *arrival*, not its
+    // completion — see the header comment.
+    issue = issue + op->think_us;
+  }
+  elapsed = std::min(config_.duration, std::max(elapsed, issue));
+}
+
+void ArraySimulator::run_event_loop(wl::WorkloadGenerator& workload, TimeUs& elapsed) {
+  const TimeUs p = config_.flush_period;
+  sim::EventCalendar calendar;
+  calendar.schedule(sim::EventKind::kFlusherTick, p);
+
+  std::optional<wl::AppOp> op = workload.next();
+  TimeUs issue = op ? op->think_us : config_.duration;
+  if (op) calendar.schedule(sim::EventKind::kAppArrival, issue);
+
+  // Tie-break kFlusherTick < kAppArrival reproduces the tick loop's
+  // `next_tick <= issue` ordering; a drained workload cancels arrivals
+  // while ticks keep firing to the end of the run.
+  while (const auto ev = calendar.pop()) {
+    if (ev->kind == sim::EventKind::kFlusherTick) {
+      if (ev->at > config_.duration) break;
+      process_tick(ev->at);
+      elapsed = ev->at;
+      calendar.schedule(sim::EventKind::kFlusherTick, ev->at + p);
+      continue;
+    }
+    if (ev->at >= config_.duration) break;
+
+    elapsed = ev->at;
+    bool stalled = false;
+    const TimeUs completion = execute_op(*op, ev->at, stalled);
+    record_op_latency(*op, ev->at, completion, stalled);
+
+    op = workload.next();
+    if (!op) continue;  // finite workload drained: no more arrival events
+    issue = issue + op->think_us;  // open loop (see header comment)
+    calendar.schedule(sim::EventKind::kAppArrival, issue);
+  }
+  elapsed = std::min(config_.duration, std::max(elapsed, issue));
+}
+
 sim::SimReport ArraySimulator::run(wl::WorkloadGenerator& workload) {
   bool worn_out_preconditioning = false;
   try {
@@ -572,50 +716,16 @@ sim::SimReport ArraySimulator::run(wl::WorkloadGenerator& workload) {
     states_[d].interval_fgc_base = fs.foreground_gc_cycles;
   }
 
-  const TimeUs p = config_.flush_period;
-  TimeUs next_tick = p;
   TimeUs elapsed = 0;
   std::string end_reason = "completed";
 
-  std::optional<wl::AppOp> op = workload.next();
-  TimeUs issue = op ? op->think_us : config_.duration;
-
   try {
     if (worn_out_preconditioning) throw ftl::DeviceWornOut("worn out during preconditioning");
-    while (true) {
-      if (next_tick <= issue || !op) {
-        if (next_tick > config_.duration) break;
-        process_tick(next_tick);
-        elapsed = next_tick;
-        next_tick += p;
-        continue;
-      }
-      if (issue >= config_.duration) break;
-
-      elapsed = issue;
-      bool stalled = false;
-      const TimeUs completion = execute_op(*op, issue, stalled);
-      const auto latency = static_cast<double>(completion - issue);
-      latencies_.add(latency);
-      interval_latencies_.add(latency);
-      ++interval_ops_;
-      if (stalled) ++interval_stalled_ops_;
-      if (op->type == wl::OpType::kRead) {
-        read_latencies_.add(latency);
-      } else if (op->type == wl::OpType::kWrite) {
-        write_latencies_.add(latency);
-        interval_write_latencies_.add(latency);
-        if (redundant_ && rebuild_mgr_->any_exposed()) degraded_write_latencies_.add(latency);
-      }
-      ++ops_completed_;
-
-      op = workload.next();
-      if (!op) continue;  // finite workload drained; keep ticking to duration
-      // Open loop: the next arrival follows the previous *arrival*, not its
-      // completion — see the header comment.
-      issue = issue + op->think_us;
+    if (config_.engine == sim::EngineKind::kEvent) {
+      run_event_loop(workload, elapsed);
+    } else {
+      run_tick_loop(workload, elapsed);
     }
-    elapsed = std::min(config_.duration, std::max(elapsed, issue));
   } catch (const ftl::DeviceWornOut&) {
     // RAID-0 has no redundancy: the first worn-out device ends the array's
     // life. Report what was achieved up to this point.

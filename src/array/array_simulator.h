@@ -57,6 +57,7 @@
 #include "array/ssd_array.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
+#include "sim/engine.h"
 #include "sim/metrics.h"
 #include "sim/ssd.h"
 #include "workload/workload.h"
@@ -87,6 +88,20 @@ struct ArraySimConfig {
   /// exactly, independent of the stochastic fault model.
   std::int32_t kill_slot = -1;
   TimeUs kill_at = 0;
+  /// Scripted transient outage (redundant layouts only): the device in this
+  /// slot goes offline — contents preserved — at the first tick at or after
+  /// `outage_at` and comes back at the first tick at or after
+  /// `outage_restore_at` (-1: disabled). Unlike kill_slot the device is not
+  /// retired: while suspended it takes no I/O (reads reconstruct from
+  /// survivors, writes to its rows are recorded as stains), and on restore
+  /// the rebuild manager resyncs only what it missed. This is the regression
+  /// harness for rebuild-resume-after-second-transient-failure.
+  std::int32_t outage_slot = -1;
+  TimeUs outage_at = 0;
+  TimeUs outage_restore_at = 0;
+  /// Run-loop engine (sim/engine.h): kEvent (default) uses the event
+  /// calendar + FTL fast paths; kTick is the pinned legacy merge loop.
+  sim::EngineKind engine = sim::EngineKind::kEvent;
 };
 
 class ArraySimulator {
@@ -132,6 +147,18 @@ class ArraySimulator {
   };
 
   void precondition(wl::WorkloadGenerator& workload);
+  /// Measured-run loop, legacy tick engine (two-way merge). Updates
+  /// `elapsed` as it goes so a worn-out / data-loss unwind reports progress.
+  void run_tick_loop(wl::WorkloadGenerator& workload, TimeUs& elapsed);
+  /// Measured-run loop, event engine: same semantics on an EventCalendar
+  /// (sim/engine.h); byte-identical output by construction.
+  void run_event_loop(wl::WorkloadGenerator& workload, TimeUs& elapsed);
+  /// Records one completed op's latency into run- and interval-level
+  /// trackers (shared by both engines).
+  void record_op_latency(const wl::AppOp& op, TimeUs issue, TimeUs completion, bool stalled);
+  /// Scripted transient-outage script: suspend / restore transitions due at
+  /// `now` (phase 0 of process_tick, next to the scripted kill).
+  void apply_scripted_outage(TimeUs now);
   /// Serves `cost` on physical device `dev` no earlier than `earliest`,
   /// waiting out any GC window the start falls into; returns the completion
   /// time and sets `stalled` if a window delayed the op.
@@ -162,13 +189,19 @@ class ArraySimulator {
   std::vector<DeviceState> states_;       ///< per physical device
   std::vector<double> slot_demand_ewma_;  ///< per slot: EWMA of host-write bytes/interval
   bool kill_done_ = false;
+  bool outage_done_ = false;
+  bool outage_restored_ = false;
 
   // -- Run-level metrics -------------------------------------------------------
-  PercentileTracker latencies_;
-  PercentileTracker read_latencies_;
-  PercentileTracker write_latencies_;
+  /// Run-level tails are bounded-memory TailTrackers (stats.h): bit-identical
+  /// to the unbounded PercentileTrackers they replaced below the run-level
+  /// sample cap, histogram-folded (within one bin width) above it — an
+  /// open-loop array run can no longer grow O(ops) sample buffers.
+  TailTracker latencies_ = TailTracker::run_level();
+  TailTracker read_latencies_ = TailTracker::run_level();
+  TailTracker write_latencies_ = TailTracker::run_level();
   /// Write tail over exposed (degraded/rebuilding) intervals only.
-  PercentileTracker degraded_write_latencies_;
+  TailTracker degraded_write_latencies_ = TailTracker::run_level();
   std::uint64_t ops_completed_ = 0;
   Bytes app_write_bytes_ = 0;
   Bytes reclaim_requested_ = 0;

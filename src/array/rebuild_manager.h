@@ -51,6 +51,13 @@ enum class SlotState : std::uint8_t {
   kHealthy,     ///< the slot's device holds its full contents
   kDegraded,    ///< contents lost; served from redundancy, no replacement
   kRebuilding,  ///< spare promoted, reconstruction in progress
+  /// Transient outage: the device is offline but its contents are preserved
+  /// (controller reset, pulled cable). No I/O reaches it — reads reconstruct
+  /// from survivors, writes to its rows are recorded as stains — and
+  /// resume_slot() brings it back without restarting reconstruction: a
+  /// suspended rebuild keeps its row cursor, a suspended healthy device only
+  /// resyncs the stained rows.
+  kSuspended,
 };
 
 class RebuildManager {
@@ -59,12 +66,47 @@ class RebuildManager {
 
   SlotState slot_state(std::uint32_t slot) const;
   /// True while any slot is not healthy (the volume is exposed: one more
-  /// overlapping failure in the wrong place is data loss).
+  /// overlapping failure in the wrong place is data loss). A suspended slot
+  /// counts as exposed — its contents are intact but unreachable.
   bool any_exposed() const;
-  bool rebuild_active() const { return !rebuilds_.empty(); }
+  /// True while a rebuild can make progress: at least one job whose slot is
+  /// not suspended. (A rebuild interrupted by an outage parks, keeping its
+  /// cursor; it asks for no grant until the device returns.)
+  bool rebuild_active() const;
   /// Slot of the rebuild currently being driven (rebuild_active() only).
   std::uint32_t active_slot() const;
   std::uint32_t active_replacement() const;
+
+  // -- Transient outages -------------------------------------------------------
+
+  /// Takes `slot`'s device offline, contents preserved. Legal on a healthy
+  /// or rebuilding slot (a degraded slot has no device to suspend; nested
+  /// suspension is a script error). A rebuilding slot's job parks with its
+  /// row cursor persisted — this is the fix for the restart-from-row-0 bug:
+  /// a *transient* second fault must not discard reconstruction progress.
+  void suspend_slot(std::uint32_t slot);
+
+  /// Records a host write the suspended `slot` missed: stripe `row` on it is
+  /// now stale and must be re-reconstructed after resume. (Trims are not
+  /// recorded — reconstruction already treats unmapped source pages as
+  /// absent, matching the documented stale-parity simplification.)
+  void note_missed_write(std::uint32_t slot, Lba row);
+
+  /// What resume_slot() did, so the caller can emit state records.
+  struct ResumeOutcome {
+    bool rebuild_resumed = false;  ///< a parked rebuild continues from its cursor
+    bool resync_started = false;   ///< a healthy-at-suspend slot replays stained rows
+    Lba cursor = 0;                ///< persisted row cursor (rebuild_resumed only)
+    std::uint64_t stained_rows = 0;  ///< rows queued for the tail resync pass
+  };
+
+  /// Brings a suspended slot's device back online. A parked rebuild resumes
+  /// from its persisted cursor; rows reconstructed before the outage but
+  /// overwritten during it (stains below the cursor) are queued for a tail
+  /// resync pass after the primary pass, so reported progress stays
+  /// monotone. A slot that was healthy when suspended either returns to
+  /// healthy (no stains) or becomes a resync-only rebuild job.
+  ResumeOutcome resume_slot(std::uint32_t slot);
 
   /// What on_slot_failure did, so the caller can emit state records.
   struct FailureOutcome {
@@ -118,13 +160,28 @@ class RebuildManager {
 
   struct PendingRebuild {
     std::uint32_t slot = 0;
-    std::uint32_t device = 0;  ///< promoted replacement
+    std::uint32_t device = 0;  ///< promoted replacement (or the returning device)
     Lba cursor = 0;            ///< next stripe row to reconstruct
+    bool suspended = false;    ///< parked by an outage; keeps its cursor
+    /// Rows below the cursor whose contents went stale during an outage
+    /// (host writes the offline device missed). Re-reconstructed in a tail
+    /// resync pass once the primary pass finishes, so rows_done/cursor stay
+    /// monotone; sorted ascending, deduplicated.
+    std::vector<Lba> stains;
   };
+
+  /// First job that can make progress; rebuilds_.end() when all are parked.
+  std::vector<PendingRebuild>::iterator runnable_rebuild();
+  std::vector<PendingRebuild>::const_iterator runnable_rebuild() const;
 
   SsdArray& array_;
   std::vector<SlotState> states_;
-  std::vector<PendingRebuild> rebuilds_;  ///< front is active, rest queued
+  std::vector<PendingRebuild> rebuilds_;  ///< front-most runnable job is active
+  /// Per-slot state to restore on resume (valid while kSuspended).
+  std::vector<SlotState> pre_suspend_;
+  /// Per-slot rows written while the slot was suspended (unsorted, may hold
+  /// duplicates; canonicalized at resume).
+  std::vector<std::vector<Lba>> missed_rows_;
   std::uint64_t device_failures_ = 0;
   std::uint64_t rebuilds_completed_ = 0;
   Bytes total_read_bytes_ = 0;

@@ -69,6 +69,16 @@ class TailTracker {
  public:
   explicit TailTracker(std::size_t exact_cap = 1 << 16, double bin_width = 100.0,
                        std::size_t num_bins = 1 << 13);
+
+  /// Tracker sized for *run-level* latency tails (the whole measured run, not
+  /// one interval): a 2^18-sample exact window so every smoke/test-scale run
+  /// reports bit-identical quantiles to the unbounded PercentileTracker it
+  /// replaced, folding to the bounded histogram (quantiles within one
+  /// 100 us bin) only on multi-hundred-thousand-op runs — exactly where the
+  /// unbounded sample buffer used to grow without limit.
+  static TailTracker run_level() {
+    return TailTracker(/*exact_cap=*/1 << 18, /*bin_width=*/100.0, /*num_bins=*/1 << 13);
+  }
   ~TailTracker();
   TailTracker(TailTracker&&) noexcept;
   TailTracker& operator=(TailTracker&&) noexcept;

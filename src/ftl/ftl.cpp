@@ -11,11 +11,23 @@ namespace jitgc::ftl {
 
 Ftl::Ftl(const FtlConfig& config)
     : config_(config),
-      nand_(config.geometry, config.timing, config.fault),
+      nand_(config.geometry, config.timing, config.fault, config.flat_nand_layout),
       policy_(make_victim_policy(config.victim_policy)),
       map_cache_(config.mapping_cache_pages,
                  static_cast<std::uint32_t>(config.geometry.page_size / 4)),
-      index_(nand_.num_blocks(), config.geometry.pages_per_block) {
+      index_(nand_.num_blocks(), config.geometry.pages_per_block,
+             // The fast path skips maintaining order structures this
+             // configuration can never query: by_recency feeds only
+             // cost-benefit, by_fill only FIFO, and the adjusted bucket
+             // family only the SIP filter (select_victim_indexed reads raw
+             // buckets otherwise). The pinned legacy regime keeps everything,
+             // matching the historical index byte-for-byte.
+             config.deferred_index_maintenance
+                 ? VictimIndex::Needs{
+                       .adjusted = config.enable_sip_filter,
+                       .by_recency = config.victim_policy == VictimPolicyKind::kCostBenefit,
+                       .by_fill = config.victim_policy == VictimPolicyKind::kFifo}
+                 : VictimIndex::Needs{}) {
   JITGC_ENSURE_MSG(config_.min_free_blocks >= 1, "GC needs at least one reserved free block");
   JITGC_ENSURE_MSG(config_.op_ratio > 0.0, "over-provisioning ratio must be positive");
 
@@ -34,6 +46,8 @@ Ftl::Ftl(const FtlConfig& config)
   block_sip_count_.assign(nand_.num_blocks(), 0);
   block_sip_exact_.assign(nand_.num_blocks(), 0);
   sip_diverged_.assign(nand_.num_blocks(), 0);
+  index_dirty_.assign(nand_.num_blocks(), 0);
+  wl_dirty_.assign(nand_.num_blocks(), 0);
   block_health_.assign(nand_.num_blocks(), BlockHealth::kGood);
   if (config_.enable_hot_cold_separation) {
     lba_last_write_seq_.assign(user_pages_, 0);
@@ -80,6 +94,45 @@ std::uint32_t Ftl::adjusted_valid(std::uint32_t valid, std::uint32_t sip) const 
 }
 
 void Ftl::refresh_block_index(std::uint32_t block_id) {
+  if (config_.deferred_index_maintenance) {
+    if (!index_dirty_[block_id]) {
+      index_dirty_[block_id] = 1;
+      index_dirty_list_.push_back(block_id);
+    }
+    if (!wl_dirty_[block_id]) {
+      wl_dirty_[block_id] = 1;
+      wl_dirty_list_.push_back(block_id);
+    }
+    return;
+  }
+  declare_block_index(block_id);
+}
+
+void Ftl::flush_victim_index() const {
+  // Each dirty block's state is computed from current truth, so the settled
+  // index is exactly what eager maintenance would have produced — update
+  // order within the batch cannot matter. declare_block_index settles the
+  // wear-level shadow too, so the blocks' pending wl_dirty_ entries (cleared
+  // only by flush_victim_index_wl) become no-ops.
+  for (const std::uint32_t b : index_dirty_list_) {
+    index_dirty_[b] = 0;
+    declare_block_index(b);
+  }
+  index_dirty_list_.clear();
+}
+
+void Ftl::flush_victim_index_wl() const {
+  for (const std::uint32_t b : wl_dirty_list_) {
+    wl_dirty_[b] = 0;
+    const nand::Block& blk = nand_.block(b);
+    const bool wl_candidate = block_health_[b] == BlockHealth::kGood && blk.is_full() &&
+                              blk.valid_count() == config_.geometry.pages_per_block;
+    index_.update_wl(b, wl_candidate, blk.erase_count());
+  }
+  wl_dirty_list_.clear();
+}
+
+void Ftl::declare_block_index(std::uint32_t block_id) const {
   const nand::Block& blk = nand_.block(block_id);
   const bool full = blk.is_full();
   // Non-good blocks are out of the GC/WL economy: never victims, never
@@ -94,6 +147,7 @@ void Ftl::refresh_block_index(std::uint32_t block_id) {
   s.fill_seq = block_fill_seq_[block_id];
   s.erase_count = blk.erase_count();
   index_.update(block_id, s);
+  index_.update_wl(block_id, s.wl_candidate, s.erase_count);
 }
 
 void Ftl::note_sip_counts(std::uint32_t b) {
@@ -506,6 +560,7 @@ Ftl::VictimChoice Ftl::select_victim_reference() const {
 }
 
 Ftl::VictimChoice Ftl::select_victim_indexed(std::uint64_t* visited) const {
+  flush_victim_index();
   const VictimIndex::Excluded excl{user_active_, user_active_cold_, gc_active_};
   const VictimPolicyKind kind = config_.victim_policy;
   std::uint64_t visits = 0;
@@ -730,6 +785,7 @@ TimeUs Ftl::maybe_static_wear_level() {
   // that never self-invalidates, and migrating them leaves the destination
   // completely full (keeping free-page accounting exact).
   const std::uint64_t max_free_wear = free_pool_.rbegin()->first;
+  flush_victim_index_wl();
   const VictimIndex::Excluded excl{user_active_, user_active_cold_, gc_active_};
   const std::uint32_t coldest = index_.select_coldest_full(excl).block;
   if (config_.verify_victim_selection) {

@@ -109,6 +109,23 @@ struct FtlConfig {
   /// (0 = whole map in DRAM, the SM843T configuration). When enabled, map
   /// misses cost a flash read and dirty evictions a program.
   std::uint32_t mapping_cache_pages = 0;
+  /// Defer victim-index maintenance to the next selection query. The eager
+  /// default re-declares a block to the O(log N) index on *every* mutation
+  /// (two ordered-set erase/insert pairs per host overwrite) even though
+  /// selections are rarer than mutations by orders of magnitude; with this
+  /// set, mutated blocks are only marked dirty and the index is brought up
+  /// to date in one batch right before any query reads it. The index state
+  /// observed by every selection is identical to the eager schedule, so
+  /// results (including victim_candidates_visited) are byte-identical —
+  /// this is the core of the event engine's speedup and is enabled by
+  /// --engine=event (sim::EngineKind::kEvent).
+  bool deferred_index_maintenance = false;
+  /// Arena-backed NAND page metadata: per-page state and LBA arrays live in
+  /// two device-wide flat allocations instead of one heap vector pair per
+  /// block, and page accessors skip bounds re-checks. State-identical to the
+  /// per-block layout; enabled by --engine=event alongside deferred index
+  /// maintenance.
+  bool flat_nand_layout = false;
   /// Cross-check every indexed victim selection (and wear-level source
   /// pick) against the reference linear scan, aborting on divergence. The
   /// determinism guard for the O(log N) index: on by default in debug
@@ -200,8 +217,13 @@ class Ftl {
   void apply_sip_delta(const std::vector<Lba>& added, const std::vector<Lba>& removed);
 
   /// Enables/disables SIP-aware victim selection (the simulator flips this
-  /// to match the active BGC policy's capabilities).
-  void set_sip_filter_enabled(bool on) { config_.enable_sip_filter = on; }
+  /// to match the active BGC policy's capabilities). Enabling makes the
+  /// index start maintaining the adjusted-bucket family if the fast path
+  /// had skipped it.
+  void set_sip_filter_enabled(bool on) {
+    config_.enable_sip_filter = on;
+    if (on) index_.require_adjusted();
+  }
 
   /// Runs one background-GC cycle; respects the SIP filter if enabled.
   GcResult background_collect_once();
@@ -297,7 +319,12 @@ class Ftl {
   const nand::NandDevice& nand() const { return nand_; }
   const SipIndex& sip_index() const { return sip_; }
   const MappingCache& mapping_cache() const { return map_cache_; }
-  const VictimIndex& victim_index() const { return index_; }
+  const VictimIndex& victim_index() const {
+    // Deferred mode: settle both halves before handing out the index.
+    flush_victim_index();
+    flush_victim_index_wl();
+    return index_;
+  }
 
   /// Valid pages of `block` currently on the SIP list, as the collector
   /// sees them (tests compare this against a from-scratch rebuild).
@@ -392,8 +419,21 @@ class Ftl {
   /// scan applies before re-scoring a candidate.
   std::uint32_t adjusted_valid(std::uint32_t valid, std::uint32_t sip) const;
   /// Re-declares `block_id`'s current state to the victim index; call after
-  /// any mutation of its pages, recency, fill stamp, or SIP count.
+  /// any mutation of its pages, recency, fill stamp, or SIP count. In
+  /// deferred mode this only marks the block dirty; the index catches up in
+  /// flush_victim_index() right before the next query.
   void refresh_block_index(std::uint32_t block_id);
+  /// Immediately re-declares `block_id` to the index (the eager path).
+  void declare_block_index(std::uint32_t block_id) const;
+  /// Brings the candidate buckets up to date with every deferred mutation.
+  /// Called at each bucket read (selection, introspection accessor); a no-op
+  /// in eager mode and when nothing is dirty.
+  void flush_victim_index() const;
+  /// Settles only the wear-level tracker (update_wl) for deferred
+  /// mutations. The static wear-level spread check runs per host write, so
+  /// its query path must not pay the full bucket update — bucket changes
+  /// keep coalescing until a victim selection actually needs them.
+  void flush_victim_index_wl() const;
   /// Flags `b` for healing when its observable SIP count drifted from the
   /// exact shadow count (legacy between-tick quirks; see apply_sip_delta).
   void note_sip_counts(std::uint32_t b);
@@ -461,7 +501,18 @@ class Ftl {
 
   SipIndex sip_;
   MappingCache map_cache_;
-  VictimIndex index_;
+  /// Mutable alongside the dirty set: queries are logically const but in
+  /// deferred mode must settle pending block-state updates first (the same
+  /// pattern as PercentileTracker's sort-on-demand samples).
+  mutable VictimIndex index_;
+  /// Deferred-maintenance dirty sets: flag byte + dedup list of blocks whose
+  /// indexed state is stale (empty in eager mode). Bucket and wear-level
+  /// staleness settle independently — each query flushes only the structure
+  /// it reads — so a block can sit on both lists; each flush clears its own.
+  mutable std::vector<std::uint8_t> index_dirty_;
+  mutable std::vector<std::uint32_t> index_dirty_list_;
+  mutable std::vector<std::uint8_t> wl_dirty_;
+  mutable std::vector<std::uint32_t> wl_dirty_list_;
   FtlStats stats_;
 };
 

@@ -7,10 +7,15 @@
 namespace jitgc::ftl {
 
 VictimIndex::VictimIndex(std::uint32_t num_blocks, std::uint32_t pages_per_block)
+    : VictimIndex(num_blocks, pages_per_block, Needs{}) {}
+
+VictimIndex::VictimIndex(std::uint32_t num_blocks, std::uint32_t pages_per_block, Needs needs)
     : ppb_(pages_per_block),
+      needs_(needs),
       state_(num_blocks),
       raw_buckets_(pages_per_block + 1),
-      adj_buckets_(pages_per_block + 1) {}
+      adj_buckets_(needs.adjusted ? pages_per_block + 1 : 0),
+      wl_state_(num_blocks) {}
 
 void VictimIndex::update(std::uint32_t b, const BlockState& s) {
   BlockState& old = state_[b];
@@ -19,13 +24,14 @@ void VictimIndex::update(std::uint32_t b, const BlockState& s) {
   if (old.candidate) {
     Bucket& raw = raw_buckets_[old.valid];
     raw.by_id.erase(b);
-    raw.by_recency.erase({old.last_update_seq, b});
-    Bucket& adj = adj_buckets_[old.adjusted_valid];
-    adj.by_id.erase(b);
-    adj.by_recency.erase({old.last_update_seq, b});
-    by_fill_.erase({old.fill_seq, b});
+    if (needs_.by_recency) raw.by_recency.erase({old.last_update_seq, b});
+    if (needs_.adjusted) {
+      Bucket& adj = adj_buckets_[old.adjusted_valid];
+      adj.by_id.erase(b);
+      if (needs_.by_recency) adj.by_recency.erase({old.last_update_seq, b});
+    }
+    if (needs_.by_fill) by_fill_.erase({old.fill_seq, b});
   }
-  if (old.wl_candidate) wl_.erase({old.erase_count, b});
 
   old = s;
 
@@ -33,13 +39,35 @@ void VictimIndex::update(std::uint32_t b, const BlockState& s) {
     JITGC_ENSURE(s.valid <= ppb_ && s.adjusted_valid <= ppb_);
     Bucket& raw = raw_buckets_[s.valid];
     raw.by_id.insert(b);
-    raw.by_recency.insert({s.last_update_seq, b});
+    if (needs_.by_recency) raw.by_recency.insert({s.last_update_seq, b});
+    if (needs_.adjusted) {
+      Bucket& adj = adj_buckets_[s.adjusted_valid];
+      adj.by_id.insert(b);
+      if (needs_.by_recency) adj.by_recency.insert({s.last_update_seq, b});
+    }
+    if (needs_.by_fill) by_fill_.insert({s.fill_seq, b});
+  }
+}
+
+void VictimIndex::require_adjusted() {
+  if (needs_.adjusted) return;
+  needs_.adjusted = true;
+  adj_buckets_.assign(ppb_ + 1, Bucket{});
+  for (std::uint32_t b = 0; b < state_.size(); ++b) {
+    const BlockState& s = state_[b];
+    if (!s.candidate) continue;
     Bucket& adj = adj_buckets_[s.adjusted_valid];
     adj.by_id.insert(b);
-    adj.by_recency.insert({s.last_update_seq, b});
-    by_fill_.insert({s.fill_seq, b});
+    if (needs_.by_recency) adj.by_recency.insert({s.last_update_seq, b});
   }
-  if (s.wl_candidate) wl_.insert({s.erase_count, b});
+}
+
+void VictimIndex::update_wl(std::uint32_t b, bool wl_candidate, std::uint64_t erase_count) {
+  WlState& old = wl_state_[b];
+  if (old.candidate == wl_candidate && old.erase_count == erase_count) return;
+  if (old.candidate) wl_.erase({old.erase_count, b});
+  if (wl_candidate) wl_.insert({erase_count, b});
+  old = WlState{wl_candidate, erase_count};
 }
 
 VictimIndex::Selection VictimIndex::select(const VictimPolicy& policy, VictimPolicyKind kind,
@@ -49,9 +77,11 @@ VictimIndex::Selection VictimIndex::select(const VictimPolicy& policy, VictimPol
     case VictimPolicyKind::kGreedy:
       return select_bucket_min(buckets(adjusted), excluded);
     case VictimPolicyKind::kCostBenefit:
+      JITGC_ENSURE_MSG(needs_.by_recency, "cost-benefit queried without by_recency maintenance");
       return select_cost_benefit(policy, buckets(adjusted), now_seq, excluded);
     case VictimPolicyKind::kFifo:
       // The score ignores valid_pages: adjusted == raw by construction.
+      JITGC_ENSURE_MSG(needs_.by_fill, "FIFO queried without by_fill maintenance");
       return select_fifo(excluded);
     case VictimPolicyKind::kRandom:
       // Ditto; and the hash is per-candidate, so all candidates are scored.

@@ -44,7 +44,24 @@ class VictimIndex {
  public:
   static constexpr std::uint32_t kNoBlock = UINT32_MAX;
 
+  /// Which query structures the owning FTL's configuration can ever read.
+  /// The legacy (eager) regime maintains everything; the deferred fast path
+  /// passes only what its fixed victim policy / SIP setting reaches, so
+  /// update() skips the dead tree traffic. Queries against a structure
+  /// declared unneeded are a correctness bug, guarded where cheap.
+  struct Needs {
+    /// SIP-penalty bucket family — only the SIP filter reads it; with the
+    /// filter off the adjusted counts equal the raw counts anyway.
+    bool adjusted = true;
+    /// Within-bucket (last_update_seq, id) order — cost-benefit only.
+    bool by_recency = true;
+    /// Global (fill_seq, id) order — FIFO only.
+    bool by_fill = true;
+  };
+
+  /// The two-argument form maintains every structure (the eager regime).
   VictimIndex(std::uint32_t num_blocks, std::uint32_t pages_per_block);
+  VictimIndex(std::uint32_t num_blocks, std::uint32_t pages_per_block, Needs needs);
 
   /// The indexed facts about one block. `candidate` mirrors the collector's
   /// eligibility rule (fully programmed, something invalid); `wl_candidate`
@@ -62,9 +79,25 @@ class VictimIndex {
     friend bool operator==(const BlockState&, const BlockState&) = default;
   };
 
-  /// Re-declares block `b`'s state, replacing whatever was indexed for it.
-  /// O(log N); no-op when nothing changed.
+  /// Re-declares block `b`'s state in the candidate buckets, replacing
+  /// whatever was indexed for it. O(log N); no-op when nothing changed.
+  /// Does NOT touch the wear-level tracker — that is update_wl()'s job, so
+  /// the FTL's deferred maintenance can settle the (per-write-queried)
+  /// wear-level set without paying the full bucket update.
   void update(std::uint32_t b, const BlockState& s);
+
+  /// Re-declares block `b`'s wear-level facts (fully-valid full block +
+  /// erase count) against a shadow independent of update()'s BlockState, so
+  /// either half can be settled first. O(log N); no-op when unchanged.
+  void update_wl(std::uint32_t b, bool wl_candidate, std::uint64_t erase_count);
+
+  /// Turns on adjusted-bucket maintenance after construction, rebuilding the
+  /// family from the declared states. Needed because the SIP filter is a
+  /// runtime policy choice (JitPolicy enables it at run start), not a
+  /// construction-time fact: update() always records adjusted_valid in the
+  /// BlockState, so the rebuild lands exactly where eager maintenance would
+  /// have. No-op when already maintained.
+  void require_adjusted();
 
   /// Blocks queries must skip (the active write streams); kNoBlock entries
   /// are harmless.
@@ -102,7 +135,9 @@ class VictimIndex {
   }
 
   const std::vector<Bucket>& buckets(bool adjusted) const {
-    return adjusted ? adj_buckets_ : raw_buckets_;
+    // Without the SIP filter the adjusted counts equal the raw counts, so the
+    // unmaintained adjusted family safely aliases the raw one.
+    return (adjusted && needs_.adjusted) ? adj_buckets_ : raw_buckets_;
   }
 
   Selection select_bucket_min(const std::vector<Bucket>& buckets, const Excluded& excluded) const;
@@ -116,6 +151,7 @@ class VictimIndex {
                            const Excluded& excluded) const;
 
   std::uint32_t ppb_;
+  Needs needs_;
   std::vector<BlockState> state_;
   /// Candidates bucketed by raw / SIP-adjusted valid count (size ppb + 1:
   /// the adjusted count saturates at pages_per_block).
@@ -125,6 +161,12 @@ class VictimIndex {
   std::set<std::pair<std::uint64_t, std::uint32_t>> by_fill_;
   /// Fully-valid full blocks by (erase_count, id): the wear-level tracker.
   std::set<std::pair<std::uint64_t, std::uint32_t>> wl_;
+  /// What wl_ currently says about each block (update_wl's change filter).
+  struct WlState {
+    bool candidate = false;
+    std::uint64_t erase_count = 0;
+  };
+  std::vector<WlState> wl_state_;
 };
 
 }  // namespace jitgc::ftl

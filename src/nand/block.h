@@ -1,6 +1,7 @@
 // Per-block state: page states, write pointer, endurance counters.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -13,27 +14,60 @@ enum class PageState : std::uint8_t { kFree, kValid, kInvalid };
 
 /// One erase block. Enforces NAND constraints: pages program strictly
 /// in order within a block; only erase returns pages to free.
+///
+/// Storage comes in two layouts with identical semantics:
+///  * self-owned (legacy): each block heap-allocates its own page-state and
+///    OOB-LBA vectors;
+///  * arena-backed: the state/LBA arrays live inside flat device-owned
+///    arenas (NandDevice's flat layout) and the block only holds pointers,
+///    so a device-wide scan walks two contiguous allocations instead of
+///    2 * num_blocks scattered ones.
 class Block {
  public:
+  /// Self-owned storage.
   explicit Block(std::uint32_t pages_per_block)
-      : states_(pages_per_block, PageState::kFree), lbas_(pages_per_block, kInvalidLba) {}
+      : own_states_(pages_per_block, PageState::kFree),
+        own_lbas_(pages_per_block, kInvalidLba),
+        states_(own_states_.data()),
+        lbas_(own_lbas_.data()),
+        pages_(pages_per_block) {}
 
-  std::uint32_t pages_per_block() const { return static_cast<std::uint32_t>(states_.size()); }
+  /// Arena-backed storage: `states` / `lbas` point at `pages_per_block`
+  /// entries owned by the caller, already initialized to kFree /
+  /// kInvalidLba, and outliving the block.
+  Block(std::uint32_t pages_per_block, PageState* states, Lba* lbas)
+      : states_(states), lbas_(lbas), pages_(pages_per_block) {}
+
+  // Blocks live in containers and may move (the self-owned vectors carry
+  // their buffers along, keeping the raw pointers valid); copying would
+  // alias arena storage, so it is disabled.
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+  Block(Block&&) noexcept = default;
+  Block& operator=(Block&&) noexcept = default;
+
+  std::uint32_t pages_per_block() const { return pages_; }
 
   /// Next page to program; == pages_per_block() when the block is full.
   std::uint32_t write_pointer() const { return write_ptr_; }
-  bool is_full() const { return write_ptr_ == pages_per_block(); }
+  bool is_full() const { return write_ptr_ == pages_; }
   bool is_erased() const { return write_ptr_ == 0; }
 
   std::uint32_t valid_count() const { return valid_count_; }
   std::uint32_t invalid_count() const { return write_ptr_ - valid_count_; }
-  std::uint32_t free_count() const { return pages_per_block() - write_ptr_; }
+  std::uint32_t free_count() const { return pages_ - write_ptr_; }
   std::uint64_t erase_count() const { return erase_count_; }
 
-  PageState page_state(std::uint32_t page) const { return states_.at(page); }
+  PageState page_state(std::uint32_t page) const {
+    JITGC_ENSURE(page < pages_);
+    return states_[page];
+  }
 
   /// LBA stored in a page's out-of-band area (valid pages only).
-  Lba page_lba(std::uint32_t page) const { return lbas_.at(page); }
+  Lba page_lba(std::uint32_t page) const {
+    JITGC_ENSURE(page < pages_);
+    return lbas_[page];
+  }
 
   /// Programs the next page in sequence with user data for `lba`.
   /// Returns the programmed page index.
@@ -60,7 +94,8 @@ class Block {
 
   /// Marks a previously-valid page invalid (its LBA was overwritten/trimmed).
   void invalidate(std::uint32_t page) {
-    JITGC_ENSURE_MSG(states_.at(page) == PageState::kValid, "invalidating a non-valid page");
+    JITGC_ENSURE(page < pages_);
+    JITGC_ENSURE_MSG(states_[page] == PageState::kValid, "invalidating a non-valid page");
     states_[page] = PageState::kInvalid;
     lbas_[page] = kInvalidLba;
     JITGC_ENSURE(valid_count_ > 0);
@@ -78,15 +113,19 @@ class Block {
   /// Valid pages must have been migrated first.
   void erase() {
     JITGC_ENSURE_MSG(valid_count_ == 0, "erasing a block that still holds valid data");
-    std::fill(states_.begin(), states_.end(), PageState::kFree);
-    std::fill(lbas_.begin(), lbas_.end(), kInvalidLba);
+    std::fill(states_, states_ + pages_, PageState::kFree);
+    std::fill(lbas_, lbas_ + pages_, kInvalidLba);
     write_ptr_ = 0;
     ++erase_count_;
   }
 
  private:
-  std::vector<PageState> states_;
-  std::vector<Lba> lbas_;
+  // Engaged only in the self-owned layout; empty when arena-backed.
+  std::vector<PageState> own_states_;
+  std::vector<Lba> own_lbas_;
+  PageState* states_ = nullptr;
+  Lba* lbas_ = nullptr;
+  std::uint32_t pages_ = 0;
   std::uint32_t write_ptr_ = 0;
   std::uint32_t valid_count_ = 0;
   std::uint64_t erase_count_ = 0;

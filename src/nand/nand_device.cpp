@@ -6,12 +6,24 @@
 namespace jitgc::nand {
 
 NandDevice::NandDevice(const Geometry& geometry, const TimingParams& timing,
-                       const FaultConfig& faults)
+                       const FaultConfig& faults, bool flat_layout)
     : geom_(geometry), timing_(timing) {
   geom_.validate();
-  blocks_.reserve(geom_.total_blocks());
-  for (std::uint32_t i = 0; i < geom_.total_blocks(); ++i) {
-    blocks_.emplace_back(geom_.pages_per_block);
+  const std::uint32_t nblocks = geom_.total_blocks();
+  const std::uint32_t ppb = geom_.pages_per_block;
+  blocks_.reserve(nblocks);
+  if (flat_layout) {
+    const std::size_t total_pages = static_cast<std::size_t>(nblocks) * ppb;
+    state_arena_.assign(total_pages, PageState::kFree);
+    lba_arena_.assign(total_pages, kInvalidLba);
+    for (std::uint32_t i = 0; i < nblocks; ++i) {
+      const std::size_t off = static_cast<std::size_t>(i) * ppb;
+      blocks_.emplace_back(ppb, state_arena_.data() + off, lba_arena_.data() + off);
+    }
+  } else {
+    for (std::uint32_t i = 0; i < nblocks; ++i) {
+      blocks_.emplace_back(ppb);
+    }
   }
   if (faults.enabled()) faults_.emplace(faults, timing.endurance_pe_cycles);
 }

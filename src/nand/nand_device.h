@@ -45,8 +45,14 @@ struct ProgramResult {
 /// sequentially.
 class NandDevice {
  public:
+  /// `flat_layout` selects the arena-backed storage: every block's page
+  /// states / OOB LBAs live in two device-wide flat arrays instead of
+  /// per-block heap vectors. Semantics (and simulation output) are
+  /// identical either way; the flat layout trades the legacy allocation
+  /// pattern for cache-friendly device-wide scans, and the event engine
+  /// enables it through ftl::FtlConfig::flat_nand_layout.
   NandDevice(const Geometry& geometry, const TimingParams& timing,
-             const FaultConfig& faults = {});
+             const FaultConfig& faults = {}, bool flat_layout = false);
 
   const Geometry& geometry() const { return geom_; }
   const TimingParams& timing() const { return timing_; }
@@ -80,6 +86,10 @@ class NandDevice {
  private:
   Geometry geom_;
   TimingParams timing_;
+  // Flat-layout arenas (empty in the legacy per-block layout). Declared
+  // before blocks_ so the arenas outlive the Blocks pointing into them.
+  std::vector<PageState> state_arena_;
+  std::vector<Lba> lba_arena_;
   std::vector<Block> blocks_;
   NandStats stats_;
   // Engaged only when fault injection is configured; absent = the historical

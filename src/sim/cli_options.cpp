@@ -122,6 +122,21 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::s
         error = "--seed needs an unsigned integer";
         return std::nullopt;
       }
+    } else if (key == "--engine") {
+      if (!need_value()) return std::nullopt;
+      const auto engine = parse_engine_kind(value);
+      if (!engine) {
+        error = "unknown engine '" + value + "' (tick|event)";
+        return std::nullopt;
+      }
+      opt.engine = *engine;
+    } else if (key == "--arrival") {
+      if (!need_value()) return std::nullopt;
+      if (value != "open" && value != "closed") {
+        error = "unknown arrival model '" + value + "' (open|closed)";
+        return std::nullopt;
+      }
+      opt.open_loop_arrivals = value == "open";
     } else if (key == "--blocks-per-plane") {
       std::uint64_t v = 0;
       if (!need_value() || !parse_u64(value, v) || v == 0) {
@@ -261,6 +276,25 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::s
         error = "--array-kill-at needs a time in seconds";
         return std::nullopt;
       }
+    } else if (key == "--array-outage-device") {
+      std::uint64_t v = 0;
+      if (!need_value() || !parse_u64(value, v)) {
+        error = "--array-outage-device needs a slot index";
+        return std::nullopt;
+      }
+      opt.array_outage_slot = static_cast<std::int32_t>(v);
+    } else if (key == "--array-outage-at") {
+      if (!need_value() || !parse_double(value, opt.array_outage_at_s) ||
+          opt.array_outage_at_s < 0.0) {
+        error = "--array-outage-at needs a time in seconds";
+        return std::nullopt;
+      }
+    } else if (key == "--array-outage-restore-at") {
+      if (!need_value() || !parse_double(value, opt.array_outage_restore_at_s) ||
+          opt.array_outage_restore_at_s < 0.0) {
+        error = "--array-outage-restore-at needs a time in seconds";
+        return std::nullopt;
+      }
     } else if (key == "--jobs") {
       if (!need_value() || !parse_u64(value, opt.jobs)) {
         error = "--jobs needs a thread count (0 = hardware)";
@@ -302,6 +336,9 @@ std::string cli_usage() {
   --reserve=<m>          C_resv as a multiple of C_OP for --policy=fixed
   --seconds=<s>          measured duration                    (default 300)
   --seed=<n>             RNG seed                             (default 1)
+  --engine=<e>           event|tick run-loop engine           (default event)
+                         byte-identical output; tick is the legacy baseline
+  --arrival=<m>          closed|open arrival model, single-SSD (default closed)
   --blocks-per-plane=<n> device scale                         (default 256)
   --pages-per-block=<n>                                       (default 256)
   --op-ratio=<f>         over-provisioning fraction           (default 0.07)
@@ -324,6 +361,9 @@ std::string cli_usage() {
   --rebuild-rate-floor=<f>  min rebuild duty fraction [0,1]   (default 0.1)
   --array-kill-device=<slot>  scripted kill: retire this slot's device
   --array-kill-at=<s>    kill time in seconds                 (default 0)
+  --array-outage-device=<slot>  scripted transient outage: suspend this slot
+  --array-outage-at=<s>  outage start, seconds                (default 0)
+  --array-outage-restore-at=<s>  device returns at this time
   --jobs=<n>             array GC fan-out threads, 0 = hardware (default 0)
   --no-sip               disable SIP victim filtering (JIT-GC)
   --percentile=<q>       CDH reserve quantile                 (default 0.8)
@@ -359,6 +399,8 @@ std::unique_ptr<wl::WorkloadGenerator> make_workload_from_cli(const CliOptions& 
 SimReport run_from_cli(const CliOptions& options) {
   SimConfig config = default_sim_config(options.seed);
   config.duration = seconds(options.seconds);
+  config.engine = options.engine;
+  config.open_loop_arrivals = options.open_loop_arrivals;
   config.ssd.ftl.geometry.blocks_per_plane = options.blocks_per_plane;
   config.ssd.ftl.geometry.pages_per_block = options.pages_per_block;
   config.ssd.ftl.op_ratio = options.op_ratio;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ftl/victim_policy.h"
+#include "sim/engine.h"
 #include "sim/experiment.h"
 #include "workload/workload.h"
 
@@ -31,6 +32,14 @@ struct CliOptions {
   // -- How long / how reproducible ------------------------------------------------
   double seconds = 300.0;
   std::uint64_t seed = 1;
+  /// Run-loop engine (sim/engine.h): kEvent (default) or the pinned legacy
+  /// kTick. Byte-identical output either way — the engines differ only in
+  /// wall-clock speed (scripts/bench_smoke.sh asserts both claims).
+  EngineKind engine = EngineKind::kEvent;
+  /// Arrival model for the single-SSD simulator: false = closed loop (the
+  /// default, one outstanding op), true = open loop (think times are
+  /// inter-arrival gaps; arrivals queue). Array mode is always open-loop.
+  bool open_loop_arrivals = false;
 
   // -- Device shape ----------------------------------------------------------------
   std::uint32_t blocks_per_plane = 256;
@@ -81,6 +90,13 @@ struct CliOptions {
   /// the first coordinator tick at or after --array-kill-at seconds.
   std::int32_t array_kill_slot = -1;
   double array_kill_at_s = 0.0;
+  /// Scripted transient outage (redundant arrays): take this slot's device
+  /// offline (contents preserved) at --array-outage-at and bring it back at
+  /// --array-outage-restore-at (-1 = off). Exercises rebuild
+  /// suspend/resume: a parked rebuild keeps its row cursor.
+  std::int32_t array_outage_slot = -1;
+  double array_outage_at_s = 0.0;
+  double array_outage_restore_at_s = 0.0;
   /// Worker threads for the array's per-tick GC fan-out (0 = hardware).
   /// Results are byte-identical at any value — that is the determinism
   /// contract bench_smoke.sh asserts.

@@ -1,0 +1,110 @@
+// Simulation engine selection and the discrete-event calendar.
+//
+// Both simulators (sim/Simulator, array/ArraySimulator) advance time by
+// jumping between "interesting instants": flusher/coordinator ticks and
+// application arrivals. The legacy tick engine expresses that as a
+// hand-rolled two-way merge inside the run loop; the event engine expresses
+// it as an explicit EventCalendar and — because the calendar makes the hot
+// FTL paths the bottleneck — enables the FTL fast-path bundle
+// (ftl::FtlConfig::deferred_index_maintenance + flat_nand_layout).
+//
+// Determinism contract: the two engines produce byte-identical JSONL/CSV
+// output for the same configuration. The calendar's tie-break (lower
+// EventKind fires first, and kFlusherTick < kAppArrival) reproduces the
+// merge loop's `next_tick <= issue` ordering exactly; the FTL fast paths
+// are algebraically output-invariant (see ftl.h). The tick engine stays
+// selectable for one release as the pinned legacy baseline — `--engine=tick`
+// — and exists so the throughput bench can measure the event engine against
+// it; it will be removed once the release soaks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace jitgc::sim {
+
+/// Which run-loop implementation drives the simulation.
+enum class EngineKind : std::uint8_t {
+  kTick,   ///< legacy merge loop, legacy FTL structures (pinned baseline)
+  kEvent,  ///< event-calendar loop + FTL fast-path bundle (default)
+};
+
+inline const char* engine_kind_name(EngineKind kind) {
+  return kind == EngineKind::kTick ? "tick" : "event";
+}
+
+/// Parses "tick" / "event"; nullopt on anything else.
+inline std::optional<EngineKind> parse_engine_kind(std::string_view s) {
+  if (s == "tick") return EngineKind::kTick;
+  if (s == "event") return EngineKind::kEvent;
+  return std::nullopt;
+}
+
+/// Source of a scheduled simulation event. Enumerator order is the
+/// deterministic tie-break: when two events share a timestamp the lower
+/// kind fires first (the flusher tick always beats a same-instant arrival,
+/// matching the legacy merge loop).
+enum class EventKind : std::uint8_t {
+  kFlusherTick = 0,  ///< flusher / coordinator tick (period p)
+  kAppArrival = 1,   ///< next application op becomes ready
+  kCount,
+};
+
+/// Minimal event calendar for the simulators' fixed event population: at
+/// most one pending event per EventKind (the next tick, the next arrival).
+/// A slot-per-kind array beats a priority queue here — O(kinds) scan, no
+/// allocation, and rescheduling a kind is an overwrite — while keeping the
+/// run loop in the standard discrete-event shape: schedule, pop earliest,
+/// handle, repeat.
+class EventCalendar {
+ public:
+  struct Event {
+    EventKind kind;
+    TimeUs at;
+  };
+
+  /// Schedules (or reschedules) the next occurrence of `kind`.
+  void schedule(EventKind kind, TimeUs at) {
+    slots_[index(kind)] = at;
+    armed_[index(kind)] = true;
+  }
+
+  /// Removes `kind` from the calendar (e.g. the workload drained: no more
+  /// arrivals, but ticks keep firing to the end of the run).
+  void cancel(EventKind kind) { armed_[index(kind)] = false; }
+
+  bool armed(EventKind kind) const { return armed_[index(kind)]; }
+
+  /// Earliest pending event without removing it; nullopt when the calendar
+  /// is empty. Ties resolve to the lower EventKind.
+  std::optional<Event> peek() const {
+    std::optional<Event> best;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (!armed_[i]) continue;
+      if (!best || slots_[i] < best->at) {
+        best = Event{static_cast<EventKind>(i), slots_[i]};
+      }
+    }
+    return best;
+  }
+
+  /// Pops the earliest pending event.
+  std::optional<Event> pop() {
+    std::optional<Event> ev = peek();
+    if (ev) cancel(ev->kind);
+    return ev;
+  }
+
+ private:
+  static constexpr std::size_t kKinds = static_cast<std::size_t>(EventKind::kCount);
+  static std::size_t index(EventKind kind) { return static_cast<std::size_t>(kind); }
+
+  std::array<TimeUs, kKinds> slots_{};
+  std::array<bool, kKinds> armed_{};
+};
+
+}  // namespace jitgc::sim

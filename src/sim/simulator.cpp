@@ -18,6 +18,17 @@ SsdConfig with_fault_seed(SsdConfig ssd, std::uint64_t run_seed) {
   return ssd;
 }
 
+/// The event engine's FTL fast-path bundle (output-invariant, see ftl.h);
+/// the tick engine keeps the legacy structures so the throughput bench
+/// measures the event engine against an unchanged baseline.
+SsdConfig with_engine_tuning(SsdConfig ssd, EngineKind engine) {
+  if (engine == EngineKind::kEvent) {
+    ssd.ftl.deferred_index_maintenance = true;
+    ssd.ftl.flat_nand_layout = true;
+  }
+  return ssd;
+}
+
 }  // namespace
 
 const char* fault_kind_name(ftl::DegradeEvent::Kind kind) {
@@ -33,13 +44,17 @@ const char* fault_kind_name(ftl::DegradeEvent::Kind kind) {
 
 Simulator::Simulator(const SimConfig& config)
     : config_(config),
-      ssd_(with_fault_seed(config.ssd, config.seed)),
+      ssd_(with_fault_seed(with_engine_tuning(config.ssd, config.engine), config.seed)),
       cache_(config.cache),
       service_(config.ssd.resolved_service_queues()),
       accuracy_(config.cache.intervals_per_horizon() + 1) {
   JITGC_ENSURE_MSG(config_.cache.page_size == config_.ssd.ftl.geometry.page_size,
                    "page cache and FTL must agree on the page size");
+  // Mirror the device's resolved knobs back into config_ (fault seed, engine
+  // tuning) so introspection sees what actually runs.
   config_.ssd.ftl.fault.seed = ssd_.config().ftl.fault.seed;
+  config_.ssd.ftl.deferred_index_maintenance = ssd_.config().ftl.deferred_index_maintenance;
+  config_.ssd.ftl.flat_nand_layout = ssd_.config().ftl.flat_nand_layout;
 }
 
 void Simulator::drain_fault_events(double time_s) {
@@ -333,6 +348,87 @@ TimeUs Simulator::execute_op(const wl::AppOp& op, TimeUs issue) {
   return issue;
 }
 
+void Simulator::record_op_latency(const wl::AppOp& op, TimeUs issue, TimeUs completion) {
+  const auto latency = static_cast<double>(completion - issue);
+  latencies_.add(latency);
+  interval_latencies_.add(latency);
+  ++interval_ops_;
+  if (op.type == wl::OpType::kRead) {
+    read_latencies_.add(latency);
+  } else if (op.type == wl::OpType::kWrite && op.direct) {
+    direct_write_latencies_.add(latency);
+  }
+  ++ops_completed_;
+}
+
+void Simulator::run_tick_loop(wl::WorkloadGenerator& workload, core::BgcPolicy& policy,
+                              TimeUs& elapsed) {
+  const TimeUs p = cache_.config().flush_period;
+  TimeUs next_tick = p;
+
+  std::optional<wl::AppOp> op = workload.next();
+  TimeUs issue = op ? op->think_us : config_.duration;
+
+  while (true) {
+    if (next_tick <= issue || !op) {
+      if (next_tick > config_.duration) break;
+      run_bgc_until(next_tick);
+      process_tick(next_tick, policy);
+      elapsed = next_tick;
+      next_tick += p;
+      continue;
+    }
+    if (issue >= config_.duration) break;
+
+    run_bgc_until(issue);
+    elapsed = issue;
+    const TimeUs completion = execute_op(*op, issue);
+    record_op_latency(*op, issue, completion);
+
+    op = workload.next();
+    if (!op) continue;  // finite workload drained; keep ticking to duration
+    issue = (config_.open_loop_arrivals ? issue : completion) + op->think_us;
+  }
+  elapsed = std::min(config_.duration, std::max(elapsed, issue));
+}
+
+void Simulator::run_event_loop(wl::WorkloadGenerator& workload, core::BgcPolicy& policy,
+                               TimeUs& elapsed) {
+  const TimeUs p = cache_.config().flush_period;
+  EventCalendar calendar;
+  calendar.schedule(EventKind::kFlusherTick, p);
+
+  std::optional<wl::AppOp> op = workload.next();
+  TimeUs issue = op ? op->think_us : config_.duration;
+  if (op) calendar.schedule(EventKind::kAppArrival, issue);
+
+  // The calendar's tie-break (kFlusherTick < kAppArrival) reproduces the
+  // tick loop's `next_tick <= issue` ordering; a drained workload cancels
+  // the arrival stream while ticks keep firing to the end of the run.
+  while (const auto ev = calendar.pop()) {
+    if (ev->kind == EventKind::kFlusherTick) {
+      if (ev->at > config_.duration) break;
+      run_bgc_until(ev->at);
+      process_tick(ev->at, policy);
+      elapsed = ev->at;
+      calendar.schedule(EventKind::kFlusherTick, ev->at + p);
+      continue;
+    }
+    if (ev->at >= config_.duration) break;
+
+    run_bgc_until(ev->at);
+    elapsed = ev->at;
+    const TimeUs completion = execute_op(*op, ev->at);
+    record_op_latency(*op, ev->at, completion);
+
+    op = workload.next();
+    if (!op) continue;  // finite workload drained: no more arrival events
+    issue = (config_.open_loop_arrivals ? issue : completion) + op->think_us;
+    calendar.schedule(EventKind::kAppArrival, issue);
+  }
+  elapsed = std::min(config_.duration, std::max(elapsed, issue));
+}
+
 SimReport Simulator::run(wl::WorkloadGenerator& workload, core::BgcPolicy& policy) {
   ssd_.set_sip_filter_enabled(policy.wants_sip_filter());
   // SIP-aware policies get the cache's delta bookkeeping so each tick sends
@@ -359,47 +455,16 @@ SimReport Simulator::run(wl::WorkloadGenerator& workload, core::BgcPolicy& polic
   interval_programs_base_ = base_programs_;
   interval_host_writes_base_ = base_host_writes_;
 
-  const TimeUs p = cache_.config().flush_period;
-  TimeUs next_tick = p;
   TimeUs elapsed = 0;
-
-  std::optional<wl::AppOp> op = workload.next();
-  TimeUs issue = op ? op->think_us : config_.duration;
-
   try {
     // A device that died during preconditioning takes the same exit path as
     // one dying mid-run: zero measured progress, structured end reason.
     if (worn_out) throw ftl::DeviceWornOut("worn out during preconditioning");
-    while (true) {
-      if (next_tick <= issue || !op) {
-        if (next_tick > config_.duration) break;
-        run_bgc_until(next_tick);
-        process_tick(next_tick, policy);
-        elapsed = next_tick;
-        next_tick += p;
-        continue;
-      }
-      if (issue >= config_.duration) break;
-
-      run_bgc_until(issue);
-      elapsed = issue;
-      const TimeUs completion = execute_op(*op, issue);
-      const auto latency = static_cast<double>(completion - issue);
-      latencies_.add(latency);
-      interval_latencies_.add(latency);
-      ++interval_ops_;
-      if (op->type == wl::OpType::kRead) {
-        read_latencies_.add(latency);
-      } else if (op->type == wl::OpType::kWrite && op->direct) {
-        direct_write_latencies_.add(latency);
-      }
-      ++ops_completed_;
-
-      op = workload.next();
-      if (!op) continue;  // finite workload drained; keep ticking to duration
-      issue = completion + op->think_us;
+    if (config_.engine == EngineKind::kEvent) {
+      run_event_loop(workload, policy, elapsed);
+    } else {
+      run_tick_loop(workload, policy, elapsed);
     }
-    elapsed = std::min(config_.duration, std::max(elapsed, issue));
   } catch (const ftl::DeviceWornOut&) {
     // End of device life: report what was achieved up to this point.
     worn_out = true;

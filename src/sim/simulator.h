@@ -23,6 +23,7 @@
 #include "core/accuracy.h"
 #include "core/bgc_policy.h"
 #include "host/page_cache.h"
+#include "sim/engine.h"
 #include "sim/metrics.h"
 #include "sim/service_model.h"
 #include "sim/ssd.h"
@@ -59,6 +60,18 @@ struct SimConfig {
   /// Random overwrites during preconditioning, as a multiple of the WS size.
   double precondition_overwrite_factor = 1.0;
   std::uint64_t seed = 1;
+  /// Run-loop engine (sim/engine.h). kEvent (default) drives the run with an
+  /// explicit event calendar and enables the FTL fast-path bundle; kTick is
+  /// the pinned legacy merge loop, byte-identical output, kept for one
+  /// release as the bench baseline.
+  EngineKind engine = EngineKind::kEvent;
+  /// Arrival model. false (default): closed loop — the next op issues at the
+  /// previous op's completion plus its think time (one outstanding op, the
+  /// paper's single-SSD model). true: open loop — think times are
+  /// inter-arrival gaps on the absolute clock, arrivals queue on the device,
+  /// and latency = completion - arrival (the array front-end's model, ported
+  /// here so single-SSD cells can show backlog-drain tails too).
+  bool open_loop_arrivals = false;
 };
 
 class Simulator {
@@ -79,6 +92,16 @@ class Simulator {
 
  private:
   void precondition(wl::WorkloadGenerator& workload);
+  /// Measured-run loop, legacy tick engine: hand-rolled two-way merge of the
+  /// flusher-tick stream and the arrival stream. Updates `elapsed` as it
+  /// goes (so a DeviceWornOut unwind reports the progress made).
+  void run_tick_loop(wl::WorkloadGenerator& workload, core::BgcPolicy& policy, TimeUs& elapsed);
+  /// Measured-run loop, event engine: the same semantics expressed as an
+  /// EventCalendar (sim/engine.h); byte-identical output by construction.
+  void run_event_loop(wl::WorkloadGenerator& workload, core::BgcPolicy& policy, TimeUs& elapsed);
+  /// Records one completed op's latency into the run- and interval-level
+  /// trackers (shared by both engines).
+  void record_op_latency(const wl::AppOp& op, TimeUs issue, TimeUs completion);
   void process_tick(TimeUs now, core::BgcPolicy& policy);
   /// Forwards (and clears) the FTL's accumulated fault/degradation events
   /// to the metrics sink, stamped with the draining tick's time.
@@ -130,9 +153,13 @@ class Simulator {
   /// tick t covers [t + p, t + p + tau_expire], whose traffic is fully
   /// known Nwb + 1 ticks later.
   core::AccuracyTracker accuracy_;
-  PercentileTracker latencies_;
-  PercentileTracker read_latencies_;
-  PercentileTracker direct_write_latencies_;
+  /// Run-level tails are bounded-memory TailTrackers (stats.h): exact —
+  /// bit-identical to the unbounded PercentileTrackers they replaced — below
+  /// the run-level sample cap, histogram-folded (within one bin width) above
+  /// it, so run-level memory no longer grows with op count.
+  TailTracker latencies_ = TailTracker::run_level();
+  TailTracker read_latencies_ = TailTracker::run_level();
+  TailTracker direct_write_latencies_ = TailTracker::run_level();
   std::uint64_t ops_completed_ = 0;
   Bytes app_buffered_bytes_ = 0;
   Bytes app_direct_bytes_ = 0;

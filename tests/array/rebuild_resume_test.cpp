@@ -1,0 +1,228 @@
+// Transient-outage suspend/resume on the rebuild manager: a rebuild
+// interrupted by a second *transient* fault must park with its row cursor
+// and resume from it (not restart from row zero), rows overwritten while a
+// device was away must be resynced — and nothing more than that.
+#include "array/rebuild_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "array/array_simulator.h"
+#include "array/redundancy.h"
+#include "sim/metrics_sink.h"
+#include "workload/specs.h"
+#include "workload/synthetic.h"
+
+namespace jitgc::array {
+namespace {
+
+sim::SsdConfig small_device() {
+  sim::SsdConfig cfg;
+  cfg.ftl.geometry = nand::Geometry{.channels = 2,
+                                    .dies_per_channel = 2,
+                                    .planes_per_die = 1,
+                                    .blocks_per_plane = 24,
+                                    .pages_per_block = 16,
+                                    .page_size = 4 * KiB};
+  cfg.ftl.op_ratio = 0.25;
+  cfg.ftl.timing = nand::timing_20nm_mlc();
+  return cfg;
+}
+
+/// Parity array with mapped contents on every slot, so reconstruction has
+/// real pages to copy and advance() consumes its time budget row by row.
+struct Fixture {
+  Fixture() : array(small_device(), parity_config(), /*seed=*/7), mgr(array) {
+    const Lba fill = array.device_user_pages() / 2;
+    for (std::uint32_t slot = 0; slot < array.device_count(); ++slot) {
+      for (Lba lba = 0; lba < fill; ++lba) array.device_at_slot(slot).write_page(lba);
+    }
+  }
+
+  static ArrayConfig parity_config() {
+    ArrayConfig cfg;
+    cfg.devices = 4;
+    cfg.stripe_chunk_pages = 4;
+    cfg.redundancy = RedundancyScheme::kParity;
+    cfg.spare_devices = 1;
+    return cfg;
+  }
+
+  SsdArray array;
+  RebuildManager mgr;
+};
+
+TEST(RebuildResume, SuspendParksJobAndResumeKeepsTheCursor) {
+  Fixture f;
+  ASSERT_TRUE(f.mgr.on_slot_failure(1).rebuild_started);
+
+  // Partial progress: a small budget reconstructs some rows but not all.
+  const RebuildManager::RebuildTick partial = f.mgr.advance(/*budget_us=*/2000);
+  ASSERT_TRUE(partial.active);
+  ASSERT_FALSE(partial.completed);
+  ASSERT_GT(partial.rows_done, 0u);
+  const Lba cursor = partial.rows_done;
+
+  f.mgr.suspend_slot(1);
+  EXPECT_EQ(f.mgr.slot_state(1), SlotState::kSuspended);
+  // A parked job asks for no grant and makes no progress, however large the
+  // budget — this is what the restart-from-row-0 bug turned into lost work.
+  EXPECT_FALSE(f.mgr.rebuild_active());
+  EXPECT_FALSE(f.mgr.advance(seconds(100)).active);
+
+  // Stains: rows 0 and 1 are below the cursor (already reconstructed, now
+  // stale — need the tail resync); a row at the cursor is reconstructed by
+  // the primary pass anyway and must be dropped. Duplicates collapse.
+  f.mgr.note_missed_write(1, 0);
+  f.mgr.note_missed_write(1, 1);
+  f.mgr.note_missed_write(1, 1);
+  f.mgr.note_missed_write(1, cursor);
+
+  const RebuildManager::ResumeOutcome out = f.mgr.resume_slot(1);
+  EXPECT_TRUE(out.rebuild_resumed);
+  EXPECT_FALSE(out.resync_started);
+  EXPECT_EQ(out.cursor, cursor);
+  EXPECT_EQ(out.stained_rows, 2u);
+  EXPECT_EQ(f.mgr.slot_state(1), SlotState::kRebuilding);
+  ASSERT_TRUE(f.mgr.rebuild_active());
+
+  // The next window continues from the cursor, not from row zero.
+  const RebuildManager::RebuildTick resumed = f.mgr.advance(/*budget_us=*/2000);
+  EXPECT_TRUE(resumed.active);
+  EXPECT_GT(resumed.rows_done, cursor);
+
+  while (!f.mgr.advance(seconds(100)).completed) {
+  }
+  EXPECT_EQ(f.mgr.slot_state(1), SlotState::kHealthy);
+  EXPECT_EQ(f.mgr.rebuilds_completed(), 1u);
+}
+
+TEST(RebuildResume, HealthySuspendWithStainsBecomesResyncOnlyJob) {
+  Fixture f;
+  f.mgr.suspend_slot(2);
+  f.mgr.note_missed_write(2, 3);
+  f.mgr.note_missed_write(2, 1);
+  f.mgr.note_missed_write(2, 3);
+
+  const RebuildManager::ResumeOutcome out = f.mgr.resume_slot(2);
+  EXPECT_FALSE(out.rebuild_resumed);
+  EXPECT_TRUE(out.resync_started);
+  EXPECT_EQ(out.stained_rows, 2u);
+  // The primary pass is already complete: the cursor starts past the end.
+  EXPECT_EQ(out.cursor, f.array.layout().rows());
+  EXPECT_EQ(f.mgr.slot_state(2), SlotState::kRebuilding);
+
+  const RebuildManager::RebuildTick tick = f.mgr.advance(seconds(100));
+  EXPECT_TRUE(tick.completed);
+  // Only the two stained rows were copied, not the whole device.
+  EXPECT_GT(tick.write_bytes, 0u);
+  EXPECT_LE(tick.write_bytes, 2 * f.array.layout().chunk_pages() * f.array.page_size());
+  EXPECT_EQ(f.mgr.slot_state(2), SlotState::kHealthy);
+  EXPECT_EQ(f.mgr.rebuilds_completed(), 1u);
+}
+
+TEST(RebuildResume, HealthySuspendWithoutStainsReturnsHealthy) {
+  Fixture f;
+  f.mgr.suspend_slot(0);
+  EXPECT_TRUE(f.mgr.any_exposed());
+
+  const RebuildManager::ResumeOutcome out = f.mgr.resume_slot(0);
+  EXPECT_FALSE(out.rebuild_resumed);
+  EXPECT_FALSE(out.resync_started);
+  EXPECT_EQ(out.stained_rows, 0u);
+  EXPECT_EQ(f.mgr.slot_state(0), SlotState::kHealthy);
+  EXPECT_FALSE(f.mgr.any_exposed());
+  EXPECT_EQ(f.mgr.rebuilds_completed(), 0u);
+}
+
+TEST(RebuildResume, SuspendedSurvivorParksAnotherSlotsRebuild) {
+  Fixture f;
+  ASSERT_TRUE(f.mgr.on_slot_failure(1).rebuild_started);
+  ASSERT_TRUE(f.mgr.rebuild_active());
+
+  // Parity reconstruction reads every other slot; an offline survivor
+  // therefore parks the job even though the rebuilding slot itself is fine.
+  f.mgr.suspend_slot(3);
+  EXPECT_FALSE(f.mgr.rebuild_active());
+  EXPECT_FALSE(f.mgr.advance(seconds(100)).active);
+
+  f.mgr.resume_slot(3);
+  EXPECT_TRUE(f.mgr.rebuild_active());
+  EXPECT_EQ(f.mgr.active_slot(), 1u);
+}
+
+// -- End-to-end: scripted outage through the simulator ------------------------
+
+wl::WorkloadSpec steady_spec() {
+  wl::WorkloadSpec spec;
+  spec.name = "steady";
+  spec.read_fraction = 0.3;
+  spec.min_pages = 1;
+  spec.max_pages = 4;
+  spec.ops_per_sec = 80.0;
+  spec.duty_cycle = 1.0;
+  spec.working_set_fraction = 0.3;
+  spec.footprint_fraction = 0.6;
+  return spec;
+}
+
+TEST(RebuildResume, ScriptedOutageMidRebuildSuspendsThenCompletes) {
+  ArraySimConfig config;
+  config.ssd = small_device();
+  config.array.devices = 4;
+  config.array.stripe_chunk_pages = 4;
+  config.array.gc_mode = ArrayGcMode::kStaggered;
+  config.array.redundancy = RedundancyScheme::kParity;
+  config.array.spare_devices = 1;
+  // Kill at 15 s = tick 2, off slot 1's rotation turn: reconstruction
+  // crawls at the floor rate, so the outage at 20 s reliably lands
+  // mid-rebuild; the restore at 30 s coincides with the slot's full-duty
+  // turn, which finishes the job well before the run ends.
+  config.array.rebuild_rate_floor = 0.02;
+  config.duration = seconds(40);
+  config.flush_period = seconds(5);
+  config.seed = 7;
+  config.step_threads = 1;
+  config.kill_slot = 1;
+  config.kill_at = seconds(15);
+  config.outage_slot = 1;
+  config.outage_at = seconds(20);
+  config.outage_restore_at = seconds(30);
+
+  ArraySimulator simulator(config);
+  wl::SyntheticWorkload gen(steady_spec(), simulator.ssd_array().user_pages(), config.seed);
+  sim::RecordingMetricsSink sink;
+  simulator.set_metrics_sink(&sink);
+  const sim::SimReport r = simulator.run(gen);
+
+  EXPECT_EQ(r.run_end_reason, "completed");
+  EXPECT_EQ(r.device_failures, 1u);
+  EXPECT_EQ(r.rebuilds_completed, 1u);
+
+  // Full narration: kill → spare promoted → outage parks the rebuild →
+  // resume continues it from the cursor → restored.
+  ASSERT_EQ(sink.array_states().size(), 5u);
+  EXPECT_EQ(sink.array_states()[0].state, "degraded");
+  EXPECT_EQ(sink.array_states()[0].reason, "injected_kill");
+  EXPECT_EQ(sink.array_states()[1].state, "rebuilding");
+  EXPECT_EQ(sink.array_states()[1].reason, "spare_promoted");
+  EXPECT_EQ(sink.array_states()[2].state, "suspended");
+  EXPECT_EQ(sink.array_states()[2].slot, 1u);
+  EXPECT_EQ(sink.array_states()[2].reason, "injected_outage");
+  EXPECT_EQ(sink.array_states()[3].state, "resumed");
+  EXPECT_EQ(sink.array_states()[3].reason, "rebuild_resumed");
+  EXPECT_EQ(sink.array_states()[4].state, "restored");
+  EXPECT_EQ(sink.array_states()[4].reason, "rebuild_complete");
+
+  // Progress never regresses across the outage and finishes complete.
+  ASSERT_FALSE(sink.rebuild_progress().empty());
+  Lba prev = 0;
+  for (const auto& p : sink.rebuild_progress()) {
+    EXPECT_GE(p.rows_done, prev);
+    prev = p.rows_done;
+  }
+  EXPECT_EQ(sink.rebuild_progress().back().rows_done,
+            sink.rebuild_progress().back().rows_total);
+}
+
+}  // namespace
+}  // namespace jitgc::array

@@ -1,0 +1,112 @@
+// Cold-vs-warm preconditioning wall-clock: the acceptance bench for the
+// warm-state snapshot subsystem (sim/snapshot.h).
+//
+// A fig7-style multi-policy sweep ages the same (seed, workload) device once
+// per cell when run cold. With a snapshot cache the device is aged once and
+// every sibling policy restores a warm clone — the precondition fingerprint
+// excludes the measured-run policy — so the sweep's wall-clock drops to
+// roughly (one precondition + N measured runs) / N. This bench times the two
+// regimes over the same four-policy cell list:
+//
+//   cold pass:  no cache; every cell replays preconditioning write-for-write.
+//   warm pass:  a cache pre-filled by one run (the "second invocation" of a
+//               disk-backed sweep); every cell restores a warm clone.
+//
+// Both passes run serially on one thread so the ratio is pure preconditioning
+// savings, not scheduling. The warm pass must reproduce the cold pass's
+// headline metrics exactly — the snapshot contract is byte-identical output —
+// and the bench aborts if it does not.
+//
+// Emits one JSONL bench record per (policy, mode) plus a speedup summary;
+// scripts/bench_smoke.sh gates the speedup against a budget floor
+// (JITGC_MIN_SNAPSHOT_SPEEDUP).
+//
+//   precondition_reuse [sim_seconds]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/ensure.h"
+#include "sim/experiment.h"
+#include "sim/snapshot.h"
+#include "workload/specs.h"
+
+namespace {
+
+using namespace jitgc;
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+void report_run(const char* mode, const sim::SimReport& r, double wall_s) {
+  std::printf(
+      "{\"type\":\"bench\",\"name\":\"precondition_reuse\",\"policy\":\"%s\","
+      "\"mode\":\"%s\",\"precondition_wall_s\":%.3f,\"wall_s\":%.3f}\n",
+      r.policy.c_str(), mode, r.precondition_wall_s, wall_s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double sim_seconds = argc > 1 ? std::atof(argv[1]) : 20.0;
+  JITGC_ENSURE_MSG(sim_seconds > 0, "sim_seconds must be positive");
+
+  sim::SimConfig config = sim::default_sim_config(1);
+  config.duration = seconds(sim_seconds);
+  const std::vector<sim::PolicyKind> policies = {
+      sim::PolicyKind::kLazy, sim::PolicyKind::kAggressive, sim::PolicyKind::kAdaptive,
+      sim::PolicyKind::kJit};
+
+  // Cold: each cell gets its own throwaway cache — attached so the reports
+  // carry precondition_wall_s, fresh so every cell misses and preconditions
+  // from scratch.
+  std::vector<sim::SimReport> cold(policies.size());
+  std::vector<double> cold_walls(policies.size());
+  double cold_wall = 0.0;
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    sim::SnapshotCache fresh;
+    const auto start = Clock::now();
+    cold[i] = sim::run_cell(config, wl::ycsb_spec(), policies[i], 1.0, {}, &fresh);
+    cold_walls[i] = seconds_since(start);
+    cold_wall += cold_walls[i];
+  }
+
+  // Warm: fill a shared cache once (untimed — a disk-backed sweep pays this
+  // in its first invocation), then run the same cells against it.
+  sim::SnapshotCache cache;
+  (void)sim::run_cell(config, wl::ycsb_spec(), policies.front(), 1.0, {}, &cache);
+  std::vector<sim::SimReport> warm(policies.size());
+  std::vector<double> warm_walls(policies.size());
+  double warm_wall = 0.0;
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    const auto start = Clock::now();
+    warm[i] = sim::run_cell(config, wl::ycsb_spec(), policies[i], 1.0, {}, &cache);
+    warm_walls[i] = seconds_since(start);
+    warm_wall += warm_walls[i];
+  }
+
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    // The snapshot contract: a warm-restored run is indistinguishable from a
+    // cold one. A mismatch means the speedup below compares different work.
+    JITGC_ENSURE_MSG(warm[i].snapshot_source == "warm_clone", "warm pass missed the cache");
+    JITGC_ENSURE_MSG(cold[i].ops_completed == warm[i].ops_completed &&
+                         cold[i].waf == warm[i].waf &&
+                         cold[i].fgc_cycles == warm[i].fgc_cycles &&
+                         cold[i].p99_latency_us == warm[i].p99_latency_us,
+                     "warm run diverged from cold replay");
+    report_run("cold", cold[i], cold_walls[i]);
+    report_run(sim::snapshot_source_name(sim::SnapshotSource::kWarmClone), warm[i],
+               warm_walls[i]);
+  }
+
+  std::printf(
+      "{\"type\":\"bench_summary\",\"name\":\"precondition_reuse_speedup\","
+      "\"cold_wall_s\":%.3f,\"warm_wall_s\":%.3f,\"speedup\":%.2f}\n",
+      cold_wall, warm_wall, cold_wall / warm_wall);
+  std::fflush(stdout);
+  return 0;
+}

@@ -1,23 +1,28 @@
-// End-to-end simulator throughput: wall-clock ops/sec of the pinned legacy
-// tick engine vs the event engine (calendar-driven run loop + the FTL
-// fast-path bundle: deferred victim-index maintenance and the arena-backed
-// flat NAND layout). Both engines produce byte-identical metrics — this
-// harness double-checks the headline counters agree — so the ratio is pure
-// wall-clock speedup, the acceptance number for the event-core PR.
+// End-to-end simulator throughput: absolute wall-clock ops/sec of the event
+// engine (calendar-driven run loop + the FTL fast-path bundle: deferred
+// victim-index maintenance and the arena-backed flat NAND layout), compared
+// against a recorded baseline so JITGC_MIN_SIM_SPEEDUP gates *regressions*
+// rather than a tick-vs-event ratio (the legacy tick engine is retired; the
+// event engine is the only run loop).
 //
 // Two cells: the canonical single-SSD configuration, and an 8-device
 // striped array under staggered GC coordination (the array multiplies the
 // per-tick FTL work eightfold, so it leans hardest on the fast paths).
 //
-// Emits one JSONL record per (config, engine) plus a speedup summary per
-// config, mirroring bench_victim_select's schema; scripts/bench_smoke.sh
-// validates the records and gates on the array speedup ratio.
+// Emits one JSONL bench record per cell; when a baseline JSONL (a previous
+// invocation's output, committed under bench/baselines/) is supplied, also a
+// bench_summary per cell with the current/baseline throughput ratio.
+// scripts/bench_smoke.sh validates the records and gates the array ratio
+// against a budget floor.
 //
-//   sim_throughput [sim_seconds]
+//   sim_throughput [sim_seconds] [baseline.jsonl]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <map>
 #include <memory>
+#include <string>
 
 #include "array/array_simulator.h"
 #include "common/ensure.h"
@@ -48,11 +53,10 @@ Measurement timed(Run&& run) {
   return m;
 }
 
-Measurement run_single(sim::EngineKind engine, double sim_seconds) {
+Measurement run_single(double sim_seconds) {
   return timed([&] {
     sim::SimConfig config = sim::default_sim_config(1);
     config.duration = seconds(sim_seconds);
-    config.engine = engine;
     sim::Simulator simulator(config);
     wl::SyntheticWorkload gen(wl::ycsb_spec(), simulator.ssd().ftl().user_pages(), config.seed);
     const auto policy = sim::make_policy(sim::PolicyKind::kJit, config);
@@ -60,7 +64,7 @@ Measurement run_single(sim::EngineKind engine, double sim_seconds) {
   });
 }
 
-Measurement run_array(sim::EngineKind engine, double sim_seconds) {
+Measurement run_array(double sim_seconds) {
   return timed([&] {
     const sim::SimConfig base = sim::default_sim_config(1);
     array::ArraySimConfig config;
@@ -69,7 +73,6 @@ Measurement run_array(sim::EngineKind engine, double sim_seconds) {
     config.flush_period = base.cache.flush_period;
     config.seed = base.seed;
     config.step_threads = 1;  // measure the engine, not the GC fan-out pool
-    config.engine = engine;
     config.array.devices = 8;
     config.array.gc_mode = array::ArrayGcMode::kStaggered;
 
@@ -85,26 +88,79 @@ Measurement run_array(sim::EngineKind engine, double sim_seconds) {
   });
 }
 
-void report_cell(const char* config, Measurement (*run)(sim::EngineKind, double),
-                 double sim_seconds) {
-  const Measurement tick = run(sim::EngineKind::kTick, sim_seconds);
-  const Measurement event = run(sim::EngineKind::kEvent, sim_seconds);
-  // Byte-identical engines must complete the same ops; a mismatch means the
-  // speedup below compares different work and the record is meaningless.
-  JITGC_ENSURE_MSG(tick.ops == event.ops, "engines completed different op counts");
+struct BaselineCell {
+  double sim_seconds = 0.0;
+  std::uint64_t ops = 0;
+  double ops_per_sec = 0.0;
+};
 
+// Pulls one numeric field out of a flat JSONL bench record. The records are
+// this bench's own output (no nesting, no escapes), so a substring scan is
+// exact; a missing field returns false.
+bool extract_number(const std::string& line, const char* field, double& out) {
+  const std::string needle = std::string("\"") + field + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  out = std::strtod(line.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+bool extract_string(const std::string& line, const char* field, std::string& out) {
+  const std::string needle = std::string("\"") + field + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const auto start = pos + needle.size();
+  const auto end = line.find('"', start);
+  if (end == std::string::npos) return false;
+  out = line.substr(start, end - start);
+  return true;
+}
+
+std::map<std::string, BaselineCell> load_baseline(const char* path) {
+  std::ifstream in(path);
+  JITGC_ENSURE_MSG(static_cast<bool>(in), "cannot open baseline JSONL");
+  std::map<std::string, BaselineCell> cells;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string type, name, config;
+    if (!extract_string(line, "type", type) || type != "bench") continue;
+    if (!extract_string(line, "name", name) || name != "sim_throughput") continue;
+    if (!extract_string(line, "config", config)) continue;
+    BaselineCell cell;
+    double ops = 0.0;
+    if (!extract_number(line, "sim_seconds", cell.sim_seconds) ||
+        !extract_number(line, "ops", ops) ||
+        !extract_number(line, "ops_per_sec", cell.ops_per_sec)) {
+      continue;
+    }
+    cell.ops = static_cast<std::uint64_t>(ops);
+    cells[config] = cell;
+  }
+  JITGC_ENSURE_MSG(!cells.empty(), "baseline JSONL has no sim_throughput bench records");
+  return cells;
+}
+
+void report_cell(const char* config, Measurement (*run)(double), double sim_seconds,
+                 const std::map<std::string, BaselineCell>& baseline) {
+  const Measurement m = run(sim_seconds);
   std::printf(
-      "{\"type\":\"bench\",\"name\":\"sim_throughput\",\"config\":\"%s\",\"engine\":\"tick\","
-      "\"ops\":%llu,\"wall_s\":%.3f,\"ops_per_sec\":%.1f}\n",
-      config, static_cast<unsigned long long>(tick.ops), tick.wall_s, tick.ops_per_sec);
-  std::printf(
-      "{\"type\":\"bench\",\"name\":\"sim_throughput\",\"config\":\"%s\",\"engine\":\"event\","
-      "\"ops\":%llu,\"wall_s\":%.3f,\"ops_per_sec\":%.1f}\n",
-      config, static_cast<unsigned long long>(event.ops), event.wall_s, event.ops_per_sec);
-  std::printf(
-      "{\"type\":\"bench_summary\",\"name\":\"sim_throughput_speedup\",\"config\":\"%s\","
-      "\"speedup\":%.2f}\n",
-      config, tick.wall_s / event.wall_s);
+      "{\"type\":\"bench\",\"name\":\"sim_throughput\",\"config\":\"%s\","
+      "\"sim_seconds\":%g,\"ops\":%llu,\"wall_s\":%.3f,\"ops_per_sec\":%.1f}\n",
+      config, sim_seconds, static_cast<unsigned long long>(m.ops), m.wall_s, m.ops_per_sec);
+  const auto it = baseline.find(config);
+  if (it != baseline.end()) {
+    // Same simulated duration as the recording means the deterministic
+    // contract pins the op count: a mismatch is a behavior change, and the
+    // wall-clock ratio below would compare different work.
+    if (it->second.sim_seconds == sim_seconds) {
+      JITGC_ENSURE_MSG(it->second.ops == m.ops,
+                       "op count diverged from the recorded baseline");
+    }
+    std::printf(
+        "{\"type\":\"bench_summary\",\"name\":\"sim_throughput_ratio\",\"config\":\"%s\","
+        "\"baseline_ops_per_sec\":%.1f,\"ratio\":%.2f}\n",
+        config, it->second.ops_per_sec, m.ops_per_sec / it->second.ops_per_sec);
+  }
   std::fflush(stdout);
 }
 
@@ -113,7 +169,9 @@ void report_cell(const char* config, Measurement (*run)(sim::EngineKind, double)
 int main(int argc, char** argv) {
   const double sim_seconds = argc > 1 ? std::atof(argv[1]) : 60.0;
   JITGC_ENSURE_MSG(sim_seconds > 0, "sim_seconds must be positive");
-  report_cell("single_ssd", run_single, sim_seconds);
-  report_cell("array_8dev", run_array, sim_seconds);
+  std::map<std::string, BaselineCell> baseline;
+  if (argc > 2) baseline = load_baseline(argv[2]);
+  report_cell("single_ssd", run_single, sim_seconds, baseline);
+  report_cell("array_8dev", run_array, sim_seconds, baseline);
   return 0;
 }

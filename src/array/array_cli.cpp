@@ -63,9 +63,10 @@ sim::SimReport run_array_from_cli(const sim::CliOptions& options) {
   config.outage_slot = options.array_outage_slot;
   config.outage_at = seconds(options.array_outage_at_s);
   config.outage_restore_at = seconds(options.array_outage_restore_at_s);
-  config.engine = options.engine;
 
   ArraySimulator simulator(config);
+  sim::SnapshotCache snapshot_cache(options.snapshot_cache_dir);
+  if (!options.snapshot_cache_dir.empty()) simulator.set_snapshot_cache(&snapshot_cache);
   const Lba user_pages = simulator.ssd_array().user_pages();
   const std::unique_ptr<wl::WorkloadGenerator> gen =
       sim::make_workload_from_cli(options, user_pages);

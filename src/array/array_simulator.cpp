@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
+#include <cstdio>
 
+#include "common/binary_io.h"
 #include "common/ensure.h"
+#include "common/logging.h"
 #include "common/rng.h"
 #include "sim/metrics_sink.h"
 #include "sim/simulator.h"
@@ -29,14 +33,11 @@ std::string upper(const char* s) {
   return out;
 }
 
-/// The event engine's FTL fast-path bundle (output-invariant, see ftl.h);
-/// applied to every array device. The tick engine keeps the legacy
-/// structures as the bench baseline.
+/// The FTL fast-path bundle (output-invariant, see ftl.h), applied to every
+/// array device. Always on since the legacy tick engine's retirement.
 ArraySimConfig with_engine_tuning(ArraySimConfig config) {
-  if (config.engine == sim::EngineKind::kEvent) {
-    config.ssd.ftl.deferred_index_maintenance = true;
-    config.ssd.ftl.flat_nand_layout = true;
-  }
+  config.ssd.ftl.deferred_index_maintenance = true;
+  config.ssd.ftl.flat_nand_layout = true;
   return config;
 }
 
@@ -105,6 +106,88 @@ void ArraySimulator::precondition(wl::WorkloadGenerator& workload) {
       ftl.background_reclaim((ftl.op_capacity() - free_now) / ftl.page_size());
     }
   });
+}
+
+std::string ArraySimulator::array_precondition_fingerprint(Lba footprint, Lba ws) const {
+  std::string out = "jitgc-array-precondition-fingerprint v";
+  out += std::to_string(sim::kSnapshotFormatVersion);
+  out += "\n";
+  sim::append_ssd_fingerprint_fields(out, config_.ssd);
+  // The stripe/redundancy shape decides each slot's share of the fill, and
+  // the array seed keys every per-slot scramble stream and per-device fault
+  // stream (derive_seed); the GC mode plays no part until the first tick.
+  const auto u64 = [&out](const char* key, std::uint64_t v) {
+    out += key;
+    out += '=';
+    out += std::to_string(v);
+    out += '\n';
+  };
+  u64("array.devices", config_.array.devices);
+  u64("array.stripe_chunk_pages", config_.array.stripe_chunk_pages);
+  u64("array.redundancy", static_cast<std::uint64_t>(config_.array.redundancy));
+  u64("array.spare_devices", config_.array.spare_devices);
+  u64("array.seed", config_.seed);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "array.precondition_overwrite_factor=%.17g\n",
+                config_.precondition_overwrite_factor);
+  out += buf;
+  u64("array.footprint_pages", footprint);
+  u64("array.working_set_pages", ws);
+  return out;
+}
+
+bool ArraySimulator::establish_precondition(wl::WorkloadGenerator& workload) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::string fingerprint;
+  sim::SnapshotCache::Blob blob;
+  if (snapshot_cache_ != nullptr) {
+    const Lba footprint = std::min<Lba>(workload.footprint_pages(), array_.user_pages());
+    const Lba ws = std::min<Lba>(workload.working_set_pages(), footprint);
+    fingerprint = array_precondition_fingerprint(footprint, ws);
+    blob = snapshot_cache_->find(fingerprint, &snapshot_source_);
+  }
+
+  // During preconditioning slot s still holds physical device s and spares
+  // idle factory-fresh, so the snapshot is exactly the first device_count()
+  // devices' states in slot order; spares need no bytes at all.
+  const std::uint32_t n = array_.device_count();
+  bool worn_out = false;
+  if (blob != nullptr) {
+    try {
+      BinaryReader r(*blob);
+      if (const std::uint32_t count = r.u32(); count != n) {
+        throw BinaryFormatError("snapshot device count does not match the array");
+      }
+      for (std::uint32_t d = 0; d < n; ++d) array_.device(d).restore_state(r);
+      r.expect_end();
+    } catch (const std::exception& e) {
+      // A half-applied restore leaves devices inconsistent; rebuild the
+      // whole array from config and age it cold.
+      JITGC_WARN("snapshot cache: array restore failed (" << e.what()
+                                                          << "); preconditioning cold instead");
+      array_ = SsdArray(config_.ssd, config_.array, config_.seed);
+      snapshot_source_ = sim::SnapshotSource::kCold;
+      blob = nullptr;
+    }
+  }
+  if (blob == nullptr) {
+    try {
+      precondition(workload);
+      if (snapshot_cache_ != nullptr) {
+        BinaryWriter w;
+        w.u32(n);
+        for (std::uint32_t d = 0; d < n; ++d) array_.device(d).save_state(w);
+        snapshot_cache_->store(fingerprint, w.take());
+      }
+    } catch (const ftl::DeviceWornOut&) {
+      // Never snapshot a device that died while aging: only the cold replay
+      // reproduces that death deterministically.
+      worn_out = true;
+    }
+  }
+  precondition_wall_s_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  return !worn_out;
 }
 
 TimeUs ArraySimulator::dispatch(std::uint32_t dev, TimeUs earliest, TimeUs cost, bool& stalled) {
@@ -628,37 +711,6 @@ void ArraySimulator::record_op_latency(const wl::AppOp& op, TimeUs issue, TimeUs
   ++ops_completed_;
 }
 
-void ArraySimulator::run_tick_loop(wl::WorkloadGenerator& workload, TimeUs& elapsed) {
-  const TimeUs p = config_.flush_period;
-  TimeUs next_tick = p;
-
-  std::optional<wl::AppOp> op = workload.next();
-  TimeUs issue = op ? op->think_us : config_.duration;
-
-  while (true) {
-    if (next_tick <= issue || !op) {
-      if (next_tick > config_.duration) break;
-      process_tick(next_tick);
-      elapsed = next_tick;
-      next_tick += p;
-      continue;
-    }
-    if (issue >= config_.duration) break;
-
-    elapsed = issue;
-    bool stalled = false;
-    const TimeUs completion = execute_op(*op, issue, stalled);
-    record_op_latency(*op, issue, completion, stalled);
-
-    op = workload.next();
-    if (!op) continue;  // finite workload drained; keep ticking to duration
-    // Open loop: the next arrival follows the previous *arrival*, not its
-    // completion — see the header comment.
-    issue = issue + op->think_us;
-  }
-  elapsed = std::min(config_.duration, std::max(elapsed, issue));
-}
-
 void ArraySimulator::run_event_loop(wl::WorkloadGenerator& workload, TimeUs& elapsed) {
   const TimeUs p = config_.flush_period;
   sim::EventCalendar calendar;
@@ -668,7 +720,7 @@ void ArraySimulator::run_event_loop(wl::WorkloadGenerator& workload, TimeUs& ela
   TimeUs issue = op ? op->think_us : config_.duration;
   if (op) calendar.schedule(sim::EventKind::kAppArrival, issue);
 
-  // Tie-break kFlusherTick < kAppArrival reproduces the tick loop's
+  // Tie-break kFlusherTick < kAppArrival pins the retired tick loop's
   // `next_tick <= issue` ordering; a drained workload cancels arrivals
   // while ticks keep firing to the end of the run.
   while (const auto ev = calendar.pop()) {
@@ -695,14 +747,13 @@ void ArraySimulator::run_event_loop(wl::WorkloadGenerator& workload, TimeUs& ela
 }
 
 sim::SimReport ArraySimulator::run(wl::WorkloadGenerator& workload) {
+  // Age every device to steady state: from the snapshot cache when one is
+  // attached and holds this array's post-precondition state, by the parallel
+  // cold fan-out otherwise. Dying while aging means the endurance budget
+  // cannot even cover the fill: redundancy or not, report it as the legacy
+  // worn-out ending.
   bool worn_out_preconditioning = false;
-  try {
-    if (config_.precondition) precondition(workload);
-  } catch (const ftl::DeviceWornOut&) {
-    // Dying while aging means the endurance budget cannot even cover the
-    // fill: redundancy or not, report it as the legacy worn-out ending.
-    worn_out_preconditioning = true;
-  }
+  if (config_.precondition) worn_out_preconditioning = !establish_precondition(workload);
 
   // Metric baselines: everything before this instant was preconditioning.
   for (std::uint32_t d = 0; d < array_.total_device_count(); ++d) {
@@ -721,11 +772,7 @@ sim::SimReport ArraySimulator::run(wl::WorkloadGenerator& workload) {
 
   try {
     if (worn_out_preconditioning) throw ftl::DeviceWornOut("worn out during preconditioning");
-    if (config_.engine == sim::EngineKind::kEvent) {
-      run_event_loop(workload, elapsed);
-    } else {
-      run_tick_loop(workload, elapsed);
-    }
+    run_event_loop(workload, elapsed);
   } catch (const ftl::DeviceWornOut&) {
     // RAID-0 has no redundancy: the first worn-out device ends the array's
     // life. Report what was achieved up to this point.
@@ -815,6 +862,13 @@ sim::SimReport ArraySimulator::assemble_report(wl::WorkloadGenerator& workload,
     r.degraded_write_p99_latency_us = degraded_write_latencies_.count() != 0
                                           ? degraded_write_latencies_.percentile(99.0)
                                           : 0.0;
+  }
+
+  if (snapshot_cache_ != nullptr) {
+    // Only cache-attached runs report these (the wall-clock is host noise,
+    // so cache-less records stay byte-stable run to run).
+    r.snapshot_source = sim::snapshot_source_name(snapshot_source_);
+    r.precondition_wall_s = precondition_wall_s_;
   }
 
   if (metrics_sink_ != nullptr) {

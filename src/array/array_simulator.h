@@ -59,6 +59,7 @@
 #include "common/thread_pool.h"
 #include "sim/engine.h"
 #include "sim/metrics.h"
+#include "sim/snapshot.h"
 #include "sim/ssd.h"
 #include "workload/workload.h"
 
@@ -99,9 +100,6 @@ struct ArraySimConfig {
   std::int32_t outage_slot = -1;
   TimeUs outage_at = 0;
   TimeUs outage_restore_at = 0;
-  /// Run-loop engine (sim/engine.h): kEvent (default) uses the event
-  /// calendar + FTL fast paths; kTick is the pinned legacy merge loop.
-  sim::EngineKind engine = sim::EngineKind::kEvent;
 };
 
 class ArraySimulator {
@@ -116,6 +114,13 @@ class ArraySimulator {
   /// fault records tagged with their device, rebuild_progress / array_state
   /// records when redundancy is active, and the final report.
   void set_metrics_sink(sim::MetricsSink* sink) { metrics_sink_ = sink; }
+
+  /// Attaches a warm-state snapshot cache (not owned; may be null). One
+  /// array snapshot concatenates the per-slot device states (hot spares stay
+  /// factory-fresh and are rebuilt, not serialized); a hit skips the whole
+  /// parallel preconditioning fan-out with byte-identical measured output.
+  /// Set before run().
+  void set_snapshot_cache(sim::SnapshotCache* cache) { snapshot_cache_ = cache; }
 
   const SsdArray& ssd_array() const { return array_; }
 
@@ -147,11 +152,16 @@ class ArraySimulator {
   };
 
   void precondition(wl::WorkloadGenerator& workload);
-  /// Measured-run loop, legacy tick engine (two-way merge). Updates
-  /// `elapsed` as it goes so a worn-out / data-loss unwind reports progress.
-  void run_tick_loop(wl::WorkloadGenerator& workload, TimeUs& elapsed);
-  /// Measured-run loop, event engine: same semantics on an EventCalendar
-  /// (sim/engine.h); byte-identical output by construction.
+  /// Establishes the post-precondition array state: restores the per-slot
+  /// device states from the snapshot cache on a hit, runs the parallel
+  /// preconditioning fan-out (and publishes a snapshot) on a miss. Returns
+  /// false when a device wore out while aging.
+  bool establish_precondition(wl::WorkloadGenerator& workload);
+  /// Everything that determines the post-precondition array state (the
+  /// per-device fingerprint fields plus the stripe/redundancy shape).
+  std::string array_precondition_fingerprint(Lba footprint, Lba ws) const;
+  /// Measured-run loop on an EventCalendar (sim/engine.h). Updates `elapsed`
+  /// as it goes so a worn-out / data-loss unwind reports progress.
   void run_event_loop(wl::WorkloadGenerator& workload, TimeUs& elapsed);
   /// Records one completed op's latency into run- and interval-level
   /// trackers (shared by both engines).
@@ -207,6 +217,11 @@ class ArraySimulator {
   Bytes reclaim_requested_ = 0;
   double degraded_time_s_ = 0.0;  ///< accumulated at flush_period granularity
   double rebuild_time_s_ = 0.0;
+
+  // -- Warm-state snapshots (sim/snapshot.h) -----------------------------------
+  sim::SnapshotCache* snapshot_cache_ = nullptr;
+  sim::SnapshotSource snapshot_source_ = sim::SnapshotSource::kCold;
+  double precondition_wall_s_ = 0.0;
 
   // -- Interval metrics --------------------------------------------------------
   sim::MetricsSink* metrics_sink_ = nullptr;

@@ -1,0 +1,141 @@
+// Little-endian binary serialization for warm-state snapshots.
+//
+// The snapshot subsystem (sim/snapshot.h) persists post-precondition device
+// state to disk and clones it between in-process runs. Both paths go through
+// one encoding: explicit little-endian byte order (portable across hosts
+// regardless of native endianness), length-prefixed strings and sequences,
+// and a reader that throws BinaryFormatError on any overrun instead of
+// reading garbage — a truncated or corrupt snapshot must fall back to cold
+// replay, never silently corrupt a run.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jitgc {
+
+/// Thrown by BinaryReader when the input is truncated or structurally
+/// invalid. Callers catch it to reject a snapshot and replay cold.
+class BinaryFormatError : public std::runtime_error {
+ public:
+  explicit BinaryFormatError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends little-endian encoded values to a growing byte buffer.
+class BinaryWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// IEEE-754 bit pattern, little-endian (bit-exact round trip).
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  /// u64 length prefix + raw bytes.
+  void str(std::string_view s) {
+    u64(s.size());
+    buf_.append(s.data(), s.size());
+  }
+
+  const std::string& data() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Decodes a BinaryWriter buffer; every read checks bounds and throws
+/// BinaryFormatError on overrun.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data)
+      : p_(data.data()), end_(data.data() + data.size()) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(*p_++);
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p_[i])) << (8 * i);
+    p_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p_[i])) << (8 * i);
+    p_ += 8;
+    return v;
+  }
+
+  bool boolean() {
+    const std::uint8_t v = u8();
+    if (v > 1) throw BinaryFormatError("corrupt boolean");
+    return v == 1;
+  }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string str() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::string s(p_, n);
+    p_ += n;
+    return s;
+  }
+
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+  bool at_end() const { return p_ == end_; }
+
+  /// Structural check: every section must consume exactly what was written.
+  void expect_end() const {
+    if (!at_end()) throw BinaryFormatError("trailing bytes after snapshot payload");
+  }
+
+ private:
+  void need(std::uint64_t n) const {
+    if (n > static_cast<std::uint64_t>(end_ - p_)) {
+      throw BinaryFormatError("truncated snapshot payload");
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+/// FNV-1a 64-bit — names snapshot cache files and checksums their payloads.
+inline std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x00000100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace jitgc

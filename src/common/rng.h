@@ -43,6 +43,16 @@ class Rng {
   /// Creates an independent stream (jump-free: reseeds from this stream's output).
   Rng fork();
 
+  /// Raw engine state for warm-state snapshots (sim/snapshot.h): the four
+  /// xoshiro words, restored bit-exactly so a resumed stream continues where
+  /// the saved one stopped.
+  void save_state(std::uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = s_[i];
+  }
+  void restore_state(const std::uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) s_[i] = in[i];
+  }
+
  private:
   std::uint64_t s_[4];
 };

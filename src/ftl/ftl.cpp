@@ -846,4 +846,223 @@ TimeUs Ftl::maybe_static_wear_level() {
   return cost;
 }
 
+namespace {
+
+void save_u32_vec(BinaryWriter& w, const std::vector<std::uint32_t>& v) {
+  w.u64(v.size());
+  for (const std::uint32_t x : v) w.u32(x);
+}
+
+void save_u64_vec(BinaryWriter& w, const std::vector<std::uint64_t>& v) {
+  w.u64(v.size());
+  for (const std::uint64_t x : v) w.u64(x);
+}
+
+void restore_u32_vec(BinaryReader& r, std::vector<std::uint32_t>& v, std::uint64_t expect_size) {
+  const std::uint64_t n = r.u64();
+  if (n != expect_size) throw BinaryFormatError("snapshot u32 vector size mismatch");
+  v.resize(n);
+  for (std::uint32_t& x : v) x = r.u32();
+}
+
+void restore_u64_vec(BinaryReader& r, std::vector<std::uint64_t>& v, std::uint64_t expect_size) {
+  const std::uint64_t n = r.u64();
+  if (n != expect_size) throw BinaryFormatError("snapshot u64 vector size mismatch");
+  v.resize(n);
+  for (std::uint64_t& x : v) x = r.u64();
+}
+
+}  // namespace
+
+void Ftl::save_state(BinaryWriter& w) const {
+  nand_.save_state(w);
+
+  w.u64(map_.size());
+  for (const nand::Ppa& ppa : map_) {
+    w.u32(ppa.block);
+    w.u32(ppa.page);
+  }
+
+  w.u64(free_pool_.size());
+  for (const auto& [erases, block] : free_pool_) {
+    w.u64(erases);
+    w.u32(block);
+  }
+
+  w.u32(user_active_);
+  w.u32(user_active_cold_);
+  w.u32(gc_active_);
+  w.u32(bgc_victim_);
+  w.u32(bgc_victim_cursor_);
+  w.u64(free_pages_);
+  w.u64(valid_pages_);
+  w.u64(offline_pages_);
+  w.u64(write_seq_);
+
+  w.u64(block_health_.size());
+  for (const BlockHealth h : block_health_) w.u8(static_cast<std::uint8_t>(h));
+  save_u32_vec(w, spare_pool_);
+  save_u32_vec(w, pending_retire_);
+  w.u64(degrade_events_.size());
+  for (const DegradeEvent& e : degrade_events_) {
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    w.u32(e.block);
+    w.u64(e.erase_count);
+    w.u64(e.seq);
+  }
+  w.boolean(read_only_);
+
+  save_u64_vec(w, block_last_update_seq_);
+  save_u64_vec(w, block_fill_seq_);
+  save_u32_vec(w, block_sip_count_);
+  save_u32_vec(w, block_sip_exact_);
+  save_u32_vec(w, sip_diverged_list_);
+  save_u64_vec(w, lba_last_write_seq_);
+  w.u64(hot_window_);
+
+  // SIP membership, sorted so the blob is a pure function of the state (the
+  // unordered set's iteration order is not).
+  std::vector<Lba> sip_lbas(sip_.begin(), sip_.end());
+  std::sort(sip_lbas.begin(), sip_lbas.end());
+  save_u64_vec(w, sip_lbas);
+
+  map_cache_.save_state(w);
+
+  w.u64(stats_.host_pages_written);
+  w.u64(stats_.host_pages_read);
+  w.u64(stats_.trims);
+  w.u64(stats_.gc_cycles);
+  w.u64(stats_.foreground_gc_cycles);
+  w.u64(stats_.background_gc_cycles);
+  w.u64(stats_.victim_selections);
+  w.u64(stats_.victim_candidates_visited);
+  w.u64(stats_.sip_filtered_selections);
+  w.u64(stats_.wear_level_moves);
+  w.u64(stats_.retired_blocks);
+  w.u64(stats_.grown_bad_blocks);
+  w.u64(stats_.spares_promoted);
+  w.u64(stats_.hot_stream_writes);
+  w.u64(stats_.foreground_gc_time_us);
+}
+
+void Ftl::restore_state(BinaryReader& r) {
+  const std::uint32_t nblocks = nand_.num_blocks();
+  nand_.restore_state(r);
+
+  const std::uint64_t map_size = r.u64();
+  if (map_size != map_.size()) throw BinaryFormatError("snapshot L2P map size mismatch");
+  for (nand::Ppa& ppa : map_) {
+    ppa.block = r.u32();
+    ppa.page = r.u32();
+    if (ppa.block != kNoBlock && ppa.block >= nblocks) {
+      throw BinaryFormatError("snapshot mapping references a block out of range");
+    }
+  }
+
+  const std::uint64_t pool_size = r.u64();
+  if (pool_size > nblocks) throw BinaryFormatError("snapshot free pool larger than the device");
+  free_pool_.clear();
+  for (std::uint64_t i = 0; i < pool_size; ++i) {
+    const std::uint64_t erases = r.u64();
+    const std::uint32_t block = r.u32();
+    if (block >= nblocks) throw BinaryFormatError("snapshot free pool block out of range");
+    free_pool_.emplace(erases, block);
+  }
+
+  user_active_ = r.u32();
+  user_active_cold_ = r.u32();
+  gc_active_ = r.u32();
+  bgc_victim_ = r.u32();
+  bgc_victim_cursor_ = r.u32();
+  free_pages_ = r.u64();
+  valid_pages_ = r.u64();
+  offline_pages_ = r.u64();
+  write_seq_ = r.u64();
+
+  const std::uint64_t health_size = r.u64();
+  if (health_size != nblocks) throw BinaryFormatError("snapshot block-health size mismatch");
+  for (BlockHealth& h : block_health_) {
+    const std::uint8_t v = r.u8();
+    if (v > static_cast<std::uint8_t>(BlockHealth::kRetired)) {
+      throw BinaryFormatError("snapshot block health out of range");
+    }
+    h = static_cast<BlockHealth>(v);
+  }
+  const std::uint64_t spare_size = r.u64();
+  if (spare_size > nblocks) throw BinaryFormatError("snapshot spare pool larger than the device");
+  spare_pool_.resize(spare_size);
+  for (std::uint32_t& b : spare_pool_) b = r.u32();
+  const std::uint64_t retire_size = r.u64();
+  if (retire_size > nblocks) throw BinaryFormatError("snapshot retire queue larger than the device");
+  pending_retire_.resize(retire_size);
+  for (std::uint32_t& b : pending_retire_) b = r.u32();
+  const std::uint64_t event_count = r.u64();
+  degrade_events_.clear();
+  degrade_events_.reserve(event_count);
+  for (std::uint64_t i = 0; i < event_count; ++i) {
+    DegradeEvent e;
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(DegradeEvent::Kind::kReadOnly)) {
+      throw BinaryFormatError("snapshot degrade-event kind out of range");
+    }
+    e.kind = static_cast<DegradeEvent::Kind>(kind);
+    e.block = r.u32();
+    e.erase_count = r.u64();
+    e.seq = r.u64();
+    degrade_events_.push_back(e);
+  }
+  read_only_ = r.boolean();
+
+  restore_u64_vec(r, block_last_update_seq_, nblocks);
+  restore_u64_vec(r, block_fill_seq_, nblocks);
+  restore_u32_vec(r, block_sip_count_, nblocks);
+  restore_u32_vec(r, block_sip_exact_, nblocks);
+  const std::uint64_t diverged_size = r.u64();
+  if (diverged_size > nblocks) throw BinaryFormatError("snapshot SIP-diverged list too large");
+  sip_diverged_.assign(nblocks, 0);
+  sip_diverged_list_.resize(diverged_size);
+  for (std::uint32_t& b : sip_diverged_list_) {
+    b = r.u32();
+    if (b >= nblocks) throw BinaryFormatError("snapshot SIP-diverged block out of range");
+    sip_diverged_[b] = 1;
+  }
+  restore_u64_vec(r, lba_last_write_seq_,
+                  config_.enable_hot_cold_separation ? user_pages_ : 0);
+  hot_window_ = r.u64();
+
+  const std::uint64_t sip_size = r.u64();
+  if (sip_size > user_pages_) throw BinaryFormatError("snapshot SIP list larger than the device");
+  sip_.clear();
+  for (std::uint64_t i = 0; i < sip_size; ++i) sip_.insert(r.u64());
+
+  map_cache_.restore_state(r);
+
+  stats_.host_pages_written = r.u64();
+  stats_.host_pages_read = r.u64();
+  stats_.trims = r.u64();
+  stats_.gc_cycles = r.u64();
+  stats_.foreground_gc_cycles = r.u64();
+  stats_.background_gc_cycles = r.u64();
+  stats_.victim_selections = r.u64();
+  stats_.victim_candidates_visited = r.u64();
+  stats_.sip_filtered_selections = r.u64();
+  stats_.wear_level_moves = r.u64();
+  stats_.retired_blocks = r.u64();
+  stats_.grown_bad_blocks = r.u64();
+  stats_.spares_promoted = r.u64();
+  stats_.hot_stream_writes = r.u64();
+  stats_.foreground_gc_time_us = r.u64();
+
+  // Rebuild-not-serialize: re-declare every block from the restored truth.
+  // declare_block_index computes BlockState purely from current state, so
+  // the settled index equals what a cold run's lazy flush would produce at
+  // its first query; the deferred dirty sets start empty for the same
+  // reason (flushing a dirty block is idempotent against settled truth).
+  index_dirty_.assign(nblocks, 0);
+  index_dirty_list_.clear();
+  wl_dirty_.assign(nblocks, 0);
+  wl_dirty_list_.clear();
+  for (std::uint32_t b = 0; b < nblocks; ++b) declare_block_index(b);
+}
+
 }  // namespace jitgc::ftl

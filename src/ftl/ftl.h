@@ -117,14 +117,14 @@ struct FtlConfig {
   /// to date in one batch right before any query reads it. The index state
   /// observed by every selection is identical to the eager schedule, so
   /// results (including victim_candidates_visited) are byte-identical —
-  /// this is the core of the event engine's speedup and is enabled by
-  /// --engine=event (sim::EngineKind::kEvent).
+  /// this is the core of the event engine's speedup; both simulators enable
+  /// it unconditionally.
   bool deferred_index_maintenance = false;
   /// Arena-backed NAND page metadata: per-page state and LBA arrays live in
   /// two device-wide flat allocations instead of one heap vector pair per
   /// block, and page accessors skip bounds re-checks. State-identical to the
-  /// per-block layout; enabled by --engine=event alongside deferred index
-  /// maintenance.
+  /// per-block layout; both simulators enable it unconditionally alongside
+  /// deferred index maintenance.
   bool flat_nand_layout = false;
   /// Cross-check every indexed victim selection (and wear-level source
   /// pick) against the reference linear scan, aborting on divergence. The
@@ -348,6 +348,22 @@ class Ftl {
   /// Reference full-scan selection — the determinism oracle the index is
   /// cross-checked against (and the before-side of the microbenchmark).
   VictimChoice select_victim_reference() const;
+
+  // -- Warm-state snapshots (sim/snapshot.h) ----------------------------------
+  // Serializes the NAND device plus every piece of FTL truth: the L2P map,
+  // free pool, active streams, bad-block/spare/degradation state, SIP
+  // shadows, hot/cold recency, mapping cache, and the stats counters. The
+  // victim index and its deferred-maintenance dirty sets are NOT serialized:
+  // restore_state() re-declares every block from the restored truth, which
+  // settles the index into exactly the state any lazily-flushed cold run
+  // observes at its first query.
+
+  void save_state(BinaryWriter& w) const;
+
+  /// Restores a state saved by save_state() into an Ftl constructed with the
+  /// same config. Throws BinaryFormatError on structural mismatch; the FTL
+  /// is in an unspecified state after a throw (callers rebuild from config).
+  void restore_state(BinaryReader& r);
 
  private:
   /// Picks a GC victim; returns kNoBlock when nothing is collectible.

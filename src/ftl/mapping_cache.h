@@ -12,9 +12,11 @@
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <list>
 #include <unordered_map>
 
+#include "common/binary_io.h"
 #include "common/types.h"
 
 namespace jitgc::ftl {
@@ -57,6 +59,41 @@ class MappingCache {
   /// Drops everything (e.g. after bulk invalidation); dirty pages are
   /// written back and counted.
   void flush();
+
+  // -- Warm-state snapshots (sim/snapshot.h) ----------------------------------
+  // The LRU list front-to-back (most recent first) plus the hit counters;
+  // the lookup index is rebuilt on restore.
+
+  void save_state(BinaryWriter& w) const {
+    w.u64(lru_.size());
+    for (const Entry& e : lru_) {
+      w.u64(e.tpage);
+      w.boolean(e.dirty);
+    }
+    w.u64(stats_.lookups);
+    w.u64(stats_.hits);
+    w.u64(stats_.misses);
+    w.u64(stats_.dirty_writebacks);
+  }
+
+  void restore_state(BinaryReader& r) {
+    const std::uint64_t count = r.u64();
+    if (count > capacity_) throw BinaryFormatError("snapshot mapping cache overflows capacity");
+    lru_.clear();
+    map_.clear();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t tpage = r.u64();
+      const bool dirty = r.boolean();
+      lru_.push_back(Entry{tpage, dirty});
+      if (!map_.emplace(tpage, std::prev(lru_.end())).second) {
+        throw BinaryFormatError("snapshot mapping cache has duplicate entries");
+      }
+    }
+    stats_.lookups = r.u64();
+    stats_.hits = r.u64();
+    stats_.misses = r.u64();
+    stats_.dirty_writebacks = r.u64();
+  }
 
  private:
   struct Entry {

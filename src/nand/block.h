@@ -109,6 +109,28 @@ class Block {
     ++erase_count_;
   }
 
+  /// Installs a saved state wholesale (warm-state snapshots). The normal
+  /// mutators enforce NAND ordering invariants one operation at a time; a
+  /// restore arrives as a finished aggregate, so this validates the
+  /// aggregate invariants instead: write_ptr within the block, valid pages
+  /// only below the write pointer, valid_count consistent with the states.
+  void restore(std::uint32_t write_ptr, std::uint64_t erase_count, const PageState* states,
+               const Lba* lbas) {
+    JITGC_ENSURE_MSG(write_ptr <= pages_, "restored write pointer beyond block");
+    std::uint32_t valid = 0;
+    for (std::uint32_t p = 0; p < pages_; ++p) {
+      if (states[p] == PageState::kValid) {
+        JITGC_ENSURE_MSG(p < write_ptr, "restored valid page beyond write pointer");
+        ++valid;
+      }
+    }
+    std::copy(states, states + pages_, states_);
+    std::copy(lbas, lbas + pages_, lbas_);
+    write_ptr_ = write_ptr;
+    valid_count_ = valid;
+    erase_count_ = erase_count;
+  }
+
   /// Erases the whole block, freeing every page and bumping the wear counter.
   /// Valid pages must have been migrated first.
   void erase() {

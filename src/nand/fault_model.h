@@ -61,6 +61,11 @@ class FaultModel {
 
   const FaultConfig& config() const { return config_; }
 
+  /// RNG stream position, for warm-state snapshots: a restored device must
+  /// draw the same fault sequence a cold-preconditioned one would.
+  void save_rng_state(std::uint64_t out[4]) const { rng_.save_state(out); }
+  void restore_rng_state(const std::uint64_t in[4]) { rng_.restore_state(in); }
+
  private:
   double wear_extra(std::uint64_t erase_count) const;
 

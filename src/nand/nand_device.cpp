@@ -70,6 +70,72 @@ NandStatus NandDevice::erase_block(std::uint32_t block_id) {
   return NandStatus::kOk;
 }
 
+void NandDevice::save_state(BinaryWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(blocks_.size()));
+  w.u32(geom_.pages_per_block);
+  for (const Block& b : blocks_) {
+    w.u32(b.write_pointer());
+    w.u64(b.erase_count());
+    for (std::uint32_t p = 0; p < b.pages_per_block(); ++p) {
+      w.u8(static_cast<std::uint8_t>(b.page_state(p)));
+      w.u64(b.page_lba(p));
+    }
+  }
+  w.u64(stats_.page_reads);
+  w.u64(stats_.page_programs);
+  w.u64(stats_.page_migrations);
+  w.u64(stats_.block_erases);
+  w.u64(stats_.program_failures);
+  w.u64(stats_.erase_failures);
+  w.u64(stats_.busy_time_us);
+  w.boolean(faults_.has_value());
+  if (faults_) {
+    std::uint64_t rng_state[4];
+    faults_->save_rng_state(rng_state);
+    for (const std::uint64_t word : rng_state) w.u64(word);
+  }
+}
+
+void NandDevice::restore_state(BinaryReader& r) {
+  const std::uint32_t nblocks = r.u32();
+  const std::uint32_t ppb = r.u32();
+  if (nblocks != blocks_.size() || ppb != geom_.pages_per_block) {
+    throw BinaryFormatError("snapshot geometry does not match the device");
+  }
+  std::vector<PageState> states(ppb);
+  std::vector<Lba> lbas(ppb);
+  for (Block& b : blocks_) {
+    const std::uint32_t write_ptr = r.u32();
+    const std::uint64_t erase_count = r.u64();
+    if (write_ptr > ppb) throw BinaryFormatError("snapshot write pointer beyond block");
+    for (std::uint32_t p = 0; p < ppb; ++p) {
+      const std::uint8_t s = r.u8();
+      if (s > static_cast<std::uint8_t>(PageState::kInvalid)) {
+        throw BinaryFormatError("snapshot page state out of range");
+      }
+      states[p] = static_cast<PageState>(s);
+      lbas[p] = r.u64();
+    }
+    b.restore(write_ptr, erase_count, states.data(), lbas.data());
+  }
+  stats_.page_reads = r.u64();
+  stats_.page_programs = r.u64();
+  stats_.page_migrations = r.u64();
+  stats_.block_erases = r.u64();
+  stats_.program_failures = r.u64();
+  stats_.erase_failures = r.u64();
+  stats_.busy_time_us = r.u64();
+  const bool had_faults = r.boolean();
+  if (had_faults != faults_.has_value()) {
+    throw BinaryFormatError("snapshot fault-model presence does not match the device");
+  }
+  if (faults_) {
+    std::uint64_t rng_state[4];
+    for (std::uint64_t& word : rng_state) word = r.u64();
+    faults_->restore_rng_state(rng_state);
+  }
+}
+
 std::uint64_t NandDevice::max_erase_count() const {
   std::uint64_t mx = 0;
   for (const Block& b : blocks_) mx = std::max(mx, b.erase_count());

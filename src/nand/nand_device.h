@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "nand/block.h"
 #include "nand/fault_model.h"
 #include "nand/geometry.h"
@@ -82,6 +83,20 @@ class NandDevice {
   /// Max and mean erase counts across blocks (wear-leveling quality).
   std::uint64_t max_erase_count() const;
   double mean_erase_count() const;
+
+  // -- Warm-state snapshots (sim/snapshot.h) ----------------------------------
+  // Per-block page states/OOB LBAs/write pointers/erase counts, the stats
+  // counters, and the fault RNG stream position. The storage layout
+  // (flat arena vs per-block) is a construction property, not state: a
+  // snapshot taken under one layout restores into the other.
+
+  /// Serializes the device state into `w`.
+  void save_state(BinaryWriter& w) const;
+
+  /// Restores a state saved by save_state(). The device must have been
+  /// constructed with the same geometry/timing/fault config; throws
+  /// BinaryFormatError on structural mismatch.
+  void restore_state(BinaryReader& r);
 
  private:
   Geometry geom_;

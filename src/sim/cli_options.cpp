@@ -123,13 +123,21 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::s
         return std::nullopt;
       }
     } else if (key == "--engine") {
+      // The legacy tick engine is retired; the flag survives one release as
+      // a no-op for scripts that pinned --engine=event.
       if (!need_value()) return std::nullopt;
-      const auto engine = parse_engine_kind(value);
-      if (!engine) {
-        error = "unknown engine '" + value + "' (tick|event)";
+      if (value == "tick") {
+        error = "the legacy tick engine has been retired; the event engine "
+                "is the only run loop (drop --engine, or use --engine=event)";
         return std::nullopt;
       }
-      opt.engine = *engine;
+      if (value != "event") {
+        error = "unknown engine '" + value + "' (event)";
+        return std::nullopt;
+      }
+    } else if (key == "--snapshot-cache") {
+      if (!need_value()) return std::nullopt;
+      opt.snapshot_cache_dir = value;
     } else if (key == "--arrival") {
       if (!need_value()) return std::nullopt;
       if (value != "open" && value != "closed") {
@@ -336,8 +344,8 @@ std::string cli_usage() {
   --reserve=<m>          C_resv as a multiple of C_OP for --policy=fixed
   --seconds=<s>          measured duration                    (default 300)
   --seed=<n>             RNG seed                             (default 1)
-  --engine=<e>           event|tick run-loop engine           (default event)
-                         byte-identical output; tick is the legacy baseline
+  --snapshot-cache=<dir> reuse post-precondition device state across runs
+                         (byte-identical output; cold miss fills the cache)
   --arrival=<m>          closed|open arrival model, single-SSD (default closed)
   --blocks-per-plane=<n> device scale                         (default 256)
   --pages-per-block=<n>                                       (default 256)
@@ -399,7 +407,6 @@ std::unique_ptr<wl::WorkloadGenerator> make_workload_from_cli(const CliOptions& 
 SimReport run_from_cli(const CliOptions& options) {
   SimConfig config = default_sim_config(options.seed);
   config.duration = seconds(options.seconds);
-  config.engine = options.engine;
   config.open_loop_arrivals = options.open_loop_arrivals;
   config.ssd.ftl.geometry.blocks_per_plane = options.blocks_per_plane;
   config.ssd.ftl.geometry.pages_per_block = options.pages_per_block;
@@ -423,6 +430,8 @@ SimReport run_from_cli(const CliOptions& options) {
   overrides.use_measured_idle = options.use_measured_idle;
 
   Simulator simulator(config);
+  SnapshotCache snapshot_cache(options.snapshot_cache_dir);
+  if (!options.snapshot_cache_dir.empty()) simulator.set_snapshot_cache(&snapshot_cache);
   const auto policy =
       make_policy(options.policy, config, options.fixed_reserve_multiple, overrides);
   const Lba user_pages = simulator.ssd().ftl().user_pages();

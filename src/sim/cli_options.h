@@ -10,7 +10,6 @@
 #include <vector>
 
 #include "ftl/victim_policy.h"
-#include "sim/engine.h"
 #include "sim/experiment.h"
 #include "workload/workload.h"
 
@@ -32,10 +31,6 @@ struct CliOptions {
   // -- How long / how reproducible ------------------------------------------------
   double seconds = 300.0;
   std::uint64_t seed = 1;
-  /// Run-loop engine (sim/engine.h): kEvent (default) or the pinned legacy
-  /// kTick. Byte-identical output either way — the engines differ only in
-  /// wall-clock speed (scripts/bench_smoke.sh asserts both claims).
-  EngineKind engine = EngineKind::kEvent;
   /// Arrival model for the single-SSD simulator: false = closed loop (the
   /// default, one outstanding op), true = open loop (think times are
   /// inter-arrival gaps; arrivals queue). Array mode is always open-loop.
@@ -101,6 +96,14 @@ struct CliOptions {
   /// Results are byte-identical at any value — that is the determinism
   /// contract bench_smoke.sh asserts.
   std::uint64_t jobs = 0;
+
+  // -- Warm-state snapshots (sim/snapshot.h) -----------------------------------
+  /// Directory for the on-disk snapshot cache (empty = no cache). The first
+  /// run of a precondition-equivalent cell pays the cold replay and writes a
+  /// snapshot; later runs — including later process invocations — restore it
+  /// and produce byte-identical measured output. Run records then carry
+  /// `snapshot` / `precondition_wall_s`.
+  std::string snapshot_cache_dir;
 
   // -- Output ------------------------------------------------------------------------
   bool csv = false;

@@ -1,48 +1,22 @@
-// Simulation engine selection and the discrete-event calendar.
+// The discrete-event calendar driving both simulators.
 //
 // Both simulators (sim/Simulator, array/ArraySimulator) advance time by
 // jumping between "interesting instants": flusher/coordinator ticks and
-// application arrivals. The legacy tick engine expresses that as a
-// hand-rolled two-way merge inside the run loop; the event engine expresses
-// it as an explicit EventCalendar and — because the calendar makes the hot
-// FTL paths the bottleneck — enables the FTL fast-path bundle
-// (ftl::FtlConfig::deferred_index_maintenance + flat_nand_layout).
-//
-// Determinism contract: the two engines produce byte-identical JSONL/CSV
-// output for the same configuration. The calendar's tie-break (lower
-// EventKind fires first, and kFlusherTick < kAppArrival) reproduces the
-// merge loop's `next_tick <= issue` ordering exactly; the FTL fast paths
-// are algebraically output-invariant (see ftl.h). The tick engine stays
-// selectable for one release as the pinned legacy baseline — `--engine=tick`
-// — and exists so the throughput bench can measure the event engine against
-// it; it will be removed once the release soaks.
+// application arrivals, expressed as an explicit EventCalendar. The calendar
+// makes the hot FTL paths the bottleneck, which is why the FTL fast-path
+// bundle (ftl::FtlConfig::deferred_index_maintenance + flat_nand_layout) is
+// always on. The calendar's tie-break (lower EventKind fires first, and
+// kFlusherTick < kAppArrival) pins the event ordering the retired legacy
+// tick loop established, so historical JSONL baselines stay byte-valid.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <optional>
-#include <string_view>
 
 #include "common/types.h"
 
 namespace jitgc::sim {
-
-/// Which run-loop implementation drives the simulation.
-enum class EngineKind : std::uint8_t {
-  kTick,   ///< legacy merge loop, legacy FTL structures (pinned baseline)
-  kEvent,  ///< event-calendar loop + FTL fast-path bundle (default)
-};
-
-inline const char* engine_kind_name(EngineKind kind) {
-  return kind == EngineKind::kTick ? "tick" : "event";
-}
-
-/// Parses "tick" / "event"; nullopt on anything else.
-inline std::optional<EngineKind> parse_engine_kind(std::string_view s) {
-  if (s == "tick") return EngineKind::kTick;
-  if (s == "event") return EngineKind::kEvent;
-  return std::nullopt;
-}
 
 /// Source of a scheduled simulation event. Enumerator order is the
 /// deterministic tie-break: when two events share a timestamp the lower

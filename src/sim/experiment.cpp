@@ -94,8 +94,10 @@ std::unique_ptr<core::BgcPolicy> make_policy(PolicyKind kind, const SimConfig& s
 }
 
 SimReport run_cell(const SimConfig& sim, const wl::WorkloadSpec& workload, PolicyKind kind,
-                   double fixed_multiple, const PolicyOverrides& overrides) {
+                   double fixed_multiple, const PolicyOverrides& overrides,
+                   SnapshotCache* snapshots) {
   Simulator simulator(sim);
+  if (snapshots != nullptr) simulator.set_snapshot_cache(snapshots);
   const Lba user_pages = simulator.ssd().ftl().user_pages();
   wl::SyntheticWorkload gen(workload, user_pages, sim.seed);
   const auto policy = make_policy(kind, sim, fixed_multiple, overrides);

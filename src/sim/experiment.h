@@ -48,9 +48,15 @@ std::unique_ptr<core::BgcPolicy> make_policy(PolicyKind kind, const SimConfig& s
                                              const PolicyOverrides& overrides);
 
 /// Runs one (workload, policy) cell from scratch and returns the report.
+/// `snapshots` (optional, not owned) reuses post-precondition device state
+/// across cells that share a precondition fingerprint — the measured-run
+/// policy is excluded from the fingerprint, so a multi-policy matrix over one
+/// (seed, workload) preconditions once and warm-clones the rest, with
+/// byte-identical results (sim/snapshot.h).
 SimReport run_cell(const SimConfig& sim, const wl::WorkloadSpec& workload, PolicyKind kind,
                    double fixed_multiple = 1.0,
-                   const PolicyOverrides& overrides = PolicyOverrides{});
+                   const PolicyOverrides& overrides = PolicyOverrides{},
+                   SnapshotCache* snapshots = nullptr);
 
 /// Mean and sample standard deviation of a metric across seeds.
 struct MetricSummary {

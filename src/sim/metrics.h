@@ -96,6 +96,16 @@ struct SimReport {
   double degraded_write_p99_latency_us = 0.0;
   /// Total bytes the application wrote (TBW when the device wore out).
   Bytes tbw_bytes() const { return app_buffered_write_bytes + app_direct_write_bytes; }
+
+  // -- Warm-state snapshots (sim/snapshot.h) --------------------------------------
+  /// Where the post-precondition state came from: "cold", "warm_clone", or
+  /// "warm_disk". Empty when no snapshot cache was attached; the JSONL
+  /// emitter then omits both fields, keeping cache-less records free of
+  /// host-wall-clock noise (see docs/metrics_schema.md).
+  std::string snapshot_source;
+  /// Host wall-clock seconds spent establishing the preconditioned state
+  /// (replaying it cold, or restoring and rebuilding derived structures).
+  double precondition_wall_s = 0.0;
 };
 
 }  // namespace jitgc::sim

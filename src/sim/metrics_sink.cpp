@@ -234,6 +234,14 @@ std::string format_run_jsonl(std::uint64_t run_index, std::uint64_t seed,
     append_field(out, "degraded_time_s", r.degraded_time_s);
     append_field(out, "degraded_write_p99_latency_us", r.degraded_write_p99_latency_us);
   }
+  // Snapshot provenance only when a snapshot cache was attached: cache-less
+  // output stays byte-identical to the legacy schema, and warm-vs-cold
+  // byte comparisons strip exactly these two fields (the wall-clock is host
+  // noise by design; see docs/metrics_schema.md).
+  if (!r.snapshot_source.empty()) {
+    append_field(out, "snapshot", r.snapshot_source);
+    append_field(out, "precondition_wall_s", r.precondition_wall_s);
+  }
   out += '}';
   return out;
 }

@@ -1,7 +1,9 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "common/binary_io.h"
 #include "common/ensure.h"
 #include "common/logging.h"
 #include "common/rng.h"
@@ -18,14 +20,12 @@ SsdConfig with_fault_seed(SsdConfig ssd, std::uint64_t run_seed) {
   return ssd;
 }
 
-/// The event engine's FTL fast-path bundle (output-invariant, see ftl.h);
-/// the tick engine keeps the legacy structures so the throughput bench
-/// measures the event engine against an unchanged baseline.
-SsdConfig with_engine_tuning(SsdConfig ssd, EngineKind engine) {
-  if (engine == EngineKind::kEvent) {
-    ssd.ftl.deferred_index_maintenance = true;
-    ssd.ftl.flat_nand_layout = true;
-  }
+/// The FTL fast-path bundle (output-invariant, see ftl.h). Always on since
+/// the legacy tick engine's retirement; bench/sim_throughput now regresses
+/// absolute ops/sec against a recorded baseline instead of a live tick run.
+SsdConfig with_engine_tuning(SsdConfig ssd) {
+  ssd.ftl.deferred_index_maintenance = true;
+  ssd.ftl.flat_nand_layout = true;
   return ssd;
 }
 
@@ -44,7 +44,7 @@ const char* fault_kind_name(ftl::DegradeEvent::Kind kind) {
 
 Simulator::Simulator(const SimConfig& config)
     : config_(config),
-      ssd_(with_fault_seed(with_engine_tuning(config.ssd, config.engine), config.seed)),
+      ssd_(with_fault_seed(with_engine_tuning(config.ssd), config.seed)),
       cache_(config.cache),
       service_(config.ssd.resolved_service_queues()),
       accuracy_(config.cache.intervals_per_horizon() + 1) {
@@ -91,6 +91,55 @@ void Simulator::precondition(wl::WorkloadGenerator& workload) {
         static_cast<std::uint64_t>(config_.precondition_overwrite_factor * static_cast<double>(ws));
     for (std::uint64_t i = 0; i < overwrites; ++i) ftl.write(rng.uniform(ws));
   }
+}
+
+bool Simulator::establish_precondition(wl::WorkloadGenerator& workload, core::BgcPolicy& policy) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::string fingerprint;
+  SnapshotCache::Blob blob;
+  if (snapshot_cache_ != nullptr) {
+    const Lba footprint = std::min<Lba>(workload.footprint_pages(), ssd_.ftl().user_pages());
+    const Lba ws = std::min<Lba>(workload.working_set_pages(), footprint);
+    fingerprint = precondition_fingerprint(config_, footprint, ws);
+    blob = snapshot_cache_->find(fingerprint, &snapshot_source_);
+  }
+
+  bool worn_out = false;
+  if (blob != nullptr) {
+    try {
+      BinaryReader r(*blob);
+      ssd_.restore_state(r);
+      r.expect_end();
+    } catch (const std::exception& e) {
+      // A half-applied restore leaves the device inconsistent; a fresh
+      // device from the (resolved) config plus a cold fill recovers the
+      // exact state, costing only the replay the cache tried to save.
+      JITGC_WARN("snapshot cache: restore failed (" << e.what()
+                                                    << "); preconditioning cold instead");
+      ssd_ = Ssd(config_.ssd);
+      ssd_.set_sip_filter_enabled(policy.wants_sip_filter());
+      snapshot_source_ = SnapshotSource::kCold;
+      blob = nullptr;
+    }
+  }
+  if (blob == nullptr) {
+    try {
+      precondition(workload);
+      if (snapshot_cache_ != nullptr) {
+        BinaryWriter w;
+        ssd_.save_state(w);
+        snapshot_cache_->store(fingerprint, w.take());
+      }
+    } catch (const ftl::DeviceWornOut&) {
+      // The device died before the measured run even began (heavy fault
+      // injection). Never snapshot a corpse: a warm run must die the same
+      // death at the same write, which only the cold replay reproduces.
+      worn_out = true;
+    }
+  }
+  precondition_wall_s_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  return !worn_out;
 }
 
 TimeUs Simulator::device_write(Lba lba, std::uint32_t pages, TimeUs earliest_start) {
@@ -361,37 +410,6 @@ void Simulator::record_op_latency(const wl::AppOp& op, TimeUs issue, TimeUs comp
   ++ops_completed_;
 }
 
-void Simulator::run_tick_loop(wl::WorkloadGenerator& workload, core::BgcPolicy& policy,
-                              TimeUs& elapsed) {
-  const TimeUs p = cache_.config().flush_period;
-  TimeUs next_tick = p;
-
-  std::optional<wl::AppOp> op = workload.next();
-  TimeUs issue = op ? op->think_us : config_.duration;
-
-  while (true) {
-    if (next_tick <= issue || !op) {
-      if (next_tick > config_.duration) break;
-      run_bgc_until(next_tick);
-      process_tick(next_tick, policy);
-      elapsed = next_tick;
-      next_tick += p;
-      continue;
-    }
-    if (issue >= config_.duration) break;
-
-    run_bgc_until(issue);
-    elapsed = issue;
-    const TimeUs completion = execute_op(*op, issue);
-    record_op_latency(*op, issue, completion);
-
-    op = workload.next();
-    if (!op) continue;  // finite workload drained; keep ticking to duration
-    issue = (config_.open_loop_arrivals ? issue : completion) + op->think_us;
-  }
-  elapsed = std::min(config_.duration, std::max(elapsed, issue));
-}
-
 void Simulator::run_event_loop(wl::WorkloadGenerator& workload, core::BgcPolicy& policy,
                                TimeUs& elapsed) {
   const TimeUs p = cache_.config().flush_period;
@@ -402,7 +420,7 @@ void Simulator::run_event_loop(wl::WorkloadGenerator& workload, core::BgcPolicy&
   TimeUs issue = op ? op->think_us : config_.duration;
   if (op) calendar.schedule(EventKind::kAppArrival, issue);
 
-  // The calendar's tie-break (kFlusherTick < kAppArrival) reproduces the
+  // The calendar's tie-break (kFlusherTick < kAppArrival) pins the retired
   // tick loop's `next_tick <= issue` ordering; a drained workload cancels
   // the arrival stream while ticks keep firing to the end of the run.
   while (const auto ev = calendar.pop()) {
@@ -435,14 +453,11 @@ SimReport Simulator::run(wl::WorkloadGenerator& workload, core::BgcPolicy& polic
   // the net change instead of rebuilding the whole list device-side.
   if (policy.wants_sip_filter()) cache_.enable_sip_tracking();
 
+  // Age the device to steady state: from the snapshot cache when one is
+  // attached and holds a matching post-precondition state, by cold replay
+  // otherwise. A device that dies here reports a zero-length run.
   bool worn_out = false;
-  try {
-    if (config_.precondition) precondition(workload);
-  } catch (const ftl::DeviceWornOut&) {
-    // The device died before the measured run even began (heavy fault
-    // injection); report a zero-length run rather than throwing.
-    worn_out = true;
-  }
+  if (config_.precondition) worn_out = !establish_precondition(workload, policy);
 
   // Metric baselines: everything before this instant was preconditioning.
   base_programs_ = ssd_.ftl().nand().stats().page_programs;
@@ -460,11 +475,7 @@ SimReport Simulator::run(wl::WorkloadGenerator& workload, core::BgcPolicy& polic
     // A device that died during preconditioning takes the same exit path as
     // one dying mid-run: zero measured progress, structured end reason.
     if (worn_out) throw ftl::DeviceWornOut("worn out during preconditioning");
-    if (config_.engine == EngineKind::kEvent) {
-      run_event_loop(workload, policy, elapsed);
-    } else {
-      run_tick_loop(workload, policy, elapsed);
-    }
+    run_event_loop(workload, policy, elapsed);
   } catch (const ftl::DeviceWornOut&) {
     // End of device life: report what was achieved up to this point.
     worn_out = true;
@@ -530,6 +541,12 @@ SimReport Simulator::run(wl::WorkloadGenerator& workload, core::BgcPolicy& polic
   r.spares_promoted = fs.spares_promoted;
   if (worn_out && r.elapsed_s > 0.0) {
     r.iops = static_cast<double>(ops_completed_) / r.elapsed_s;  // over actual life
+  }
+  if (snapshot_cache_ != nullptr) {
+    // Only cache-attached runs report these (the wall-clock is host noise,
+    // so cache-less records stay byte-stable run to run).
+    r.snapshot_source = snapshot_source_name(snapshot_source_);
+    r.precondition_wall_s = precondition_wall_s_;
   }
   drain_fault_events(to_seconds(elapsed));
   if (metrics_sink_ != nullptr) metrics_sink_->on_run_end(r);

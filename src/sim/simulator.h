@@ -26,6 +26,7 @@
 #include "sim/engine.h"
 #include "sim/metrics.h"
 #include "sim/service_model.h"
+#include "sim/snapshot.h"
 #include "sim/ssd.h"
 #include "workload/workload.h"
 
@@ -60,11 +61,6 @@ struct SimConfig {
   /// Random overwrites during preconditioning, as a multiple of the WS size.
   double precondition_overwrite_factor = 1.0;
   std::uint64_t seed = 1;
-  /// Run-loop engine (sim/engine.h). kEvent (default) drives the run with an
-  /// explicit event calendar and enables the FTL fast-path bundle; kTick is
-  /// the pinned legacy merge loop, byte-identical output, kept for one
-  /// release as the bench baseline.
-  EngineKind engine = EngineKind::kEvent;
   /// Arrival model. false (default): closed loop — the next op issues at the
   /// previous op's completion plus its think time (one outstanding op, the
   /// paper's single-SSD model). true: open loop — think times are
@@ -87,17 +83,27 @@ class Simulator {
   /// SimReport through it. Set before run().
   void set_metrics_sink(MetricsSink* sink) { metrics_sink_ = sink; }
 
+  /// Attaches a warm-state snapshot cache (not owned; may be null). With a
+  /// cache attached, run() consults it before preconditioning: a hit
+  /// restores the post-precondition device state (byte-identical measured
+  /// output, a fraction of the wall-clock), a miss preconditions cold and
+  /// publishes the result for later runs. The run record then carries
+  /// `snapshot` and `precondition_wall_s`. Set before run().
+  void set_snapshot_cache(SnapshotCache* cache) { snapshot_cache_ = cache; }
+
   const Ssd& ssd() const { return ssd_; }
   const host::PageCache& page_cache() const { return cache_; }
 
  private:
   void precondition(wl::WorkloadGenerator& workload);
-  /// Measured-run loop, legacy tick engine: hand-rolled two-way merge of the
+  /// Establishes the post-precondition device state: restores it from the
+  /// snapshot cache when a matching snapshot exists, preconditions cold (and
+  /// publishes the snapshot) otherwise. Sets snapshot_source_ /
+  /// precondition_wall_s_; returns false when the device wore out first.
+  bool establish_precondition(wl::WorkloadGenerator& workload, core::BgcPolicy& policy);
+  /// Measured-run loop: an EventCalendar (sim/engine.h) merging the
   /// flusher-tick stream and the arrival stream. Updates `elapsed` as it
   /// goes (so a DeviceWornOut unwind reports the progress made).
-  void run_tick_loop(wl::WorkloadGenerator& workload, core::BgcPolicy& policy, TimeUs& elapsed);
-  /// Measured-run loop, event engine: the same semantics expressed as an
-  /// EventCalendar (sim/engine.h); byte-identical output by construction.
   void run_event_loop(wl::WorkloadGenerator& workload, core::BgcPolicy& policy, TimeUs& elapsed);
   /// Records one completed op's latency into the run- and interval-level
   /// trackers (shared by both engines).
@@ -114,6 +120,11 @@ class Simulator {
   SimConfig config_;
   Ssd ssd_;
   host::PageCache cache_;
+
+  // -- Warm-state snapshots (sim/snapshot.h) -----------------------------------
+  SnapshotCache* snapshot_cache_ = nullptr;
+  SnapshotSource snapshot_source_ = SnapshotSource::kCold;
+  double precondition_wall_s_ = 0.0;
 
   // -- Device queue state ------------------------------------------------------
   /// One or more service queues (see sim/service_model.h). Single-queue by

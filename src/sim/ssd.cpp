@@ -44,6 +44,22 @@ void Ssd::send_sip_update(const host::SipDelta& delta, std::uint64_t sip_size, T
   ftl_.apply_sip_delta(delta.added, delta.removed);
 }
 
+void Ssd::save_state(BinaryWriter& w) const {
+  ftl_.save_state(w);
+  w.f64(gc_bps_ewma_);
+  w.u64(cycle_time_ewma_);
+  w.u64(step_migrated_accum_);
+  w.u64(step_time_accum_);
+}
+
+void Ssd::restore_state(BinaryReader& r) {
+  ftl_.restore_state(r);
+  gc_bps_ewma_ = r.f64();
+  cycle_time_ewma_ = r.u64();
+  step_migrated_accum_ = r.u64();
+  step_time_accum_ = r.u64();
+}
+
 void Ssd::update_gc_estimates(std::uint64_t net_freed_pages, TimeUs scaled_time) {
   if (scaled_time <= 0) return;
   // In multi-queue mode, per-queue (raw) cycle time understates the

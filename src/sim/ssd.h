@@ -97,6 +97,16 @@ class Ssd {
   const SsdConfig& config() const { return config_; }
   std::uint32_t parallelism() const { return config_.ftl.geometry.parallelism(); }
 
+  // -- Warm-state snapshots (sim/snapshot.h) ----------------------------------
+  // The FTL/NAND state plus the GC bandwidth estimators. The service model
+  // and page cache live above the Ssd and are rebuilt by the simulator.
+
+  void save_state(BinaryWriter& w) const;
+
+  /// Restores a state saved by save_state() into an Ssd constructed with the
+  /// same config; throws BinaryFormatError on structural mismatch.
+  void restore_state(BinaryReader& r);
+
   /// Converts a raw NAND latency into per-queue service time: divided by
   /// parallelism in single-queue mode, unchanged when the simulator runs
   /// one queue per plane (parallelism then comes from queue overlap).

@@ -13,6 +13,7 @@
 #include "common/thread_pool.h"
 #include "sim/cli_options.h"
 #include "sim/metrics_sink.h"
+#include "sim/snapshot.h"
 #include "workload/specs.h"
 
 namespace jitgc::sim {
@@ -32,7 +33,8 @@ std::string cell_label(const SweepCell& cell) {
 }
 
 SweepRunResult execute_attempt(const SweepOptions& options, const SweepCell& cell,
-                               std::uint64_t run_index, std::size_t attempt) {
+                               std::uint64_t run_index, std::size_t attempt,
+                               SnapshotCache* snapshots) {
   SweepRunResult result;
   result.run_index = run_index;
   result.seed = sweep_attempt_seed(options.base_seed, run_index, attempt);
@@ -40,6 +42,7 @@ SweepRunResult execute_attempt(const SweepOptions& options, const SweepCell& cel
   SimConfig config = options.base;
   config.seed = result.seed;
   Simulator simulator(config);
+  if (snapshots != nullptr) simulator.set_snapshot_cache(snapshots);
   const Lba user_pages = simulator.ssd().ftl().user_pages();
   wl::SyntheticWorkload workload(cell.workload, user_pages, result.seed);
   const auto policy = make_policy(cell.policy, config, cell.fixed_multiple, cell.overrides);
@@ -77,10 +80,10 @@ SweepRunResult execute_attempt(const SweepOptions& options, const SweepCell& cel
 }
 
 SweepRunResult execute_run(const SweepOptions& options, const SweepCell& cell,
-                           std::uint64_t run_index) {
+                           std::uint64_t run_index, SnapshotCache* snapshots) {
   for (std::size_t attempt = 0;; ++attempt) {
     try {
-      return execute_attempt(options, cell, run_index, attempt);
+      return execute_attempt(options, cell, run_index, attempt, snapshots);
     } catch (const std::exception& e) {
       if (attempt < options.run_retries) continue;  // fresh derived seed next time
       // Surface the run's full identity: a sweep of hundreds of runs is
@@ -149,7 +152,10 @@ std::string sweep_fingerprint(const SweepOptions& options, const std::vector<Swe
   out << "jitgc sweep checkpoint v1\n"
       << "base_seed=" << options.base_seed << " seeds=" << options.seeds
       << " format=" << (options.format == SweepFormat::kJsonl ? "jsonl" : "csv")
-      << " intervals=" << (options.emit_intervals ? 1 : 0) << '\n'
+      << " intervals=" << (options.emit_intervals ? 1 : 0)
+      // Snapshot-cache presence adds the snapshot/precondition_wall_s run
+      // fields, so a resume must not splice cache-less and cache-full runs.
+      << " snapshots=" << (options.snapshot_cache_dir.empty() ? 0 : 1) << '\n'
       << "duration_us=" << options.base.duration
       << " precondition=" << (options.base.precondition ? 1 : 0)
       << " overwrite_factor=" << options.base.precondition_overwrite_factor
@@ -246,6 +252,12 @@ std::vector<SweepRunResult> run_sweep(const SweepOptions& options,
     }
   }
 
+  // One cache shared by every worker (SnapshotCache is thread-safe). Runs
+  // have distinct seeds, so hits come from the disk tier filled by an earlier
+  // invocation over the same matrix, never from a sibling run in this one.
+  SnapshotCache snapshots(options.snapshot_cache_dir);
+  SnapshotCache* snapshots_ptr = options.snapshot_cache_dir.empty() ? nullptr : &snapshots;
+
   ThreadPool pool(options.threads > 0 ? options.threads : ThreadPool::hardware_threads());
   pool.parallel_for(total, [&](std::size_t i) {
     // run_index = seed_idx * cells.size() + cell_idx: a run's identity (and
@@ -261,7 +273,7 @@ std::vector<SweepRunResult> run_sweep(const SweepOptions& options,
         return;
       }
     }
-    results[i] = execute_run(options, cells[i % cells.size()], i);
+    results[i] = execute_run(options, cells[i % cells.size()], i, snapshots_ptr);
     if (checkpointing) {
       write_file_atomic(run_checkpoint_path(options.checkpoint_dir, i),
                         results[i].serialized);

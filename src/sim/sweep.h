@@ -60,6 +60,15 @@ struct SweepOptions {
   /// cells — a mismatch aborts rather than silently mixing configurations.
   /// The concatenated output is byte-identical to an uninterrupted sweep.
   bool resume = false;
+  /// Directory for warm-state snapshots (sim/snapshot.h). Every run still
+  /// derives its own seed, so runs within one sweep never share a snapshot —
+  /// the payoff is across invocations: a second sweep over the same matrix
+  /// restores each run's post-precondition device state from disk instead of
+  /// replaying the aging workload, with byte-identical measured output. When
+  /// set, run records carry the `snapshot` / `precondition_wall_s` fields
+  /// (compare against cache-less output with those fields stripped).
+  /// Empty = no snapshotting.
+  std::string snapshot_cache_dir;
 };
 
 struct SweepRunResult {

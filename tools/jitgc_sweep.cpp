@@ -47,6 +47,9 @@ int usage(int code) {
                "  --retries=<n>      extra attempts per failed run    (default 2)\n"
                "  --checkpoint=<dir> write crash-safe per-run progress here\n"
                "  --resume           reuse completed runs from --checkpoint dir\n"
+               "  --snapshot-cache=<dir> reuse post-precondition device state across\n"
+               "                     invocations (byte-identical measured output;\n"
+               "                     a cold miss fills the cache)\n"
                "  --fault-program=<p> NAND program-failure probability  (default 0)\n"
                "  --fault-erase=<p>  NAND erase-failure probability    (default 0)\n"
                "  --fault-wear=<p>   extra failure probability at the endurance\n"
@@ -102,6 +105,8 @@ int main(int argc, char** argv) {
         options.checkpoint_dir = arg.substr(13);
       } else if (arg == "--resume") {
         options.resume = true;
+      } else if (arg.rfind("--snapshot-cache=", 0) == 0) {
+        options.snapshot_cache_dir = arg.substr(17);
       } else if (arg.rfind("--fault-program=", 0) == 0) {
         if (!parse_probability(arg, 16, "--fault-program", fault_program)) return usage(2);
       } else if (arg.rfind("--fault-erase=", 0) == 0) {

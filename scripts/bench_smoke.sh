@@ -472,6 +472,62 @@ EOF
   expect_rejection --engine=tick "retired"
   expect_rejection --engine=warp "unknown engine"
   echo "bench_smoke: malformed array flags rejected with enumerated messages"
+
+  # -- Sudden power-off: single-SSD recovery, deterministic across re-runs -----
+  # Two cuts land mid-run; every recovery must report zero lost mappings and
+  # the checkpoint must bound the scan (used_checkpoint on every record).
+  SPO_ARGS=(--workload=ycsb --seconds=30 --blocks-per-plane=64
+    --pages-per-block=64 --spo-at=8 --spo-every=10 --checkpoint-every-erases=16)
+  "$CLI_BIN" "${SPO_ARGS[@]}" --metrics="$WORKDIR/spo_a.jsonl" > /dev/null
+  "$CLI_BIN" "${SPO_ARGS[@]}" --metrics="$WORKDIR/spo_b.jsonl" > /dev/null
+  if ! cmp -s "$WORKDIR/spo_a.jsonl" "$WORKDIR/spo_b.jsonl"; then
+    echo "FAIL: SPO run with the same seed is not byte-identical across re-runs" >&2
+    diff "$WORKDIR/spo_a.jsonl" "$WORKDIR/spo_b.jsonl" >&2 || true
+    exit 1
+  fi
+  [ "$(grep -c '"type":"recovery"' "$WORKDIR/spo_a.jsonl")" -eq 3 ]
+  [ "$(grep -c '"used_checkpoint":true' "$WORKDIR/spo_a.jsonl")" -eq 3 ]
+  if grep '"type":"recovery"' "$WORKDIR/spo_a.jsonl" | grep -qv '"lost_mappings":0'; then
+    echo "FAIL: an SPO recovery lost acknowledged mappings" >&2
+    exit 1
+  fi
+  grep -q '"spo_events":3' "$WORKDIR/spo_a.jsonl"
+  grep -q '"integrity_stale_reads":0' "$WORKDIR/spo_a.jsonl"
+  echo "bench_smoke: single-SSD SPO recovery OK (3 cuts, checkpointed, no losses)"
+
+  # -- Sudden power-off against one mirror slot: suspend -> recover -> resume --
+  ARRAY_SPO_ARGS=(--workload=ycsb --seconds=30 --blocks-per-plane=64
+    --pages-per-block=64 --array-devices=4 --stripe-chunk=8
+    --array-redundancy=mirror --array-spo-device=1 --array-spo-at=10)
+  "$CLI_BIN" "${ARRAY_SPO_ARGS[@]}" --jobs=1 \
+    --metrics="$WORKDIR/aspo_j1.jsonl" > /dev/null
+  "$CLI_BIN" "${ARRAY_SPO_ARGS[@]}" --jobs=4 \
+    --metrics="$WORKDIR/aspo_j4.jsonl" > /dev/null
+  if ! cmp -s "$WORKDIR/aspo_j1.jsonl" "$WORKDIR/aspo_j4.jsonl"; then
+    echo "FAIL: array SPO run differs between --jobs=1 and --jobs=4" >&2
+    diff "$WORKDIR/aspo_j1.jsonl" "$WORKDIR/aspo_j4.jsonl" >&2 || true
+    exit 1
+  fi
+  grep -q '"state":"suspended"' "$WORKDIR/aspo_j1.jsonl"
+  grep -q '"reason":"injected_spo"' "$WORKDIR/aspo_j1.jsonl"
+  grep -q '"state":"resumed"' "$WORKDIR/aspo_j1.jsonl"
+  if ! grep '"type":"recovery"' "$WORKDIR/aspo_j1.jsonl" | grep -q '"device":1'; then
+    echo "FAIL: array SPO recovery record lacks the device tag" >&2
+    exit 1
+  fi
+  grep -q '"spo_events":1' "$WORKDIR/aspo_j1.jsonl"
+  echo "bench_smoke: array SPO slot lifecycle OK (suspended -> recovered -> resumed)"
+
+  # -- Malformed --spo-* flags are rejected, naming the offending flag ---------
+  expect_rejection --spo-at=nan "spo-at"
+  expect_rejection --spo-at=-3 "spo-at"
+  expect_rejection --spo-at=inf "spo-at"
+  expect_rejection --spo-every=0 "spo-every"
+  expect_rejection --spo-every=5 "spo-every requires --spo-at"
+  expect_rejection --spo-precondition-writes=0 "spo-precondition-writes"
+  expect_rejection --snapshot-cache-limit=4 "snapshot-cache-limit requires --snapshot-cache"
+  expect_rejection --array-spo-at=nan "array-spo-at"
+  echo "bench_smoke: malformed --spo-* flags rejected with enumerated messages"
 fi
 
 # -- End-to-end simulator throughput vs the recorded baseline ------------------

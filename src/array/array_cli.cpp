@@ -63,9 +63,13 @@ sim::SimReport run_array_from_cli(const sim::CliOptions& options) {
   config.outage_slot = options.array_outage_slot;
   config.outage_at = seconds(options.array_outage_at_s);
   config.outage_restore_at = seconds(options.array_outage_restore_at_s);
+  config.spo_slot = options.array_spo_slot;
+  config.spo_at = seconds(options.array_spo_at_s);
+  config.ssd.ftl.checkpoint_interval_erases = options.checkpoint_every_erases;
 
   ArraySimulator simulator(config);
   sim::SnapshotCache snapshot_cache(options.snapshot_cache_dir);
+  snapshot_cache.set_disk_limit(options.snapshot_cache_limit);
   if (!options.snapshot_cache_dir.empty()) simulator.set_snapshot_cache(&snapshot_cache);
   const Lba user_pages = simulator.ssd_array().user_pages();
   const std::unique_ptr<wl::WorkloadGenerator> gen =

@@ -65,6 +65,10 @@ ArraySimulator::ArraySimulator(const ArraySimConfig& config)
     JITGC_ENSURE_MSG(config_.outage_restore_at > config_.outage_at,
                      "outage restore must come after the outage");
   }
+  if (config_.spo_slot >= 0) {
+    JITGC_ENSURE_MSG(static_cast<std::uint32_t>(config_.spo_slot) < config_.array.devices,
+                     "SPO slot out of range");
+  }
 }
 
 void ArraySimulator::precondition(wl::WorkloadGenerator& workload) {
@@ -479,6 +483,68 @@ void ArraySimulator::apply_scripted_outage(TimeUs now) {
   }
 }
 
+void ArraySimulator::apply_scripted_spo(TimeUs now) {
+  if (config_.spo_slot < 0) return;
+  const auto slot = static_cast<std::uint32_t>(config_.spo_slot);
+  if (!spo_done_ && now >= config_.spo_at) {
+    spo_done_ = true;
+    const auto wall_start = std::chrono::steady_clock::now();
+    if (redundant_) {
+      // A degraded or already-suspended slot has no powered device to lose
+      // power — the script is a no-op then (never a crash).
+      const SlotState state = rebuild_mgr_->slot_state(slot);
+      if (state != SlotState::kHealthy && state != SlotState::kRebuilding) return;
+      rebuild_mgr_->suspend_slot(slot);
+      emit_state_record(now, "suspended", slot, array_.slot_device(slot), "injected_spo");
+    }
+    // The device itself power-cycles: volatile FTL state is discarded and
+    // the map rebuilt from the OOB scan (its internal oracle enforces zero
+    // lost acknowledged mappings). The scan occupies the device's queue; a
+    // suspended slot scans while offline and rejoins at the next tick.
+    const std::uint32_t dev = array_.slot_device(slot);
+    const ftl::RecoveryReport rep = array_.device(dev).sudden_power_off();
+    DeviceState& st = states_[dev];
+    st.busy_until = std::max(st.busy_until, now) + rep.media_scan_us;
+    st.interval_busy_us += rep.media_scan_us;
+    ++spo_events_;
+    spo_scanned_pages_ += rep.scanned_pages;
+    spo_recovery_time_us_ += rep.media_scan_us;
+    spo_lost_mappings_ += rep.lost_mappings;
+    spo_resurrected_mappings_ += rep.resurrected_mappings;
+    if (metrics_sink_ != nullptr) {
+      sim::RecoveryRecord rec;
+      rec.index = spo_events_;
+      rec.time_s = to_seconds(now);
+      rec.device = static_cast<std::int32_t>(dev);
+      rec.used_checkpoint = rep.used_checkpoint;
+      rec.checkpoint_fallback = rep.checkpoint_fallback;
+      rec.scanned_pages = rep.scanned_pages;
+      rec.scanned_blocks = rep.scanned_blocks;
+      rec.total_blocks = rep.total_blocks;
+      rec.torn_pages = rep.torn_pages;
+      rec.sealed_blocks = rep.sealed_blocks;
+      rec.recovered_mappings = rep.recovered_mappings;
+      rec.stale_pages_dropped = rep.stale_pages_dropped;
+      rec.verified_mappings = rep.verified_mappings;
+      rec.lost_mappings = rep.lost_mappings;
+      rec.resurrected_mappings = rep.resurrected_mappings;
+      rec.recovery_time_s = to_seconds(rep.media_scan_us);
+      rec.recovery_wall_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+      metrics_sink_->on_recovery(rec);
+    }
+  } else if (spo_done_ && !spo_resumed_) {
+    spo_resumed_ = true;
+    if (redundant_ && rebuild_mgr_->slot_state(slot) == SlotState::kSuspended) {
+      const RebuildManager::ResumeOutcome out = rebuild_mgr_->resume_slot(slot);
+      const char* reason = out.rebuild_resumed    ? "rebuild_resumed"
+                           : out.resync_started   ? "resync_started"
+                                                  : "no_resync_needed";
+      emit_state_record(now, "resumed", slot, array_.slot_device(slot), reason);
+    }
+  }
+}
+
 void ArraySimulator::process_tick(TimeUs now) {
   const std::uint64_t tick = interval_index_++;  // 0-based for the rotation
   current_interval_ = tick + 1;
@@ -492,6 +558,7 @@ void ArraySimulator::process_tick(TimeUs now) {
     handle_slot_failure(static_cast<std::uint32_t>(config_.kill_slot), now, "injected_kill");
   }
   apply_scripted_outage(now);
+  apply_scripted_spo(now);
 
   // 1. Poll every slot device through the extended interface. The poll is a
   // real host command: its overhead occupies the device's queue, exactly as
@@ -863,6 +930,14 @@ sim::SimReport ArraySimulator::assemble_report(wl::WorkloadGenerator& workload,
                                           ? degraded_write_latencies_.percentile(99.0)
                                           : 0.0;
   }
+
+  // SPO / recovery counters (the run record emits them only when an SPO
+  // actually fired, so legacy records stay byte-identical).
+  r.spo_events = spo_events_;
+  r.recovery_scanned_pages = spo_scanned_pages_;
+  r.recovery_time_s = to_seconds(spo_recovery_time_us_);
+  r.recovery_lost_mappings = spo_lost_mappings_;
+  r.recovery_resurrected_mappings = spo_resurrected_mappings_;
 
   if (snapshot_cache_ != nullptr) {
     // Only cache-attached runs report these (the wall-clock is host noise,

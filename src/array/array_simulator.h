@@ -100,6 +100,15 @@ struct ArraySimConfig {
   std::int32_t outage_slot = -1;
   TimeUs outage_at = 0;
   TimeUs outage_restore_at = 0;
+  /// Scripted sudden power-off: the device in this slot loses all volatile
+  /// state at the first tick at or after `spo_at` (-1: disabled) and
+  /// recovers its map by OOB scan (ftl/recovery.h). Redundant layouts take
+  /// the slot through the suspend -> resume lifecycle — the scan happens
+  /// offline and writes the slot missed resync as rebuild stains at the
+  /// next tick; RAID-0 recovers in place with the scan occupying the
+  /// device's queue.
+  std::int32_t spo_slot = -1;
+  TimeUs spo_at = 0;
 };
 
 class ArraySimulator {
@@ -169,6 +178,10 @@ class ArraySimulator {
   /// Scripted transient-outage script: suspend / restore transitions due at
   /// `now` (phase 0 of process_tick, next to the scripted kill).
   void apply_scripted_outage(TimeUs now);
+  /// Scripted sudden power-off: device-level OOB-scan recovery at the SPO
+  /// tick (suspending the slot when the layout is redundant), resume with
+  /// stain resync at the following tick.
+  void apply_scripted_spo(TimeUs now);
   /// Serves `cost` on physical device `dev` no earlier than `earliest`,
   /// waiting out any GC window the start falls into; returns the completion
   /// time and sets `stalled` if a window delayed the op.
@@ -201,6 +214,16 @@ class ArraySimulator {
   bool kill_done_ = false;
   bool outage_done_ = false;
   bool outage_restored_ = false;
+  bool spo_done_ = false;
+  bool spo_resumed_ = false;
+
+  // -- SPO / recovery accounting (report fields; emitted only when an SPO
+  //    actually fired, keeping legacy run records byte-identical) -------------
+  std::uint64_t spo_events_ = 0;
+  std::uint64_t spo_scanned_pages_ = 0;
+  TimeUs spo_recovery_time_us_ = 0;
+  std::uint64_t spo_lost_mappings_ = 0;
+  std::uint64_t spo_resurrected_mappings_ = 0;
 
   // -- Run-level metrics -------------------------------------------------------
   /// Run-level tails are bounded-memory TailTrackers (stats.h): bit-identical

@@ -211,7 +211,15 @@ bool Ftl::finish_erase(std::uint32_t block_id) {
     }
   }
   refresh_block_index(block_id);
+  note_erase_for_checkpoint();
   return usable;
+}
+
+void Ftl::note_erase_for_checkpoint() {
+  if (config_.checkpoint_interval_erases == 0) return;
+  if (++erases_since_checkpoint_ < config_.checkpoint_interval_erases) return;
+  erases_since_checkpoint_ = 0;
+  RecoveryEngine::write_checkpoint(*this);
 }
 
 void Ftl::enter_read_only() {
@@ -262,9 +270,9 @@ void Ftl::retire_block(std::uint32_t block) {
 }
 
 nand::Ppa Ftl::program_with_retry(std::uint32_t& active, Lba lba, bool is_migration,
-                                  TimeUs& cost) {
+                                  TimeUs& cost, std::uint64_t stamp) {
   for (std::uint32_t attempt = 0;; ++attempt) {
-    const nand::ProgramResult r = nand_.program_page(active, lba, is_migration);
+    const nand::ProgramResult r = nand_.program_page(active, lba, is_migration, write_seq_, stamp);
     if (r.ok()) return r.ppa;
     // The failed pulse burned a page and condemned the block: a program
     // failure is how grown-bad blocks announce themselves. Charge the
@@ -295,7 +303,8 @@ TimeUs Ftl::retire_grown_bad(std::uint32_t block) {
     ensure_gc_active_block();
     ++write_seq_;
     cost += map_access_cost(lba, /*dirty=*/true);
-    const nand::Ppa dst = program_with_retry(gc_active_, lba, /*is_migration=*/true, cost);
+    const nand::Ppa dst = program_with_retry(gc_active_, lba, /*is_migration=*/true, cost,
+                                             blk.page_stamp(p));
     note_program(dst.block);
     invalidate_page_at(nand::Ppa{block, p});
     map_[lba] = dst;
@@ -385,7 +394,10 @@ TimeUs Ftl::write(Lba lba) {
   // Out-place update, new copy first: until the program sticks, the old
   // mapping stays valid, so an injected program failure cannot lose the LBA.
   // (With faults off this is state-equivalent to invalidate-first.)
-  const nand::Ppa new_ppa = program_with_retry(active, lba, /*is_migration=*/false, cost);
+  // A host write's content stamp is its write sequence number — the
+  // host-write identity migrations will carry along unchanged.
+  const nand::Ppa new_ppa =
+      program_with_retry(active, lba, /*is_migration=*/false, cost, write_seq_);
   note_program(active);
   JITGC_ENSURE(free_pages_ > 0);
   --free_pages_;
@@ -620,8 +632,8 @@ GcResult Ftl::collect_block(std::uint32_t victim, bool foreground) {
     ++write_seq_;
     result.time_us += map_access_cost(lba, /*dirty=*/true);
     // Program-first so a failed copy cannot lose the page (see write()).
-    const nand::Ppa dst =
-        program_with_retry(gc_active_, lba, /*is_migration=*/true, result.time_us);
+    const nand::Ppa dst = program_with_retry(gc_active_, lba, /*is_migration=*/true,
+                                             result.time_us, blk.page_stamp(p));
     note_program(dst.block);
     invalidate_page_at(nand::Ppa{victim, p});
     map_[lba] = dst;
@@ -726,7 +738,8 @@ Ftl::GcStep Ftl::background_collect_step(std::uint32_t max_pages) {
     ++write_seq_;
     step.time_us += map_access_cost(lba, /*dirty=*/true);
     // Program-first so a failed copy cannot lose the page (see write()).
-    const nand::Ppa dst = program_with_retry(gc_active_, lba, /*is_migration=*/true, step.time_us);
+    const nand::Ppa dst = program_with_retry(gc_active_, lba, /*is_migration=*/true, step.time_us,
+                                             blk.page_stamp(p));
     note_program(dst.block);
     invalidate_page_at(nand::Ppa{bgc_victim_, p});
     map_[lba] = dst;
@@ -821,7 +834,8 @@ TimeUs Ftl::maybe_static_wear_level() {
     const Lba lba = src.page_lba(p);
     ++write_seq_;
     // Program-first (see write()); a retry may swap `dest` for a fresh block.
-    const nand::Ppa dst = program_with_retry(dest, lba, /*is_migration=*/true, cost);
+    const nand::Ppa dst =
+        program_with_retry(dest, lba, /*is_migration=*/true, cost, src.page_stamp(p));
     invalidate_page_at(nand::Ppa{coldest, p});
     map_[lba] = dst;
     JITGC_ENSURE(free_pages_ > 0);
@@ -927,6 +941,9 @@ void Ftl::save_state(BinaryWriter& w) const {
   save_u64_vec(w, sip_lbas);
 
   map_cache_.save_state(w);
+
+  checkpoint_.save_state(w);
+  w.u64(erases_since_checkpoint_);
 
   w.u64(stats_.host_pages_written);
   w.u64(stats_.host_pages_read);
@@ -1036,6 +1053,13 @@ void Ftl::restore_state(BinaryReader& r) {
   for (std::uint64_t i = 0; i < sip_size; ++i) sip_.insert(r.u64());
 
   map_cache_.restore_state(r);
+
+  checkpoint_.restore_state(r);
+  if (checkpoint_.present &&
+      (checkpoint_.map.size() != map_.size() || checkpoint_.write_ptrs.size() != nblocks)) {
+    throw BinaryFormatError("snapshot checkpoint shape does not match the device");
+  }
+  erases_since_checkpoint_ = r.u64();
 
   stats_.host_pages_written = r.u64();
   stats_.host_pages_read = r.u64();

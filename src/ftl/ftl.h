@@ -17,6 +17,7 @@
 #include "common/ensure.h"
 #include "common/types.h"
 #include "ftl/mapping_cache.h"
+#include "ftl/recovery.h"
 #include "ftl/sip_index.h"
 #include "ftl/victim_index.h"
 #include "ftl/victim_policy.h"
@@ -109,6 +110,10 @@ struct FtlConfig {
   /// (0 = whole map in DRAM, the SM843T configuration). When enabled, map
   /// misses cost a flash read and dirty evictions a program.
   std::uint32_t mapping_cache_pages = 0;
+  /// Durable mapping checkpoint every this many block erases (0 = never).
+  /// Bounds SPO recovery to scanning only blocks written or erased since
+  /// the last checkpoint instead of the whole device (see ftl/recovery.h).
+  std::uint64_t checkpoint_interval_erases = 0;
   /// Defer victim-index maintenance to the next selection query. The eager
   /// default re-declares a block to the O(log N) index on *every* mutation
   /// (two ordered-set erase/insert pairs per host overwrite) even though
@@ -291,6 +296,36 @@ class Ftl {
     return map_[lba];
   }
 
+  // -- Crash consistency (ftl/recovery.h) -------------------------------------
+
+  /// Sudden power-off: tears the open write frontiers, discards every piece
+  /// of volatile state (L2P map, free pool, active streams, GC cursor, SIP
+  /// shadows, recency, mapping cache) and rebuilds the FTL from the OOB
+  /// stamps on media — checkpoint-bounded when a valid mapping checkpoint
+  /// exists. Cumulative stats and the durable bad-block/spare tables
+  /// survive, as they would in a real device's flash-resident system area.
+  RecoveryReport sudden_power_off() { return RecoveryEngine::sudden_power_off(*this); }
+
+  /// Content stamp of the page `lba` currently maps to — the host-write
+  /// identity the data carries (integrity oracles compare this against the
+  /// stamp recorded when the write was acknowledged). `lba` must be mapped.
+  std::uint64_t content_stamp_of(Lba lba) const {
+    JITGC_ENSURE_MSG(lba < user_pages_, "LBA beyond user capacity");
+    const nand::Ppa entry = map_[lba];
+    JITGC_ENSURE_MSG(entry.block != kNoBlock, "content stamp of an unmapped LBA");
+    return nand_.block(entry.block).page_stamp(entry.page);
+  }
+
+  /// Write-sequence logical clock (monotone across programs and trims;
+  /// recovery restarts it past the highest surviving OOB stamp).
+  std::uint64_t write_seq() const { return write_seq_; }
+
+  const MappingCheckpoint& mapping_checkpoint() const { return checkpoint_; }
+
+  /// Flips one bit of the checkpoint checksum — the doctored-media test
+  /// hook proving a corrupt checkpoint falls back to the full scan.
+  void corrupt_checkpoint_for_test() { checkpoint_.checksum ^= 1; }
+
   // -- Degradation state ------------------------------------------------------
 
   /// True once the device can no longer serve writes (spares exhausted and
@@ -380,9 +415,16 @@ class Ftl {
   /// the stream pointers), retrying on a fresh block when the fault model
   /// fails the program. A failing block is marked grown-bad and queued for
   /// retirement; burned pages and retry latencies are accounted into `cost`.
+  /// `stamp` is the content stamp written to the page's OOB (the current
+  /// write_seq_ for host writes; the source page's stamp for migrations).
   /// Throws DeviceWornOut when retries are exhausted or no fresh block
   /// exists. Returns the PPA that finally stuck.
-  nand::Ppa program_with_retry(std::uint32_t& active, Lba lba, bool is_migration, TimeUs& cost);
+  nand::Ppa program_with_retry(std::uint32_t& active, Lba lba, bool is_migration, TimeUs& cost,
+                               std::uint64_t stamp);
+
+  /// Counts an erase toward the checkpoint cadence and takes a mapping
+  /// checkpoint when the interval elapses (no-op with checkpointing off).
+  void note_erase_for_checkpoint();
 
   /// Invalidates a page; pages on non-good blocks fall out of the
   /// reclaimable economy (they will never be erased back to free).
@@ -529,7 +571,13 @@ class Ftl {
   mutable std::vector<std::uint32_t> index_dirty_list_;
   mutable std::vector<std::uint8_t> wl_dirty_;
   mutable std::vector<std::uint32_t> wl_dirty_list_;
+  /// Durable mapping checkpoint (notionally the flash journal region) and
+  /// the erase cadence counter driving it.
+  MappingCheckpoint checkpoint_;
+  std::uint64_t erases_since_checkpoint_ = 0;
   FtlStats stats_;
+
+  friend class RecoveryEngine;
 };
 
 }  // namespace jitgc::ftl

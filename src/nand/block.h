@@ -10,33 +10,54 @@
 
 namespace jitgc::nand {
 
-enum class PageState : std::uint8_t { kFree, kValid, kInvalid };
+enum class PageState : std::uint8_t {
+  kFree,
+  kValid,
+  kInvalid,
+  /// A program pulse interrupted by sudden power-off: the page is consumed
+  /// (cells half-written, ECC fails) but holds no readable data or OOB.
+  kTorn,
+};
 
 /// One erase block. Enforces NAND constraints: pages program strictly
 /// in order within a block; only erase returns pages to free.
 ///
+/// Each page carries an out-of-band (OOB) area modeled as three words: the
+/// LBA the data belongs to, a monotone program-sequence stamp (fresh on
+/// every program, including GC copies — crash recovery arbitrates duplicate
+/// LBAs by recency with it), and a content stamp (the host-write identity,
+/// copied unchanged by migrations — what an integrity oracle compares).
+/// Invalidation is FTL metadata, not a media operation, so the OOB of an
+/// invalid page stays readable until the erase; only burned and torn pages
+/// have unreadable OOB (lba == kInvalidLba).
+///
 /// Storage comes in two layouts with identical semantics:
 ///  * self-owned (legacy): each block heap-allocates its own page-state and
-///    OOB-LBA vectors;
-///  * arena-backed: the state/LBA arrays live inside flat device-owned
+///    OOB vectors;
+///  * arena-backed: the state/OOB arrays live inside flat device-owned
 ///    arenas (NandDevice's flat layout) and the block only holds pointers,
-///    so a device-wide scan walks two contiguous allocations instead of
-///    2 * num_blocks scattered ones.
+///    so a device-wide scan walks contiguous allocations instead of
+///    per-block scattered ones.
 class Block {
  public:
   /// Self-owned storage.
   explicit Block(std::uint32_t pages_per_block)
       : own_states_(pages_per_block, PageState::kFree),
         own_lbas_(pages_per_block, kInvalidLba),
+        own_seqs_(pages_per_block, 0),
+        own_stamps_(pages_per_block, 0),
         states_(own_states_.data()),
         lbas_(own_lbas_.data()),
+        seqs_(own_seqs_.data()),
+        stamps_(own_stamps_.data()),
         pages_(pages_per_block) {}
 
-  /// Arena-backed storage: `states` / `lbas` point at `pages_per_block`
-  /// entries owned by the caller, already initialized to kFree /
-  /// kInvalidLba, and outliving the block.
-  Block(std::uint32_t pages_per_block, PageState* states, Lba* lbas)
-      : states_(states), lbas_(lbas), pages_(pages_per_block) {}
+  /// Arena-backed storage: the pointers reference `pages_per_block` entries
+  /// owned by the caller, already initialized to kFree / kInvalidLba / 0,
+  /// and outliving the block.
+  Block(std::uint32_t pages_per_block, PageState* states, Lba* lbas, std::uint64_t* seqs,
+        std::uint64_t* stamps)
+      : states_(states), lbas_(lbas), seqs_(seqs), stamps_(stamps), pages_(pages_per_block) {}
 
   // Blocks live in containers and may move (the self-owned vectors carry
   // their buffers along, keeping the raw pointers valid); copying would
@@ -63,20 +84,38 @@ class Block {
     return states_[page];
   }
 
-  /// LBA stored in a page's out-of-band area (valid pages only).
+  /// LBA stored in a page's OOB area. Retained after invalidation (the OOB
+  /// persists on media until the erase); kInvalidLba means unreadable —
+  /// the page is free, burned, or torn.
   Lba page_lba(std::uint32_t page) const {
     JITGC_ENSURE(page < pages_);
     return lbas_[page];
   }
 
-  /// Programs the next page in sequence with user data for `lba`.
-  /// Returns the programmed page index.
-  std::uint32_t program(Lba lba) {
+  /// Program-sequence OOB stamp (0 on pages with unreadable OOB).
+  std::uint64_t page_seq(std::uint32_t page) const {
+    JITGC_ENSURE(page < pages_);
+    return seqs_[page];
+  }
+
+  /// Content OOB stamp: the host-write identity the page's data carries
+  /// (0 on pages with unreadable OOB).
+  std::uint64_t page_stamp(std::uint32_t page) const {
+    JITGC_ENSURE(page < pages_);
+    return stamps_[page];
+  }
+
+  /// Programs the next page in sequence with user data for `lba`, stamping
+  /// its OOB with the program sequence and content stamp. Returns the
+  /// programmed page index.
+  std::uint32_t program(Lba lba, std::uint64_t seq = 0, std::uint64_t stamp = 0) {
     JITGC_ENSURE_MSG(!is_full(), "programming a full block");
     const std::uint32_t page = write_ptr_++;
     JITGC_ENSURE(states_[page] == PageState::kFree);
     states_[page] = PageState::kValid;
     lbas_[page] = lba;
+    seqs_[page] = seq;
+    stamps_[page] = stamp;
     ++valid_count_;
     return page;
   }
@@ -92,14 +131,39 @@ class Block {
     return page;
   }
 
+  /// Records a program pulse torn by sudden power-off at the block's open
+  /// write frontier: the page is consumed but unreadable (failed ECC), like
+  /// a burned page but distinguishable for recovery accounting. Returns the
+  /// torn page index.
+  std::uint32_t mark_torn() {
+    JITGC_ENSURE_MSG(!is_full(), "tearing a page on a full block");
+    const std::uint32_t page = write_ptr_++;
+    JITGC_ENSURE(states_[page] == PageState::kFree);
+    states_[page] = PageState::kTorn;
+    return page;
+  }
+
   /// Marks a previously-valid page invalid (its LBA was overwritten/trimmed).
+  /// The OOB (LBA + stamps) is deliberately retained: invalidation is an FTL
+  /// metadata update, and the stale OOB persists on media until the erase —
+  /// crash recovery depends on it for duplicate-LPN arbitration.
   void invalidate(std::uint32_t page) {
     JITGC_ENSURE(page < pages_);
     JITGC_ENSURE_MSG(states_[page] == PageState::kValid, "invalidating a non-valid page");
     states_[page] = PageState::kInvalid;
-    lbas_[page] = kInvalidLba;
     JITGC_ENSURE(valid_count_ > 0);
     --valid_count_;
+  }
+
+  /// Flips an invalid page back to valid: crash recovery resurrecting a
+  /// trimmed LBA whose OOB won arbitration. The page data was never touched
+  /// (invalidation is metadata), so no media operation is modeled.
+  void revalidate(std::uint32_t page) {
+    JITGC_ENSURE(page < pages_);
+    JITGC_ENSURE_MSG(states_[page] == PageState::kInvalid, "revalidating a non-invalid page");
+    JITGC_ENSURE_MSG(lbas_[page] != kInvalidLba, "revalidating a page with unreadable OOB");
+    states_[page] = PageState::kValid;
+    ++valid_count_;
   }
 
   /// Records a failed erase: wear still accrues (the erase pulse ran) but the
@@ -115,17 +179,19 @@ class Block {
   /// aggregate invariants instead: write_ptr within the block, valid pages
   /// only below the write pointer, valid_count consistent with the states.
   void restore(std::uint32_t write_ptr, std::uint64_t erase_count, const PageState* states,
-               const Lba* lbas) {
+               const Lba* lbas, const std::uint64_t* seqs, const std::uint64_t* stamps) {
     JITGC_ENSURE_MSG(write_ptr <= pages_, "restored write pointer beyond block");
     std::uint32_t valid = 0;
     for (std::uint32_t p = 0; p < pages_; ++p) {
-      if (states[p] == PageState::kValid) {
-        JITGC_ENSURE_MSG(p < write_ptr, "restored valid page beyond write pointer");
-        ++valid;
+      if (states[p] == PageState::kValid || states[p] == PageState::kTorn) {
+        JITGC_ENSURE_MSG(p < write_ptr, "restored programmed page beyond write pointer");
       }
+      if (states[p] == PageState::kValid) ++valid;
     }
     std::copy(states, states + pages_, states_);
     std::copy(lbas, lbas + pages_, lbas_);
+    std::copy(seqs, seqs + pages_, seqs_);
+    std::copy(stamps, stamps + pages_, stamps_);
     write_ptr_ = write_ptr;
     valid_count_ = valid;
     erase_count_ = erase_count;
@@ -137,6 +203,8 @@ class Block {
     JITGC_ENSURE_MSG(valid_count_ == 0, "erasing a block that still holds valid data");
     std::fill(states_, states_ + pages_, PageState::kFree);
     std::fill(lbas_, lbas_ + pages_, kInvalidLba);
+    std::fill(seqs_, seqs_ + pages_, std::uint64_t{0});
+    std::fill(stamps_, stamps_ + pages_, std::uint64_t{0});
     write_ptr_ = 0;
     ++erase_count_;
   }
@@ -145,8 +213,12 @@ class Block {
   // Engaged only in the self-owned layout; empty when arena-backed.
   std::vector<PageState> own_states_;
   std::vector<Lba> own_lbas_;
+  std::vector<std::uint64_t> own_seqs_;
+  std::vector<std::uint64_t> own_stamps_;
   PageState* states_ = nullptr;
   Lba* lbas_ = nullptr;
+  std::uint64_t* seqs_ = nullptr;
+  std::uint64_t* stamps_ = nullptr;
   std::uint32_t pages_ = 0;
   std::uint32_t write_ptr_ = 0;
   std::uint32_t valid_count_ = 0;

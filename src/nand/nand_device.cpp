@@ -16,9 +16,12 @@ NandDevice::NandDevice(const Geometry& geometry, const TimingParams& timing,
     const std::size_t total_pages = static_cast<std::size_t>(nblocks) * ppb;
     state_arena_.assign(total_pages, PageState::kFree);
     lba_arena_.assign(total_pages, kInvalidLba);
+    seq_arena_.assign(total_pages, 0);
+    stamp_arena_.assign(total_pages, 0);
     for (std::uint32_t i = 0; i < nblocks; ++i) {
       const std::size_t off = static_cast<std::size_t>(i) * ppb;
-      blocks_.emplace_back(ppb, state_arena_.data() + off, lba_arena_.data() + off);
+      blocks_.emplace_back(ppb, state_arena_.data() + off, lba_arena_.data() + off,
+                           seq_arena_.data() + off, stamp_arena_.data() + off);
     }
   } else {
     for (std::uint32_t i = 0; i < nblocks; ++i) {
@@ -36,7 +39,8 @@ Lba NandDevice::read_page(const Ppa& ppa) {
   return blk.page_lba(ppa.page);
 }
 
-ProgramResult NandDevice::program_page(std::uint32_t block_id, Lba lba, bool is_migration) {
+ProgramResult NandDevice::program_page(std::uint32_t block_id, Lba lba, bool is_migration,
+                                       std::uint64_t seq, std::uint64_t stamp) {
   Block& blk = blocks_.at(block_id);
   // The pulse runs and charges latency/wear whether or not it sticks.
   ++stats_.page_programs;
@@ -51,11 +55,24 @@ ProgramResult NandDevice::program_page(std::uint32_t block_id, Lba lba, bool is_
     ++stats_.program_failures;
     return ProgramResult{NandStatus::kProgramFail, Ppa{block_id, page}};
   }
-  const std::uint32_t page = blk.program(lba);
+  const std::uint32_t page = blk.program(lba, seq, stamp);
   return ProgramResult{NandStatus::kOk, Ppa{block_id, page}};
 }
 
+Ppa NandDevice::mark_torn(std::uint32_t block_id) {
+  return Ppa{block_id, blocks_.at(block_id).mark_torn()};
+}
+
 void NandDevice::invalidate_page(const Ppa& ppa) { blocks_.at(ppa.block).invalidate(ppa.page); }
+
+void NandDevice::recover_block(std::uint32_t block_id, std::uint32_t write_ptr,
+                               const PageState* states, const Lba* lbas,
+                               const std::uint64_t* seqs, const std::uint64_t* stamps) {
+  Block& blk = blocks_.at(block_id);
+  blk.restore(write_ptr, blk.erase_count(), states, lbas, seqs, stamps);
+}
+
+void NandDevice::revalidate_page(const Ppa& ppa) { blocks_.at(ppa.block).revalidate(ppa.page); }
 
 NandStatus NandDevice::erase_block(std::uint32_t block_id) {
   Block& blk = blocks_.at(block_id);
@@ -79,6 +96,8 @@ void NandDevice::save_state(BinaryWriter& w) const {
     for (std::uint32_t p = 0; p < b.pages_per_block(); ++p) {
       w.u8(static_cast<std::uint8_t>(b.page_state(p)));
       w.u64(b.page_lba(p));
+      w.u64(b.page_seq(p));
+      w.u64(b.page_stamp(p));
     }
   }
   w.u64(stats_.page_reads);
@@ -104,19 +123,23 @@ void NandDevice::restore_state(BinaryReader& r) {
   }
   std::vector<PageState> states(ppb);
   std::vector<Lba> lbas(ppb);
+  std::vector<std::uint64_t> seqs(ppb);
+  std::vector<std::uint64_t> stamps(ppb);
   for (Block& b : blocks_) {
     const std::uint32_t write_ptr = r.u32();
     const std::uint64_t erase_count = r.u64();
     if (write_ptr > ppb) throw BinaryFormatError("snapshot write pointer beyond block");
     for (std::uint32_t p = 0; p < ppb; ++p) {
       const std::uint8_t s = r.u8();
-      if (s > static_cast<std::uint8_t>(PageState::kInvalid)) {
+      if (s > static_cast<std::uint8_t>(PageState::kTorn)) {
         throw BinaryFormatError("snapshot page state out of range");
       }
       states[p] = static_cast<PageState>(s);
       lbas[p] = r.u64();
+      seqs[p] = r.u64();
+      stamps[p] = r.u64();
     }
-    b.restore(write_ptr, erase_count, states.data(), lbas.data());
+    b.restore(write_ptr, erase_count, states.data(), lbas.data(), seqs.data(), stamps.data());
   }
   stats_.page_reads = r.u64();
   stats_.page_programs = r.u64();

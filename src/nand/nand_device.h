@@ -66,13 +66,22 @@ class NandDevice {
   Lba read_page(const Ppa& ppa);
 
   /// Programs the next free page of `block_id` with `lba` and charges program
-  /// latency. `is_migration` tags GC copyback traffic. The fault model may
-  /// fail the operation: the page is then burned (invalid, no data) and the
-  /// result carries kProgramFail — callers must check.
+  /// latency. `is_migration` tags GC copyback traffic. `seq` and `stamp` are
+  /// written into the page's OOB (program-sequence and content stamps — see
+  /// Block). The fault model may fail the operation: the page is then burned
+  /// (invalid, no data) and the result carries kProgramFail — callers must
+  /// check.
   [[nodiscard]] ProgramResult program_page(std::uint32_t block_id, Lba lba,
-                                           bool is_migration = false);
+                                           bool is_migration = false, std::uint64_t seq = 0,
+                                           std::uint64_t stamp = 0);
 
-  /// Invalidates a valid page (no latency: it is a metadata update).
+  /// Records a program pulse torn by sudden power-off at `block_id`'s open
+  /// write frontier (the block must not be full). No latency: power is
+  /// already gone. Returns the torn page.
+  Ppa mark_torn(std::uint32_t block_id);
+
+  /// Invalidates a valid page (no latency: it is a metadata update). The
+  /// page's OOB stays readable until the erase.
   void invalidate_page(const Ppa& ppa);
 
   /// Erases a block (all pages must be invalid) and charges erase latency.
@@ -83,6 +92,21 @@ class NandDevice {
   /// Max and mean erase counts across blocks (wear-leveling quality).
   std::uint64_t max_erase_count() const;
   double mean_erase_count() const;
+
+  // -- Crash recovery (ftl/recovery.h) ----------------------------------------
+  // Validity flags are FTL metadata the recovery path rebuilds from OOB
+  // arbitration; these mutators install the rebuilt classification without
+  // charging latency (they model metadata decisions, not media operations).
+
+  /// Installs a recovered page classification wholesale: new states and
+  /// write pointer (e.g. a sealed frontier), OOB words unchanged from what
+  /// the arrays carry. Wear is untouched.
+  void recover_block(std::uint32_t block_id, std::uint32_t write_ptr, const PageState* states,
+                     const Lba* lbas, const std::uint64_t* seqs, const std::uint64_t* stamps);
+
+  /// Flips one invalid page back to valid (a trimmed LBA resurrected by
+  /// recovery arbitration: its OOB is intact and it won).
+  void revalidate_page(const Ppa& ppa);
 
   // -- Warm-state snapshots (sim/snapshot.h) ----------------------------------
   // Per-block page states/OOB LBAs/write pointers/erase counts, the stats
@@ -105,6 +129,8 @@ class NandDevice {
   // before blocks_ so the arenas outlive the Blocks pointing into them.
   std::vector<PageState> state_arena_;
   std::vector<Lba> lba_arena_;
+  std::vector<std::uint64_t> seq_arena_;
+  std::vector<std::uint64_t> stamp_arena_;
   std::vector<Block> blocks_;
   NandStats stats_;
   // Engaged only when fault injection is configured; absent = the historical

@@ -1,6 +1,7 @@
 #include "sim/cli_options.h"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -138,6 +139,37 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::s
     } else if (key == "--snapshot-cache") {
       if (!need_value()) return std::nullopt;
       opt.snapshot_cache_dir = value;
+    } else if (key == "--snapshot-cache-limit") {
+      if (!need_value() || !parse_u64(value, opt.snapshot_cache_limit) ||
+          opt.snapshot_cache_limit == 0) {
+        error = "--snapshot-cache-limit needs a positive snapshot-file count";
+        return std::nullopt;
+      }
+    } else if (key == "--spo-at") {
+      // NaN-safe like the fault flags: !(finite && in-range) rejects NaN,
+      // infinities, and negatives alike, always naming the offending flag.
+      if (!need_value() || !parse_double(value, opt.spo_at_s) ||
+          !(std::isfinite(opt.spo_at_s) && opt.spo_at_s >= 0.0)) {
+        error = "--spo-at needs a finite time in seconds (>= 0)";
+        return std::nullopt;
+      }
+    } else if (key == "--spo-every") {
+      if (!need_value() || !parse_double(value, opt.spo_every_s) ||
+          !(std::isfinite(opt.spo_every_s) && opt.spo_every_s > 0.0)) {
+        error = "--spo-every needs a finite positive period in seconds";
+        return std::nullopt;
+      }
+    } else if (key == "--spo-precondition-writes") {
+      if (!need_value() || !parse_u64(value, opt.spo_precondition_writes) ||
+          opt.spo_precondition_writes == 0) {
+        error = "--spo-precondition-writes needs a positive write count";
+        return std::nullopt;
+      }
+    } else if (key == "--checkpoint-every-erases") {
+      if (!need_value() || !parse_u64(value, opt.checkpoint_every_erases)) {
+        error = "--checkpoint-every-erases needs an erase count (0 = off)";
+        return std::nullopt;
+      }
     } else if (key == "--arrival") {
       if (!need_value()) return std::nullopt;
       if (value != "open" && value != "closed") {
@@ -303,6 +335,19 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::s
         error = "--array-outage-restore-at needs a time in seconds";
         return std::nullopt;
       }
+    } else if (key == "--array-spo-device") {
+      std::uint64_t v = 0;
+      if (!need_value() || !parse_u64(value, v)) {
+        error = "--array-spo-device needs a slot index";
+        return std::nullopt;
+      }
+      opt.array_spo_slot = static_cast<std::int32_t>(v);
+    } else if (key == "--array-spo-at") {
+      if (!need_value() || !parse_double(value, opt.array_spo_at_s) ||
+          !(std::isfinite(opt.array_spo_at_s) && opt.array_spo_at_s >= 0.0)) {
+        error = "--array-spo-at needs a finite time in seconds (>= 0)";
+        return std::nullopt;
+      }
     } else if (key == "--jobs") {
       if (!need_value() || !parse_u64(value, opt.jobs)) {
         error = "--jobs needs a thread count (0 = hardware)";
@@ -331,6 +376,14 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::s
       return std::nullopt;
     }
   }
+  if (opt.spo_every_s > 0.0 && opt.spo_at_s < 0.0) {
+    error = "--spo-every requires --spo-at (the first cut anchors the cadence)";
+    return std::nullopt;
+  }
+  if (opt.snapshot_cache_limit > 0 && opt.snapshot_cache_dir.empty()) {
+    error = "--snapshot-cache-limit requires --snapshot-cache";
+    return std::nullopt;
+  }
   return opt;
 }
 
@@ -346,6 +399,13 @@ std::string cli_usage() {
   --seed=<n>             RNG seed                             (default 1)
   --snapshot-cache=<dir> reuse post-precondition device state across runs
                          (byte-identical output; cold miss fills the cache)
+  --snapshot-cache-limit=<n>  LRU cap on the disk cache, in snapshot files
+  --spo-at=<s>           sudden power-off this far into the measured run;
+                         the device recovers by OOB scan (default off)
+  --spo-every=<s>        repeat the power cut every s seconds (needs --spo-at)
+  --spo-precondition-writes=<n>  one SPO after n preconditioning writes
+  --checkpoint-every-erases=<k>  mapping checkpoint every k erases
+                         (bounds the recovery scan; 0 = full scan)
   --arrival=<m>          closed|open arrival model, single-SSD (default closed)
   --blocks-per-plane=<n> device scale                         (default 256)
   --pages-per-block=<n>                                       (default 256)
@@ -372,6 +432,9 @@ std::string cli_usage() {
   --array-outage-device=<slot>  scripted transient outage: suspend this slot
   --array-outage-at=<s>  outage start, seconds                (default 0)
   --array-outage-restore-at=<s>  device returns at this time
+  --array-spo-device=<slot>  sudden power-off for this slot's device; it
+                         recovers by OOB scan and resyncs via rebuild
+  --array-spo-at=<s>     array SPO time in seconds             (default 0)
   --jobs=<n>             array GC fan-out threads, 0 = hardware (default 0)
   --no-sip               disable SIP victim filtering (JIT-GC)
   --percentile=<q>       CDH reserve quantile                 (default 0.8)
@@ -423,6 +486,10 @@ SimReport run_from_cli(const CliOptions& options) {
   config.ssd.ftl.fault.erase_fail_prob = options.fault_erase_fail_prob;
   config.ssd.ftl.fault.wear_fail_prob_at_limit = options.fault_wear_fail_prob;
   config.ssd.ftl.spare_blocks = options.spare_blocks;
+  config.ssd.ftl.checkpoint_interval_erases = options.checkpoint_every_erases;
+  config.spo_at_s = options.spo_at_s;
+  config.spo_every_s = options.spo_every_s;
+  config.spo_precondition_after_writes = options.spo_precondition_writes;
 
   PolicyOverrides overrides;
   overrides.use_sip_list = options.use_sip_list;
@@ -431,6 +498,7 @@ SimReport run_from_cli(const CliOptions& options) {
 
   Simulator simulator(config);
   SnapshotCache snapshot_cache(options.snapshot_cache_dir);
+  snapshot_cache.set_disk_limit(options.snapshot_cache_limit);
   if (!options.snapshot_cache_dir.empty()) simulator.set_snapshot_cache(&snapshot_cache);
   const auto policy =
       make_policy(options.policy, config, options.fixed_reserve_multiple, overrides);

@@ -97,6 +97,26 @@ struct CliOptions {
   /// contract bench_smoke.sh asserts.
   std::uint64_t jobs = 0;
 
+  // -- Sudden power-off injection (ftl/recovery.h) -------------------------------
+  /// Cut power this many seconds into the measured run (< 0 = off): the
+  /// device loses all volatile state and recovers by OOB scan, and the
+  /// integrity oracle verifies every acknowledged write afterwards.
+  double spo_at_s = -1.0;
+  /// Repeat the power cut every this many seconds (<= 0 = single cut).
+  /// Requires --spo-at.
+  double spo_every_s = -1.0;
+  /// Inject one SPO during preconditioning, after this many precondition
+  /// writes (0 = off). Joins the snapshot precondition fingerprint when set.
+  std::uint64_t spo_precondition_writes = 0;
+  /// Mapping-checkpoint interval in erases (0 = full-scan recovery only).
+  std::uint64_t checkpoint_every_erases = 0;
+  /// Array mode: this slot's device suffers the SPO (-1 = off) at the first
+  /// coordinator tick at or after --array-spo-at seconds. The slot recovers
+  /// by OOB scan and rejoins through the degraded -> rebuilding -> restored
+  /// lifecycle (redundant schemes resync missed writes via rebuild stains).
+  std::int32_t array_spo_slot = -1;
+  double array_spo_at_s = 0.0;
+
   // -- Warm-state snapshots (sim/snapshot.h) -----------------------------------
   /// Directory for the on-disk snapshot cache (empty = no cache). The first
   /// run of a precondition-equivalent cell pays the cold replay and writes a
@@ -104,6 +124,8 @@ struct CliOptions {
   /// and produce byte-identical measured output. Run records then carry
   /// `snapshot` / `precondition_wall_s`.
   std::string snapshot_cache_dir;
+  /// LRU cap on the on-disk cache, in snapshot files (0 = unlimited).
+  std::uint64_t snapshot_cache_limit = 0;
 
   // -- Output ------------------------------------------------------------------------
   bool csv = false;

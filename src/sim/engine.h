@@ -25,6 +25,7 @@ namespace jitgc::sim {
 enum class EventKind : std::uint8_t {
   kFlusherTick = 0,  ///< flusher / coordinator tick (period p)
   kAppArrival = 1,   ///< next application op becomes ready
+  kSpo = 2,          ///< injected sudden power-off (crash-recovery testing)
   kCount,
 };
 

@@ -97,6 +97,25 @@ struct SimReport {
   /// Total bytes the application wrote (TBW when the device wore out).
   Bytes tbw_bytes() const { return app_buffered_write_bytes + app_direct_write_bytes; }
 
+  // -- Crash injection & recovery (emitted only when SPO injection ran) ----------
+  /// Sudden power-off events injected during the measured run.
+  std::uint64_t spo_events = 0;
+  /// OOB pages read across all recovery scans.
+  std::uint64_t recovery_scanned_pages = 0;
+  /// Total simulated time the device spent rebuilding after power cuts.
+  double recovery_time_s = 0.0;
+  /// Acknowledged mappings lost across all recoveries. The recovery path
+  /// aborts if any mapping is lost, so a finished run always reports 0 —
+  /// the field exists so the output *states* the guarantee that held.
+  std::uint64_t recovery_lost_mappings = 0;
+  /// Trimmed LBAs that resurrected across a crash (legal: no trim journal).
+  std::uint64_t recovery_resurrected_mappings = 0;
+  /// Post-recovery reads checked against the host's shadow of acknowledged
+  /// writes, and how many returned stale content (aborts if ever nonzero,
+  /// so a finished run reports 0).
+  std::uint64_t integrity_reads_verified = 0;
+  std::uint64_t integrity_stale_reads = 0;
+
   // -- Warm-state snapshots (sim/snapshot.h) --------------------------------------
   /// Where the post-precondition state came from: "cold", "warm_clone", or
   /// "warm_disk". Empty when no snapshot cache was attached; the JSONL

@@ -186,6 +186,33 @@ std::string format_array_state_jsonl(std::uint64_t run_index, std::uint64_t seed
   return out;
 }
 
+std::string format_recovery_jsonl(std::uint64_t run_index, std::uint64_t seed,
+                                  const RecoveryRecord& r) {
+  std::string out = "{\"type\":\"recovery\"";
+  append_field(out, "run", run_index);
+  append_field(out, "seed", seed);
+  append_field(out, "index", r.index);
+  append_field(out, "time_s", r.time_s);
+  if (r.device >= 0) append_field(out, "device", static_cast<std::uint64_t>(r.device));
+  append_field(out, "used_checkpoint", r.used_checkpoint);
+  if (r.checkpoint_fallback) append_field(out, "checkpoint_fallback", r.checkpoint_fallback);
+  append_field(out, "scanned_pages", r.scanned_pages);
+  append_field(out, "scanned_blocks", r.scanned_blocks);
+  append_field(out, "total_blocks", r.total_blocks);
+  append_field(out, "torn_pages", r.torn_pages);
+  append_field(out, "sealed_blocks", r.sealed_blocks);
+  append_field(out, "recovered_mappings", r.recovered_mappings);
+  append_field(out, "stale_pages_dropped", r.stale_pages_dropped);
+  append_field(out, "verified_mappings", r.verified_mappings);
+  append_field(out, "lost_mappings", r.lost_mappings);
+  append_field(out, "resurrected_mappings", r.resurrected_mappings);
+  append_field(out, "recovery_time_s", r.recovery_time_s);
+  // recovery_wall_s is deliberately absent: host wall-clock would break the
+  // byte-identical-output guarantee (same seed, any thread count).
+  out += '}';
+  return out;
+}
+
 std::string format_run_jsonl(std::uint64_t run_index, std::uint64_t seed,
                              const SimReport& r) {
   std::string out = "{\"type\":\"run\"";
@@ -233,6 +260,17 @@ std::string format_run_jsonl(std::uint64_t run_index, std::uint64_t seed,
     append_field(out, "rebuild_time_s", r.rebuild_time_s);
     append_field(out, "degraded_time_s", r.degraded_time_s);
     append_field(out, "degraded_write_p99_latency_us", r.degraded_write_p99_latency_us);
+  }
+  // Crash-recovery summary only when SPO injection actually fired: crash-free
+  // output stays byte-identical to the legacy schema.
+  if (r.spo_events != 0) {
+    append_field(out, "spo_events", r.spo_events);
+    append_field(out, "recovery_scanned_pages", r.recovery_scanned_pages);
+    append_field(out, "recovery_time_s", r.recovery_time_s);
+    append_field(out, "recovery_lost_mappings", r.recovery_lost_mappings);
+    append_field(out, "recovery_resurrected_mappings", r.recovery_resurrected_mappings);
+    append_field(out, "integrity_reads_verified", r.integrity_reads_verified);
+    append_field(out, "integrity_stale_reads", r.integrity_stale_reads);
   }
   // Snapshot provenance only when a snapshot cache was attached: cache-less
   // output stays byte-identical to the legacy schema, and warm-vs-cold
@@ -318,6 +356,10 @@ void JsonlMetricsSink::on_rebuild_progress(const RebuildProgressRecord& record) 
 
 void JsonlMetricsSink::on_array_state(const ArrayStateRecord& record) {
   out_ << format_array_state_jsonl(run_index_, seed_, record) << '\n';
+}
+
+void JsonlMetricsSink::on_recovery(const RecoveryRecord& record) {
+  out_ << format_recovery_jsonl(run_index_, seed_, record) << '\n';
 }
 
 void JsonlMetricsSink::on_run_end(const SimReport& report) {

@@ -148,6 +148,33 @@ struct ArrayStateRecord {
   std::string reason;
 };
 
+/// One sudden-power-off recovery (ftl::RecoveryEngine), as observed by the
+/// simulator at the instant of the injected power cut. Emitted only when SPO
+/// injection is configured, so crash-free output carries no trace of it.
+struct RecoveryRecord {
+  std::uint64_t index = 0;       ///< 1-based SPO index within the run
+  double time_s = 0.0;           ///< simulation clock of the power cut
+  /// Array device index, or -1 for a single-SSD run (then omitted from the
+  /// JSONL record, mirroring FaultRecord).
+  std::int32_t device = -1;
+  bool used_checkpoint = false;      ///< scan was bounded by a valid checkpoint
+  bool checkpoint_fallback = false;  ///< checkpoint present but rejected
+  std::uint64_t scanned_pages = 0;   ///< OOB reads the rebuild performed
+  std::uint64_t scanned_blocks = 0;
+  std::uint64_t total_blocks = 0;
+  std::uint64_t torn_pages = 0;      ///< frontier programs torn by the cut
+  std::uint64_t sealed_blocks = 0;   ///< half-written blocks sealed
+  std::uint64_t recovered_mappings = 0;
+  std::uint64_t stale_pages_dropped = 0;
+  std::uint64_t verified_mappings = 0;     ///< pre-crash map entries re-derived
+  std::uint64_t lost_mappings = 0;         ///< always 0 (recovery aborts otherwise)
+  std::uint64_t resurrected_mappings = 0;  ///< trimmed LBAs that came back
+  double recovery_time_s = 0.0;  ///< simulated rebuild time (service-scaled scan)
+  /// Host wall-clock the rebuild cost. In-memory only — excluded from the
+  /// JSONL line, which must stay byte-identical across reruns.
+  double recovery_wall_s = 0.0;
+};
+
 class MetricsSink {
  public:
   virtual ~MetricsSink() = default;
@@ -165,6 +192,9 @@ class MetricsSink {
   virtual void on_rebuild_progress(const RebuildProgressRecord& /*record*/) {}
   /// Called at each redundancy state transition (default: ignore).
   virtual void on_array_state(const ArrayStateRecord& /*record*/) {}
+  /// Called once per injected sudden power-off, after recovery completed
+  /// (default: ignore — only crash-aware sinks care).
+  virtual void on_recovery(const RecoveryRecord& /*record*/) {}
   /// Called once, with the assembled run-level report.
   virtual void on_run_end(const SimReport& report) = 0;
 };
@@ -186,6 +216,7 @@ class RecordingMetricsSink final : public MetricsSink {
   void on_array_state(const ArrayStateRecord& record) override {
     array_states_.push_back(record);
   }
+  void on_recovery(const RecoveryRecord& record) override { recoveries_.push_back(record); }
   void on_run_end(const SimReport& report) override { report_ = report; has_report_ = true; }
 
   const std::vector<IntervalRecord>& intervals() const { return intervals_; }
@@ -194,6 +225,7 @@ class RecordingMetricsSink final : public MetricsSink {
   const std::vector<DeviceIntervalRecord>& device_intervals() const { return device_intervals_; }
   const std::vector<RebuildProgressRecord>& rebuild_progress() const { return rebuild_progress_; }
   const std::vector<ArrayStateRecord>& array_states() const { return array_states_; }
+  const std::vector<RecoveryRecord>& recoveries() const { return recoveries_; }
   bool has_report() const { return has_report_; }
   const SimReport& report() const { return report_; }
 
@@ -204,6 +236,7 @@ class RecordingMetricsSink final : public MetricsSink {
   std::vector<DeviceIntervalRecord> device_intervals_;
   std::vector<RebuildProgressRecord> rebuild_progress_;
   std::vector<ArrayStateRecord> array_states_;
+  std::vector<RecoveryRecord> recoveries_;
   SimReport report_;
   bool has_report_ = false;
 };
@@ -223,6 +256,7 @@ class JsonlMetricsSink final : public MetricsSink {
   void on_device_interval(const DeviceIntervalRecord& record) override;
   void on_rebuild_progress(const RebuildProgressRecord& record) override;
   void on_array_state(const ArrayStateRecord& record) override;
+  void on_recovery(const RecoveryRecord& record) override;
   void on_run_end(const SimReport& report) override;
 
  private:
@@ -258,6 +292,11 @@ std::string format_rebuild_progress_jsonl(std::uint64_t run_index, std::uint64_t
 /// One {"type":"array_state",...} line (no trailing newline).
 std::string format_array_state_jsonl(std::uint64_t run_index, std::uint64_t seed,
                                      const ArrayStateRecord& record);
+
+/// One {"type":"recovery",...} line (no trailing newline). The device index
+/// appears only for array runs (record.device >= 0), mirroring fault lines.
+std::string format_recovery_jsonl(std::uint64_t run_index, std::uint64_t seed,
+                                  const RecoveryRecord& record);
 
 /// One {"type":"run",...} line (no trailing newline). Degradation fields
 /// (run_end_reason, failure counters) are emitted only when they carry

@@ -78,9 +78,21 @@ void Simulator::precondition(wl::WorkloadGenerator& workload) {
   const Lba footprint = std::min<Lba>(workload.footprint_pages(), ftl.user_pages());
   JITGC_ENSURE_MSG(footprint > 0, "workload footprint is empty");
 
+  // Mid-precondition power cut (spo_precondition_after_writes): silent —
+  // state only, no metrics — so a warm restore of the same fingerprint
+  // reproduces a cold run's output byte-for-byte.
+  std::uint64_t writes_until_spo = config_.spo_precondition_after_writes;
+  const auto count_write = [&] {
+    if (writes_until_spo == 0 || --writes_until_spo > 0) return;
+    ssd_.sudden_power_off();
+  };
+
   // Fill phase: every LBA the workload may touch holds valid data (an aged
   // device, the enterprise measurement norm).
-  for (Lba lba = 0; lba < footprint; ++lba) ftl.write(lba);
+  for (Lba lba = 0; lba < footprint; ++lba) {
+    ftl.write(lba);
+    count_write();
+  }
 
   // Scramble phase: random overwrites of the hot working set mix hot and
   // cold pages within blocks, so GC victims have realistic valid counts.
@@ -89,7 +101,10 @@ void Simulator::precondition(wl::WorkloadGenerator& workload) {
     Rng rng(config_.seed ^ 0xA6E5C0DE);
     const auto overwrites =
         static_cast<std::uint64_t>(config_.precondition_overwrite_factor * static_cast<double>(ws));
-    for (std::uint64_t i = 0; i < overwrites; ++i) ftl.write(rng.uniform(ws));
+    for (std::uint64_t i = 0; i < overwrites; ++i) {
+      ftl.write(rng.uniform(ws));
+      count_write();
+    }
   }
 }
 
@@ -148,6 +163,9 @@ TimeUs Simulator::device_write(Lba lba, std::uint32_t pages, TimeUs earliest_sta
     const TimeUs cost = ssd_.write_page(lba + i);
     completion = std::max(completion, service_.dispatch(earliest_start, cost));
     interval_busy_us_ += cost;
+    // A write that returned is acknowledged: the shadow oracle records the
+    // content stamp the device must still serve after any power cut.
+    if (!shadow_.empty()) shadow_[lba + i] = ssd_.ftl().content_stamp_of(lba + i);
   }
   return completion;
 }
@@ -370,6 +388,7 @@ TimeUs Simulator::execute_op(const wl::AppOp& op, TimeUs issue) {
       bool touched_device = false;
       for (std::uint32_t i = 0; i < op.pages; ++i) {
         if (cache_.is_dirty(op.lba + i)) continue;  // RAM hit
+        if (!shadow_.empty()) oracle_check_read(op.lba + i);
         const TimeUs cost = ssd_.read_page(op.lba + i);
         completion = std::max(completion, service_.dispatch(issue, cost));
         interval_busy_us_ += cost;
@@ -388,6 +407,9 @@ TimeUs Simulator::execute_op(const wl::AppOp& op, TimeUs issue) {
         const TimeUs cost = ssd_.trim(op.lba + i);
         completion = std::max(completion, service_.dispatch(issue, cost));
         interval_busy_us_ += cost;
+        // Trim withdraws the acknowledgment: the device owes nothing for
+        // this LBA anymore (a post-crash resurrection is legal, not stale).
+        if (!shadow_.empty()) shadow_[op.lba + i] = 0;
       }
       cache_.discard(op.lba, op.pages);
       return completion;
@@ -395,6 +417,86 @@ TimeUs Simulator::execute_op(const wl::AppOp& op, TimeUs issue) {
   }
   JITGC_ENSURE_MSG(false, "unreachable op type");
   return issue;
+}
+
+void Simulator::seed_shadow_from_device() {
+  const ftl::Ftl& ftl = ssd_.ftl();
+  shadow_.assign(ftl.user_pages(), 0);
+  for (Lba lba = 0; lba < ftl.user_pages(); ++lba) {
+    if (ftl.is_mapped(lba)) shadow_[lba] = ftl.content_stamp_of(lba);
+  }
+}
+
+void Simulator::oracle_check_read(Lba lba) {
+  if (lba >= shadow_.size() || shadow_[lba] == 0) return;  // nothing owed
+  ++integrity_reads_verified_;
+  const bool ok =
+      ssd_.ftl().is_mapped(lba) && ssd_.ftl().content_stamp_of(lba) == shadow_[lba];
+  if (!ok) ++integrity_stale_reads_;
+  JITGC_ENSURE_MSG(ok, "device read would return stale or lost data for an acknowledged write");
+}
+
+void Simulator::perform_spo(TimeUs now, core::BgcPolicy& policy) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // Power is gone. Dirty pages in the host page cache were never
+  // acknowledged at device level (writeback had not happened), so they are
+  // legitimately lost — the cache restarts empty, like the FTL's RAM.
+  cache_ = host::PageCache(config_.cache);
+  if (policy.wants_sip_filter()) cache_.enable_sip_tracking();
+
+  const ftl::RecoveryReport rep = ssd_.sudden_power_off();
+
+  // The device is unavailable while the OOB scan rebuilds the map: every
+  // queue is occupied for the scan's service-scaled duration.
+  service_.occupy_all_until(std::max(service_.next_free(), now) + rep.media_scan_us);
+  interval_busy_us_ += rep.media_scan_us;
+
+  // Whatever BGC intent was in flight died with the device's RAM; the
+  // policy re-decides at the next tick from the recovered free-space truth.
+  bgc_target_bytes_ = 0;
+  bgc_last_step_end_ = -1;
+
+  // Host-level oracle: after recovery, every acknowledged write must still
+  // be served with exactly the content that was acked. Sweep the whole
+  // shadow now (reads keep re-checking individually for the rest of the run).
+  for (Lba lba = 0; lba < shadow_.size(); ++lba) {
+    if (shadow_[lba] == 0) continue;
+    ++integrity_reads_verified_;
+    if (!ssd_.ftl().is_mapped(lba) || ssd_.ftl().content_stamp_of(lba) != shadow_[lba]) {
+      ++integrity_stale_reads_;
+    }
+  }
+  JITGC_ENSURE_MSG(integrity_stale_reads_ == 0,
+                   "SPO recovery lost or corrupted an acknowledged write");
+
+  ++spo_events_;
+  recovery_scanned_pages_ += rep.scanned_pages;
+  recovery_time_us_ += rep.media_scan_us;
+  recovery_resurrected_ += rep.resurrected_mappings;
+  recovery_lost_ += rep.lost_mappings;
+
+  if (metrics_sink_ != nullptr) {
+    RecoveryRecord rec;
+    rec.index = spo_events_;
+    rec.time_s = to_seconds(now);
+    rec.used_checkpoint = rep.used_checkpoint;
+    rec.checkpoint_fallback = rep.checkpoint_fallback;
+    rec.scanned_pages = rep.scanned_pages;
+    rec.scanned_blocks = rep.scanned_blocks;
+    rec.total_blocks = rep.total_blocks;
+    rec.torn_pages = rep.torn_pages;
+    rec.sealed_blocks = rep.sealed_blocks;
+    rec.recovered_mappings = rep.recovered_mappings;
+    rec.stale_pages_dropped = rep.stale_pages_dropped;
+    rec.verified_mappings = rep.verified_mappings;
+    rec.lost_mappings = rep.lost_mappings;
+    rec.resurrected_mappings = rep.resurrected_mappings;
+    rec.recovery_time_s = to_seconds(rep.media_scan_us);
+    rec.recovery_wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+    metrics_sink_->on_recovery(rec);
+  }
 }
 
 void Simulator::record_op_latency(const wl::AppOp& op, TimeUs issue, TimeUs completion) {
@@ -415,6 +517,10 @@ void Simulator::run_event_loop(wl::WorkloadGenerator& workload, core::BgcPolicy&
   const TimeUs p = cache_.config().flush_period;
   EventCalendar calendar;
   calendar.schedule(EventKind::kFlusherTick, p);
+  if (config_.spo_at_s >= 0.0) {
+    const TimeUs at = seconds(config_.spo_at_s);
+    if (at <= config_.duration) calendar.schedule(EventKind::kSpo, at);
+  }
 
   std::optional<wl::AppOp> op = workload.next();
   TimeUs issue = op ? op->think_us : config_.duration;
@@ -430,6 +536,18 @@ void Simulator::run_event_loop(wl::WorkloadGenerator& workload, core::BgcPolicy&
       process_tick(ev->at, policy);
       elapsed = ev->at;
       calendar.schedule(EventKind::kFlusherTick, ev->at + p);
+      continue;
+    }
+    if (ev->kind == EventKind::kSpo) {
+      // The power cut lands at an arbitrary instant: BGC runs up to it (the
+      // step in flight when power dies is lost with the rest of RAM state).
+      run_bgc_until(ev->at);
+      perform_spo(ev->at, policy);
+      elapsed = ev->at;
+      if (config_.spo_every_s > 0.0) {
+        const TimeUs next = ev->at + seconds(config_.spo_every_s);
+        if (next <= config_.duration) calendar.schedule(EventKind::kSpo, next);
+      }
       continue;
     }
     if (ev->at >= config_.duration) break;
@@ -458,6 +576,11 @@ SimReport Simulator::run(wl::WorkloadGenerator& workload, core::BgcPolicy& polic
   // otherwise. A device that dies here reports a zero-length run.
   bool worn_out = false;
   if (config_.precondition) worn_out = !establish_precondition(workload, policy);
+
+  // The shadow oracle covers the measured phase: seed it from whatever the
+  // device holds now (cold fill, warm restore, or an empty device), so every
+  // later acknowledged write/trim/read is tracked and verified.
+  if (spo_configured()) seed_shadow_from_device();
 
   // Metric baselines: everything before this instant was preconditioning.
   base_programs_ = ssd_.ftl().nand().stats().page_programs;
@@ -542,6 +665,16 @@ SimReport Simulator::run(wl::WorkloadGenerator& workload, core::BgcPolicy& polic
   if (worn_out && r.elapsed_s > 0.0) {
     r.iops = static_cast<double>(ops_completed_) / r.elapsed_s;  // over actual life
   }
+  // SPO / recovery counters. Precondition-time SPOs are deliberately NOT
+  // counted here (they are device-state-only, so warm restores reproduce
+  // cold-run output); only measured-run kSpo events reach the report.
+  r.spo_events = spo_events_;
+  r.recovery_scanned_pages = recovery_scanned_pages_;
+  r.recovery_time_s = to_seconds(recovery_time_us_);
+  r.recovery_lost_mappings = recovery_lost_;
+  r.recovery_resurrected_mappings = recovery_resurrected_;
+  r.integrity_reads_verified = integrity_reads_verified_;
+  r.integrity_stale_reads = integrity_stale_reads_;
   if (snapshot_cache_ != nullptr) {
     // Only cache-attached runs report these (the wall-clock is host noise,
     // so cache-less records stay byte-stable run to run).

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <vector>
 
 #include "common/stats.h"
 #include "core/accuracy.h"
@@ -61,6 +62,18 @@ struct SimConfig {
   /// Random overwrites during preconditioning, as a multiple of the WS size.
   double precondition_overwrite_factor = 1.0;
   std::uint64_t seed = 1;
+  /// Sudden power-off injection (sim/engine.h kSpo events): cut power this
+  /// many seconds into the measured run (< 0 = never). The device loses all
+  /// volatile state and recovers by OOB scan (ftl/recovery.h); the host
+  /// page cache loses its dirty pages (never acknowledged at device level).
+  double spo_at_s = -1.0;
+  /// Repeat the power cut every this many seconds after the first (< 0 or
+  /// 0 = single cut). Requires spo_at_s >= 0.
+  double spo_every_s = -1.0;
+  /// Inject one SPO during preconditioning, after this many precondition
+  /// writes (0 = never): proves recovery mid-fill and keeps warm snapshots
+  /// honest (the knob is part of the precondition fingerprint when set).
+  std::uint64_t spo_precondition_after_writes = 0;
   /// Arrival model. false (default): closed loop — the next op issues at the
   /// previous op's completion plus its think time (one outstanding op, the
   /// paper's single-SSD model). true: open loop — think times are
@@ -116,6 +129,23 @@ class Simulator {
   /// Executes one app op at `issue`; returns its completion time.
   TimeUs execute_op(const wl::AppOp& op, TimeUs issue);
   TimeUs device_write(Lba lba, std::uint32_t pages, TimeUs earliest_start);
+
+  // -- Sudden power-off injection (ftl/recovery.h) -----------------------------
+  /// True when any SPO knob is armed: the shadow oracle then tracks every
+  /// acknowledged device write and verifies every post-crash device read.
+  bool spo_configured() const {
+    return config_.spo_at_s >= 0.0 || config_.spo_precondition_after_writes > 0;
+  }
+  /// (Re)derives the shadow of acknowledged writes from the device — run at
+  /// the start of the measured phase, covering warm-snapshot restores too.
+  void seed_shadow_from_device();
+  /// Handles one kSpo event at `now`: drops the page cache, power-cycles the
+  /// device through OOB-scan recovery, charges the scan time, verifies the
+  /// full shadow against the rebuilt map, and emits a RecoveryRecord.
+  void perform_spo(TimeUs now, core::BgcPolicy& policy);
+  /// Verifies one device read against the shadow (no-op for LBAs the host
+  /// never acknowledged a write for — trimmed or never written).
+  void oracle_check_read(Lba lba);
 
   SimConfig config_;
   Ssd ssd_;
@@ -191,6 +221,18 @@ class Simulator {
   std::uint64_t interval_fgc_base_ = 0;
   std::uint64_t interval_programs_base_ = 0;
   std::uint64_t interval_host_writes_base_ = 0;
+
+  // -- Crash-injection state ----------------------------------------------------
+  /// Host-side shadow of acknowledged writes: content stamp per LBA (0 =
+  /// never acknowledged / trimmed). Sized only when SPO is configured.
+  std::vector<std::uint64_t> shadow_;
+  std::uint64_t spo_events_ = 0;
+  std::uint64_t recovery_scanned_pages_ = 0;
+  TimeUs recovery_time_us_ = 0;
+  std::uint64_t recovery_resurrected_ = 0;
+  std::uint64_t recovery_lost_ = 0;
+  std::uint64_t integrity_reads_verified_ = 0;
+  std::uint64_t integrity_stale_reads_ = 0;
 
   // Baselines captured after preconditioning.
   std::uint64_t base_programs_ = 0;

@@ -1,11 +1,17 @@
 #include "sim/snapshot.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "common/binary_io.h"
 #include "common/logging.h"
@@ -17,6 +23,40 @@ namespace {
 namespace fs = std::filesystem;
 
 constexpr char kSnapshotMagic[8] = {'J', 'I', 'T', 'G', 'C', 'S', 'N', 'P'};
+
+/// Advisory whole-directory lock (flock on `<dir>/.lock`) serialising the
+/// disk tier across concurrent sweep invocations sharing one
+/// --snapshot-cache directory: publication (tmp+rename) and LRU eviction
+/// never interleave, so an evictor cannot delete a file mid-publication and
+/// a reader never races a concurrent eviction scan. Advisory by design —
+/// if the lock file cannot be created or flock fails, the cache degrades
+/// to the old unlocked behaviour instead of failing the run.
+class DirLock {
+ public:
+  DirLock(const std::string& dir, int operation) {
+    if (dir.empty()) return;
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    const std::string path = (fs::path(dir) / ".lock").string();
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ < 0) return;
+    if (::flock(fd_, operation) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~DirLock() {
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+  DirLock(const DirLock&) = delete;
+  DirLock& operator=(const DirLock&) = delete;
+
+ private:
+  int fd_ = -1;
+};
 
 void append_u64(std::string& out, const char* key, std::uint64_t v) {
   char buf[64];
@@ -73,6 +113,10 @@ void append_ssd_fingerprint_fields(std::string& out, const SsdConfig& ssd) {
   append_u64(out, "ftl.enable_hot_cold_separation", f.enable_hot_cold_separation ? 1 : 0);
   append_u64(out, "ftl.hot_recency_window", f.hot_recency_window);
   append_u64(out, "ftl.mapping_cache_pages", f.mapping_cache_pages);
+  // Checkpointing mutates serialized FTL state (the mapping checkpoint is
+  // rewritten every K erases, preconditioning included), so the interval is
+  // part of what the snapshot captures.
+  append_u64(out, "ftl.checkpoint_interval_erases", f.checkpoint_interval_erases);
   append_f64(out, "fault.program_fail_prob", f.fault.program_fail_prob);
   append_f64(out, "fault.erase_fail_prob", f.fault.erase_fail_prob);
   append_f64(out, "fault.wear_fail_prob_at_limit", f.fault.wear_fail_prob_at_limit);
@@ -93,6 +137,13 @@ std::string precondition_fingerprint(const SimConfig& config, Lba footprint_page
   append_f64(out, "run.precondition_overwrite_factor", config.precondition_overwrite_factor);
   append_u64(out, "run.footprint_pages", footprint_pages);
   append_u64(out, "run.working_set_pages", working_set_pages);
+  // SPO config joins the fingerprint only when a power cut can fire during
+  // preconditioning. Measured-run injection (--spo-at / --spo-every) cannot
+  // touch post-precondition state, so those knobs are deliberately excluded:
+  // an SPO sweep still shares one warm snapshot across all its cells.
+  if (config.spo_precondition_after_writes > 0) {
+    append_u64(out, "run.spo_precondition_after_writes", config.spo_precondition_after_writes);
+  }
   return out;
 }
 
@@ -119,6 +170,9 @@ SnapshotCache::Blob SnapshotCache::find(const std::string& fingerprint, Snapshot
   const std::string path = file_path(fingerprint);
   std::string raw;
   {
+    // Shared lock: readers proceed concurrently but never overlap a
+    // publication/eviction critical section in another invocation.
+    DirLock dir_lock(dir_, LOCK_SH);
     std::ifstream in(path, std::ios::binary);
     if (!in) {
       std::lock_guard<std::mutex> lock(mu_);
@@ -160,6 +214,13 @@ SnapshotCache::Blob SnapshotCache::find(const std::string& fingerprint, Snapshot
     return nullptr;
   }
 
+  // Refresh the file's mtime so the LRU cap (set_disk_limit) treats a disk
+  // hit as recent use; best-effort, a read-only cache directory still works.
+  {
+    std::error_code ec;
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+  }
+
   auto blob = std::make_shared<const std::string>(std::move(payload));
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.disk_hits;
@@ -190,6 +251,10 @@ void SnapshotCache::store(const std::string& fingerprint, std::string payload) {
   w.str(*blob);
   std::error_code ec;
   fs::create_directories(dir_, ec);
+  // Exclusive lock: publication and the eviction scan form one critical
+  // section, so a concurrent invocation's evictor cannot delete this file
+  // between its rename and its first use.
+  DirLock dir_lock(dir_, LOCK_EX);
   const std::string tmp = path + ".tmp." + std::to_string(
       static_cast<std::uint64_t>(fnv1a64(fingerprint)) ^
       reinterpret_cast<std::uintptr_t>(&w));
@@ -208,6 +273,40 @@ void SnapshotCache::store(const std::string& fingerprint, std::string payload) {
     JITGC_WARN("snapshot cache: cannot publish " << path << " (" << ec.message()
                                                  << "); continuing with the in-memory copy only");
     fs::remove(tmp, ec);
+    return;
+  }
+  if (disk_limit_ > 0) evict_over_limit_locked();
+}
+
+void SnapshotCache::evict_over_limit_locked() {
+  struct Entry {
+    fs::path path;
+    fs::file_time_type mtime;
+  };
+  std::vector<Entry> entries;
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(dir_, ec)) {
+    const std::string name = de.path().filename().string();
+    if (name.rfind("warm_", 0) != 0 || de.path().extension() != ".snap") continue;
+    const auto mtime = fs::last_write_time(de.path(), ec);
+    if (ec) continue;
+    entries.push_back({de.path(), mtime});
+  }
+  if (entries.size() <= disk_limit_) return;
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+  const std::size_t excess = entries.size() - static_cast<std::size_t>(disk_limit_);
+  std::uint64_t evicted = 0;
+  for (std::size_t i = 0; i < excess; ++i) {
+    if (fs::remove(entries[i].path, ec)) ++evicted;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.evicted += evicted;
+  if (evicted > 0 && !evict_warned_) {
+    evict_warned_ = true;
+    JITGC_WARN("snapshot cache: directory " << dir_ << " exceeded --snapshot-cache-limit="
+                                            << disk_limit_ << "; evicting least-recently-used "
+                                            << "snapshots (reported once per run)");
   }
 }
 

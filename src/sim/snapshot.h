@@ -43,7 +43,9 @@ struct SimConfig;
 
 /// Bumped whenever the serialized state layout or the fingerprint schema
 /// changes; cache files from other versions are rejected (cold fallback).
-inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+/// v2: per-page OOB grew program-sequence + content stamps and the torn
+/// page state, and the FTL payload gained the mapping checkpoint.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
 
 /// Where a run's post-precondition state came from.
 enum class SnapshotSource : std::uint8_t {
@@ -88,6 +90,12 @@ class SnapshotCache {
   /// Memory + disk tier rooted at `dir` (created on first store).
   explicit SnapshotCache(std::string dir) : dir_(std::move(dir)) {}
 
+  /// Caps the disk tier at `max_files` snapshot files (0 = unlimited).
+  /// When a store pushes the directory past the cap, the least-recently-used
+  /// files (by mtime; disk hits refresh it) are evicted under the directory
+  /// lock, with a warn-once line the first time eviction kicks in.
+  void set_disk_limit(std::uint64_t max_files) { disk_limit_ = max_files; }
+
   using Blob = std::shared_ptr<const std::string>;
 
   /// Returns the cached post-precondition payload for `fingerprint`, or
@@ -108,6 +116,8 @@ class SnapshotCache {
     std::uint64_t misses = 0;
     /// Disk files rejected as stale/truncated/mismatched (cold fallback).
     std::uint64_t rejected = 0;
+    /// Disk files evicted by the LRU cap (set_disk_limit).
+    std::uint64_t evicted = 0;
   };
   Stats stats() const;
 
@@ -116,9 +126,14 @@ class SnapshotCache {
 
  private:
   std::string file_path(const std::string& fingerprint) const;
+  /// Removes LRU `warm_*.snap` files until the directory is within
+  /// disk_limit_. Caller must hold the directory lock.
+  void evict_over_limit_locked();
 
   mutable std::mutex mu_;
   std::string dir_;
+  std::uint64_t disk_limit_ = 0;
+  bool evict_warned_ = false;
   std::unordered_map<std::string, Blob> memory_;
   Stats stats_;
 };

@@ -74,6 +74,18 @@ class Ssd {
 
   void set_sip_filter_enabled(bool on) { ftl_.set_sip_filter_enabled(on); }
 
+  // -- Crash consistency (ftl/recovery.h) -------------------------------------
+
+  /// Sudden power-off at this instant: the FTL loses its volatile state and
+  /// rebuilds itself from the media (see RecoveryEngine). The returned
+  /// report's media_scan_us is service-scaled like every other NAND time —
+  /// the OOB scan stripes across planes the same way the datapath does.
+  ftl::RecoveryReport sudden_power_off() {
+    ftl::RecoveryReport rep = ftl_.sudden_power_off();
+    rep.media_scan_us = scale(rep.media_scan_us);
+    return rep;
+  }
+
   // -- Bandwidth estimates (what the JIT-GC manager plugs into its formula) --
 
   /// Steady host-write service rate, bytes/s (analytic, from timing).

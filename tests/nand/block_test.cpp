@@ -44,7 +44,9 @@ TEST(Block, InvalidateTracksCounts) {
   EXPECT_EQ(b.page_state(0), PageState::kInvalid);
   EXPECT_EQ(b.valid_count(), 1u);
   EXPECT_EQ(b.invalid_count(), 1u);
-  EXPECT_EQ(b.page_lba(0), kInvalidLba);
+  // Invalidation is FTL metadata, not a media operation: the OOB (LBA and
+  // stamps) stays readable until the erase — crash recovery depends on it.
+  EXPECT_EQ(b.page_lba(0), 1u);
 }
 
 TEST(Block, DoubleInvalidateThrows) {

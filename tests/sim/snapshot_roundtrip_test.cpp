@@ -10,6 +10,7 @@
 // `snapshot` / `precondition_wall_s` fields, which carry wall-clock).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -227,6 +228,70 @@ TEST_F(SnapshotRobustnessTest, FingerprintMismatchFallsBackCold) {
 TEST_F(SnapshotRobustnessTest, EmptyFileFallsBackCold) {
   write_snap({});
   expect_cold_fallback();
+}
+
+// -- Disk-tier LRU eviction and advisory locking (--snapshot-cache-limit) -----
+
+std::vector<fs::path> snap_files(const fs::path& dir) {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".snap") files.push_back(entry.path());
+  }
+  return files;
+}
+
+TEST(SnapshotEviction, DiskLimitEvictsOldestStoreAndTakesTheDirectoryLock) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "jitgc_snap_evict";
+  fs::remove_all(dir);
+  SnapshotCache cache(dir.string());
+  cache.set_disk_limit(2);
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    SimConfig config = tiny_config(ftl::VictimPolicyKind::kGreedy, false);
+    config.seed = seed;
+    (void)run_jsonl(config, &cache);
+  }
+  EXPECT_EQ(snap_files(dir).size(), 2u);
+  EXPECT_EQ(cache.stats().evicted, 1u);
+  // Publication and eviction serialise on the advisory directory lock file.
+  EXPECT_TRUE(fs::exists(dir / ".lock"));
+  fs::remove_all(dir);
+}
+
+TEST(SnapshotEviction, DiskHitRefreshesMtimeSoRecentlyUsedSnapshotsSurvive) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "jitgc_snap_lru";
+  fs::remove_all(dir);
+  SimConfig hot = tiny_config(ftl::VictimPolicyKind::kGreedy, false);
+  SimConfig stale = hot;
+  stale.seed = hot.seed + 1;
+  {
+    SnapshotCache filler(dir.string());
+    (void)run_jsonl(hot, &filler);
+    (void)run_jsonl(stale, &filler);
+  }
+  // Backdate both files so the disk hit's mtime refresh decides the LRU
+  // order, independent of filesystem timestamp granularity.
+  const auto past = fs::file_time_type::clock::now() - std::chrono::hours(1);
+  for (const auto& file : snap_files(dir)) fs::last_write_time(file, past);
+
+  SnapshotCache cache(dir.string());  // fresh memory tier: loads hit the disk
+  cache.set_disk_limit(2);
+  const std::string warm = run_jsonl(hot, &cache);
+  EXPECT_NE(warm.find("\"snapshot\":\"warm_disk\""), std::string::npos);
+
+  SimConfig third = hot;
+  third.seed = hot.seed + 2;
+  (void)run_jsonl(third, &cache);  // the store pushes the directory past the cap
+  EXPECT_EQ(cache.stats().evicted, 1u);
+  EXPECT_EQ(snap_files(dir).size(), 2u);
+
+  // The snapshot touched by the disk hit survived; the untouched one was the
+  // LRU victim.
+  SnapshotCache probe(dir.string());
+  const std::string kept = run_jsonl(hot, &probe);
+  EXPECT_NE(kept.find("\"snapshot\":\"warm_disk\""), std::string::npos);
+  const std::string gone = run_jsonl(stale, &probe);
+  EXPECT_NE(gone.find("\"snapshot\":\"cold\""), std::string::npos);
+  fs::remove_all(dir);
 }
 
 }  // namespace

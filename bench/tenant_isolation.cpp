@@ -1,0 +1,160 @@
+// Noisy-neighbor isolation study: how much does a bursty-write aggressor
+// degrade a read-mostly victim's p99 under each GC policy?
+//
+// For every policy the victim (YCSB-B, 95% reads) runs twice through the
+// multi-tenant front-end: solo, then sharing the device with a write-burst
+// aggressor at equal DWRR weight. The figure of merit is the degradation
+// ratio shared_p99 / solo_p99 — partition and queueing effects appear in
+// both runs of a policy, so the ratio isolates what the GC policy itself
+// costs the victim. JIT-GC should degrade the victim measurably less than
+// L-BGC / A-BGC: it collects just in time against each stream's own demand
+// instead of stalling the victim behind the aggressor's reclaim debt.
+//
+//   tenant_isolation [--seconds=<s>] [--seeds=<n>] [--threads=<n>]
+//
+// The last line, "ISOLATION_RATIO <x>", is min(deg_lazy, deg_aggressive) /
+// deg_jit — > 1 means JIT-GC isolates the victim better than both
+// baselines. scripts/bench_smoke.sh gates it with JITGC_MIN_ISOLATION_RATIO.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "host/frontend/frontend.h"
+#include "sim/experiment.h"
+#include "sim/snapshot.h"
+#include "workload/specs.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace jitgc;
+
+// Bursty write-heavy aggressor: short ON bursts at a high issue rate, half
+// the writes direct, so it builds reclaim debt in spikes the victim then
+// queues behind.
+wl::WorkloadSpec aggressor_spec() {
+  wl::WorkloadSpec spec;
+  spec.name = "wburst";
+  spec.read_fraction = 0.05;
+  spec.direct_write_fraction = 0.5;
+  spec.ops_per_sec = 6000.0;
+  spec.mean_on_period_s = 3.0;
+  spec.duty_cycle = 0.45;
+  spec.sequential_fraction = 0.3;
+  return spec;
+}
+
+wl::WorkloadSpec victim_spec() {
+  for (const auto& spec : wl::ycsb_core_specs()) {
+    if (spec.name == "YCSB-B") return spec;
+  }
+  std::fprintf(stderr, "tenant_isolation: YCSB-B spec missing\n");
+  std::exit(2);
+}
+
+/// Victim's run-level p99 (us): tenant 0 is always the victim.
+double victim_p99(sim::PolicyKind kind, bool shared, std::uint64_t seed, double seconds_arg,
+                  sim::SnapshotCache* snapshots) {
+  sim::SimConfig config = sim::default_sim_config(seed);
+  config.duration = seconds(seconds_arg);
+  frontend::TenantSpec victim;
+  victim.mix = "ycsb-b";
+  config.frontend.tenants.push_back(victim);
+  if (shared) {
+    frontend::TenantSpec aggressor;
+    aggressor.mix = "wburst";
+    config.frontend.tenants.push_back(aggressor);
+  }
+
+  sim::Simulator simulator(config);
+  if (snapshots != nullptr) simulator.set_snapshot_cache(snapshots);
+  const Lba user_pages = simulator.ssd().ftl().user_pages();
+  const auto factory = [](const frontend::TenantSpec& spec, std::uint32_t /*tenant*/,
+                          Lba partition_pages,
+                          std::uint64_t s) -> std::unique_ptr<wl::WorkloadGenerator> {
+    const wl::WorkloadSpec base = spec.mix == "wburst" ? aggressor_spec() : victim_spec();
+    return std::make_unique<wl::SyntheticWorkload>(base, partition_pages, s);
+  };
+  frontend::HostFrontend fe(config.frontend, user_pages, config.ssd.ftl.geometry.page_size,
+                            seed, factory);
+  const auto policy = sim::make_policy(kind, config, 1.0, sim::PolicyOverrides{}, &fe);
+  const sim::SimReport report = simulator.run(fe, *policy);
+  return report.tenants[0].p99_latency_us;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds_arg = 300.0;
+  std::size_t seeds = 3;
+  std::size_t threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seconds=", 0) == 0) {
+      seconds_arg = std::stod(arg.substr(10));
+    } else if (arg.rfind("--seeds=", 0) == 0) {
+      seeds = std::stoull(arg.substr(8));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::stoull(arg.substr(10));
+    } else {
+      std::fprintf(stderr, "usage: tenant_isolation [--seconds=<s>] [--seeds=<n>] [--threads=<n>]\n");
+      return 2;
+    }
+  }
+  if (seconds_arg <= 0.0 || seeds == 0) {
+    std::fprintf(stderr, "tenant_isolation: --seconds and --seeds must be positive\n");
+    return 2;
+  }
+
+  const std::vector<sim::PolicyKind> policies = {
+      sim::PolicyKind::kLazy, sim::PolicyKind::kAggressive, sim::PolicyKind::kJit};
+
+  // Flat job list: (policy x {solo, shared} x seed), all independent.
+  struct Job {
+    sim::PolicyKind policy;
+    bool shared;
+    std::uint64_t seed;
+  };
+  std::vector<Job> jobs;
+  for (const auto kind : policies) {
+    for (const bool shared : {false, true}) {
+      for (std::size_t s = 0; s < seeds; ++s) {
+        jobs.push_back(Job{kind, shared, derive_seed(1, s)});
+      }
+    }
+  }
+
+  sim::SnapshotCache snapshots;
+  std::vector<double> p99(jobs.size());
+  ThreadPool pool(threads > 0 ? threads : ThreadPool::hardware_threads());
+  pool.parallel_for(jobs.size(), [&](std::size_t i) {
+    p99[i] = victim_p99(jobs[i].policy, jobs[i].shared, jobs[i].seed, seconds_arg, &snapshots);
+  });
+
+  std::printf("Noisy neighbor: YCSB-B victim vs write-burst aggressor (%zu seed%s, %.0f s)\n\n",
+              seeds, seeds == 1 ? "" : "s", seconds_arg);
+  std::printf("%-12s %14s %14s %12s\n", "policy", "solo p99 us", "shared p99 us", "degradation");
+
+  std::vector<double> degradation;
+  std::size_t cursor = 0;
+  for (const auto kind : policies) {
+    double solo = 0.0;
+    double shared = 0.0;
+    for (std::size_t s = 0; s < seeds; ++s) solo += p99[cursor++];
+    for (std::size_t s = 0; s < seeds; ++s) shared += p99[cursor++];
+    solo /= static_cast<double>(seeds);
+    shared /= static_cast<double>(seeds);
+    const double deg = solo > 0.0 ? shared / solo : 0.0;
+    degradation.push_back(deg);
+    std::printf("%-12s %14.0f %14.0f %12.2f\n", sim::policy_kind_name(kind).c_str(), solo,
+                shared, deg);
+  }
+
+  const double best_baseline = std::min(degradation[0], degradation[1]);
+  const double jit = degradation[2];
+  std::printf("\nISOLATION_RATIO %.3f\n", jit > 0.0 ? best_baseline / jit : 0.0);
+  return 0;
+}

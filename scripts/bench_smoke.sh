@@ -35,16 +35,28 @@
 # stripping the wall-clock snapshot fields) and corrupt-cache-file fallback
 # checks run whenever the sweep binary alone is available.
 #
+# The multi-tenant front-end smoke always runs against the sweep binary
+# (tenant_interval records and the run-level tenants[] block are
+# schema-validated, threads 1 vs 2 byte-identical); with a jitgc_cli binary
+# the tenant CLI path runs too (array --jobs 1 vs 4 determinism, enumerated
+# rejections for malformed --tenant-* flags). When a tenant_isolation binary
+# is passed as the seventh argument, the noisy-neighbor cell runs and its
+# isolation ratio is gated against JITGC_MIN_ISOLATION_RATIO (default 0.5 —
+# deliberately relaxed for short CI cells; dev-box measurement at full
+# duration is > 1).
+#
 # Usage: bench_smoke.sh <jitgc_sweep> [bench_victim_select] [jitgc_cli]
 #                       [sim_throughput] [throughput_baseline.jsonl] [precondition_reuse]
+#                       [tenant_isolation]
 set -euo pipefail
 
-SWEEP_BIN=${1:?usage: bench_smoke.sh <jitgc_sweep> [bench_victim_select] [jitgc_cli] [sim_throughput] [baseline.jsonl] [precondition_reuse]}
+SWEEP_BIN=${1:?usage: bench_smoke.sh <jitgc_sweep> [bench_victim_select] [jitgc_cli] [sim_throughput] [baseline.jsonl] [precondition_reuse] [tenant_isolation]}
 VICTIM_BENCH_BIN=${2:-}
 CLI_BIN=${3:-}
 SIM_THROUGHPUT_BIN=${4:-}
 THROUGHPUT_BASELINE=${5:-}
 PRECOND_BENCH_BIN=${6:-}
+TENANT_BENCH_BIN=${7:-}
 WORKDIR=$(mktemp -d)
 trap 'rm -rf "$WORKDIR"' EXIT
 
@@ -645,4 +657,157 @@ EOF
     grep -q '"type":"bench_summary"' "$WORKDIR/precond.jsonl"
     echo "bench_smoke: precondition reuse OK (grep fallback, no budget gate)"
   fi
+fi
+
+# -- Multi-tenant front-end: deterministic, schema-valid tenant records --------
+TENANT_ARGS=(--matrix=fig2 --workload=ycsb --seconds=10 --seeds=1 --intervals
+  --tenants=2 --tenant-weight=2,1 --tenant-qos-p99=50)
+"$SWEEP_BIN" "${TENANT_ARGS[@]}" --threads=2 > "$WORKDIR/mt2.jsonl"
+"$SWEEP_BIN" "${TENANT_ARGS[@]}" --threads=1 > "$WORKDIR/mt1.jsonl"
+if ! cmp -s "$WORKDIR/mt1.jsonl" "$WORKDIR/mt2.jsonl"; then
+  echo "FAIL: tenant sweep differs between --threads=1 and --threads=2" >&2
+  diff "$WORKDIR/mt1.jsonl" "$WORKDIR/mt2.jsonl" >&2 || true
+  exit 1
+fi
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$WORKDIR/mt2.jsonl" << 'EOF'
+import json
+import sys
+
+TENANT_INTERVAL_FIELDS = {
+    "type", "run", "seed", "interval", "time_s", "tenant", "ops", "queued",
+    "write_bytes", "read_bytes", "p50_latency_us", "p99_latency_us",
+    "max_latency_us", "write_p99_latency_us",
+}
+# Prediction attribution appears only under multi-stream JIT-GC.
+TENANT_INTERVAL_OPTIONAL = {"predicted_demand_bytes", "sip_pages"}
+TENANT_SUMMARY_FIELDS = {
+    "tenant", "mix", "weight", "rate_bps", "qos_p99_ms", "closed_loop",
+    "ops", "write_bytes", "read_bytes", "mean_latency_us", "p99_latency_us",
+    "max_latency_us", "read_p99_latency_us", "write_p99_latency_us",
+    "qos_met",
+}
+
+tenant_intervals = runs = predicted = 0
+with open(sys.argv[1]) as f:
+    for lineno, line in enumerate(f, 1):
+        rec = json.loads(line)
+        kind = rec.get("type")
+        if kind == "tenant_interval":
+            fields = set(rec)
+            if not (TENANT_INTERVAL_FIELDS <= fields
+                    <= TENANT_INTERVAL_FIELDS | TENANT_INTERVAL_OPTIONAL):
+                sys.exit(f"line {lineno}: tenant_interval schema mismatch "
+                         f"(got {sorted(rec)})")
+            extra = fields & TENANT_INTERVAL_OPTIONAL
+            if extra and extra != TENANT_INTERVAL_OPTIONAL:
+                sys.exit(f"line {lineno}: prediction fields must appear as a pair")
+            if extra:
+                predicted += 1
+            if rec["tenant"] not in (0, 1):
+                sys.exit(f"line {lineno}: unexpected tenant id {rec['tenant']}")
+            tenant_intervals += 1
+        elif kind == "run":
+            tenants = rec.get("tenants")
+            if not isinstance(tenants, list) or len(tenants) != 2:
+                sys.exit(f"line {lineno}: run record lacks a 2-entry tenants[] block")
+            for t in tenants:
+                if set(t) != TENANT_SUMMARY_FIELDS:
+                    sys.exit(f"line {lineno}: tenant summary schema mismatch "
+                             f"(got {sorted(t)})")
+                if t["qos_p99_ms"] != 50:
+                    sys.exit(f"line {lineno}: QoS target not carried through")
+            if [t["weight"] for t in tenants] != [2, 1]:
+                sys.exit(f"line {lineno}: tenant weights not carried through")
+            runs += 1
+
+# fig2 x ycsb = 3 cells; 10 s at p=5 s = 2 intervals x 2 tenants per run.
+if runs != 3 or tenant_intervals != 12:
+    sys.exit(f"unexpected tenant record counts: {runs} runs, "
+             f"{tenant_intervals} tenant intervals")
+print(f"bench_smoke: tenant records OK ({tenant_intervals} tenant intervals, "
+      f"{predicted} with prediction attribution)")
+EOF
+else
+  [ "$(grep -c '"type":"tenant_interval"' "$WORKDIR/mt2.jsonl")" -eq 12 ]
+  grep -q '"tenants":\[' "$WORKDIR/mt2.jsonl"
+  echo "bench_smoke: tenant records OK (grep fallback)"
+fi
+# Single-stream sweeps must not mention tenants at all (legacy byte-identity
+# is asserted against the tenant-free runs at the top of this script).
+if grep -q 'tenant' "$WORKDIR/t2.jsonl"; then
+  echo "FAIL: tenant fields leaked into a single-stream sweep" >&2
+  exit 1
+fi
+
+if [ -n "$CLI_BIN" ]; then
+  # -- Tenant array run: byte-identical across --jobs 1 and --jobs 4 -----------
+  MT_ARRAY_ARGS=(--seconds=20 --array-devices=4 --stripe-chunk=8
+    --tenants=2 --tenant-mix=ycsb-a,ycsb-b --tenant-weight=2,1)
+  "$CLI_BIN" "${MT_ARRAY_ARGS[@]}" --jobs=1 \
+    --metrics="$WORKDIR/mtarr_j1.jsonl" > "$WORKDIR/mtarr_j1.txt"
+  "$CLI_BIN" "${MT_ARRAY_ARGS[@]}" --jobs=4 \
+    --metrics="$WORKDIR/mtarr_j4.jsonl" > "$WORKDIR/mtarr_j4.txt"
+  if ! cmp -s "$WORKDIR/mtarr_j1.jsonl" "$WORKDIR/mtarr_j4.jsonl" ||
+     ! cmp -s "$WORKDIR/mtarr_j1.txt" "$WORKDIR/mtarr_j4.txt"; then
+    echo "FAIL: tenant array run differs between --jobs=1 and --jobs=4" >&2
+    diff "$WORKDIR/mtarr_j1.jsonl" "$WORKDIR/mtarr_j4.jsonl" >&2 || true
+    exit 1
+  fi
+  [ "$(grep -c '"type":"tenant_interval"' "$WORKDIR/mtarr_j1.jsonl")" -ge 2 ]
+  grep -q '"tenants":\[' "$WORKDIR/mtarr_j1.jsonl"
+  echo "bench_smoke: tenant array run deterministic across thread counts"
+
+  # -- Malformed --tenant-* flags rejected, naming the offending flag ----------
+  expect_tenant_rejection() {
+    local needle=$1
+    shift
+    if "$CLI_BIN" --seconds=5 "$@" > /dev/null 2> "$WORKDIR/err.txt"; then
+      echo "FAIL: jitgc_cli accepted $*" >&2
+      exit 1
+    fi
+    if ! grep -q "$needle" "$WORKDIR/err.txt"; then
+      echo "FAIL: rejection for '$*' lacks enumerated message ($needle):" >&2
+      cat "$WORKDIR/err.txt" >&2
+      exit 1
+    fi
+  }
+  printf '1000,host,0,Write,4096,4096,90\n2000,host,1,Read,8192,4096,80\n' \
+    > "$WORKDIR/tiny_trace.csv"
+  expect_tenant_rejection "one shared value or one per tenant" \
+    --tenants=3 --tenant-weight=1,2
+  expect_tenant_rejection "tenant-weight needs finite weights > 0" \
+    --tenants=2 --tenant-weight=0
+  expect_tenant_rejection "tenant-weight needs finite weights > 0" \
+    --tenants=2 --tenant-weight=nan
+  expect_tenant_rejection "tenant-rate needs finite rates" \
+    --tenants=2 --tenant-rate=-1
+  expect_tenant_rejection "requires --tenants" --tenant-mix=ycsb-a,ycsb-b
+  expect_tenant_rejection "requires --trace-volume-map" \
+    --tenants=2 --trace="$WORKDIR/tiny_trace.csv"
+  expect_tenant_rejection "give exactly one per tenant" \
+    --tenants=2 --trace="$WORKDIR/tiny_trace.csv" --trace-volume-map=0
+  expect_tenant_rejection "trace-volume-map requires --trace" \
+    --tenants=2 --trace-volume-map=0,1
+  echo "bench_smoke: malformed --tenant-* flags rejected with enumerated messages"
+fi
+
+# -- Noisy-neighbor isolation: JIT-GC must degrade the victim least ------------
+# The cell is short for CI, so the default floor is deliberately relaxed
+# (0.5 admits run-to-run noise); dev-box measurement at full duration is > 1.
+if [ -n "${TENANT_BENCH_BIN:-}" ]; then
+  MIN_ISOLATION=${JITGC_MIN_ISOLATION_RATIO:-0.5}
+  "$TENANT_BENCH_BIN" --seconds=40 --seeds=1 > "$WORKDIR/isolation.txt"
+  cat "$WORKDIR/isolation.txt"
+  RATIO=$(awk '/^ISOLATION_RATIO/ { print $2 }' "$WORKDIR/isolation.txt")
+  if [ -z "$RATIO" ]; then
+    echo "FAIL: tenant_isolation printed no ISOLATION_RATIO line" >&2
+    exit 1
+  fi
+  if ! awk -v r="$RATIO" -v floor="$MIN_ISOLATION" 'BEGIN { exit !(r >= floor) }'; then
+    echo "FAIL: isolation ratio $RATIO below the floor $MIN_ISOLATION" \
+         "(override with JITGC_MIN_ISOLATION_RATIO)" >&2
+    exit 1
+  fi
+  echo "bench_smoke: noisy-neighbor isolation OK (ratio $RATIO, floor $MIN_ISOLATION)"
 fi

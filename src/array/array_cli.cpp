@@ -6,6 +6,7 @@
 
 #include "array/array_simulator.h"
 #include "common/ensure.h"
+#include "sim/cli_options.h"
 #include "sim/experiment.h"
 #include "sim/metrics_sink.h"
 
@@ -66,6 +67,7 @@ sim::SimReport run_array_from_cli(const sim::CliOptions& options) {
   config.spo_slot = options.array_spo_slot;
   config.spo_at = seconds(options.array_spo_at_s);
   config.ssd.ftl.checkpoint_interval_erases = options.checkpoint_every_erases;
+  config.frontend = sim::frontend_config_from_cli(options);
 
   ArraySimulator simulator(config);
   sim::SnapshotCache snapshot_cache(options.snapshot_cache_dir);
@@ -73,7 +75,10 @@ sim::SimReport run_array_from_cli(const sim::CliOptions& options) {
   if (!options.snapshot_cache_dir.empty()) simulator.set_snapshot_cache(&snapshot_cache);
   const Lba user_pages = simulator.ssd_array().user_pages();
   const std::unique_ptr<wl::WorkloadGenerator> gen =
-      sim::make_workload_from_cli(options, user_pages);
+      options.tenants > 0
+          ? sim::make_frontend_from_cli(options, user_pages,
+                                        config.ssd.ftl.geometry.page_size)
+          : sim::make_workload_from_cli(options, user_pages);
 
   std::ofstream metrics_out;
   std::unique_ptr<sim::JsonlMetricsSink> metrics_sink;

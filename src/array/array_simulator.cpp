@@ -9,6 +9,7 @@
 #include "common/ensure.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "host/frontend/frontend.h"
 #include "sim/metrics_sink.h"
 #include "sim/simulator.h"
 
@@ -745,6 +746,31 @@ void ArraySimulator::process_tick(TimeUs now) {
     }
     metrics_sink_->on_array_interval(rec);
   }
+  // One tenant record per tenant, right after the array-level record. The
+  // array has no per-tenant predictor, so the prediction fields stay at
+  // their "absent" defaults and are not emitted.
+  if (frontend_ != nullptr) {
+    if (metrics_sink_ != nullptr) {
+      for (std::uint32_t t = 0; t < frontend_->tenant_count(); ++t) {
+        const frontend::TenantIntervalStats ts = frontend_->interval_stats(t);
+        sim::TenantIntervalRecord tr;
+        tr.interval = tick + 1;
+        tr.time_s = to_seconds(now);
+        tr.tenant = t;
+        tr.ops = ts.ops;
+        tr.queued = ts.queued;
+        tr.write_bytes = ts.write_bytes;
+        tr.read_bytes = ts.read_bytes;
+        tr.p50_latency_us = ts.p50_latency_us;
+        tr.p99_latency_us = ts.p99_latency_us;
+        tr.max_latency_us = ts.max_latency_us;
+        tr.write_p99_latency_us = ts.write_p99_latency_us;
+        metrics_sink_->on_tenant_interval(tr);
+      }
+    }
+    frontend_->reset_interval_stats();
+  }
+
   interval_write_bytes_ = 0;
   interval_read_bytes_ = 0;
   interval_ops_ = 0;
@@ -813,6 +839,71 @@ void ArraySimulator::run_event_loop(wl::WorkloadGenerator& workload, TimeUs& ela
   elapsed = std::min(config_.duration, std::max(elapsed, issue));
 }
 
+void ArraySimulator::dispatch_frontend(frontend::HostFrontend& fe, sim::EventCalendar& calendar,
+                                       TimeUs now) {
+  // Drain ready queues while the admission window has room. Latency runs
+  // from the op's arrival instant, so queueing delay is part of every
+  // tenant's tail (matching the array's open-loop latency convention).
+  while (fe.outstanding() < fe.queue_depth()) {
+    const std::optional<frontend::DispatchedOp> d = fe.pop_dispatch(now);
+    if (!d) break;
+    bool stalled = false;
+    const TimeUs completion = execute_op(d->op, now, stalled);
+    record_op_latency(d->op, d->enqueued_at, completion, stalled);
+    fe.note_issued(*d, completion);
+  }
+
+  // Re-arm the three front-end event kinds from the new queue state.
+  if (const auto a = fe.next_arrival(); a && *a < config_.duration) {
+    calendar.schedule(sim::EventKind::kTenantArrival, *a);
+  } else {
+    calendar.cancel(sim::EventKind::kTenantArrival);
+  }
+  if (const auto c = fe.next_completion()) {
+    calendar.schedule(sim::EventKind::kOpComplete, *c);
+  } else {
+    calendar.cancel(sim::EventKind::kOpComplete);
+  }
+  // A rate-blocked backlog needs its own wake-up; everything else re-enters
+  // through a completion (admission slot freed) or an arrival.
+  calendar.cancel(sim::EventKind::kFrontendDispatch);
+  if (fe.outstanding() < fe.queue_depth() && fe.backlog()) {
+    if (const auto r = fe.next_rate_eligible(now); r && *r < config_.duration) {
+      calendar.schedule(sim::EventKind::kFrontendDispatch, *r);
+    }
+  }
+}
+
+void ArraySimulator::run_tenant_event_loop(frontend::HostFrontend& fe, TimeUs& elapsed) {
+  const TimeUs p = config_.flush_period;
+  sim::EventCalendar calendar;
+  calendar.schedule(sim::EventKind::kFlusherTick, p);
+  // Arm the first arrivals (nothing dispatches yet: all queues are empty).
+  dispatch_frontend(fe, calendar, 0);
+
+  // Tie order at one instant: tick (0) first, then completion (3) — freeing
+  // an admission slot — then arrival (4), then a dispatch retry (5).
+  while (const auto ev = calendar.pop()) {
+    if (ev->kind == sim::EventKind::kFlusherTick) {
+      if (ev->at > config_.duration) break;
+      process_tick(ev->at);
+      elapsed = ev->at;
+      calendar.schedule(sim::EventKind::kFlusherTick, ev->at + p);
+      continue;
+    }
+    if (ev->at >= config_.duration) continue;  // dropped, not re-armed
+
+    elapsed = ev->at;
+    if (ev->kind == sim::EventKind::kOpComplete) {
+      fe.retire_completions(ev->at);
+    } else if (ev->kind == sim::EventKind::kTenantArrival) {
+      fe.admit_arrivals(ev->at);
+    }
+    dispatch_frontend(fe, calendar, ev->at);
+  }
+  elapsed = std::min(config_.duration, elapsed);
+}
+
 sim::SimReport ArraySimulator::run(wl::WorkloadGenerator& workload) {
   // Age every device to steady state: from the snapshot cache when one is
   // attached and holds this array's post-precondition state, by the parallel
@@ -839,7 +930,15 @@ sim::SimReport ArraySimulator::run(wl::WorkloadGenerator& workload) {
 
   try {
     if (worn_out_preconditioning) throw ftl::DeviceWornOut("worn out during preconditioning");
-    run_event_loop(workload, elapsed);
+    if (config_.frontend.enabled()) {
+      auto* fe = dynamic_cast<frontend::HostFrontend*>(&workload);
+      JITGC_ENSURE_MSG(fe != nullptr,
+                       "a multi-tenant run must be driven by a frontend::HostFrontend workload");
+      frontend_ = fe;
+      run_tenant_event_loop(*fe, elapsed);
+    } else {
+      run_event_loop(workload, elapsed);
+    }
   } catch (const ftl::DeviceWornOut&) {
     // RAID-0 has no redundancy: the first worn-out device ends the array's
     // life. Report what was achieved up to this point.
@@ -944,6 +1043,30 @@ sim::SimReport ArraySimulator::assemble_report(wl::WorkloadGenerator& workload,
     // so cache-less records stay byte-stable run to run).
     r.snapshot_source = sim::snapshot_source_name(snapshot_source_);
     r.precondition_wall_s = precondition_wall_s_;
+  }
+
+  if (frontend_ != nullptr) {
+    for (std::uint32_t t = 0; t < frontend_->tenant_count(); ++t) {
+      const frontend::TenantSpec& spec = frontend_->spec(t);
+      const frontend::TenantRunStats rs = frontend_->run_stats(t);
+      sim::TenantSummary ts;
+      ts.tenant = t;
+      ts.mix = spec.mix;
+      ts.weight = spec.weight;
+      ts.rate_bps = spec.rate_bps;
+      ts.qos_p99_ms = spec.qos_p99_ms;
+      ts.closed_loop = spec.closed_loop;
+      ts.ops = rs.ops;
+      ts.write_bytes = rs.write_bytes;
+      ts.read_bytes = rs.read_bytes;
+      ts.mean_latency_us = rs.mean_latency_us;
+      ts.p99_latency_us = rs.p99_latency_us;
+      ts.max_latency_us = rs.max_latency_us;
+      ts.read_p99_latency_us = rs.read_p99_latency_us;
+      ts.write_p99_latency_us = rs.write_p99_latency_us;
+      ts.qos_met = spec.qos_p99_ms <= 0.0 || rs.p99_latency_us <= spec.qos_p99_ms * 1000.0;
+      r.tenants.push_back(ts);
+    }
   }
 
   if (metrics_sink_ != nullptr) {

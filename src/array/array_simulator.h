@@ -57,6 +57,7 @@
 #include "array/ssd_array.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
+#include "host/frontend/tenant_config.h"
 #include "sim/engine.h"
 #include "sim/metrics.h"
 #include "sim/snapshot.h"
@@ -65,6 +66,10 @@
 
 namespace jitgc::sim {
 class MetricsSink;
+}
+
+namespace jitgc::frontend {
+class HostFrontend;
 }
 
 namespace jitgc::array {
@@ -109,6 +114,10 @@ struct ArraySimConfig {
   /// device's queue.
   std::int32_t spo_slot = -1;
   TimeUs spo_at = 0;
+  /// Multi-tenant front-end (host/frontend). Empty tenant list (the default)
+  /// keeps the legacy single-stream open-loop arrivals and byte-identical
+  /// output; non-empty requires run()'s workload to be a HostFrontend.
+  frontend::FrontendConfig frontend;
 };
 
 class ArraySimulator {
@@ -172,6 +181,13 @@ class ArraySimulator {
   /// Measured-run loop on an EventCalendar (sim/engine.h). Updates `elapsed`
   /// as it goes so a worn-out / data-loss unwind reports progress.
   void run_event_loop(wl::WorkloadGenerator& workload, TimeUs& elapsed);
+  /// Multi-tenant run loop: kTenantArrival admits arrivals, kOpComplete
+  /// retires completions, the DWRR dispatch pass drains queues while the
+  /// admission window has room. Same calendar, no second loop.
+  void run_tenant_event_loop(frontend::HostFrontend& fe, TimeUs& elapsed);
+  /// Drains the front-end's ready queues into the array and re-arms the
+  /// front-end event kinds from the new queue state.
+  void dispatch_frontend(frontend::HostFrontend& fe, sim::EventCalendar& calendar, TimeUs now);
   /// Records one completed op's latency into run- and interval-level
   /// trackers (shared by both engines).
   void record_op_latency(const wl::AppOp& op, TimeUs issue, TimeUs completion, bool stalled);
@@ -205,6 +221,9 @@ class ArraySimulator {
 
   ArraySimConfig config_;
   SsdArray array_;
+  /// Engaged multi-tenant front-end during run() (not owned; null in legacy
+  /// single-stream runs).
+  frontend::HostFrontend* frontend_ = nullptr;
   GcCoordinator coordinator_;
   ThreadPool pool_;
   bool redundant_ = false;

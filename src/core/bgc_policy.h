@@ -30,6 +30,10 @@ struct PolicyContext {
   /// Device-visible traffic during the interval that just ended.
   Bytes interval_buffered_flush_bytes = 0;  ///< page-cache writeback arrivals
   Bytes interval_direct_bytes = 0;          ///< direct-write arrivals
+  /// Direct-write arrivals attributed per tenant stream (multi-tenant
+  /// front-end only; empty in legacy single-stream runs). Sums to
+  /// `interval_direct_bytes`.
+  std::vector<Bytes> tenant_interval_direct_bytes;
   /// Device idle time during the interval that just ended (time the device
   /// spent neither serving host I/O nor collecting).
   TimeUs interval_idle_us = 0;

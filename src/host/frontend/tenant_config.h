@@ -1,0 +1,50 @@
+// Multi-tenant NVMe-style host front-end: configuration.
+//
+// Each tenant models one client population sharing the device: it owns a
+// workload mix, an arrival process (open- or closed-loop, independently
+// seeded), a QoS weight for the deficit-weighted-round-robin scheduler, an
+// optional submission rate cap, and an optional p99 latency target that the
+// run report grades. An empty tenant list (the default) disables the
+// front-end entirely — the simulators then run their legacy single-stream
+// loops and produce byte-identical output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace jitgc::frontend {
+
+/// One tenant of the multi-queue submission path.
+struct TenantSpec {
+  /// Workload mix name (a paper/ycsb benchmark spec, or the shared trace in
+  /// trace mode). Resolved by the host that builds the front-end.
+  std::string mix = "ycsb";
+  /// DWRR scheduling weight; must be positive. Throughput under saturation
+  /// is proportional to weight.
+  double weight = 1.0;
+  /// Token-bucket cap on submitted payload bytes per second (0 = uncapped).
+  double rate_bps = 0.0;
+  /// p99 latency target in milliseconds (0 = no target). Purely a grading
+  /// knob: the run report's tenants[] block carries qos_met.
+  double qos_p99_ms = 0.0;
+  /// Arrival process: closed-loop tenants issue the next op only after the
+  /// previous one completed (one outstanding op per tenant); open-loop
+  /// tenants chain arrivals by think time alone.
+  bool closed_loop = false;
+};
+
+struct FrontendConfig {
+  std::vector<TenantSpec> tenants;
+  /// Global admission window: ops dispatched to the device but not yet
+  /// completed. The scheduler stops draining queues when it is full.
+  std::uint32_t queue_depth = 32;
+  /// DWRR per-visit deficit top-up, scaled by each tenant's weight.
+  Bytes quantum_bytes = 64 * KiB;
+
+  bool enabled() const { return !tenants.empty(); }
+};
+
+}  // namespace jitgc::frontend

@@ -1,0 +1,154 @@
+#include "host/frontend/tenant_policy.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace jitgc::frontend {
+namespace {
+
+// Same PredictorConfig -> DirectEstimatorConfig mapping the single-stream
+// FutureWriteDemandPredictor applies, so each tenant's estimator matches
+// what JitPolicy would build for that stream alone.
+core::DirectEstimatorConfig estimator_config(const core::PredictorConfig& config) {
+  core::DirectEstimatorConfig e;
+  e.kind = config.direct_estimator;
+  e.cdh = config.cdh;
+  e.cdh_quantile = config.direct_quantile;
+  e.ewma_alpha = config.ewma_alpha;
+  e.ewma_margin = config.ewma_margin;
+  e.max_windows = config.sliding_max_windows;
+  e.intervals_per_window = config.cdh.intervals_per_window;
+  return e;
+}
+
+}  // namespace
+
+MultiStreamJitPolicy::MultiStreamJitPolicy(const core::JitPolicyConfig& config,
+                                           const HostFrontend* frontend)
+    : config_(config), frontend_(frontend), manager_(config.horizon) {
+  JITGC_ENSURE_MSG(frontend_ != nullptr, "the multi-stream policy needs the front-end topology");
+  const std::uint32_t n = frontend_->tenant_count();
+  direct_.reserve(n);
+  for (std::uint32_t t = 0; t < n; ++t) {
+    direct_.push_back(core::make_direct_estimator(estimator_config(config.predictor)));
+  }
+  tenant_predicted_.assign(n, 0);
+  tenant_sip_.assign(n, 0);
+}
+
+core::PolicyDecision MultiStreamJitPolicy::on_interval(const core::PolicyContext& ctx) {
+  JITGC_ENSURE_MSG(ctx.page_cache != nullptr, "JIT-GC needs host page-cache visibility");
+  const host::PageCache& cache = *ctx.page_cache;
+  const auto& cfg = cache.config();
+  const std::uint32_t nwb = cfg.intervals_per_horizon();
+  const TimeUs p = cfg.flush_period;
+  const Bytes page = cfg.page_size;
+  const std::uint32_t n = frontend_->tenant_count();
+  JITGC_ENSURE_MSG(ctx.tenant_interval_direct_bytes.size() == n,
+                   "per-tenant direct-byte attribution must cover every tenant");
+
+  for (std::uint32_t t = 0; t < n; ++t) {
+    direct_[t]->observe_interval(ctx.tenant_interval_direct_bytes[t]);
+  }
+
+  double measured_idle_s = -1.0;
+  if (config_.use_measured_idle) {
+    if (idle_intervals_seen_ < config_.idle_warmup_intervals) {
+      ++idle_intervals_seen_;
+    } else {
+      const auto idle = static_cast<double>(ctx.interval_idle_us);
+      idle_ewma_us_ = idle_ewma_us_ < 0.0
+                          ? idle
+                          : (1.0 - config_.idle_ewma_alpha) * idle_ewma_us_ +
+                                config_.idle_ewma_alpha * idle;
+      const double intervals =
+          static_cast<double>(config_.horizon) / static_cast<double>(cfg.flush_period);
+      measured_idle_s = idle_ewma_us_ * intervals / 1e6;
+    }
+  }
+
+  // Buffered demand: one oldest-first scan, the per-page arithmetic of the
+  // single-stream predictor's bucket_by_scan, attributed per tenant through
+  // the LBA partition. The same walk emits the (global) SIP list and each
+  // tenant's dirty-page count.
+  core::Prediction prediction;
+  prediction.buffered = core::DemandVector(nwb);
+  prediction.direct = core::DemandVector(nwb);
+  prediction.sip_size = cache.dirty_pages();
+  prediction.sip_is_delta = cache.sip_tracking_enabled();
+  if (prediction.sip_is_delta) prediction.sip = cache.pending_sip_delta();
+  const bool want_full_list = !prediction.sip_is_delta;
+
+  // Strict mode mirrors the single-stream predictor: at or below tau_flush
+  // nothing is predicted to flush (the SIP list is still emitted); above it
+  // the oldest excess flushes at the very next tick.
+  bool predict_flushes = true;
+  std::uint64_t early_flush_pages = 0;
+  if (!config_.predictor.relax_flush_condition) {
+    const Bytes dirty_bytes = cache.dirty_bytes();
+    const Bytes threshold = cfg.tau_flush_bytes();
+    if (dirty_bytes <= threshold) {
+      predict_flushes = false;
+    } else {
+      early_flush_pages = (dirty_bytes - threshold + page - 1) / page;
+    }
+  }
+
+  std::vector<core::DemandVector> per_buf(n, core::DemandVector(nwb));
+  std::fill(tenant_sip_.begin(), tenant_sip_.end(), 0);
+  const std::vector<host::DirtyPage> dirty = cache.scan_dirty();
+  if (want_full_list) prediction.sip.added.reserve(dirty.size());
+  std::uint64_t scanned = 0;
+  for (const host::DirtyPage& dp : dirty) {
+    const std::uint32_t t = frontend_->tenant_of_lba(dp.lba);
+    ++tenant_sip_[t];
+    if (want_full_list) prediction.sip.added.push_back(dp.lba);
+    if (!predict_flushes) continue;
+
+    std::uint32_t j;
+    if (scanned < early_flush_pages) {
+      j = 1;
+    } else {
+      const TimeUs expiry = dp.last_update + cfg.tau_expire;
+      if (expiry <= ctx.now) {
+        j = 1;
+      } else {
+        const TimeUs delta = expiry - ctx.now;
+        j = static_cast<std::uint32_t>((delta + p - 1) / p);  // ceil(delta / p)
+      }
+      if (j > nwb) j = nwb;
+    }
+    prediction.buffered.add(j, page);
+    per_buf[t].add(j, page);
+    ++scanned;
+  }
+
+  // Direct demand: each tenant's estimator spread evenly over the horizon
+  // (delta / Nwb per slot, remainder in slot 1 — the single-stream rule,
+  // applied per stream and summed).
+  for (std::uint32_t t = 0; t < n; ++t) {
+    const Bytes delta = direct_[t]->estimate();
+    const Bytes share = delta / nwb;
+    for (std::uint32_t i = 1; i <= nwb; ++i) prediction.direct.add(i, share);
+    prediction.direct.add(1, delta - share * nwb);
+    tenant_predicted_[t] = per_buf[t].total() + delta;
+  }
+
+  last_decision_ = manager_.decide(prediction, ctx.c_free,
+                                   core::BandwidthEstimate{ctx.write_bps, ctx.gc_bps},
+                                   ctx.reclaimable_capacity, measured_idle_s);
+
+  core::PolicyDecision d;
+  d.reclaim_bytes = last_decision_.idle_reclaim_bytes;
+  d.urgent_reclaim_bytes = last_decision_.reclaim_bytes;
+  d.predicted_horizon_bytes = static_cast<double>(prediction.required_capacity());
+  if (config_.use_sip_list) {
+    d.sip_update = std::move(prediction.sip);
+    d.sip_size = prediction.sip_size;
+    d.sip_is_delta = prediction.sip_is_delta;
+  }
+  return d;
+}
+
+}  // namespace jitgc::frontend

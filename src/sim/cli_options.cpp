@@ -30,6 +30,39 @@ bool parse_u64(const std::string& value, std::uint64_t& out) {
   return ec == std::errc{} && ptr == value.data() + value.size();
 }
 
+std::vector<std::string> split_list(const std::string& value) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = value.find(',', start);
+    items.push_back(comma == std::string::npos ? value.substr(start)
+                                               : value.substr(start, comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return items;
+}
+
+bool parse_double_list(const std::string& value, std::vector<double>& out) {
+  out.clear();
+  for (const std::string& item : split_list(value)) {
+    double v = 0.0;
+    if (!parse_double(item, v)) return false;
+    out.push_back(v);
+  }
+  return !out.empty();
+}
+
+bool parse_u32_list(const std::string& value, std::vector<std::uint32_t>& out) {
+  out.clear();
+  for (const std::string& item : split_list(value)) {
+    std::uint64_t v = 0;
+    if (!parse_u64(item, v)) return false;
+    out.push_back(static_cast<std::uint32_t>(v));
+  }
+  return !out.empty();
+}
+
 std::optional<PolicyKind> parse_policy(const std::string& name) {
   if (name == "lazy" || name == "l-bgc") return PolicyKind::kLazy;
   if (name == "aggressive" || name == "a-bgc") return PolicyKind::kAggressive;
@@ -48,8 +81,13 @@ std::optional<ftl::VictimPolicyKind> parse_victim(const std::string& name) {
   return std::nullopt;
 }
 
-std::optional<wl::WorkloadSpec> find_benchmark(const std::string& name) {
-  for (const auto& spec : wl::paper_benchmark_specs()) {
+}  // namespace
+
+std::optional<wl::WorkloadSpec> find_benchmark_spec(const std::string& name) {
+  auto specs = wl::paper_benchmark_specs();
+  const auto core = wl::ycsb_core_specs();  // tenant mixes: ycsb-a .. ycsb-f
+  specs.insert(specs.end(), core.begin(), core.end());
+  for (const auto& spec : specs) {
     std::string lowered = spec.name;
     for (char& c : lowered) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
     // Accept "bonnie" for "bonnie++", "tpcc" for "tpc-c", etc.
@@ -67,10 +105,10 @@ std::optional<wl::WorkloadSpec> find_benchmark(const std::string& name) {
   return std::nullopt;
 }
 
-}  // namespace
-
 std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::string& error) {
   CliOptions opt;
+  // First --tenant-* flag seen, for the "requires --tenants" diagnostic.
+  std::string tenant_flag_seen;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     const auto eq = arg.find('=');
@@ -97,6 +135,82 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::s
       if (!need_value() || !parse_double(value, opt.trace_buffered_fraction) ||
           !(opt.trace_buffered_fraction >= 0.0 && opt.trace_buffered_fraction <= 1.0)) {
         error = "--trace-buffered needs a fraction in [0,1]";
+        return std::nullopt;
+      }
+    } else if (key == "--tenants") {
+      std::uint64_t v = 0;
+      if (!need_value() || !parse_u64(value, v) || v == 0) {
+        error = "--tenants needs a positive tenant count";
+        return std::nullopt;
+      }
+      opt.tenants = static_cast<std::uint32_t>(v);
+    } else if (key == "--tenant-mix") {
+      if (!need_value()) return std::nullopt;
+      opt.tenant_mix = split_list(value);
+      for (const std::string& mix : opt.tenant_mix) {
+        if (mix.empty()) {
+          error = "--tenant-mix needs comma-separated workload names";
+          return std::nullopt;
+        }
+      }
+      tenant_flag_seen = key;
+    } else if (key == "--tenant-weight") {
+      // NaN-safe like --spo-at: !(finite && > 0) rejects NaN, infinities,
+      // zero, and negatives alike, always naming the offending flag.
+      if (!need_value() || !parse_double_list(value, opt.tenant_weight)) {
+        error = "--tenant-weight needs comma-separated scheduling weights";
+        return std::nullopt;
+      }
+      for (const double w : opt.tenant_weight) {
+        if (!(std::isfinite(w) && w > 0.0)) {
+          error = "--tenant-weight needs finite weights > 0";
+          return std::nullopt;
+        }
+      }
+      tenant_flag_seen = key;
+    } else if (key == "--tenant-rate") {
+      if (!need_value() || !parse_double_list(value, opt.tenant_rate)) {
+        error = "--tenant-rate needs comma-separated byte rates";
+        return std::nullopt;
+      }
+      for (const double r : opt.tenant_rate) {
+        if (!(std::isfinite(r) && r >= 0.0)) {
+          error = "--tenant-rate needs finite rates in bytes/s (0 = uncapped)";
+          return std::nullopt;
+        }
+      }
+      tenant_flag_seen = key;
+    } else if (key == "--tenant-qos-p99") {
+      if (!need_value() || !parse_double_list(value, opt.tenant_qos_p99_ms)) {
+        error = "--tenant-qos-p99 needs comma-separated millisecond targets";
+        return std::nullopt;
+      }
+      for (const double q : opt.tenant_qos_p99_ms) {
+        if (!(std::isfinite(q) && q >= 0.0)) {
+          error = "--tenant-qos-p99 needs finite targets in ms (0 = ungraded)";
+          return std::nullopt;
+        }
+      }
+      tenant_flag_seen = key;
+    } else if (key == "--tenant-arrival") {
+      if (!need_value()) return std::nullopt;
+      if (value != "open" && value != "closed") {
+        error = "unknown tenant arrival model '" + value + "' (open|closed)";
+        return std::nullopt;
+      }
+      opt.tenant_arrival = value;
+      tenant_flag_seen = key;
+    } else if (key == "--tenant-queue-depth") {
+      std::uint64_t v = 0;
+      if (!need_value() || !parse_u64(value, v) || v == 0) {
+        error = "--tenant-queue-depth needs a positive admission-window size";
+        return std::nullopt;
+      }
+      opt.tenant_queue_depth = static_cast<std::uint32_t>(v);
+      tenant_flag_seen = key;
+    } else if (key == "--trace-volume-map") {
+      if (!need_value() || !parse_u32_list(value, opt.trace_volume_map)) {
+        error = "--trace-volume-map needs comma-separated MSR volume numbers";
         return std::nullopt;
       }
     } else if (key == "--policy") {
@@ -384,6 +498,45 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::s
     error = "--snapshot-cache-limit requires --snapshot-cache";
     return std::nullopt;
   }
+  if (opt.tenants == 0) {
+    if (!tenant_flag_seen.empty()) {
+      error = tenant_flag_seen + " requires --tenants";
+      return std::nullopt;
+    }
+    if (!opt.trace_volume_map.empty()) {
+      error = "--trace-volume-map requires --tenants (it maps volumes onto tenants)";
+      return std::nullopt;
+    }
+  } else {
+    const std::pair<const char*, std::size_t> tenant_lists[] = {
+        {"--tenant-mix", opt.tenant_mix.size()},
+        {"--tenant-weight", opt.tenant_weight.size()},
+        {"--tenant-rate", opt.tenant_rate.size()},
+        {"--tenant-qos-p99", opt.tenant_qos_p99_ms.size()},
+    };
+    for (const auto& [flag, n] : tenant_lists) {
+      if (n > 1 && n != opt.tenants) {
+        error = std::string(flag) + " got " + std::to_string(n) + " values for " +
+                std::to_string(opt.tenants) +
+                " tenants (give one shared value or one per tenant)";
+        return std::nullopt;
+      }
+    }
+    if (!opt.trace_path.empty() && opt.trace_volume_map.empty()) {
+      error = "--tenants with --trace requires --trace-volume-map (one MSR volume per tenant)";
+      return std::nullopt;
+    }
+    if (!opt.trace_volume_map.empty() && opt.trace_volume_map.size() != opt.tenants) {
+      error = "--trace-volume-map got " + std::to_string(opt.trace_volume_map.size()) +
+              " volumes for " + std::to_string(opt.tenants) +
+              " tenants (give exactly one per tenant)";
+      return std::nullopt;
+    }
+  }
+  if (!opt.trace_volume_map.empty() && opt.trace_path.empty()) {
+    error = "--trace-volume-map requires --trace";
+    return std::nullopt;
+  }
   return opt;
 }
 
@@ -393,6 +546,14 @@ std::string cli_usage() {
                          mail-server|file-server        (default ycsb)
   --trace=<file>         replay an MSR-format block trace instead
   --trace-buffered=<f>   re-synthesize this fraction of trace writes as buffered
+  --tenants=<n>          multi-tenant front-end with n queues  (default off)
+  --tenant-mix=<a,b,..>  per-tenant workload mixes (one shared, or one per tenant)
+  --tenant-weight=<w,..> per-tenant DWRR weights, > 0          (default 1)
+  --tenant-rate=<b,..>   per-tenant submission caps, bytes/s (0 = uncapped)
+  --tenant-qos-p99=<ms,..>  per-tenant p99 targets, ms (0 = ungraded)
+  --tenant-arrival=<m>   open|closed arrivals for every tenant (default open)
+  --tenant-queue-depth=<n>  global admission window            (default 32)
+  --trace-volume-map=<v,..>  MSR volume each tenant replays (trace mode)
   --policy=<name>        lazy|aggressive|adaptive|jit|fixed   (default jit)
   --reserve=<m>          C_resv as a multiple of C_OP for --policy=fixed
   --seconds=<s>          measured duration                    (default 300)
@@ -460,11 +621,80 @@ std::unique_ptr<wl::WorkloadGenerator> make_workload_from_cli(const CliOptions& 
   if (options.workload == "file-server") {
     return std::make_unique<wl::FileWorkload>(wl::file_server_spec(), user_pages, options.seed);
   }
-  const auto spec = find_benchmark(options.workload);
+  const auto spec = find_benchmark_spec(options.workload);
   if (!spec) {
     throw std::runtime_error("unknown workload: " + options.workload);
   }
   return std::make_unique<wl::SyntheticWorkload>(*spec, user_pages, options.seed);
+}
+
+frontend::FrontendConfig frontend_config_from_cli(const CliOptions& options) {
+  frontend::FrontendConfig config;
+  if (options.tenants == 0) return config;
+  const auto pick = [](const std::vector<double>& list, std::uint32_t t, double fallback) {
+    if (list.empty()) return fallback;
+    return list.size() == 1 ? list[0] : list[t];
+  };
+  config.queue_depth = options.tenant_queue_depth;
+  config.tenants.resize(options.tenants);
+  for (std::uint32_t t = 0; t < options.tenants; ++t) {
+    frontend::TenantSpec& spec = config.tenants[t];
+    if (!options.trace_volume_map.empty()) {
+      spec.mix = "vol" + std::to_string(options.trace_volume_map[t]);
+    } else if (!options.tenant_mix.empty()) {
+      spec.mix = options.tenant_mix.size() == 1 ? options.tenant_mix[0] : options.tenant_mix[t];
+    } else {
+      spec.mix = options.workload;
+    }
+    spec.weight = pick(options.tenant_weight, t, 1.0);
+    spec.rate_bps = pick(options.tenant_rate, t, 0.0);
+    spec.qos_p99_ms = pick(options.tenant_qos_p99_ms, t, 0.0);
+    spec.closed_loop = options.tenant_arrival == "closed";
+  }
+  return config;
+}
+
+std::unique_ptr<frontend::HostFrontend> make_frontend_from_cli(const CliOptions& options,
+                                                               Lba user_pages, Bytes page_size) {
+  if (options.tenants == 0) {
+    throw std::runtime_error("make_frontend_from_cli needs --tenants >= 1");
+  }
+  const frontend::FrontendConfig config = frontend_config_from_cli(options);
+
+  frontend::GeneratorFactory factory;
+  if (!options.trace_path.empty()) {
+    // Parse once; every tenant replays its own volume's substream.
+    const auto records = std::make_shared<const std::vector<wl::TraceRecord>>(
+        wl::read_msr_trace(options.trace_path));
+    const std::string path = options.trace_path;
+    const double buffered = options.trace_buffered_fraction;
+    const std::vector<std::uint32_t> volumes = options.trace_volume_map;
+    factory = [records, path, buffered, volumes](
+                  const frontend::TenantSpec& spec, std::uint32_t tenant, Lba partition_pages,
+                  std::uint64_t seed) -> std::unique_ptr<wl::WorkloadGenerator> {
+      wl::TraceReplayOptions trace_opts;
+      trace_opts.user_pages = partition_pages;
+      trace_opts.buffered_fraction = buffered;
+      trace_opts.seed = seed;
+      trace_opts.volume = static_cast<std::int32_t>(volumes[tenant]);
+      return std::make_unique<wl::TraceWorkload>(path + ":" + spec.mix, *records, trace_opts);
+    };
+  } else {
+    factory = [](const frontend::TenantSpec& spec, std::uint32_t /*tenant*/, Lba partition_pages,
+                 std::uint64_t seed) -> std::unique_ptr<wl::WorkloadGenerator> {
+      if (spec.mix == "mail-server") {
+        return std::make_unique<wl::FileWorkload>(wl::mail_server_spec(), partition_pages, seed);
+      }
+      if (spec.mix == "file-server") {
+        return std::make_unique<wl::FileWorkload>(wl::file_server_spec(), partition_pages, seed);
+      }
+      const auto bench = find_benchmark_spec(spec.mix);
+      if (!bench) throw std::runtime_error("unknown tenant mix: " + spec.mix);
+      return std::make_unique<wl::SyntheticWorkload>(*bench, partition_pages, seed);
+    };
+  }
+  return std::make_unique<frontend::HostFrontend>(config, user_pages, page_size, options.seed,
+                                                  factory);
 }
 
 SimReport run_from_cli(const CliOptions& options) {
@@ -490,6 +720,7 @@ SimReport run_from_cli(const CliOptions& options) {
   config.spo_at_s = options.spo_at_s;
   config.spo_every_s = options.spo_every_s;
   config.spo_precondition_after_writes = options.spo_precondition_writes;
+  config.frontend = frontend_config_from_cli(options);
 
   PolicyOverrides overrides;
   overrides.use_sip_list = options.use_sip_list;
@@ -500,9 +731,19 @@ SimReport run_from_cli(const CliOptions& options) {
   SnapshotCache snapshot_cache(options.snapshot_cache_dir);
   snapshot_cache.set_disk_limit(options.snapshot_cache_limit);
   if (!options.snapshot_cache_dir.empty()) simulator.set_snapshot_cache(&snapshot_cache);
-  const auto policy =
-      make_policy(options.policy, config, options.fixed_reserve_multiple, overrides);
   const Lba user_pages = simulator.ssd().ftl().user_pages();
+
+  std::unique_ptr<wl::WorkloadGenerator> gen;
+  std::unique_ptr<core::BgcPolicy> policy;
+  if (options.tenants > 0) {
+    auto fe = make_frontend_from_cli(options, user_pages, config.ssd.ftl.geometry.page_size);
+    policy = make_policy(options.policy, config, options.fixed_reserve_multiple, overrides,
+                         fe.get());
+    gen = std::move(fe);
+  } else {
+    policy = make_policy(options.policy, config, options.fixed_reserve_multiple, overrides);
+    gen = make_workload_from_cli(options, user_pages);
+  }
 
   std::ofstream metrics_out;
   std::unique_ptr<JsonlMetricsSink> metrics_sink;
@@ -516,7 +757,6 @@ SimReport run_from_cli(const CliOptions& options) {
     simulator.set_metrics_sink(metrics_sink.get());
   }
 
-  const std::unique_ptr<wl::WorkloadGenerator> gen = make_workload_from_cli(options, user_pages);
   return simulator.run(*gen, *policy);
 }
 

@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "ftl/victim_policy.h"
+#include "host/frontend/frontend.h"
 #include "sim/experiment.h"
+#include "workload/synthetic.h"
 #include "workload/workload.h"
 
 namespace jitgc::sim {
@@ -23,6 +25,25 @@ struct CliOptions {
   /// MSR-format trace file to replay instead of a synthetic workload.
   std::string trace_path;
   double trace_buffered_fraction = 0.0;
+
+  // -- Multi-tenant front-end (src/host/frontend) -------------------------------
+  /// 0 = single-stream mode (the default); N >= 1 runs the NVMe-style
+  /// front-end: N per-tenant queues behind a deficit-weighted-round-robin
+  /// scheduler, per-tenant QoS metrics, per-tenant JIT-GC demand signals.
+  std::uint32_t tenants = 0;
+  /// Per-tenant lists (one shared value broadcast to every tenant, or one
+  /// entry per tenant — anything else is a parse error).
+  std::vector<std::string> tenant_mix;       ///< benchmark name per tenant
+  std::vector<double> tenant_weight;         ///< DWRR weight (> 0)
+  std::vector<double> tenant_rate;           ///< rate cap, bytes/s (0 = none)
+  std::vector<double> tenant_qos_p99_ms;     ///< p99 target, ms (0 = none)
+  /// Arrival model shared by every tenant: "open" (default) or "closed".
+  std::string tenant_arrival = "open";
+  /// Global admission window (outstanding ops across all tenants).
+  std::uint32_t tenant_queue_depth = 32;
+  /// Trace mode: MSR volume (DiskNumber) replayed by each tenant, one entry
+  /// per tenant. Required when --tenants is combined with --trace.
+  std::vector<std::uint32_t> trace_volume_map;
 
   PolicyKind policy = PolicyKind::kJit;
   /// C_resv multiple for --policy=fixed.
@@ -150,6 +171,23 @@ std::string cli_usage();
 /// and array runners.
 std::unique_ptr<wl::WorkloadGenerator> make_workload_from_cli(const CliOptions& options,
                                                               Lba user_pages);
+
+/// Looks up a benchmark spec by name: the six paper benchmarks plus the
+/// YCSB core mixes (ycsb-a .. ycsb-f). Matching ignores case and
+/// punctuation ("bonnie" finds "Bonnie++"). Shared with the sweep engine so
+/// tenant mix names resolve identically everywhere.
+std::optional<wl::WorkloadSpec> find_benchmark_spec(const std::string& name);
+
+/// The front-end configuration the options describe (tenant specs with the
+/// broadcast rule applied). enabled() is false when --tenants was absent.
+frontend::FrontendConfig frontend_config_from_cli(const CliOptions& options);
+
+/// Builds the multi-tenant front-end: per-tenant generators (synthetic mixes
+/// or per-volume trace substreams) on independently derived seeds, sized
+/// against each tenant's LBA partition. Requires options.tenants >= 1.
+/// Throws std::runtime_error for an unknown mix or missing trace file.
+std::unique_ptr<frontend::HostFrontend> make_frontend_from_cli(const CliOptions& options,
+                                                               Lba user_pages, Bytes page_size);
 
 /// Builds the SimConfig / policy / workload described by the options and
 /// runs the cell (single-SSD mode; the array runner lives in

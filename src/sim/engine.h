@@ -26,6 +26,12 @@ enum class EventKind : std::uint8_t {
   kFlusherTick = 0,  ///< flusher / coordinator tick (period p)
   kAppArrival = 1,   ///< next application op becomes ready
   kSpo = 2,          ///< injected sudden power-off (crash-recovery testing)
+  // Multi-tenant front-end events (host/frontend). A completion fires before
+  // a same-instant arrival or dispatch retry: freeing an admission slot
+  // first lets the freed slot serve that arrival in the same instant.
+  kOpComplete = 3,       ///< earliest in-flight op completes (frees a QD slot)
+  kTenantArrival = 4,    ///< earliest staged tenant arrival becomes due
+  kFrontendDispatch = 5, ///< rate-blocked queue becomes eligible again
   kCount,
 };
 

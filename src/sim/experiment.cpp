@@ -5,6 +5,7 @@
 #include "core/adaptive_policy.h"
 #include "core/fixed_reserve_policy.h"
 #include "core/jit_policy.h"
+#include "host/frontend/tenant_policy.h"
 
 namespace jitgc::sim {
 namespace {
@@ -62,6 +63,13 @@ std::unique_ptr<core::BgcPolicy> make_policy(PolicyKind kind, const SimConfig& s
 std::unique_ptr<core::BgcPolicy> make_policy(PolicyKind kind, const SimConfig& sim,
                                              double fixed_multiple,
                                              const PolicyOverrides& overrides) {
+  return make_policy(kind, sim, fixed_multiple, overrides, nullptr);
+}
+
+std::unique_ptr<core::BgcPolicy> make_policy(PolicyKind kind, const SimConfig& sim,
+                                             double fixed_multiple,
+                                             const PolicyOverrides& overrides,
+                                             const frontend::HostFrontend* frontend) {
   switch (kind) {
     case PolicyKind::kFixedReserve:
       return std::make_unique<core::FixedReservePolicy>(fixed_multiple);
@@ -86,6 +94,9 @@ std::unique_ptr<core::BgcPolicy> make_policy(PolicyKind kind, const SimConfig& s
       cfg.use_sip_list = overrides.use_sip_list;
       cfg.use_measured_idle = overrides.use_measured_idle;
       cfg.embedded_manager = overrides.embedded_manager;
+      if (frontend != nullptr) {
+        return std::make_unique<frontend::MultiStreamJitPolicy>(cfg, frontend);
+      }
       return std::make_unique<core::JitPolicy>(cfg);
     }
   }

@@ -47,6 +47,16 @@ std::unique_ptr<core::BgcPolicy> make_policy(PolicyKind kind, const SimConfig& s
                                              double fixed_multiple,
                                              const PolicyOverrides& overrides);
 
+/// Multi-tenant variant: kJit becomes a frontend::MultiStreamJitPolicy keyed
+/// to `frontend`'s tenant topology (per-tenant estimators, per-tenant demand
+/// attribution); every other kind is unchanged — the baselines are
+/// device-internal and see no tenant structure. `frontend` must outlive the
+/// policy; pass null to get the single-stream factory behaviour.
+std::unique_ptr<core::BgcPolicy> make_policy(PolicyKind kind, const SimConfig& sim,
+                                             double fixed_multiple,
+                                             const PolicyOverrides& overrides,
+                                             const frontend::HostFrontend* frontend);
+
 /// Runs one (workload, policy) cell from scratch and returns the report.
 /// `snapshots` (optional, not owned) reuses post-precondition device state
 /// across cells that share a precondition fingerprint — the measured-run

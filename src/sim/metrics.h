@@ -4,10 +4,32 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 
 namespace jitgc::sim {
+
+/// Per-tenant totals of a multi-tenant front-end run (spec echo + measured
+/// results + QoS grade). Present only when the front-end was enabled.
+struct TenantSummary {
+  std::uint32_t tenant = 0;
+  std::string mix;
+  double weight = 1.0;
+  double rate_bps = 0.0;       ///< configured cap (0 = uncapped)
+  double qos_p99_ms = 0.0;     ///< configured target (0 = none)
+  bool closed_loop = false;
+  std::uint64_t ops = 0;
+  Bytes write_bytes = 0;
+  Bytes read_bytes = 0;
+  double mean_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double max_latency_us = 0.0;
+  double read_p99_latency_us = 0.0;
+  double write_p99_latency_us = 0.0;
+  /// p99 <= qos_p99_ms (vacuously true with no target).
+  bool qos_met = true;
+};
 
 struct SimReport {
   std::string workload;
@@ -125,6 +147,11 @@ struct SimReport {
   /// Host wall-clock seconds spent establishing the preconditioned state
   /// (replaying it cold, or restoring and rebuilding derived structures).
   double precondition_wall_s = 0.0;
+
+  // -- Multi-tenant front-end (src/host/frontend; emitted only when enabled) ------
+  /// One entry per tenant, in tenant order. Empty for legacy single-stream
+  /// runs, so the JSONL emitter omits the tenants[] block entirely.
+  std::vector<TenantSummary> tenants;
 };
 
 }  // namespace jitgc::sim

@@ -82,6 +82,33 @@ std::string format_interval_jsonl(std::uint64_t run_index, std::uint64_t seed,
   return out;
 }
 
+std::string format_tenant_interval_jsonl(std::uint64_t run_index, std::uint64_t seed,
+                                         const TenantIntervalRecord& r) {
+  std::string out = "{\"type\":\"tenant_interval\"";
+  append_field(out, "run", run_index);
+  append_field(out, "seed", seed);
+  append_field(out, "interval", r.interval);
+  append_field(out, "time_s", r.time_s);
+  append_field(out, "tenant", static_cast<std::uint64_t>(r.tenant));
+  append_field(out, "ops", r.ops);
+  append_field(out, "queued", r.queued);
+  append_field(out, "write_bytes", static_cast<std::uint64_t>(r.write_bytes));
+  append_field(out, "read_bytes", static_cast<std::uint64_t>(r.read_bytes));
+  append_field(out, "p50_latency_us", r.p50_latency_us);
+  append_field(out, "p99_latency_us", r.p99_latency_us);
+  append_field(out, "max_latency_us", r.max_latency_us);
+  append_field(out, "write_p99_latency_us", r.write_p99_latency_us);
+  // Prediction attribution only when the policy provides it (multi-stream
+  // JIT-GC); baseline policies emit the traffic fields alone.
+  if (r.predicted_demand_bytes >= 0) {
+    append_field(out, "predicted_demand_bytes",
+                 static_cast<std::uint64_t>(r.predicted_demand_bytes));
+    append_field(out, "sip_pages", r.sip_pages);
+  }
+  out += '}';
+  return out;
+}
+
 std::string format_fault_jsonl(std::uint64_t run_index, std::uint64_t seed,
                                const FaultRecord& r) {
   std::string out = "{\"type\":\"fault\"";
@@ -272,6 +299,35 @@ std::string format_run_jsonl(std::uint64_t run_index, std::uint64_t seed,
     append_field(out, "integrity_reads_verified", r.integrity_reads_verified);
     append_field(out, "integrity_stale_reads", r.integrity_stale_reads);
   }
+  // Per-tenant summaries only when the multi-tenant front-end was enabled:
+  // single-stream output stays byte-identical to the legacy schema.
+  if (!r.tenants.empty()) {
+    out += ",\"tenants\":[";
+    for (std::size_t i = 0; i < r.tenants.size(); ++i) {
+      const TenantSummary& t = r.tenants[i];
+      if (i > 0) out += ',';
+      out += "{\"tenant\":";
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%u", t.tenant);
+      out += buf;
+      append_field(out, "mix", t.mix);
+      append_field(out, "weight", t.weight);
+      append_field(out, "rate_bps", t.rate_bps);
+      append_field(out, "qos_p99_ms", t.qos_p99_ms);
+      append_field(out, "closed_loop", t.closed_loop);
+      append_field(out, "ops", t.ops);
+      append_field(out, "write_bytes", static_cast<std::uint64_t>(t.write_bytes));
+      append_field(out, "read_bytes", static_cast<std::uint64_t>(t.read_bytes));
+      append_field(out, "mean_latency_us", t.mean_latency_us);
+      append_field(out, "p99_latency_us", t.p99_latency_us);
+      append_field(out, "max_latency_us", t.max_latency_us);
+      append_field(out, "read_p99_latency_us", t.read_p99_latency_us);
+      append_field(out, "write_p99_latency_us", t.write_p99_latency_us);
+      append_field(out, "qos_met", t.qos_met);
+      out += '}';
+    }
+    out += ']';
+  }
   // Snapshot provenance only when a snapshot cache was attached: cache-less
   // output stays byte-identical to the legacy schema, and warm-vs-cold
   // byte comparisons strip exactly these two fields (the wall-clock is host
@@ -333,6 +389,11 @@ JsonlMetricsSink::JsonlMetricsSink(std::ostream& out, std::uint64_t run_index,
 void JsonlMetricsSink::on_interval(const IntervalRecord& record) {
   if (!emit_intervals_) return;
   out_ << format_interval_jsonl(run_index_, seed_, record) << '\n';
+}
+
+void JsonlMetricsSink::on_tenant_interval(const TenantIntervalRecord& record) {
+  if (!emit_intervals_) return;
+  out_ << format_tenant_interval_jsonl(run_index_, seed_, record) << '\n';
 }
 
 void JsonlMetricsSink::on_fault(const FaultRecord& record) {

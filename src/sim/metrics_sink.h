@@ -46,6 +46,30 @@ struct IntervalRecord {
   double max_latency_us = 0.0;
 };
 
+/// One tenant's share of a flusher interval (multi-tenant front-end only).
+/// Emitted right after the global IntervalRecord, in tenant order, so
+/// single-stream output carries no trace of the subsystem.
+struct TenantIntervalRecord {
+  std::uint64_t interval = 0;        ///< 1-based tick index
+  double time_s = 0.0;               ///< simulation clock at the tick
+  std::uint32_t tenant = 0;          ///< tenant index
+  std::uint64_t ops = 0;             ///< this tenant's ops completed
+  std::uint64_t queued = 0;          ///< arrivals admitted to its queue
+  Bytes write_bytes = 0;             ///< its write traffic of the interval
+  Bytes read_bytes = 0;              ///< its read traffic of the interval
+  double p50_latency_us = 0.0;       ///< latency percentiles of its ops
+  double p99_latency_us = 0.0;
+  double max_latency_us = 0.0;
+  double write_p99_latency_us = 0.0;
+  /// This tenant's share of the demand the policy predicted at this tick
+  /// (multi-stream JIT-GC only; < 0 = the policy does not attribute demand
+  /// and the JSONL field is omitted).
+  std::int64_t predicted_demand_bytes = -1;
+  /// Its dirty-page count at the tick (its SIP-list share; emitted with
+  /// predicted_demand_bytes).
+  std::uint64_t sip_pages = 0;
+};
+
 /// One fault-injection / bad-block-management event, as drained from the FTL
 /// by the simulator. Only ever emitted when the fault model is active, so
 /// fault-free output carries no trace of the subsystem.
@@ -180,6 +204,9 @@ class MetricsSink {
   virtual ~MetricsSink() = default;
   /// Called once per flusher tick, after the policy decided.
   virtual void on_interval(const IntervalRecord& record) = 0;
+  /// Called once per tenant per flusher tick, in tenant order, right after
+  /// on_interval (default: ignore — only tenant-aware sinks care).
+  virtual void on_tenant_interval(const TenantIntervalRecord& /*record*/) {}
   /// Called for each fault/degradation event (default: ignore — only
   /// fault-aware sinks care).
   virtual void on_fault(const FaultRecord& /*record*/) {}
@@ -203,6 +230,9 @@ class MetricsSink {
 class RecordingMetricsSink final : public MetricsSink {
  public:
   void on_interval(const IntervalRecord& record) override { intervals_.push_back(record); }
+  void on_tenant_interval(const TenantIntervalRecord& record) override {
+    tenant_intervals_.push_back(record);
+  }
   void on_fault(const FaultRecord& record) override { faults_.push_back(record); }
   void on_array_interval(const ArrayIntervalRecord& record) override {
     array_intervals_.push_back(record);
@@ -220,6 +250,7 @@ class RecordingMetricsSink final : public MetricsSink {
   void on_run_end(const SimReport& report) override { report_ = report; has_report_ = true; }
 
   const std::vector<IntervalRecord>& intervals() const { return intervals_; }
+  const std::vector<TenantIntervalRecord>& tenant_intervals() const { return tenant_intervals_; }
   const std::vector<FaultRecord>& faults() const { return faults_; }
   const std::vector<ArrayIntervalRecord>& array_intervals() const { return array_intervals_; }
   const std::vector<DeviceIntervalRecord>& device_intervals() const { return device_intervals_; }
@@ -231,6 +262,7 @@ class RecordingMetricsSink final : public MetricsSink {
 
  private:
   std::vector<IntervalRecord> intervals_;
+  std::vector<TenantIntervalRecord> tenant_intervals_;
   std::vector<FaultRecord> faults_;
   std::vector<ArrayIntervalRecord> array_intervals_;
   std::vector<DeviceIntervalRecord> device_intervals_;
@@ -251,6 +283,7 @@ class JsonlMetricsSink final : public MetricsSink {
                    bool emit_intervals = true);
 
   void on_interval(const IntervalRecord& record) override;
+  void on_tenant_interval(const TenantIntervalRecord& record) override;
   void on_fault(const FaultRecord& record) override;
   void on_array_interval(const ArrayIntervalRecord& record) override;
   void on_device_interval(const DeviceIntervalRecord& record) override;
@@ -271,6 +304,12 @@ class JsonlMetricsSink final : public MetricsSink {
 /// One {"type":"interval",...} line (no trailing newline).
 std::string format_interval_jsonl(std::uint64_t run_index, std::uint64_t seed,
                                   const IntervalRecord& record);
+
+/// One {"type":"tenant_interval",...} line (no trailing newline). The
+/// prediction fields appear only when the policy attributes demand
+/// (predicted_demand_bytes >= 0).
+std::string format_tenant_interval_jsonl(std::uint64_t run_index, std::uint64_t seed,
+                                         const TenantIntervalRecord& record);
 
 /// One {"type":"fault",...} line (no trailing newline).
 std::string format_fault_jsonl(std::uint64_t run_index, std::uint64_t seed,

@@ -7,6 +7,8 @@
 #include "common/ensure.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "host/frontend/frontend.h"
+#include "host/frontend/tenant_policy.h"
 #include "sim/metrics_sink.h"
 
 namespace jitgc::sim {
@@ -269,6 +271,15 @@ void Simulator::process_tick(TimeUs now, core::BgcPolicy& policy) {
   ctx.reclaimable_capacity = ssd_.ftl().reclaimable_capacity();
   ctx.interval_buffered_flush_bytes = ended_flush;
   ctx.interval_direct_bytes = ended_direct;
+  if (frontend_ != nullptr) {
+    // Per-tenant attribution of the ended interval's direct writes, for the
+    // multi-stream predictor. Sums to ended_direct (both sides account at
+    // dispatch instants and reset at this tick).
+    ctx.tenant_interval_direct_bytes.resize(frontend_->tenant_count());
+    for (std::uint32_t t = 0; t < frontend_->tenant_count(); ++t) {
+      ctx.tenant_interval_direct_bytes[t] = frontend_->interval_direct_bytes(t);
+    }
+  }
   const TimeUs period = cache_.config().flush_period;
   ctx.interval_idle_us = interval_busy_us_ >= period ? 0 : period - interval_busy_us_;
   interval_busy_us_ = 0;
@@ -350,12 +361,41 @@ void Simulator::process_tick(TimeUs now, core::BgcPolicy& policy) {
     rec.max_latency_us = interval_latencies_.percentile(100.0);
     metrics_sink_->on_interval(rec);
 
+    // One tenant record per tenant, right after the global interval record.
+    if (frontend_ != nullptr) {
+      const auto* multi = dynamic_cast<const frontend::MultiStreamJitPolicy*>(&policy);
+      for (std::uint32_t t = 0; t < frontend_->tenant_count(); ++t) {
+        const frontend::TenantIntervalStats ts = frontend_->interval_stats(t);
+        TenantIntervalRecord tr;
+        tr.interval = rec.interval;
+        tr.time_s = rec.time_s;
+        tr.tenant = t;
+        tr.ops = ts.ops;
+        tr.queued = ts.queued;
+        tr.write_bytes = ts.write_bytes;
+        tr.read_bytes = ts.read_bytes;
+        tr.p50_latency_us = ts.p50_latency_us;
+        tr.p99_latency_us = ts.p99_latency_us;
+        tr.max_latency_us = ts.max_latency_us;
+        tr.write_p99_latency_us = ts.write_p99_latency_us;
+        if (multi != nullptr) {
+          tr.predicted_demand_bytes =
+              static_cast<std::int64_t>(multi->tenant_predicted_bytes(t));
+          tr.sip_pages = multi->tenant_sip_pages(t);
+        }
+        metrics_sink_->on_tenant_interval(tr);
+      }
+    }
+
     interval_fgc_base_ = fs.foreground_gc_cycles;
     interval_programs_base_ = nand.page_programs;
     interval_host_writes_base_ = fs.host_pages_written;
     interval_ops_ = 0;
     interval_latencies_.clear();
   }
+  // The front-end's interval books close every tick regardless of a sink:
+  // the per-tenant direct-byte attribution feeds the policy, not just JSONL.
+  if (frontend_ != nullptr) frontend_->reset_interval_stats();
 }
 
 TimeUs Simulator::execute_op(const wl::AppOp& op, TimeUs issue) {
@@ -565,6 +605,91 @@ void Simulator::run_event_loop(wl::WorkloadGenerator& workload, core::BgcPolicy&
   elapsed = std::min(config_.duration, std::max(elapsed, issue));
 }
 
+void Simulator::dispatch_frontend(frontend::HostFrontend& fe, EventCalendar& calendar,
+                                  TimeUs now) {
+  // Drain ready queues while the admission window has room. Each pick is
+  // issued to the device immediately; latency runs from the op's arrival
+  // instant, so queueing delay is part of every tenant's tail.
+  while (fe.outstanding() < fe.queue_depth()) {
+    const std::optional<frontend::DispatchedOp> d = fe.pop_dispatch(now);
+    if (!d) break;
+    const TimeUs completion = execute_op(d->op, now);
+    record_op_latency(d->op, d->enqueued_at, completion);
+    fe.note_issued(*d, completion);
+  }
+
+  // Re-arm the three front-end event kinds from the new queue state.
+  if (const auto a = fe.next_arrival(); a && *a < config_.duration) {
+    calendar.schedule(EventKind::kTenantArrival, *a);
+  } else {
+    calendar.cancel(EventKind::kTenantArrival);
+  }
+  if (const auto c = fe.next_completion()) {
+    calendar.schedule(EventKind::kOpComplete, *c);
+  } else {
+    calendar.cancel(EventKind::kOpComplete);
+  }
+  // A rate-blocked backlog needs its own wake-up; everything else re-enters
+  // through a completion (admission slot freed) or an arrival.
+  calendar.cancel(EventKind::kFrontendDispatch);
+  if (fe.outstanding() < fe.queue_depth() && fe.backlog()) {
+    if (const auto r = fe.next_rate_eligible(now); r && *r < config_.duration) {
+      calendar.schedule(EventKind::kFrontendDispatch, *r);
+    }
+  }
+}
+
+void Simulator::run_tenant_event_loop(frontend::HostFrontend& fe, core::BgcPolicy& policy,
+                                      TimeUs& elapsed) {
+  const TimeUs p = cache_.config().flush_period;
+  EventCalendar calendar;
+  calendar.schedule(EventKind::kFlusherTick, p);
+  if (config_.spo_at_s >= 0.0) {
+    const TimeUs at = seconds(config_.spo_at_s);
+    if (at <= config_.duration) calendar.schedule(EventKind::kSpo, at);
+  }
+  // Arm the first arrivals (nothing dispatches yet: all queues are empty).
+  dispatch_frontend(fe, calendar, 0);
+
+  // Tie order at one instant: tick (0) first, then completion (3) — freeing
+  // an admission slot — then arrival (4), then a dispatch retry (5), so a
+  // slot freed and an op arrived at the same instant serve each other
+  // without advancing the clock.
+  while (const auto ev = calendar.pop()) {
+    if (ev->kind == EventKind::kFlusherTick) {
+      if (ev->at > config_.duration) break;
+      run_bgc_until(ev->at);
+      process_tick(ev->at, policy);
+      elapsed = ev->at;
+      calendar.schedule(EventKind::kFlusherTick, ev->at + p);
+      continue;
+    }
+    if (ev->kind == EventKind::kSpo) {
+      run_bgc_until(ev->at);
+      perform_spo(ev->at, policy);
+      elapsed = ev->at;
+      if (config_.spo_every_s > 0.0) {
+        const TimeUs next = ev->at + seconds(config_.spo_every_s);
+        if (next <= config_.duration) calendar.schedule(EventKind::kSpo, next);
+      }
+      continue;
+    }
+    if (ev->at >= config_.duration) continue;  // dropped, not re-armed
+
+    run_bgc_until(ev->at);
+    elapsed = ev->at;
+    if (ev->kind == EventKind::kOpComplete) {
+      fe.retire_completions(ev->at);
+    } else if (ev->kind == EventKind::kTenantArrival) {
+      fe.admit_arrivals(ev->at);
+    }
+    // kFrontendDispatch carries no state change of its own: the rate bucket
+    // refills inside the dispatch pass below.
+    dispatch_frontend(fe, calendar, ev->at);
+  }
+  elapsed = std::min(config_.duration, elapsed);
+}
+
 SimReport Simulator::run(wl::WorkloadGenerator& workload, core::BgcPolicy& policy) {
   ssd_.set_sip_filter_enabled(policy.wants_sip_filter());
   // SIP-aware policies get the cache's delta bookkeeping so each tick sends
@@ -598,7 +723,15 @@ SimReport Simulator::run(wl::WorkloadGenerator& workload, core::BgcPolicy& polic
     // A device that died during preconditioning takes the same exit path as
     // one dying mid-run: zero measured progress, structured end reason.
     if (worn_out) throw ftl::DeviceWornOut("worn out during preconditioning");
-    run_event_loop(workload, policy, elapsed);
+    if (config_.frontend.enabled()) {
+      auto* fe = dynamic_cast<frontend::HostFrontend*>(&workload);
+      JITGC_ENSURE_MSG(fe != nullptr,
+                       "a multi-tenant run must be driven by a frontend::HostFrontend workload");
+      frontend_ = fe;
+      run_tenant_event_loop(*fe, policy, elapsed);
+    } else {
+      run_event_loop(workload, policy, elapsed);
+    }
   } catch (const ftl::DeviceWornOut&) {
     // End of device life: report what was achieved up to this point.
     worn_out = true;
@@ -680,6 +813,29 @@ SimReport Simulator::run(wl::WorkloadGenerator& workload, core::BgcPolicy& polic
     // so cache-less records stay byte-stable run to run).
     r.snapshot_source = snapshot_source_name(snapshot_source_);
     r.precondition_wall_s = precondition_wall_s_;
+  }
+  if (frontend_ != nullptr) {
+    for (std::uint32_t t = 0; t < frontend_->tenant_count(); ++t) {
+      const frontend::TenantSpec& spec = frontend_->spec(t);
+      const frontend::TenantRunStats rs = frontend_->run_stats(t);
+      TenantSummary ts;
+      ts.tenant = t;
+      ts.mix = spec.mix;
+      ts.weight = spec.weight;
+      ts.rate_bps = spec.rate_bps;
+      ts.qos_p99_ms = spec.qos_p99_ms;
+      ts.closed_loop = spec.closed_loop;
+      ts.ops = rs.ops;
+      ts.write_bytes = rs.write_bytes;
+      ts.read_bytes = rs.read_bytes;
+      ts.mean_latency_us = rs.mean_latency_us;
+      ts.p99_latency_us = rs.p99_latency_us;
+      ts.max_latency_us = rs.max_latency_us;
+      ts.read_p99_latency_us = rs.read_p99_latency_us;
+      ts.write_p99_latency_us = rs.write_p99_latency_us;
+      ts.qos_met = spec.qos_p99_ms <= 0.0 || rs.p99_latency_us <= spec.qos_p99_ms * 1000.0;
+      r.tenants.push_back(ts);
+    }
   }
   drain_fault_events(to_seconds(elapsed));
   if (metrics_sink_ != nullptr) metrics_sink_->on_run_end(r);

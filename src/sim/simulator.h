@@ -23,6 +23,7 @@
 #include "common/stats.h"
 #include "core/accuracy.h"
 #include "core/bgc_policy.h"
+#include "host/frontend/tenant_config.h"
 #include "host/page_cache.h"
 #include "sim/engine.h"
 #include "sim/metrics.h"
@@ -30,6 +31,10 @@
 #include "sim/snapshot.h"
 #include "sim/ssd.h"
 #include "workload/workload.h"
+
+namespace jitgc::frontend {
+class HostFrontend;
+}
 
 namespace jitgc::sim {
 
@@ -81,6 +86,14 @@ struct SimConfig {
   /// and latency = completion - arrival (the array front-end's model, ported
   /// here so single-SSD cells can show backlog-drain tails too).
   bool open_loop_arrivals = false;
+  /// Multi-tenant NVMe-style front-end (host/frontend). Empty tenant list
+  /// (the default) = disabled: the legacy single-stream loop runs and all
+  /// output stays byte-identical. When enabled, run() must be handed a
+  /// frontend::HostFrontend as its workload; the event loop then drives the
+  /// per-tenant queues through the DWRR scheduler (kTenantArrival /
+  /// kOpComplete / kFrontendDispatch events) and `open_loop_arrivals` is
+  /// ignored (each tenant carries its own arrival model).
+  frontend::FrontendConfig frontend;
 };
 
 class Simulator {
@@ -118,6 +131,15 @@ class Simulator {
   /// flusher-tick stream and the arrival stream. Updates `elapsed` as it
   /// goes (so a DeviceWornOut unwind reports the progress made).
   void run_event_loop(wl::WorkloadGenerator& workload, core::BgcPolicy& policy, TimeUs& elapsed);
+  /// Measured-run loop in multi-tenant mode: per-tenant arrival admission,
+  /// DWRR dispatch under the admission window, completion retirement — all
+  /// through the same calendar (kTenantArrival / kOpComplete /
+  /// kFrontendDispatch), no second run loop.
+  void run_tenant_event_loop(frontend::HostFrontend& fe, core::BgcPolicy& policy,
+                             TimeUs& elapsed);
+  /// Drains the front-end's ready queues into the device while the admission
+  /// window has room, then re-arms the three front-end event kinds.
+  void dispatch_frontend(frontend::HostFrontend& fe, EventCalendar& calendar, TimeUs now);
   /// Records one completed op's latency into the run- and interval-level
   /// trackers (shared by both engines).
   void record_op_latency(const wl::AppOp& op, TimeUs issue, TimeUs completion);
@@ -150,6 +172,9 @@ class Simulator {
   SimConfig config_;
   Ssd ssd_;
   host::PageCache cache_;
+  /// Set for the duration of a multi-tenant run (the workload downcast);
+  /// null in legacy single-stream mode.
+  frontend::HostFrontend* frontend_ = nullptr;
 
   // -- Warm-state snapshots (sim/snapshot.h) -----------------------------------
   SnapshotCache* snapshot_cache_ = nullptr;

@@ -11,6 +11,7 @@
 #include "common/ensure.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "host/frontend/frontend.h"
 #include "sim/cli_options.h"
 #include "sim/metrics_sink.h"
 #include "sim/snapshot.h"
@@ -32,6 +33,33 @@ std::string cell_label(const SweepCell& cell) {
   return label;
 }
 
+// The front-end a tenant sweep run is driven by. A tenant spec whose mix is
+// empty inherits the cell's benchmark, so a sweep matrix varies the workload
+// per cell while keeping one shared tenant topology (weights, rates, QoS).
+std::unique_ptr<frontend::HostFrontend> make_sweep_frontend(const SimConfig& config,
+                                                            const SweepCell& cell,
+                                                            Lba user_pages,
+                                                            std::uint64_t seed) {
+  frontend::FrontendConfig fe = config.frontend;
+  for (frontend::TenantSpec& spec : fe.tenants) {
+    if (spec.mix.empty()) spec.mix = cell.workload.name;
+  }
+  const frontend::GeneratorFactory factory =
+      [&cell](const frontend::TenantSpec& spec, std::uint32_t /*tenant*/, Lba partition_pages,
+              std::uint64_t tenant_seed) -> std::unique_ptr<wl::WorkloadGenerator> {
+    wl::WorkloadSpec base = cell.workload;
+    if (spec.mix != cell.workload.name) {
+      const auto bench = find_benchmark_spec(spec.mix);
+      if (!bench) throw std::runtime_error("unknown tenant mix: " + spec.mix);
+      base = *bench;
+    }
+    return std::make_unique<wl::SyntheticWorkload>(base, partition_pages, tenant_seed);
+  };
+  return std::make_unique<frontend::HostFrontend>(fe, user_pages,
+                                                  config.ssd.ftl.geometry.page_size, seed,
+                                                  factory);
+}
+
 SweepRunResult execute_attempt(const SweepOptions& options, const SweepCell& cell,
                                std::uint64_t run_index, std::size_t attempt,
                                SnapshotCache* snapshots) {
@@ -44,19 +72,39 @@ SweepRunResult execute_attempt(const SweepOptions& options, const SweepCell& cel
   Simulator simulator(config);
   if (snapshots != nullptr) simulator.set_snapshot_cache(snapshots);
   const Lba user_pages = simulator.ssd().ftl().user_pages();
-  wl::SyntheticWorkload workload(cell.workload, user_pages, result.seed);
-  const auto policy = make_policy(cell.policy, config, cell.fixed_multiple, cell.overrides);
+  std::unique_ptr<wl::WorkloadGenerator> workload;
+  std::unique_ptr<core::BgcPolicy> policy;
+  if (config.frontend.enabled()) {
+    auto fe = make_sweep_frontend(config, cell, user_pages, result.seed);
+    policy = make_policy(cell.policy, config, cell.fixed_multiple, cell.overrides, fe.get());
+    workload = std::move(fe);
+  } else {
+    workload = std::make_unique<wl::SyntheticWorkload>(cell.workload, user_pages, result.seed);
+    policy = make_policy(cell.policy, config, cell.fixed_multiple, cell.overrides);
+  }
 
   RecordingMetricsSink sink;
   simulator.set_metrics_sink(&sink);
-  result.report = simulator.run(workload, *policy);
+  result.report = simulator.run(*workload, *policy);
 
   switch (options.format) {
     case SweepFormat::kJsonl:
       if (options.emit_intervals) {
+        // Tenant interval records ride directly behind their interval, the
+        // same order a JsonlMetricsSink streams them in.
+        std::size_t tenant_cursor = 0;
+        const auto& tenant_records = sink.tenant_intervals();
         for (const auto& record : sink.intervals()) {
           result.serialized += format_interval_jsonl(run_index, result.seed, record);
           result.serialized += '\n';
+          while (tenant_cursor < tenant_records.size() &&
+                 tenant_records[tenant_cursor].interval == record.interval) {
+            result.serialized +=
+                format_tenant_interval_jsonl(run_index, result.seed,
+                                             tenant_records[tenant_cursor]);
+            result.serialized += '\n';
+            ++tenant_cursor;
+          }
         }
       }
       // Fault/degradation events (rare, only under fault injection) are
@@ -170,8 +218,19 @@ std::string sweep_fingerprint(const SweepOptions& options, const std::vector<Swe
       << " erase=" << ftl.fault.erase_fail_prob
       << " wear=" << ftl.fault.wear_fail_prob_at_limit
       << " ramp_start=" << ftl.fault.wear_ramp_start
-      << " spares=" << ftl.spare_blocks << " retry_limit=" << ftl.program_retry_limit << '\n'
-      << "cells=" << cells.size() << '\n';
+      << " spares=" << ftl.spare_blocks << " retry_limit=" << ftl.program_retry_limit << '\n';
+  // Tenant lines appear only when the front-end is on, so manifests written
+  // by single-stream sweeps keep their exact legacy bytes.
+  if (options.base.frontend.enabled()) {
+    const auto& fe = options.base.frontend;
+    out << "tenants=" << fe.tenants.size() << " queue_depth=" << fe.queue_depth
+        << " quantum=" << fe.quantum_bytes << '\n';
+    for (const auto& t : fe.tenants) {
+      out << "tenant: mix=" << t.mix << " weight=" << t.weight << " rate=" << t.rate_bps
+          << " qos=" << t.qos_p99_ms << " closed=" << (t.closed_loop ? 1 : 0) << '\n';
+    }
+  }
+  out << "cells=" << cells.size() << '\n';
   for (const SweepCell& cell : cells) {
     out << "cell: " << cell_label(cell)
         << " sip=" << (cell.overrides.use_sip_list ? 1 : 0)

@@ -35,7 +35,11 @@ enum class SweepFormat {
 
 struct SweepOptions {
   /// Device/cache/duration shared by every run. The seed field is ignored:
-  /// each run uses sweep_run_seed(base_seed, run_index) instead.
+  /// each run uses sweep_run_seed(base_seed, run_index) instead. When
+  /// base.frontend has tenants, every run is driven through the multi-tenant
+  /// front-end: a tenant spec with an empty mix inherits its cell's
+  /// benchmark, so the matrix varies the workload per cell under one shared
+  /// tenant topology (weights, rates, QoS targets).
   SimConfig base;
   std::uint64_t base_seed = 1;
   /// Independent repetitions of every cell.

@@ -76,6 +76,7 @@ std::vector<TraceRecord> read_msr_trace(const std::string& path) {
       } else {
         throw std::runtime_error("unknown op type: '" + std::string(type) + "'");
       }
+      rec.volume = static_cast<std::uint32_t>(parse_u64(fields[2], "disk number"));
       rec.offset = parse_u64(fields[4], "offset");
       rec.size = parse_u64(fields[5], "size");
       records.push_back(rec);
@@ -91,7 +92,7 @@ void write_msr_trace(const std::string& path, const std::vector<TraceRecord>& re
   std::ofstream out(path);
   if (!out) throw std::runtime_error("jitgc::wl: cannot create trace file: " + path);
   for (const TraceRecord& rec : records) {
-    out << rec.timestamp * kFiletimeTicksPerUs << ",jitgc,0,"
+    out << rec.timestamp * kFiletimeTicksPerUs << ",jitgc," << rec.volume << ','
         << (rec.type == OpType::kRead ? "Read" : "Write") << ',' << rec.offset << ',' << rec.size
         << ",0\n";
   }
@@ -123,6 +124,10 @@ TraceWorkload::TraceWorkload(std::string name, std::vector<TraceRecord> records,
     : name_(std::move(name)), records_(std::move(records)), options_(options),
       rng_state_(options.seed) {
   JITGC_ENSURE_MSG(options_.page_size >= 512, "page size below sector size");
+  if (options_.volume >= 0) {
+    const auto wanted = static_cast<std::uint32_t>(options_.volume);
+    std::erase_if(records_, [wanted](const TraceRecord& rec) { return rec.volume != wanted; });
+  }
   Bytes max_end = 0;
   for (const TraceRecord& rec : records_) max_end = std::max(max_end, rec.offset + rec.size);
   const Lba derived = (max_end + options_.page_size - 1) / options_.page_size;

@@ -24,6 +24,9 @@ struct TraceRecord {
   OpType type = OpType::kWrite;
   Bytes offset = 0;
   Bytes size = 0;
+  /// MSR DiskNumber column: the volume the request targeted. Multi-volume
+  /// traces map volumes onto tenants via --trace-volume-map.
+  std::uint32_t volume = 0;
 };
 
 /// Parses an MSR-format CSV file. Throws std::runtime_error on malformed
@@ -49,6 +52,9 @@ struct TraceReplayOptions {
   /// Fraction of writes replayed through the page cache instead of direct.
   double buffered_fraction = 0.0;
   std::uint64_t seed = 42;
+  /// Replay only records from this volume (MSR DiskNumber); -1 = all. The
+  /// multi-tenant front-end gives each tenant its own volume's substream.
+  std::int32_t volume = -1;
 };
 
 /// Replays a parsed trace as a WorkloadGenerator. Inter-record gaps become

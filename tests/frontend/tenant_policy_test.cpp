@@ -1,0 +1,148 @@
+// MultiStreamJitPolicy: with one tenant it must degenerate to exactly the
+// single-stream JitPolicy, and with several tenants its per-stream demand
+// attribution must follow the LBA partition.
+#include "host/frontend/tenant_policy.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+#include "core/jit_policy.h"
+#include "host/frontend/frontend.h"
+#include "host/page_cache.h"
+#include "workload/workload.h"
+
+namespace jitgc::frontend {
+namespace {
+
+/// Inert generator: the policy tests only need the front-end's topology
+/// (tenant count, partition map), not a live op stream.
+class NullWorkload final : public wl::WorkloadGenerator {
+ public:
+  explicit NullWorkload(Lba pages) : pages_(pages) {}
+  std::string name() const override { return "null"; }
+  std::optional<wl::AppOp> next() override { return std::nullopt; }
+  Lba footprint_pages() const override { return pages_; }
+  Lba working_set_pages() const override { return pages_; }
+
+ private:
+  Lba pages_;
+};
+
+std::unique_ptr<HostFrontend> make_frontend(std::size_t tenants, Lba user_pages) {
+  FrontendConfig config;
+  config.tenants.resize(tenants);
+  const GeneratorFactory factory =
+      [](const TenantSpec&, std::uint32_t, Lba pages,
+         std::uint64_t) -> std::unique_ptr<wl::WorkloadGenerator> {
+    return std::make_unique<NullWorkload>(pages);
+  };
+  return std::make_unique<HostFrontend>(config, user_pages, 4 * KiB, /*seed=*/1, factory);
+}
+
+core::PolicyContext make_ctx(const host::PageCache& cache, TimeUs now, Bytes direct,
+                             std::vector<Bytes> per_tenant_direct) {
+  core::PolicyContext ctx;
+  ctx.now = now;
+  ctx.page_cache = &cache;
+  ctx.c_free = 256 * MiB;
+  ctx.reclaimable_capacity = 512 * MiB;
+  ctx.interval_buffered_flush_bytes = 8 * MiB;
+  ctx.interval_direct_bytes = direct;
+  ctx.tenant_interval_direct_bytes = std::move(per_tenant_direct);
+  ctx.interval_idle_us = seconds(2);
+  ctx.write_bps = 200e6;
+  ctx.gc_bps = 400e6;
+  ctx.op_capacity = 512 * MiB;
+  ctx.user_capacity = 4 * GiB;
+  return ctx;
+}
+
+TEST(MultiStreamJitPolicy, SingleTenantMatchesJitPolicy) {
+  // One tenant owns the whole LBA space: the per-stream split is the
+  // identity and every decision must equal the single-stream policy's.
+  const auto frontend = make_frontend(1, /*user_pages=*/1 << 20);
+  const core::JitPolicyConfig config;
+  core::JitPolicy single(config);
+  MultiStreamJitPolicy multi(config, frontend.get());
+
+  host::PageCache cache{host::PageCacheConfig{}};
+  std::uint64_t lba = 0;
+  for (int tick = 1; tick <= 10; ++tick) {
+    const TimeUs now = seconds(5 * tick);
+    // Grow a dirty set with mixed ages: fresh pages plus re-dirtied ones.
+    for (int i = 0; i < 300 * tick; ++i) cache.write(lba++ % 4096, now - seconds(tick % 7));
+    const Bytes direct = static_cast<Bytes>(tick) * 3 * MiB;
+
+    const auto a = single.on_interval(make_ctx(cache, now, direct, {direct}));
+    const auto b = multi.on_interval(make_ctx(cache, now, direct, {direct}));
+
+    EXPECT_EQ(a.reclaim_bytes, b.reclaim_bytes) << "tick " << tick;
+    EXPECT_EQ(a.urgent_reclaim_bytes, b.urgent_reclaim_bytes) << "tick " << tick;
+    EXPECT_DOUBLE_EQ(a.predicted_horizon_bytes, b.predicted_horizon_bytes) << "tick " << tick;
+    EXPECT_EQ(a.sip_size, b.sip_size) << "tick " << tick;
+    EXPECT_EQ(a.sip_is_delta, b.sip_is_delta) << "tick " << tick;
+    EXPECT_EQ(a.sip_update.added, b.sip_update.added) << "tick " << tick;
+    EXPECT_EQ(a.sip_update.removed, b.sip_update.removed) << "tick " << tick;
+
+    // The per-tenant decomposition is the whole signal.
+    EXPECT_EQ(multi.tenant_sip_pages(0), cache.dirty_pages());
+  }
+  EXPECT_EQ(single.name(), multi.name());
+  EXPECT_EQ(single.wants_sip_filter(), multi.wants_sip_filter());
+  EXPECT_EQ(single.custom_commands_per_interval(), multi.custom_commands_per_interval());
+}
+
+TEST(MultiStreamJitPolicy, AttributesDirtyPagesByPartition) {
+  // 4 tenants over 4096 pages: dirty pages land in known partitions, so the
+  // per-tenant SIP counts are exact.
+  const auto frontend = make_frontend(4, /*user_pages=*/4096);
+  MultiStreamJitPolicy policy(core::JitPolicyConfig{}, frontend.get());
+
+  host::PageCache cache{host::PageCacheConfig{}};
+  const TimeUs now = seconds(5);
+  // 10 pages for tenant 0, 20 for tenant 2, none for tenants 1 and 3.
+  for (Lba i = 0; i < 10; ++i) cache.write(i, now);
+  for (Lba i = 0; i < 20; ++i) cache.write(2048 + i, now);
+
+  (void)policy.on_interval(make_ctx(cache, now, 0, {0, 0, 0, 0}));
+  EXPECT_EQ(policy.tenant_sip_pages(0), 10u);
+  EXPECT_EQ(policy.tenant_sip_pages(1), 0u);
+  EXPECT_EQ(policy.tenant_sip_pages(2), 20u);
+  EXPECT_EQ(policy.tenant_sip_pages(3), 0u);
+}
+
+TEST(MultiStreamJitPolicy, PerTenantDemandFollowsTraffic) {
+  const auto frontend = make_frontend(2, /*user_pages=*/4096);
+  MultiStreamJitPolicy policy(core::JitPolicyConfig{}, frontend.get());
+
+  host::PageCache cache{host::PageCacheConfig{}};
+  // All traffic belongs to tenant 0: dirty pages in its partition, all the
+  // direct bytes attributed to it.
+  for (int tick = 1; tick <= 5; ++tick) {
+    const TimeUs now = seconds(5 * tick);
+    for (Lba i = 0; i < 50; ++i) cache.write(i + 50 * tick, now);
+    (void)policy.on_interval(make_ctx(cache, now, 16 * MiB, {16 * MiB, 0}));
+  }
+  EXPECT_GT(policy.tenant_predicted_bytes(0), 0u);
+  EXPECT_EQ(policy.tenant_predicted_bytes(1), 0u);
+  EXPECT_GT(policy.tenant_sip_pages(0), 0u);
+  EXPECT_EQ(policy.tenant_sip_pages(1), 0u);
+}
+
+TEST(MultiStreamJitPolicy, RejectsMissingAttribution) {
+  // The simulator must hand one direct-byte entry per tenant; anything else
+  // is a wiring bug the policy refuses to guess around.
+  const auto frontend = make_frontend(2, 4096);
+  MultiStreamJitPolicy policy(core::JitPolicyConfig{}, frontend.get());
+  host::PageCache cache{host::PageCacheConfig{}};
+  EXPECT_THROW((void)policy.on_interval(make_ctx(cache, seconds(5), 0, {0})),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace jitgc::frontend

@@ -68,6 +68,12 @@ int main(int argc, char** argv) {
                   100.0 * r.sip_filtered_fraction,
                   static_cast<unsigned long long>(r.victim_selections));
     }
+    for (const sim::TenantSummary& t : r.tenants) {
+      std::printf("tenant %u            %s w=%.2g: %llu ops, p99 %.0f us%s\n", t.tenant,
+                  t.mix.c_str(), t.weight, static_cast<unsigned long long>(t.ops),
+                  t.p99_latency_us,
+                  t.qos_p99_ms > 0.0 ? (t.qos_met ? " (QoS met)" : " (QoS MISSED)") : "");
+    }
     if (r.device_worn_out) {
       std::printf("lifetime            %.1f MiB TBW, %llu blocks retired\n",
                   static_cast<double>(r.tbw_bytes()) / (1 << 20),

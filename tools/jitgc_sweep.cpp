@@ -11,12 +11,15 @@
 // written back in run order. JSONL schema: docs/model.md §"Structured
 // metrics".
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "host/frontend/tenant_config.h"
+#include "sim/cli_options.h"
 #include "sim/sweep.h"
 
 namespace {
@@ -55,8 +58,60 @@ int usage(int code) {
                "  --fault-wear=<p>   extra failure probability at the endurance\n"
                "                     limit (ramps up from 90%% of the limit)\n"
                "  --spare-blocks=<n> factory spare blocks for bad-block management\n"
-               "  --endurance=<pe>   enforce endurance at this P/E rating\n");
+               "  --endurance=<pe>   enforce endurance at this P/E rating\n"
+               "  --tenants=<n>      drive every run through the multi-tenant\n"
+               "                     front-end with n tenant queues\n"
+               "  --tenant-mix=<a,b> benchmark per tenant (one value broadcasts;\n"
+               "                     default: each tenant runs the cell's benchmark)\n"
+               "  --tenant-weight=<w,..> DWRR weight per tenant (> 0, default 1)\n"
+               "  --tenant-rate=<b,..>   rate cap per tenant, bytes/s (0 = uncapped)\n"
+               "  --tenant-qos-p99=<ms,..> p99 target per tenant, ms (0 = ungraded)\n"
+               "  --tenant-arrival=<m>  open (default) | closed arrival process\n"
+               "  --tenant-queue-depth=<n> global admission window (default 32)\n");
   return code;
+}
+
+std::vector<std::string> split_list(const std::string& value) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = value.find(',', start);
+    items.push_back(comma == std::string::npos ? value.substr(start)
+                                               : value.substr(start, comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return items;
+}
+
+bool parse_double_list(const std::string& value, std::vector<double>& out) {
+  out.clear();
+  for (const std::string& item : split_list(value)) {
+    try {
+      std::size_t pos = 0;
+      const double v = std::stod(item, &pos);
+      if (pos != item.size()) return false;
+      out.push_back(v);
+    } catch (...) {
+      return false;
+    }
+  }
+  return !out.empty();
+}
+
+// The CLI broadcast rule: one shared value applies to every tenant; anything
+// other than 1 or `tenants` values is an error (reported naming the flag).
+bool spread(const std::vector<double>& list, std::size_t tenants, const char* flag,
+            std::vector<double>& out) {
+  if (list.empty()) return true;  // flag absent: keep defaults
+  if (list.size() != 1 && list.size() != tenants) {
+    std::fprintf(stderr, "%s got %zu values for %zu tenants (give one shared value or one per tenant)\n",
+                 flag, list.size(), tenants);
+    return false;
+  }
+  out.resize(tenants);
+  for (std::size_t t = 0; t < tenants; ++t) out[t] = list[list.size() == 1 ? 0 : t];
+  return true;
 }
 
 bool parse_probability(const std::string& arg, std::size_t prefix, const char* flag,
@@ -82,6 +137,14 @@ int main(int argc, char** argv) {
   double fault_wear = 0.0;
   std::uint64_t spare_blocks = 0;
   std::uint64_t endurance = 0;
+  std::uint64_t tenants = 0;
+  std::vector<std::string> tenant_mix;
+  std::vector<double> tenant_weight;
+  std::vector<double> tenant_rate;
+  std::vector<double> tenant_qos;
+  std::string tenant_arrival = "open";
+  std::uint64_t tenant_queue_depth = 32;
+  std::string tenant_flag_seen;
   sim::SweepOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -117,6 +180,73 @@ int main(int argc, char** argv) {
         spare_blocks = std::stoull(arg.substr(15));
       } else if (arg.rfind("--endurance=", 0) == 0) {
         endurance = std::stoull(arg.substr(12));
+      } else if (arg.rfind("--tenants=", 0) == 0) {
+        tenants = std::stoull(arg.substr(10));
+        if (tenants == 0) {
+          std::fprintf(stderr, "--tenants needs a positive tenant count\n");
+          return usage(2);
+        }
+      } else if (arg.rfind("--tenant-mix=", 0) == 0) {
+        tenant_mix = split_list(arg.substr(13));
+        for (const std::string& mix : tenant_mix) {
+          if (mix.empty()) {
+            std::fprintf(stderr, "--tenant-mix needs comma-separated workload names\n");
+            return usage(2);
+          }
+        }
+        tenant_flag_seen = "--tenant-mix";
+      } else if (arg.rfind("--tenant-weight=", 0) == 0) {
+        if (!parse_double_list(arg.substr(16), tenant_weight)) {
+          std::fprintf(stderr, "--tenant-weight needs comma-separated scheduling weights\n");
+          return usage(2);
+        }
+        for (const double w : tenant_weight) {
+          // Negated form also rejects NaN, like every probability flag here.
+          if (!(std::isfinite(w) && w > 0.0)) {
+            std::fprintf(stderr, "--tenant-weight needs finite weights > 0\n");
+            return usage(2);
+          }
+        }
+        tenant_flag_seen = "--tenant-weight";
+      } else if (arg.rfind("--tenant-rate=", 0) == 0) {
+        if (!parse_double_list(arg.substr(14), tenant_rate)) {
+          std::fprintf(stderr, "--tenant-rate needs comma-separated byte rates\n");
+          return usage(2);
+        }
+        for (const double r : tenant_rate) {
+          if (!(std::isfinite(r) && r >= 0.0)) {
+            std::fprintf(stderr, "--tenant-rate needs finite rates in bytes/s (0 = uncapped)\n");
+            return usage(2);
+          }
+        }
+        tenant_flag_seen = "--tenant-rate";
+      } else if (arg.rfind("--tenant-qos-p99=", 0) == 0) {
+        if (!parse_double_list(arg.substr(17), tenant_qos)) {
+          std::fprintf(stderr, "--tenant-qos-p99 needs comma-separated millisecond targets\n");
+          return usage(2);
+        }
+        for (const double q : tenant_qos) {
+          if (!(std::isfinite(q) && q >= 0.0)) {
+            std::fprintf(stderr, "--tenant-qos-p99 needs finite targets in ms (0 = ungraded)\n");
+            return usage(2);
+          }
+        }
+        tenant_flag_seen = "--tenant-qos-p99";
+      } else if (arg.rfind("--tenant-arrival=", 0) == 0) {
+        tenant_arrival = arg.substr(17);
+        if (tenant_arrival != "open" && tenant_arrival != "closed") {
+          std::fprintf(stderr, "unknown tenant arrival model '%s' (open|closed)\n",
+                       tenant_arrival.c_str());
+          return usage(2);
+        }
+        tenant_flag_seen = "--tenant-arrival";
+      } else if (arg.rfind("--tenant-queue-depth=", 0) == 0) {
+        tenant_queue_depth = std::stoull(arg.substr(21));
+        if (tenant_queue_depth == 0) {
+          std::fprintf(stderr, "--tenant-queue-depth needs a positive window\n");
+          return usage(2);
+        }
+        tenant_flag_seen = "--tenant-queue-depth";
       } else if (arg.rfind("--format=", 0) == 0) {
         const std::string format = arg.substr(9);
         if (format == "jsonl") {
@@ -152,6 +282,25 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--fault-wear needs --endurance=<pe> (the ramp anchor)\n");
     return usage(2);
   }
+  if (tenants == 0 && !tenant_flag_seen.empty()) {
+    std::fprintf(stderr, "%s requires --tenants\n", tenant_flag_seen.c_str());
+    return usage(2);
+  }
+  if (tenants > 0) {
+    if (tenant_mix.size() > 1 && tenant_mix.size() != tenants) {
+      std::fprintf(stderr,
+                   "--tenant-mix got %zu values for %llu tenants (give one shared value or one "
+                   "per tenant)\n",
+                   tenant_mix.size(), static_cast<unsigned long long>(tenants));
+      return usage(2);
+    }
+    for (const std::string& mix : tenant_mix) {
+      if (!sim::find_benchmark_spec(mix)) {
+        std::fprintf(stderr, "unknown tenant mix '%s'\n", mix.c_str());
+        return usage(2);
+      }
+    }
+  }
 
   std::vector<sim::SweepCell> cells;
   if (matrix == "fig7") {
@@ -185,6 +334,28 @@ int main(int argc, char** argv) {
   if (endurance > 0) {
     ftl_config.enforce_endurance = true;
     ftl_config.timing.endurance_pe_cycles = endurance;
+  }
+  if (tenants > 0) {
+    std::vector<double> weights, rates, qos;
+    if (!spread(tenant_weight, tenants, "--tenant-weight", weights) ||
+        !spread(tenant_rate, tenants, "--tenant-rate", rates) ||
+        !spread(tenant_qos, tenants, "--tenant-qos-p99", qos)) {
+      return usage(2);
+    }
+    auto& fe = options.base.frontend;
+    fe.queue_depth = static_cast<std::uint32_t>(tenant_queue_depth);
+    fe.tenants.resize(tenants);
+    for (std::size_t t = 0; t < tenants; ++t) {
+      frontend::TenantSpec& spec = fe.tenants[t];
+      // An empty mix makes the tenant inherit each cell's benchmark, so the
+      // matrix still varies the workload per cell.
+      spec.mix = tenant_mix.empty() ? std::string()
+                                    : tenant_mix[tenant_mix.size() == 1 ? 0 : t];
+      if (!weights.empty()) spec.weight = weights[t];
+      if (!rates.empty()) spec.rate_bps = rates[t];
+      if (!qos.empty()) spec.qos_p99_ms = qos[t];
+      spec.closed_loop = tenant_arrival == "closed";
+    }
   }
 
   const std::size_t threads =
